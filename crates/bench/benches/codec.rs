@@ -1,0 +1,69 @@
+//! Wire-codec microbenchmarks: encode/decode cost of the hot message
+//! types (votes dominate message counts, proposals dominate bytes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use banyan_crypto::{AggregateSignature, Signature, SignerBitmap};
+use banyan_types::block::Block;
+use banyan_types::certs::Notarization;
+use banyan_types::codec::Wire;
+use banyan_types::ids::{BlockHash, Rank, ReplicaId, Round};
+use banyan_types::message::{ChainedMsg, Message};
+use banyan_types::payload::Payload;
+use banyan_types::time::Time;
+use banyan_types::vote::{Vote, VoteKind};
+
+fn vote() -> Vote {
+    Vote {
+        kind: VoteKind::Fast,
+        round: Round(1234),
+        block: BlockHash([7; 32]),
+        voter: ReplicaId(11),
+        signature: Signature([9; 64]),
+    }
+}
+
+fn proposal() -> Message {
+    let mut bm = SignerBitmap::new(19);
+    for i in 0..13 {
+        bm.set(i);
+    }
+    Message::Chained(ChainedMsg::Proposal {
+        block: Block {
+            round: Round(1234),
+            proposer: ReplicaId(3),
+            rank: Rank(0),
+            parent: BlockHash([1; 32]),
+            proposed_at: Time(55),
+            payload: Payload::synthetic(1 << 20, 3),
+            signature: Signature([2; 64]),
+        },
+        parent_notarization: Some(Notarization::from_votes(
+            Round(1233),
+            BlockHash([1; 32]),
+            AggregateSignature { signers: bm, data: vec![0xCD; 32] },
+        )),
+        parent_unlock: None,
+        fast_vote: Some(vote()),
+    })
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let votes = Message::Chained(ChainedMsg::Votes(vec![vote(), vote()]));
+    let vote_bytes = votes.to_bytes();
+    c.bench_function("codec/encode_votes2", |b| b.iter(|| votes.to_bytes()));
+    c.bench_function("codec/decode_votes2", |b| {
+        b.iter(|| Message::from_bytes(&vote_bytes).expect("roundtrip"))
+    });
+
+    let prop = proposal();
+    let prop_bytes = prop.to_bytes();
+    c.bench_function("codec/encode_proposal", |b| b.iter(|| prop.to_bytes()));
+    c.bench_function("codec/decode_proposal", |b| {
+        b.iter(|| Message::from_bytes(&prop_bytes).expect("roundtrip"))
+    });
+    c.bench_function("codec/wire_len_proposal", |b| b.iter(|| prop.wire_len()));
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Microbenchmarks of the cryptographic substrate: hashing, signing,
+//! verification, aggregation — the per-message costs every protocol pays.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use banyan_crypto::hashsig::HashSig;
+use banyan_crypto::hmac::hmac_sha256;
+use banyan_crypto::merkle::payload_root;
+use banyan_crypto::registry::KeyRegistry;
+use banyan_crypto::schnorr::ToySchnorr;
+use banyan_crypto::sha256::sha256;
+use banyan_crypto::sig::{SignatureScheme, SignerIndex};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 65536] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha256(data));
+        });
+    }
+    g.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let data = vec![0u8; 1024];
+    c.bench_function("hmac_sha256/1KiB", |b| b.iter(|| hmac_sha256(b"key", &data)));
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merkle_payload_root");
+    for size in [65536usize, 1 << 20] {
+        let payload = vec![7u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &payload, |b, p| {
+            b.iter(|| payload_root(p, 64 * 1024));
+        });
+    }
+    g.finish();
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let schemes: Vec<(&str, Arc<dyn SignatureScheme>)> =
+        vec![("hashsig", Arc::new(HashSig)), ("schnorr", Arc::new(ToySchnorr::new()))];
+    for (name, scheme) in schemes {
+        let (sk, pk) = scheme.keygen(&[1u8; 32]);
+        let msg = b"notarization vote / round 1234 / block abcd";
+        let sig = scheme.sign(&sk, msg);
+        c.bench_function(&format!("{name}/sign"), |b| b.iter(|| scheme.sign(&sk, msg)));
+        c.bench_function(&format!("{name}/verify"), |b| {
+            b.iter(|| assert!(scheme.verify(&pk, msg, &sig)))
+        });
+
+        // Quorum-scale aggregation: 13 of 19 (the paper's notarization
+        // quorum at f = 6).
+        let keys: Vec<_> = (0..19u8).map(|i| scheme.keygen(&[i; 32])).collect();
+        let pks: Vec<_> = keys.iter().map(|(_, pk)| *pk).collect();
+        let votes: Vec<(SignerIndex, _)> = keys
+            .iter()
+            .take(13)
+            .enumerate()
+            .map(|(i, (sk, _))| (i as SignerIndex, scheme.sign(sk, msg)))
+            .collect();
+        c.bench_function(&format!("{name}/aggregate13"), |b| {
+            b.iter(|| scheme.aggregate(19, &votes))
+        });
+        let agg = scheme.aggregate(19, &votes);
+        c.bench_function(&format!("{name}/verify_aggregate13"), |b| {
+            b.iter(|| assert!(scheme.verify_aggregate(&pks, msg, &agg)))
+        });
+    }
+}
+
+fn bench_registry(c: &mut Criterion) {
+    c.bench_function("registry/generate_n19", |b| {
+        b.iter(|| KeyRegistry::generate(Arc::new(HashSig), 42, 19, 0))
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_hmac, bench_merkle, bench_schemes, bench_registry);
+criterion_main!(benches);

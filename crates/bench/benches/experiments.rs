@@ -1,0 +1,193 @@
+//! Scaled-down versions of every paper experiment, as Criterion benches.
+//!
+//! Each bench runs the corresponding figure's scenario for a short
+//! simulated window so `cargo bench --workspace` exercises the entire
+//! experiment matrix end-to-end. The full-length harness binaries (see
+//! `src/bin/`) regenerate the actual figures; these benches measure the
+//! *simulator's* wall-clock cost per simulated second and continuously
+//! guard every scenario against regressions (each run asserts safety and
+//! progress).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use banyan_bench::runner::{run, Scenario};
+use banyan_simnet::faults::FaultPlan;
+use banyan_simnet::topology::Topology;
+use banyan_types::time::{Duration, Time};
+
+/// One simulated second per iteration keeps bench runs short.
+const SIM_SECS: u64 = 1;
+
+fn check(out: &banyan_bench::runner::Outcome) {
+    assert!(out.safe, "safety violation inside a bench scenario");
+    assert!(out.committed_rounds > 0, "no progress inside a bench scenario");
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_steps");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    for protocol in ["banyan", "icc", "hotstuff", "streamlet"] {
+        g.bench_with_input(BenchmarkId::from_parameter(protocol), &protocol, |b, proto| {
+            b.iter(|| {
+                let s = Scenario::new(
+                    proto,
+                    Topology::uniform(4, Duration::from_millis(20)),
+                    1,
+                    1,
+                )
+                .payload(1_000)
+                .delta(Duration::from_millis(30))
+                .secs(SIM_SECS);
+                check(&run(&s));
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_switching");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    for protocol in ["banyan", "icc"] {
+        g.bench_with_input(BenchmarkId::from_parameter(protocol), &protocol, |b, proto| {
+            b.iter(|| {
+                use banyan_types::ids::ReplicaId;
+                let faults = FaultPlan::none()
+                    .crash(ReplicaId(5), Time::ZERO)
+                    .crash(ReplicaId(6), Time::ZERO);
+                let s = Scenario::new(
+                    proto,
+                    Topology::uniform(7, Duration::from_millis(20)),
+                    2,
+                    1,
+                )
+                .payload(1_000)
+                .delta(Duration::from_millis(30))
+                .faults(faults)
+                .secs(SIM_SECS);
+                check(&run(&s));
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig6a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6a_n19_4dc");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    for (label, protocol, f, p) in [
+        ("banyan_p1", "banyan", 6usize, 1usize),
+        ("banyan_p4", "banyan", 4, 4),
+        ("icc", "icc", 6, 1),
+        ("hotstuff", "hotstuff", 6, 1),
+        ("streamlet", "streamlet", 6, 1),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let s = Scenario::new(protocol, Topology::four_global_19(), f, p)
+                    .payload(400_000)
+                    .secs(SIM_SECS);
+                check(&run(&s));
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig6b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6b_n4_global");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    for protocol in ["banyan", "icc"] {
+        g.bench_with_input(BenchmarkId::from_parameter(protocol), &protocol, |b, proto| {
+            b.iter(|| {
+                let s = Scenario::new(proto, Topology::four_global_4(), 1, 1)
+                    .payload(1_000_000)
+                    .secs(SIM_SECS);
+                check(&run(&s));
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig6c(c: &mut Criterion) {
+    // Fig 6c is the same scenario as 6b with distribution reporting; the
+    // bench validates the percentile pipeline as well.
+    let mut g = c.benchmark_group("fig6c_variance");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    g.bench_function("banyan_1mb_percentiles", |b| {
+        b.iter(|| {
+            let s = Scenario::new("banyan", Topology::four_global_4(), 1, 1)
+                .payload(1_000_000)
+                .secs(SIM_SECS);
+            let out = run(&s);
+            check(&out);
+            assert!(out.latency.p99_ms >= out.latency.p50_ms);
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig6d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6d_crashes");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    for crashed in [0usize, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(crashed), &crashed, |b, &crashed| {
+            b.iter(|| {
+                let faults = FaultPlan::none().crash_spread(crashed, 19, Time::ZERO);
+                let s = Scenario::new("banyan", Topology::four_us_19(), 6, 1)
+                    .payload(100_000)
+                    .delta(Duration::from_millis(200))
+                    .faults(faults)
+                    .secs(2); // needs a couple of timeouts to make progress
+                let out = run(&s);
+                assert!(out.safe);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig6e(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6e_19dc");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    for (label, protocol, f, p) in
+        [("banyan_p1", "banyan", 6usize, 1usize), ("banyan_p4", "banyan", 4, 4), ("icc", "icc", 6, 1)]
+    {
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let s = Scenario::new(protocol, Topology::nineteen_global(), f, p)
+                    .payload(1_000_000)
+                    .secs(SIM_SECS);
+                check(&run(&s));
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_fig2,
+    bench_fig6a,
+    bench_fig6b,
+    bench_fig6c,
+    bench_fig6d,
+    bench_fig6e
+);
+criterion_main!(benches);

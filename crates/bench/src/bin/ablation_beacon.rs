@@ -1,0 +1,66 @@
+//! **Ablation**: round-robin rotation vs. a seeded random beacon.
+//!
+//! The protocol specifies a random-beacon permutation per round (§3/§4);
+//! the paper's evaluation swaps in round-robin "to increase predictability
+//! and transparency" (§9.1, substitution R3 in DESIGN.md). On a symmetric
+//! topology the choice should not matter; on the heterogeneous 19-DC
+//! global network it shifts which replicas lead how often within a finite
+//! run, moving the mean a little. Either way: same safety, same fast-path
+//! share.
+//!
+//! Run: `cargo run --release -p banyan-bench --bin ablation_beacon [secs]`
+
+use banyan_bench::runner::{header, human_bytes, row, Outcome};
+use banyan_core::builder::ClusterBuilder;
+use banyan_simnet::faults::FaultPlan;
+use banyan_simnet::metrics::LatencyStats;
+use banyan_simnet::sim::{SimConfig, Simulation};
+use banyan_simnet::topology::Topology;
+use banyan_types::ids::ReplicaId;
+use banyan_types::time::{Duration, Time};
+
+fn run_with_beacon(seeded: Option<u64>, topo: &Topology, payload: u64, secs: u64) -> Outcome {
+    let delta = topo.max_one_way() + Duration::from_millis(10);
+    let mut builder = ClusterBuilder::new(topo.n(), 6, 1)
+        .unwrap()
+        .delta(delta)
+        .payload_size(payload);
+    if let Some(seed) = seeded {
+        builder = builder.seeded_beacon(seed);
+    }
+    let engines = builder.build_banyan();
+    let mut sim =
+        Simulation::new(topo.clone(), engines, FaultPlan::none(), SimConfig::with_seed(42));
+    sim.run_until(Time(Duration::from_secs(secs).as_nanos()));
+    let m = sim.metrics();
+    let intervals = m.block_intervals(ReplicaId(0));
+    Outcome {
+        latency: m.proposer_latency_stats(),
+        throughput_mbps: m.throughput_bps(ReplicaId(0)) / 1e6,
+        block_interval_ms: LatencyStats::from_samples(&intervals).mean_ms,
+        fast_share: m.fast_path_share(ReplicaId(0)),
+        committed_rounds: sim.auditor().committed_rounds(),
+        messages: m.messages_sent,
+        bytes: m.bytes_sent,
+        safe: sim.auditor().is_safe(),
+    }
+}
+
+fn main() {
+    let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let payload = 400_000u64;
+    let topo = Topology::nineteen_global();
+    println!(
+        "# Ablation — leader schedule, banyan f=6 p=1, 19 global DCs, {} blocks, {secs}s",
+        human_bytes(payload)
+    );
+    println!("{}", header());
+    let rr = run_with_beacon(None, &topo, payload, secs);
+    assert!(rr.safe);
+    println!("{}", row("round-robin", payload, &rr));
+    for seed in [1u64, 2, 3] {
+        let out = run_with_beacon(Some(seed), &topo, payload, secs);
+        assert!(out.safe);
+        println!("{}", row(&format!("beacon seed={seed}"), payload, &out));
+    }
+}

@@ -1,0 +1,45 @@
+//! **Ablation**: sensitivity to the `Δ` bound.
+//!
+//! §9.2: the paper sets Δ_prop/Δ_notary "larger than the message delay
+//! experienced without network disruptions". This harness shows what
+//! happens when Δ is set too small (higher-rank blocks start competing
+//! with the leader's) or generously large (no cost in the fault-free
+//! case, because delays only gate *non-leader* proposals — optimistic
+//! responsiveness).
+//!
+//! Run: `cargo run --release -p banyan-bench --bin ablation_delta [secs]`
+
+use banyan_bench::runner::{header, row, run, Scenario};
+use banyan_simnet::topology::Topology;
+use banyan_types::time::Duration;
+
+fn main() {
+    let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let payload = 400_000u64;
+    let topo = Topology::four_global_4();
+    let base = topo.max_one_way();
+    println!(
+        "# Ablation — Δ sensitivity, n=4 global, 400KB, {secs}s (max one-way = {:.1} ms)",
+        base.as_millis_f64()
+    );
+    println!("{}", header());
+    for (label_suffix, factor_num, factor_den) in
+        [("0.25x", 1u64, 4u64), ("0.5x", 1, 2), ("1x", 1, 1), ("2x", 2, 1), ("4x", 4, 1)]
+    {
+        for protocol in ["banyan", "icc"] {
+            let delta = Duration(base.as_nanos() * factor_num / factor_den);
+            let label = format!("{protocol} Δ={label_suffix}");
+            let scenario = Scenario::new(protocol, topo.clone(), 1, 1)
+                .payload(payload)
+                .secs(secs)
+                .seed(42)
+                .delta(delta);
+            let out = run(&scenario);
+            assert!(out.safe, "safety violation in {label}");
+            println!("{}", row(&label, payload, &out));
+        }
+        println!();
+    }
+    println!("(too-small Δ lets higher ranks propose before the leader's block lands:");
+    println!(" extra blocks, extra traffic, possible slow-path rounds — but never unsafety)");
+}

@@ -1,0 +1,31 @@
+//! **Ablation**: tip forwarding on/off.
+//!
+//! §9.1 of the paper: "by forwarding blocks that extend the tip of the
+//! chain, we drastically improve the performance of all algorithms
+//! implemented with Bamboo". This harness quantifies that choice for
+//! Banyan and ICC on the n = 19 global testbed.
+//!
+//! Run: `cargo run --release -p banyan-bench --bin ablation_forwarding [secs]`
+
+use banyan_bench::runner::{header, row, run, Scenario};
+use banyan_simnet::topology::Topology;
+
+fn main() {
+    let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+    println!("# Ablation — tip forwarding, n=19 across 4 global datacenters, 400KB, {secs}s");
+    println!("{}", header());
+    for (protocol, f, p) in [("banyan", 6usize, 1usize), ("icc", 6, 1)] {
+        for forwarding in [true, false] {
+            let label = format!("{protocol} fwd={}", if forwarding { "on" } else { "off" });
+            let scenario = Scenario::new(protocol, Topology::four_global_19(), f, p)
+                .payload(400_000)
+                .secs(secs)
+                .seed(42)
+                .forwarding(forwarding);
+            let out = run(&scenario);
+            assert!(out.safe, "safety violation in {label}");
+            println!("{}", row(&label, 400_000, &out));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,46 @@
+//! **Ablation**: the fast-path parameter `p`.
+//!
+//! With n = 19 fixed, several `(f, p)` trade-offs are legal
+//! (`n ≥ max(3f + 2p − 1, 3f + 1)`). Larger `p` means the fast path
+//! tolerates more stragglers (fires with `n − p` votes) at the cost of
+//! lower Byzantine resilience `f`. §9.3 argues p = f = 4 gets within 25%
+//! of the theoretical maximum because co-located stragglers drop out of
+//! the fast quorum.
+//!
+//! Run: `cargo run --release -p banyan-bench --bin ablation_p_sweep [secs]`
+
+use banyan_bench::runner::{header, row, run, Scenario};
+use banyan_simnet::topology::Topology;
+use banyan_types::config::ProtocolConfig;
+
+fn main() {
+    let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let payload = 400_000u64;
+    println!("# Ablation — p sweep at n=19, 4 global datacenters, 400KB, {secs}s");
+    println!("{}", header());
+    // All (f, p) with p ∈ [1, f] that fit n = 19, preferring max f per p.
+    let mut combos: Vec<(usize, usize)> = Vec::new();
+    for p in 1..=6usize {
+        let f = ProtocolConfig::max_faults(19, p);
+        if f >= p && !combos.contains(&(f, p)) {
+            combos.push((f, p));
+        }
+    }
+    for (f, p) in combos {
+        let label = format!("banyan f={f} p={p}");
+        let scenario = Scenario::new("banyan", Topology::four_global_19(), f, p)
+            .payload(payload)
+            .secs(secs)
+            .seed(42);
+        let out = run(&scenario);
+        assert!(out.safe, "safety violation in {label}");
+        println!("{}", row(&label, payload, &out));
+    }
+    // ICC reference.
+    let scenario = Scenario::new("icc", Topology::four_global_19(), 6, 1)
+        .payload(payload)
+        .secs(secs)
+        .seed(42);
+    let out = run(&scenario);
+    println!("{}", row("icc f=6 (reference)", payload, &out));
+}

@@ -1,0 +1,44 @@
+//! **Ablation**: the Remark 7.8 fast-vote piggyback.
+//!
+//! "It is possible to omit sending a corresponding notarization vote when
+//! a fast vote is sent. A notarization then consists of two
+//! multi-signatures." This saves one 64-byte signature per replica per
+//! round in the happy path; this harness quantifies the byte savings and
+//! confirms latency is untouched.
+//!
+//! Run: `cargo run --release -p banyan-bench --bin ablation_piggyback [secs]`
+
+use banyan_bench::runner::{header, row, run, Scenario};
+use banyan_simnet::topology::Topology;
+
+fn main() {
+    let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+    println!("# Ablation — Remark 7.8 fast-vote piggyback, banyan f=6 p=1, {secs}s");
+    println!("{}", header());
+    for (topo_label, topo, payload) in [
+        ("4 global DCs n=19", Topology::four_global_19(), 400_000u64),
+        ("19 global DCs", Topology::nineteen_global(), 400_000),
+    ] {
+        let mut bytes = Vec::new();
+        for piggyback in [false, true] {
+            let label = format!("piggyback={}", if piggyback { "on" } else { "off" });
+            let scenario = Scenario::new("banyan", topo.clone(), 6, 1)
+                .payload(payload)
+                .secs(secs)
+                .seed(42)
+                .piggyback(piggyback);
+            let out = run(&scenario);
+            assert!(out.safe, "safety violation with piggyback={piggyback}");
+            println!("{}", row(&format!("{topo_label} {label}"), payload, &out));
+            bytes.push((out.bytes, out.messages));
+        }
+        let saved = bytes[0].0 as f64 - bytes[1].0 as f64;
+        println!(
+            "  -> bytes saved: {:.2} MB ({:.2}%), messages: {} -> {}\n",
+            saved / 1e6,
+            saved / bytes[0].0 as f64 * 100.0,
+            bytes[0].1,
+            bytes[1].1
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! `explore`: run any protocol on any testbed with custom parameters.
+//!
+//! ```sh
+//! cargo run --release -p banyan-bench --bin explore -- \
+//!     --protocol banyan --topology four_global_19 --f 6 --p 1 \
+//!     --payload 400000 --secs 60 --seed 42 --crashes 2
+//! ```
+//!
+//! Flags (all optional):
+//! * `--protocol`  banyan | icc | hotstuff | streamlet   (default banyan)
+//! * `--topology`  four_global_19 | four_global_4 | four_us_19 |
+//!   nineteen_global | uniform:<n>:<one-way-ms>          (default four_global_4)
+//! * `--f`, `--p`  fault bound and fast-path parameter   (default 1, 1)
+//! * `--payload`   block size in bytes                   (default 100000)
+//! * `--secs`      simulated seconds                     (default 30)
+//! * `--seed`      simulation seed                       (default 42)
+//! * `--crashes`   crash this many replicas (spread) at t=0
+//! * `--delta-ms`  override Δ in milliseconds
+//! * `--no-forwarding`, `--piggyback`                    feature toggles
+
+use banyan_bench::runner::{header, row, run, Scenario};
+use banyan_simnet::faults::FaultPlan;
+use banyan_simnet::topology::Topology;
+use banyan_types::time::{Duration, Time};
+
+fn parse_topology(spec: &str) -> Topology {
+    match spec {
+        "four_global_19" => Topology::four_global_19(),
+        "four_global_4" => Topology::four_global_4(),
+        "four_us_19" => Topology::four_us_19(),
+        "nineteen_global" => Topology::nineteen_global(),
+        other => {
+            if let Some(rest) = other.strip_prefix("uniform:") {
+                let mut it = rest.split(':');
+                let n: usize = it.next().and_then(|s| s.parse().ok()).expect("uniform:<n>:<ms>");
+                let ms: u64 = it.next().and_then(|s| s.parse().ok()).expect("uniform:<n>:<ms>");
+                Topology::uniform(n, Duration::from_millis(ms))
+            } else {
+                panic!("unknown topology {other:?}");
+            }
+        }
+    }
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let protocol = flag_value(&args, "--protocol").unwrap_or_else(|| "banyan".into());
+    let topology = parse_topology(
+        &flag_value(&args, "--topology").unwrap_or_else(|| "four_global_4".into()),
+    );
+    let f: usize = flag_value(&args, "--f").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let p: usize = flag_value(&args, "--p").and_then(|s| s.parse().ok()).unwrap_or(1);
+    let payload: u64 =
+        flag_value(&args, "--payload").and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let secs: u64 = flag_value(&args, "--secs").and_then(|s| s.parse().ok()).unwrap_or(30);
+    let seed: u64 = flag_value(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let crashes: usize = flag_value(&args, "--crashes").and_then(|s| s.parse().ok()).unwrap_or(0);
+
+    let n = topology.n();
+    let mut scenario = Scenario::new(&protocol, topology, f, p)
+        .payload(payload)
+        .secs(secs)
+        .seed(seed)
+        .forwarding(!args.iter().any(|a| a == "--no-forwarding"))
+        .piggyback(args.iter().any(|a| a == "--piggyback"));
+    if let Some(ms) = flag_value(&args, "--delta-ms").and_then(|s| s.parse::<u64>().ok()) {
+        scenario = scenario.delta(Duration::from_millis(ms));
+    }
+    if crashes > 0 {
+        scenario = scenario.faults(FaultPlan::none().crash_spread(crashes, n, Time::ZERO));
+    }
+
+    println!(
+        "# explore — {protocol} on n={n} (f={f}, p={p}), {payload}B blocks, {secs}s, seed {seed}, {crashes} crashed"
+    );
+    println!("{}", header());
+    let out = run(&scenario);
+    println!("{}", row(&protocol, payload, &out));
+    println!(
+        "\nblock interval {:.0} ms · {} msgs · {:.1} MB on the wire · latency p99 {:.1} ms",
+        out.block_interval_ms,
+        out.messages,
+        out.bytes as f64 / 1e6,
+        out.latency.p99_ms,
+    );
+    if !out.safe {
+        eprintln!("SAFETY VIOLATION DETECTED — this is a bug, please report it");
+        std::process::exit(1);
+    }
+}

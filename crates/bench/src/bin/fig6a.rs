@@ -1,0 +1,36 @@
+//! **Figure 6a**: throughput vs. proposal latency for n = 19 replicas
+//! spread across 4 global datacenters (5 + 5 + 5 + 4), varying block size.
+//!
+//! Paper reference points (§9.3): at 400 KB blocks, ICC averages 239 ms,
+//! Banyan (f=6, p=1) 216 ms (≈10% better), Banyan (f=4, p=4) 179 ms
+//! (25.1% better — closer to the theoretical 33% because the fast path can
+//! exclude the furthest co-located stragglers).
+//!
+//! Run: `cargo run --release -p banyan-bench --bin fig6a [secs]`
+
+use banyan_bench::runner::{header, row, run, Scenario};
+use banyan_simnet::topology::Topology;
+
+fn main() {
+    let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+    println!("# Figure 6a — n=19 across 4 global datacenters (5/5/5/4), {secs}s per point");
+    println!("{}", header());
+    for payload in [100_000u64, 200_000, 400_000, 800_000, 1_600_000] {
+        for (label, protocol, f, p) in [
+            ("banyan f=6 p=1", "banyan", 6usize, 1usize),
+            ("banyan f=4 p=4", "banyan", 4, 4),
+            ("icc f=6", "icc", 6, 1),
+            ("hotstuff f=6", "hotstuff", 6, 1),
+            ("streamlet f=6", "streamlet", 6, 1),
+        ] {
+            let scenario = Scenario::new(protocol, Topology::four_global_19(), f, p)
+                .payload(payload)
+                .secs(secs)
+                .seed(42);
+            let out = run(&scenario);
+            assert!(out.safe, "safety violation in {label}");
+            println!("{}", row(label, payload, &out));
+        }
+        println!();
+    }
+}

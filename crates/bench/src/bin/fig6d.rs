@@ -1,0 +1,58 @@
+//! **Figure 6d**: effect of crash-faults on throughput and block intervals
+//! for n = 19 replicas spread across 4 US datacenters.
+//!
+//! The paper's setup (§9.4): timeout 3 s; rotating-leader protocols lose a
+//! full timeout whenever a crashed replica's turn comes. Claim: "there are
+//! no penalties in trying to take the fast path — when there are failures,
+//! the performance of Banyan is exactly the one of ICC."
+//!
+//! We crash 0, 2, 4, 6 replicas at t = 0 and report throughput and mean
+//! block interval for Banyan vs ICC.
+//!
+//! Run: `cargo run --release -p banyan-bench --bin fig6d [secs]`
+
+use banyan_bench::runner::{human_bytes, run, Scenario};
+use banyan_simnet::faults::FaultPlan;
+use banyan_simnet::topology::Topology;
+use banyan_types::time::{Duration, Time};
+
+fn main() {
+    let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let payload = 400_000u64;
+    println!(
+        "# Figure 6d — crash faults, n=19 across 4 US datacenters, {} blocks, {secs}s, timeout 3s",
+        human_bytes(payload)
+    );
+    println!(
+        "{:<14} {:>8} {:>10} {:>12} {:>12} {:>8} {:>6}",
+        "protocol", "crashed", "MB/s", "interval", "lat.mean", "rounds", "safe"
+    );
+    for crashed in [0usize, 2, 4, 6] {
+        for (label, protocol) in [("banyan f=6 p=1", "banyan"), ("icc f=6", "icc")] {
+            let faults = FaultPlan::none().crash_spread(crashed, 19, Time::ZERO);
+            // The paper sets the timeout to 3 s: the notarization delay for
+            // rank-1 blocks (2Δ) is what gates recovery from a crashed
+            // leader, so Δ = 1.5 s.
+            let scenario = Scenario::new(protocol, Topology::four_us_19(), 6, 1)
+                .payload(payload)
+                .secs(secs)
+                .seed(42)
+                .delta(Duration::from_millis(1_500))
+                .faults(faults)
+                .timeout(Duration::from_secs(3));
+            let out = run(&scenario);
+            assert!(out.safe, "safety violation in {label}");
+            println!(
+                "{:<14} {:>8} {:>10.2} {:>10.0}ms {:>10.1}ms {:>8} {:>6}",
+                label,
+                crashed,
+                out.throughput_mbps,
+                out.block_interval_ms,
+                out.latency.mean_ms,
+                out.committed_rounds,
+                if out.safe { "ok" } else { "UNSAFE" },
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,34 @@
+//! **Figure 6e**: throughput vs. proposal latency for n = 19 replicas
+//! spread across a global network of 19 datacenters (one each).
+//!
+//! Paper reference points (§9.5), 1 MB payloads: ICC 384 ms; Banyan
+//! (f=6, p=1) 362 ms (−5.8%, "for free"); Banyan (f=4, p=4) 324 ms (−16%).
+//!
+//! Run: `cargo run --release -p banyan-bench --bin fig6e [secs]`
+
+use banyan_bench::runner::{header, row, run, Scenario};
+use banyan_simnet::topology::Topology;
+
+fn main() {
+    let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+    println!("# Figure 6e — n=19, one replica in each of 19 global datacenters, {secs}s per point");
+    println!("{}", header());
+    for payload in [250_000u64, 500_000, 1_000_000, 2_000_000] {
+        for (label, protocol, f, p) in [
+            ("banyan f=6 p=1", "banyan", 6usize, 1usize),
+            ("banyan f=4 p=4", "banyan", 4, 4),
+            ("icc f=6", "icc", 6, 1),
+            ("hotstuff f=6", "hotstuff", 6, 1),
+            ("streamlet f=6", "streamlet", 6, 1),
+        ] {
+            let scenario = Scenario::new(protocol, Topology::nineteen_global(), f, p)
+                .payload(payload)
+                .secs(secs)
+                .seed(42);
+            let out = run(&scenario);
+            assert!(out.safe, "safety violation in {label}");
+            println!("{}", row(label, payload, &out));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,51 @@
+//! **Table 1**: analytic comparison of SMR protocols, plus measured
+//! validation of the four implemented ones.
+//!
+//! The analytic half reproduces the paper's table from closed-form
+//! latencies and requirements (see `banyan_core::model`). The measured
+//! half runs each implemented protocol on a uniform-δ topology and
+//! reports latency/δ — which should land on the analytic step count.
+//!
+//! Run: `cargo run --release -p banyan-bench --bin table1`
+
+use banyan_bench::runner::{run, Scenario};
+use banyan_core::model::render_table1;
+use banyan_simnet::topology::Topology;
+use banyan_types::time::Duration;
+
+fn main() {
+    println!("# Table 1 (analytic) — instantiated at f=6, p*=1 (the paper's n=19 scenario)\n");
+    println!("{}", render_table1(6, 1));
+    println!("# Table 1 (analytic) — instantiated at f=4, p*=4\n");
+    println!("{}", render_table1(4, 4));
+
+    println!("# Measured step counts (uniform δ = 50 ms, n = 4, f = p = 1, tiny payload)\n");
+    let one_way = 50u64;
+    println!(
+        "{:<12} {:>12} {:>10} {:>10}",
+        "protocol", "lat.mean", "steps", "analytic"
+    );
+    for (protocol, analytic) in
+        [("banyan", "2δ"), ("icc", "3δ"), ("hotstuff", "≥6δ"), ("streamlet", "6Δ")]
+    {
+        let scenario = Scenario::new(
+            protocol,
+            Topology::uniform(4, Duration::from_millis(one_way)),
+            1,
+            1,
+        )
+        .payload(1_000)
+        .delta(Duration::from_millis(one_way * 3 / 2))
+        .secs(30)
+        .seed(42);
+        let out = run(&scenario);
+        assert!(out.safe);
+        println!(
+            "{:<12} {:>10.1}ms {:>10.2} {:>10}",
+            protocol,
+            out.latency.mean_ms,
+            out.latency.mean_ms / one_way as f64,
+            analytic
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Benchmark & paper-reproduction harness for the Banyan reproduction.
+//!
+//! * [`runner`] — the shared scenario runner (all experiments use the same
+//!   measurement methodology, §9.2 of the paper);
+//! * one binary per paper table/figure under `src/bin/` (see `DESIGN.md`
+//!   for the experiment index);
+//! * Criterion benches under `benches/` exercising scaled-down versions of
+//!   each experiment plus microbenchmarks of the substrates.
+
+pub mod runner;
+
+pub use runner::{header, human_bytes, row, run, Outcome, Scenario};

@@ -1,0 +1,257 @@
+//! Shared experiment runner: one [`Scenario`] in, one [`Outcome`] out.
+//!
+//! Every figure/table harness and every Criterion macro-bench goes through
+//! this module, so all experiments share the same measurement methodology
+//! (§9.2 of the paper): proposer-measured finalization latency, committed
+//! bytes per second at a non-faulty replica, per-replica block intervals.
+
+use banyan_core::builder::ClusterBuilder;
+use banyan_simnet::faults::FaultPlan;
+use banyan_simnet::metrics::LatencyStats;
+use banyan_simnet::sim::{SimConfig, Simulation};
+use banyan_simnet::topology::Topology;
+use banyan_types::ids::ReplicaId;
+use banyan_types::time::{Duration, Time};
+
+/// A fully specified experiment.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// "banyan", "icc", "hotstuff" or "streamlet".
+    pub protocol: String,
+    /// Where the replicas sit.
+    pub topology: Topology,
+    /// Fault bound `f`.
+    pub f: usize,
+    /// Fast-path parameter `p`.
+    pub p: usize,
+    /// Payload bytes per block (the paper's block size knob).
+    pub payload: u64,
+    /// Protocol `Δ`; `None` picks `max one-way delay + 10 ms` per §9.2
+    /// ("larger than the message delay experienced without network
+    /// disruptions").
+    pub delta: Option<Duration>,
+    /// Simulated duration (the paper runs 120 s; scaled-down runs are fine
+    /// for CI).
+    pub secs: u64,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Fault schedule.
+    pub faults: FaultPlan,
+    /// Tip forwarding on/off (§9.1 optimization; on by default).
+    pub forwarding: bool,
+    /// Remark 7.8 fast-vote piggyback (off by default, matching the
+    /// paper's evaluated variant).
+    pub piggyback: bool,
+    /// View/epoch timeout for baselines and crash recovery.
+    pub timeout: Duration,
+}
+
+impl Scenario {
+    /// A scenario with the defaults the paper's §9.3 experiments use.
+    pub fn new(protocol: &str, topology: Topology, f: usize, p: usize) -> Self {
+        Scenario {
+            protocol: protocol.to_string(),
+            topology,
+            f,
+            p,
+            payload: 0,
+            delta: None,
+            secs: 30,
+            seed: 42,
+            faults: FaultPlan::none(),
+            forwarding: true,
+            piggyback: false,
+            timeout: Duration::from_secs(3),
+        }
+    }
+
+    /// Sets the payload size.
+    pub fn payload(mut self, bytes: u64) -> Self {
+        self.payload = bytes;
+        self
+    }
+
+    /// Sets the simulated duration in seconds.
+    pub fn secs(mut self, secs: u64) -> Self {
+        self.secs = secs;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the fault plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides `Δ`.
+    pub fn delta(mut self, delta: Duration) -> Self {
+        self.delta = Some(delta);
+        self
+    }
+
+    /// Toggles tip forwarding.
+    pub fn forwarding(mut self, on: bool) -> Self {
+        self.forwarding = on;
+        self
+    }
+
+    /// Toggles the Remark 7.8 fast-vote piggyback.
+    pub fn piggyback(mut self, on: bool) -> Self {
+        self.piggyback = on;
+        self
+    }
+
+    /// Sets the baseline view/epoch timeout.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+}
+
+/// Aggregated results of one scenario run.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Proposer-measured finalization latency (the paper's latency metric).
+    pub latency: LatencyStats,
+    /// Committed payload bytes per second at the best non-faulty replica,
+    /// in MB/s.
+    pub throughput_mbps: f64,
+    /// Mean interval between commits at a non-faulty replica, ms.
+    pub block_interval_ms: f64,
+    /// Share of explicit commits taken via the fast path at a non-faulty
+    /// replica (0 for non-Banyan protocols).
+    pub fast_share: f64,
+    /// Rounds with at least one committed block.
+    pub committed_rounds: usize,
+    /// Network messages sent.
+    pub messages: u64,
+    /// Network bytes sent.
+    pub bytes: u64,
+    /// No safety violation observed (must always be true).
+    pub safe: bool,
+}
+
+/// Runs a scenario to completion.
+///
+/// # Panics
+///
+/// Panics if the scenario's `(n, f, p)` triple is invalid.
+pub fn run(scenario: &Scenario) -> Outcome {
+    let n = scenario.topology.n();
+    let delta = scenario
+        .delta
+        .unwrap_or_else(|| scenario.topology.max_one_way() + Duration::from_millis(10));
+    let builder = ClusterBuilder::new(n, scenario.f, scenario.p)
+        .expect("valid (n, f, p)")
+        .delta(delta)
+        .payload_size(scenario.payload)
+        .forwarding(scenario.forwarding)
+        .piggyback(scenario.piggyback)
+        .baseline_timeout(scenario.timeout);
+    let engines = builder.build(&scenario.protocol);
+    let mut sim = Simulation::new(
+        scenario.topology.clone(),
+        engines,
+        scenario.faults.clone(),
+        SimConfig::with_seed(scenario.seed),
+    );
+    sim.run_until(Time(Duration::from_secs(scenario.secs).as_nanos()));
+
+    // Report at the first replica that never crashes.
+    let crashed = scenario.faults.crashed_replicas();
+    let observer = (0..n as u16)
+        .map(ReplicaId)
+        .find(|r| !crashed.contains(r))
+        .expect("at least one live replica");
+
+    let m = sim.metrics();
+    let intervals = m.block_intervals(observer);
+    let interval_stats = LatencyStats::from_samples(&intervals);
+    Outcome {
+        latency: m.proposer_latency_stats(),
+        throughput_mbps: m.throughput_bps(observer) / 1e6,
+        block_interval_ms: interval_stats.mean_ms,
+        fast_share: m.fast_path_share(observer),
+        committed_rounds: sim.auditor().committed_rounds(),
+        messages: m.messages_sent,
+        bytes: m.bytes_sent,
+        safe: sim.auditor().is_safe(),
+    }
+}
+
+/// Formats a standard result row (used by all harnesses for consistency).
+pub fn row(label: &str, payload: u64, out: &Outcome) -> String {
+    format!(
+        "{:<22} {:>9} {:>10.1} {:>9.1} {:>9.1} {:>10.2} {:>7.0}% {:>8} {:>6}",
+        label,
+        human_bytes(payload),
+        out.latency.mean_ms,
+        out.latency.p50_ms,
+        out.latency.p90_ms,
+        out.throughput_mbps,
+        out.fast_share * 100.0,
+        out.committed_rounds,
+        if out.safe { "ok" } else { "UNSAFE" },
+    )
+}
+
+/// Header matching [`row`].
+pub fn header() -> String {
+    format!(
+        "{:<22} {:>9} {:>10} {:>9} {:>9} {:>10} {:>8} {:>8} {:>6}",
+        "protocol", "payload", "lat.mean", "lat.p50", "lat.p90", "MB/s", "fast", "rounds", "safe"
+    )
+}
+
+/// Human-readable byte count (e.g. "400KB").
+pub fn human_bytes(bytes: u64) -> String {
+    if bytes >= 1_000_000 {
+        format!("{:.1}MB", bytes as f64 / 1e6)
+    } else if bytes >= 1_000 {
+        format!("{}KB", bytes / 1_000)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_builder_chains() {
+        let s = Scenario::new("banyan", Topology::uniform(4, Duration::from_millis(10)), 1, 1)
+            .payload(1000)
+            .secs(5)
+            .seed(7)
+            .forwarding(false);
+        assert_eq!(s.payload, 1000);
+        assert_eq!(s.secs, 5);
+        assert!(!s.forwarding);
+    }
+
+    #[test]
+    fn quick_run_produces_commits() {
+        let s = Scenario::new("banyan", Topology::uniform(4, Duration::from_millis(5)), 1, 1)
+            .payload(100)
+            .secs(3);
+        let out = run(&s);
+        assert!(out.safe);
+        assert!(out.committed_rounds > 10);
+        assert!(out.latency.count > 5);
+        assert!(out.throughput_mbps > 0.0);
+    }
+
+    #[test]
+    fn human_bytes_formats() {
+        assert_eq!(human_bytes(500), "500B");
+        assert_eq!(human_bytes(400_000), "400KB");
+        assert_eq!(human_bytes(1_500_000), "1.5MB");
+    }
+}

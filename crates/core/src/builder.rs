@@ -1,0 +1,268 @@
+//! Cluster construction: wire engines, PKI and beacon together.
+//!
+//! Everything the harnesses and tests need to stand up an `n`-replica
+//! cluster of any of the four protocols with one call chain.
+
+use std::sync::Arc;
+
+use banyan_crypto::beacon::{Beacon, BeaconMode};
+use banyan_crypto::hashsig::HashSig;
+use banyan_crypto::registry::KeyRegistry;
+use banyan_crypto::sig::SignatureScheme;
+use banyan_types::config::{ConfigError, ProtocolConfig};
+use banyan_types::engine::Engine;
+use banyan_types::time::Duration;
+
+use crate::chained::{ByzantineMode, ChainedEngine, PathMode};
+use crate::hotstuff::HotStuffEngine;
+use crate::streamlet::StreamletEngine;
+
+/// Fluent builder for homogeneous clusters.
+///
+/// # Examples
+///
+/// ```
+/// use banyan_core::builder::ClusterBuilder;
+/// use banyan_types::time::Duration;
+///
+/// let engines = ClusterBuilder::new(19, 6, 1)?
+///     .delta(Duration::from_millis(120))
+///     .payload_size(400_000)
+///     .build_banyan();
+/// assert_eq!(engines.len(), 19);
+/// # Ok::<(), banyan_types::config::ConfigError>(())
+/// ```
+#[derive(Clone)]
+pub struct ClusterBuilder {
+    cfg: ProtocolConfig,
+    scheme: Arc<dyn SignatureScheme>,
+    cluster_seed: u64,
+    beacon_mode: BeaconMode,
+    payload_size: u64,
+    /// View/epoch timeout for the baseline protocols.
+    baseline_timeout: Duration,
+    /// Per-replica Byzantine behaviors (chained engines only).
+    byzantine: Vec<(u16, ByzantineMode)>,
+}
+
+impl std::fmt::Debug for ClusterBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterBuilder")
+            .field("n", &self.cfg.n())
+            .field("f", &self.cfg.f())
+            .field("p", &self.cfg.p())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterBuilder {
+    /// Starts a builder for an `(n, f, p)` cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the parameters violate
+    /// `n ≥ max(3f + 2p − 1, 3f + 1)` or `p > f`.
+    pub fn new(n: usize, f: usize, p: usize) -> Result<Self, ConfigError> {
+        Ok(ClusterBuilder {
+            cfg: ProtocolConfig::new(n, f, p)?,
+            scheme: Arc::new(HashSig),
+            cluster_seed: 42,
+            beacon_mode: BeaconMode::RoundRobin,
+            payload_size: 0,
+            baseline_timeout: Duration::from_secs(3),
+            byzantine: Vec::new(),
+        })
+    }
+
+    /// Replaces the whole protocol configuration (advanced use).
+    pub fn config(mut self, cfg: ProtocolConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the `Δ` bound used in proposal/notarization delays.
+    pub fn delta(mut self, delta: Duration) -> Self {
+        self.cfg = self.cfg.clone().with_delta(delta);
+        self
+    }
+
+    /// Sets the payload size each proposer attaches (bytes).
+    pub fn payload_size(mut self, bytes: u64) -> Self {
+        self.payload_size = bytes;
+        self
+    }
+
+    /// Toggles tip forwarding (paper §9.1).
+    pub fn forwarding(mut self, on: bool) -> Self {
+        self.cfg = self.cfg.clone().with_forwarding(on);
+        self
+    }
+
+    /// Toggles signature verification.
+    pub fn verify_signatures(mut self, on: bool) -> Self {
+        self.cfg = self.cfg.clone().with_signature_verification(on);
+        self
+    }
+
+    /// Enables the Remark 7.8 fast-vote piggyback (Banyan only): omit the
+    /// notarization vote when a fast vote is sent; notarizations carry two
+    /// multi-signatures.
+    pub fn piggyback(mut self, on: bool) -> Self {
+        self.cfg = self.cfg.clone().with_piggyback(on);
+        self
+    }
+
+    /// Uses the seeded random-beacon permutation instead of round-robin.
+    pub fn seeded_beacon(mut self, seed: u64) -> Self {
+        self.beacon_mode = BeaconMode::Seeded { seed };
+        self
+    }
+
+    /// Sets the PKI cluster seed.
+    pub fn cluster_seed(mut self, seed: u64) -> Self {
+        self.cluster_seed = seed;
+        self
+    }
+
+    /// Uses a different signature scheme (default: `HashSig`).
+    pub fn scheme(mut self, scheme: Arc<dyn SignatureScheme>) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// View/epoch timeout for HotStuff/Streamlet (default 3 s, the paper's
+    /// §9.4 setting).
+    pub fn baseline_timeout(mut self, timeout: Duration) -> Self {
+        self.baseline_timeout = timeout;
+        self
+    }
+
+    /// Marks `replica` as Byzantine with the given behavior (chained
+    /// engines only).
+    pub fn byzantine(mut self, replica: u16, mode: ByzantineMode) -> Self {
+        self.byzantine.push((replica, mode));
+        self
+    }
+
+    /// The validated configuration.
+    pub fn protocol_config(&self) -> &ProtocolConfig {
+        &self.cfg
+    }
+
+    fn beacon(&self) -> Beacon {
+        Beacon::new(self.beacon_mode, self.cfg.n())
+    }
+
+    fn registry(&self, i: u16) -> KeyRegistry {
+        KeyRegistry::generate(self.scheme.clone(), self.cluster_seed, self.cfg.n(), i)
+    }
+
+    fn byz_mode(&self, i: u16) -> ByzantineMode {
+        self.byzantine
+            .iter()
+            .find(|(r, _)| *r == i)
+            .map(|(_, m)| *m)
+            .unwrap_or(ByzantineMode::Honest)
+    }
+
+    fn build_chained(&self, mode: PathMode) -> Vec<Box<dyn Engine>> {
+        (0..self.cfg.n() as u16)
+            .map(|i| {
+                let engine = ChainedEngine::new(
+                    self.cfg.clone(),
+                    mode,
+                    self.registry(i),
+                    self.beacon(),
+                    self.payload_size,
+                )
+                .with_byzantine(self.byz_mode(i));
+                Box::new(engine) as Box<dyn Engine>
+            })
+            .collect()
+    }
+
+    /// Builds an `n`-replica Banyan cluster.
+    pub fn build_banyan(&self) -> Vec<Box<dyn Engine>> {
+        self.build_chained(PathMode::Banyan)
+    }
+
+    /// Builds an `n`-replica ICC (slow-path-only) cluster.
+    pub fn build_icc(&self) -> Vec<Box<dyn Engine>> {
+        self.build_chained(PathMode::IccOnly)
+    }
+
+    /// Builds an `n`-replica chained-HotStuff cluster.
+    pub fn build_hotstuff(&self) -> Vec<Box<dyn Engine>> {
+        (0..self.cfg.n() as u16)
+            .map(|i| {
+                Box::new(HotStuffEngine::new(
+                    self.cfg.clone(),
+                    self.registry(i),
+                    self.beacon(),
+                    self.payload_size,
+                    self.baseline_timeout,
+                )) as Box<dyn Engine>
+            })
+            .collect()
+    }
+
+    /// Builds an `n`-replica Streamlet cluster. The epoch length is `2Δ`.
+    pub fn build_streamlet(&self) -> Vec<Box<dyn Engine>> {
+        let epoch_len = self.cfg.delta.saturating_mul(2);
+        (0..self.cfg.n() as u16)
+            .map(|i| {
+                Box::new(StreamletEngine::new(
+                    self.cfg.clone(),
+                    self.registry(i),
+                    self.beacon(),
+                    self.payload_size,
+                    epoch_len,
+                )) as Box<dyn Engine>
+            })
+            .collect()
+    }
+
+    /// Builds a cluster by protocol name ("banyan", "icc", "hotstuff",
+    /// "streamlet").
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown protocol name.
+    pub fn build(&self, protocol: &str) -> Vec<Box<dyn Engine>> {
+        match protocol {
+            "banyan" => self.build_banyan(),
+            "icc" => self.build_icc(),
+            "hotstuff" => self.build_hotstuff(),
+            "streamlet" => self.build_streamlet(),
+            other => panic!("unknown protocol {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_all_protocols() {
+        let b = ClusterBuilder::new(4, 1, 1).unwrap().payload_size(100);
+        for proto in ["banyan", "icc", "hotstuff", "streamlet"] {
+            let engines = b.build(proto);
+            assert_eq!(engines.len(), 4, "{proto}");
+            assert_eq!(engines[2].id().0, 2);
+            assert_eq!(engines[0].protocol_name(), proto);
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(ClusterBuilder::new(3, 1, 1).is_err());
+        assert!(ClusterBuilder::new(4, 1, 2).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown protocol")]
+    fn unknown_protocol_panics() {
+        let _ = ClusterBuilder::new(4, 1, 1).unwrap().build("pbft");
+    }
+}

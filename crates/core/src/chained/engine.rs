@@ -1,0 +1,1168 @@
+//! The ICC / Banyan engine — Algorithms 1 and 2 of the paper.
+//!
+//! Banyan "is defined by changes to the slow path algorithm (ICC)" (§7):
+//! Restrictions 1–2 and Additions 1–4. Both protocols therefore share one
+//! engine, parameterized by [`PathMode`]:
+//!
+//! * [`PathMode::IccOnly`] — pure slow path: no fast votes, no unlock
+//!   tracking (every block is trivially unlocked), finalization only via
+//!   `⌈(n+f+1)/2⌉` finalization votes.
+//! * [`PathMode::Banyan`] — the full protocol: fast votes piggyback on the
+//!   first notarization vote (Addition 3), rank-0 proposals carry the
+//!   proposer's fast vote (Addition 2), round advancement broadcasts an
+//!   unlock proof (Addition 1), and `n − p` fast votes FP-finalize a
+//!   rank-0 block (Addition 4). Validity and round advancement respect the
+//!   unlock conditions (Restrictions 1–2).
+//!
+//! The paper's claim that "even if the fast path is not effective, no
+//! penalties are incurred" (and Fig. 6d's "when there are failures, the
+//! performance of Banyan is exactly the one of ICC") is directly testable
+//! here: the two modes differ only in the fast-path hooks.
+//!
+//! A [`ByzantineMode`] knob turns a replica into one of the adversaries
+//! used by the safety test-suite (equivocating leader, silent leader,
+//! double fast-voter).
+
+use std::collections::{BTreeMap, HashMap};
+
+use banyan_crypto::beacon::Beacon;
+use banyan_crypto::registry::KeyRegistry;
+use banyan_crypto::Signature;
+use banyan_types::block::Block;
+use banyan_types::certs::{FinalKind, Finalization, Notarization, UnlockProof};
+use banyan_types::config::ProtocolConfig;
+use banyan_types::engine::{Actions, CommitEntry, Engine, TimerKind};
+use banyan_types::ids::{BlockHash, Rank, ReplicaId, Round};
+use banyan_types::message::{ChainedMsg, Message, SyncMsg};
+use banyan_types::payload::Payload;
+use banyan_types::time::Time;
+use banyan_types::vote::{Vote, VoteKind};
+
+use crate::store::BlockStore;
+
+use super::round::RoundState;
+
+/// Which protocol of the family to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PathMode {
+    /// Internet Computer Consensus: slow path only.
+    IccOnly,
+    /// Banyan: integrated fast + slow path.
+    Banyan,
+}
+
+/// Adversarial behaviors for safety/liveness testing. Honest replicas use
+/// [`ByzantineMode::Honest`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ByzantineMode {
+    /// Follow the protocol.
+    Honest,
+    /// When leader (rank 0), propose two conflicting blocks, sending each
+    /// to half of the peers (with a fast vote on each — the Lemma 8.1
+    /// scenario). Otherwise behave honestly.
+    EquivocateLeader,
+    /// When leader, propose nothing (forces higher ranks to fill the
+    /// round). Otherwise behave honestly.
+    SilentLeader,
+    /// Send fast votes for two different blocks when possible (violates
+    /// the one-fast-vote-per-round rule honest replicas follow).
+    DoubleFastVote,
+}
+
+/// How many rounds of state to keep behind the finalized tip.
+const PRUNE_WINDOW: u64 = 8;
+
+/// The ICC / Banyan replica engine. See the module docs.
+pub struct ChainedEngine {
+    cfg: ProtocolConfig,
+    mode: PathMode,
+    byz: ByzantineMode,
+    id: ReplicaId,
+    beacon: Beacon,
+    registry: KeyRegistry,
+    store: BlockStore,
+    rounds: BTreeMap<Round, RoundState>,
+    /// Current round `k`.
+    round: Round,
+    /// Highest explicitly finalized round (`kMax`).
+    k_max: Round,
+    /// Retained finalization certificates per round (also a broadcast
+    /// dedup: present ⇒ already broadcast).
+    finalizations: HashMap<Round, Finalization>,
+    /// Finalizations waiting for their block (or ancestors) to arrive.
+    pending_finalizations: Vec<Finalization>,
+    /// Hashes we already requested via sync (dedup).
+    sync_requested: std::collections::HashSet<BlockHash>,
+    /// Payload bytes per proposed block (the workload knob, §9.2).
+    payload_size: u64,
+    /// Counter making each proposed payload distinct.
+    payload_seed: u64,
+}
+
+impl std::fmt::Debug for ChainedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChainedEngine")
+            .field("id", &self.id)
+            .field("mode", &self.mode)
+            .field("round", &self.round)
+            .field("k_max", &self.k_max)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChainedEngine {
+    /// Creates a replica engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry's replica index disagrees with `beacon`'s
+    /// cluster size or the configuration's `n`.
+    pub fn new(
+        cfg: ProtocolConfig,
+        mode: PathMode,
+        registry: KeyRegistry,
+        beacon: Beacon,
+        payload_size: u64,
+    ) -> Self {
+        assert_eq!(beacon.n(), cfg.n(), "beacon sized for the cluster");
+        assert_eq!(registry.table().len(), cfg.n(), "registry sized for the cluster");
+        let id = ReplicaId(registry.my_index());
+        ChainedEngine {
+            cfg,
+            mode,
+            byz: ByzantineMode::Honest,
+            id,
+            beacon,
+            registry,
+            store: BlockStore::new(),
+            rounds: BTreeMap::new(),
+            round: Round(0),
+            k_max: Round::GENESIS,
+            finalizations: HashMap::new(),
+            pending_finalizations: Vec::new(),
+            sync_requested: std::collections::HashSet::new(),
+            payload_size,
+            payload_seed: 0,
+        }
+    }
+
+    /// Builder-style: sets an adversarial behavior.
+    pub fn with_byzantine(mut self, byz: ByzantineMode) -> Self {
+        self.byz = byz;
+        self
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.cfg
+    }
+
+    /// The path mode (ICC or Banyan).
+    pub fn mode(&self) -> PathMode {
+        self.mode
+    }
+
+    /// Highest explicitly finalized round.
+    pub fn finalized_round(&self) -> Round {
+        self.k_max
+    }
+
+    /// Read access to the block store (tests, tools).
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    // ------------------------------------------------------------------
+    // Small helpers
+    // ------------------------------------------------------------------
+
+    fn fast_path(&self) -> bool {
+        self.mode == PathMode::Banyan
+    }
+
+    fn round_state(&mut self, round: Round) -> &mut RoundState {
+        let n = self.cfg.n();
+        let thr = self.cfg.unlock_threshold();
+        self.rounds.entry(round).or_insert_with(|| RoundState::new(round, n, thr))
+    }
+
+    fn my_rank(&self, round: Round) -> Rank {
+        Rank(self.beacon.rank(round.0, self.id.0))
+    }
+
+    fn make_vote(&self, kind: VoteKind, round: Round, block: BlockHash) -> Vote {
+        let msg = Vote::signing_message(kind, round, &block);
+        Vote { kind, round, block, voter: self.id, signature: self.registry.sign(&msg) }
+    }
+
+    fn verify_vote(&self, vote: &Vote) -> bool {
+        if !self.cfg.verify_signatures {
+            return true;
+        }
+        self.registry.table().verify(vote.voter.0, &vote.message(), &vote.signature)
+    }
+
+    /// Is `hash` (a round-`round` block) unlocked for this replica?
+    /// In ICC mode every block is; genesis and finalized blocks always are
+    /// (Definition 7.6).
+    fn is_unlocked(&mut self, round: Round, hash: &BlockHash) -> bool {
+        if !self.fast_path() || BlockStore::is_genesis(hash) {
+            return true;
+        }
+        if self.store.is_finalized(round, hash) {
+            return true;
+        }
+        self.round_state(round).unlock.is_unlocked(hash)
+    }
+
+    /// Algorithm 2 line 62: `valid(b)` — extends a notarized and unlocked
+    /// round `k−1` block, is signed correctly (checked at receipt), and
+    /// carries the proposer's fast vote if rank 0 (Banyan).
+    fn is_valid(&mut self, hash: &BlockHash) -> bool {
+        let Some(block) = self.store.get(hash) else {
+            return false;
+        };
+        let (round, rank, parent) = (block.round, block.rank, block.parent);
+        if round == Round::GENESIS {
+            return false;
+        }
+        if round == Round(1) {
+            if !BlockStore::is_genesis(&parent) {
+                return false;
+            }
+        } else {
+            let Some(parent_block) = self.store.get(&parent) else {
+                return false;
+            };
+            if parent_block.round != round.prev() {
+                return false;
+            }
+        }
+        if !self.store.is_notarized(&parent) {
+            return false;
+        }
+        if !self.is_unlocked(round.prev(), &parent) {
+            return false;
+        }
+        if self.fast_path() && rank.is_leader() {
+            // Rank-0 blocks must carry the proposer's fast vote.
+            if !self.round_state(round).leader_fast_votes.contains_key(hash) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Asks peers for a block we hold certificates for but never received.
+    fn request_sync(&mut self, hash: BlockHash, actions: &mut Actions) {
+        if self.sync_requested.insert(hash) {
+            actions.broadcast(Message::Sync(SyncMsg::Request { hash }));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Round lifecycle
+    // ------------------------------------------------------------------
+
+    fn enter_round(&mut self, round: Round, now: Time, actions: &mut Actions) {
+        self.round = round;
+        let rank = self.my_rank(round);
+        let prop_delay = self.cfg.proposal_delay(rank.0);
+        let rs = self.round_state(round);
+        if rs.t0.is_none() {
+            rs.t0 = Some(now);
+        }
+        let skip_proposal = rs.proposed
+            || (self.byz == ByzantineMode::SilentLeader && rank.is_leader());
+        if !skip_proposal {
+            actions.arm(now + prop_delay, TimerKind::Propose { round: round.0 });
+        }
+        // Retransmission heartbeat: fires only if we are still stuck in
+        // this round by then (recovery from message loss).
+        actions.arm(now + self.cfg.heartbeat, TimerKind::RoundTimeout { round: round.0 });
+        // Bounded memory: drop state far behind the finalized tip.
+        if round.0 % 16 == 0 && self.k_max.0 > PRUNE_WINDOW {
+            let cutoff = Round(self.k_max.0 - PRUNE_WINDOW);
+            self.store.prune_below(cutoff);
+            self.rounds.retain(|r, _| *r >= cutoff);
+            self.finalizations.retain(|r, _| *r >= cutoff);
+        }
+    }
+
+    /// Algorithm 1 lines 23–31: propose a block for `round`.
+    fn propose(&mut self, round: Round, now: Time, actions: &mut Actions) {
+        if round != self.round {
+            return; // stale timer
+        }
+        if self.round_state(round).proposed {
+            return;
+        }
+        // Parent: a notarized (and unlocked) block of round − 1; prefer the
+        // finalized one, then lowest rank, then smallest hash.
+        let parent = self.pick_parent(round);
+        let Some(parent) = parent else {
+            return; // nothing extendable yet; a later event will retry via timers
+        };
+        self.round_state(round).proposed = true;
+
+        let rank = self.my_rank(round);
+        match self.byz {
+            ByzantineMode::EquivocateLeader if rank.is_leader() => {
+                self.propose_equivocating(round, parent, now, actions);
+            }
+            _ => {
+                let (hash, block, fast_vote) = self.build_block(round, rank, parent, now);
+                let msg = self.proposal_message(&block, &parent, fast_vote.as_ref());
+                self.adopt_block(hash, block, fast_vote, now, actions);
+                actions.broadcast(msg);
+            }
+        }
+    }
+
+    fn pick_parent(&mut self, round: Round) -> Option<BlockHash> {
+        let prev = round.prev();
+        if prev == Round::GENESIS {
+            return Some(BlockHash::ZERO);
+        }
+        if let Some(finalized) = self.store.finalized(prev) {
+            return Some(finalized);
+        }
+        let mut best: Option<(Rank, BlockHash)> = None;
+        for hash in self.store.round_blocks(prev).to_vec() {
+            if !self.store.is_notarized(&hash) || !self.is_unlocked(prev, &hash) {
+                continue;
+            }
+            let rank = self.store.get(&hash).map(|b| b.rank).unwrap_or(Rank(u16::MAX));
+            let candidate = (rank, hash);
+            best = Some(match best {
+                None => candidate,
+                Some(cur) if candidate < cur => candidate,
+                Some(cur) => cur,
+            });
+        }
+        best.map(|(_, h)| h)
+    }
+
+    fn build_block(
+        &mut self,
+        round: Round,
+        rank: Rank,
+        parent: BlockHash,
+        now: Time,
+    ) -> (BlockHash, Block, Option<Vote>) {
+        self.payload_seed += 1;
+        let seed = (self.id.0 as u64) << 48 | self.payload_seed;
+        let mut block = Block {
+            round,
+            proposer: self.id,
+            rank,
+            parent,
+            proposed_at: now,
+            payload: Payload::synthetic(self.payload_size, seed),
+            signature: Signature::zero(),
+        };
+        let hash = block.hash(self.cfg.payload_chunk);
+        block.signature = self.registry.sign(&Block::signing_message(&hash));
+        // Addition 2 / Algorithm 1 line 28: rank-0 proposals carry the
+        // proposer's fast vote.
+        let fast_vote = (self.fast_path() && rank.is_leader())
+            .then(|| self.make_vote(VoteKind::Fast, round, hash));
+        (hash, block, fast_vote)
+    }
+
+    fn proposal_message(
+        &mut self,
+        block: &Block,
+        parent: &BlockHash,
+        fast_vote: Option<&Vote>,
+    ) -> Message {
+        let parent_notarization = self.store.notarization(parent).cloned();
+        let parent_unlock = (self.fast_path() && block.round > Round(1)).then(|| {
+            let table = self.registry.table().clone();
+            self.round_state(block.round.prev()).unlock.build_proof(&table)
+        });
+        Message::Chained(ChainedMsg::Proposal {
+            block: block.clone(),
+            parent_notarization,
+            parent_unlock,
+            fast_vote: fast_vote.cloned(),
+        })
+    }
+
+    /// Applies our own (or a received) block to local state.
+    fn adopt_block(
+        &mut self,
+        hash: BlockHash,
+        block: Block,
+        fast_vote: Option<Vote>,
+        _now: Time,
+        _actions: &mut Actions,
+    ) {
+        let round = block.round;
+        let rank = block.rank;
+        let me = self.id;
+        self.store.insert(hash, block);
+        let rs = self.round_state(round);
+        rs.unlock.observe_block(hash, rank);
+        if let Some(v) = fast_vote {
+            rs.leader_fast_votes.insert(hash, v);
+            rs.unlock.add_fast_vote(hash, v.voter, v.signature);
+            if v.voter == me {
+                rs.fast_vote_sent = true;
+                rs.our_votes.push(v);
+            }
+        }
+    }
+
+    /// Byzantine: two conflicting rank-0 proposals, one per half of the
+    /// cluster.
+    fn propose_equivocating(
+        &mut self,
+        round: Round,
+        parent: BlockHash,
+        now: Time,
+        actions: &mut Actions,
+    ) {
+        let rank = self.my_rank(round);
+        let (hash_a, block_a, fast_a) = self.build_block(round, rank, parent, now);
+        let (hash_b, block_b, fast_b) = self.build_block(round, rank, parent, now);
+        debug_assert_ne!(hash_a, hash_b, "payload seeds differ");
+        let msg_a = self.proposal_message(&block_a, &parent, fast_a.as_ref());
+        let msg_b = self.proposal_message(&block_b, &parent, fast_b.as_ref());
+        // Keep block A locally; also track B so we can serve sync requests.
+        self.adopt_block(hash_a, block_a, fast_a, now, actions);
+        self.adopt_block(hash_b, block_b, fast_b, now, actions);
+        let n = self.cfg.n() as u16;
+        for peer in 0..n {
+            if peer == self.id.0 {
+                continue;
+            }
+            let msg = if peer % 2 == 0 { msg_a.clone() } else { msg_b.clone() };
+            actions.send(ReplicaId(peer), msg);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Message intake
+    // ------------------------------------------------------------------
+
+    fn handle_proposal(
+        &mut self,
+        block: Block,
+        parent_notarization: Option<Notarization>,
+        parent_unlock: Option<UnlockProof>,
+        fast_vote: Option<Vote>,
+        now: Time,
+        actions: &mut Actions,
+    ) {
+        // Attached evidence helps regardless of block validity.
+        if let Some(cert) = parent_notarization {
+            self.handle_notarization(cert, actions);
+        }
+        if let Some(proof) = parent_unlock {
+            self.merge_unlock_proof(proof);
+        }
+
+        if block.round == Round::GENESIS {
+            return;
+        }
+        let hash = block.hash(self.cfg.payload_chunk);
+        // Rank must match the beacon's permutation for the round.
+        let expected = Rank(self.beacon.rank(block.round.0, block.proposer.0));
+        if block.rank != expected {
+            return;
+        }
+        if self.cfg.verify_signatures
+            && !self.registry.table().verify(
+                block.proposer.0,
+                &Block::signing_message(&hash),
+                &block.signature,
+            )
+        {
+            return;
+        }
+        // The attached fast vote must be the proposer's, for this block.
+        let fast_vote = fast_vote.filter(|v| {
+            v.kind == VoteKind::Fast
+                && v.round == block.round
+                && v.block == hash
+                && v.voter == block.proposer
+                && self.verify_vote(v)
+        });
+        self.adopt_block(hash, block, fast_vote, now, actions);
+        self.sync_requested.remove(&hash);
+        self.progress(now, actions);
+    }
+
+    fn handle_votes(&mut self, votes: Vec<Vote>, now: Time, actions: &mut Actions) {
+        for vote in votes {
+            if !self.verify_vote(&vote) {
+                continue;
+            }
+            let rs = self.round_state(vote.round);
+            match vote.kind {
+                VoteKind::Notarize => {
+                    rs.notarize_votes.add(vote.block, vote.voter, vote.signature);
+                }
+                VoteKind::Finalize => {
+                    rs.finalize_votes.add(vote.block, vote.voter, vote.signature);
+                }
+                VoteKind::Fast => {
+                    rs.unlock.add_fast_vote(vote.block, vote.voter, vote.signature);
+                }
+            }
+        }
+        self.progress(now, actions);
+    }
+
+    fn handle_notarization(&mut self, cert: Notarization, actions: &mut Actions) {
+        if self.store.is_notarized(&cert.block) {
+            return;
+        }
+        if cert.vote_count() < self.cfg.notarization_quorum() {
+            return;
+        }
+        if self.cfg.verify_signatures {
+            let msg = Vote::signing_message(VoteKind::Notarize, cert.round, &cert.block);
+            if !self.registry.table().verify_aggregate(&msg, &cert.agg) {
+                return;
+            }
+            if let Some(fast_agg) = &cert.fast_agg {
+                // Remark 7.8: the second multi-signature covers fast votes.
+                let msg = Vote::signing_message(VoteKind::Fast, cert.round, &cert.block);
+                if !self.registry.table().verify_aggregate(&msg, fast_agg) {
+                    return;
+                }
+            }
+        }
+        // The fast votes inside a two-signature notarization are genuine
+        // fast votes: feed them to the unlock machinery too.
+        if let Some(fast_agg) = cert.fast_agg.clone() {
+            if self.fast_path() {
+                if let Some(rank) = self.store.get(&cert.block).map(|b| b.rank) {
+                    self.round_state(cert.round).unlock.add_certified(cert.block, rank, fast_agg);
+                }
+            }
+        }
+        let block = cert.block;
+        self.store.mark_notarized(block, Some(cert));
+        if !self.store.contains(&block) {
+            self.request_sync(block, actions);
+        }
+    }
+
+    fn merge_unlock_proof(&mut self, proof: UnlockProof) {
+        if !self.fast_path() {
+            return;
+        }
+        let table = self.registry.table().clone();
+        let verify = self.cfg.verify_signatures;
+        self.round_state(proof.round).unlock.merge_proof(&proof, &table, verify);
+    }
+
+    fn handle_finalization(&mut self, cert: Finalization, now: Time, actions: &mut Actions) {
+        if self.store.finalized(cert.round).is_some() {
+            return;
+        }
+        let quorum = match cert.kind {
+            FinalKind::Slow => self.cfg.finalization_quorum(),
+            FinalKind::Fast => self.cfg.fast_quorum(),
+        };
+        if cert.vote_count() < quorum {
+            return;
+        }
+        if cert.kind == FinalKind::Fast && !self.fast_path() {
+            return;
+        }
+        if self.cfg.verify_signatures {
+            let kind = match cert.kind {
+                FinalKind::Slow => VoteKind::Finalize,
+                FinalKind::Fast => VoteKind::Fast,
+            };
+            let msg = Vote::signing_message(kind, cert.round, &cert.block);
+            if !self.registry.table().verify_aggregate(&msg, &cert.agg) {
+                return;
+            }
+        }
+        // Fast finalizations are only valid for rank-0 blocks; check if we
+        // hold the block, defer otherwise.
+        if let Some(block) = self.store.get(&cert.block) {
+            if cert.kind == FinalKind::Fast && !block.rank.is_leader() {
+                return;
+            }
+        }
+        self.apply_finalization(cert, now, actions);
+        self.progress(now, actions);
+    }
+
+    /// Finalizes `cert.block` and its ancestors; or defers if blocks are
+    /// missing.
+    fn apply_finalization(&mut self, cert: Finalization, now: Time, actions: &mut Actions) {
+        if cert.round <= self.k_max {
+            return;
+        }
+        let chain = match self.store.chain_to(&cert.block, self.k_max) {
+            Some(chain) => chain
+                .into_iter()
+                .map(|(h, b)| (h, b.round, b.proposer, b.payload_len(), b.proposed_at, b.rank))
+                .collect::<Vec<_>>(),
+            None => {
+                // Missing ancestor(s): fetch and retry when they arrive.
+                self.request_sync(cert.block, actions);
+                self.pending_finalizations.push(cert);
+                return;
+            }
+        };
+        if chain.is_empty() {
+            return;
+        }
+        // Sanity: the chain must end at the certified block and start just
+        // above kMax.
+        debug_assert_eq!(chain.last().expect("non-empty").0, cert.block);
+
+        for (hash, round, proposer, payload_len, proposed_at, _rank) in &chain {
+            let explicit = *hash == cert.block;
+            self.store.mark_finalized(*round, *hash);
+            actions.commit(CommitEntry {
+                round: *round,
+                block: *hash,
+                proposer: *proposer,
+                payload_len: *payload_len,
+                proposed_at: *proposed_at,
+                committed_at: now,
+                fast: explicit && cert.kind == FinalKind::Fast,
+                explicit,
+            });
+        }
+        self.k_max = cert.round;
+        // Broadcast the certificate once (Algorithm 2 line 58).
+        if !self.finalizations.contains_key(&cert.round) {
+            actions.broadcast(Message::Chained(ChainedMsg::Final(cert.clone())));
+            self.finalizations.insert(cert.round, cert);
+        }
+    }
+
+    fn handle_sync(&mut self, from: ReplicaId, msg: SyncMsg, now: Time, actions: &mut Actions) {
+        match msg {
+            SyncMsg::Request { hash } => {
+                if let Some(block) = self.store.get(&hash).cloned() {
+                    let fast_vote = self
+                        .rounds
+                        .get(&block.round)
+                        .and_then(|rs| rs.leader_fast_votes.get(&hash))
+                        .copied();
+                    let parent = block.parent;
+                    let msg = self.proposal_message(&block, &parent, fast_vote.as_ref());
+                    actions.send(from, msg);
+                }
+            }
+            SyncMsg::Response { block } => {
+                self.handle_proposal(block, None, None, None, now, actions);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Progress: the `upon` rules, run to fixpoint
+    // ------------------------------------------------------------------
+
+    fn progress(&mut self, now: Time, actions: &mut Actions) {
+        for _ in 0..64 {
+            // Bounded fixpoint loop: each iteration that changes state can
+            // enable further rules; 64 is far beyond any legitimate chain
+            // of enablings per event.
+            let mut changed = false;
+            changed |= self.try_assemble_notarizations(actions);
+            changed |= self.try_fast_finalize(now, actions);
+            changed |= self.try_slow_finalize(now, actions);
+            changed |= self.retry_pending_finalizations(now, actions);
+            changed |= self.try_vote(now, actions);
+            changed |= self.try_advance(now, actions);
+            if !changed {
+                return;
+            }
+        }
+        debug_assert!(false, "progress loop did not converge");
+    }
+
+    /// True when Remark 7.8 piggyback counting is active.
+    fn piggyback(&self) -> bool {
+        self.fast_path() && self.cfg.piggyback_fast_votes
+    }
+
+    /// Distinct replicas backing `hash`'s notarization: notarization votes
+    /// alone, or — under Remark 7.8 — their union with fast votes.
+    fn notarize_support(&self, round: Round, hash: &BlockHash) -> usize {
+        let Some(rs) = self.rounds.get(&round) else {
+            return 0;
+        };
+        if !self.piggyback() {
+            return rs.notarize_votes.count(hash);
+        }
+        let n = self.cfg.n();
+        let mut bm = banyan_crypto::SignerBitmap::new(n);
+        for (voter, _) in rs.notarize_votes.votes_for(hash) {
+            bm.set(voter);
+        }
+        let table = self.registry.table().clone();
+        for idx in rs.unlock.aggregate_indiv(&table, hash).signers.iter() {
+            bm.set(idx);
+        }
+        bm.count()
+    }
+
+    /// Assembles a notarization certificate from locally held votes.
+    /// Under Remark 7.8 the certificate carries both multi-signatures.
+    fn build_notarization(&self, round: Round, hash: BlockHash) -> Notarization {
+        let votes = self.rounds[&round].notarize_votes.votes_for(&hash);
+        let agg = self.registry.table().aggregate(&votes);
+        let fast_agg = self.piggyback().then(|| {
+            let table = self.registry.table().clone();
+            self.rounds[&round].unlock.aggregate_indiv(&table, &hash)
+        });
+        Notarization { round, block: hash, agg, fast_agg }
+    }
+
+    /// Algorithm 2 line 45: combine `⌈(n+f+1)/2⌉` notarization votes
+    /// (distinct union with fast votes under Remark 7.8).
+    fn try_assemble_notarizations(&mut self, actions: &mut Actions) -> bool {
+        let quorum = self.cfg.notarization_quorum();
+        let mut newly: Vec<(Round, BlockHash)> = Vec::new();
+        for (round, rs) in &self.rounds {
+            // Candidates: anything with at least one notarization vote,
+            // plus (piggyback mode) every received block of the round.
+            let mut candidates = rs.notarize_votes.with_quorum(1);
+            if self.piggyback() {
+                candidates.extend(self.store.round_blocks(*round).iter().copied());
+                candidates.sort();
+                candidates.dedup();
+            }
+            for hash in candidates {
+                if !self.store.is_notarized(&hash)
+                    && self.notarize_support(*round, &hash) >= quorum
+                {
+                    newly.push((*round, hash));
+                }
+            }
+        }
+        let changed = !newly.is_empty();
+        for (round, hash) in newly {
+            let cert = self.build_notarization(round, hash);
+            self.store.mark_notarized(hash, Some(cert));
+            if !self.store.contains(&hash) {
+                self.request_sync(hash, actions);
+            }
+        }
+        changed
+    }
+
+    /// Addition 4 / Algorithm 2 line 56 (fast case): `n − p` fast votes
+    /// for a rank-0 block FP-finalize it.
+    fn try_fast_finalize(&mut self, now: Time, actions: &mut Actions) -> bool {
+        if !self.fast_path() {
+            return false;
+        }
+        let quorum = self.cfg.fast_quorum();
+        let candidates: Vec<(Round, BlockHash)> = self
+            .rounds
+            .range(self.k_max.next()..)
+            .filter_map(|(round, rs)| rs.unlock.fast_finalizable(quorum).map(|h| (*round, h)))
+            .collect();
+        let mut changed = false;
+        for (round, hash) in candidates {
+            if self.store.finalized(round).is_some() {
+                continue;
+            }
+            // Build the certificate from individually held votes; if we
+            // only know the support through certified aggregates we wait
+            // for the explicit certificate instead.
+            let rs = &self.rounds[&round];
+            if rs.unlock.indiv_count(&hash) < quorum {
+                continue;
+            }
+            let table = self.registry.table().clone();
+            let agg = rs.unlock.aggregate_indiv(&table, &hash);
+            let cert = Finalization { round, block: hash, kind: FinalKind::Fast, agg };
+            self.apply_finalization(cert, now, actions);
+            changed = true;
+        }
+        changed
+    }
+
+    /// Algorithm 2 line 56 (slow case): `⌈(n+f+1)/2⌉` finalization votes.
+    fn try_slow_finalize(&mut self, now: Time, actions: &mut Actions) -> bool {
+        let quorum = self.cfg.finalization_quorum();
+        let candidates: Vec<(Round, BlockHash)> = self
+            .rounds
+            .range(self.k_max.next()..)
+            .flat_map(|(round, rs)| {
+                rs.finalize_votes.with_quorum(quorum).into_iter().map(move |h| (*round, h))
+            })
+            .collect();
+        let mut changed = false;
+        for (round, hash) in candidates {
+            if self.store.finalized(round).is_some() {
+                continue;
+            }
+            let votes = self.rounds[&round].finalize_votes.votes_for(&hash);
+            let agg = self.registry.table().aggregate(&votes);
+            let cert = Finalization { round, block: hash, kind: FinalKind::Slow, agg };
+            self.apply_finalization(cert, now, actions);
+            changed = true;
+        }
+        changed
+    }
+
+    fn retry_pending_finalizations(&mut self, now: Time, actions: &mut Actions) -> bool {
+        if self.pending_finalizations.is_empty() {
+            return false;
+        }
+        let pending = std::mem::take(&mut self.pending_finalizations);
+        let before = pending.len();
+        for cert in pending {
+            if cert.round > self.k_max {
+                self.apply_finalization(cert, now, actions);
+            }
+        }
+        self.pending_finalizations.len() != before
+    }
+
+    /// Algorithm 1 lines 33–43: notarization-vote for the lowest-ranked
+    /// valid block whose notarization delay has expired; piggyback the
+    /// round's fast vote on the first one (Addition 3).
+    fn try_vote(&mut self, now: Time, actions: &mut Actions) -> bool {
+        let round = self.round;
+        let Some(t0) = self.round_state(round).t0 else {
+            return false;
+        };
+        // All valid blocks of the round, with ranks.
+        let hashes = self.store.round_blocks(round).to_vec();
+        let mut valid: Vec<(Rank, BlockHash)> = Vec::new();
+        for hash in hashes {
+            if self.is_valid(&hash) {
+                let rank = self.store.get(&hash).expect("valid implies stored").rank;
+                valid.push((rank, hash));
+            }
+        }
+        if valid.is_empty() {
+            return false;
+        }
+        valid.sort();
+        let min_rank = valid[0].0;
+        let deadline = t0 + self.cfg.notarization_delay(min_rank.0);
+        if now < deadline {
+            // Arm (once) the timer for this rank's delay.
+            let rs = self.round_state(round);
+            if rs.notarize_timers.insert(min_rank.0) {
+                actions.arm(deadline, TimerKind::NotarizeRank { round: round.0, rank: min_rank.0 });
+            }
+            return false;
+        }
+        // Vote for every not-yet-voted valid block of minimal rank (there
+        // can be several under leader equivocation).
+        let candidates: Vec<BlockHash> = valid
+            .iter()
+            .filter(|(r, h)| *r == min_rank && !self.rounds[&round].notarize_voted.contains(h))
+            .map(|(_, h)| *h)
+            .collect();
+        if candidates.is_empty() {
+            return false;
+        }
+        let mut changed = false;
+        for hash in candidates {
+            changed = true;
+            let fast_needed = self.fast_path() && !self.round_state(round).fast_vote_sent;
+            // Remark 7.8: a fast vote for this block makes the notarization
+            // vote redundant (it counts toward the quorum itself) — whether
+            // that fast vote goes out now or already went out (the leader's
+            // own proposal carries one).
+            let my_fast_target = self
+                .round_state(round)
+                .our_votes
+                .iter()
+                .find(|v| v.kind == VoteKind::Fast)
+                .map(|v| v.block);
+            let omit_notarize =
+                self.piggyback() && (fast_needed || my_fast_target == Some(hash));
+            let mut bundle = if omit_notarize {
+                Vec::new()
+            } else {
+                vec![self.make_vote(VoteKind::Notarize, round, hash)]
+            };
+            if fast_needed {
+                bundle.push(self.make_vote(VoteKind::Fast, round, hash));
+                if self.byz == ByzantineMode::DoubleFastVote {
+                    // Also fast-vote some other block of the round, if any.
+                    if let Some(other) =
+                        self.store.round_blocks(round).iter().find(|h| **h != hash).copied()
+                    {
+                        bundle.push(self.make_vote(VoteKind::Fast, round, other));
+                    }
+                }
+            }
+            // Apply our own votes locally (no self-delivery on the wire).
+            {
+                let me = self.id;
+                let rs = self.round_state(round);
+                rs.notarize_voted.insert(hash);
+                for v in &bundle {
+                    match v.kind {
+                        VoteKind::Notarize => {
+                            rs.notarize_votes.add(v.block, me, v.signature);
+                        }
+                        VoteKind::Fast => {
+                            rs.unlock.add_fast_vote(v.block, me, v.signature);
+                            rs.fast_vote_sent = true;
+                        }
+                        VoteKind::Finalize => unreachable!("not built here"),
+                    }
+                }
+                rs.our_votes.extend(bundle.iter().copied());
+            }
+            if !bundle.is_empty() {
+                actions.broadcast(Message::Chained(ChainedMsg::Votes(bundle)));
+            }
+
+            // Algorithm 1 lines 34–36: relay the block (with its parent's
+            // certificates) when it is not our own proposal.
+            let proposer = self.store.get(&hash).expect("stored").proposer;
+            if self.cfg.forward_blocks
+                && proposer != self.id
+                && self.round_state(round).relayed.insert(hash)
+            {
+                let block = self.store.get(&hash).expect("stored").clone();
+                let parent = block.parent;
+                let fast_vote = self.round_state(round).leader_fast_votes.get(&hash).copied();
+                let msg = self.proposal_message(&block, &parent, fast_vote.as_ref());
+                actions.broadcast(msg);
+            }
+        }
+        changed
+    }
+
+    /// Algorithm 2 lines 48–54 (Restriction 2 + Addition 1): advance to
+    /// round `k + 1` once a notarized **and unlocked** block exists and our
+    /// fast vote is out; broadcast the notarization + unlock proof; send
+    /// the finalization vote if we voted for nothing else.
+    fn try_advance(&mut self, now: Time, actions: &mut Actions) -> bool {
+        // Finalization-driven catch-up: never linger at or below kMax.
+        if self.round <= self.k_max {
+            let next = self.k_max.next();
+            self.enter_round(next, now, actions);
+            return true;
+        }
+        let round = self.round;
+        if self.round_state(round).t0.is_none() {
+            return false;
+        }
+        // Find a notarized + unlocked block of the current round.
+        let mut candidates: Vec<(Rank, BlockHash)> = Vec::new();
+        for hash in self.store.round_blocks(round).to_vec() {
+            if self.store.is_notarized(&hash) && self.is_unlocked(round, &hash) {
+                let rank = self.store.get(&hash).expect("stored").rank;
+                candidates.push((rank, hash));
+            }
+        }
+        candidates.sort();
+        let Some((_, chosen)) = candidates.first().copied() else {
+            return false;
+        };
+
+        // Restriction 2 requires our fast vote to be out. If the block is
+        // valid and we simply have not voted yet (catch-up), vote now —
+        // the network has already converged on it, so the notarization
+        // delay serves no purpose (see DESIGN.md §4).
+        if self.fast_path() && !self.round_state(round).fast_vote_sent {
+            if self.is_valid(&chosen) && !self.rounds[&round].notarize_voted.contains(&chosen) {
+                let notarize = self.make_vote(VoteKind::Notarize, round, chosen);
+                let fast = self.make_vote(VoteKind::Fast, round, chosen);
+                let me = self.id;
+                let rs = self.round_state(round);
+                rs.notarize_voted.insert(chosen);
+                rs.notarize_votes.add(chosen, me, notarize.signature);
+                rs.unlock.add_fast_vote(chosen, me, fast.signature);
+                rs.fast_vote_sent = true;
+                rs.our_votes.push(notarize);
+                rs.our_votes.push(fast);
+                actions.broadcast(Message::Chained(ChainedMsg::Votes(vec![notarize, fast])));
+            } else if self.is_valid(&chosen) {
+                // We notarize-voted it earlier without a fast vote: just
+                // emit the fast vote.
+                let fast = self.make_vote(VoteKind::Fast, round, chosen);
+                let me = self.id;
+                let rs = self.round_state(round);
+                rs.unlock.add_fast_vote(chosen, me, fast.signature);
+                rs.fast_vote_sent = true;
+                rs.our_votes.push(fast);
+                actions.broadcast(Message::Chained(ChainedMsg::Votes(vec![fast])));
+            }
+            // If the block is not even valid for us (missing ancestry), we
+            // advance without a fast vote: a notarization quorum proves the
+            // network moved on (documented deviation for catch-up).
+        }
+
+        // Addition 1 / line 50: broadcast notarization + unlock proof.
+        if let Some(cert) = self.store.notarization(&chosen).cloned() {
+            let unlock = self.fast_path().then(|| {
+                let table = self.registry.table().clone();
+                self.round_state(round).unlock.build_proof(&table)
+            });
+            actions.broadcast(Message::Chained(ChainedMsg::Advance { notarization: cert, unlock }));
+        }
+
+        // Lines 51–53: finalization vote if we voted for nothing else.
+        let send_final = {
+            let rs = self.round_state(round);
+            rs.voted_only_for(&chosen) && !rs.finalize_vote_sent && !rs.notarize_voted.is_empty()
+        };
+        if send_final {
+            let vote = self.make_vote(VoteKind::Finalize, round, chosen);
+            let me = self.id;
+            let rs = self.round_state(round);
+            rs.finalize_vote_sent = true;
+            rs.finalize_votes.add(chosen, me, vote.signature);
+            rs.our_votes.push(vote);
+            actions.broadcast(Message::Chained(ChainedMsg::Votes(vec![vote])));
+        }
+
+        self.round_state(round).advanced = true;
+        self.enter_round(round.next(), now, actions);
+        true
+    }
+
+    /// Stuck-round retransmission: links in the model are reliable, but a
+    /// real network (or a healed hard partition) loses messages.
+    /// Production ICC continuously re-gossips its artifact pool; we
+    /// re-broadcast our proposal, our votes and the previous round's
+    /// certificates, then re-arm the heartbeat.
+    fn heartbeat(&mut self, round: Round, now: Time, actions: &mut Actions) {
+        if round != self.round || self.round_state(round).advanced {
+            return; // we moved on; nothing is stuck
+        }
+        // Our votes for this round.
+        let votes = self.round_state(round).our_votes.clone();
+        if !votes.is_empty() {
+            actions.broadcast(Message::Chained(ChainedMsg::Votes(votes)));
+        }
+        // Our own proposal, if any.
+        let own_proposal = self
+            .store
+            .round_blocks(round)
+            .iter()
+            .find(|h| self.store.get(h).is_some_and(|b| b.proposer == self.id))
+            .copied();
+        if let Some(hash) = own_proposal {
+            let block = self.store.get(&hash).expect("stored").clone();
+            let parent = block.parent;
+            let fast_vote = self.round_state(round).leader_fast_votes.get(&hash).copied();
+            let msg = self.proposal_message(&block, &parent, fast_vote.as_ref());
+            actions.broadcast(msg);
+        }
+        // Previous round's certificate (catch-up aid for peers behind us).
+        let prev = round.prev();
+        if prev > Round::GENESIS {
+            let cert = self
+                .store
+                .round_blocks(prev)
+                .iter()
+                .find_map(|h| self.store.notarization(h).cloned());
+            if let Some(cert) = cert {
+                let unlock = self.fast_path().then(|| {
+                    let table = self.registry.table().clone();
+                    self.round_state(prev).unlock.build_proof(&table)
+                });
+                actions
+                    .broadcast(Message::Chained(ChainedMsg::Advance { notarization: cert, unlock }));
+            }
+        }
+        // Latest finalization certificate (lets peers jump to kMax).
+        if let Some(cert) = self.finalizations.get(&self.k_max).cloned() {
+            actions.broadcast(Message::Chained(ChainedMsg::Final(cert)));
+        }
+        actions.arm(now + self.cfg.heartbeat, TimerKind::RoundTimeout { round: round.0 });
+    }
+}
+
+impl Engine for ChainedEngine {
+    fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    fn protocol_name(&self) -> &'static str {
+        match self.mode {
+            PathMode::IccOnly => "icc",
+            PathMode::Banyan => "banyan",
+        }
+    }
+
+    fn on_init(&mut self, now: Time) -> Actions {
+        let mut actions = Actions::none();
+        self.enter_round(Round(1), now, &mut actions);
+        self.progress(now, &mut actions);
+        actions
+    }
+
+    fn on_message(&mut self, from: ReplicaId, msg: Message, now: Time) -> Actions {
+        let mut actions = Actions::none();
+        match msg {
+            Message::Chained(ChainedMsg::Proposal {
+                block,
+                parent_notarization,
+                parent_unlock,
+                fast_vote,
+            }) => {
+                self.handle_proposal(
+                    block,
+                    parent_notarization,
+                    parent_unlock,
+                    fast_vote,
+                    now,
+                    &mut actions,
+                );
+            }
+            Message::Chained(ChainedMsg::Votes(votes)) => {
+                self.handle_votes(votes, now, &mut actions);
+            }
+            Message::Chained(ChainedMsg::Advance { notarization, unlock }) => {
+                self.handle_notarization(notarization, &mut actions);
+                if let Some(proof) = unlock {
+                    self.merge_unlock_proof(proof);
+                }
+                self.progress(now, &mut actions);
+            }
+            Message::Chained(ChainedMsg::Final(cert)) => {
+                self.handle_finalization(cert, now, &mut actions);
+            }
+            Message::Sync(sync) => {
+                self.handle_sync(from, sync, now, &mut actions);
+            }
+            // Foreign protocol families are ignored.
+            Message::HotStuff(_) | Message::Streamlet(_) => {}
+        }
+        actions
+    }
+
+    fn on_timer(&mut self, kind: TimerKind, now: Time) -> Actions {
+        let mut actions = Actions::none();
+        match kind {
+            TimerKind::Propose { round } => {
+                self.propose(Round(round), now, &mut actions);
+                self.progress(now, &mut actions);
+            }
+            TimerKind::NotarizeRank { round, .. } => {
+                if Round(round) == self.round {
+                    self.progress(now, &mut actions);
+                }
+            }
+            TimerKind::RoundTimeout { round } => {
+                self.heartbeat(Round(round), now, &mut actions);
+            }
+            _ => {}
+        }
+        actions
+    }
+
+    fn current_round(&self) -> Round {
+        self.round
+    }
+}

@@ -1,0 +1,532 @@
+//! Fast votes and the *unlock* machinery — the heart of Banyan
+//! (Definitions 6.2, 7.1–7.7 of the paper).
+//!
+//! Per round, a replica tracks the **support** `supp(b)` of every block:
+//! the set of replicas it received a fast vote from, either individually
+//! (broadcast `Votes` messages) or certified inside an [`UnlockProof`].
+//! From the support table it evaluates Definition 7.6:
+//!
+//! 1. a block `b` is **unlocked** when
+//!    `|supp(b) ∪ supp(nonLeaderBlocks)| > f + p`;
+//! 2. when `|supp(nonMaxBlocks)| > f + p`, **all** current and future
+//!    blocks of the round are unlocked (`max` being the best-supported
+//!    rank-0 block).
+//!
+//! The same table yields FP-finalization (`n − p` fast votes for a rank-0
+//! block, Addition 4) and unlock-proof construction (Definition 7.7).
+
+use std::collections::{BTreeMap, HashMap};
+
+use banyan_crypto::registry::PublicKeyTable;
+use banyan_crypto::{AggregateSignature, Signature, SignerBitmap};
+use banyan_types::certs::{UnlockEntry, UnlockProof};
+use banyan_types::ids::{BlockHash, Rank, ReplicaId, Round};
+use banyan_types::vote::{Vote, VoteKind};
+
+/// Per-block support record.
+#[derive(Clone, Debug, Default)]
+struct Support {
+    /// Individually received fast-vote signatures, by voter.
+    indiv: BTreeMap<u16, Signature>,
+    /// Certified support adopted from unlock proofs / certificates.
+    /// Kept pruned: an aggregate subsumed by the union of the others plus
+    /// `indiv` is dropped.
+    certified: Vec<AggregateSignature>,
+}
+
+impl Support {
+    /// Union of individual voters and certified bitmaps.
+    fn voters(&self, n: usize) -> SignerBitmap {
+        let mut bm = SignerBitmap::new(n);
+        for &voter in self.indiv.keys() {
+            if (voter as usize) < n {
+                bm.set(voter);
+            }
+        }
+        for agg in &self.certified {
+            for idx in agg.signers.iter() {
+                if (idx as usize) < n {
+                    bm.set(idx);
+                }
+            }
+        }
+        bm
+    }
+}
+
+/// One round's fast-vote table and unlock status.
+#[derive(Clone, Debug)]
+pub struct UnlockState {
+    round: Round,
+    n: usize,
+    /// `> threshold` support unlocks (threshold = f + p).
+    threshold: usize,
+    support: HashMap<BlockHash, Support>,
+    /// Rank of each block support refers to (from the block itself or from
+    /// proof entries). Blocks with unknown rank are not counted by the
+    /// unlock conditions — Definition 7.1 only ranges over received
+    /// blocks.
+    ranks: HashMap<BlockHash, Rank>,
+    /// Sticky flag for condition 2 ("all current and future blocks ...
+    /// are unlocked").
+    all_unlocked: bool,
+}
+
+impl UnlockState {
+    /// Fresh table for one round.
+    pub fn new(round: Round, n: usize, threshold: usize) -> Self {
+        UnlockState {
+            round,
+            n,
+            threshold,
+            support: HashMap::new(),
+            ranks: HashMap::new(),
+            all_unlocked: false,
+        }
+    }
+
+    /// Records the rank of a block (when the block itself arrives, or when
+    /// an unlock-proof entry declares it).
+    pub fn observe_block(&mut self, hash: BlockHash, rank: Rank) {
+        self.ranks.entry(hash).or_insert(rank);
+    }
+
+    /// Adds an individually received fast vote. Returns `true` if new.
+    pub fn add_fast_vote(&mut self, block: BlockHash, voter: ReplicaId, sig: Signature) -> bool {
+        let entry = self.support.entry(block).or_default();
+        entry.indiv.insert(voter.0, sig).is_none()
+    }
+
+    /// Adopts certified support (an unlock-proof entry or fast cert).
+    pub fn add_certified(&mut self, block: BlockHash, rank: Rank, agg: AggregateSignature) {
+        self.observe_block(block, rank);
+        let entry = self.support.entry(block).or_default();
+        // Skip aggregates that add no new voter.
+        let before = entry.voters(self.n).count();
+        let mut with: SignerBitmap = entry.voters(self.n);
+        for idx in agg.signers.iter() {
+            if (idx as usize) < self.n {
+                with.set(idx);
+            }
+        }
+        if with.count() > before {
+            entry.certified.push(agg);
+        }
+    }
+
+    /// `|supp(b)|` — distinct replicas supporting `b`.
+    pub fn supp(&self, block: &BlockHash) -> usize {
+        self.support.get(block).map_or(0, |s| s.voters(self.n).count())
+    }
+
+    /// Distinct replicas supporting any block in `blocks`.
+    fn supp_union<'a>(&self, blocks: impl Iterator<Item = &'a BlockHash>) -> usize {
+        let mut bm = SignerBitmap::new(self.n);
+        for b in blocks {
+            if let Some(s) = self.support.get(b) {
+                for idx in s.voters(self.n).iter() {
+                    bm.set(idx);
+                }
+            }
+        }
+        bm.count()
+    }
+
+    /// `max(k)`: among known rank-0 blocks, the one with the largest
+    /// support (Definition 7.2). Ties break on the smaller hash so every
+    /// replica picks deterministically.
+    pub fn max_block(&self) -> Option<BlockHash> {
+        self.ranks
+            .iter()
+            .filter(|(_, r)| r.is_leader())
+            .map(|(h, _)| (*h, self.supp(h)))
+            .max_by(|(ha, sa), (hb, sb)| sa.cmp(sb).then_with(|| hb.cmp(ha)))
+            .map(|(h, _)| h)
+    }
+
+    /// Evaluates Definition 7.6 for `block`. `true` if unlocked.
+    ///
+    /// Condition 2, once satisfied, covers all current **and future**
+    /// blocks of the round (the flag is sticky).
+    pub fn is_unlocked(&mut self, block: &BlockHash) -> bool {
+        if self.all_unlocked {
+            return true;
+        }
+        // Condition 2 first (it may be newly satisfied).
+        let max = self.max_block();
+        let non_max: Vec<&BlockHash> = self
+            .ranks
+            .keys()
+            .filter(|h| Some(**h) != max)
+            .collect();
+        if self.supp_union(non_max.into_iter()) > self.threshold {
+            self.all_unlocked = true;
+            return true;
+        }
+        // Condition 1: supp(b) ∪ supp(nonLeaderBlocks).
+        let mut set: Vec<&BlockHash> = self
+            .ranks
+            .iter()
+            .filter(|(_, r)| !r.is_leader())
+            .map(|(h, _)| h)
+            .collect();
+        if self.ranks.contains_key(block) || self.support.contains_key(block) {
+            set.push(block);
+        }
+        self.supp_union(set.into_iter()) > self.threshold
+    }
+
+    /// True once condition 2 fired for this round.
+    pub fn round_fully_unlocked(&self) -> bool {
+        self.all_unlocked
+    }
+
+    /// A rank-0 block with at least `quorum` fast votes, if any
+    /// (Addition 4: FP-finalization).
+    pub fn fast_finalizable(&self, quorum: usize) -> Option<BlockHash> {
+        self.ranks
+            .iter()
+            .filter(|(_, r)| r.is_leader())
+            .map(|(h, _)| *h)
+            .find(|h| self.supp(h) >= quorum)
+    }
+
+    /// Builds an aggregate over the individually held fast votes for
+    /// `block` (for FP-finalization certificates).
+    pub fn aggregate_indiv(&self, table: &PublicKeyTable, block: &BlockHash) -> AggregateSignature {
+        let votes: Vec<(u16, Signature)> = self
+            .support
+            .get(block)
+            .map(|s| s.indiv.iter().map(|(v, sig)| (*v, *sig)).collect())
+            .unwrap_or_default();
+        table.aggregate(&votes)
+    }
+
+    /// Number of individually held fast votes for `block`.
+    pub fn indiv_count(&self, block: &BlockHash) -> usize {
+        self.support.get(block).map_or(0, |s| s.indiv.len())
+    }
+
+    /// Builds an unlock proof covering the whole round's support
+    /// (Definition 7.7, naive variant): one entry per (block, source),
+    /// individual votes aggregated plus certified aggregates passed
+    /// through.
+    pub fn build_proof(&self, table: &PublicKeyTable) -> UnlockProof {
+        let mut entries = Vec::new();
+        // Deterministic order: sort blocks by hash.
+        let mut blocks: Vec<&BlockHash> = self.support.keys().collect();
+        blocks.sort();
+        for hash in blocks {
+            let Some(rank) = self.ranks.get(hash) else {
+                continue; // support for a block we can't rank is unusable
+            };
+            let s = &self.support[hash];
+            if !s.indiv.is_empty() {
+                let votes: Vec<(u16, Signature)> =
+                    s.indiv.iter().map(|(v, sig)| (*v, *sig)).collect();
+                entries.push(UnlockEntry { block: *hash, rank: *rank, agg: table.aggregate(&votes) });
+            }
+            for agg in &s.certified {
+                entries.push(UnlockEntry { block: *hash, rank: *rank, agg: agg.clone() });
+            }
+        }
+        UnlockProof { round: self.round, entries }
+    }
+
+    /// Verifies an unlock proof's aggregates and merges its support into
+    /// this table. Returns `false` (without merging anything further) if
+    /// any entry fails verification.
+    ///
+    /// Rank claims for blocks we have received are cross-checked; claims
+    /// for unknown blocks are accepted as-is (the paper defers compact
+    /// worst-case proofs to future work; a lying rank claim can only
+    /// *delay* unlocking, never violate safety, because unlocking gates
+    /// extension, not finalization).
+    pub fn merge_proof(
+        &mut self,
+        proof: &UnlockProof,
+        table: &PublicKeyTable,
+        verify: bool,
+    ) -> bool {
+        if proof.round != self.round {
+            return false;
+        }
+        if verify {
+            for entry in &proof.entries {
+                let msg = Vote::signing_message(VoteKind::Fast, proof.round, &entry.block);
+                if !table.verify_aggregate(&msg, &entry.agg) {
+                    return false;
+                }
+                if let Some(known) = self.ranks.get(&entry.block) {
+                    if *known != entry.rank {
+                        return false;
+                    }
+                }
+            }
+        }
+        for entry in &proof.entries {
+            self.add_certified(entry.block, entry.rank, entry.agg.clone());
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banyan_crypto::hashsig::HashSig;
+    use banyan_crypto::registry::KeyRegistry;
+    use std::sync::Arc;
+
+    /// n = 4, f = 1, p = 1 ⇒ threshold f + p = 2, fast quorum n − p = 3.
+    fn state() -> UnlockState {
+        UnlockState::new(Round(1), 4, 2)
+    }
+
+    fn hash(tag: u8) -> BlockHash {
+        BlockHash([tag; 32])
+    }
+
+    fn registries(n: usize) -> Vec<KeyRegistry> {
+        (0..n)
+            .map(|i| KeyRegistry::generate(Arc::new(HashSig), 5, n, i as u16))
+            .collect()
+    }
+
+    fn fast_vote(reg: &KeyRegistry, round: Round, block: BlockHash) -> Vote {
+        let msg = Vote::signing_message(VoteKind::Fast, round, &block);
+        Vote {
+            kind: VoteKind::Fast,
+            round,
+            block,
+            voter: ReplicaId(reg.my_index()),
+            signature: reg.sign(&msg),
+        }
+    }
+
+    #[test]
+    fn condition1_unlocks_well_supported_leader_block() {
+        let mut s = state();
+        let b0 = hash(1);
+        s.observe_block(b0, Rank(0));
+        // 2 votes: not > 2 yet.
+        s.add_fast_vote(b0, ReplicaId(0), Signature::zero());
+        s.add_fast_vote(b0, ReplicaId(1), Signature::zero());
+        assert!(!s.is_unlocked(&b0));
+        // 3rd vote: supp = 3 > 2 → unlocked.
+        s.add_fast_vote(b0, ReplicaId(2), Signature::zero());
+        assert!(s.is_unlocked(&b0));
+        assert!(!s.round_fully_unlocked(), "condition 2 not triggered");
+    }
+
+    #[test]
+    fn condition1_counts_nonleader_support_for_any_block() {
+        // Figure 4, round k: r-0 block with 2 FaV, r-1 block with 1 FaV:
+        // supp(b0) ∪ supp(nonLeader) = 3 > 2 → r-0 block unlocked.
+        let mut s = state();
+        let b0 = hash(1);
+        let b1 = hash(2);
+        s.observe_block(b0, Rank(0));
+        s.observe_block(b1, Rank(1));
+        s.add_fast_vote(b0, ReplicaId(0), Signature::zero());
+        s.add_fast_vote(b0, ReplicaId(1), Signature::zero());
+        s.add_fast_vote(b1, ReplicaId(2), Signature::zero());
+        assert!(s.is_unlocked(&b0));
+        // The non-leader block only has supp ∪ nonLeader = {2} ∪ {2} = 1.
+        // But wait: supp(nonLeaderBlocks) = {2}; supp(b1) ∪ that = {2}.
+        assert!(!s.is_unlocked(&b1));
+    }
+
+    #[test]
+    fn condition2_unlocks_everything_including_future_blocks() {
+        // Figure 4, round k+1: two rank-0 blocks (equivocating leader),
+        // 2 FaV each. max = one of them; nonMax support = 2... need > 2.
+        // Add a third vote on the non-max one.
+        let mut s = state();
+        let a = hash(1);
+        let b = hash(2);
+        s.observe_block(a, Rank(0));
+        s.observe_block(b, Rank(0));
+        s.add_fast_vote(a, ReplicaId(0), Signature::zero());
+        s.add_fast_vote(a, ReplicaId(1), Signature::zero());
+        s.add_fast_vote(b, ReplicaId(2), Signature::zero());
+        s.add_fast_vote(b, ReplicaId(3), Signature::zero());
+        // supports equal (2/2): max breaks tie deterministically; nonMax
+        // has supp 2, not > 2.
+        assert!(!s.is_unlocked(&a) || s.max_block() == Some(a));
+        assert!(!s.round_fully_unlocked());
+        // Double-voters push BOTH blocks to support 3. Whichever block is
+        // `max`, the other (non-max) now has supp 3 > 2 → condition 2.
+        s.add_fast_vote(a, ReplicaId(2), Signature::zero());
+        s.add_fast_vote(b, ReplicaId(1), Signature::zero());
+        assert!(s.is_unlocked(&a));
+        assert!(s.is_unlocked(&b));
+        assert!(s.round_fully_unlocked());
+        // A block that appears later is unlocked immediately.
+        let c = hash(9);
+        s.observe_block(c, Rank(3));
+        assert!(s.is_unlocked(&c));
+    }
+
+    #[test]
+    fn max_block_prefers_higher_support() {
+        let mut s = state();
+        let a = hash(1);
+        let b = hash(2);
+        s.observe_block(a, Rank(0));
+        s.observe_block(b, Rank(0));
+        s.add_fast_vote(b, ReplicaId(0), Signature::zero());
+        assert_eq!(s.max_block(), Some(b));
+        s.add_fast_vote(a, ReplicaId(1), Signature::zero());
+        s.add_fast_vote(a, ReplicaId(2), Signature::zero());
+        assert_eq!(s.max_block(), Some(a));
+    }
+
+    #[test]
+    fn fast_finalizable_needs_rank0_and_quorum() {
+        let mut s = state();
+        let b0 = hash(1);
+        let b1 = hash(2);
+        s.observe_block(b0, Rank(0));
+        s.observe_block(b1, Rank(1));
+        for i in 0..3 {
+            s.add_fast_vote(b1, ReplicaId(i), Signature::zero());
+        }
+        // b1 has 3 votes but is not rank 0.
+        assert_eq!(s.fast_finalizable(3), None);
+        for i in 0..2 {
+            s.add_fast_vote(b0, ReplicaId(i), Signature::zero());
+        }
+        assert_eq!(s.fast_finalizable(3), None, "2 < quorum 3");
+        s.add_fast_vote(b0, ReplicaId(3), Signature::zero());
+        assert_eq!(s.fast_finalizable(3), Some(b0));
+    }
+
+    #[test]
+    fn duplicate_votes_counted_once() {
+        let mut s = state();
+        let b = hash(1);
+        s.observe_block(b, Rank(0));
+        assert!(s.add_fast_vote(b, ReplicaId(0), Signature::zero()));
+        assert!(!s.add_fast_vote(b, ReplicaId(0), Signature::zero()));
+        assert_eq!(s.supp(&b), 1);
+    }
+
+    #[test]
+    fn byzantine_double_votes_count_per_block() {
+        // A Byzantine replica fast-voting two blocks appears in both
+        // supports (Definition 7.1 allows this; Lemma 8.1 relies on it).
+        let mut s = state();
+        let a = hash(1);
+        let b = hash(2);
+        s.observe_block(a, Rank(0));
+        s.observe_block(b, Rank(0));
+        s.add_fast_vote(a, ReplicaId(0), Signature::zero());
+        s.add_fast_vote(b, ReplicaId(0), Signature::zero());
+        assert_eq!(s.supp(&a), 1);
+        assert_eq!(s.supp(&b), 1);
+    }
+
+    #[test]
+    fn proof_roundtrip_with_real_signatures() {
+        let regs = registries(4);
+        let table = regs[0].table().clone();
+        let round = Round(1);
+        let b0 = hash(1);
+
+        // Replica 3 collects 3 real fast votes for the leader block.
+        let mut s = state();
+        s.observe_block(b0, Rank(0));
+        for reg in regs.iter().take(3) {
+            let v = fast_vote(reg, round, b0);
+            assert!(s.add_fast_vote(v.block, v.voter, v.signature));
+        }
+        assert!(s.is_unlocked(&b0));
+        let proof = s.build_proof(&table);
+        assert_eq!(proof.round, round);
+        assert_eq!(proof.total_votes(), 3);
+
+        // A fresh replica verifies and merges the proof; the block
+        // unlocks for it too.
+        let mut fresh = state();
+        assert!(fresh.merge_proof(&proof, &table, true));
+        assert_eq!(fresh.supp(&b0), 3);
+        assert!(fresh.is_unlocked(&b0));
+    }
+
+    #[test]
+    fn tampered_proof_rejected() {
+        let regs = registries(4);
+        let table = regs[0].table().clone();
+        let round = Round(1);
+        let b0 = hash(1);
+        let mut s = state();
+        s.observe_block(b0, Rank(0));
+        for reg in regs.iter().take(3) {
+            let v = fast_vote(reg, round, b0);
+            s.add_fast_vote(v.block, v.voter, v.signature);
+        }
+        let mut proof = s.build_proof(&table);
+        // Claim an extra signer that never voted.
+        proof.entries[0].agg.signers.set(3);
+        let mut fresh = state();
+        assert!(!fresh.merge_proof(&proof, &table, true));
+        assert_eq!(fresh.supp(&b0), 0, "nothing merged from a bad proof");
+        // Without verification (trusted channel), merging is allowed.
+        assert!(fresh.merge_proof(&proof, &table, false));
+    }
+
+    #[test]
+    fn proof_for_wrong_round_rejected() {
+        let regs = registries(4);
+        let table = regs[0].table().clone();
+        let s = UnlockState::new(Round(2), 4, 2);
+        let proof = s.build_proof(&table);
+        let mut other = state(); // round 1
+        assert!(!other.merge_proof(&proof, &table, false));
+    }
+
+    #[test]
+    fn rank_mismatch_rejected_when_block_known() {
+        let regs = registries(4);
+        let table = regs[0].table().clone();
+        let round = Round(1);
+        let b0 = hash(1);
+        let mut s = state();
+        s.observe_block(b0, Rank(0));
+        let v = fast_vote(&regs[0], round, b0);
+        s.add_fast_vote(v.block, v.voter, v.signature);
+        let mut proof = s.build_proof(&table);
+        proof.entries[0].rank = Rank(2); // lie about the rank
+
+        let mut fresh = state();
+        fresh.observe_block(b0, Rank(0)); // fresh replica has the block
+        assert!(!fresh.merge_proof(&proof, &table, true));
+    }
+
+    #[test]
+    fn certified_support_counts_toward_unlock() {
+        let regs = registries(4);
+        let table = regs[0].table().clone();
+        let round = Round(1);
+        let b0 = hash(1);
+        let votes: Vec<(u16, Signature)> = regs
+            .iter()
+            .take(3)
+            .map(|r| {
+                let v = fast_vote(r, round, b0);
+                (v.voter.0, v.signature)
+            })
+            .collect();
+        let agg = table.aggregate(&votes);
+
+        let mut s = state();
+        s.add_certified(b0, Rank(0), agg);
+        assert_eq!(s.supp(&b0), 3);
+        assert!(s.is_unlocked(&b0));
+        // Redundant aggregate adding no voters is dropped.
+        let small = table.aggregate(&votes[..1]);
+        s.add_certified(b0, Rank(0), small);
+        assert_eq!(s.supp(&b0), 3);
+    }
+}

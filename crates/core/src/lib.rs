@@ -1,0 +1,43 @@
+//! Consensus engines for the Banyan BFT reproduction.
+//!
+//! The paper's contribution — **Banyan**, the first rotating-leader SMR
+//! protocol finalizing in a single round trip — plus every protocol its
+//! evaluation compares against:
+//!
+//! * [`chained`] — the ICC / Banyan family (one engine, two
+//!   [`chained::PathMode`]s), including the Definition 7.6 unlock
+//!   machinery and Byzantine behavior knobs;
+//! * [`hotstuff`] — chained 3-phase HotStuff with a rotating leader;
+//! * [`streamlet`] — Streamlet with fixed 2Δ epochs;
+//! * [`store`] — the block tree shared by the chained engines;
+//! * [`model`] — the analytic latency/requirement model behind the
+//!   paper's Table 1;
+//! * [`builder`] — convenience constructors wiring engines, PKI and
+//!   beacon together for clusters.
+//!
+//! # Examples
+//!
+//! Build a 4-replica Banyan cluster and drive it in-process:
+//!
+//! ```
+//! use banyan_core::builder::ClusterBuilder;
+//!
+//! let engines = ClusterBuilder::new(4, 1, 1)   // n, f, p
+//!     .expect("valid parameters")
+//!     .payload_size(1024)
+//!     .build_banyan();
+//! assert_eq!(engines.len(), 4);
+//! ```
+
+pub mod builder;
+pub mod chained;
+pub mod hotstuff;
+pub mod model;
+pub mod store;
+pub mod streamlet;
+
+pub use builder::ClusterBuilder;
+pub use chained::{ByzantineMode, ChainedEngine, PathMode};
+pub use hotstuff::HotStuffEngine;
+pub use store::BlockStore;
+pub use streamlet::StreamletEngine;

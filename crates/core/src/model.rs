@@ -1,0 +1,282 @@
+//! Analytic latency/requirement model — the paper's **Table 1**.
+//!
+//! Table 1 compares SMR protocols on four analytic quantities, assuming
+//! `n` equals each protocol's lower bound:
+//!
+//! * block **finalization latency** (in `δ` network delays, or `Δ` bounds
+//!   for synchronous protocols);
+//! * finalization **requirement** (how many replicas must respond);
+//! * block **creation latency** and its requirement;
+//! * the replica-count lower bound and rotating-leader support.
+//!
+//! [`table1`] reproduces the full table; the `table1` bench binary prints
+//! it next to the measured step counts from the simulator.
+
+/// Unit for a latency figure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LatencyUnit {
+    /// Multiples of the true message delay `δ` (responsive protocols).
+    Delta,
+    /// Multiples of the pessimistic bound `Δ` (synchronous protocols).
+    CapitalDelta,
+    /// Order-of `Δ` (constants unspecified in the source).
+    BigODelta,
+}
+
+/// One latency figure, e.g. `2δ`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Latency {
+    /// Multiplier.
+    pub steps: u32,
+    /// Unit.
+    pub unit: LatencyUnit,
+}
+
+impl std::fmt::Display for Latency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.unit {
+            LatencyUnit::Delta => write!(f, "{}δ", self.steps),
+            LatencyUnit::CapitalDelta => write!(f, "{}Δ", self.steps),
+            LatencyUnit::BigODelta => write!(f, "O(Δ)"),
+        }
+    }
+}
+
+/// A vote-count requirement expressed in `n`, `f`, `p` (e.g. `2f + 1`).
+#[derive(Clone, Copy, Debug)]
+pub struct Requirement {
+    /// Human-readable formula, exactly as printed in Table 1.
+    pub formula: &'static str,
+    /// Evaluator over concrete `(f, p)`.
+    pub eval: fn(f: usize, p: usize) -> usize,
+}
+
+impl Requirement {
+    /// Evaluates the requirement for concrete parameters.
+    pub fn value(&self, f: usize, p: usize) -> usize {
+        (self.eval)(f, p)
+    }
+}
+
+/// One Table 1 row.
+#[derive(Clone, Debug)]
+pub struct ProtocolRow {
+    /// Protocol name.
+    pub name: &'static str,
+    /// Block finalization latency.
+    pub finalization_latency: Latency,
+    /// Replicas that must respond to finalize.
+    pub finalization_requirement: Requirement,
+    /// Block creation latency.
+    pub creation_latency: Latency,
+    /// Replicas that must respond to create the next block.
+    pub creation_requirement: Option<Requirement>,
+    /// Replica-count lower bound.
+    pub replicas: Requirement,
+    /// Supports rotating leaders.
+    pub rotating_leaders: bool,
+}
+
+const D: LatencyUnit = LatencyUnit::Delta;
+const CD: LatencyUnit = LatencyUnit::CapitalDelta;
+
+fn req(formula: &'static str, eval: fn(usize, usize) -> usize) -> Requirement {
+    Requirement { formula, eval }
+}
+
+/// The paper's Table 1, row by row.
+pub fn table1() -> Vec<ProtocolRow> {
+    vec![
+        ProtocolRow {
+            name: "Casper FFG",
+            finalization_latency: Latency { steps: 1, unit: LatencyUnit::BigODelta },
+            finalization_requirement: req("2f+1", |f, _| 2 * f + 1),
+            creation_latency: Latency { steps: 1, unit: LatencyUnit::BigODelta },
+            creation_requirement: None,
+            replicas: req("3f+1", |f, _| 3 * f + 1),
+            rotating_leaders: true,
+        },
+        ProtocolRow {
+            name: "Fast HotStuff",
+            finalization_latency: Latency { steps: 5, unit: D },
+            finalization_requirement: req("2f+1", |f, _| 2 * f + 1),
+            creation_latency: Latency { steps: 2, unit: D },
+            creation_requirement: Some(req("2f+1", |f, _| 2 * f + 1)),
+            replicas: req("3f+1", |f, _| 3 * f + 1),
+            rotating_leaders: false,
+        },
+        ProtocolRow {
+            name: "Jolteon",
+            finalization_latency: Latency { steps: 5, unit: D },
+            finalization_requirement: req("2f+1", |f, _| 2 * f + 1),
+            creation_latency: Latency { steps: 2, unit: D },
+            creation_requirement: Some(req("2f+1", |f, _| 2 * f + 1)),
+            replicas: req("3f+1", |f, _| 3 * f + 1),
+            rotating_leaders: false,
+        },
+        ProtocolRow {
+            name: "PaLa",
+            finalization_latency: Latency { steps: 4, unit: D },
+            finalization_requirement: req("2f+1", |f, _| 2 * f + 1),
+            creation_latency: Latency { steps: 2, unit: D },
+            creation_requirement: Some(req("2f+1", |f, _| 2 * f + 1)),
+            replicas: req("3f+1", |f, _| 3 * f + 1),
+            rotating_leaders: false,
+        },
+        ProtocolRow {
+            name: "Zelma",
+            finalization_latency: Latency { steps: 2, unit: D },
+            finalization_requirement: req("3f+p+1", |f, p| 3 * f + p + 1),
+            creation_latency: Latency { steps: 2, unit: D },
+            creation_requirement: Some(req("2f+p+1", |f, p| 2 * f + p + 1)),
+            replicas: req("3f+2p+1", |f, p| 3 * f + 2 * p + 1),
+            rotating_leaders: false,
+        },
+        ProtocolRow {
+            name: "SBFT",
+            finalization_latency: Latency { steps: 3, unit: D },
+            finalization_requirement: req("3f+p+1", |f, p| 3 * f + p + 1),
+            creation_latency: Latency { steps: 3, unit: D },
+            creation_requirement: Some(req("2f+p+1", |f, p| 2 * f + p + 1)),
+            replicas: req("3f+2p+1", |f, p| 3 * f + 2 * p + 1),
+            rotating_leaders: false,
+        },
+        ProtocolRow {
+            name: "Streamlet",
+            finalization_latency: Latency { steps: 6, unit: CD },
+            finalization_requirement: req("2f+1", |f, _| 2 * f + 1),
+            creation_latency: Latency { steps: 2, unit: CD },
+            creation_requirement: Some(req("2f+1", |f, _| 2 * f + 1)),
+            replicas: req("3f+1", |f, _| 3 * f + 1),
+            rotating_leaders: true,
+        },
+        ProtocolRow {
+            name: "Bullshark",
+            finalization_latency: Latency { steps: 4, unit: D },
+            finalization_requirement: req("2f+1", |f, _| 2 * f + 1),
+            creation_latency: Latency { steps: 2, unit: D },
+            creation_requirement: Some(req("2f+1", |f, _| 2 * f + 1)),
+            replicas: req("3f+1", |f, _| 3 * f + 1),
+            rotating_leaders: true,
+        },
+        ProtocolRow {
+            name: "BBCA-Chain",
+            finalization_latency: Latency { steps: 3, unit: D },
+            finalization_requirement: req("2f+1", |f, _| 2 * f + 1),
+            creation_latency: Latency { steps: 3, unit: D },
+            creation_requirement: Some(req("2f+1", |f, _| 2 * f + 1)),
+            replicas: req("3f+1", |f, _| 3 * f + 1),
+            rotating_leaders: true,
+        },
+        ProtocolRow {
+            name: "ICC / Simplex",
+            finalization_latency: Latency { steps: 3, unit: D },
+            finalization_requirement: req("2f+1", |f, _| 2 * f + 1),
+            creation_latency: Latency { steps: 2, unit: D },
+            creation_requirement: Some(req("2f+1", |f, _| 2 * f + 1)),
+            replicas: req("3f+1", |f, _| 3 * f + 1),
+            rotating_leaders: true,
+        },
+        ProtocolRow {
+            name: "Mysticeti",
+            finalization_latency: Latency { steps: 3, unit: D },
+            finalization_requirement: req("2f+1", |f, _| 2 * f + 1),
+            creation_latency: Latency { steps: 1, unit: D },
+            creation_requirement: Some(req("2f+1", |f, _| 2 * f + 1)),
+            replicas: req("3f+1", |f, _| 3 * f + 1),
+            rotating_leaders: true,
+        },
+        ProtocolRow {
+            name: "Banyan",
+            finalization_latency: Latency { steps: 2, unit: D },
+            finalization_requirement: req("3f+p*-1", |f, p| 3 * f + p.max(1) - 1),
+            creation_latency: Latency { steps: 2, unit: D },
+            creation_requirement: Some(req("2f+p*", |f, p| 2 * f + p.max(1))),
+            replicas: req("3f+2p*-1", |f, p| 3 * f + 2 * p.max(1) - 1),
+            rotating_leaders: true,
+        },
+    ]
+}
+
+/// Renders Table 1 as aligned text (one line per protocol).
+pub fn render_table1(f: usize, p: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>10} {:>12} {:>10} {:>12} {:>10} {:>9}\n",
+        "protocol", "fin.lat", "fin.req", "creat.lat", "creat.req", "replicas", "rotating"
+    ));
+    for row in table1() {
+        let fr = format!("{}={}", row.finalization_requirement.formula, row.finalization_requirement.value(f, p));
+        let cr = row
+            .creation_requirement
+            .map(|r| format!("{}={}", r.formula, r.value(f, p)))
+            .unwrap_or_else(|| "N/A".into());
+        let nr = format!("{}={}", row.replicas.formula, row.replicas.value(f, p));
+        out.push_str(&format!(
+            "{:<14} {:>10} {:>12} {:>10} {:>12} {:>10} {:>9}\n",
+            row.name,
+            row.finalization_latency.to_string(),
+            fr,
+            row.creation_latency.to_string(),
+            cr,
+            nr,
+            if row.rotating_leaders { "yes" } else { "no" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str) -> ProtocolRow {
+        table1().into_iter().find(|r| r.name == name).expect("row exists")
+    }
+
+    #[test]
+    fn banyan_matches_paper_table() {
+        let b = row("Banyan");
+        assert_eq!(b.finalization_latency.to_string(), "2δ");
+        // f = 6, p* = 1: finalization requirement 3f + p − 1 = 18 = n − 1.
+        assert_eq!(b.finalization_requirement.value(6, 1), 18);
+        // f = 4, p* = 4: 3·4 + 4 − 1 = 15 = n − p.
+        assert_eq!(b.finalization_requirement.value(4, 4), 15);
+        assert_eq!(b.replicas.value(6, 1), 19);
+        assert_eq!(b.replicas.value(4, 4), 19);
+        assert!(b.rotating_leaders);
+    }
+
+    #[test]
+    fn icc_is_3_delta_2f1() {
+        let icc = row("ICC / Simplex");
+        assert_eq!(icc.finalization_latency.to_string(), "3δ");
+        assert_eq!(icc.finalization_requirement.value(6, 0), 13);
+        assert_eq!(icc.replicas.value(6, 0), 19);
+    }
+
+    #[test]
+    fn banyan_strictly_fastest_rotating_leader() {
+        // Banyan's 2δ beats every other rotating-leader protocol's
+        // finalization latency in the table.
+        let banyan = row("Banyan").finalization_latency;
+        for r in table1() {
+            if r.rotating_leaders && r.name != "Banyan" && r.finalization_latency.unit == LatencyUnit::Delta {
+                assert!(
+                    r.finalization_latency.steps > banyan.steps,
+                    "{} should be slower than Banyan",
+                    r.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn render_is_complete() {
+        let txt = render_table1(6, 1);
+        assert_eq!(txt.lines().count(), 1 + table1().len());
+        assert!(txt.contains("Banyan"));
+        assert!(txt.contains("Streamlet"));
+        assert!(txt.contains("6Δ"));
+    }
+}

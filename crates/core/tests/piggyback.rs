@@ -1,0 +1,101 @@
+//! Tests for the Remark 7.8 optimization: "it is possible to omit sending
+//! a corresponding notarization vote when a fast vote is sent. A
+//! notarization then consists of two multi-signatures, one for
+//! notarization and one for fast votes."
+
+use banyan_core::builder::ClusterBuilder;
+use banyan_core::chained::ByzantineMode;
+use banyan_simnet::faults::FaultPlan;
+use banyan_simnet::sim::{SimConfig, Simulation};
+use banyan_simnet::topology::Topology;
+use banyan_types::ids::ReplicaId;
+use banyan_types::time::{Duration, Time};
+
+fn secs(s: u64) -> Time {
+    Time(Duration::from_secs(s).as_nanos())
+}
+
+fn run(piggyback: bool, byz: Option<(u16, ByzantineMode)>, seed: u64) -> Simulation {
+    let topo = Topology::uniform(4, Duration::from_millis(10));
+    let mut builder = ClusterBuilder::new(4, 1, 1)
+        .unwrap()
+        .delta(Duration::from_millis(20))
+        .payload_size(500)
+        .piggyback(piggyback);
+    if let Some((replica, mode)) = byz {
+        builder = builder.byzantine(replica, mode);
+    }
+    let engines = builder.build_banyan();
+    let mut sim = Simulation::new(topo, engines, FaultPlan::none(), SimConfig::with_seed(seed));
+    sim.run_until(secs(10));
+    sim
+}
+
+#[test]
+fn piggyback_mode_finalizes_and_agrees() {
+    let sim = run(true, None, 1);
+    assert!(sim.auditor().is_safe(), "{:?}", sim.auditor().violations());
+    assert!(sim.auditor().committed_rounds() > 50);
+    // Fast path still fires.
+    let share = sim.metrics().fast_path_share(ReplicaId(0));
+    assert!(share > 0.9, "fast share {share}");
+}
+
+#[test]
+fn piggyback_saves_vote_messages() {
+    let on = run(true, None, 2);
+    let off = run(false, None, 2);
+    assert!(on.auditor().is_safe() && off.auditor().is_safe());
+    // Roughly the same number of rounds...
+    let ratio =
+        on.auditor().committed_rounds() as f64 / off.auditor().committed_rounds() as f64;
+    assert!((0.9..1.1).contains(&ratio), "round ratio {ratio}");
+    // ...with measurably fewer bytes on the wire (one 64-byte signature
+    // saved per replica per round).
+    assert!(
+        on.metrics().bytes_sent < off.metrics().bytes_sent,
+        "piggyback should save bytes: {} vs {}",
+        on.metrics().bytes_sent,
+        off.metrics().bytes_sent
+    );
+}
+
+#[test]
+fn piggyback_latency_matches_standard_banyan() {
+    let on = run(true, None, 3);
+    let off = run(false, None, 3);
+    let a = on.metrics().proposer_latency_stats().mean_ms;
+    let b = off.metrics().proposer_latency_stats().mean_ms;
+    assert!((a - b).abs() / b < 0.1, "piggyback {a:.1}ms vs standard {b:.1}ms");
+}
+
+#[test]
+fn piggyback_safe_under_equivocation() {
+    for seed in [5u64, 6] {
+        let sim = run(true, Some((0, ByzantineMode::EquivocateLeader)), seed);
+        assert!(sim.auditor().is_safe(), "seed {seed}: {:?}", sim.auditor().violations());
+        assert!(sim.auditor().committed_rounds() > 30);
+    }
+}
+
+#[test]
+fn piggyback_safe_under_double_fast_votes() {
+    let sim = run(true, Some((2, ByzantineMode::DoubleFastVote)), 7);
+    assert!(sim.auditor().is_safe(), "{:?}", sim.auditor().violations());
+    assert!(sim.auditor().committed_rounds() > 30);
+}
+
+#[test]
+fn piggyback_works_at_larger_scale() {
+    let topo = Topology::four_global_19();
+    let engines = ClusterBuilder::new(19, 6, 1)
+        .unwrap()
+        .delta(topo.max_one_way() + Duration::from_millis(10))
+        .payload_size(10_000)
+        .piggyback(true)
+        .build_banyan();
+    let mut sim = Simulation::new(topo, engines, FaultPlan::none(), SimConfig::with_seed(11));
+    sim.run_until(secs(10));
+    assert!(sim.auditor().is_safe(), "{:?}", sim.auditor().violations());
+    assert!(sim.auditor().committed_rounds() > 20);
+}

@@ -1,0 +1,89 @@
+//! Randomized fault-schedule property tests: under arbitrary crash
+//! schedules within the `f` bound and arbitrary seeds, Banyan and ICC
+//! never violate safety, and with at most `f` crashes they keep making
+//! progress.
+
+use proptest::prelude::*;
+
+use banyan_core::builder::ClusterBuilder;
+use banyan_simnet::faults::FaultPlan;
+use banyan_simnet::sim::{SimConfig, Simulation};
+use banyan_simnet::topology::Topology;
+use banyan_types::ids::ReplicaId;
+use banyan_types::time::{Duration, Time};
+
+#[derive(Debug, Clone)]
+struct CrashPlan {
+    /// (replica, crash time ms) pairs.
+    crashes: Vec<(u16, u64)>,
+    seed: u64,
+}
+
+fn arb_plan(n: u16, max_crashes: usize) -> impl Strategy<Value = CrashPlan> {
+    (
+        proptest::collection::vec((0..n, 0u64..4_000), 0..=max_crashes),
+        any::<u64>(),
+    )
+        .prop_map(|(mut crashes, seed)| {
+            crashes.sort();
+            crashes.dedup_by_key(|(r, _)| *r);
+            CrashPlan { crashes, seed }
+        })
+}
+
+fn run(protocol: &str, n: usize, f: usize, plan: &CrashPlan) -> Simulation {
+    let topo = Topology::uniform(n, Duration::from_millis(5));
+    let engines = ClusterBuilder::new(n, f, 1)
+        .unwrap()
+        .delta(Duration::from_millis(10))
+        .payload_size(100)
+        .build(protocol);
+    let mut faults = FaultPlan::none();
+    for (replica, ms) in &plan.crashes {
+        faults = faults.crash(ReplicaId(*replica), Time(Duration::from_millis(*ms).as_nanos()));
+    }
+    let mut sim = Simulation::new(topo, engines, faults, SimConfig::with_seed(plan.seed));
+    sim.run_until(Time(Duration::from_secs(8).as_nanos()));
+    sim
+}
+
+proptest! {
+    // Each case simulates 8 s of protocol time; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// n = 4, f = 1: any single crash at any time, any seed — safe and live.
+    #[test]
+    fn banyan_safe_and_live_under_single_crash(plan in arb_plan(4, 1)) {
+        let sim = run("banyan", 4, 1, &plan);
+        prop_assert!(sim.auditor().is_safe(), "{:?}", sim.auditor().violations());
+        prop_assert!(
+            sim.auditor().committed_rounds() > 20,
+            "only {} rounds with plan {:?}",
+            sim.auditor().committed_rounds(),
+            plan
+        );
+    }
+
+    /// n = 7, f = 2: any two crashes — safe and live for both protocols.
+    #[test]
+    fn both_protocols_survive_two_crashes(plan in arb_plan(7, 2)) {
+        for protocol in ["banyan", "icc"] {
+            let sim = run(protocol, 7, 2, &plan);
+            prop_assert!(sim.auditor().is_safe(), "{protocol}: {:?}", sim.auditor().violations());
+            prop_assert!(
+                sim.auditor().committed_rounds() > 10,
+                "{protocol}: only {} rounds with plan {:?}",
+                sim.auditor().committed_rounds(),
+                plan
+            );
+        }
+    }
+
+    /// Safety holds even when MORE than f replicas crash (liveness may
+    /// not, but agreement must).
+    #[test]
+    fn safety_beyond_the_fault_bound(plan in arb_plan(4, 3)) {
+        let sim = run("banyan", 4, 1, &plan);
+        prop_assert!(sim.auditor().is_safe(), "{:?}", sim.auditor().violations());
+    }
+}

@@ -1,0 +1,169 @@
+//! Property tests for the unlock machinery — the safety-critical core of
+//! Banyan. These encode the counting arguments of Lemmas 8.1 and 8.5
+//! directly against randomized vote patterns.
+
+use proptest::prelude::*;
+
+use banyan_core::chained::UnlockState;
+use banyan_crypto::Signature;
+use banyan_types::config::ProtocolConfig;
+use banyan_types::ids::{BlockHash, Rank, ReplicaId, Round};
+
+fn hash(tag: u8) -> BlockHash {
+    BlockHash([tag.wrapping_add(1); 32]) // avoid the genesis all-zero hash
+}
+
+/// A randomized vote pattern: per replica, the list of blocks it
+/// fast-voted (honest replicas vote once; Byzantine may double-vote).
+#[derive(Debug, Clone)]
+struct Pattern {
+    n: usize,
+    f: usize,
+    p: usize,
+    /// votes[replica] = blocks (by tag) this replica fast-voted for.
+    votes: Vec<Vec<u8>>,
+    /// rank per block tag (tag → rank).
+    ranks: Vec<(u8, u16)>,
+}
+
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    // Cluster shapes the paper uses plus a couple of extras.
+    prop_oneof![Just((4usize, 1usize, 1usize)), Just((7, 2, 1)), Just((19, 6, 1)), Just((19, 4, 4))]
+        .prop_flat_map(|(n, f, p)| {
+            let blocks = proptest::collection::vec((any::<u8>(), 0u16..4), 1..4);
+            let votes = proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..3),
+                n,
+            );
+            (Just((n, f, p)), blocks, votes).prop_map(|((n, f, p), mut ranks, votes)| {
+                ranks.sort();
+                ranks.dedup_by_key(|(tag, _)| *tag);
+                Pattern { n, f, p, votes, ranks }
+            })
+        })
+}
+
+fn build_state(pat: &Pattern) -> UnlockState {
+    let mut s = UnlockState::new(Round(1), pat.n, pat.f + pat.p);
+    for (tag, rank) in &pat.ranks {
+        s.observe_block(hash(*tag), Rank(*rank));
+    }
+    let known: Vec<u8> = pat.ranks.iter().map(|(t, _)| *t).collect();
+    for (replica, blocks) in pat.votes.iter().enumerate() {
+        for tag in blocks {
+            // Map the arbitrary tag onto a known block so votes land.
+            if known.is_empty() {
+                continue;
+            }
+            let tag = known[*tag as usize % known.len()];
+            s.add_fast_vote(hash(tag), ReplicaId(replica as u16), Signature::zero());
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Monotonicity: adding one more vote can never lock a block that was
+    /// unlocked (Definition 7.6's conditions only count votes upward, and
+    /// condition 2 is sticky).
+    #[test]
+    fn unlock_is_monotone(pat in arb_pattern(), extra_voter in any::<u16>(), extra_block in any::<u8>()) {
+        let mut s = build_state(&pat);
+        let unlocked_before: Vec<BlockHash> = pat
+            .ranks
+            .iter()
+            .map(|(t, _)| hash(*t))
+            .filter(|h| s.is_unlocked(h))
+            .collect();
+        // One more vote from an arbitrary replica for an arbitrary known block.
+        if let Some((tag, _)) = pat.ranks.get(extra_block as usize % pat.ranks.len()) {
+            s.add_fast_vote(hash(*tag), ReplicaId(extra_voter % pat.n as u16), Signature::zero());
+        }
+        for h in unlocked_before {
+            prop_assert!(s.is_unlocked(&h), "vote addition locked a block");
+        }
+    }
+
+    /// Lemma 8.5 (counting half): if a rank-0 block holds n − p fast votes
+    /// and every replica voted at most once (no Byzantine double votes),
+    /// then no *other* block is unlocked.
+    #[test]
+    fn fp_finalized_block_is_uniquely_unlocked_without_double_votes(
+        shape in prop_oneof![Just((4usize,1usize,1usize)), Just((7,2,1)), Just((19,4,4))],
+        stray in 0usize..2,
+    ) {
+        let (n, f, p) = shape;
+        let cfg = ProtocolConfig::new(n, f, p).unwrap();
+        let mut s = UnlockState::new(Round(1), n, cfg.unlock_threshold());
+        let winner = hash(0);
+        let other = hash(1);
+        s.observe_block(winner, Rank(0));
+        s.observe_block(other, Rank(1));
+        // n − p replicas vote for the winner; the remaining p (here up to
+        // `stray` of them) vote for the other block. Each votes once.
+        let quorum = cfg.fast_quorum();
+        for i in 0..quorum {
+            s.add_fast_vote(winner, ReplicaId(i as u16), Signature::zero());
+        }
+        for i in 0..stray.min(n - quorum) {
+            s.add_fast_vote(other, ReplicaId((quorum + i) as u16), Signature::zero());
+        }
+        prop_assert_eq!(s.fast_finalizable(quorum), Some(winner));
+        prop_assert!(s.is_unlocked(&winner));
+        prop_assert!(!s.is_unlocked(&other), "conflicting block unlocked next to an FP quorum");
+        prop_assert!(!s.round_fully_unlocked());
+    }
+
+    /// Lemma 8.1 (pigeonhole half): if at least n − f distinct replicas
+    /// vote (plus, when several rank-0 blocks exist, the leader's own
+    /// double votes on each), at least one known block ends up unlocked.
+    #[test]
+    fn some_block_unlocks_when_honest_majority_votes(
+        shape in prop_oneof![Just((4usize,1usize,1usize)), Just((7,2,1)), Just((19,6,1)), Just((19,4,4))],
+        split in any::<u8>(),
+        two_leaders in any::<bool>(),
+    ) {
+        let (n, f, p) = shape;
+        let cfg = ProtocolConfig::new(n, f, p).unwrap();
+        let mut s = UnlockState::new(Round(1), n, cfg.unlock_threshold());
+        let a = hash(0);
+        let b = hash(1);
+        s.observe_block(a, Rank(0));
+        if two_leaders {
+            s.observe_block(b, Rank(0)); // equivocating leader
+        } else {
+            s.observe_block(b, Rank(1));
+        }
+        // n − f honest replicas split their single votes across a and b.
+        let honest = n - f;
+        let cut = (split as usize) % (honest + 1);
+        for i in 0..honest {
+            let target = if i < cut { a } else { b };
+            s.add_fast_vote(target, ReplicaId(i as u16), Signature::zero());
+        }
+        if two_leaders {
+            // Lemma 8.1: each rank-0 block carries a fast vote from the
+            // (Byzantine) leader — replica n−1 double-votes.
+            s.add_fast_vote(a, ReplicaId((n - 1) as u16), Signature::zero());
+            s.add_fast_vote(b, ReplicaId((n - 1) as u16), Signature::zero());
+        }
+        let any_unlocked = s.is_unlocked(&a) || s.is_unlocked(&b);
+        prop_assert!(any_unlocked, "deadlock: no block unlocked (n={n}, f={f}, p={p}, cut={cut})");
+    }
+
+    /// supp() counts distinct voters only, regardless of duplication.
+    #[test]
+    fn supp_counts_distinct_voters(dups in 1usize..5, voters in proptest::collection::btree_set(0u16..19, 1..19)) {
+        let mut s = UnlockState::new(Round(1), 19, 7);
+        let b = hash(3);
+        s.observe_block(b, Rank(0));
+        for _ in 0..dups {
+            for &v in &voters {
+                s.add_fast_vote(b, ReplicaId(v), Signature::zero());
+            }
+        }
+        prop_assert_eq!(s.supp(&b), voters.len());
+    }
+}

@@ -1,0 +1,255 @@
+//! Binary Merkle trees over payload chunks.
+//!
+//! Blocks in the evaluation carry multi-megabyte payloads (§9.2). Committing
+//! to the payload with a Merkle root lets votes sign a 32-byte digest while
+//! still supporting per-chunk inclusion proofs (useful for light clients and
+//! for the transport layer to fetch payloads out of band).
+//!
+//! Second-preimage resistance across levels uses the standard leaf/node
+//! domain separation (`0x00` / `0x01` prefixes, as in RFC 6962).
+
+use crate::sha256::{sha256_concat, Sha256, DIGEST_LEN};
+
+/// Prefix byte for leaf hashing (RFC 6962 style domain separation).
+const LEAF_PREFIX: [u8; 1] = [0x00];
+/// Prefix byte for internal-node hashing.
+const NODE_PREFIX: [u8; 1] = [0x01];
+
+/// A 32-byte Merkle digest.
+pub type Digest = [u8; DIGEST_LEN];
+
+/// Hashes a leaf chunk.
+pub fn leaf_hash(data: &[u8]) -> Digest {
+    sha256_concat(&[&LEAF_PREFIX, data])
+}
+
+/// Hashes two child digests into a parent.
+pub fn node_hash(left: &Digest, right: &Digest) -> Digest {
+    sha256_concat(&[&NODE_PREFIX, left, right])
+}
+
+/// A fully materialized Merkle tree.
+///
+/// Odd nodes are promoted (Bitcoin-style duplication is avoided: an unpaired
+/// node moves up unchanged, which keeps proofs unambiguous).
+///
+/// # Examples
+///
+/// ```
+/// use banyan_crypto::merkle::MerkleTree;
+///
+/// let tree = MerkleTree::from_chunks([b"tx1".as_slice(), b"tx2", b"tx3"]);
+/// let proof = tree.prove(1).unwrap();
+/// assert!(proof.verify(&tree.root(), b"tx2"));
+/// assert!(!proof.verify(&tree.root(), b"tx9"));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MerkleTree {
+    /// `levels[0]` = leaf digests, last level = `[root]`. Empty tree has a
+    /// single conventional level containing the empty-tree root.
+    levels: Vec<Vec<Digest>>,
+    /// Number of real leaves (0 for the empty tree — the sentinel level
+    /// does not count; note a single *empty chunk* hashes to the same
+    /// digest as the sentinel, so this cannot be inferred from `levels`).
+    n_leaves: usize,
+}
+
+/// Root digest of the empty tree: SHA-256 of the empty string under the
+/// leaf domain, fixed by convention.
+pub fn empty_root() -> Digest {
+    leaf_hash(b"")
+}
+
+impl MerkleTree {
+    /// Builds a tree over an iterator of byte chunks.
+    pub fn from_chunks<I, T>(chunks: I) -> Self
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<[u8]>,
+    {
+        let leaves: Vec<Digest> = chunks.into_iter().map(|c| leaf_hash(c.as_ref())).collect();
+        Self::from_leaves(leaves)
+    }
+
+    /// Builds a tree from precomputed leaf digests.
+    pub fn from_leaves(leaves: Vec<Digest>) -> Self {
+        if leaves.is_empty() {
+            return MerkleTree { levels: vec![vec![empty_root()]], n_leaves: 0 };
+        }
+        let n_leaves = leaves.len();
+        let mut levels = vec![leaves];
+        while levels.last().expect("non-empty").len() > 1 {
+            let prev = levels.last().expect("non-empty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                match pair {
+                    [l, r] => next.push(node_hash(l, r)),
+                    [l] => next.push(*l), // unpaired node promotes unchanged
+                    _ => unreachable!("chunks(2) yields 1 or 2 elements"),
+                }
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels, n_leaves }
+    }
+
+    /// The root commitment.
+    pub fn root(&self) -> Digest {
+        self.levels.last().expect("at least one level")[0]
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// Builds an inclusion proof for leaf `index`, or `None` if out of range.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.leaf_count() {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut i = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling = i ^ 1;
+            if sibling < level.len() {
+                path.push(ProofStep {
+                    sibling: level[sibling],
+                    sibling_on_left: sibling < i,
+                });
+            }
+            // When there is no sibling (unpaired node), the node promotes:
+            // no step is recorded, and the index halves as usual.
+            i /= 2;
+        }
+        Some(MerkleProof { leaf_index: index, path })
+    }
+}
+
+/// One step of a Merkle inclusion proof.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProofStep {
+    /// Digest of the sibling node.
+    pub sibling: Digest,
+    /// Whether the sibling sits on the left of the running hash.
+    pub sibling_on_left: bool,
+}
+
+/// A Merkle inclusion proof for a single leaf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub leaf_index: usize,
+    /// Bottom-up sibling path.
+    pub path: Vec<ProofStep>,
+}
+
+impl MerkleProof {
+    /// Checks the proof against a root and the claimed leaf data.
+    pub fn verify(&self, root: &Digest, leaf_data: &[u8]) -> bool {
+        let mut acc = leaf_hash(leaf_data);
+        for step in &self.path {
+            acc = if step.sibling_on_left {
+                node_hash(&step.sibling, &acc)
+            } else {
+                node_hash(&acc, &step.sibling)
+            };
+        }
+        acc == *root
+    }
+}
+
+/// Convenience: Merkle root of a payload split into fixed-size chunks.
+///
+/// This is how block payloads are committed: the payload bytes are split
+/// into `chunk_size` pieces and the root covers all of them. A zero
+/// `chunk_size` is clamped to 1.
+pub fn payload_root(payload: &[u8], chunk_size: usize) -> Digest {
+    let chunk_size = chunk_size.max(1);
+    if payload.is_empty() {
+        return empty_root();
+    }
+    let mut hasher_leaves = Vec::with_capacity(payload.len().div_ceil(chunk_size));
+    for chunk in payload.chunks(chunk_size) {
+        let mut h = Sha256::new();
+        h.update(&LEAF_PREFIX);
+        h.update(chunk);
+        hasher_leaves.push(h.finalize());
+    }
+    MerkleTree::from_leaves(hasher_leaves).root()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let tree = MerkleTree::from_chunks([b"only"]);
+        assert_eq!(tree.root(), leaf_hash(b"only"));
+        assert_eq!(tree.leaf_count(), 1);
+    }
+
+    #[test]
+    fn empty_tree_has_conventional_root() {
+        let tree = MerkleTree::from_chunks(Vec::<&[u8]>::new());
+        assert_eq!(tree.root(), empty_root());
+        assert_eq!(tree.leaf_count(), 0);
+        assert!(tree.prove(0).is_none());
+    }
+
+    #[test]
+    fn proofs_verify_for_all_leaves_and_sizes() {
+        for n in 1..=17usize {
+            let chunks: Vec<Vec<u8>> = (0..n).map(|i| format!("chunk-{i}").into_bytes()).collect();
+            let tree = MerkleTree::from_chunks(&chunks);
+            for (i, chunk) in chunks.iter().enumerate() {
+                let proof = tree.prove(i).unwrap_or_else(|| panic!("proof for {i}/{n}"));
+                assert!(proof.verify(&tree.root(), chunk), "leaf {i} of {n}");
+                assert!(!proof.verify(&tree.root(), b"wrong"), "forged leaf {i} of {n}");
+            }
+            assert!(tree.prove(n).is_none());
+        }
+    }
+
+    #[test]
+    fn proof_fails_against_other_tree() {
+        let t1 = MerkleTree::from_chunks([b"a".as_slice(), b"b", b"c"]);
+        let t2 = MerkleTree::from_chunks([b"a".as_slice(), b"b", b"d"]);
+        let proof = t1.prove(0).unwrap();
+        assert!(proof.verify(&t1.root(), b"a"));
+        assert!(!proof.verify(&t2.root(), b"a"));
+    }
+
+    #[test]
+    fn leaf_and_node_domains_are_separated() {
+        // A leaf containing exactly the encoding of an internal node must not
+        // collide with that node.
+        let l = leaf_hash(b"x");
+        let r = leaf_hash(b"y");
+        let parent = node_hash(&l, &r);
+        let mut fake_leaf = Vec::new();
+        fake_leaf.extend_from_slice(&l);
+        fake_leaf.extend_from_slice(&r);
+        assert_ne!(leaf_hash(&fake_leaf), parent);
+    }
+
+    #[test]
+    fn payload_root_changes_with_content_and_chunking() {
+        let payload = vec![7u8; 10_000];
+        let r1 = payload_root(&payload, 1024);
+        let mut tweaked = payload.clone();
+        tweaked[9_999] ^= 1;
+        assert_ne!(payload_root(&tweaked, 1024), r1);
+        // Different chunking → different tree shape → different root.
+        assert_ne!(payload_root(&payload, 512), r1);
+        // Deterministic.
+        assert_eq!(payload_root(&payload, 1024), r1);
+    }
+
+    #[test]
+    fn payload_root_zero_chunk_size_is_clamped() {
+        let payload = b"abc";
+        assert_eq!(payload_root(payload, 0), payload_root(payload, 1));
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the cryptographic substrate.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use banyan_crypto::hashsig::HashSig;
+use banyan_crypto::merkle::MerkleTree;
+use banyan_crypto::schnorr::{is_prime_u64, mulmod, powmod, ToySchnorr};
+use banyan_crypto::sha256::{sha256, Sha256};
+use banyan_crypto::sig::{SignatureScheme, SignerIndex};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Incremental hashing over arbitrary chunkings equals one-shot.
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        splits in proptest::collection::vec(any::<u16>(), 0..8),
+    ) {
+        let oneshot = sha256(&data);
+        let mut h = Sha256::new();
+        let mut rest: &[u8] = &data;
+        for s in splits {
+            if rest.is_empty() { break; }
+            let cut = (s as usize) % rest.len();
+            let (a, b) = rest.split_at(cut);
+            h.update(a);
+            rest = b;
+        }
+        h.update(rest);
+        prop_assert_eq!(h.finalize(), oneshot);
+    }
+
+    /// Distinct inputs hash distinctly (collision sanity, not a proof).
+    #[test]
+    fn sha256_injective_on_small_domain(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(sha256(&a.to_le_bytes()), sha256(&b.to_le_bytes()));
+    }
+
+    /// Every leaf of every random tree proves against the root and no
+    /// other content.
+    #[test]
+    fn merkle_proofs_verify(
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..20),
+        probe in any::<u8>(),
+    ) {
+        let tree = MerkleTree::from_chunks(&chunks);
+        let idx = (probe as usize) % chunks.len();
+        let proof = tree.prove(idx).expect("in range");
+        prop_assert!(proof.verify(&tree.root(), &chunks[idx]));
+        let mut forged = chunks[idx].clone();
+        forged.push(0xFF);
+        prop_assert!(!proof.verify(&tree.root(), &forged));
+    }
+
+    /// Schnorr sign/verify over arbitrary seeds and messages; wrong
+    /// message always rejected.
+    #[test]
+    fn schnorr_roundtrip(seed in any::<[u8; 32]>(), msg in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let scheme = ToySchnorr::new();
+        let (sk, pk) = scheme.keygen(&seed);
+        let sig = scheme.sign(&sk, &msg);
+        prop_assert!(scheme.verify(&pk, &msg, &sig));
+        let mut other = msg.clone();
+        other.push(1);
+        prop_assert!(!scheme.verify(&pk, &other, &sig));
+    }
+
+    /// HashSig aggregates over arbitrary signer subsets verify; adding a
+    /// non-signer to the bitmap breaks them.
+    #[test]
+    fn hashsig_aggregate_subsets(
+        subset in proptest::collection::btree_set(0u16..12, 1..12),
+        msg in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let scheme = HashSig;
+        let scheme_arc: Arc<dyn SignatureScheme> = Arc::new(HashSig);
+        let keys: Vec<_> = (0..12u8).map(|i| scheme_arc.keygen(&[i; 32])).collect();
+        let pks: Vec<_> = keys.iter().map(|(_, pk)| *pk).collect();
+        let votes: Vec<(SignerIndex, _)> = subset
+            .iter()
+            .map(|&i| (i, scheme.sign(&keys[i as usize].0, &msg)))
+            .collect();
+        let agg = scheme.aggregate(12, &votes);
+        prop_assert_eq!(agg.count(), subset.len());
+        prop_assert!(scheme.verify_aggregate(&pks, &msg, &agg));
+
+        if let Some(outsider) = (0..12u16).find(|i| !subset.contains(i)) {
+            let mut tampered = agg.clone();
+            tampered.signers.set(outsider);
+            prop_assert!(!scheme.verify_aggregate(&pks, &msg, &tampered));
+        }
+    }
+
+    /// Modular arithmetic identities used by the Schnorr scheme.
+    #[test]
+    fn powmod_laws(base in 1u64..1_000_000, e1 in 0u64..64, e2 in 0u64..64) {
+        let p = 4_611_686_018_427_386_309u64; // the toy group modulus
+        // g^(a+b) = g^a · g^b mod p
+        let lhs = powmod(base, e1 + e2, p);
+        let rhs = mulmod(powmod(base, e1, p), powmod(base, e2, p), p);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Miller–Rabin agrees with trial division on random small inputs.
+    #[test]
+    fn primality_matches_trial_division(n in 2u64..100_000) {
+        let trial = (2..).take_while(|d| d * d <= n).all(|d| n % d != 0);
+        prop_assert_eq!(is_prime_u64(n), trial);
+    }
+}

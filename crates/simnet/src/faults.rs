@@ -1,0 +1,235 @@
+//! Fault injection: crashes, partitions, link degradation.
+//!
+//! The paper's §9.4 experiment crashes replicas and measures the impact on
+//! throughput and block intervals; robustness tests additionally need
+//! partitions (for asynchrony periods) and per-link delay (for straggler
+//! scenarios). A [`FaultPlan`] is a static schedule consulted by the
+//! simulator on every send, delivery and timer fire.
+
+use banyan_types::ids::ReplicaId;
+use banyan_types::time::{Duration, Time};
+
+/// A single scheduled fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// `replica` stops sending, receiving and firing timers at `at`
+    /// (fail-stop; no recovery).
+    Crash {
+        /// The replica that crashes.
+        replica: ReplicaId,
+        /// Crash instant.
+        at: Time,
+    },
+    /// All links between `group_a` and `group_b` drop messages during
+    /// `[from, until)`. Models a network partition / asynchrony period.
+    Partition {
+        /// One side of the cut.
+        group_a: Vec<ReplicaId>,
+        /// The other side.
+        group_b: Vec<ReplicaId>,
+        /// Partition start.
+        from: Time,
+        /// Partition end (exclusive).
+        until: Time,
+    },
+    /// Directed link `src → dst` gains `extra` one-way delay during
+    /// `[from, until)`. Models congestion or a slow path.
+    LinkDelay {
+        /// Sending side.
+        src: ReplicaId,
+        /// Receiving side.
+        dst: ReplicaId,
+        /// Added one-way delay.
+        extra: Duration,
+        /// Degradation start.
+        from: Time,
+        /// Degradation end (exclusive).
+        until: Time,
+    },
+}
+
+/// A static fault schedule.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: a fault-free run.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Builder-style: adds a crash.
+    pub fn crash(mut self, replica: ReplicaId, at: Time) -> Self {
+        self.faults.push(Fault::Crash { replica, at });
+        self
+    }
+
+    /// Builder-style: crashes `count` replicas (ids `0..count`) at `at`.
+    ///
+    /// With round-robin rotation these ids are **consecutive in rank
+    /// order**, so several crashed ranks can stack their proposal delays
+    /// within a single round — the worst case for rotating-leader
+    /// protocols. Use [`FaultPlan::crash_spread`] for uncorrelated
+    /// crashes.
+    pub fn crash_first(mut self, count: usize, at: Time) -> Self {
+        for i in 0..count {
+            self.faults.push(Fault::Crash { replica: ReplicaId(i as u16), at });
+        }
+        self
+    }
+
+    /// Builder-style: crashes `count` replicas spread evenly over the id
+    /// space `[0, n)` at `at` (ids `⌊i·n/count⌋`). Models uncorrelated
+    /// crashes: a crashed leader's next rank is almost always live, so
+    /// each crashed-leader round costs one proposal delay (the paper's
+    /// §9.4 "full timeout duration").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > n`.
+    pub fn crash_spread(mut self, count: usize, n: usize, at: Time) -> Self {
+        assert!(count <= n, "cannot crash more replicas than exist");
+        for i in 0..count {
+            let id = (i * n / count) as u16;
+            self.faults.push(Fault::Crash { replica: ReplicaId(id), at });
+        }
+        self
+    }
+
+    /// Builder-style: adds a partition.
+    pub fn partition(
+        mut self,
+        group_a: Vec<ReplicaId>,
+        group_b: Vec<ReplicaId>,
+        from: Time,
+        until: Time,
+    ) -> Self {
+        self.faults.push(Fault::Partition { group_a, group_b, from, until });
+        self
+    }
+
+    /// Builder-style: adds a directed link delay.
+    pub fn link_delay(
+        mut self,
+        src: ReplicaId,
+        dst: ReplicaId,
+        extra: Duration,
+        from: Time,
+        until: Time,
+    ) -> Self {
+        self.faults.push(Fault::LinkDelay { src, dst, extra, from, until });
+        self
+    }
+
+    /// True if `replica` has crashed by `now`.
+    pub fn is_crashed(&self, replica: ReplicaId, now: Time) -> bool {
+        self.faults.iter().any(|f| match f {
+            Fault::Crash { replica: r, at } => *r == replica && now >= *at,
+            _ => false,
+        })
+    }
+
+    /// True if a message sent `src → dst` at `now` is cut by a partition.
+    pub fn is_cut(&self, src: ReplicaId, dst: ReplicaId, now: Time) -> bool {
+        self.faults.iter().any(|f| match f {
+            Fault::Partition { group_a, group_b, from, until } => {
+                now >= *from
+                    && now < *until
+                    && ((group_a.contains(&src) && group_b.contains(&dst))
+                        || (group_b.contains(&src) && group_a.contains(&dst)))
+            }
+            _ => false,
+        })
+    }
+
+    /// Extra one-way delay on `src → dst` for a message sent at `now`.
+    pub fn extra_delay(&self, src: ReplicaId, dst: ReplicaId, now: Time) -> Duration {
+        let mut total = Duration::ZERO;
+        for f in &self.faults {
+            if let Fault::LinkDelay { src: s, dst: d, extra, from, until } = f {
+                if *s == src && *d == dst && now >= *from && now < *until {
+                    total = total + *extra;
+                }
+            }
+        }
+        total
+    }
+
+    /// Ids of replicas that crash at any point in the plan.
+    pub fn crashed_replicas(&self) -> Vec<ReplicaId> {
+        let mut out: Vec<ReplicaId> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::Crash { replica, .. } => Some(*replica),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// All scheduled faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_takes_effect_at_time() {
+        let plan = FaultPlan::none().crash(ReplicaId(3), Time(100));
+        assert!(!plan.is_crashed(ReplicaId(3), Time(99)));
+        assert!(plan.is_crashed(ReplicaId(3), Time(100)));
+        assert!(plan.is_crashed(ReplicaId(3), Time(1000)));
+        assert!(!plan.is_crashed(ReplicaId(2), Time(1000)));
+    }
+
+    #[test]
+    fn crash_first_crashes_lowest_ids() {
+        let plan = FaultPlan::none().crash_first(3, Time(0));
+        assert_eq!(
+            plan.crashed_replicas(),
+            vec![ReplicaId(0), ReplicaId(1), ReplicaId(2)]
+        );
+    }
+
+    #[test]
+    fn partition_is_symmetric_and_bounded() {
+        let plan = FaultPlan::none().partition(
+            vec![ReplicaId(0), ReplicaId(1)],
+            vec![ReplicaId(2)],
+            Time(10),
+            Time(20),
+        );
+        assert!(!plan.is_cut(ReplicaId(0), ReplicaId(2), Time(9)));
+        assert!(plan.is_cut(ReplicaId(0), ReplicaId(2), Time(10)));
+        assert!(plan.is_cut(ReplicaId(2), ReplicaId(1), Time(15)));
+        assert!(!plan.is_cut(ReplicaId(2), ReplicaId(1), Time(20)));
+        // Within a group, no cut.
+        assert!(!plan.is_cut(ReplicaId(0), ReplicaId(1), Time(15)));
+    }
+
+    #[test]
+    fn link_delay_is_directed_and_additive() {
+        let plan = FaultPlan::none()
+            .link_delay(ReplicaId(0), ReplicaId(1), Duration::from_millis(5), Time(0), Time(100))
+            .link_delay(ReplicaId(0), ReplicaId(1), Duration::from_millis(3), Time(0), Time(50));
+        assert_eq!(
+            plan.extra_delay(ReplicaId(0), ReplicaId(1), Time(10)),
+            Duration::from_millis(8)
+        );
+        assert_eq!(
+            plan.extra_delay(ReplicaId(0), ReplicaId(1), Time(60)),
+            Duration::from_millis(5)
+        );
+        // Reverse direction unaffected.
+        assert_eq!(plan.extra_delay(ReplicaId(1), ReplicaId(0), Time(10)), Duration::ZERO);
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic discrete-event WAN simulator for the Banyan reproduction.
+//!
+//! The paper evaluates on AWS `t3.large` instances spread over up to 19
+//! datacenters (Fig. 5). This crate substitutes that testbed (**R1** in
+//! `DESIGN.md`) with a simulator whose network model captures what the
+//! paper measures: propagation delay between datacenters, egress-bandwidth
+//! serialization for large blocks, jitter, FIFO links, and fail-stop
+//! crashes.
+//!
+//! * [`topology`] — the three paper testbeds plus synthetic layouts;
+//! * [`sim`] — the event loop driving [`banyan_types::engine::Engine`]s;
+//! * [`faults`] — crash / partition / link-delay schedules;
+//! * [`metrics`] — the paper's latency & throughput metrics and the global
+//!   safety auditor.
+//!
+//! # Examples
+//!
+//! Running engines (here: none) over the §9.3 topology:
+//!
+//! ```
+//! use banyan_simnet::topology::Topology;
+//!
+//! let topo = Topology::four_global_19();
+//! assert_eq!(topo.n(), 19);
+//! // Δ is chosen from the worst modeled one-way delay.
+//! let delta = topo.max_one_way();
+//! assert!(delta.as_millis_f64() > 10.0);
+//! ```
+
+pub mod faults;
+pub mod metrics;
+pub mod sim;
+pub mod topology;
+
+pub use faults::{Fault, FaultPlan};
+pub use metrics::{LatencyStats, ObservedCommit, RunMetrics, SafetyAuditor};
+pub use sim::{SimConfig, Simulation};
+pub use topology::{Region, Topology, AWS_REGIONS};

@@ -1,0 +1,352 @@
+//! Measurement pipeline: the paper's two metrics plus diagnostics.
+//!
+//! §9.2 defines the metrics this module computes:
+//!
+//! * **latency** — "average proposal finalization time, measured at the
+//!   respective proposer using their system clocks": for every block a
+//!   replica itself proposed, the time from proposing to that same replica
+//!   finalizing it.
+//! * **throughput** — "average number of committed bytes per second at any
+//!   (non-faulty) replica".
+//!
+//! Plus: block intervals (Fig. 6d's second panel), latency percentiles
+//! (Fig. 6c), fast-path share, and message/byte counters.
+
+use std::collections::BTreeMap;
+
+use banyan_types::engine::CommitEntry;
+use banyan_types::ids::{BlockHash, ReplicaId, Round};
+use banyan_types::time::{Duration, Time};
+
+/// An order-statistics summary over a set of duration samples.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean, in milliseconds.
+    pub mean_ms: f64,
+    /// Standard deviation, in milliseconds.
+    pub std_ms: f64,
+    /// Minimum, in milliseconds.
+    pub min_ms: f64,
+    /// Median (p50), in milliseconds.
+    pub p50_ms: f64,
+    /// 90th percentile, in milliseconds.
+    pub p90_ms: f64,
+    /// 99th percentile, in milliseconds.
+    pub p99_ms: f64,
+    /// Maximum, in milliseconds.
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    /// Computes the summary from raw samples. Returns the default (all
+    /// zeros) for an empty set.
+    pub fn from_samples(samples: &[Duration]) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut ms: Vec<f64> = samples.iter().map(|d| d.as_millis_f64()).collect();
+        ms.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let count = ms.len();
+        let mean = ms.iter().sum::<f64>() / count as f64;
+        let var = ms.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
+        let pct = |q: f64| -> f64 {
+            let idx = ((count as f64 - 1.0) * q).round() as usize;
+            ms[idx.min(count - 1)]
+        };
+        LatencyStats {
+            count,
+            mean_ms: mean,
+            std_ms: var.sqrt(),
+            min_ms: ms[0],
+            p50_ms: pct(0.50),
+            p90_ms: pct(0.90),
+            p99_ms: pct(0.99),
+            max_ms: ms[count - 1],
+        }
+    }
+}
+
+/// One replica's commit, as observed by the harness.
+#[derive(Clone, Debug)]
+pub struct ObservedCommit {
+    /// The replica that committed.
+    pub replica: ReplicaId,
+    /// The commit itself.
+    pub entry: CommitEntry,
+}
+
+/// Global safety observer: ingests every commit from every replica and
+/// detects disagreement — two replicas finalizing different blocks for the
+/// same round. Every simulation run doubles as a safety test through this.
+#[derive(Clone, Debug, Default)]
+pub struct SafetyAuditor {
+    /// Canonical block per round (first commit wins; all later commits for
+    /// the round must match).
+    canonical: BTreeMap<Round, BlockHash>,
+    /// Human-readable descriptions of violations found.
+    violations: Vec<String>,
+}
+
+impl SafetyAuditor {
+    /// Fresh auditor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests one commit.
+    pub fn observe(&mut self, replica: ReplicaId, entry: &CommitEntry) {
+        match self.canonical.get(&entry.round) {
+            None => {
+                self.canonical.insert(entry.round, entry.block);
+            }
+            Some(expected) if *expected != entry.block => {
+                self.violations.push(format!(
+                    "SAFETY VIOLATION: round {} committed as {} by earlier replica but {} by {}",
+                    entry.round, expected, entry.block, replica
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// All violations found so far.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// True if no disagreement was observed.
+    pub fn is_safe(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of rounds with at least one commit.
+    pub fn committed_rounds(&self) -> usize {
+        self.canonical.len()
+    }
+}
+
+/// Everything measured over one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct RunMetrics {
+    /// Every commit at every replica, in commit order.
+    pub commits: Vec<ObservedCommit>,
+    /// Messages enqueued on the network.
+    pub messages_sent: u64,
+    /// Total bytes enqueued on the network (wire size incl. payload).
+    pub bytes_sent: u64,
+    /// Messages dropped because the receiver had crashed.
+    pub messages_dropped: u64,
+    /// Virtual time at the end of the run.
+    pub end_time: Time,
+}
+
+impl RunMetrics {
+    /// Proposal-finalization latencies measured at proposers (the paper's
+    /// latency metric): for every commit where the committing replica is
+    /// the proposer, `committed_at − proposed_at`.
+    pub fn proposer_latencies(&self) -> Vec<Duration> {
+        self.commits
+            .iter()
+            .filter(|c| c.replica == c.entry.proposer)
+            .map(|c| c.entry.committed_at.since(c.entry.proposed_at))
+            .collect()
+    }
+
+    /// Latency summary over [`Self::proposer_latencies`].
+    pub fn proposer_latency_stats(&self) -> LatencyStats {
+        LatencyStats::from_samples(&self.proposer_latencies())
+    }
+
+    /// Throughput in committed payload bytes per second at `replica`
+    /// (the paper's throughput metric).
+    pub fn throughput_bps(&self, replica: ReplicaId) -> f64 {
+        let bytes: u64 = self
+            .commits
+            .iter()
+            .filter(|c| c.replica == replica)
+            .map(|c| c.entry.payload_len)
+            .sum();
+        let secs = self.end_time.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            bytes as f64 / secs
+        }
+    }
+
+    /// Maximum throughput across replicas (a non-faulty replica's view;
+    /// crashed replicas commit little and would bias the mean).
+    pub fn max_throughput_bps(&self) -> f64 {
+        (0..self.replica_count())
+            .map(|r| self.throughput_bps(ReplicaId(r as u16)))
+            .fold(0.0, f64::max)
+    }
+
+    /// Intervals between consecutive commits at `replica` (block interval,
+    /// Fig. 6d).
+    pub fn block_intervals(&self, replica: ReplicaId) -> Vec<Duration> {
+        let mut times: Vec<Time> = self
+            .commits
+            .iter()
+            .filter(|c| c.replica == replica)
+            .map(|c| c.entry.committed_at)
+            .collect();
+        times.sort_unstable();
+        times.windows(2).map(|w| w[1].since(w[0])).collect()
+    }
+
+    /// Fraction of explicit commits that used the fast path, at `replica`.
+    pub fn fast_path_share(&self, replica: ReplicaId) -> f64 {
+        let explicit: Vec<_> = self
+            .commits
+            .iter()
+            .filter(|c| c.replica == replica && c.entry.explicit)
+            .collect();
+        if explicit.is_empty() {
+            return 0.0;
+        }
+        explicit.iter().filter(|c| c.entry.fast).count() as f64 / explicit.len() as f64
+    }
+
+    /// Highest round committed anywhere.
+    pub fn max_committed_round(&self) -> Option<Round> {
+        self.commits.iter().map(|c| c.entry.round).max()
+    }
+
+    fn replica_count(&self) -> usize {
+        self.commits
+            .iter()
+            .map(|c| c.replica.as_usize() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(round: u64, block: u8, proposer: u16, proposed: u64, committed: u64) -> CommitEntry {
+        CommitEntry {
+            round: Round(round),
+            block: BlockHash([block; 32]),
+            proposer: ReplicaId(proposer),
+            payload_len: 1000,
+            proposed_at: Time(proposed),
+            committed_at: Time(committed),
+            fast: false,
+            explicit: true,
+        }
+    }
+
+    #[test]
+    fn latency_stats_basic() {
+        let samples = vec![
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+            Duration::from_millis(30),
+            Duration::from_millis(40),
+        ];
+        let s = LatencyStats::from_samples(&samples);
+        assert_eq!(s.count, 4);
+        assert!((s.mean_ms - 25.0).abs() < 1e-9);
+        assert_eq!(s.min_ms, 10.0);
+        assert_eq!(s.max_ms, 40.0);
+        assert!(s.p50_ms >= 20.0 && s.p50_ms <= 30.0);
+        assert!(s.std_ms > 0.0);
+    }
+
+    #[test]
+    fn latency_stats_empty_is_zero() {
+        assert_eq!(LatencyStats::from_samples(&[]), LatencyStats::default());
+    }
+
+    #[test]
+    fn auditor_accepts_agreement() {
+        let mut a = SafetyAuditor::new();
+        a.observe(ReplicaId(0), &entry(1, 7, 0, 0, 10));
+        a.observe(ReplicaId(1), &entry(1, 7, 0, 0, 12));
+        a.observe(ReplicaId(0), &entry(2, 8, 1, 5, 20));
+        assert!(a.is_safe());
+        assert_eq!(a.committed_rounds(), 2);
+    }
+
+    #[test]
+    fn auditor_flags_conflicting_round() {
+        let mut a = SafetyAuditor::new();
+        a.observe(ReplicaId(0), &entry(1, 7, 0, 0, 10));
+        a.observe(ReplicaId(1), &entry(1, 9, 0, 0, 12));
+        assert!(!a.is_safe());
+        assert!(a.violations()[0].contains("round k1"));
+    }
+
+    #[test]
+    fn proposer_latency_only_counts_own_blocks() {
+        let metrics = RunMetrics {
+            commits: vec![
+                // replica 0 commits its own block: counted (15ns).
+                ObservedCommit { replica: ReplicaId(0), entry: entry(1, 1, 0, 5, 20) },
+                // replica 1 commits replica 0's block: not counted.
+                ObservedCommit { replica: ReplicaId(1), entry: entry(1, 1, 0, 5, 40) },
+            ],
+            end_time: Time(1_000_000_000),
+            ..Default::default()
+        };
+        let lats = metrics.proposer_latencies();
+        assert_eq!(lats.len(), 1);
+        assert_eq!(lats[0], Duration(15));
+    }
+
+    #[test]
+    fn throughput_counts_bytes_per_second() {
+        let metrics = RunMetrics {
+            commits: vec![
+                ObservedCommit { replica: ReplicaId(0), entry: entry(1, 1, 0, 0, 10) },
+                ObservedCommit { replica: ReplicaId(0), entry: entry(2, 2, 1, 0, 20) },
+            ],
+            end_time: Time(2_000_000_000), // 2 s
+            ..Default::default()
+        };
+        // 2000 bytes over 2 s = 1000 B/s.
+        assert!((metrics.throughput_bps(ReplicaId(0)) - 1000.0).abs() < 1e-9);
+        assert_eq!(metrics.throughput_bps(ReplicaId(1)), 0.0);
+    }
+
+    #[test]
+    fn block_intervals_are_ordered_gaps() {
+        let metrics = RunMetrics {
+            commits: vec![
+                ObservedCommit { replica: ReplicaId(0), entry: entry(2, 2, 0, 0, 300) },
+                ObservedCommit { replica: ReplicaId(0), entry: entry(1, 1, 0, 0, 100) },
+                ObservedCommit { replica: ReplicaId(0), entry: entry(3, 3, 0, 0, 600) },
+            ],
+            end_time: Time(1_000),
+            ..Default::default()
+        };
+        assert_eq!(
+            metrics.block_intervals(ReplicaId(0)),
+            vec![Duration(200), Duration(300)]
+        );
+    }
+
+    #[test]
+    fn fast_path_share_counts_explicit_only() {
+        let mut fast = entry(1, 1, 0, 0, 10);
+        fast.fast = true;
+        let mut implicit = entry(2, 2, 0, 0, 10);
+        implicit.explicit = false;
+        let slow = entry(3, 3, 0, 0, 10);
+        let metrics = RunMetrics {
+            commits: vec![
+                ObservedCommit { replica: ReplicaId(0), entry: fast },
+                ObservedCommit { replica: ReplicaId(0), entry: implicit },
+                ObservedCommit { replica: ReplicaId(0), entry: slow },
+            ],
+            end_time: Time(1_000),
+            ..Default::default()
+        };
+        assert!((metrics.fast_path_share(ReplicaId(0)) - 0.5).abs() < 1e-9);
+    }
+}

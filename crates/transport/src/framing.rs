@@ -1,0 +1,156 @@
+//! Length-prefixed framing over TCP streams.
+//!
+//! Wire layout per frame:
+//!
+//! ```text
+//! [u32 LE: body length] [u16 LE: sender replica id] [body: Message bytes]
+//! ```
+//!
+//! The first frame on every connection is a `HELLO` (empty body) that
+//! identifies the sender, after which only protocol messages flow. Frames
+//! are bounded by [`MAX_FRAME`] to protect receivers from hostile lengths.
+
+use std::io::{self, Read, Write};
+
+use banyan_types::codec::Wire;
+use banyan_types::ids::ReplicaId;
+use banyan_types::message::Message;
+
+/// Upper bound on a frame body (64 MiB — comfortably above the largest
+/// block the benchmarks ship).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// A decoded frame: who sent it and what.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Connection handshake: identifies the sender.
+    Hello {
+        /// The dialing replica.
+        from: ReplicaId,
+    },
+    /// A protocol message.
+    Msg {
+        /// The sending replica.
+        from: ReplicaId,
+        /// The message.
+        msg: Message,
+    },
+}
+
+/// Writes a hello frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_hello<W: Write>(w: &mut W, from: ReplicaId) -> io::Result<()> {
+    w.write_all(&0u32.to_le_bytes())?;
+    w.write_all(&from.0.to_le_bytes())?;
+    w.flush()
+}
+
+/// Writes a message frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_msg<W: Write>(w: &mut W, from: ReplicaId, msg: &Message) -> io::Result<()> {
+    let body = msg.to_bytes();
+    let len = u32::try_from(body.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&from.0.to_le_bytes())?;
+    w.write_all(&body)?;
+    w.flush()
+}
+
+/// Reads one frame, blocking.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, oversized frames, or undecodable
+/// bodies.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame exceeds MAX_FRAME"));
+    }
+    let mut from_buf = [0u8; 2];
+    r.read_exact(&mut from_buf)?;
+    let from = ReplicaId(u16::from_le_bytes(from_buf));
+    if len == 0 {
+        return Ok(Frame::Hello { from });
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let msg = Message::from_bytes(&body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad message: {e}")))?;
+    Ok(Frame::Msg { from, msg })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banyan_types::ids::BlockHash;
+    use banyan_types::message::SyncMsg;
+
+    fn sample_msg() -> Message {
+        Message::Sync(SyncMsg::Request { hash: BlockHash([7; 32]) })
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        let mut buf = Vec::new();
+        write_hello(&mut buf, ReplicaId(3)).unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(frame, Frame::Hello { from: ReplicaId(3) });
+    }
+
+    #[test]
+    fn msg_roundtrip() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, ReplicaId(1), &sample_msg()).unwrap();
+        let frame = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(frame, Frame::Msg { from: ReplicaId(1), msg: sample_msg() });
+    }
+
+    #[test]
+    fn several_frames_stream() {
+        let mut buf = Vec::new();
+        write_hello(&mut buf, ReplicaId(0)).unwrap();
+        write_msg(&mut buf, ReplicaId(0), &sample_msg()).unwrap();
+        write_msg(&mut buf, ReplicaId(0), &sample_msg()).unwrap();
+        let mut r = buf.as_slice();
+        assert!(matches!(read_frame(&mut r).unwrap(), Frame::Hello { .. }));
+        assert!(matches!(read_frame(&mut r).unwrap(), Frame::Msg { .. }));
+        assert!(matches!(read_frame(&mut r).unwrap(), Frame::Msg { .. }));
+        assert!(read_frame(&mut r).is_err(), "EOF");
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_body_errors() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, ReplicaId(1), &sample_msg()).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn garbage_body_errors() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&[0xFF, 0xFF, 0xFF]);
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! Threaded TCP transport for the Banyan BFT engines.
+//!
+//! The same [`banyan_types::engine::Engine`] state machines that run under
+//! the discrete-event simulator run here over real sockets — length-
+//! prefixed frames on `std::net::TcpStream`, one writer thread per peer,
+//! one reader thread per inbound connection, and a timer heap in the
+//! engine loop. No async runtime: the engines are synchronous state
+//! machines and a handful of threads per replica is exactly what a
+//! reproduction needs (`DESIGN.md` §2).
+//!
+//! Synthetic payloads stay synthetic on the wire (16 bytes + declared
+//! size); the TCP path demonstrates protocol correctness over real
+//! networking, while bandwidth-sensitive measurements live in
+//! `banyan-simnet`, whose egress model charges the declared size. Use
+//! inline payloads here when real bytes must flow.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use banyan_core::builder::ClusterBuilder;
+//! use banyan_transport::run_local_cluster;
+//!
+//! let engines = ClusterBuilder::new(4, 1, 1)
+//!     .expect("valid parameters")
+//!     .payload_size(1024)
+//!     .build_banyan();
+//! let reports = run_local_cluster(engines, std::time::Duration::from_secs(5));
+//! assert_eq!(reports.len(), 4);
+//! ```
+
+pub mod framing;
+pub mod runner;
+
+pub use framing::{read_frame, write_hello, write_msg, Frame, MAX_FRAME};
+pub use runner::{run_local_cluster, run_replica, TcpRunReport};

@@ -1,0 +1,169 @@
+//! Core identifier newtypes: replicas, rounds, ranks, block hashes.
+//!
+//! Newtypes keep the protocol code honest: a round can never be passed where
+//! a rank is expected, and block hashes render as short hex in traces.
+
+use std::fmt;
+
+/// Identity of a replica: its index in the fixed replica set `[0, n)`.
+///
+/// Matches [`banyan_crypto::sig::SignerIndex`] so a replica's id doubles as
+/// its key-table index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ReplicaId(pub u16);
+
+impl ReplicaId {
+    /// The replica's position as a usize (for indexing tables).
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u16> for ReplicaId {
+    fn from(v: u16) -> Self {
+        ReplicaId(v)
+    }
+}
+
+/// A protocol round (equivalently: block-tree height, since each round adds
+/// exactly one level — §4 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Round(pub u64);
+
+impl Round {
+    /// The genesis round.
+    pub const GENESIS: Round = Round(0);
+
+    /// The next round.
+    pub fn next(self) -> Round {
+        Round(self.0 + 1)
+    }
+
+    /// The previous round, saturating at genesis.
+    pub fn prev(self) -> Round {
+        Round(self.0.saturating_sub(1))
+    }
+}
+
+impl fmt::Debug for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u64> for Round {
+    fn from(v: u64) -> Self {
+        Round(v)
+    }
+}
+
+/// A replica's rank within a round: 0 is the leader; higher ranks propose
+/// later (`Δ_prop(r) = 2Δ·r`, §4).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Rank(pub u16);
+
+impl Rank {
+    /// The leader rank.
+    pub const LEADER: Rank = Rank(0);
+
+    /// True for the rank-0 (leader) slot.
+    pub fn is_leader(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank{}", self.0)
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u16> for Rank {
+    fn from(v: u16) -> Self {
+        Rank(v)
+    }
+}
+
+/// SHA-256 identity of a block.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockHash(pub [u8; 32]);
+
+impl BlockHash {
+    /// The conventional parent hash of the genesis block (all zeros).
+    pub const ZERO: BlockHash = BlockHash([0u8; 32]);
+
+    /// Short hex prefix (8 chars) for logs.
+    pub fn short(&self) -> String {
+        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl fmt::Debug for BlockHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.short())
+    }
+}
+
+impl fmt::Display for BlockHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_next_prev() {
+        assert_eq!(Round(0).next(), Round(1));
+        assert_eq!(Round(5).prev(), Round(4));
+        assert_eq!(Round::GENESIS.prev(), Round::GENESIS);
+    }
+
+    #[test]
+    fn rank_leader() {
+        assert!(Rank::LEADER.is_leader());
+        assert!(!Rank(1).is_leader());
+    }
+
+    #[test]
+    fn debug_formats_are_compact() {
+        assert_eq!(format!("{:?}", ReplicaId(3)), "r3");
+        assert_eq!(format!("{:?}", Round(9)), "k9");
+        assert_eq!(format!("{:?}", Rank(2)), "rank2");
+        let h = BlockHash([0xab; 32]);
+        assert_eq!(format!("{h:?}"), "#abababab");
+    }
+
+    #[test]
+    fn ids_order_naturally() {
+        assert!(ReplicaId(1) < ReplicaId(2));
+        assert!(Round(1) < Round(2));
+        assert!(Rank(0) < Rank(1));
+    }
+}

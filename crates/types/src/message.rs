@@ -1,0 +1,538 @@
+//! The unified network message enum.
+//!
+//! All four engines speak through one [`Message`] type so the simulator and
+//! the TCP transport are protocol-agnostic. Each engine only produces and
+//! consumes its own sub-enum; a message of the wrong family is ignored
+//! (and counted) rather than an error, mirroring how a real deployment
+//! drops foreign traffic.
+
+use crate::block::Block;
+use crate::certs::{Finalization, Notarization, QuorumCert, UnlockProof};
+use crate::codec::{CodecError, Reader, Wire, Writer};
+use crate::ids::{BlockHash, ReplicaId};
+use crate::vote::Vote;
+use banyan_crypto::Signature;
+
+/// Any message any engine can send.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// ICC / Banyan family (they share a message set; ICC simply never
+    /// populates the fast-path fields).
+    Chained(ChainedMsg),
+    /// Chained HotStuff baseline.
+    HotStuff(HotStuffMsg),
+    /// Streamlet baseline.
+    Streamlet(StreamletMsg),
+    /// Block synchronization, shared by all protocols.
+    Sync(SyncMsg),
+}
+
+impl Message {
+    /// Bytes this message occupies on the wire, including the virtual size
+    /// of synthetic payloads. This is the number the simulator charges
+    /// against link bandwidth.
+    pub fn wire_len(&self) -> u64 {
+        let extra = match self {
+            Message::Chained(ChainedMsg::Proposal { block, .. }) => block.payload.virtual_wire_extra(),
+            Message::HotStuff(HotStuffMsg::Proposal { block, .. }) => block.payload.virtual_wire_extra(),
+            Message::Streamlet(StreamletMsg::Proposal { block }) => block.payload.virtual_wire_extra(),
+            Message::Sync(SyncMsg::Response { block }) => block.payload.virtual_wire_extra(),
+            _ => 0,
+        };
+        self.encoded_len() as u64 + extra
+    }
+
+    /// Short label for traces and drop counters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Message::Chained(m) => m.label(),
+            Message::HotStuff(m) => m.label(),
+            Message::Streamlet(m) => m.label(),
+            Message::Sync(SyncMsg::Request { .. }) => "sync-req",
+            Message::Sync(SyncMsg::Response { .. }) => "sync-resp",
+        }
+    }
+}
+
+/// Messages of the ICC / Banyan family.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChainedMsg {
+    /// A block proposal or relay.
+    ///
+    /// Per Addition 2, a proposal carries the parent's notarization and
+    /// unlock proof, and — for rank-0 proposals in Banyan — the proposer's
+    /// own fast vote. ICC leaves `parent_unlock` and `fast_vote` empty.
+    /// `parent_notarization` is `None` only when the parent is genesis.
+    Proposal {
+        /// The proposed block.
+        block: Block,
+        /// Notarization of the parent block (None iff parent is genesis).
+        parent_notarization: Option<Notarization>,
+        /// Unlock proof of the parent block (Banyan only).
+        parent_unlock: Option<UnlockProof>,
+        /// The proposer's fast vote for this block (Banyan rank-0 only,
+        /// Algorithm 1 line 28).
+        fast_vote: Option<Vote>,
+    },
+    /// One or more votes bundled into a single network message.
+    ///
+    /// Addition 3 broadcasts the fast vote *alongside* the notarization
+    /// vote — one message, two signatures — which is why this is a vector.
+    Votes(Vec<Vote>),
+    /// Round-advancement broadcast (Addition 1 / Algorithm 2 line 50):
+    /// the notarization and unlock proof of the block that closed a round.
+    Advance {
+        /// Notarization of the round's notarized-and-unlocked block.
+        notarization: Notarization,
+        /// Unlock proof for the same block (Banyan only).
+        unlock: Option<UnlockProof>,
+    },
+    /// Explicit finalization broadcast (fast or slow).
+    Final(Finalization),
+}
+
+impl ChainedMsg {
+    fn label(&self) -> &'static str {
+        match self {
+            ChainedMsg::Proposal { .. } => "proposal",
+            ChainedMsg::Votes(_) => "votes",
+            ChainedMsg::Advance { .. } => "advance",
+            ChainedMsg::Final(_) => "final",
+        }
+    }
+}
+
+/// Messages of the chained-HotStuff baseline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HotStuffMsg {
+    /// Leader's proposal for a view, justified by the highest known QC.
+    Proposal {
+        /// Proposed block (its `round` field carries the view).
+        block: Block,
+        /// QC for the parent chain.
+        justify: QuorumCert,
+    },
+    /// A replica's vote, sent to the next leader.
+    Vote {
+        /// View the vote is cast in.
+        view: u64,
+        /// Voted block.
+        block: BlockHash,
+        /// Voting replica.
+        voter: ReplicaId,
+        /// Signature over the HotStuff vote message.
+        signature: Signature,
+    },
+    /// Pacemaker message on view timeout, carrying the sender's highest QC.
+    NewView {
+        /// The view being abandoned.
+        view: u64,
+        /// Sender's highest QC.
+        justify: QuorumCert,
+    },
+}
+
+impl HotStuffMsg {
+    fn label(&self) -> &'static str {
+        match self {
+            HotStuffMsg::Proposal { .. } => "hs-proposal",
+            HotStuffMsg::Vote { .. } => "hs-vote",
+            HotStuffMsg::NewView { .. } => "hs-newview",
+        }
+    }
+}
+
+/// Messages of the Streamlet baseline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamletMsg {
+    /// Epoch leader's proposal.
+    Proposal {
+        /// Proposed block (its `round` field carries the epoch).
+        block: Block,
+    },
+    /// A replica's (notarization) vote for an epoch's proposal.
+    Vote(Vote),
+}
+
+impl StreamletMsg {
+    fn label(&self) -> &'static str {
+        match self {
+            StreamletMsg::Proposal { .. } => "sl-proposal",
+            StreamletMsg::Vote(_) => "sl-vote",
+        }
+    }
+}
+
+/// Block-fetch protocol shared by all engines: ask a peer for a block you
+/// hold a certificate for but never received.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SyncMsg {
+    /// Request a block by hash.
+    Request {
+        /// Hash of the wanted block.
+        hash: BlockHash,
+    },
+    /// Serve a previously requested block.
+    Response {
+        /// The requested block.
+        block: Block,
+    },
+}
+
+impl Wire for Message {
+    fn encode(&self, out: &mut Writer) {
+        match self {
+            Message::Chained(m) => {
+                out.u8(0);
+                m.encode(out);
+            }
+            Message::HotStuff(m) => {
+                out.u8(1);
+                m.encode(out);
+            }
+            Message::Streamlet(m) => {
+                out.u8(2);
+                m.encode(out);
+            }
+            Message::Sync(m) => {
+                out.u8(3);
+                m.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match input.u8()? {
+            0 => Ok(Message::Chained(ChainedMsg::decode(input)?)),
+            1 => Ok(Message::HotStuff(HotStuffMsg::decode(input)?)),
+            2 => Ok(Message::Streamlet(StreamletMsg::decode(input)?)),
+            3 => Ok(Message::Sync(SyncMsg::decode(input)?)),
+            _ => Err(CodecError::Invalid("message family")),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            Message::Chained(m) => m.encoded_len(),
+            Message::HotStuff(m) => m.encoded_len(),
+            Message::Streamlet(m) => m.encoded_len(),
+            Message::Sync(m) => m.encoded_len(),
+        }
+    }
+}
+
+impl Wire for ChainedMsg {
+    fn encode(&self, out: &mut Writer) {
+        match self {
+            ChainedMsg::Proposal { block, parent_notarization, parent_unlock, fast_vote } => {
+                out.u8(0);
+                block.encode(out);
+                out.option(parent_notarization);
+                out.option(parent_unlock);
+                out.option(fast_vote);
+            }
+            ChainedMsg::Votes(votes) => {
+                out.u8(1);
+                out.var_list(votes);
+            }
+            ChainedMsg::Advance { notarization, unlock } => {
+                out.u8(2);
+                notarization.encode(out);
+                out.option(unlock);
+            }
+            ChainedMsg::Final(f) => {
+                out.u8(3);
+                f.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match input.u8()? {
+            0 => Ok(ChainedMsg::Proposal {
+                block: Block::decode(input)?,
+                parent_notarization: input.option()?,
+                parent_unlock: input.option()?,
+                fast_vote: input.option()?,
+            }),
+            1 => Ok(ChainedMsg::Votes(input.var_list()?)),
+            2 => Ok(ChainedMsg::Advance {
+                notarization: Notarization::decode(input)?,
+                unlock: input.option()?,
+            }),
+            3 => Ok(ChainedMsg::Final(Finalization::decode(input)?)),
+            _ => Err(CodecError::Invalid("chained message")),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            ChainedMsg::Proposal { block, parent_notarization, parent_unlock, fast_vote } => {
+                block.encoded_len()
+                    + 1
+                    + parent_notarization.as_ref().map_or(0, Wire::encoded_len)
+                    + 1
+                    + parent_unlock.as_ref().map_or(0, Wire::encoded_len)
+                    + 1
+                    + fast_vote.as_ref().map_or(0, Wire::encoded_len)
+            }
+            ChainedMsg::Votes(votes) => 4 + votes.iter().map(Wire::encoded_len).sum::<usize>(),
+            ChainedMsg::Advance { notarization, unlock } => {
+                notarization.encoded_len() + 1 + unlock.as_ref().map_or(0, Wire::encoded_len)
+            }
+            ChainedMsg::Final(f) => f.encoded_len(),
+        }
+    }
+}
+
+impl Wire for HotStuffMsg {
+    fn encode(&self, out: &mut Writer) {
+        match self {
+            HotStuffMsg::Proposal { block, justify } => {
+                out.u8(0);
+                block.encode(out);
+                justify.encode(out);
+            }
+            HotStuffMsg::Vote { view, block, voter, signature } => {
+                out.u8(1);
+                out.u64(*view);
+                out.raw(&block.0);
+                out.u16(voter.0);
+                out.raw(&signature.0);
+            }
+            HotStuffMsg::NewView { view, justify } => {
+                out.u8(2);
+                out.u64(*view);
+                justify.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match input.u8()? {
+            0 => Ok(HotStuffMsg::Proposal {
+                block: Block::decode(input)?,
+                justify: QuorumCert::decode(input)?,
+            }),
+            1 => Ok(HotStuffMsg::Vote {
+                view: input.u64()?,
+                block: BlockHash(input.bytes32()?),
+                voter: ReplicaId(input.u16()?),
+                signature: Signature(input.bytes64()?),
+            }),
+            2 => Ok(HotStuffMsg::NewView { view: input.u64()?, justify: QuorumCert::decode(input)? }),
+            _ => Err(CodecError::Invalid("hotstuff message")),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            HotStuffMsg::Proposal { block, justify } => block.encoded_len() + justify.encoded_len(),
+            HotStuffMsg::Vote { .. } => 8 + 32 + 2 + 64,
+            HotStuffMsg::NewView { justify, .. } => 8 + justify.encoded_len(),
+        }
+    }
+}
+
+impl Wire for StreamletMsg {
+    fn encode(&self, out: &mut Writer) {
+        match self {
+            StreamletMsg::Proposal { block } => {
+                out.u8(0);
+                block.encode(out);
+            }
+            StreamletMsg::Vote(vote) => {
+                out.u8(1);
+                vote.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match input.u8()? {
+            0 => Ok(StreamletMsg::Proposal { block: Block::decode(input)? }),
+            1 => Ok(StreamletMsg::Vote(Vote::decode(input)?)),
+            _ => Err(CodecError::Invalid("streamlet message")),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            StreamletMsg::Proposal { block } => block.encoded_len(),
+            StreamletMsg::Vote(vote) => vote.encoded_len(),
+        }
+    }
+}
+
+impl Wire for SyncMsg {
+    fn encode(&self, out: &mut Writer) {
+        match self {
+            SyncMsg::Request { hash } => {
+                out.u8(0);
+                out.raw(&hash.0);
+            }
+            SyncMsg::Response { block } => {
+                out.u8(1);
+                block.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match input.u8()? {
+            0 => Ok(SyncMsg::Request { hash: BlockHash(input.bytes32()?) }),
+            1 => Ok(SyncMsg::Response { block: Block::decode(input)? }),
+            _ => Err(CodecError::Invalid("sync message")),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            SyncMsg::Request { .. } => 32,
+            SyncMsg::Response { block } => block.encoded_len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Rank, Round};
+    use crate::payload::Payload;
+    use crate::time::Time;
+    use banyan_crypto::{AggregateSignature, SignerBitmap};
+
+    fn block(payload: Payload) -> Block {
+        Block {
+            round: Round(4),
+            proposer: ReplicaId(1),
+            rank: Rank(0),
+            parent: BlockHash([6; 32]),
+            proposed_at: Time(99),
+            payload,
+            signature: Signature([1; 64]),
+        }
+    }
+
+    fn agg() -> AggregateSignature {
+        let mut bm = SignerBitmap::new(4);
+        bm.set(0);
+        bm.set(2);
+        AggregateSignature { signers: bm, data: vec![7; 32] }
+    }
+
+    fn vote() -> Vote {
+        Vote {
+            kind: crate::vote::VoteKind::Fast,
+            round: Round(4),
+            block: BlockHash([6; 32]),
+            voter: ReplicaId(3),
+            signature: Signature([2; 64]),
+        }
+    }
+
+    fn all_messages() -> Vec<Message> {
+        vec![
+            Message::Chained(ChainedMsg::Proposal {
+                block: block(Payload::synthetic(1 << 20, 1)),
+                parent_notarization: Some(Notarization {
+                    round: Round(3),
+                    block: BlockHash([6; 32]),
+                    agg: agg(),
+                    fast_agg: Some(agg()),
+                }),
+                parent_unlock: Some(UnlockProof {
+                    round: Round(3),
+                    entries: vec![crate::certs::UnlockEntry {
+                        block: BlockHash([6; 32]),
+                        rank: Rank(0),
+                        agg: agg(),
+                    }],
+                }),
+                fast_vote: Some(vote()),
+            }),
+            Message::Chained(ChainedMsg::Proposal {
+                block: block(Payload::empty()),
+                parent_notarization: None,
+                parent_unlock: None,
+                fast_vote: None,
+            }),
+            Message::Chained(ChainedMsg::Votes(vec![vote(), vote()])),
+            Message::Chained(ChainedMsg::Advance {
+                notarization: Notarization::from_votes(Round(4), BlockHash([6; 32]), agg()),
+                unlock: None,
+            }),
+            Message::Chained(ChainedMsg::Final(Finalization {
+                round: Round(4),
+                block: BlockHash([6; 32]),
+                kind: crate::certs::FinalKind::Fast,
+                agg: agg(),
+            })),
+            Message::HotStuff(HotStuffMsg::Proposal {
+                block: block(Payload::Inline(vec![1, 2, 3])),
+                justify: QuorumCert::genesis(),
+            }),
+            Message::HotStuff(HotStuffMsg::Vote {
+                view: 9,
+                block: BlockHash([6; 32]),
+                voter: ReplicaId(2),
+                signature: Signature([3; 64]),
+            }),
+            Message::HotStuff(HotStuffMsg::NewView {
+                view: 10,
+                justify: QuorumCert { view: 9, block: BlockHash([6; 32]), agg: agg() },
+            }),
+            Message::Streamlet(StreamletMsg::Proposal { block: block(Payload::empty()) }),
+            Message::Streamlet(StreamletMsg::Vote(vote())),
+            Message::Sync(SyncMsg::Request { hash: BlockHash([6; 32]) }),
+            Message::Sync(SyncMsg::Response { block: block(Payload::synthetic(100, 2)) }),
+        ]
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        for msg in all_messages() {
+            let bytes = msg.to_bytes();
+            assert_eq!(bytes.len(), msg.encoded_len(), "encoded_len mismatch for {}", msg.label());
+            assert_eq!(Message::from_bytes(&bytes).unwrap(), msg, "roundtrip for {}", msg.label());
+        }
+    }
+
+    #[test]
+    fn wire_len_charges_synthetic_payload() {
+        let msg = Message::Chained(ChainedMsg::Proposal {
+            block: block(Payload::synthetic(1 << 20, 1)),
+            parent_notarization: None,
+            parent_unlock: None,
+            fast_vote: None,
+        });
+        assert!(msg.wire_len() > 1 << 20, "1 MiB payload must dominate wire size");
+        assert_eq!(msg.wire_len(), msg.encoded_len() as u64 + (1 << 20));
+
+        let small = Message::Sync(SyncMsg::Request { hash: BlockHash([0; 32]) });
+        assert_eq!(small.wire_len(), small.encoded_len() as u64);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let labels: Vec<_> = all_messages().iter().map(Message::label).collect();
+        assert!(labels.contains(&"proposal"));
+        assert!(labels.contains(&"votes"));
+        assert!(labels.contains(&"hs-vote"));
+        assert!(labels.contains(&"sl-proposal"));
+        assert!(labels.contains(&"sync-req"));
+    }
+
+    #[test]
+    fn unknown_family_rejected() {
+        assert_eq!(Message::from_bytes(&[9]).unwrap_err(), CodecError::Invalid("message family"));
+    }
+
+    #[test]
+    fn vote_message_is_small() {
+        // Votes must stay small so quorum traffic never bottlenecks on
+        // bandwidth the way proposals do.
+        let msg = Message::Chained(ChainedMsg::Votes(vec![vote(), vote()]));
+        assert!(msg.wire_len() < 300, "two bundled votes should be < 300B, got {}", msg.wire_len());
+    }
+}

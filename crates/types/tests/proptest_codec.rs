@@ -1,0 +1,181 @@
+//! Property tests: the wire codec must roundtrip every representable
+//! message, and `encoded_len` must always equal the actual encoding size
+//! (the simulator's bandwidth accounting depends on it).
+
+use proptest::prelude::*;
+
+use banyan_crypto::{AggregateSignature, Signature, SignerBitmap};
+use banyan_types::block::Block;
+use banyan_types::certs::{FinalKind, Finalization, Notarization, QuorumCert, UnlockEntry, UnlockProof};
+use banyan_types::codec::Wire;
+use banyan_types::ids::{BlockHash, Rank, ReplicaId, Round};
+use banyan_types::message::{ChainedMsg, HotStuffMsg, Message, StreamletMsg, SyncMsg};
+use banyan_types::payload::Payload;
+use banyan_types::time::Time;
+use banyan_types::vote::{Vote, VoteKind};
+
+fn arb_hash() -> impl Strategy<Value = BlockHash> {
+    any::<[u8; 32]>().prop_map(BlockHash)
+}
+
+fn arb_sig() -> impl Strategy<Value = Signature> {
+    any::<[u8; 32]>().prop_map(|half| {
+        let mut s = [0u8; 64];
+        s[..32].copy_from_slice(&half);
+        s[32..].copy_from_slice(&half);
+        Signature(s)
+    })
+}
+
+fn arb_payload() -> impl Strategy<Value = Payload> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..256).prop_map(Payload::Inline),
+        (any::<u64>(), any::<u64>()).prop_map(|(len, seed)| Payload::Synthetic {
+            len: len % (1 << 24),
+            seed
+        }),
+    ]
+}
+
+fn arb_block() -> impl Strategy<Value = Block> {
+    (
+        any::<u64>(),
+        any::<u16>(),
+        any::<u16>(),
+        arb_hash(),
+        any::<u64>(),
+        arb_payload(),
+        arb_sig(),
+    )
+        .prop_map(|(round, proposer, rank, parent, at, payload, signature)| Block {
+            round: Round(round),
+            proposer: ReplicaId(proposer),
+            rank: Rank(rank),
+            parent,
+            proposed_at: Time(at),
+            payload,
+            signature,
+        })
+}
+
+fn arb_agg() -> impl Strategy<Value = AggregateSignature> {
+    (1usize..64, proptest::collection::vec(any::<u8>(), 0..64), proptest::collection::vec(any::<u16>(), 0..8))
+        .prop_map(|(width, data, setters)| {
+            let mut bm = SignerBitmap::new(width);
+            for s in setters {
+                bm.set(s % width as u16);
+            }
+            AggregateSignature { signers: bm, data }
+        })
+}
+
+fn arb_vote() -> impl Strategy<Value = Vote> {
+    (
+        prop_oneof![Just(VoteKind::Notarize), Just(VoteKind::Finalize), Just(VoteKind::Fast)],
+        any::<u64>(),
+        arb_hash(),
+        any::<u16>(),
+        arb_sig(),
+    )
+        .prop_map(|(kind, round, block, voter, signature)| Vote {
+            kind,
+            round: Round(round),
+            block,
+            voter: ReplicaId(voter),
+            signature,
+        })
+}
+
+fn arb_notarization() -> impl Strategy<Value = Notarization> {
+    (any::<u64>(), arb_hash(), arb_agg(), proptest::option::of(arb_agg())).prop_map(
+        |(round, block, agg, fast_agg)| Notarization { round: Round(round), block, agg, fast_agg },
+    )
+}
+
+fn arb_unlock_proof() -> impl Strategy<Value = UnlockProof> {
+    (
+        any::<u64>(),
+        proptest::collection::vec((arb_hash(), any::<u16>(), arb_agg()), 0..4),
+    )
+        .prop_map(|(round, entries)| UnlockProof {
+            round: Round(round),
+            entries: entries
+                .into_iter()
+                .map(|(block, rank, agg)| UnlockEntry { block, rank: Rank(rank), agg })
+                .collect(),
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (arb_block(), proptest::option::of(arb_notarization()), proptest::option::of(arb_unlock_proof()), proptest::option::of(arb_vote()))
+            .prop_map(|(block, parent_notarization, parent_unlock, fast_vote)| {
+                Message::Chained(ChainedMsg::Proposal { block, parent_notarization, parent_unlock, fast_vote })
+            }),
+        proptest::collection::vec(arb_vote(), 0..5).prop_map(|v| Message::Chained(ChainedMsg::Votes(v))),
+        (arb_notarization(), proptest::option::of(arb_unlock_proof()))
+            .prop_map(|(notarization, unlock)| Message::Chained(ChainedMsg::Advance { notarization, unlock })),
+        (any::<u64>(), arb_hash(), prop_oneof![Just(FinalKind::Slow), Just(FinalKind::Fast)], arb_agg())
+            .prop_map(|(round, block, kind, agg)| Message::Chained(ChainedMsg::Final(Finalization {
+                round: Round(round),
+                block,
+                kind,
+                agg,
+            }))),
+        (arb_block(), any::<u64>(), arb_hash(), arb_agg()).prop_map(|(block, view, qblock, agg)| {
+            Message::HotStuff(HotStuffMsg::Proposal { block, justify: QuorumCert { view, block: qblock, agg } })
+        }),
+        (any::<u64>(), arb_hash(), any::<u16>(), arb_sig()).prop_map(|(view, block, voter, signature)| {
+            Message::HotStuff(HotStuffMsg::Vote { view, block, voter: ReplicaId(voter), signature })
+        }),
+        arb_block().prop_map(|block| Message::Streamlet(StreamletMsg::Proposal { block })),
+        arb_vote().prop_map(|v| Message::Streamlet(StreamletMsg::Vote(v))),
+        arb_hash().prop_map(|hash| Message::Sync(SyncMsg::Request { hash })),
+        arb_block().prop_map(|block| Message::Sync(SyncMsg::Response { block })),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn message_roundtrip(msg in arb_message()) {
+        let bytes = msg.to_bytes();
+        prop_assert_eq!(bytes.len(), msg.encoded_len(), "encoded_len mismatch");
+        let back = Message::from_bytes(&bytes).expect("decode");
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn wire_len_at_least_encoded_len(msg in arb_message()) {
+        prop_assert!(msg.wire_len() >= msg.encoded_len() as u64);
+    }
+
+    #[test]
+    fn truncated_messages_never_panic(msg in arb_message(), cut in 0usize..64) {
+        let mut bytes = msg.to_bytes();
+        let keep = bytes.len().saturating_sub(cut + 1);
+        bytes.truncate(keep);
+        // Must error (or decode a prefix value then fail the exhaustion
+        // check) — never panic.
+        let _ = Message::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn vote_roundtrip(v in arb_vote()) {
+        prop_assert_eq!(Vote::from_bytes(&v.to_bytes()).expect("decode"), v);
+    }
+
+    #[test]
+    fn unlock_proof_roundtrip(p in arb_unlock_proof()) {
+        prop_assert_eq!(UnlockProof::from_bytes(&p.to_bytes()).expect("decode"), p);
+    }
+
+    #[test]
+    fn block_hash_is_stable_under_reencode(b in arb_block()) {
+        let chunk = 16 * 1024;
+        let h1 = b.hash(chunk);
+        let b2 = Block::from_bytes(&b.to_bytes()).expect("decode");
+        prop_assert_eq!(b2.hash(chunk), h1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Quickstart: run a 4-replica Banyan cluster in the WAN simulator and
+//! print the paper's two metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use banyan::core::builder::ClusterBuilder;
+use banyan::simnet::faults::FaultPlan;
+use banyan::simnet::sim::{SimConfig, Simulation};
+use banyan::simnet::topology::Topology;
+use banyan::types::ids::ReplicaId;
+use banyan::types::time::{Duration, Time};
+
+fn main() {
+    // One replica in each of four AWS datacenters (the paper's §9.3 small
+    // testbed), 100 KB blocks.
+    let topology = Topology::four_global_4();
+    let delta = topology.max_one_way() + Duration::from_millis(10);
+
+    let engines = ClusterBuilder::new(4, 1, 1) // n = 4, f = 1, p = 1
+        .expect("valid parameters")
+        .delta(delta)
+        .payload_size(100_000)
+        .build_banyan();
+
+    let mut sim = Simulation::new(topology, engines, FaultPlan::none(), SimConfig::with_seed(1));
+    sim.run_until(Time(Duration::from_secs(10).as_nanos()));
+
+    assert!(sim.auditor().is_safe(), "consensus safety violated?!");
+    let metrics = sim.metrics();
+    let latency = metrics.proposer_latency_stats();
+
+    println!("simulated 10 s of Banyan over 4 global datacenters");
+    println!("  rounds finalized : {}", sim.auditor().committed_rounds());
+    println!("  proposal latency : {:.1} ms mean / {:.1} ms p90", latency.mean_ms, latency.p90_ms);
+    println!("  throughput       : {:.2} MB/s", metrics.throughput_bps(ReplicaId(0)) / 1e6);
+    println!("  fast-path share  : {:.0}%", metrics.fast_path_share(ReplicaId(0)) * 100.0);
+}

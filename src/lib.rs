@@ -1,0 +1,17 @@
+//! # Banyan: Fast Rotating Leader BFT — facade crate
+//!
+//! Re-exports the public API of the whole workspace. See the individual
+//! crates for details:
+//!
+//! * [`banyan_core`] — the Banyan protocol plus the ICC, HotStuff and
+//!   Streamlet engines.
+//! * [`banyan_simnet`] — deterministic discrete-event WAN simulator.
+//! * [`banyan_types`] — blocks, votes, certificates, wire codec.
+//! * [`banyan_crypto`] — hashes, multi-signatures, PKI, beacon.
+//! * [`banyan_transport`] — threaded TCP deployment of the same engines.
+
+pub use banyan_core as core;
+pub use banyan_crypto as crypto;
+pub use banyan_simnet as simnet;
+pub use banyan_transport as transport;
+pub use banyan_types as types;

@@ -1,0 +1,133 @@
+//! Workspace-level integration tests, exercised through the `banyan`
+//! facade exactly as a downstream user would.
+
+use std::sync::Arc;
+
+use banyan::core::builder::ClusterBuilder;
+use banyan::crypto::schnorr::ToySchnorr;
+use banyan::simnet::faults::FaultPlan;
+use banyan::simnet::sim::{SimConfig, Simulation};
+use banyan::simnet::topology::Topology;
+use banyan::types::time::{Duration, Time};
+
+fn secs(s: u64) -> Time {
+    Time(Duration::from_secs(s).as_nanos())
+}
+
+#[test]
+fn all_protocols_run_on_the_global_testbed() {
+    for protocol in ["banyan", "icc", "hotstuff", "streamlet"] {
+        let topo = Topology::nineteen_global();
+        let delta = topo.max_one_way() + Duration::from_millis(10);
+        let engines = ClusterBuilder::new(19, 6, 1)
+            .unwrap()
+            .delta(delta)
+            .payload_size(50_000)
+            .build(protocol);
+        let mut sim =
+            Simulation::new(topo, engines, FaultPlan::none(), SimConfig::with_seed(17));
+        sim.run_until(secs(10));
+        assert!(sim.auditor().is_safe(), "{protocol}: {:?}", sim.auditor().violations());
+        assert!(
+            sim.auditor().committed_rounds() > 3,
+            "{protocol}: only {} rounds",
+            sim.auditor().committed_rounds()
+        );
+    }
+}
+
+#[test]
+fn publicly_verifiable_schnorr_scheme_end_to_end() {
+    // Swap the HMAC stand-in for the structurally real Schnorr scheme and
+    // run the full protocol with signature verification on.
+    let topo = Topology::uniform(4, Duration::from_millis(10));
+    let engines = ClusterBuilder::new(4, 1, 1)
+        .unwrap()
+        .scheme(Arc::new(ToySchnorr::new()))
+        .delta(Duration::from_millis(20))
+        .payload_size(1_000)
+        .build_banyan();
+    let mut sim = Simulation::new(topo, engines, FaultPlan::none(), SimConfig::with_seed(23));
+    sim.run_until(secs(5));
+    assert!(sim.auditor().is_safe());
+    assert!(sim.auditor().committed_rounds() > 20);
+}
+
+#[test]
+fn seeded_beacon_schedule_end_to_end() {
+    let topo = Topology::uniform(5, Duration::from_millis(10));
+    let engines = ClusterBuilder::new(5, 1, 1)
+        .unwrap()
+        .seeded_beacon(99)
+        .delta(Duration::from_millis(20))
+        .payload_size(1_000)
+        .build_banyan();
+    let mut sim = Simulation::new(topo, engines, FaultPlan::none(), SimConfig::with_seed(29));
+    sim.run_until(secs(5));
+    assert!(sim.auditor().is_safe());
+    assert!(sim.auditor().committed_rounds() > 20);
+}
+
+#[test]
+fn simulation_and_tcp_agree_on_chain_content() {
+    // The same engines run under the simulator and over loopback TCP.
+    // Both must be safe and make progress; chains won't be identical
+    // (different timing) but every committed round must be internally
+    // consistent in each world.
+    let build = || {
+        ClusterBuilder::new(4, 1, 1)
+            .unwrap()
+            .delta(Duration::from_millis(30))
+            .payload_size(256)
+            .build_banyan()
+    };
+
+    // Simulated world.
+    let topo = Topology::uniform(4, Duration::from_millis(5));
+    let mut sim = Simulation::new(topo, build(), FaultPlan::none(), SimConfig::with_seed(31));
+    sim.run_until(secs(3));
+    assert!(sim.auditor().is_safe());
+    assert!(sim.auditor().committed_rounds() > 10);
+
+    // Real-socket world.
+    let reports = banyan::transport::run_local_cluster(build(), std::time::Duration::from_secs(3));
+    let mut canonical = std::collections::HashMap::new();
+    let mut commits = 0;
+    for r in &reports {
+        for c in &r.commits {
+            commits += 1;
+            if let Some(prev) = canonical.insert(c.round, c.block) {
+                assert_eq!(prev, c.block, "TCP world disagreed at round {}", c.round);
+            }
+        }
+    }
+    assert!(commits > 10, "TCP world committed only {commits}");
+}
+
+#[test]
+fn forwarding_off_still_finalizes() {
+    let topo = Topology::four_global_4();
+    let engines = ClusterBuilder::new(4, 1, 1)
+        .unwrap()
+        .delta(topo.max_one_way() + Duration::from_millis(5))
+        .payload_size(10_000)
+        .forwarding(false)
+        .build_banyan();
+    let mut sim = Simulation::new(topo, engines, FaultPlan::none(), SimConfig::with_seed(37));
+    sim.run_until(secs(10));
+    assert!(sim.auditor().is_safe());
+    assert!(sim.auditor().committed_rounds() > 10);
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // Compile-time check that the facade exposes the full API surface.
+    use banyan::core::model::render_table1;
+    use banyan::crypto::sha256::sha256;
+    use banyan::types::config::ProtocolConfig;
+
+    let cfg = ProtocolConfig::new(19, 6, 1).unwrap();
+    assert_eq!(cfg.fast_quorum(), 18);
+    assert_eq!(sha256(b"").len(), 32);
+    assert!(render_table1(6, 1).contains("Banyan"));
+}

@@ -1,0 +1,103 @@
+//! Shape-regression tests: the paper's qualitative results, pinned in CI.
+//!
+//! These run scaled-down versions of the headline experiments and assert
+//! the *orderings* the paper reports (not absolute numbers). If a
+//! refactoring of the engines or the network model breaks one of these,
+//! the reproduction has regressed.
+
+use banyan::core::builder::ClusterBuilder;
+use banyan::simnet::faults::FaultPlan;
+use banyan::simnet::sim::{SimConfig, Simulation};
+use banyan::simnet::topology::Topology;
+use banyan::types::engine::Engine;
+use banyan::types::time::{Duration, Time};
+
+fn secs(s: u64) -> Time {
+    Time(Duration::from_secs(s).as_nanos())
+}
+
+fn mean_latency(protocol: &str, topo: Topology, f: usize, p: usize, payload: u64) -> f64 {
+    let n = topo.n();
+    let delta = topo.max_one_way() + Duration::from_millis(10);
+    let engines: Vec<Box<dyn Engine>> = ClusterBuilder::new(n, f, p)
+        .unwrap()
+        .delta(delta)
+        .payload_size(payload)
+        .build(protocol);
+    let mut sim = Simulation::new(topo, engines, FaultPlan::none(), SimConfig::with_seed(42));
+    sim.run_until(secs(15));
+    assert!(sim.auditor().is_safe(), "{protocol} unsafe");
+    let stats = sim.metrics().proposer_latency_stats();
+    assert!(stats.count > 10, "{protocol}: too few samples ({})", stats.count);
+    stats.mean_ms
+}
+
+/// Fig. 6b's ordering at 1 MB, n = 4 global: Banyan < ICC < Streamlet and
+/// Banyan < ICC < HotStuff.
+#[test]
+fn fig6b_ordering_banyan_beats_icc_beats_baselines() {
+    let banyan = mean_latency("banyan", Topology::four_global_4(), 1, 1, 1_000_000);
+    let icc = mean_latency("icc", Topology::four_global_4(), 1, 1, 1_000_000);
+    let hotstuff = mean_latency("hotstuff", Topology::four_global_4(), 1, 1, 1_000_000);
+    let streamlet = mean_latency("streamlet", Topology::four_global_4(), 1, 1, 1_000_000);
+    assert!(banyan < icc, "banyan {banyan:.1} !< icc {icc:.1}");
+    assert!(icc < streamlet, "icc {icc:.1} !< streamlet {streamlet:.1}");
+    assert!(icc < hotstuff, "icc {icc:.1} !< hotstuff {hotstuff:.1}");
+    // The improvement is substantial (paper: ~30%; accept ≥ 10%).
+    let improvement = (icc - banyan) / icc;
+    assert!(improvement > 0.10, "improvement only {:.1}%", improvement * 100.0);
+}
+
+/// Fig. 6a/6e's p-effect at n = 19: p = 4 is at least as fast as p = 1,
+/// and both beat ICC.
+#[test]
+fn p4_beats_p1_beats_icc_at_n19() {
+    let p1 = mean_latency("banyan", Topology::four_global_19(), 6, 1, 200_000);
+    let p4 = mean_latency("banyan", Topology::four_global_19(), 4, 4, 200_000);
+    let icc = mean_latency("icc", Topology::four_global_19(), 6, 1, 200_000);
+    assert!(p1 < icc, "banyan p=1 {p1:.1} !< icc {icc:.1}");
+    assert!(p4 <= p1 * 1.02, "banyan p=4 {p4:.1} should be ≤ p=1 {p1:.1}");
+}
+
+/// Fig. 6d's core claim: under crashes, Banyan's throughput equals ICC's
+/// (within 2%).
+#[test]
+fn banyan_equals_icc_under_crashes() {
+    let run = |protocol: &str| {
+        let topo = Topology::four_us_19();
+        let engines: Vec<Box<dyn Engine>> = ClusterBuilder::new(19, 6, 1)
+            .unwrap()
+            .delta(Duration::from_millis(500))
+            .payload_size(50_000)
+            .build(protocol);
+        let faults = FaultPlan::none().crash_spread(4, 19, Time::ZERO);
+        let mut sim = Simulation::new(topo, engines, faults, SimConfig::with_seed(42));
+        sim.run_until(secs(20));
+        assert!(sim.auditor().is_safe());
+        sim.auditor().committed_rounds() as f64
+    };
+    let banyan = run("banyan");
+    let icc = run("icc");
+    assert!(
+        (banyan - icc).abs() / icc < 0.02,
+        "banyan {banyan} rounds vs icc {icc} rounds under crashes"
+    );
+}
+
+/// Table 1 / Fig. 1: the 2δ vs 3δ step counts, the paper's central claim.
+#[test]
+fn two_delta_vs_three_delta() {
+    let one_way = 40.0;
+    let banyan = mean_latency(
+        "banyan",
+        Topology::uniform(4, Duration::from_millis(40)),
+        1,
+        1,
+        1_000,
+    );
+    let icc = mean_latency("icc", Topology::uniform(4, Duration::from_millis(40)), 1, 1, 1_000);
+    let b_steps = banyan / one_way;
+    let i_steps = icc / one_way;
+    assert!((1.9..2.4).contains(&b_steps), "banyan steps {b_steps:.2}");
+    assert!((2.9..3.4).contains(&i_steps), "icc steps {i_steps:.2}");
+}
