@@ -1,0 +1,89 @@
+//! Offline stand-in for the crates.io `crossbeam` crate.
+//!
+//! Only [`channel`] is provided, implemented over `std::sync::mpsc`. The
+//! semantics the transport relies on hold: bounded capacity, cloneable
+//! senders, blocking `recv`, `recv_timeout` and non-blocking `try_send`.
+
+pub mod channel {
+    //! Bounded MPSC channels (std-backed).
+
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TrySendError};
+
+    /// Cloneable producer half.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Consumer half (single consumer, as in the transport's event loop).
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Creates a bounded channel of capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until there is queue room.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+
+        /// Fails immediately if the queue is full or disconnected.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Blocks for at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bounded_roundtrip_and_backpressure() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), 2);
+            assert!(rx.recv_timeout(Duration::from_millis(1)).is_err());
+        }
+
+        #[test]
+        fn senders_clone_across_threads() {
+            let (tx, rx) = bounded::<u32>(16);
+            let tx2 = tx.clone();
+            let h = std::thread::spawn(move || tx2.send(7).unwrap());
+            tx.send(8).unwrap();
+            h.join().unwrap();
+            let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+            got.sort_unstable();
+            assert_eq!(got, vec![7, 8]);
+        }
+    }
+}

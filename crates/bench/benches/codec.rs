@@ -41,7 +41,10 @@ fn proposal() -> Message {
         parent_notarization: Some(Notarization::from_votes(
             Round(1233),
             BlockHash([1; 32]),
-            AggregateSignature { signers: bm, data: vec![0xCD; 32] },
+            AggregateSignature {
+                signers: bm,
+                data: vec![0xCD; 32],
+            },
         )),
         parent_unlock: None,
         fast_vote: Some(vote()),

@@ -27,7 +27,9 @@ fn bench_sha256(c: &mut Criterion) {
 
 fn bench_hmac(c: &mut Criterion) {
     let data = vec![0u8; 1024];
-    c.bench_function("hmac_sha256/1KiB", |b| b.iter(|| hmac_sha256(b"key", &data)));
+    c.bench_function("hmac_sha256/1KiB", |b| {
+        b.iter(|| hmac_sha256(b"key", &data))
+    });
 }
 
 fn bench_merkle(c: &mut Criterion) {
@@ -43,14 +45,16 @@ fn bench_merkle(c: &mut Criterion) {
 }
 
 fn bench_schemes(c: &mut Criterion) {
-    let schemes: Vec<(&str, Arc<dyn SignatureScheme>)> =
-        vec![("hashsig", Arc::new(HashSig)), ("schnorr", Arc::new(ToySchnorr::new()))];
+    let schemes: Vec<(&str, Arc<dyn SignatureScheme>)> = vec![
+        ("hashsig", Arc::new(HashSig)),
+        ("schnorr", Arc::new(ToySchnorr::new())),
+    ];
     for (name, scheme) in schemes {
         let (sk, pk) = scheme.keygen(&[1u8; 32]);
         let msg = b"notarization vote / round 1234 / block abcd";
         let sig = scheme.sign(&sk, msg);
-        c.bench_function(&format!("{name}/sign"), |b| b.iter(|| scheme.sign(&sk, msg)));
-        c.bench_function(&format!("{name}/verify"), |b| {
+        c.bench_function(format!("{name}/sign"), |b| b.iter(|| scheme.sign(&sk, msg)));
+        c.bench_function(format!("{name}/verify"), |b| {
             b.iter(|| assert!(scheme.verify(&pk, msg, &sig)))
         });
 
@@ -64,11 +68,11 @@ fn bench_schemes(c: &mut Criterion) {
             .enumerate()
             .map(|(i, (sk, _))| (i as SignerIndex, scheme.sign(sk, msg)))
             .collect();
-        c.bench_function(&format!("{name}/aggregate13"), |b| {
+        c.bench_function(format!("{name}/aggregate13"), |b| {
             b.iter(|| scheme.aggregate(19, &votes))
         });
         let agg = scheme.aggregate(19, &votes);
-        c.bench_function(&format!("{name}/verify_aggregate13"), |b| {
+        c.bench_function(format!("{name}/verify_aggregate13"), |b| {
             b.iter(|| assert!(scheme.verify_aggregate(&pks, msg, &agg)))
         });
     }
@@ -80,5 +84,12 @@ fn bench_registry(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sha256, bench_hmac, bench_merkle, bench_schemes, bench_registry);
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_hmac,
+    bench_merkle,
+    bench_schemes,
+    bench_registry
+);
 criterion_main!(benches);

@@ -20,7 +20,10 @@ const SIM_SECS: u64 = 1;
 
 fn check(out: &banyan_bench::runner::Outcome) {
     assert!(out.safe, "safety violation inside a bench scenario");
-    assert!(out.committed_rounds > 0, "no progress inside a bench scenario");
+    assert!(
+        out.committed_rounds > 0,
+        "no progress inside a bench scenario"
+    );
 }
 
 fn bench_fig1(c: &mut Criterion) {
@@ -29,20 +32,20 @@ fn bench_fig1(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(500));
     g.measurement_time(std::time::Duration::from_secs(5));
     for protocol in ["banyan", "icc", "hotstuff", "streamlet"] {
-        g.bench_with_input(BenchmarkId::from_parameter(protocol), &protocol, |b, proto| {
-            b.iter(|| {
-                let s = Scenario::new(
-                    proto,
-                    Topology::uniform(4, Duration::from_millis(20)),
-                    1,
-                    1,
-                )
-                .payload(1_000)
-                .delta(Duration::from_millis(30))
-                .secs(SIM_SECS);
-                check(&run(&s));
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(protocol),
+            &protocol,
+            |b, proto| {
+                b.iter(|| {
+                    let s =
+                        Scenario::new(proto, Topology::uniform(4, Duration::from_millis(20)), 1, 1)
+                            .payload(1_000)
+                            .delta(Duration::from_millis(30))
+                            .secs(SIM_SECS);
+                    check(&run(&s));
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -53,25 +56,25 @@ fn bench_fig2(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(500));
     g.measurement_time(std::time::Duration::from_secs(5));
     for protocol in ["banyan", "icc"] {
-        g.bench_with_input(BenchmarkId::from_parameter(protocol), &protocol, |b, proto| {
-            b.iter(|| {
-                use banyan_types::ids::ReplicaId;
-                let faults = FaultPlan::none()
-                    .crash(ReplicaId(5), Time::ZERO)
-                    .crash(ReplicaId(6), Time::ZERO);
-                let s = Scenario::new(
-                    proto,
-                    Topology::uniform(7, Duration::from_millis(20)),
-                    2,
-                    1,
-                )
-                .payload(1_000)
-                .delta(Duration::from_millis(30))
-                .faults(faults)
-                .secs(SIM_SECS);
-                check(&run(&s));
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(protocol),
+            &protocol,
+            |b, proto| {
+                b.iter(|| {
+                    use banyan_types::ids::ReplicaId;
+                    let faults = FaultPlan::none()
+                        .crash(ReplicaId(5), Time::ZERO)
+                        .crash(ReplicaId(6), Time::ZERO);
+                    let s =
+                        Scenario::new(proto, Topology::uniform(7, Duration::from_millis(20)), 2, 1)
+                            .payload(1_000)
+                            .delta(Duration::from_millis(30))
+                            .faults(faults)
+                            .secs(SIM_SECS);
+                    check(&run(&s));
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -106,14 +109,18 @@ fn bench_fig6b(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(500));
     g.measurement_time(std::time::Duration::from_secs(5));
     for protocol in ["banyan", "icc"] {
-        g.bench_with_input(BenchmarkId::from_parameter(protocol), &protocol, |b, proto| {
-            b.iter(|| {
-                let s = Scenario::new(proto, Topology::four_global_4(), 1, 1)
-                    .payload(1_000_000)
-                    .secs(SIM_SECS);
-                check(&run(&s));
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(protocol),
+            &protocol,
+            |b, proto| {
+                b.iter(|| {
+                    let s = Scenario::new(proto, Topology::four_global_4(), 1, 1)
+                        .payload(1_000_000)
+                        .secs(SIM_SECS);
+                    check(&run(&s));
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -144,18 +151,22 @@ fn bench_fig6d(c: &mut Criterion) {
     g.warm_up_time(std::time::Duration::from_millis(500));
     g.measurement_time(std::time::Duration::from_secs(5));
     for crashed in [0usize, 4] {
-        g.bench_with_input(BenchmarkId::from_parameter(crashed), &crashed, |b, &crashed| {
-            b.iter(|| {
-                let faults = FaultPlan::none().crash_spread(crashed, 19, Time::ZERO);
-                let s = Scenario::new("banyan", Topology::four_us_19(), 6, 1)
-                    .payload(100_000)
-                    .delta(Duration::from_millis(200))
-                    .faults(faults)
-                    .secs(2); // needs a couple of timeouts to make progress
-                let out = run(&s);
-                assert!(out.safe);
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(crashed),
+            &crashed,
+            |b, &crashed| {
+                b.iter(|| {
+                    let faults = FaultPlan::none().crash_spread(crashed, 19, Time::ZERO);
+                    let s = Scenario::new("banyan", Topology::four_us_19(), 6, 1)
+                        .payload(100_000)
+                        .delta(Duration::from_millis(200))
+                        .faults(faults)
+                        .secs(2); // needs a couple of timeouts to make progress
+                    let out = run(&s);
+                    assert!(out.safe);
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -165,9 +176,11 @@ fn bench_fig6e(c: &mut Criterion) {
     g.sample_size(10);
     g.warm_up_time(std::time::Duration::from_millis(500));
     g.measurement_time(std::time::Duration::from_secs(5));
-    for (label, protocol, f, p) in
-        [("banyan_p1", "banyan", 6usize, 1usize), ("banyan_p4", "banyan", 4, 4), ("icc", "icc", 6, 1)]
-    {
+    for (label, protocol, f, p) in [
+        ("banyan_p1", "banyan", 6usize, 1usize),
+        ("banyan_p4", "banyan", 4, 4),
+        ("icc", "icc", 6, 1),
+    ] {
         g.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| {
                 let s = Scenario::new(protocol, Topology::nineteen_global(), f, p)

@@ -29,8 +29,12 @@ fn run_with_beacon(seeded: Option<u64>, topo: &Topology, payload: u64, secs: u64
         builder = builder.seeded_beacon(seed);
     }
     let engines = builder.build_banyan();
-    let mut sim =
-        Simulation::new(topo.clone(), engines, FaultPlan::none(), SimConfig::with_seed(42));
+    let mut sim = Simulation::new(
+        topo.clone(),
+        engines,
+        FaultPlan::none(),
+        SimConfig::with_seed(42),
+    );
     sim.run_until(Time(Duration::from_secs(secs).as_nanos()));
     let m = sim.metrics();
     let intervals = m.block_intervals(ReplicaId(0));
@@ -47,7 +51,10 @@ fn run_with_beacon(seeded: Option<u64>, topo: &Topology, payload: u64, secs: u64
 }
 
 fn main() {
-    let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
     let payload = 400_000u64;
     let topo = Topology::nineteen_global();
     println!(

@@ -14,7 +14,10 @@ use banyan_simnet::topology::Topology;
 use banyan_types::time::Duration;
 
 fn main() {
-    let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
     let payload = 400_000u64;
     let topo = Topology::four_global_4();
     let base = topo.max_one_way();
@@ -23,9 +26,13 @@ fn main() {
         base.as_millis_f64()
     );
     println!("{}", header());
-    for (label_suffix, factor_num, factor_den) in
-        [("0.25x", 1u64, 4u64), ("0.5x", 1, 2), ("1x", 1, 1), ("2x", 2, 1), ("4x", 4, 1)]
-    {
+    for (label_suffix, factor_num, factor_den) in [
+        ("0.25x", 1u64, 4u64),
+        ("0.5x", 1, 2),
+        ("1x", 1, 1),
+        ("2x", 2, 1),
+        ("4x", 4, 1),
+    ] {
         for protocol in ["banyan", "icc"] {
             let delta = Duration(base.as_nanos() * factor_num / factor_den);
             let label = format!("{protocol} Δ={label_suffix}");

@@ -11,7 +11,10 @@ use banyan_bench::runner::{header, row, run, Scenario};
 use banyan_simnet::topology::Topology;
 
 fn main() {
-    let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
     println!("# Ablation — tip forwarding, n=19 across 4 global datacenters, 400KB, {secs}s");
     println!("{}", header());
     for (protocol, f, p) in [("banyan", 6usize, 1usize), ("icc", 6, 1)] {

@@ -14,7 +14,10 @@ use banyan_simnet::topology::Topology;
 use banyan_types::config::ProtocolConfig;
 
 fn main() {
-    let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
     let payload = 400_000u64;
     println!("# Ablation — p sweep at n=19, 4 global datacenters, 400KB, {secs}s");
     println!("{}", header());

@@ -12,7 +12,10 @@ use banyan_bench::runner::{header, row, run, Scenario};
 use banyan_simnet::topology::Topology;
 
 fn main() {
-    let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
     println!("# Ablation — Remark 7.8 fast-vote piggyback, banyan f=6 p=1, {secs}s");
     println!("{}", header());
     for (topo_label, topo, payload) in [

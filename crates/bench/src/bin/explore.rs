@@ -32,8 +32,14 @@ fn parse_topology(spec: &str) -> Topology {
         other => {
             if let Some(rest) = other.strip_prefix("uniform:") {
                 let mut it = rest.split(':');
-                let n: usize = it.next().and_then(|s| s.parse().ok()).expect("uniform:<n>:<ms>");
-                let ms: u64 = it.next().and_then(|s| s.parse().ok()).expect("uniform:<n>:<ms>");
+                let n: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("uniform:<n>:<ms>");
+                let ms: u64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("uniform:<n>:<ms>");
                 Topology::uniform(n, Duration::from_millis(ms))
             } else {
                 panic!("unknown topology {other:?}");
@@ -43,22 +49,35 @@ fn parse_topology(spec: &str) -> Topology {
 }
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let protocol = flag_value(&args, "--protocol").unwrap_or_else(|| "banyan".into());
-    let topology = parse_topology(
-        &flag_value(&args, "--topology").unwrap_or_else(|| "four_global_4".into()),
-    );
-    let f: usize = flag_value(&args, "--f").and_then(|s| s.parse().ok()).unwrap_or(1);
-    let p: usize = flag_value(&args, "--p").and_then(|s| s.parse().ok()).unwrap_or(1);
-    let payload: u64 =
-        flag_value(&args, "--payload").and_then(|s| s.parse().ok()).unwrap_or(100_000);
-    let secs: u64 = flag_value(&args, "--secs").and_then(|s| s.parse().ok()).unwrap_or(30);
-    let seed: u64 = flag_value(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
-    let crashes: usize = flag_value(&args, "--crashes").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let topology =
+        parse_topology(&flag_value(&args, "--topology").unwrap_or_else(|| "four_global_4".into()));
+    let f: usize = flag_value(&args, "--f")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let p: usize = flag_value(&args, "--p")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let payload: u64 = flag_value(&args, "--payload")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let secs: u64 = flag_value(&args, "--secs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let seed: u64 = flag_value(&args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let crashes: usize = flag_value(&args, "--crashes")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
 
     let n = topology.n();
     let mut scenario = Scenario::new(&protocol, topology, f, p)

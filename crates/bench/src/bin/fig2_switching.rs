@@ -42,7 +42,10 @@ fn main() {
     println!();
 
     let mut results = Vec::new();
-    for (label, protocol) in [("banyan (integrated)", "banyan"), ("icc (pure slow path)", "icc")] {
+    for (label, protocol) in [
+        ("banyan (integrated)", "banyan"),
+        ("icc (pure slow path)", "icc"),
+    ] {
         let faults = FaultPlan::none()
             .crash(ReplicaId(5), Time::ZERO)
             .crash(ReplicaId(6), Time::ZERO);
@@ -67,7 +70,10 @@ fn main() {
     // run the slow path.
     let slow = results[1];
     let strawman = 2.0 * delta_ms as f64 + slow;
-    println!("{:<22} lat.mean {strawman:>7.1}ms  (analytic: 2Δ timeout + slow path)", "sequential fallback");
+    println!(
+        "{:<22} lat.mean {strawman:>7.1}ms  (analytic: 2Δ timeout + slow path)",
+        "sequential fallback"
+    );
     println!();
     let overhead = (results[0] - results[1]) / results[1] * 100.0;
     println!(

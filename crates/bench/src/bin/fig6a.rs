@@ -12,7 +12,10 @@ use banyan_bench::runner::{header, row, run, Scenario};
 use banyan_simnet::topology::Topology;
 
 fn main() {
-    let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
     println!("# Figure 6a — n=19 across 4 global datacenters (5/5/5/4), {secs}s per point");
     println!("{}", header());
     for payload in [100_000u64, 200_000, 400_000, 800_000, 1_600_000] {

@@ -12,10 +12,15 @@ use banyan_bench::runner::{header, row, run, Scenario};
 use banyan_simnet::topology::Topology;
 
 fn main() {
-    let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
     println!("# Figure 6b — n=4, one replica per global datacenter (f=1), {secs}s per point");
     println!("{}", header());
-    for payload in [500_000u64, 1_000_000, 1_500_000, 2_000_000, 2_500_000, 3_000_000] {
+    for payload in [
+        500_000u64, 1_000_000, 1_500_000, 2_000_000, 2_500_000, 3_000_000,
+    ] {
         for (label, protocol, p) in [
             ("banyan p=1", "banyan", 1usize),
             ("icc", "icc", 0),

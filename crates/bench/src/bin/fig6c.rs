@@ -11,7 +11,10 @@ use banyan_bench::runner::{run, Scenario};
 use banyan_simnet::topology::Topology;
 
 fn main() {
-    let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(120);
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120);
     println!("# Figure 6c — latency distribution, n=4 global, 1MB payload, {secs}s");
     println!(
         "{:<12} {:>7} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",

@@ -10,7 +10,10 @@ use banyan_bench::runner::{header, row, run, Scenario};
 use banyan_simnet::topology::Topology;
 
 fn main() {
-    let secs: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
     println!("# Figure 6e — n=19, one replica in each of 19 global datacenters, {secs}s per point");
     println!("{}", header());
     for payload in [250_000u64, 500_000, 1_000_000, 2_000_000] {

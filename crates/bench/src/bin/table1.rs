@@ -25,9 +25,12 @@ fn main() {
         "{:<12} {:>12} {:>10} {:>10}",
         "protocol", "lat.mean", "steps", "analytic"
     );
-    for (protocol, analytic) in
-        [("banyan", "2δ"), ("icc", "3δ"), ("hotstuff", "≥6δ"), ("streamlet", "6Δ")]
-    {
+    for (protocol, analytic) in [
+        ("banyan", "2δ"),
+        ("icc", "3δ"),
+        ("hotstuff", "≥6δ"),
+        ("streamlet", "6Δ"),
+    ] {
         let scenario = Scenario::new(
             protocol,
             Topology::uniform(4, Duration::from_millis(one_way)),

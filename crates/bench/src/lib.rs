@@ -9,4 +9,6 @@
 
 pub mod runner;
 
-pub use runner::{header, human_bytes, row, run, Outcome, Scenario};
+pub use runner::{
+    build_simulation, header, human_bytes, row, run, run_metrics, run_observed, Outcome, Scenario,
+};

@@ -6,8 +6,9 @@
 //! bytes per second at a non-faulty replica, per-replica block intervals.
 
 use banyan_core::builder::ClusterBuilder;
+use banyan_runtime::driver::CommitSink;
 use banyan_simnet::faults::FaultPlan;
-use banyan_simnet::metrics::LatencyStats;
+use banyan_simnet::metrics::{LatencyStats, RunMetrics, SafetyAuditor};
 use banyan_simnet::sim::{SimConfig, Simulation};
 use banyan_simnet::topology::Topology;
 use banyan_types::ids::ReplicaId;
@@ -137,12 +138,14 @@ pub struct Outcome {
     pub safe: bool,
 }
 
-/// Runs a scenario to completion.
+/// Builds the simulation a scenario describes, without running it. All
+/// harnesses construct runs through here so protocol wiring and topology
+/// handling cannot drift between figures.
 ///
 /// # Panics
 ///
 /// Panics if the scenario's `(n, f, p)` triple is invalid.
-pub fn run(scenario: &Scenario) -> Outcome {
+pub fn build_simulation(scenario: &Scenario) -> Simulation {
     let n = scenario.topology.n();
     let delta = scenario
         .delta
@@ -155,22 +158,59 @@ pub fn run(scenario: &Scenario) -> Outcome {
         .piggyback(scenario.piggyback)
         .baseline_timeout(scenario.timeout);
     let engines = builder.build(&scenario.protocol);
-    let mut sim = Simulation::new(
+    Simulation::new(
         scenario.topology.clone(),
         engines,
         scenario.faults.clone(),
         SimConfig::with_seed(scenario.seed),
-    );
-    sim.run_until(Time(Duration::from_secs(scenario.secs).as_nanos()));
+    )
+}
 
+/// Runs a scenario to completion, returning the raw measurement state:
+/// the full [`RunMetrics`] commit log and the safety auditor. Same seed ⇒
+/// bit-identical result (the determinism tests assert exactly this).
+///
+/// # Panics
+///
+/// Panics if the scenario's `(n, f, p)` triple is invalid.
+pub fn run_metrics(scenario: &Scenario) -> (RunMetrics, SafetyAuditor) {
+    let mut sim = build_simulation(scenario);
+    sim.run_until(Time(Duration::from_secs(scenario.secs).as_nanos()));
+    sim.into_results()
+}
+
+/// Runs a scenario and additionally replays every observed commit, in
+/// observation order, into `sink` — the same [`CommitSink`] abstraction
+/// the simulator and the TCP runner collect through. Harnesses use this
+/// to stream commits (e.g. to a log) without re-deriving them from the
+/// aggregate metrics.
+pub fn run_observed(scenario: &Scenario, sink: &mut dyn CommitSink) -> Outcome {
+    let (metrics, auditor) = run_metrics(scenario);
+    for c in &metrics.commits {
+        sink.on_commit(c.replica, c.entry.clone());
+    }
+    summarize(scenario, &metrics, &auditor)
+}
+
+/// Runs a scenario to completion.
+///
+/// # Panics
+///
+/// Panics if the scenario's `(n, f, p)` triple is invalid.
+pub fn run(scenario: &Scenario) -> Outcome {
+    let (metrics, auditor) = run_metrics(scenario);
+    summarize(scenario, &metrics, &auditor)
+}
+
+/// Reduces a finished run to the paper's headline numbers.
+fn summarize(scenario: &Scenario, m: &RunMetrics, auditor: &SafetyAuditor) -> Outcome {
     // Report at the first replica that never crashes.
     let crashed = scenario.faults.crashed_replicas();
-    let observer = (0..n as u16)
+    let observer = (0..scenario.topology.n() as u16)
         .map(ReplicaId)
         .find(|r| !crashed.contains(r))
         .expect("at least one live replica");
 
-    let m = sim.metrics();
     let intervals = m.block_intervals(observer);
     let interval_stats = LatencyStats::from_samples(&intervals);
     Outcome {
@@ -178,10 +218,10 @@ pub fn run(scenario: &Scenario) -> Outcome {
         throughput_mbps: m.throughput_bps(observer) / 1e6,
         block_interval_ms: interval_stats.mean_ms,
         fast_share: m.fast_path_share(observer),
-        committed_rounds: sim.auditor().committed_rounds(),
+        committed_rounds: auditor.committed_rounds(),
         messages: m.messages_sent,
         bytes: m.bytes_sent,
-        safe: sim.auditor().is_safe(),
+        safe: auditor.is_safe(),
     }
 }
 
@@ -226,11 +266,16 @@ mod tests {
 
     #[test]
     fn scenario_builder_chains() {
-        let s = Scenario::new("banyan", Topology::uniform(4, Duration::from_millis(10)), 1, 1)
-            .payload(1000)
-            .secs(5)
-            .seed(7)
-            .forwarding(false);
+        let s = Scenario::new(
+            "banyan",
+            Topology::uniform(4, Duration::from_millis(10)),
+            1,
+            1,
+        )
+        .payload(1000)
+        .secs(5)
+        .seed(7)
+        .forwarding(false);
         assert_eq!(s.payload, 1000);
         assert_eq!(s.secs, 5);
         assert!(!s.forwarding);
@@ -238,9 +283,14 @@ mod tests {
 
     #[test]
     fn quick_run_produces_commits() {
-        let s = Scenario::new("banyan", Topology::uniform(4, Duration::from_millis(5)), 1, 1)
-            .payload(100)
-            .secs(3);
+        let s = Scenario::new(
+            "banyan",
+            Topology::uniform(4, Duration::from_millis(5)),
+            1,
+            1,
+        )
+        .payload(100)
+        .secs(3);
         let out = run(&s);
         assert!(out.safe);
         assert!(out.committed_rounds > 10);

@@ -1,0 +1,96 @@
+//! Determinism of the full scenario pipeline: the shared driver layer
+//! orders every event by `(time, seq)` and all randomness flows from the
+//! scenario seed, so the same `Scenario` must reproduce *bit-identical*
+//! `RunMetrics` — the whole commit log, every counter — and a different
+//! seed must diverge.
+
+use banyan_bench::runner::{run_metrics, run_observed, Scenario};
+use banyan_runtime::driver::CommitSink;
+use banyan_simnet::topology::Topology;
+use banyan_types::engine::CommitEntry;
+use banyan_types::ids::ReplicaId;
+use banyan_types::time::Duration;
+
+fn scenario(seed: u64) -> Scenario {
+    Scenario::new(
+        "banyan",
+        Topology::uniform(4, Duration::from_millis(10)),
+        1,
+        1,
+    )
+    .payload(2_000)
+    .secs(3)
+    .seed(seed)
+}
+
+#[test]
+fn same_seed_reproduces_bit_identical_metrics() {
+    let (first, auditor_a) = run_metrics(&scenario(42));
+    let (second, auditor_b) = run_metrics(&scenario(42));
+    assert!(auditor_a.is_safe() && auditor_b.is_safe());
+    assert!(!first.commits.is_empty(), "scenario must make progress");
+    // Full structural equality: commit log, counters, end time.
+    assert_eq!(first, second, "same seed must reproduce the run exactly");
+}
+
+#[test]
+fn different_seed_diverges() {
+    let (first, _) = run_metrics(&scenario(42));
+    let (other, _) = run_metrics(&scenario(43));
+    // Jitter reshuffles arrival times, so the runs must not be identical.
+    assert_ne!(
+        first, other,
+        "different seeds should produce different runs"
+    );
+}
+
+#[test]
+fn determinism_holds_for_every_protocol() {
+    for protocol in ["banyan", "icc", "hotstuff", "streamlet"] {
+        let build = || {
+            Scenario::new(
+                protocol,
+                Topology::uniform(4, Duration::from_millis(10)),
+                1,
+                1,
+            )
+            .payload(500)
+            .secs(2)
+            .seed(7)
+        };
+        let (a, _) = run_metrics(&build());
+        let (b, _) = run_metrics(&build());
+        assert_eq!(a, b, "{protocol}: same seed must reproduce the run");
+        assert!(!a.commits.is_empty(), "{protocol}: no progress");
+    }
+}
+
+/// A sink that tallies commits per replica — exercises the same
+/// `CommitSink` trait the simulator and TCP runner collect through.
+#[derive(Default)]
+struct CountingSink {
+    per_replica: std::collections::BTreeMap<u16, usize>,
+    total: usize,
+}
+
+impl CommitSink for CountingSink {
+    fn on_commit(&mut self, replica: ReplicaId, _entry: CommitEntry) {
+        *self.per_replica.entry(replica.0).or_insert(0) += 1;
+        self.total += 1;
+    }
+}
+
+#[test]
+fn observed_runs_stream_every_commit_through_the_shared_sink() {
+    let mut sink = CountingSink::default();
+    let outcome = run_observed(&scenario(42), &mut sink);
+    assert!(outcome.safe);
+    let (metrics, _) = run_metrics(&scenario(42));
+    assert_eq!(
+        sink.total,
+        metrics.commits.len(),
+        "sink must see every observed commit"
+    );
+    // All four replicas are live in this scenario; each should commit.
+    assert_eq!(sink.per_replica.len(), 4);
+}

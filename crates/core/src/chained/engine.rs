@@ -125,7 +125,11 @@ impl ChainedEngine {
         payload_size: u64,
     ) -> Self {
         assert_eq!(beacon.n(), cfg.n(), "beacon sized for the cluster");
-        assert_eq!(registry.table().len(), cfg.n(), "registry sized for the cluster");
+        assert_eq!(
+            registry.table().len(),
+            cfg.n(),
+            "registry sized for the cluster"
+        );
         let id = ReplicaId(registry.my_index());
         ChainedEngine {
             cfg,
@@ -183,7 +187,9 @@ impl ChainedEngine {
     fn round_state(&mut self, round: Round) -> &mut RoundState {
         let n = self.cfg.n();
         let thr = self.cfg.unlock_threshold();
-        self.rounds.entry(round).or_insert_with(|| RoundState::new(round, n, thr))
+        self.rounds
+            .entry(round)
+            .or_insert_with(|| RoundState::new(round, n, thr))
     }
 
     fn my_rank(&self, round: Round) -> Rank {
@@ -192,14 +198,22 @@ impl ChainedEngine {
 
     fn make_vote(&self, kind: VoteKind, round: Round, block: BlockHash) -> Vote {
         let msg = Vote::signing_message(kind, round, &block);
-        Vote { kind, round, block, voter: self.id, signature: self.registry.sign(&msg) }
+        Vote {
+            kind,
+            round,
+            block,
+            voter: self.id,
+            signature: self.registry.sign(&msg),
+        }
     }
 
     fn verify_vote(&self, vote: &Vote) -> bool {
         if !self.cfg.verify_signatures {
             return true;
         }
-        self.registry.table().verify(vote.voter.0, &vote.message(), &vote.signature)
+        self.registry
+            .table()
+            .verify(vote.voter.0, &vote.message(), &vote.signature)
     }
 
     /// Is `hash` (a round-`round` block) unlocked for this replica?
@@ -272,16 +286,19 @@ impl ChainedEngine {
         if rs.t0.is_none() {
             rs.t0 = Some(now);
         }
-        let skip_proposal = rs.proposed
-            || (self.byz == ByzantineMode::SilentLeader && rank.is_leader());
+        let skip_proposal =
+            rs.proposed || (self.byz == ByzantineMode::SilentLeader && rank.is_leader());
         if !skip_proposal {
             actions.arm(now + prop_delay, TimerKind::Propose { round: round.0 });
         }
         // Retransmission heartbeat: fires only if we are still stuck in
         // this round by then (recovery from message loss).
-        actions.arm(now + self.cfg.heartbeat, TimerKind::RoundTimeout { round: round.0 });
+        actions.arm(
+            now + self.cfg.heartbeat,
+            TimerKind::RoundTimeout { round: round.0 },
+        );
         // Bounded memory: drop state far behind the finalized tip.
-        if round.0 % 16 == 0 && self.k_max.0 > PRUNE_WINDOW {
+        if round.0.is_multiple_of(16) && self.k_max.0 > PRUNE_WINDOW {
             let cutoff = Round(self.k_max.0 - PRUNE_WINDOW);
             self.store.prune_below(cutoff);
             self.rounds.retain(|r, _| *r >= cutoff);
@@ -332,7 +349,11 @@ impl ChainedEngine {
             if !self.store.is_notarized(&hash) || !self.is_unlocked(prev, &hash) {
                 continue;
             }
-            let rank = self.store.get(&hash).map(|b| b.rank).unwrap_or(Rank(u16::MAX));
+            let rank = self
+                .store
+                .get(&hash)
+                .map(|b| b.rank)
+                .unwrap_or(Rank(u16::MAX));
             let candidate = (rank, hash);
             best = Some(match best {
                 None => candidate,
@@ -379,7 +400,9 @@ impl ChainedEngine {
         let parent_notarization = self.store.notarization(parent).cloned();
         let parent_unlock = (self.fast_path() && block.round > Round(1)).then(|| {
             let table = self.registry.table().clone();
-            self.round_state(block.round.prev()).unlock.build_proof(&table)
+            self.round_state(block.round.prev())
+                .unlock
+                .build_proof(&table)
         });
         Message::Chained(ChainedMsg::Proposal {
             block: block.clone(),
@@ -437,7 +460,11 @@ impl ChainedEngine {
             if peer == self.id.0 {
                 continue;
             }
-            let msg = if peer % 2 == 0 { msg_a.clone() } else { msg_b.clone() };
+            let msg = if peer % 2 == 0 {
+                msg_a.clone()
+            } else {
+                msg_b.clone()
+            };
             actions.send(ReplicaId(peer), msg);
         }
     }
@@ -502,13 +529,16 @@ impl ChainedEngine {
             let rs = self.round_state(vote.round);
             match vote.kind {
                 VoteKind::Notarize => {
-                    rs.notarize_votes.add(vote.block, vote.voter, vote.signature);
+                    rs.notarize_votes
+                        .add(vote.block, vote.voter, vote.signature);
                 }
                 VoteKind::Finalize => {
-                    rs.finalize_votes.add(vote.block, vote.voter, vote.signature);
+                    rs.finalize_votes
+                        .add(vote.block, vote.voter, vote.signature);
                 }
                 VoteKind::Fast => {
-                    rs.unlock.add_fast_vote(vote.block, vote.voter, vote.signature);
+                    rs.unlock
+                        .add_fast_vote(vote.block, vote.voter, vote.signature);
                 }
             }
         }
@@ -540,7 +570,9 @@ impl ChainedEngine {
         if let Some(fast_agg) = cert.fast_agg.clone() {
             if self.fast_path() {
                 if let Some(rank) = self.store.get(&cert.block).map(|b| b.rank) {
-                    self.round_state(cert.round).unlock.add_certified(cert.block, rank, fast_agg);
+                    self.round_state(cert.round)
+                        .unlock
+                        .add_certified(cert.block, rank, fast_agg);
                 }
             }
         }
@@ -557,7 +589,9 @@ impl ChainedEngine {
         }
         let table = self.registry.table().clone();
         let verify = self.cfg.verify_signatures;
-        self.round_state(proof.round).unlock.merge_proof(&proof, &table, verify);
+        self.round_state(proof.round)
+            .unlock
+            .merge_proof(&proof, &table, verify);
     }
 
     fn handle_finalization(&mut self, cert: Finalization, now: Time, actions: &mut Actions) {
@@ -604,7 +638,16 @@ impl ChainedEngine {
         let chain = match self.store.chain_to(&cert.block, self.k_max) {
             Some(chain) => chain
                 .into_iter()
-                .map(|(h, b)| (h, b.round, b.proposer, b.payload_len(), b.proposed_at, b.rank))
+                .map(|(h, b)| {
+                    (
+                        h,
+                        b.round,
+                        b.proposer,
+                        b.payload_len(),
+                        b.proposed_at,
+                        b.rank,
+                    )
+                })
                 .collect::<Vec<_>>(),
             None => {
                 // Missing ancestor(s): fetch and retry when they arrive.
@@ -636,9 +679,11 @@ impl ChainedEngine {
         }
         self.k_max = cert.round;
         // Broadcast the certificate once (Algorithm 2 line 58).
-        if !self.finalizations.contains_key(&cert.round) {
+        if let std::collections::hash_map::Entry::Vacant(slot) =
+            self.finalizations.entry(cert.round)
+        {
             actions.broadcast(Message::Chained(ChainedMsg::Final(cert.clone())));
-            self.finalizations.insert(cert.round, cert);
+            slot.insert(cert);
         }
     }
 
@@ -720,7 +765,12 @@ impl ChainedEngine {
             let table = self.registry.table().clone();
             self.rounds[&round].unlock.aggregate_indiv(&table, &hash)
         });
-        Notarization { round, block: hash, agg, fast_agg }
+        Notarization {
+            round,
+            block: hash,
+            agg,
+            fast_agg,
+        }
     }
 
     /// Algorithm 2 line 45: combine `⌈(n+f+1)/2⌉` notarization votes
@@ -738,8 +788,7 @@ impl ChainedEngine {
                 candidates.dedup();
             }
             for hash in candidates {
-                if !self.store.is_notarized(&hash)
-                    && self.notarize_support(*round, &hash) >= quorum
+                if !self.store.is_notarized(&hash) && self.notarize_support(*round, &hash) >= quorum
                 {
                     newly.push((*round, hash));
                 }
@@ -782,7 +831,12 @@ impl ChainedEngine {
             }
             let table = self.registry.table().clone();
             let agg = rs.unlock.aggregate_indiv(&table, &hash);
-            let cert = Finalization { round, block: hash, kind: FinalKind::Fast, agg };
+            let cert = Finalization {
+                round,
+                block: hash,
+                kind: FinalKind::Fast,
+                agg,
+            };
             self.apply_finalization(cert, now, actions);
             changed = true;
         }
@@ -796,7 +850,10 @@ impl ChainedEngine {
             .rounds
             .range(self.k_max.next()..)
             .flat_map(|(round, rs)| {
-                rs.finalize_votes.with_quorum(quorum).into_iter().map(move |h| (*round, h))
+                rs.finalize_votes
+                    .with_quorum(quorum)
+                    .into_iter()
+                    .map(move |h| (*round, h))
             })
             .collect();
         let mut changed = false;
@@ -806,7 +863,12 @@ impl ChainedEngine {
             }
             let votes = self.rounds[&round].finalize_votes.votes_for(&hash);
             let agg = self.registry.table().aggregate(&votes);
-            let cert = Finalization { round, block: hash, kind: FinalKind::Slow, agg };
+            let cert = Finalization {
+                round,
+                block: hash,
+                kind: FinalKind::Slow,
+                agg,
+            };
             self.apply_finalization(cert, now, actions);
             changed = true;
         }
@@ -854,7 +916,13 @@ impl ChainedEngine {
             // Arm (once) the timer for this rank's delay.
             let rs = self.round_state(round);
             if rs.notarize_timers.insert(min_rank.0) {
-                actions.arm(deadline, TimerKind::NotarizeRank { round: round.0, rank: min_rank.0 });
+                actions.arm(
+                    deadline,
+                    TimerKind::NotarizeRank {
+                        round: round.0,
+                        rank: min_rank.0,
+                    },
+                );
             }
             return false;
         }
@@ -882,8 +950,7 @@ impl ChainedEngine {
                 .iter()
                 .find(|v| v.kind == VoteKind::Fast)
                 .map(|v| v.block);
-            let omit_notarize =
-                self.piggyback() && (fast_needed || my_fast_target == Some(hash));
+            let omit_notarize = self.piggyback() && (fast_needed || my_fast_target == Some(hash));
             let mut bundle = if omit_notarize {
                 Vec::new()
             } else {
@@ -893,8 +960,12 @@ impl ChainedEngine {
                 bundle.push(self.make_vote(VoteKind::Fast, round, hash));
                 if self.byz == ByzantineMode::DoubleFastVote {
                     // Also fast-vote some other block of the round, if any.
-                    if let Some(other) =
-                        self.store.round_blocks(round).iter().find(|h| **h != hash).copied()
+                    if let Some(other) = self
+                        .store
+                        .round_blocks(round)
+                        .iter()
+                        .find(|h| **h != hash)
+                        .copied()
                     {
                         bundle.push(self.make_vote(VoteKind::Fast, round, other));
                     }
@@ -932,7 +1003,11 @@ impl ChainedEngine {
             {
                 let block = self.store.get(&hash).expect("stored").clone();
                 let parent = block.parent;
-                let fast_vote = self.round_state(round).leader_fast_votes.get(&hash).copied();
+                let fast_vote = self
+                    .round_state(round)
+                    .leader_fast_votes
+                    .get(&hash)
+                    .copied();
                 let msg = self.proposal_message(&block, &parent, fast_vote.as_ref());
                 actions.broadcast(msg);
             }
@@ -1007,7 +1082,10 @@ impl ChainedEngine {
                 let table = self.registry.table().clone();
                 self.round_state(round).unlock.build_proof(&table)
             });
-            actions.broadcast(Message::Chained(ChainedMsg::Advance { notarization: cert, unlock }));
+            actions.broadcast(Message::Chained(ChainedMsg::Advance {
+                notarization: cert,
+                unlock,
+            }));
         }
 
         // Lines 51–53: finalization vote if we voted for nothing else.
@@ -1054,7 +1132,11 @@ impl ChainedEngine {
         if let Some(hash) = own_proposal {
             let block = self.store.get(&hash).expect("stored").clone();
             let parent = block.parent;
-            let fast_vote = self.round_state(round).leader_fast_votes.get(&hash).copied();
+            let fast_vote = self
+                .round_state(round)
+                .leader_fast_votes
+                .get(&hash)
+                .copied();
             let msg = self.proposal_message(&block, &parent, fast_vote.as_ref());
             actions.broadcast(msg);
         }
@@ -1071,15 +1153,20 @@ impl ChainedEngine {
                     let table = self.registry.table().clone();
                     self.round_state(prev).unlock.build_proof(&table)
                 });
-                actions
-                    .broadcast(Message::Chained(ChainedMsg::Advance { notarization: cert, unlock }));
+                actions.broadcast(Message::Chained(ChainedMsg::Advance {
+                    notarization: cert,
+                    unlock,
+                }));
             }
         }
         // Latest finalization certificate (lets peers jump to kMax).
         if let Some(cert) = self.finalizations.get(&self.k_max).cloned() {
             actions.broadcast(Message::Chained(ChainedMsg::Final(cert)));
         }
-        actions.arm(now + self.cfg.heartbeat, TimerKind::RoundTimeout { round: round.0 });
+        actions.arm(
+            now + self.cfg.heartbeat,
+            TimerKind::RoundTimeout { round: round.0 },
+        );
     }
 }
 
@@ -1123,7 +1210,10 @@ impl Engine for ChainedEngine {
             Message::Chained(ChainedMsg::Votes(votes)) => {
                 self.handle_votes(votes, now, &mut actions);
             }
-            Message::Chained(ChainedMsg::Advance { notarization, unlock }) => {
+            Message::Chained(ChainedMsg::Advance {
+                notarization,
+                unlock,
+            }) => {
                 self.handle_notarization(notarization, &mut actions);
                 if let Some(proof) = unlock {
                     self.merge_unlock_proof(proof);
@@ -1149,10 +1239,8 @@ impl Engine for ChainedEngine {
                 self.propose(Round(round), now, &mut actions);
                 self.progress(now, &mut actions);
             }
-            TimerKind::NotarizeRank { round, .. } => {
-                if Round(round) == self.round {
-                    self.progress(now, &mut actions);
-                }
+            TimerKind::NotarizeRank { round, .. } if Round(round) == self.round => {
+                self.progress(now, &mut actions);
             }
             TimerKind::RoundTimeout { round } => {
                 self.heartbeat(Round(round), now, &mut actions);

@@ -24,7 +24,11 @@ pub struct VoteTable {
 impl VoteTable {
     /// Records a vote; returns `true` if it was new.
     pub fn add(&mut self, block: BlockHash, voter: ReplicaId, sig: Signature) -> bool {
-        self.votes.entry(block).or_default().insert(voter.0, sig).is_none()
+        self.votes
+            .entry(block)
+            .or_default()
+            .insert(voter.0, sig)
+            .is_none()
     }
 
     /// Number of distinct voters for `block`.

@@ -116,7 +116,9 @@ impl UnlockState {
 
     /// `|supp(b)|` — distinct replicas supporting `b`.
     pub fn supp(&self, block: &BlockHash) -> usize {
-        self.support.get(block).map_or(0, |s| s.voters(self.n).count())
+        self.support
+            .get(block)
+            .map_or(0, |s| s.voters(self.n).count())
     }
 
     /// Distinct replicas supporting any block in `blocks`.
@@ -154,11 +156,7 @@ impl UnlockState {
         }
         // Condition 2 first (it may be newly satisfied).
         let max = self.max_block();
-        let non_max: Vec<&BlockHash> = self
-            .ranks
-            .keys()
-            .filter(|h| Some(**h) != max)
-            .collect();
+        let non_max: Vec<&BlockHash> = self.ranks.keys().filter(|h| Some(**h) != max).collect();
         if self.supp_union(non_max.into_iter()) > self.threshold {
             self.all_unlocked = true;
             return true;
@@ -224,13 +222,24 @@ impl UnlockState {
             if !s.indiv.is_empty() {
                 let votes: Vec<(u16, Signature)> =
                     s.indiv.iter().map(|(v, sig)| (*v, *sig)).collect();
-                entries.push(UnlockEntry { block: *hash, rank: *rank, agg: table.aggregate(&votes) });
+                entries.push(UnlockEntry {
+                    block: *hash,
+                    rank: *rank,
+                    agg: table.aggregate(&votes),
+                });
             }
             for agg in &s.certified {
-                entries.push(UnlockEntry { block: *hash, rank: *rank, agg: agg.clone() });
+                entries.push(UnlockEntry {
+                    block: *hash,
+                    rank: *rank,
+                    agg: agg.clone(),
+                });
             }
         }
-        UnlockProof { round: self.round, entries }
+        UnlockProof {
+            round: self.round,
+            entries,
+        }
     }
 
     /// Verifies an unlock proof's aggregates and merges its support into

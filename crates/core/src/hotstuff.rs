@@ -244,7 +244,12 @@ impl HotStuffEngine {
                 }
             }
             let sig = self.registry.sign(&vote_message(view, &hash));
-            let vote = HotStuffMsg::Vote { view, block: hash, voter: self.id, signature: sig };
+            let vote = HotStuffMsg::Vote {
+                view,
+                block: hash,
+                voter: self.id,
+                signature: sig,
+            };
             let next_leader = self.leader(view + 1);
             if next_leader == self.id {
                 self.handle_vote(view, hash, self.id, sig, now, actions);
@@ -264,7 +269,10 @@ impl HotStuffEngine {
         actions: &mut Actions,
     ) {
         if self.cfg.verify_signatures
-            && !self.registry.table().verify(voter.0, &vote_message(view, &block), &signature)
+            && !self
+                .registry
+                .table()
+                .verify(voter.0, &vote_message(view, &block), &signature)
         {
             return;
         }
@@ -272,8 +280,10 @@ impl HotStuffEngine {
         let entry = self.votes.entry((view, block)).or_default();
         entry.insert(voter.0, signature);
         if entry.len() >= quorum && self.high_qc.view < view {
-            let votes: Vec<(u16, Signature)> =
-                self.votes[&(view, block)].iter().map(|(v, s)| (*v, *s)).collect();
+            let votes: Vec<(u16, Signature)> = self.votes[&(view, block)]
+                .iter()
+                .map(|(v, s)| (*v, *s))
+                .collect();
             let agg = self.registry.table().aggregate(&votes);
             let qc = QuorumCert { view, block, agg };
             self.update_high_qc(&qc);
@@ -319,7 +329,13 @@ impl HotStuffEngine {
             if blk.round <= self.committed_round {
                 break;
             }
-            chain.push((cursor, blk.round, blk.proposer, blk.payload_len(), blk.proposed_at));
+            chain.push((
+                cursor,
+                blk.round,
+                blk.proposer,
+                blk.payload_len(),
+                blk.proposed_at,
+            ));
             cursor = justify.block;
         }
         chain.reverse();
@@ -341,12 +357,22 @@ impl HotStuffEngine {
         }
     }
 
-    fn handle_new_view(&mut self, view: u64, justify: QuorumCert, from: ReplicaId, now: Time, actions: &mut Actions) {
+    fn handle_new_view(
+        &mut self,
+        view: u64,
+        justify: QuorumCert,
+        from: ReplicaId,
+        now: Time,
+        actions: &mut Actions,
+    ) {
         if !self.verify_qc(&justify) {
             return;
         }
         self.update_high_qc(&justify);
-        self.new_views.entry(view).or_default().insert(from.0, justify);
+        self.new_views
+            .entry(view)
+            .or_default()
+            .insert(from.0, justify);
         if self.leader(view + 1) == self.id {
             self.enter_view(view + 1, now, actions);
             self.try_propose(now, actions);
@@ -375,7 +401,12 @@ impl Engine for HotStuffEngine {
             Message::HotStuff(HotStuffMsg::Proposal { block, justify }) => {
                 self.handle_proposal(block, justify, now, &mut actions);
             }
-            Message::HotStuff(HotStuffMsg::Vote { view, block, voter, signature }) => {
+            Message::HotStuff(HotStuffMsg::Vote {
+                view,
+                block,
+                voter,
+                signature,
+            }) => {
                 self.handle_vote(view, block, voter, signature, now, &mut actions);
             }
             Message::HotStuff(HotStuffMsg::NewView { view, justify }) => {
@@ -391,7 +422,10 @@ impl Engine for HotStuffEngine {
         if let TimerKind::ViewTimeout { view } = kind {
             if view == self.view {
                 // Pacemaker: give up on the view, tell the next leader.
-                let msg = HotStuffMsg::NewView { view, justify: self.high_qc.clone() };
+                let msg = HotStuffMsg::NewView {
+                    view,
+                    justify: self.high_qc.clone(),
+                };
                 let next_leader = self.leader(view + 1);
                 if next_leader == self.id {
                     let high = self.high_qc.clone();

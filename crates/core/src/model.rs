@@ -89,9 +89,15 @@ pub fn table1() -> Vec<ProtocolRow> {
     vec![
         ProtocolRow {
             name: "Casper FFG",
-            finalization_latency: Latency { steps: 1, unit: LatencyUnit::BigODelta },
+            finalization_latency: Latency {
+                steps: 1,
+                unit: LatencyUnit::BigODelta,
+            },
             finalization_requirement: req("2f+1", |f, _| 2 * f + 1),
-            creation_latency: Latency { steps: 1, unit: LatencyUnit::BigODelta },
+            creation_latency: Latency {
+                steps: 1,
+                unit: LatencyUnit::BigODelta,
+            },
             creation_requirement: None,
             replicas: req("3f+1", |f, _| 3 * f + 1),
             rotating_leaders: true,
@@ -206,7 +212,11 @@ pub fn render_table1(f: usize, p: usize) -> String {
         "protocol", "fin.lat", "fin.req", "creat.lat", "creat.req", "replicas", "rotating"
     ));
     for row in table1() {
-        let fr = format!("{}={}", row.finalization_requirement.formula, row.finalization_requirement.value(f, p));
+        let fr = format!(
+            "{}={}",
+            row.finalization_requirement.formula,
+            row.finalization_requirement.value(f, p)
+        );
         let cr = row
             .creation_requirement
             .map(|r| format!("{}={}", r.formula, r.value(f, p)))
@@ -231,7 +241,10 @@ mod tests {
     use super::*;
 
     fn row(name: &str) -> ProtocolRow {
-        table1().into_iter().find(|r| r.name == name).expect("row exists")
+        table1()
+            .into_iter()
+            .find(|r| r.name == name)
+            .expect("row exists")
     }
 
     #[test]
@@ -261,7 +274,10 @@ mod tests {
         // finalization latency in the table.
         let banyan = row("Banyan").finalization_latency;
         for r in table1() {
-            if r.rotating_leaders && r.name != "Banyan" && r.finalization_latency.unit == LatencyUnit::Delta {
+            if r.rotating_leaders
+                && r.name != "Banyan"
+                && r.finalization_latency.unit == LatencyUnit::Delta
+            {
                 assert!(
                     r.finalization_latency.steps > banyan.steps,
                     "{} should be slower than Banyan",

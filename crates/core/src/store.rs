@@ -105,7 +105,11 @@ impl BlockStore {
 
     /// Highest finalized round (0 if only genesis).
     pub fn max_finalized_round(&self) -> Round {
-        self.finalized.keys().next_back().copied().unwrap_or(Round::GENESIS)
+        self.finalized
+            .keys()
+            .next_back()
+            .copied()
+            .unwrap_or(Round::GENESIS)
     }
 
     /// Walks the parent chain from `tip` (exclusive of genesis) down to —
@@ -147,8 +151,7 @@ impl BlockStore {
     /// Drops per-round indexes and blocks strictly below `round` that are
     /// not on the finalized chain (bounded memory for long runs).
     pub fn prune_below(&mut self, round: Round) {
-        let doomed_rounds: Vec<Round> =
-            self.by_round.range(..round).map(|(r, _)| *r).collect();
+        let doomed_rounds: Vec<Round> = self.by_round.range(..round).map(|(r, _)| *r).collect();
         for r in doomed_rounds {
             if let Some(hashes) = self.by_round.remove(&r) {
                 for h in hashes {
@@ -227,11 +230,17 @@ mod tests {
         store.insert(h3, b3);
 
         let chain = store.chain_to(&h3, Round::GENESIS).unwrap();
-        assert_eq!(chain.iter().map(|(h, _)| *h).collect::<Vec<_>>(), vec![h1, h2, h3]);
+        assert_eq!(
+            chain.iter().map(|(h, _)| *h).collect::<Vec<_>>(),
+            vec![h1, h2, h3]
+        );
 
         // Stop after round 1: only rounds 2..=3.
         let chain = store.chain_to(&h3, Round(1)).unwrap();
-        assert_eq!(chain.iter().map(|(h, _)| *h).collect::<Vec<_>>(), vec![h2, h3]);
+        assert_eq!(
+            chain.iter().map(|(h, _)| *h).collect::<Vec<_>>(),
+            vec![h2, h3]
+        );
     }
 
     #[test]
@@ -272,6 +281,9 @@ mod tests {
         assert!(store.contains(&h1), "finalized block survives pruning");
         assert!(!store.contains(&h1b), "losing fork pruned");
         assert!(store.contains(&h2), "rounds at/after cutoff survive");
-        assert!(store.round_blocks(Round(1)).is_empty(), "round index pruned");
+        assert!(
+            store.round_blocks(Round(1)).is_empty(),
+            "round index pruned"
+        );
     }
 }

@@ -131,7 +131,10 @@ impl StreamletEngine {
     fn start_epoch(&mut self, epoch: u64, now: Time, actions: &mut Actions) {
         self.epoch = epoch;
         // Arm the next epoch boundary.
-        actions.arm(now + self.epoch_len, TimerKind::EpochTick { epoch: epoch + 1 });
+        actions.arm(
+            now + self.epoch_len,
+            TimerKind::EpochTick { epoch: epoch + 1 },
+        );
         if self.leader(epoch) == self.id {
             let (parent, _) = self.longest_notarized_tip();
             self.payload_seed += 1;
@@ -147,7 +150,9 @@ impl StreamletEngine {
             };
             let hash = block.hash(self.cfg.payload_chunk);
             block.signature = self.registry.sign(&Block::signing_message(&hash));
-            actions.broadcast(Message::Streamlet(StreamletMsg::Proposal { block: block.clone() }));
+            actions.broadcast(Message::Streamlet(StreamletMsg::Proposal {
+                block: block.clone(),
+            }));
             self.handle_proposal(block, now, actions);
         }
     }
@@ -176,9 +181,7 @@ impl StreamletEngine {
         // longest notarized chain.
         let (_, longest) = self.longest_notarized_tip();
         let parent_len = self.notarized_chain_len(&block.parent);
-        if !self.voted_epochs.contains(&epoch)
-            && epoch >= self.epoch
-            && parent_len == Some(longest)
+        if !self.voted_epochs.contains(&epoch) && epoch >= self.epoch && parent_len == Some(longest)
         {
             self.voted_epochs.insert(epoch);
             let msg = Vote::signing_message(VoteKind::Notarize, block.round, &hash);
@@ -199,7 +202,10 @@ impl StreamletEngine {
             return;
         }
         if self.cfg.verify_signatures
-            && !self.registry.table().verify(vote.voter.0, &vote.message(), &vote.signature)
+            && !self
+                .registry
+                .table()
+                .verify(vote.voter.0, &vote.message(), &vote.signature)
         {
             return;
         }
@@ -216,13 +222,17 @@ impl StreamletEngine {
     fn try_commit(&mut self, tip: &BlockHash, now: Time, actions: &mut Actions) {
         // tip = e3; parent = e2; grandparent = e1. Epochs must be
         // consecutive; then e2 and ancestors commit.
-        let Some((b3, _)) = self.blocks.get(tip) else { return };
+        let Some((b3, _)) = self.blocks.get(tip) else {
+            return;
+        };
         let e3 = b3.round.0;
         let p2 = b3.parent;
         if p2 == BlockHash::ZERO || !self.notarized.contains(&p2) {
             return;
         }
-        let Some((b2, _)) = self.blocks.get(&p2) else { return };
+        let Some((b2, _)) = self.blocks.get(&p2) else {
+            return;
+        };
         let e2 = b2.round.0;
         let p1 = b2.parent;
         let e1 = if p1 == BlockHash::ZERO {
@@ -237,7 +247,9 @@ impl StreamletEngine {
             if !self.notarized.contains(&p1) {
                 return;
             }
-            let Some((b1, _)) = self.blocks.get(&p1) else { return };
+            let Some((b1, _)) = self.blocks.get(&p1) else {
+                return;
+            };
             b1.round.0
         };
         if e3 != e2 + 1 || (p1 != BlockHash::ZERO && e2 != e1 + 1) {
@@ -250,11 +262,19 @@ impl StreamletEngine {
         let mut chain = Vec::new();
         let mut cursor = p2;
         while cursor != BlockHash::ZERO {
-            let Some((blk, _)) = self.blocks.get(&cursor) else { break };
+            let Some((blk, _)) = self.blocks.get(&cursor) else {
+                break;
+            };
             if blk.round <= self.committed_round {
                 break;
             }
-            chain.push((cursor, blk.round, blk.proposer, blk.payload_len(), blk.proposed_at));
+            chain.push((
+                cursor,
+                blk.round,
+                blk.proposer,
+                blk.payload_len(),
+                blk.proposed_at,
+            ));
             cursor = blk.parent;
         }
         chain.reverse();

@@ -88,8 +88,9 @@ fn settle(
 
 #[test]
 fn hotstuff_three_chain_commits_first_block() {
-    let mut engines: Vec<Box<dyn Engine>> =
-        (0..N as u16).map(|i| Box::new(hotstuff(i)) as Box<dyn Engine>).collect();
+    let mut engines: Vec<Box<dyn Engine>> = (0..N as u16)
+        .map(|i| Box::new(hotstuff(i)) as Box<dyn Engine>)
+        .collect();
     let mut initial = Vec::new();
     for (i, e) in engines.iter_mut().enumerate() {
         initial.push((i, e.on_init(Time(0))));
@@ -122,7 +123,13 @@ fn hotstuff_view_timeout_advances_pacemaker() {
     // We are not the leader of view 2 (leader(2) = replica 1): a NewView
     // must be sent to it.
     let new_view_sent = actions.outbound.iter().any(|o| {
-        matches!(o, Outbound::Send(ReplicaId(1), Message::HotStuff(HotStuffMsg::NewView { view: 1, .. })))
+        matches!(
+            o,
+            Outbound::Send(
+                ReplicaId(1),
+                Message::HotStuff(HotStuffMsg::NewView { view: 1, .. })
+            )
+        )
     });
     assert!(new_view_sent, "pacemaker must inform the next leader");
     assert_eq!(e.current_round(), Round(2), "view advanced on timeout");
@@ -155,8 +162,9 @@ fn hotstuff_ignores_foreign_messages() {
 
 #[test]
 fn streamlet_commits_middle_of_three_consecutive_epochs() {
-    let mut engines: Vec<Box<dyn Engine>> =
-        (0..N as u16).map(|i| Box::new(streamlet(i)) as Box<dyn Engine>).collect();
+    let mut engines: Vec<Box<dyn Engine>> = (0..N as u16)
+        .map(|i| Box::new(streamlet(i)) as Box<dyn Engine>)
+        .collect();
     // Run epochs 1..=4 by firing the epoch timers manually with instant
     // message settlement inside each epoch.
     let mut all_commits = Vec::new();
@@ -180,7 +188,10 @@ fn streamlet_commits_middle_of_three_consecutive_epochs() {
     let rounds: std::collections::BTreeSet<u64> =
         all_commits.iter().map(|(_, c)| c.round.0).collect();
     assert!(rounds.contains(&1), "epoch-1 block committed (ancestor)");
-    assert!(rounds.contains(&2), "epoch-2 block committed (middle of 1,2,3)");
+    assert!(
+        rounds.contains(&2),
+        "epoch-2 block committed (middle of 1,2,3)"
+    );
     assert!(!rounds.contains(&4), "epoch 4 cannot be final yet");
 }
 
@@ -203,8 +214,11 @@ fn streamlet_only_epoch_leader_proposals_accepted() {
     };
     let hash = block.hash(64 * 1024);
     block.signature = reg.sign(&banyan_types::Block::signing_message(&hash));
-    let actions =
-        e.on_message(ReplicaId(2), Message::Streamlet(StreamletMsg::Proposal { block }), Time(0));
+    let actions = e.on_message(
+        ReplicaId(2),
+        Message::Streamlet(StreamletMsg::Proposal { block }),
+        Time(0),
+    );
     assert!(
         actions.outbound.is_empty(),
         "non-leader proposal must not attract a vote"
@@ -231,11 +245,29 @@ fn streamlet_votes_once_per_epoch() {
         block.signature = reg.sign(&banyan_types::Block::signing_message(&hash));
         block
     };
-    let a1 = e.on_message(ReplicaId(0), Message::Streamlet(StreamletMsg::Proposal { block: mk(1) }), Time(0));
-    let voted1 = a1.outbound.iter().any(|o| matches!(o, Outbound::Broadcast(Message::Streamlet(StreamletMsg::Vote(_)))));
+    let a1 = e.on_message(
+        ReplicaId(0),
+        Message::Streamlet(StreamletMsg::Proposal { block: mk(1) }),
+        Time(0),
+    );
+    let voted1 = a1.outbound.iter().any(|o| {
+        matches!(
+            o,
+            Outbound::Broadcast(Message::Streamlet(StreamletMsg::Vote(_)))
+        )
+    });
     assert!(voted1, "first leader proposal gets a vote");
     // An equivocating second proposal in the same epoch gets no vote.
-    let a2 = e.on_message(ReplicaId(0), Message::Streamlet(StreamletMsg::Proposal { block: mk(2) }), Time(1));
-    let voted2 = a2.outbound.iter().any(|o| matches!(o, Outbound::Broadcast(Message::Streamlet(StreamletMsg::Vote(_)))));
+    let a2 = e.on_message(
+        ReplicaId(0),
+        Message::Streamlet(StreamletMsg::Proposal { block: mk(2) }),
+        Time(1),
+    );
+    let voted2 = a2.outbound.iter().any(|o| {
+        matches!(
+            o,
+            Outbound::Broadcast(Message::Streamlet(StreamletMsg::Vote(_)))
+        )
+    });
     assert!(!voted2, "one vote per epoch");
 }

@@ -70,7 +70,15 @@ fn equivocating_leader_cannot_break_banyan_safety() {
 
 #[test]
 fn equivocating_leader_cannot_break_icc_safety() {
-    let sim = run_with_byz("icc", 4, 1, 1, &[(0, ByzantineMode::EquivocateLeader)], 10, 1);
+    let sim = run_with_byz(
+        "icc",
+        4,
+        1,
+        1,
+        &[(0, ByzantineMode::EquivocateLeader)],
+        10,
+        1,
+    );
     assert!(sim.auditor().is_safe(), "{:?}", sim.auditor().violations());
     assert!(sim.auditor().committed_rounds() > 30);
 }
@@ -83,7 +91,10 @@ fn equivocating_leader_with_larger_cluster() {
         7,
         2,
         1,
-        &[(0, ByzantineMode::EquivocateLeader), (1, ByzantineMode::EquivocateLeader)],
+        &[
+            (0, ByzantineMode::EquivocateLeader),
+            (1, ByzantineMode::EquivocateLeader),
+        ],
         10,
         5,
     );
@@ -114,7 +125,10 @@ fn equivocator_plus_double_voter_mixed() {
         7,
         2,
         1,
-        &[(0, ByzantineMode::EquivocateLeader), (3, ByzantineMode::DoubleFastVote)],
+        &[
+            (0, ByzantineMode::EquivocateLeader),
+            (3, ByzantineMode::DoubleFastVote),
+        ],
         10,
         11,
     );
@@ -128,7 +142,15 @@ fn silent_leader_does_not_stall_progress() {
     // every time its turn comes; chain growth must continue (deadlock
     // freeness, Theorem 8.2).
     for protocol in ["banyan", "icc"] {
-        let sim = run_with_byz(protocol, 4, 1, 1, &[(1, ByzantineMode::SilentLeader)], 10, 3);
+        let sim = run_with_byz(
+            protocol,
+            4,
+            1,
+            1,
+            &[(1, ByzantineMode::SilentLeader)],
+            10,
+            3,
+        );
         assert!(sim.auditor().is_safe());
         assert!(
             sim.auditor().committed_rounds() > 30,
@@ -143,7 +165,15 @@ fn fast_path_survives_byzantine_minority_with_p_equals_f() {
     // With p = f = 1 and n = 4, the fast path tolerates one unresponsive
     // replica given an honest leader (Theorem 8.8). A silent (non-leader)
     // replica must not prevent FP-finalization in other leaders' rounds.
-    let sim = run_with_byz("banyan", 4, 1, 1, &[(3, ByzantineMode::SilentLeader)], 10, 9);
+    let sim = run_with_byz(
+        "banyan",
+        4,
+        1,
+        1,
+        &[(3, ByzantineMode::SilentLeader)],
+        10,
+        9,
+    );
     assert!(sim.auditor().is_safe());
     let metrics = sim.metrics();
     let fast = metrics.fast_path_share(banyan_types::ids::ReplicaId(0));
@@ -193,7 +223,10 @@ fn partition_heals_and_progress_resumes() {
     let during = sim.auditor().committed_rounds();
     // No quorum during the partition ⇒ no *new* explicit finalizations
     // (a few in-flight ones may land).
-    assert!(during <= before + 3, "before {before}, during partition {during}");
+    assert!(
+        during <= before + 3,
+        "before {before}, during partition {during}"
+    );
     sim.run_until(secs(12));
     let after = sim.auditor().committed_rounds();
     assert!(sim.auditor().is_safe(), "{:?}", sim.auditor().violations());

@@ -47,8 +47,7 @@ fn piggyback_saves_vote_messages() {
     let off = run(false, None, 2);
     assert!(on.auditor().is_safe() && off.auditor().is_safe());
     // Roughly the same number of rounds...
-    let ratio =
-        on.auditor().committed_rounds() as f64 / off.auditor().committed_rounds() as f64;
+    let ratio = on.auditor().committed_rounds() as f64 / off.auditor().committed_rounds() as f64;
     assert!((0.9..1.1).contains(&ratio), "round ratio {ratio}");
     // ...with measurably fewer bytes on the wire (one 64-byte signature
     // saved per replica per round).
@@ -66,14 +65,21 @@ fn piggyback_latency_matches_standard_banyan() {
     let off = run(false, None, 3);
     let a = on.metrics().proposer_latency_stats().mean_ms;
     let b = off.metrics().proposer_latency_stats().mean_ms;
-    assert!((a - b).abs() / b < 0.1, "piggyback {a:.1}ms vs standard {b:.1}ms");
+    assert!(
+        (a - b).abs() / b < 0.1,
+        "piggyback {a:.1}ms vs standard {b:.1}ms"
+    );
 }
 
 #[test]
 fn piggyback_safe_under_equivocation() {
     for seed in [5u64, 6] {
         let sim = run(true, Some((0, ByzantineMode::EquivocateLeader)), seed);
-        assert!(sim.auditor().is_safe(), "seed {seed}: {:?}", sim.auditor().violations());
+        assert!(
+            sim.auditor().is_safe(),
+            "seed {seed}: {:?}",
+            sim.auditor().violations()
+        );
         assert!(sim.auditor().committed_rounds() > 30);
     }
 }

@@ -40,7 +40,10 @@ fn run(protocol: &str, n: usize, f: usize, plan: &CrashPlan) -> Simulation {
         .build(protocol);
     let mut faults = FaultPlan::none();
     for (replica, ms) in &plan.crashes {
-        faults = faults.crash(ReplicaId(*replica), Time(Duration::from_millis(*ms).as_nanos()));
+        faults = faults.crash(
+            ReplicaId(*replica),
+            Time(Duration::from_millis(*ms).as_nanos()),
+        );
     }
     let mut sim = Simulation::new(topo, engines, faults, SimConfig::with_seed(plan.seed));
     sim.run_until(Time(Duration::from_secs(8).as_nanos()));

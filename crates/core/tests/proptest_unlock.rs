@@ -28,19 +28,27 @@ struct Pattern {
 
 fn arb_pattern() -> impl Strategy<Value = Pattern> {
     // Cluster shapes the paper uses plus a couple of extras.
-    prop_oneof![Just((4usize, 1usize, 1usize)), Just((7, 2, 1)), Just((19, 6, 1)), Just((19, 4, 4))]
-        .prop_flat_map(|(n, f, p)| {
-            let blocks = proptest::collection::vec((any::<u8>(), 0u16..4), 1..4);
-            let votes = proptest::collection::vec(
-                proptest::collection::vec(any::<u8>(), 0..3),
+    prop_oneof![
+        Just((4usize, 1usize, 1usize)),
+        Just((7, 2, 1)),
+        Just((19, 6, 1)),
+        Just((19, 4, 4))
+    ]
+    .prop_flat_map(|(n, f, p)| {
+        let blocks = proptest::collection::vec((any::<u8>(), 0u16..4), 1..4);
+        let votes = proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..3), n);
+        (Just((n, f, p)), blocks, votes).prop_map(|((n, f, p), mut ranks, votes)| {
+            ranks.sort();
+            ranks.dedup_by_key(|(tag, _)| *tag);
+            Pattern {
                 n,
-            );
-            (Just((n, f, p)), blocks, votes).prop_map(|((n, f, p), mut ranks, votes)| {
-                ranks.sort();
-                ranks.dedup_by_key(|(tag, _)| *tag);
-                Pattern { n, f, p, votes, ranks }
-            })
+                f,
+                p,
+                votes,
+                ranks,
+            }
         })
+    })
 }
 
 fn build_state(pat: &Pattern) -> UnlockState {

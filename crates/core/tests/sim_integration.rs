@@ -40,9 +40,17 @@ fn run_uniform(
 fn banyan_finalizes_and_agrees() {
     let sim = run_uniform("banyan", 4, 1, 1, 10, 5, 1);
     let m = sim.metrics();
-    assert!(sim.auditor().is_safe(), "violations: {:?}", sim.auditor().violations());
+    assert!(
+        sim.auditor().is_safe(),
+        "violations: {:?}",
+        sim.auditor().violations()
+    );
     let stats = m.proposer_latency_stats();
-    assert!(stats.count > 20, "expected steady commits, got {}", stats.count);
+    assert!(
+        stats.count > 20,
+        "expected steady commits, got {}",
+        stats.count
+    );
     assert!(sim.auditor().committed_rounds() > 20);
 }
 
@@ -51,7 +59,11 @@ fn icc_finalizes_and_agrees() {
     let sim = run_uniform("icc", 4, 1, 1, 10, 5, 1);
     assert!(sim.auditor().is_safe());
     let stats = sim.metrics().proposer_latency_stats();
-    assert!(stats.count > 20, "expected steady commits, got {}", stats.count);
+    assert!(
+        stats.count > 20,
+        "expected steady commits, got {}",
+        stats.count
+    );
 }
 
 #[test]
@@ -59,7 +71,11 @@ fn hotstuff_finalizes_and_agrees() {
     let sim = run_uniform("hotstuff", 4, 1, 1, 10, 5, 1);
     assert!(sim.auditor().is_safe());
     let stats = sim.metrics().proposer_latency_stats();
-    assert!(stats.count > 10, "expected steady commits, got {}", stats.count);
+    assert!(
+        stats.count > 10,
+        "expected steady commits, got {}",
+        stats.count
+    );
 }
 
 #[test]
@@ -67,7 +83,11 @@ fn streamlet_finalizes_and_agrees() {
     let sim = run_uniform("streamlet", 4, 1, 1, 10, 5, 1);
     assert!(sim.auditor().is_safe());
     let stats = sim.metrics().proposer_latency_stats();
-    assert!(stats.count > 5, "expected steady commits, got {}", stats.count);
+    assert!(
+        stats.count > 5,
+        "expected steady commits, got {}",
+        stats.count
+    );
 }
 
 /// The headline result (Fig. 1): with a uniform one-way delay δ and
@@ -80,7 +100,12 @@ fn banyan_two_steps_icc_three_steps() {
 
     let b = banyan.metrics().proposer_latency_stats();
     let i = icc.metrics().proposer_latency_stats();
-    assert!(b.count > 30 && i.count > 30, "banyan {} icc {}", b.count, i.count);
+    assert!(
+        b.count > 30 && i.count > 30,
+        "banyan {} icc {}",
+        b.count,
+        i.count
+    );
 
     // Banyan ≈ 2δ = 100 ms (allow jitter + tx time).
     assert!(
@@ -116,7 +141,14 @@ fn same_seed_reproduces_run_exactly() {
         sim.metrics()
             .commits
             .iter()
-            .map(|c| (c.replica.0, c.entry.round.0, c.entry.block, c.entry.committed_at.0))
+            .map(|c| {
+                (
+                    c.replica.0,
+                    c.entry.round.0,
+                    c.entry.block,
+                    c.entry.committed_at.0,
+                )
+            })
             .collect::<Vec<_>>()
     };
     assert_eq!(key(&a), key(&b));
@@ -135,7 +167,11 @@ fn nineteen_replicas_four_datacenters() {
         .build_banyan();
     let mut sim = Simulation::new(topo, engines, FaultPlan::none(), SimConfig::with_seed(5));
     sim.run_until(secs(20));
-    assert!(sim.auditor().is_safe(), "violations: {:?}", sim.auditor().violations());
+    assert!(
+        sim.auditor().is_safe(),
+        "violations: {:?}",
+        sim.auditor().violations()
+    );
     let stats = sim.metrics().proposer_latency_stats();
     assert!(stats.count > 20, "commits: {}", stats.count);
     assert!(stats.mean_ms > 0.0);

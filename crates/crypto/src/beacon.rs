@@ -127,7 +127,7 @@ impl Beacon {
     /// The replica holding `rank` in `round`.
     pub fn replica_at_rank(&self, round: u64, rank: u16) -> u16 {
         match self.mode {
-            BeaconMode::RoundRobin => (((round + rank as u64) % self.n as u64)) as u16,
+            BeaconMode::RoundRobin => ((round + rank as u64) % self.n as u64) as u16,
             BeaconMode::Seeded { .. } => self.permutation(round)[rank as usize],
         }
     }

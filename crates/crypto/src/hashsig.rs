@@ -22,8 +22,7 @@
 use crate::hmac::{ct_eq, hmac_sha256};
 use crate::sha256::sha256_concat;
 use crate::sig::{
-    AggregateSignature, PublicKey, SecretKey, Signature, SignatureScheme, SignerBitmap,
-    SignerIndex,
+    AggregateSignature, PublicKey, SecretKey, Signature, SignatureScheme, SignerBitmap, SignerIndex,
 };
 
 /// Domain-separation prefix for key derivation.
@@ -97,7 +96,10 @@ impl SignatureScheme for HashSig {
                 *a ^= b;
             }
         }
-        AggregateSignature { signers, data: acc.to_vec() }
+        AggregateSignature {
+            signers,
+            data: acc.to_vec(),
+        }
     }
 
     fn verify_aggregate(&self, pks: &[PublicKey], msg: &[u8], agg: &AggregateSignature) -> bool {
@@ -166,7 +168,11 @@ mod tests {
             .collect();
         let agg = scheme.aggregate(19, &sigs);
         assert_eq!(agg.count(), 13);
-        assert_eq!(agg.data.len(), 32, "aggregate must be constant-size like BLS");
+        assert_eq!(
+            agg.data.len(),
+            32,
+            "aggregate must be constant-size like BLS"
+        );
         assert!(scheme.verify_aggregate(&pks, msg, &agg));
     }
 

@@ -50,7 +50,10 @@ impl HmacSha256 {
 
         let mut inner = Sha256::new();
         inner.update(&ipad);
-        HmacSha256 { inner, opad_key: opad }
+        HmacSha256 {
+            inner,
+            opad_key: opad,
+        }
     }
 
     /// Absorbs message bytes.
@@ -114,7 +117,10 @@ mod tests {
         // Case 6: key larger than block size
         let key = [0xaau8; 131];
         assert_eq!(
-            hex(&hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First")),
+            hex(&hmac_sha256(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
         );
     }

@@ -45,6 +45,5 @@ pub use merkle::{MerkleProof, MerkleTree};
 pub use registry::{KeyRegistry, PublicKeyTable};
 pub use schnorr::ToySchnorr;
 pub use sig::{
-    AggregateSignature, PublicKey, SecretKey, Signature, SignatureScheme, SignerBitmap,
-    SignerIndex,
+    AggregateSignature, PublicKey, SecretKey, Signature, SignatureScheme, SignerBitmap, SignerIndex,
 };

@@ -74,7 +74,10 @@ impl MerkleTree {
     /// Builds a tree from precomputed leaf digests.
     pub fn from_leaves(leaves: Vec<Digest>) -> Self {
         if leaves.is_empty() {
-            return MerkleTree { levels: vec![vec![empty_root()]], n_leaves: 0 };
+            return MerkleTree {
+                levels: vec![vec![empty_root()]],
+                n_leaves: 0,
+            };
         }
         let n_leaves = leaves.len();
         let mut levels = vec![leaves];
@@ -122,7 +125,10 @@ impl MerkleTree {
             // no step is recorded, and the index halves as usual.
             i /= 2;
         }
-        Some(MerkleProof { leaf_index: index, path })
+        Some(MerkleProof {
+            leaf_index: index,
+            path,
+        })
     }
 }
 
@@ -206,7 +212,10 @@ mod tests {
             for (i, chunk) in chunks.iter().enumerate() {
                 let proof = tree.prove(i).unwrap_or_else(|| panic!("proof for {i}/{n}"));
                 assert!(proof.verify(&tree.root(), chunk), "leaf {i} of {n}");
-                assert!(!proof.verify(&tree.root(), b"wrong"), "forged leaf {i} of {n}");
+                assert!(
+                    !proof.verify(&tree.root(), b"wrong"),
+                    "forged leaf {i} of {n}"
+                );
             }
             assert!(tree.prove(n).is_none());
         }

@@ -31,7 +31,11 @@ impl PublicKeyTable {
     /// Builds the table for an `n`-replica cluster from a cluster seed.
     pub fn generate(scheme: Arc<dyn SignatureScheme>, cluster_seed: u64, n: usize) -> Self {
         let pks = (0..n)
-            .map(|i| scheme.keygen(&derive_seed(cluster_seed, i as SignerIndex)).1)
+            .map(|i| {
+                scheme
+                    .keygen(&derive_seed(cluster_seed, i as SignerIndex))
+                    .1
+            })
             .collect();
         PublicKeyTable { scheme, pks }
     }
@@ -95,10 +99,17 @@ impl KeyRegistry {
         n: usize,
         my_index: SignerIndex,
     ) -> Self {
-        assert!((my_index as usize) < n, "replica index {my_index} out of range (n = {n})");
+        assert!(
+            (my_index as usize) < n,
+            "replica index {my_index} out of range (n = {n})"
+        );
         let table = PublicKeyTable::generate(scheme.clone(), cluster_seed, n);
         let (my_sk, _) = scheme.keygen(&derive_seed(cluster_seed, my_index));
-        KeyRegistry { table, my_index, my_sk }
+        KeyRegistry {
+            table,
+            my_index,
+            my_sk,
+        }
     }
 
     /// This replica's index.
@@ -144,7 +155,9 @@ mod tests {
                         scheme.name()
                     );
                 }
-                assert!(!regs[0].table().verify(((i + 1) % n) as SignerIndex, msg, &sig));
+                assert!(!regs[0]
+                    .table()
+                    .verify(((i + 1) % n) as SignerIndex, msg, &sig));
             }
         }
     }

@@ -72,7 +72,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
-        Sha256 { state: H0, len: 0, buf: [0u8; BLOCK_LEN], buf_len: 0 }
+        Sha256 {
+            state: H0,
+            len: 0,
+            buf: [0u8; BLOCK_LEN],
+            buf_len: 0,
+        }
     }
 
     /// Absorbs `data` into the hash state.

@@ -55,7 +55,11 @@ pub struct PublicKey(pub [u8; 32]);
 
 impl fmt::Debug for PublicKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PublicKey({:02x}{:02x}{:02x}{:02x}..)", self.0[0], self.0[1], self.0[2], self.0[3])
+        write!(
+            f,
+            "PublicKey({:02x}{:02x}{:02x}{:02x}..)",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
     }
 }
 
@@ -74,7 +78,11 @@ impl Signature {
 
 impl fmt::Debug for Signature {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Signature({:02x}{:02x}{:02x}{:02x}..)", self.0[0], self.0[1], self.0[2], self.0[3])
+        write!(
+            f,
+            "Signature({:02x}{:02x}{:02x}{:02x}..)",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
     }
 }
 
@@ -97,7 +105,10 @@ pub struct SignerBitmap {
 impl SignerBitmap {
     /// An empty bitmap sized for `n` potential signers.
     pub fn new(n: usize) -> Self {
-        SignerBitmap { words: vec![0u64; n.div_ceil(64)], len: n }
+        SignerBitmap {
+            words: vec![0u64; n.div_ceil(64)],
+            len: n,
+        }
     }
 
     /// Number of potential signers this bitmap covers.
@@ -117,7 +128,11 @@ impl SignerBitmap {
     /// Panics if `i` is out of range.
     pub fn set(&mut self, i: SignerIndex) {
         let i = i as usize;
-        assert!(i < self.len, "signer index {i} out of range (n = {})", self.len);
+        assert!(
+            i < self.len,
+            "signer index {i} out of range (n = {})",
+            self.len
+        );
         self.words[i / 64] |= 1u64 << (i % 64);
     }
 

@@ -1,0 +1,172 @@
+//! The deterministic event queue: a min-heap ordered by `(time, seq)`.
+//!
+//! `seq` is a monotonically increasing insertion counter, so entries
+//! scheduled for the same instant pop in insertion order. This is the
+//! *only* event-ordering implementation in the workspace; the simulator's
+//! global event loop and the TCP runner's timer wheel are both built on
+//! it, which is what makes their schedules comparable.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use banyan_types::time::Time;
+
+/// One scheduled entry. Ordering ignores the payload entirely: `(at, seq)`
+/// is a total order because `seq` is unique per queue.
+struct Entry<T> {
+    at: Time,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic time-ordered queue of `T`.
+///
+/// Pops strictly by `(time, insertion sequence)`; two queues fed the same
+/// pushes in the same order always pop identically, independent of the
+/// payload type's own ordering (it needs none).
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `item` at `at`. Entries with equal `at` pop in the order
+    /// they were pushed.
+    pub fn push(&mut self, at: Time, item: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, item }));
+    }
+
+    /// Time of the earliest entry, if any.
+    pub fn next_at(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Removes and returns the earliest entry.
+    pub fn pop(&mut self) -> Option<(Time, T)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.item))
+    }
+
+    /// Removes and returns the earliest entry if it is due at `now`
+    /// (i.e. scheduled at or before it).
+    pub fn pop_due(&mut self, now: Time) -> Option<(Time, T)> {
+        if self.next_at()? <= now {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total entries ever pushed (the next seq number). Diagnostic.
+    pub fn pushed(&self) -> u64 {
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time(30), "c");
+        q.push(Time(10), "a");
+        q.push(Time(20), "b");
+        assert_eq!(q.next_at(), Some(Time(10)));
+        assert_eq!(q.pop(), Some((Time(10), "a")));
+        assert_eq!(q.pop(), Some((Time(20), "b")));
+        assert_eq!(q.pop(), Some((Time(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(Time(7), i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(q.pop(), Some((Time(7), i)), "insertion order broken at {i}");
+        }
+    }
+
+    #[test]
+    fn interleaved_equal_and_distinct_times() {
+        let mut q = EventQueue::new();
+        q.push(Time(5), "first@5");
+        q.push(Time(3), "only@3");
+        q.push(Time(5), "second@5");
+        q.push(Time(4), "only@4");
+        q.push(Time(5), "third@5");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, s)| s)).collect();
+        assert_eq!(
+            order,
+            vec!["only@3", "only@4", "first@5", "second@5", "third@5"]
+        );
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(Time(10), 1);
+        q.push(Time(20), 2);
+        assert_eq!(q.pop_due(Time(5)), None);
+        assert_eq!(q.pop_due(Time(10)), Some((Time(10), 1)));
+        assert_eq!(q.pop_due(Time(15)), None);
+        assert_eq!(q.pop_due(Time(25)), Some((Time(20), 2)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn payload_needs_no_ordering() {
+        // A payload type with no Ord/Eq at all.
+        struct Opaque(#[allow(dead_code)] fn() -> u32);
+        let mut q = EventQueue::new();
+        q.push(Time(2), Opaque(|| 2));
+        q.push(Time(1), Opaque(|| 1));
+        assert_eq!(q.pop().map(|(t, _)| t), Some(Time(1)));
+    }
+}

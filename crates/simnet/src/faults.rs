@@ -75,7 +75,10 @@ impl FaultPlan {
     /// crashes.
     pub fn crash_first(mut self, count: usize, at: Time) -> Self {
         for i in 0..count {
-            self.faults.push(Fault::Crash { replica: ReplicaId(i as u16), at });
+            self.faults.push(Fault::Crash {
+                replica: ReplicaId(i as u16),
+                at,
+            });
         }
         self
     }
@@ -93,7 +96,10 @@ impl FaultPlan {
         assert!(count <= n, "cannot crash more replicas than exist");
         for i in 0..count {
             let id = (i * n / count) as u16;
-            self.faults.push(Fault::Crash { replica: ReplicaId(id), at });
+            self.faults.push(Fault::Crash {
+                replica: ReplicaId(id),
+                at,
+            });
         }
         self
     }
@@ -106,7 +112,12 @@ impl FaultPlan {
         from: Time,
         until: Time,
     ) -> Self {
-        self.faults.push(Fault::Partition { group_a, group_b, from, until });
+        self.faults.push(Fault::Partition {
+            group_a,
+            group_b,
+            from,
+            until,
+        });
         self
     }
 
@@ -119,7 +130,13 @@ impl FaultPlan {
         from: Time,
         until: Time,
     ) -> Self {
-        self.faults.push(Fault::LinkDelay { src, dst, extra, from, until });
+        self.faults.push(Fault::LinkDelay {
+            src,
+            dst,
+            extra,
+            from,
+            until,
+        });
         self
     }
 
@@ -134,7 +151,12 @@ impl FaultPlan {
     /// True if a message sent `src → dst` at `now` is cut by a partition.
     pub fn is_cut(&self, src: ReplicaId, dst: ReplicaId, now: Time) -> bool {
         self.faults.iter().any(|f| match f {
-            Fault::Partition { group_a, group_b, from, until } => {
+            Fault::Partition {
+                group_a,
+                group_b,
+                from,
+                until,
+            } => {
                 now >= *from
                     && now < *until
                     && ((group_a.contains(&src) && group_b.contains(&dst))
@@ -148,7 +170,14 @@ impl FaultPlan {
     pub fn extra_delay(&self, src: ReplicaId, dst: ReplicaId, now: Time) -> Duration {
         let mut total = Duration::ZERO;
         for f in &self.faults {
-            if let Fault::LinkDelay { src: s, dst: d, extra, from, until } = f {
+            if let Fault::LinkDelay {
+                src: s,
+                dst: d,
+                extra,
+                from,
+                until,
+            } = f
+            {
                 if *s == src && *d == dst && now >= *from && now < *until {
                     total = total + *extra;
                 }
@@ -219,8 +248,20 @@ mod tests {
     #[test]
     fn link_delay_is_directed_and_additive() {
         let plan = FaultPlan::none()
-            .link_delay(ReplicaId(0), ReplicaId(1), Duration::from_millis(5), Time(0), Time(100))
-            .link_delay(ReplicaId(0), ReplicaId(1), Duration::from_millis(3), Time(0), Time(50));
+            .link_delay(
+                ReplicaId(0),
+                ReplicaId(1),
+                Duration::from_millis(5),
+                Time(0),
+                Time(100),
+            )
+            .link_delay(
+                ReplicaId(0),
+                ReplicaId(1),
+                Duration::from_millis(3),
+                Time(0),
+                Time(50),
+            );
         assert_eq!(
             plan.extra_delay(ReplicaId(0), ReplicaId(1), Time(10)),
             Duration::from_millis(8)
@@ -230,6 +271,9 @@ mod tests {
             Duration::from_millis(5)
         );
         // Reverse direction unaffected.
-        assert_eq!(plan.extra_delay(ReplicaId(1), ReplicaId(0), Time(10)), Duration::ZERO);
+        assert_eq!(
+            plan.extra_delay(ReplicaId(1), ReplicaId(0), Time(10)),
+            Duration::ZERO
+        );
     }
 }

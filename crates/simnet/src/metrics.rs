@@ -14,6 +14,7 @@
 
 use std::collections::BTreeMap;
 
+use banyan_runtime::driver::CommitSink;
 use banyan_types::engine::CommitEntry;
 use banyan_types::ids::{BlockHash, ReplicaId, Round};
 use banyan_types::time::{Duration, Time};
@@ -69,7 +70,7 @@ impl LatencyStats {
 }
 
 /// One replica's commit, as observed by the harness.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ObservedCommit {
     /// The replica that committed.
     pub replica: ReplicaId,
@@ -128,7 +129,10 @@ impl SafetyAuditor {
 }
 
 /// Everything measured over one simulation run.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` is derived so determinism tests can assert bit-identical
+/// reruns (every field, including the full commit log, must match).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunMetrics {
     /// Every commit at every replica, in commit order.
     pub commits: Vec<ObservedCommit>,
@@ -140,6 +144,12 @@ pub struct RunMetrics {
     pub messages_dropped: u64,
     /// Virtual time at the end of the run.
     pub end_time: Time,
+}
+
+impl CommitSink for RunMetrics {
+    fn on_commit(&mut self, replica: ReplicaId, entry: CommitEntry) {
+        self.commits.push(ObservedCommit { replica, entry });
+    }
 }
 
 impl RunMetrics {
@@ -287,9 +297,15 @@ mod tests {
         let metrics = RunMetrics {
             commits: vec![
                 // replica 0 commits its own block: counted (15ns).
-                ObservedCommit { replica: ReplicaId(0), entry: entry(1, 1, 0, 5, 20) },
+                ObservedCommit {
+                    replica: ReplicaId(0),
+                    entry: entry(1, 1, 0, 5, 20),
+                },
                 // replica 1 commits replica 0's block: not counted.
-                ObservedCommit { replica: ReplicaId(1), entry: entry(1, 1, 0, 5, 40) },
+                ObservedCommit {
+                    replica: ReplicaId(1),
+                    entry: entry(1, 1, 0, 5, 40),
+                },
             ],
             end_time: Time(1_000_000_000),
             ..Default::default()
@@ -303,8 +319,14 @@ mod tests {
     fn throughput_counts_bytes_per_second() {
         let metrics = RunMetrics {
             commits: vec![
-                ObservedCommit { replica: ReplicaId(0), entry: entry(1, 1, 0, 0, 10) },
-                ObservedCommit { replica: ReplicaId(0), entry: entry(2, 2, 1, 0, 20) },
+                ObservedCommit {
+                    replica: ReplicaId(0),
+                    entry: entry(1, 1, 0, 0, 10),
+                },
+                ObservedCommit {
+                    replica: ReplicaId(0),
+                    entry: entry(2, 2, 1, 0, 20),
+                },
             ],
             end_time: Time(2_000_000_000), // 2 s
             ..Default::default()
@@ -318,9 +340,18 @@ mod tests {
     fn block_intervals_are_ordered_gaps() {
         let metrics = RunMetrics {
             commits: vec![
-                ObservedCommit { replica: ReplicaId(0), entry: entry(2, 2, 0, 0, 300) },
-                ObservedCommit { replica: ReplicaId(0), entry: entry(1, 1, 0, 0, 100) },
-                ObservedCommit { replica: ReplicaId(0), entry: entry(3, 3, 0, 0, 600) },
+                ObservedCommit {
+                    replica: ReplicaId(0),
+                    entry: entry(2, 2, 0, 0, 300),
+                },
+                ObservedCommit {
+                    replica: ReplicaId(0),
+                    entry: entry(1, 1, 0, 0, 100),
+                },
+                ObservedCommit {
+                    replica: ReplicaId(0),
+                    entry: entry(3, 3, 0, 0, 600),
+                },
             ],
             end_time: Time(1_000),
             ..Default::default()
@@ -340,9 +371,18 @@ mod tests {
         let slow = entry(3, 3, 0, 0, 10);
         let metrics = RunMetrics {
             commits: vec![
-                ObservedCommit { replica: ReplicaId(0), entry: fast },
-                ObservedCommit { replica: ReplicaId(0), entry: implicit },
-                ObservedCommit { replica: ReplicaId(0), entry: slow },
+                ObservedCommit {
+                    replica: ReplicaId(0),
+                    entry: fast,
+                },
+                ObservedCommit {
+                    replica: ReplicaId(0),
+                    entry: implicit,
+                },
+                ObservedCommit {
+                    replica: ReplicaId(0),
+                    entry: slow,
+                },
             ],
             end_time: Time(1_000),
             ..Default::default()

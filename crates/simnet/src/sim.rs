@@ -3,10 +3,15 @@
 //! Replaces the paper's AWS testbed (substitution **R1** in `DESIGN.md`):
 //! `n` [`Engine`]s, a [`Topology`], a [`FaultPlan`] and a seed go in; a
 //! [`RunMetrics`] with the paper's metrics comes out. Everything is
-//! deterministic: the event queue breaks time ties by insertion sequence,
-//! jitter comes from a seeded RNG, and links are FIFO (like the TCP/QUIC
-//! channels the paper assumes — Remark 8.3 notes Banyan's restrictions
-//! never cost latency when reordering is precluded).
+//! deterministic: the event queue is the shared
+//! [`banyan_runtime::EventQueue`] (time order, insertion-sequence
+//! tie-break), jitter comes from a seeded RNG, and links are FIFO (like
+//! the TCP/QUIC channels the paper assumes — Remark 8.3 notes Banyan's
+//! restrictions never cost latency when reordering is precluded).
+//!
+//! Engine actions are routed through [`banyan_runtime::route_actions`] —
+//! the same layer the TCP runner uses — so a simulated replica and a
+//! socketed replica process identical events identically.
 //!
 //! # Network model
 //!
@@ -18,13 +23,12 @@
 //! * **Jitter**: uniform in `[0, jitter]`, seeded.
 //! * **FIFO**: arrivals on a link never overtake earlier arrivals.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use banyan_types::engine::{Actions, Engine, Outbound, TimerKind};
+use banyan_runtime::driver::{is_stale, route_actions, ActionDispatch, CommitSink};
+use banyan_runtime::queue::EventQueue;
+use banyan_types::engine::{Actions, CommitEntry, Engine, Outbound, TimerKind, TimerRequest};
 use banyan_types::ids::ReplicaId;
 use banyan_types::message::Message;
 use banyan_types::time::{Duration, Time};
@@ -46,44 +50,151 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { seed: 0, jitter: Duration::from_micros(500), trace: false }
+        SimConfig {
+            seed: 0,
+            jitter: Duration::from_micros(500),
+            trace: false,
+        }
     }
 }
 
 impl SimConfig {
     /// Config with a specific seed and defaults otherwise.
     pub fn with_seed(seed: u64) -> Self {
-        SimConfig { seed, ..Default::default() }
+        SimConfig {
+            seed,
+            ..Default::default()
+        }
     }
 }
 
+/// What can happen next in virtual time. Ordering lives entirely in the
+/// shared [`EventQueue`]; this payload carries no ordering of its own.
+// Deliveries carry whole messages inline; timers are tiny. Events live
+// only inside the queue, so the per-entry slack is acceptable.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum EventKind {
-    Deliver { from: ReplicaId, to: ReplicaId, msg: Message },
-    Timer { replica: ReplicaId, kind: TimerKind },
+    Deliver {
+        from: ReplicaId,
+        to: ReplicaId,
+        msg: Message,
+    },
+    Timer {
+        replica: ReplicaId,
+        kind: TimerKind,
+    },
 }
 
-#[derive(Debug)]
-struct Event {
-    at: Time,
-    seq: u64,
-    kind: EventKind,
+/// Commit side of action routing: every finalization feeds the safety
+/// auditor and the metrics log.
+struct SimCommitSink<'a> {
+    commits: &'a mut Vec<ObservedCommit>,
+    auditor: &'a mut SafetyAuditor,
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl CommitSink for SimCommitSink<'_> {
+    fn on_commit(&mut self, replica: ReplicaId, entry: CommitEntry) {
+        self.auditor.observe(replica, &entry);
+        self.commits.push(ObservedCommit { replica, entry });
     }
 }
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+/// Driver side of action routing: timers go back into the global event
+/// queue (so timer/delivery interleavings stay totally ordered), outbound
+/// messages run through the bandwidth/propagation/jitter/FIFO model.
+struct NetDispatch<'a> {
+    now: Time,
+    queue: &'a mut EventQueue<EventKind>,
+    topology: &'a Topology,
+    faults: &'a FaultPlan,
+    jitter: Duration,
+    rng: &'a mut SmallRng,
+    egress_free_at: &'a mut [Time],
+    link_last_arrival: &'a mut [Vec<Time>],
+    messages_sent: &'a mut u64,
+    bytes_sent: &'a mut u64,
+    messages_dropped: &'a mut u64,
+}
+
+impl ActionDispatch for NetDispatch<'_> {
+    fn arm(&mut self, replica: ReplicaId, request: TimerRequest) {
+        // Timers always fire at or after `now`.
+        let at = request.at.max(self.now);
+        self.queue.push(
+            at,
+            EventKind::Timer {
+                replica,
+                kind: request.kind,
+            },
+        );
+    }
+
+    fn transmit(&mut self, from: ReplicaId, out: Outbound) {
+        match out {
+            Outbound::Broadcast(msg) => self.transmit_broadcast(from, msg),
+            Outbound::Send(to, msg) => {
+                let bytes = msg.wire_len();
+                let departure = self.reserve_egress(from, bytes);
+                self.schedule_delivery(from, to, msg, departure);
+            }
+        }
     }
 }
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+
+impl NetDispatch<'_> {
+    /// Serializes one copy of the message per receiver on the sender's
+    /// uplink, in round-robin receiver order starting after the sender.
+    fn transmit_broadcast(&mut self, from: ReplicaId, msg: Message) {
+        let n = self.topology.n();
+        let bytes = msg.wire_len();
+        for off in 1..n {
+            let to = ReplicaId(((from.as_usize() + off) % n) as u16);
+            let departure = self.reserve_egress(from, bytes);
+            self.schedule_delivery(from, to, msg.clone(), departure);
+        }
+    }
+
+    /// Occupies the sender's uplink for one copy of `bytes`, returning the
+    /// departure (serialization-complete) time.
+    fn reserve_egress(&mut self, from: ReplicaId, bytes: u64) -> Time {
+        let tx = self.topology.transmit_time(bytes);
+        let start = self.egress_free_at[from.as_usize()].max(self.now);
+        let departure = start + tx;
+        self.egress_free_at[from.as_usize()] = departure;
+        departure
+    }
+
+    fn schedule_delivery(&mut self, from: ReplicaId, to: ReplicaId, msg: Message, departure: Time) {
+        if self.faults.is_crashed(from, self.now) {
+            return;
+        }
+        *self.messages_sent += 1;
+        *self.bytes_sent += msg.wire_len();
+
+        if self.faults.is_cut(from, to, self.now) {
+            *self.messages_dropped += 1;
+            return;
+        }
+
+        let base = self.topology.delay(from.as_usize(), to.as_usize());
+        let extra = self.faults.extra_delay(from, to, self.now);
+        let jitter = if self.jitter.as_nanos() == 0 {
+            Duration::ZERO
+        } else {
+            Duration(self.rng.gen_range(0..=self.jitter.as_nanos()))
+        };
+        let mut arrival = departure + base + extra + jitter;
+
+        // FIFO: never overtake an earlier message on the same link.
+        let last = &mut self.link_last_arrival[from.as_usize()][to.as_usize()];
+        if arrival <= *last {
+            arrival = *last + Duration(1);
+        }
+        *last = arrival;
+
+        self.queue
+            .push(arrival, EventKind::Deliver { from, to, msg });
     }
 }
 
@@ -94,8 +205,7 @@ pub struct Simulation {
     engines: Vec<Box<dyn Engine>>,
     faults: FaultPlan,
     now: Time,
-    queue: BinaryHeap<Reverse<Event>>,
-    seq: u64,
+    queue: EventQueue<EventKind>,
     /// When each replica's uplink becomes free.
     egress_free_at: Vec<Time>,
     /// Last arrival time per directed link, for FIFO enforcement.
@@ -121,7 +231,12 @@ impl Simulation {
     ) -> Self {
         assert_eq!(engines.len(), topology.n(), "one engine per topology slot");
         for (i, e) in engines.iter().enumerate() {
-            assert_eq!(e.id(), ReplicaId(i as u16), "engine {i} has wrong id {:?}", e.id());
+            assert_eq!(
+                e.id(),
+                ReplicaId(i as u16),
+                "engine {i} has wrong id {:?}",
+                e.id()
+            );
         }
         let n = topology.n();
         let rng = SmallRng::seed_from_u64(config.seed);
@@ -131,8 +246,7 @@ impl Simulation {
             engines,
             faults,
             now: Time::ZERO,
-            queue: BinaryHeap::new(),
-            seq: 0,
+            queue: EventQueue::new(),
             egress_free_at: vec![Time::ZERO; n],
             link_last_arrival: vec![vec![Time::ZERO; n]; n],
             rng,
@@ -177,13 +291,10 @@ impl Simulation {
             }
         }
 
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.at > end {
-                break;
-            }
-            let Reverse(ev) = self.queue.pop().expect("peeked");
-            self.now = ev.at;
-            match ev.kind {
+        while self.queue.next_at().is_some_and(|at| at <= end) {
+            let (at, event) = self.queue.pop().expect("peeked");
+            self.now = at;
+            match event {
                 EventKind::Deliver { from, to, msg } => {
                     if self.faults.is_crashed(to, self.now) {
                         self.metrics.messages_dropped += 1;
@@ -197,6 +308,11 @@ impl Simulation {
                 }
                 EventKind::Timer { replica, kind } => {
                     if self.faults.is_crashed(replica, self.now) {
+                        continue;
+                    }
+                    // Shared stale-timer rule: rounds the engine has left
+                    // are dropped without delivery (engines would no-op).
+                    if is_stale(&kind, self.engines[replica.as_usize()].current_round()) {
                         continue;
                     }
                     if self.config.trace {
@@ -218,92 +334,50 @@ impl Simulation {
         (self.metrics, self.auditor)
     }
 
-    fn push(&mut self, at: Time, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(Event { at, seq, kind }));
-    }
-
+    /// Routes one engine's actions through the shared driver layer.
     fn process_actions(&mut self, replica: ReplicaId, actions: Actions) {
-        for commit in actions.commits {
-            self.auditor.observe(replica, &commit);
-            self.metrics.commits.push(ObservedCommit { replica, entry: commit });
-        }
-        for timer in actions.timers {
-            // Timers always fire at or after `now`.
-            let at = timer.at.max(self.now);
-            self.push(at, EventKind::Timer { replica, kind: timer.kind });
-        }
-        for out in actions.outbound {
-            match out {
-                Outbound::Broadcast(msg) => self.transmit_broadcast(replica, msg),
-                Outbound::Send(to, msg) => {
-                    let bytes = msg.wire_len();
-                    let departure = self.reserve_egress(replica, bytes);
-                    self.schedule_delivery(replica, to, msg, departure);
-                }
-            }
-        }
-    }
-
-    /// Serializes one copy of the message per receiver on the sender's
-    /// uplink, in round-robin receiver order starting after the sender.
-    fn transmit_broadcast(&mut self, from: ReplicaId, msg: Message) {
-        let n = self.topology.n();
-        let bytes = msg.wire_len();
-        for off in 1..n {
-            let to = ReplicaId(((from.as_usize() + off) % n) as u16);
-            let departure = self.reserve_egress(from, bytes);
-            self.schedule_delivery(from, to, msg.clone(), departure);
-        }
-    }
-
-    /// Occupies the sender's uplink for one copy of `bytes`, returning the
-    /// departure (serialization-complete) time.
-    fn reserve_egress(&mut self, from: ReplicaId, bytes: u64) -> Time {
-        let tx = self.topology.transmit_time(bytes);
-        let start = self.egress_free_at[from.as_usize()].max(self.now);
-        let departure = start + tx;
-        self.egress_free_at[from.as_usize()] = departure;
-        departure
-    }
-
-    fn schedule_delivery(&mut self, from: ReplicaId, to: ReplicaId, msg: Message, departure: Time) {
-        if self.faults.is_crashed(from, self.now) {
-            return;
-        }
-        self.metrics.messages_sent += 1;
-        self.metrics.bytes_sent += msg.wire_len();
-
-        if self.faults.is_cut(from, to, self.now) {
-            self.metrics.messages_dropped += 1;
-            return;
-        }
-
-        let base = self.topology.delay(from.as_usize(), to.as_usize());
-        let extra = self.faults.extra_delay(from, to, self.now);
-        let jitter = if self.config.jitter.as_nanos() == 0 {
-            Duration::ZERO
-        } else {
-            Duration(self.rng.gen_range(0..=self.config.jitter.as_nanos()))
+        let Simulation {
+            topology,
+            config,
+            faults,
+            now,
+            queue,
+            egress_free_at,
+            link_last_arrival,
+            rng,
+            metrics,
+            auditor,
+            ..
+        } = self;
+        let RunMetrics {
+            commits,
+            messages_sent,
+            bytes_sent,
+            messages_dropped,
+            ..
+        } = metrics;
+        let mut sink = SimCommitSink { commits, auditor };
+        let mut dispatch = NetDispatch {
+            now: *now,
+            queue,
+            topology,
+            faults,
+            jitter: config.jitter,
+            rng,
+            egress_free_at,
+            link_last_arrival,
+            messages_sent,
+            bytes_sent,
+            messages_dropped,
         };
-        let mut arrival = departure + base + extra + jitter;
-
-        // FIFO: never overtake an earlier message on the same link.
-        let last = &mut self.link_last_arrival[from.as_usize()][to.as_usize()];
-        if arrival <= *last {
-            arrival = *last + Duration(1);
-        }
-        *last = arrival;
-
-        self.push(arrival, EventKind::Deliver { from, to, msg });
+        route_actions(replica, actions, &mut sink, &mut dispatch);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use banyan_types::engine::{CommitEntry, TimerRequest};
+    use banyan_types::engine::CommitEntry;
     use banyan_types::ids::{BlockHash, Round};
     use banyan_types::message::SyncMsg;
 
@@ -319,7 +393,13 @@ mod tests {
 
     impl PingEngine {
         fn new(id: u16, n: usize) -> Self {
-            PingEngine { id: ReplicaId(id), n, heard: vec![false; n], committed: false, round: Round(0) }
+            PingEngine {
+                id: ReplicaId(id),
+                n,
+                heard: vec![false; n],
+                committed: false,
+                round: Round(0),
+            }
         }
     }
 
@@ -332,13 +412,20 @@ mod tests {
         }
         fn on_init(&mut self, now: Time) -> Actions {
             let mut a = Actions::none();
-            a.broadcast(Message::Sync(SyncMsg::Request { hash: BlockHash::ZERO }));
-            a.arm(now + Duration::from_secs(1), TimerKind::RoundTimeout { round: 0 });
+            a.broadcast(Message::Sync(SyncMsg::Request {
+                hash: BlockHash::ZERO,
+            }));
+            a.arm(
+                now + Duration::from_secs(1),
+                TimerKind::RoundTimeout { round: 0 },
+            );
             a
         }
         fn on_message(&mut self, from: ReplicaId, _msg: Message, now: Time) -> Actions {
             self.heard[from.as_usize()] = true;
-            let all = (0..self.n).filter(|&i| i != self.id.as_usize()).all(|i| self.heard[i]);
+            let all = (0..self.n)
+                .filter(|&i| i != self.id.as_usize())
+                .all(|i| self.heard[i]);
             let mut a = Actions::none();
             if all && !self.committed {
                 self.committed = true;
@@ -365,8 +452,9 @@ mod tests {
 
     fn build(n: usize, faults: FaultPlan, seed: u64) -> Simulation {
         let topo = Topology::uniform(n, Duration::from_millis(10));
-        let engines: Vec<Box<dyn Engine>> =
-            (0..n).map(|i| Box::new(PingEngine::new(i as u16, n)) as Box<dyn Engine>).collect();
+        let engines: Vec<Box<dyn Engine>> = (0..n)
+            .map(|i| Box::new(PingEngine::new(i as u16, n)) as Box<dyn Engine>)
+            .collect();
         Simulation::new(topo, engines, faults, SimConfig::with_seed(seed))
     }
 
@@ -457,7 +545,9 @@ mod tests {
                     for i in 0..10u8 {
                         a.send(
                             ReplicaId(1),
-                            Message::Sync(SyncMsg::Request { hash: BlockHash([i; 32]) }),
+                            Message::Sync(SyncMsg::Request {
+                                hash: BlockHash([i; 32]),
+                            }),
                         );
                     }
                 }
@@ -477,8 +567,14 @@ mod tests {
             }
         }
         let engines: Vec<Box<dyn Engine>> = vec![
-            Box::new(Burst { id: ReplicaId(0), seen: vec![] }),
-            Box::new(Burst { id: ReplicaId(1), seen: vec![] }),
+            Box::new(Burst {
+                id: ReplicaId(0),
+                seen: vec![],
+            }),
+            Box::new(Burst {
+                id: ReplicaId(1),
+                seen: vec![],
+            }),
         ];
         let mut cfg = SimConfig::with_seed(3);
         cfg.jitter = Duration::from_millis(20); // huge jitter to try to reorder
@@ -539,7 +635,12 @@ mod tests {
         }
         let topo = Topology::uniform(4, Duration::from_millis(10));
         let engines: Vec<Box<dyn Engine>> = (0..4)
-            .map(|i| Box::new(OneShot { id: ReplicaId(i as u16), arrivals: 0 }) as Box<dyn Engine>)
+            .map(|i| {
+                Box::new(OneShot {
+                    id: ReplicaId(i as u16),
+                    arrivals: 0,
+                }) as Box<dyn Engine>
+            })
             .collect();
         let mut cfg = SimConfig::with_seed(1);
         cfg.jitter = Duration::ZERO;

@@ -34,25 +34,101 @@ pub struct Region {
 /// The 19 AWS regions used for the global testbed (§9.5), roughly the set
 /// available to the authors in 2024.
 pub const AWS_REGIONS: [Region; 19] = [
-    Region { name: "us-east-1", lat: 38.9, lon: -77.4 },      // N. Virginia
-    Region { name: "us-east-2", lat: 40.0, lon: -83.0 },      // Ohio
-    Region { name: "us-west-1", lat: 37.4, lon: -121.9 },     // N. California
-    Region { name: "us-west-2", lat: 45.8, lon: -119.7 },     // Oregon
-    Region { name: "ca-central-1", lat: 45.5, lon: -73.6 },   // Montreal
-    Region { name: "sa-east-1", lat: -23.5, lon: -46.6 },     // São Paulo
-    Region { name: "eu-west-1", lat: 53.3, lon: -6.3 },       // Ireland
-    Region { name: "eu-west-2", lat: 51.5, lon: -0.1 },       // London
-    Region { name: "eu-west-3", lat: 48.9, lon: 2.4 },        // Paris
-    Region { name: "eu-central-1", lat: 50.1, lon: 8.7 },     // Frankfurt
-    Region { name: "eu-north-1", lat: 59.3, lon: 18.1 },      // Stockholm
-    Region { name: "eu-south-1", lat: 45.5, lon: 9.2 },       // Milan
-    Region { name: "me-south-1", lat: 26.2, lon: 50.6 },      // Bahrain
-    Region { name: "ap-south-1", lat: 19.1, lon: 72.9 },      // Mumbai
-    Region { name: "ap-southeast-1", lat: 1.3, lon: 103.8 },  // Singapore
-    Region { name: "ap-southeast-2", lat: -33.9, lon: 151.2 },// Sydney
-    Region { name: "ap-northeast-1", lat: 35.7, lon: 139.7 }, // Tokyo
-    Region { name: "ap-northeast-2", lat: 37.6, lon: 126.9 }, // Seoul
-    Region { name: "af-south-1", lat: -33.9, lon: 18.4 },     // Cape Town
+    Region {
+        name: "us-east-1",
+        lat: 38.9,
+        lon: -77.4,
+    }, // N. Virginia
+    Region {
+        name: "us-east-2",
+        lat: 40.0,
+        lon: -83.0,
+    }, // Ohio
+    Region {
+        name: "us-west-1",
+        lat: 37.4,
+        lon: -121.9,
+    }, // N. California
+    Region {
+        name: "us-west-2",
+        lat: 45.8,
+        lon: -119.7,
+    }, // Oregon
+    Region {
+        name: "ca-central-1",
+        lat: 45.5,
+        lon: -73.6,
+    }, // Montreal
+    Region {
+        name: "sa-east-1",
+        lat: -23.5,
+        lon: -46.6,
+    }, // São Paulo
+    Region {
+        name: "eu-west-1",
+        lat: 53.3,
+        lon: -6.3,
+    }, // Ireland
+    Region {
+        name: "eu-west-2",
+        lat: 51.5,
+        lon: -0.1,
+    }, // London
+    Region {
+        name: "eu-west-3",
+        lat: 48.9,
+        lon: 2.4,
+    }, // Paris
+    Region {
+        name: "eu-central-1",
+        lat: 50.1,
+        lon: 8.7,
+    }, // Frankfurt
+    Region {
+        name: "eu-north-1",
+        lat: 59.3,
+        lon: 18.1,
+    }, // Stockholm
+    Region {
+        name: "eu-south-1",
+        lat: 45.5,
+        lon: 9.2,
+    }, // Milan
+    Region {
+        name: "me-south-1",
+        lat: 26.2,
+        lon: 50.6,
+    }, // Bahrain
+    Region {
+        name: "ap-south-1",
+        lat: 19.1,
+        lon: 72.9,
+    }, // Mumbai
+    Region {
+        name: "ap-southeast-1",
+        lat: 1.3,
+        lon: 103.8,
+    }, // Singapore
+    Region {
+        name: "ap-southeast-2",
+        lat: -33.9,
+        lon: 151.2,
+    }, // Sydney
+    Region {
+        name: "ap-northeast-1",
+        lat: 35.7,
+        lon: 139.7,
+    }, // Tokyo
+    Region {
+        name: "ap-northeast-2",
+        lat: 37.6,
+        lon: 126.9,
+    }, // Seoul
+    Region {
+        name: "af-south-1",
+        lat: -33.9,
+        lon: 18.4,
+    }, // Cape Town
 ];
 
 /// Looks up a region by name.
@@ -126,7 +202,11 @@ impl Topology {
         for (i, row) in m.iter_mut().enumerate() {
             row[i] = Duration::ZERO;
         }
-        Topology { site_labels: vec!["uniform"; n], one_way: m, egress_bps: 1_000_000_000 }
+        Topology {
+            site_labels: vec!["uniform"; n],
+            one_way: m,
+            egress_bps: 1_000_000_000,
+        }
     }
 
     /// `counts[i]` replicas in `regions[i]`, concatenated in order.
@@ -138,7 +218,7 @@ impl Topology {
         assert_eq!(regions.len(), counts.len(), "one count per region");
         let mut sites = Vec::new();
         for (region, &count) in regions.iter().zip(counts) {
-            sites.extend(std::iter::repeat(*region).take(count));
+            sites.extend(std::iter::repeat_n(*region, count));
         }
         Self::from_sites(&sites)
     }

@@ -48,13 +48,21 @@ fn latency_grows_with_payload_via_egress_serialization() {
 fn throughput_scales_with_block_size() {
     let topo = Topology::uniform(4, Duration::from_millis(10));
     let tp = |payload: u64| {
-        let mut sim = banyan(4, payload, Topology::uniform(4, Duration::from_millis(10)), 2);
+        let mut sim = banyan(
+            4,
+            payload,
+            Topology::uniform(4, Duration::from_millis(10)),
+            2,
+        );
         sim.run_until(secs(10));
         sim.metrics().throughput_bps(ReplicaId(0))
     };
     let t1 = tp(50_000);
     let t2 = tp(500_000);
-    assert!(t2 > 5.0 * t1, "10x block size should give ≫5x throughput: {t1:.0} vs {t2:.0}");
+    assert!(
+        t2 > 5.0 * t1,
+        "10x block size should give ≫5x throughput: {t1:.0} vs {t2:.0}"
+    );
     let _ = topo;
 }
 
@@ -74,8 +82,20 @@ fn straggler_hurts_fast_path_more_than_slow_path() {
         let mut faults = FaultPlan::none();
         for other in 0..3u16 {
             faults = faults
-                .link_delay(ReplicaId(3), ReplicaId(other), Duration::from_millis(70), Time::ZERO, secs(100))
-                .link_delay(ReplicaId(other), ReplicaId(3), Duration::from_millis(70), Time::ZERO, secs(100));
+                .link_delay(
+                    ReplicaId(3),
+                    ReplicaId(other),
+                    Duration::from_millis(70),
+                    Time::ZERO,
+                    secs(100),
+                )
+                .link_delay(
+                    ReplicaId(other),
+                    ReplicaId(3),
+                    Duration::from_millis(70),
+                    Time::ZERO,
+                    secs(100),
+                );
         }
         let mut sim = Simulation::new(topo, engines, faults, SimConfig::with_seed(3));
         sim.run_until(secs(15));
@@ -130,6 +150,12 @@ fn testbed_ordering_matches_geography() {
     let us = run(Topology::four_us_19());
     let global4 = run(Topology::four_global_19());
     let global19 = run(Topology::nineteen_global());
-    assert!(us < global4, "US testbed ({us:.1}) should beat 4-global ({global4:.1})");
-    assert!(global4 < global19 * 1.2, "4-global ({global4:.1}) ≲ 19-global ({global19:.1})");
+    assert!(
+        us < global4,
+        "US testbed ({us:.1}) should beat 4-global ({global4:.1})"
+    );
+    assert!(
+        global4 < global19 * 1.2,
+        "4-global ({global4:.1}) ≲ 19-global ({global19:.1})"
+    );
 }

@@ -21,6 +21,9 @@ use banyan_types::message::Message;
 pub const MAX_FRAME: usize = 64 << 20;
 
 /// A decoded frame: who sent it and what.
+// `Msg` carries a whole protocol message inline; `Hello` happens once per
+// connection, so the size skew is irrelevant.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Frame {
     /// Connection handshake: identifies the sender.
@@ -74,7 +77,10 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Frame> {
     r.read_exact(&mut len_buf)?;
     let len = u32::from_le_bytes(len_buf) as usize;
     if len > MAX_FRAME {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame exceeds MAX_FRAME"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME",
+        ));
     }
     let mut from_buf = [0u8; 2];
     r.read_exact(&mut from_buf)?;
@@ -96,7 +102,9 @@ mod tests {
     use banyan_types::message::SyncMsg;
 
     fn sample_msg() -> Message {
-        Message::Sync(SyncMsg::Request { hash: BlockHash([7; 32]) })
+        Message::Sync(SyncMsg::Request {
+            hash: BlockHash([7; 32]),
+        })
     }
 
     #[test]
@@ -112,7 +120,13 @@ mod tests {
         let mut buf = Vec::new();
         write_msg(&mut buf, ReplicaId(1), &sample_msg()).unwrap();
         let frame = read_frame(&mut buf.as_slice()).unwrap();
-        assert_eq!(frame, Frame::Msg { from: ReplicaId(1), msg: sample_msg() });
+        assert_eq!(
+            frame,
+            Frame::Msg {
+                from: ReplicaId(1),
+                msg: sample_msg()
+            }
+        );
     }
 
     #[test]

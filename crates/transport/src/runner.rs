@@ -7,15 +7,18 @@
 //!   channel;
 //! * **writers** — one per peer, draining a per-peer outbound queue (a
 //!   slow peer never blocks the engine);
-//! * **engine loop** (the calling thread) — pops events with a timeout
-//!   equal to the next armed timer, feeds the engine, routes its actions.
+//! * **engine loop** (the calling thread) — an
+//!   [`EngineDriver`](banyan_runtime::EngineDriver) from the shared
+//!   driver layer: it owns the timer heap (same deterministic
+//!   `(time, seq)` ordering the simulator uses, same stale-timer
+//!   filtering) and routes engine actions; this module only supplies
+//!   wall-clock time and socket transport.
 //!
 //! Time is wall-clock nanoseconds since `run` started, so the engine sees
 //! the same `Time` type as under simulation. The engines themselves are
 //! identical — that is the point: `banyan-simnet` results transfer to real
 //! sockets.
 
-use std::collections::BinaryHeap;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -25,7 +28,8 @@ use std::time::Instant;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 
-use banyan_types::engine::{CommitEntry, Engine, Outbound, TimerKind};
+use banyan_runtime::driver::EngineDriver;
+use banyan_types::engine::{CommitEntry, Engine, Outbound};
 use banyan_types::ids::ReplicaId;
 use banyan_types::message::Message;
 use banyan_types::time::Time;
@@ -37,31 +41,6 @@ const EVENT_QUEUE: usize = 4096;
 /// Outbound-queue capacity per peer.
 const PEER_QUEUE: usize = 1024;
 
-#[derive(Debug)]
-enum Event {
-    Net { from: ReplicaId, msg: Message },
-}
-
-/// Timer heap entry (min-heap by time).
-#[derive(Debug, PartialEq, Eq)]
-struct Pending {
-    at: Time,
-    seq: u64,
-    kind: TimerKind,
-}
-
-impl PartialOrd for Pending {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Pending {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reverse for BinaryHeap-as-min-heap.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
 /// Everything a finished run reports.
 #[derive(Debug, Default)]
 pub struct TcpRunReport {
@@ -71,6 +50,8 @@ pub struct TcpRunReport {
     pub messages_received: u64,
     /// Messages sent (per-peer copies counted individually).
     pub messages_sent: u64,
+    /// Timers dropped by the shared driver as stale (diagnostic).
+    pub stale_timers_dropped: u64,
 }
 
 /// Runs `engine` over TCP until `deadline` (wall time from start).
@@ -84,7 +65,7 @@ pub struct TcpRunReport {
 ///
 /// Returns an I/O error if binding or dialing fails permanently.
 pub fn run_replica(
-    mut engine: Box<dyn Engine>,
+    engine: Box<dyn Engine>,
     listen: SocketAddr,
     peers: Vec<SocketAddr>,
     run_for: std::time::Duration,
@@ -95,7 +76,7 @@ pub fn run_replica(
     let now = || Time(start.elapsed().as_nanos() as u64);
     let stop = Arc::new(AtomicBool::new(false));
 
-    let (event_tx, event_rx): (Sender<Event>, Receiver<Event>) = bounded(EVENT_QUEUE);
+    let (event_tx, event_rx) = bounded::<(ReplicaId, Message)>(EVENT_QUEUE);
 
     // --- acceptor + readers -------------------------------------------
     let listener = TcpListener::bind(listen)?;
@@ -120,7 +101,7 @@ pub fn run_replica(
                             while !stop.load(Ordering::Relaxed) {
                                 match read_frame(&mut reader) {
                                     Ok(Frame::Msg { from, msg }) => {
-                                        if event_tx.send(Event::Net { from, msg }).is_err() {
+                                        if event_tx.send((from, msg)).is_err() {
                                             return;
                                         }
                                     }
@@ -141,18 +122,14 @@ pub fn run_replica(
 
     // --- writers --------------------------------------------------------
     let mut peer_txs: Vec<Option<Sender<Message>>> = Vec::with_capacity(n);
-    let mut sent_counters: Vec<Arc<std::sync::atomic::AtomicU64>> = Vec::with_capacity(n);
     for (i, addr) in peers.iter().enumerate() {
         if i == me.as_usize() {
             peer_txs.push(None);
-            sent_counters.push(Arc::new(std::sync::atomic::AtomicU64::new(0)));
             continue;
         }
         let (tx, rx): (Sender<Message>, Receiver<Message>) = bounded(PEER_QUEUE);
         let addr = *addr;
         let stop = stop.clone();
-        let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
-        let counter_clone = counter.clone();
         thread::spawn(move || {
             // Dial with retries: peers start in arbitrary order.
             let stream = loop {
@@ -173,76 +150,60 @@ pub fn run_replica(
                 if write_msg(&mut writer, me, &msg).is_err() {
                     return;
                 }
-                counter_clone.fetch_add(1, Ordering::Relaxed);
                 if stop.load(Ordering::Relaxed) {
                     return;
                 }
             }
         });
         peer_txs.push(Some(tx));
-        sent_counters.push(counter);
     }
 
     // --- engine loop ------------------------------------------------------
-    let mut report = TcpRunReport::default();
-    let mut timers: BinaryHeap<Pending> = BinaryHeap::new();
-    let mut timer_seq = 0u64;
-
-    let route = |actions: banyan_types::engine::Actions,
-                     timers: &mut BinaryHeap<Pending>,
-                     timer_seq: &mut u64,
-                     report: &mut TcpRunReport| {
-        for t in actions.timers {
-            *timer_seq += 1;
-            timers.push(Pending { at: t.at, seq: *timer_seq, kind: t.kind });
+    // The shared driver owns timers, stale filtering and action routing;
+    // this closure is the only transport-specific piece of the loop.
+    let mut messages_sent = 0u64;
+    let mut messages_received = 0u64;
+    let mut driver: EngineDriver<Vec<CommitEntry>> = EngineDriver::new(engine, Vec::new());
+    let mut transmit = |out: Outbound| match out {
+        Outbound::Broadcast(msg) => {
+            for tx in peer_txs.iter().flatten() {
+                messages_sent += 1;
+                let _ = tx.try_send(msg.clone());
+            }
         }
-        report.commits.extend(actions.commits);
-        for out in actions.outbound {
-            match out {
-                Outbound::Broadcast(msg) => {
-                    for tx in peer_txs.iter().flatten() {
-                        report.messages_sent += 1;
-                        let _ = tx.try_send(msg.clone());
-                    }
-                }
-                Outbound::Send(to, msg) => {
-                    if let Some(Some(tx)) = peer_txs.get(to.as_usize()) {
-                        report.messages_sent += 1;
-                        let _ = tx.try_send(msg);
-                    }
-                }
+        Outbound::Send(to, msg) => {
+            if let Some(Some(tx)) = peer_txs.get(to.as_usize()) {
+                messages_sent += 1;
+                let _ = tx.try_send(msg);
             }
         }
     };
 
-    let init = engine.on_init(now());
-    route(init, &mut timers, &mut timer_seq, &mut report);
+    driver.init(now(), &mut transmit);
 
     while start.elapsed() < run_for {
-        // Fire due timers.
-        while timers.peek().is_some_and(|p| p.at <= now()) {
-            let p = timers.pop().expect("peeked");
-            let actions = engine.on_timer(p.kind, now());
-            route(actions, &mut timers, &mut timer_seq, &mut report);
-        }
+        driver.fire_due(now(), &mut transmit);
         // Wait for the next event or timer.
-        let wait = timers
-            .peek()
-            .map(|p| std::time::Duration::from_nanos(p.at.0.saturating_sub(now().0)))
+        let wait = driver
+            .next_deadline()
+            .map(|at| std::time::Duration::from_nanos(at.0.saturating_sub(now().0)))
             .unwrap_or(std::time::Duration::from_millis(10))
             .min(std::time::Duration::from_millis(10));
-        match event_rx.recv_timeout(wait) {
-            Ok(Event::Net { from, msg }) => {
-                report.messages_received += 1;
-                let actions = engine.on_message(from, msg, now());
-                route(actions, &mut timers, &mut timer_seq, &mut report);
-            }
-            Err(_) => {} // timeout: loop re-checks timers and deadline
+        // On timeout the loop simply re-checks timers and the deadline.
+        if let Ok((from, msg)) = event_rx.recv_timeout(wait) {
+            messages_received += 1;
+            driver.handle_message(from, msg, now(), &mut transmit);
         }
     }
 
     stop.store(true, Ordering::Relaxed);
-    Ok(report)
+    let stale_timers_dropped = driver.stale_timers_dropped();
+    Ok(TcpRunReport {
+        commits: driver.into_sink(),
+        messages_received,
+        messages_sent,
+        stale_timers_dropped,
+    })
 }
 
 /// Runs a whole cluster on localhost, one thread per replica, and returns
@@ -257,9 +218,13 @@ pub fn run_local_cluster(
 ) -> Vec<TcpRunReport> {
     let n = engines.len();
     // Bind listeners first so every address is known before any dial.
-    let listeners: Vec<TcpListener> =
-        (0..n).map(|_| TcpListener::bind("127.0.0.1:0").expect("bind")).collect();
-    let addrs: Vec<SocketAddr> = listeners.iter().map(|l| l.local_addr().expect("addr")).collect();
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    let addrs: Vec<SocketAddr> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr"))
+        .collect();
     drop(listeners); // ports linger in TIME_WAIT-free state long enough on loopback
 
     let mut handles = Vec::new();
@@ -270,7 +235,10 @@ pub fn run_local_cluster(
             run_replica(engine, listen, addrs, run_for).expect("replica run")
         }));
     }
-    handles.into_iter().map(|h| h.join().expect("replica thread")).collect()
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("replica thread"))
+        .collect()
 }
 
 #[cfg(test)]

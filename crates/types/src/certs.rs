@@ -77,7 +77,12 @@ pub struct Notarization {
 impl Notarization {
     /// A certificate from notarization votes only (the standard protocol).
     pub fn from_votes(round: Round, block: BlockHash, agg: AggregateSignature) -> Self {
-        Notarization { round, block, agg, fast_agg: None }
+        Notarization {
+            round,
+            block,
+            agg,
+            fast_agg: None,
+        }
     }
 
     /// Number of distinct voters across both aggregates.
@@ -118,10 +123,7 @@ impl Wire for Notarization {
     }
 
     fn encoded_len(&self) -> usize {
-        8 + 32
-            + self.agg.encoded_len()
-            + 1
-            + self.fast_agg.as_ref().map_or(0, Wire::encoded_len)
+        8 + 32 + self.agg.encoded_len() + 1 + self.fast_agg.as_ref().map_or(0, Wire::encoded_len)
     }
 }
 
@@ -247,7 +249,10 @@ impl Wire for UnlockProof {
     }
 
     fn decode(input: &mut Reader<'_>) -> Result<Self, CodecError> {
-        Ok(UnlockProof { round: Round(input.u64()?), entries: input.var_list()? })
+        Ok(UnlockProof {
+            round: Round(input.u64()?),
+            entries: input.var_list()?,
+        })
     }
 
     fn encoded_len(&self) -> usize {
@@ -272,7 +277,10 @@ impl QuorumCert {
         QuorumCert {
             view: 0,
             block: BlockHash::ZERO,
-            agg: AggregateSignature { signers: SignerBitmap::new(0), data: Vec::new() },
+            agg: AggregateSignature {
+                signers: SignerBitmap::new(0),
+                data: Vec::new(),
+            },
         }
     }
 
@@ -311,7 +319,10 @@ mod tests {
         for &s in signers {
             bm.set(s);
         }
-        AggregateSignature { signers: bm, data: vec![0xAB; 32] }
+        AggregateSignature {
+            signers: bm,
+            data: vec![0xAB; 32],
+        }
     }
 
     #[test]
@@ -371,8 +382,16 @@ mod tests {
         let proof = UnlockProof {
             round: Round(9),
             entries: vec![
-                UnlockEntry { block: BlockHash([1; 32]), rank: Rank(0), agg: agg(4, &[0, 1]) },
-                UnlockEntry { block: BlockHash([2; 32]), rank: Rank(2), agg: agg(4, &[2, 3]) },
+                UnlockEntry {
+                    block: BlockHash([1; 32]),
+                    rank: Rank(0),
+                    agg: agg(4, &[0, 1]),
+                },
+                UnlockEntry {
+                    block: BlockHash([2; 32]),
+                    rank: Rank(2),
+                    agg: agg(4, &[2, 3]),
+                },
             ],
         };
         assert_eq!(proof.total_votes(), 4);
@@ -382,7 +401,10 @@ mod tests {
 
     #[test]
     fn empty_unlock_proof_roundtrip() {
-        let proof = UnlockProof { round: Round(0), entries: vec![] };
+        let proof = UnlockProof {
+            round: Round(0),
+            entries: vec![],
+        };
         assert_eq!(proof.total_votes(), 0);
         assert_eq!(UnlockProof::from_bytes(&proof.to_bytes()).unwrap(), proof);
     }
@@ -392,7 +414,11 @@ mod tests {
         let qc = QuorumCert::genesis();
         assert!(qc.is_genesis());
         assert_eq!(QuorumCert::from_bytes(&qc.to_bytes()).unwrap(), qc);
-        let real = QuorumCert { view: 3, block: BlockHash([1; 32]), agg: agg(4, &[0, 1, 2]) };
+        let real = QuorumCert {
+            view: 3,
+            block: BlockHash([1; 32]),
+            agg: agg(4, &[0, 1, 2]),
+        };
         assert!(!real.is_genesis());
     }
 

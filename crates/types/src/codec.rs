@@ -79,17 +79,23 @@ impl<'a> Reader<'a> {
 
     /// Reads a little-endian `u16`.
     pub fn u16(&mut self) -> Result<u16, CodecError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads a `bool` encoded as 0/1.
@@ -166,7 +172,9 @@ impl Writer {
 
     /// Fresh writer with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Writer { buf: Vec::with_capacity(cap) }
+        Writer {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Consumes the writer, returning the bytes.
@@ -353,7 +361,10 @@ mod tests {
         let bytes = 42u64.to_bytes();
         let mut extended = bytes.clone();
         extended.push(0);
-        assert_eq!(u64::from_bytes(&extended).unwrap_err(), CodecError::TrailingBytes);
+        assert_eq!(
+            u64::from_bytes(&extended).unwrap_err(),
+            CodecError::TrailingBytes
+        );
         assert_eq!(u64::from_bytes(&bytes).unwrap(), 42);
     }
 

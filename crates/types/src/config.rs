@@ -42,7 +42,10 @@ impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ConfigError::InsufficientReplicas { n, required } => {
-                write!(f, "n = {n} replicas, but max(3f+2p-1, 3f+1) = {required} required")
+                write!(
+                    f,
+                    "n = {n} replicas, but max(3f+2p-1, 3f+1) = {required} required"
+                )
             }
             ConfigError::FastParamTooLarge { p, f: ff } => {
                 write!(f, "fast-path parameter p = {p} exceeds f = {ff}")
@@ -137,7 +140,10 @@ impl ProtocolConfig {
     /// The largest `f` tolerable for a given `n` and `p` (useful when
     /// sizing experiments like the paper's `n = 19` scenarios).
     pub fn max_faults(n: usize, p: usize) -> usize {
-        (0..=n).rev().find(|&f| p <= f && Self::min_replicas(f, p) <= n).unwrap_or(0)
+        (0..=n)
+            .rev()
+            .find(|&f| p <= f && Self::min_replicas(f, p) <= n)
+            .unwrap_or(0)
     }
 
     /// Builder-style: sets `Δ`.
@@ -213,7 +219,8 @@ impl ProtocolConfig {
     /// Proposal delay for a replica of `rank` in the current round:
     /// `Δ_prop(r) = stagger × Δ × r` (paper: `2Δ·r`, §4).
     pub fn proposal_delay(&self, rank: u16) -> Duration {
-        self.delta.saturating_mul(self.stagger.saturating_mul(rank as u64))
+        self.delta
+            .saturating_mul(self.stagger.saturating_mul(rank as u64))
     }
 
     /// Notarization delay before voting for a block of `rank`:
@@ -286,7 +293,10 @@ mod tests {
     fn insufficient_replicas_rejected() {
         assert_eq!(
             ProtocolConfig::new(18, 6, 1).unwrap_err(),
-            ConfigError::InsufficientReplicas { n: 18, required: 19 }
+            ConfigError::InsufficientReplicas {
+                n: 18,
+                required: 19
+            }
         );
         assert_eq!(
             ProtocolConfig::new(0, 0, 0).unwrap_err(),

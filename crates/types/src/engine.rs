@@ -46,6 +46,22 @@ pub enum TimerKind {
     },
 }
 
+impl TimerKind {
+    /// The round (view, epoch) this timer belongs to. Drivers use this for
+    /// stale-timer filtering: every engine treats a timer whose scope round
+    /// is below its [`Engine::current_round`] as a no-op (the round was
+    /// abandoned), so such timers can be dropped without delivery.
+    pub fn scope_round(&self) -> u64 {
+        match *self {
+            TimerKind::Propose { round } => round,
+            TimerKind::NotarizeRank { round, .. } => round,
+            TimerKind::RoundTimeout { round } => round,
+            TimerKind::EpochTick { epoch } => epoch,
+            TimerKind::ViewTimeout { view } => view,
+        }
+    }
+}
+
 /// A request to be woken at `at` with `kind`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TimerRequest {
@@ -174,8 +190,15 @@ mod tests {
     fn actions_builders() {
         let mut a = Actions::none();
         assert!(a.is_empty());
-        a.broadcast(Message::Sync(SyncMsg::Request { hash: BlockHash::ZERO }));
-        a.send(ReplicaId(2), Message::Sync(SyncMsg::Request { hash: BlockHash::ZERO }));
+        a.broadcast(Message::Sync(SyncMsg::Request {
+            hash: BlockHash::ZERO,
+        }));
+        a.send(
+            ReplicaId(2),
+            Message::Sync(SyncMsg::Request {
+                hash: BlockHash::ZERO,
+            }),
+        );
         a.arm(Time(5), TimerKind::Propose { round: 1 });
         assert!(!a.is_empty());
         assert_eq!(a.outbound.len(), 2);
@@ -195,7 +218,10 @@ mod tests {
 
     #[test]
     fn timer_kinds_are_comparable() {
-        assert_eq!(TimerKind::Propose { round: 1 }, TimerKind::Propose { round: 1 });
+        assert_eq!(
+            TimerKind::Propose { round: 1 },
+            TimerKind::Propose { round: 1 }
+        );
         assert_ne!(
             TimerKind::NotarizeRank { round: 1, rank: 0 },
             TimerKind::NotarizeRank { round: 1, rank: 1 }

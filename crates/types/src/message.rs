@@ -33,9 +33,15 @@ impl Message {
     /// against link bandwidth.
     pub fn wire_len(&self) -> u64 {
         let extra = match self {
-            Message::Chained(ChainedMsg::Proposal { block, .. }) => block.payload.virtual_wire_extra(),
-            Message::HotStuff(HotStuffMsg::Proposal { block, .. }) => block.payload.virtual_wire_extra(),
-            Message::Streamlet(StreamletMsg::Proposal { block }) => block.payload.virtual_wire_extra(),
+            Message::Chained(ChainedMsg::Proposal { block, .. }) => {
+                block.payload.virtual_wire_extra()
+            }
+            Message::HotStuff(HotStuffMsg::Proposal { block, .. }) => {
+                block.payload.virtual_wire_extra()
+            }
+            Message::Streamlet(StreamletMsg::Proposal { block }) => {
+                block.payload.virtual_wire_extra()
+            }
             Message::Sync(SyncMsg::Response { block }) => block.payload.virtual_wire_extra(),
             _ => 0,
         };
@@ -55,6 +61,10 @@ impl Message {
 }
 
 /// Messages of the ICC / Banyan family.
+// Proposals dwarf votes by size, but they are also by far the most common
+// heap-free message, so boxing the block would cost more than the enum's
+// slack: the variants stay unboxed deliberately.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ChainedMsg {
     /// A block proposal or relay.
@@ -224,7 +234,12 @@ impl Wire for Message {
 impl Wire for ChainedMsg {
     fn encode(&self, out: &mut Writer) {
         match self {
-            ChainedMsg::Proposal { block, parent_notarization, parent_unlock, fast_vote } => {
+            ChainedMsg::Proposal {
+                block,
+                parent_notarization,
+                parent_unlock,
+                fast_vote,
+            } => {
                 out.u8(0);
                 block.encode(out);
                 out.option(parent_notarization);
@@ -235,7 +250,10 @@ impl Wire for ChainedMsg {
                 out.u8(1);
                 out.var_list(votes);
             }
-            ChainedMsg::Advance { notarization, unlock } => {
+            ChainedMsg::Advance {
+                notarization,
+                unlock,
+            } => {
                 out.u8(2);
                 notarization.encode(out);
                 out.option(unlock);
@@ -267,7 +285,12 @@ impl Wire for ChainedMsg {
 
     fn encoded_len(&self) -> usize {
         1 + match self {
-            ChainedMsg::Proposal { block, parent_notarization, parent_unlock, fast_vote } => {
+            ChainedMsg::Proposal {
+                block,
+                parent_notarization,
+                parent_unlock,
+                fast_vote,
+            } => {
                 block.encoded_len()
                     + 1
                     + parent_notarization.as_ref().map_or(0, Wire::encoded_len)
@@ -277,9 +300,10 @@ impl Wire for ChainedMsg {
                     + fast_vote.as_ref().map_or(0, Wire::encoded_len)
             }
             ChainedMsg::Votes(votes) => 4 + votes.iter().map(Wire::encoded_len).sum::<usize>(),
-            ChainedMsg::Advance { notarization, unlock } => {
-                notarization.encoded_len() + 1 + unlock.as_ref().map_or(0, Wire::encoded_len)
-            }
+            ChainedMsg::Advance {
+                notarization,
+                unlock,
+            } => notarization.encoded_len() + 1 + unlock.as_ref().map_or(0, Wire::encoded_len),
             ChainedMsg::Final(f) => f.encoded_len(),
         }
     }
@@ -293,7 +317,12 @@ impl Wire for HotStuffMsg {
                 block.encode(out);
                 justify.encode(out);
             }
-            HotStuffMsg::Vote { view, block, voter, signature } => {
+            HotStuffMsg::Vote {
+                view,
+                block,
+                voter,
+                signature,
+            } => {
                 out.u8(1);
                 out.u64(*view);
                 out.raw(&block.0);
@@ -320,7 +349,10 @@ impl Wire for HotStuffMsg {
                 voter: ReplicaId(input.u16()?),
                 signature: Signature(input.bytes64()?),
             }),
-            2 => Ok(HotStuffMsg::NewView { view: input.u64()?, justify: QuorumCert::decode(input)? }),
+            2 => Ok(HotStuffMsg::NewView {
+                view: input.u64()?,
+                justify: QuorumCert::decode(input)?,
+            }),
             _ => Err(CodecError::Invalid("hotstuff message")),
         }
     }
@@ -350,7 +382,9 @@ impl Wire for StreamletMsg {
 
     fn decode(input: &mut Reader<'_>) -> Result<Self, CodecError> {
         match input.u8()? {
-            0 => Ok(StreamletMsg::Proposal { block: Block::decode(input)? }),
+            0 => Ok(StreamletMsg::Proposal {
+                block: Block::decode(input)?,
+            }),
             1 => Ok(StreamletMsg::Vote(Vote::decode(input)?)),
             _ => Err(CodecError::Invalid("streamlet message")),
         }
@@ -380,8 +414,12 @@ impl Wire for SyncMsg {
 
     fn decode(input: &mut Reader<'_>) -> Result<Self, CodecError> {
         match input.u8()? {
-            0 => Ok(SyncMsg::Request { hash: BlockHash(input.bytes32()?) }),
-            1 => Ok(SyncMsg::Response { block: Block::decode(input)? }),
+            0 => Ok(SyncMsg::Request {
+                hash: BlockHash(input.bytes32()?),
+            }),
+            1 => Ok(SyncMsg::Response {
+                block: Block::decode(input)?,
+            }),
             _ => Err(CodecError::Invalid("sync message")),
         }
     }
@@ -418,7 +456,10 @@ mod tests {
         let mut bm = SignerBitmap::new(4);
         bm.set(0);
         bm.set(2);
-        AggregateSignature { signers: bm, data: vec![7; 32] }
+        AggregateSignature {
+            signers: bm,
+            data: vec![7; 32],
+        }
     }
 
     fn vote() -> Vote {
@@ -480,12 +521,22 @@ mod tests {
             }),
             Message::HotStuff(HotStuffMsg::NewView {
                 view: 10,
-                justify: QuorumCert { view: 9, block: BlockHash([6; 32]), agg: agg() },
+                justify: QuorumCert {
+                    view: 9,
+                    block: BlockHash([6; 32]),
+                    agg: agg(),
+                },
             }),
-            Message::Streamlet(StreamletMsg::Proposal { block: block(Payload::empty()) }),
+            Message::Streamlet(StreamletMsg::Proposal {
+                block: block(Payload::empty()),
+            }),
             Message::Streamlet(StreamletMsg::Vote(vote())),
-            Message::Sync(SyncMsg::Request { hash: BlockHash([6; 32]) }),
-            Message::Sync(SyncMsg::Response { block: block(Payload::synthetic(100, 2)) }),
+            Message::Sync(SyncMsg::Request {
+                hash: BlockHash([6; 32]),
+            }),
+            Message::Sync(SyncMsg::Response {
+                block: block(Payload::synthetic(100, 2)),
+            }),
         ]
     }
 
@@ -493,8 +544,18 @@ mod tests {
     fn every_variant_roundtrips() {
         for msg in all_messages() {
             let bytes = msg.to_bytes();
-            assert_eq!(bytes.len(), msg.encoded_len(), "encoded_len mismatch for {}", msg.label());
-            assert_eq!(Message::from_bytes(&bytes).unwrap(), msg, "roundtrip for {}", msg.label());
+            assert_eq!(
+                bytes.len(),
+                msg.encoded_len(),
+                "encoded_len mismatch for {}",
+                msg.label()
+            );
+            assert_eq!(
+                Message::from_bytes(&bytes).unwrap(),
+                msg,
+                "roundtrip for {}",
+                msg.label()
+            );
         }
     }
 
@@ -506,10 +567,15 @@ mod tests {
             parent_unlock: None,
             fast_vote: None,
         });
-        assert!(msg.wire_len() > 1 << 20, "1 MiB payload must dominate wire size");
+        assert!(
+            msg.wire_len() > 1 << 20,
+            "1 MiB payload must dominate wire size"
+        );
         assert_eq!(msg.wire_len(), msg.encoded_len() as u64 + (1 << 20));
 
-        let small = Message::Sync(SyncMsg::Request { hash: BlockHash([0; 32]) });
+        let small = Message::Sync(SyncMsg::Request {
+            hash: BlockHash([0; 32]),
+        });
         assert_eq!(small.wire_len(), small.encoded_len() as u64);
     }
 
@@ -525,7 +591,10 @@ mod tests {
 
     #[test]
     fn unknown_family_rejected() {
-        assert_eq!(Message::from_bytes(&[9]).unwrap_err(), CodecError::Invalid("message family"));
+        assert_eq!(
+            Message::from_bytes(&[9]).unwrap_err(),
+            CodecError::Invalid("message family")
+        );
     }
 
     #[test]
@@ -533,6 +602,10 @@ mod tests {
         // Votes must stay small so quorum traffic never bottlenecks on
         // bandwidth the way proposals do.
         let msg = Message::Chained(ChainedMsg::Votes(vec![vote(), vote()]));
-        assert!(msg.wire_len() < 300, "two bundled votes should be < 300B, got {}", msg.wire_len());
+        assert!(
+            msg.wire_len() < 300,
+            "two bundled votes should be < 300B, got {}",
+            msg.wire_len()
+        );
     }
 }

@@ -67,7 +67,10 @@ impl Duration {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative"
+        );
         Duration((s * 1e9).round() as u64)
     }
 
@@ -191,7 +194,10 @@ mod tests {
 
     #[test]
     fn saturating_mul() {
-        assert_eq!(Duration::from_millis(2).saturating_mul(3), Duration::from_millis(6));
+        assert_eq!(
+            Duration::from_millis(2).saturating_mul(3),
+            Duration::from_millis(6)
+        );
         assert_eq!(Duration(u64::MAX).saturating_mul(2), Duration(u64::MAX));
     }
 }

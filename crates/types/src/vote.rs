@@ -164,6 +164,9 @@ mod tests {
     fn bad_kind_discriminant_rejected() {
         let mut bytes = sample(VoteKind::Fast).to_bytes();
         bytes[0] = 9;
-        assert_eq!(Vote::from_bytes(&bytes).unwrap_err(), CodecError::Invalid("vote kind"));
+        assert_eq!(
+            Vote::from_bytes(&bytes).unwrap_err(),
+            CodecError::Invalid("vote kind")
+        );
     }
 }

@@ -6,7 +6,9 @@ use proptest::prelude::*;
 
 use banyan_crypto::{AggregateSignature, Signature, SignerBitmap};
 use banyan_types::block::Block;
-use banyan_types::certs::{FinalKind, Finalization, Notarization, QuorumCert, UnlockEntry, UnlockProof};
+use banyan_types::certs::{
+    FinalKind, Finalization, Notarization, QuorumCert, UnlockEntry, UnlockProof,
+};
 use banyan_types::codec::Wire;
 use banyan_types::ids::{BlockHash, Rank, ReplicaId, Round};
 use banyan_types::message::{ChainedMsg, HotStuffMsg, Message, StreamletMsg, SyncMsg};
@@ -47,19 +49,25 @@ fn arb_block() -> impl Strategy<Value = Block> {
         arb_payload(),
         arb_sig(),
     )
-        .prop_map(|(round, proposer, rank, parent, at, payload, signature)| Block {
-            round: Round(round),
-            proposer: ReplicaId(proposer),
-            rank: Rank(rank),
-            parent,
-            proposed_at: Time(at),
-            payload,
-            signature,
-        })
+        .prop_map(
+            |(round, proposer, rank, parent, at, payload, signature)| Block {
+                round: Round(round),
+                proposer: ReplicaId(proposer),
+                rank: Rank(rank),
+                parent,
+                proposed_at: Time(at),
+                payload,
+                signature,
+            },
+        )
 }
 
 fn arb_agg() -> impl Strategy<Value = AggregateSignature> {
-    (1usize..64, proptest::collection::vec(any::<u8>(), 0..64), proptest::collection::vec(any::<u16>(), 0..8))
+    (
+        1usize..64,
+        proptest::collection::vec(any::<u8>(), 0..64),
+        proptest::collection::vec(any::<u16>(), 0..8),
+    )
         .prop_map(|(width, data, setters)| {
             let mut bm = SignerBitmap::new(width);
             for s in setters {
@@ -71,7 +79,11 @@ fn arb_agg() -> impl Strategy<Value = AggregateSignature> {
 
 fn arb_vote() -> impl Strategy<Value = Vote> {
     (
-        prop_oneof![Just(VoteKind::Notarize), Just(VoteKind::Finalize), Just(VoteKind::Fast)],
+        prop_oneof![
+            Just(VoteKind::Notarize),
+            Just(VoteKind::Finalize),
+            Just(VoteKind::Fast)
+        ],
         any::<u64>(),
         arb_hash(),
         any::<u16>(),
@@ -87,9 +99,18 @@ fn arb_vote() -> impl Strategy<Value = Vote> {
 }
 
 fn arb_notarization() -> impl Strategy<Value = Notarization> {
-    (any::<u64>(), arb_hash(), arb_agg(), proptest::option::of(arb_agg())).prop_map(
-        |(round, block, agg, fast_agg)| Notarization { round: Round(round), block, agg, fast_agg },
+    (
+        any::<u64>(),
+        arb_hash(),
+        arb_agg(),
+        proptest::option::of(arb_agg()),
     )
+        .prop_map(|(round, block, agg, fast_agg)| Notarization {
+            round: Round(round),
+            block,
+            agg,
+            fast_agg,
+        })
 }
 
 fn arb_unlock_proof() -> impl Strategy<Value = UnlockProof> {
@@ -101,33 +122,75 @@ fn arb_unlock_proof() -> impl Strategy<Value = UnlockProof> {
             round: Round(round),
             entries: entries
                 .into_iter()
-                .map(|(block, rank, agg)| UnlockEntry { block, rank: Rank(rank), agg })
+                .map(|(block, rank, agg)| UnlockEntry {
+                    block,
+                    rank: Rank(rank),
+                    agg,
+                })
                 .collect(),
         })
 }
 
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
-        (arb_block(), proptest::option::of(arb_notarization()), proptest::option::of(arb_unlock_proof()), proptest::option::of(arb_vote()))
+        (
+            arb_block(),
+            proptest::option::of(arb_notarization()),
+            proptest::option::of(arb_unlock_proof()),
+            proptest::option::of(arb_vote())
+        )
             .prop_map(|(block, parent_notarization, parent_unlock, fast_vote)| {
-                Message::Chained(ChainedMsg::Proposal { block, parent_notarization, parent_unlock, fast_vote })
+                Message::Chained(ChainedMsg::Proposal {
+                    block,
+                    parent_notarization,
+                    parent_unlock,
+                    fast_vote,
+                })
             }),
-        proptest::collection::vec(arb_vote(), 0..5).prop_map(|v| Message::Chained(ChainedMsg::Votes(v))),
-        (arb_notarization(), proptest::option::of(arb_unlock_proof()))
-            .prop_map(|(notarization, unlock)| Message::Chained(ChainedMsg::Advance { notarization, unlock })),
-        (any::<u64>(), arb_hash(), prop_oneof![Just(FinalKind::Slow), Just(FinalKind::Fast)], arb_agg())
-            .prop_map(|(round, block, kind, agg)| Message::Chained(ChainedMsg::Final(Finalization {
-                round: Round(round),
-                block,
-                kind,
-                agg,
-            }))),
-        (arb_block(), any::<u64>(), arb_hash(), arb_agg()).prop_map(|(block, view, qblock, agg)| {
-            Message::HotStuff(HotStuffMsg::Proposal { block, justify: QuorumCert { view, block: qblock, agg } })
-        }),
-        (any::<u64>(), arb_hash(), any::<u16>(), arb_sig()).prop_map(|(view, block, voter, signature)| {
-            Message::HotStuff(HotStuffMsg::Vote { view, block, voter: ReplicaId(voter), signature })
-        }),
+        proptest::collection::vec(arb_vote(), 0..5)
+            .prop_map(|v| Message::Chained(ChainedMsg::Votes(v))),
+        (arb_notarization(), proptest::option::of(arb_unlock_proof())).prop_map(
+            |(notarization, unlock)| Message::Chained(ChainedMsg::Advance {
+                notarization,
+                unlock
+            })
+        ),
+        (
+            any::<u64>(),
+            arb_hash(),
+            prop_oneof![Just(FinalKind::Slow), Just(FinalKind::Fast)],
+            arb_agg()
+        )
+            .prop_map(
+                |(round, block, kind, agg)| Message::Chained(ChainedMsg::Final(Finalization {
+                    round: Round(round),
+                    block,
+                    kind,
+                    agg,
+                }))
+            ),
+        (arb_block(), any::<u64>(), arb_hash(), arb_agg()).prop_map(
+            |(block, view, qblock, agg)| {
+                Message::HotStuff(HotStuffMsg::Proposal {
+                    block,
+                    justify: QuorumCert {
+                        view,
+                        block: qblock,
+                        agg,
+                    },
+                })
+            }
+        ),
+        (any::<u64>(), arb_hash(), any::<u16>(), arb_sig()).prop_map(
+            |(view, block, voter, signature)| {
+                Message::HotStuff(HotStuffMsg::Vote {
+                    view,
+                    block,
+                    voter: ReplicaId(voter),
+                    signature,
+                })
+            }
+        ),
         arb_block().prop_map(|block| Message::Streamlet(StreamletMsg::Proposal { block })),
         arb_vote().prop_map(|v| Message::Streamlet(StreamletMsg::Vote(v))),
         arb_hash().prop_map(|hash| Message::Sync(SyncMsg::Request { hash })),

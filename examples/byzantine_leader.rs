@@ -27,20 +27,34 @@ fn main() {
         .byzantine(0, ByzantineMode::EquivocateLeader)
         .build_banyan();
 
-    let mut sim = Simulation::new(topology, engines, FaultPlan::none(), SimConfig::with_seed(9));
+    let mut sim = Simulation::new(
+        topology,
+        engines,
+        FaultPlan::none(),
+        SimConfig::with_seed(9),
+    );
     sim.run_until(Time(Duration::from_secs(15).as_nanos()));
 
     let m = sim.metrics();
     println!("15 s with replica 0 equivocating in every round it leads");
     println!("  safety violations : {}", sim.auditor().violations().len());
     println!("  rounds finalized  : {}", sim.auditor().committed_rounds());
-    println!("  fast-path share   : {:.0}%", m.fast_path_share(ReplicaId(1)) * 100.0);
+    println!(
+        "  fast-path share   : {:.0}%",
+        m.fast_path_share(ReplicaId(1)) * 100.0
+    );
     println!(
         "  proposer latency  : {:.1} ms mean",
         m.proposer_latency_stats().mean_ms
     );
-    assert!(sim.auditor().is_safe(), "equivocation must never break safety");
-    assert!(sim.auditor().committed_rounds() > 50, "liveness must survive equivocation");
+    assert!(
+        sim.auditor().is_safe(),
+        "equivocation must never break safety"
+    );
+    assert!(
+        sim.auditor().committed_rounds() > 50,
+        "liveness must survive equivocation"
+    );
     println!("\nSafety held; the equivocator's rounds fall back to the slow path");
     println!("(condition 2 of Definition 7.6 unlocks the round), honest rounds stay fast.");
 }

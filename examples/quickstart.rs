@@ -24,7 +24,12 @@ fn main() {
         .payload_size(100_000)
         .build_banyan();
 
-    let mut sim = Simulation::new(topology, engines, FaultPlan::none(), SimConfig::with_seed(1));
+    let mut sim = Simulation::new(
+        topology,
+        engines,
+        FaultPlan::none(),
+        SimConfig::with_seed(1),
+    );
     sim.run_until(Time(Duration::from_secs(10).as_nanos()));
 
     assert!(sim.auditor().is_safe(), "consensus safety violated?!");
@@ -33,7 +38,16 @@ fn main() {
 
     println!("simulated 10 s of Banyan over 4 global datacenters");
     println!("  rounds finalized : {}", sim.auditor().committed_rounds());
-    println!("  proposal latency : {:.1} ms mean / {:.1} ms p90", latency.mean_ms, latency.p90_ms);
-    println!("  throughput       : {:.2} MB/s", metrics.throughput_bps(ReplicaId(0)) / 1e6);
-    println!("  fast-path share  : {:.0}%", metrics.fast_path_share(ReplicaId(0)) * 100.0);
+    println!(
+        "  proposal latency : {:.1} ms mean / {:.1} ms p90",
+        latency.mean_ms, latency.p90_ms
+    );
+    println!(
+        "  throughput       : {:.2} MB/s",
+        metrics.throughput_bps(ReplicaId(0)) / 1e6
+    );
+    println!(
+        "  fast-path share  : {:.0}%",
+        metrics.fast_path_share(ReplicaId(0)) * 100.0
+    );
 }

@@ -34,8 +34,12 @@ fn main() {
             .delta(delta)
             .payload_size(400_000)
             .build(protocol);
-        let mut sim =
-            Simulation::new(topology, engines, FaultPlan::none(), SimConfig::with_seed(7));
+        let mut sim = Simulation::new(
+            topology,
+            engines,
+            FaultPlan::none(),
+            SimConfig::with_seed(7),
+        );
         sim.run_until(Time(Duration::from_secs(secs).as_nanos()));
         assert!(sim.auditor().is_safe());
         let m = sim.metrics();

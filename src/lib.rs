@@ -5,6 +5,9 @@
 //!
 //! * [`banyan_core`] — the Banyan protocol plus the ICC, HotStuff and
 //!   Streamlet engines.
+//! * [`banyan_runtime`] — the shared engine-driver layer (deterministic
+//!   event/timer queue, action routing, commit sinks) every deployment
+//!   drives engines through.
 //! * [`banyan_simnet`] — deterministic discrete-event WAN simulator.
 //! * [`banyan_types`] — blocks, votes, certificates, wire codec.
 //! * [`banyan_crypto`] — hashes, multi-signatures, PKI, beacon.
@@ -12,6 +15,7 @@
 
 pub use banyan_core as core;
 pub use banyan_crypto as crypto;
+pub use banyan_runtime as runtime;
 pub use banyan_simnet as simnet;
 pub use banyan_transport as transport;
 pub use banyan_types as types;

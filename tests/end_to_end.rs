@@ -24,10 +24,13 @@ fn all_protocols_run_on_the_global_testbed() {
             .delta(delta)
             .payload_size(50_000)
             .build(protocol);
-        let mut sim =
-            Simulation::new(topo, engines, FaultPlan::none(), SimConfig::with_seed(17));
+        let mut sim = Simulation::new(topo, engines, FaultPlan::none(), SimConfig::with_seed(17));
         sim.run_until(secs(10));
-        assert!(sim.auditor().is_safe(), "{protocol}: {:?}", sim.auditor().violations());
+        assert!(
+            sim.auditor().is_safe(),
+            "{protocol}: {:?}",
+            sim.auditor().violations()
+        );
         assert!(
             sim.auditor().committed_rounds() > 3,
             "{protocol}: only {} rounds",

@@ -28,7 +28,11 @@ fn mean_latency(protocol: &str, topo: Topology, f: usize, p: usize, payload: u64
     sim.run_until(secs(15));
     assert!(sim.auditor().is_safe(), "{protocol} unsafe");
     let stats = sim.metrics().proposer_latency_stats();
-    assert!(stats.count > 10, "{protocol}: too few samples ({})", stats.count);
+    assert!(
+        stats.count > 10,
+        "{protocol}: too few samples ({})",
+        stats.count
+    );
     stats.mean_ms
 }
 
@@ -45,7 +49,11 @@ fn fig6b_ordering_banyan_beats_icc_beats_baselines() {
     assert!(icc < hotstuff, "icc {icc:.1} !< hotstuff {hotstuff:.1}");
     // The improvement is substantial (paper: ~30%; accept ≥ 10%).
     let improvement = (icc - banyan) / icc;
-    assert!(improvement > 0.10, "improvement only {:.1}%", improvement * 100.0);
+    assert!(
+        improvement > 0.10,
+        "improvement only {:.1}%",
+        improvement * 100.0
+    );
 }
 
 /// Fig. 6a/6e's p-effect at n = 19: p = 4 is at least as fast as p = 1,
@@ -56,7 +64,10 @@ fn p4_beats_p1_beats_icc_at_n19() {
     let p4 = mean_latency("banyan", Topology::four_global_19(), 4, 4, 200_000);
     let icc = mean_latency("icc", Topology::four_global_19(), 6, 1, 200_000);
     assert!(p1 < icc, "banyan p=1 {p1:.1} !< icc {icc:.1}");
-    assert!(p4 <= p1 * 1.02, "banyan p=4 {p4:.1} should be ≤ p=1 {p1:.1}");
+    assert!(
+        p4 <= p1 * 1.02,
+        "banyan p=4 {p4:.1} should be ≤ p=1 {p1:.1}"
+    );
 }
 
 /// Fig. 6d's core claim: under crashes, Banyan's throughput equals ICC's
@@ -95,7 +106,13 @@ fn two_delta_vs_three_delta() {
         1,
         1_000,
     );
-    let icc = mean_latency("icc", Topology::uniform(4, Duration::from_millis(40)), 1, 1, 1_000);
+    let icc = mean_latency(
+        "icc",
+        Topology::uniform(4, Duration::from_millis(40)),
+        1,
+        1,
+        1_000,
+    );
     let b_steps = banyan / one_way;
     let i_steps = icc / one_way;
     assert!((1.9..2.4).contains(&b_steps), "banyan steps {b_steps:.2}");
