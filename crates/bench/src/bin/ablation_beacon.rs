@@ -42,6 +42,9 @@ fn run_with_beacon(seeded: Option<u64>, topo: &Topology, payload: u64, secs: u64
         latency: m.proposer_latency_stats(),
         throughput_mbps: m.throughput_bps(ReplicaId(0)) / 1e6,
         block_interval_ms: LatencyStats::from_samples(&intervals).mean_ms,
+        client_latency: None,
+        requests_submitted: 0,
+        requests_committed: 0,
         fast_share: m.fast_path_share(ReplicaId(0)),
         committed_rounds: sim.auditor().committed_rounds(),
         messages: m.messages_sent,

@@ -11,6 +11,10 @@ use banyan_simnet::faults::FaultPlan;
 use banyan_simnet::metrics::{LatencyStats, RunMetrics, SafetyAuditor};
 use banyan_simnet::sim::{SimConfig, Simulation};
 use banyan_simnet::topology::Topology;
+use banyan_simnet::workload::{
+    ClientWorkload, Mempool, MempoolSource, SharedMempool, DEFAULT_MAX_BATCH,
+    DEFAULT_MEMPOOL_CAPACITY,
+};
 use banyan_types::ids::ReplicaId;
 use banyan_types::time::{Duration, Time};
 
@@ -25,8 +29,14 @@ pub struct Scenario {
     pub f: usize,
     /// Fast-path parameter `p`.
     pub p: usize,
-    /// Payload bytes per block (the paper's block size knob).
+    /// Payload bytes per block (the paper's block size knob). Ignored
+    /// when `rate > 0`: block content then comes from the mempools.
     pub payload: u64,
+    /// Open-loop client requests per second across the cluster; 0 (the
+    /// default) keeps the paper's leader-minted synthetic workload.
+    pub rate: u64,
+    /// Bytes per client request (only meaningful when `rate > 0`).
+    pub request_size: u64,
     /// Protocol `Δ`; `None` picks `max one-way delay + 10 ms` per §9.2
     /// ("larger than the message delay experienced without network
     /// disruptions").
@@ -56,6 +66,8 @@ impl Scenario {
             f,
             p,
             payload: 0,
+            rate: 0,
+            request_size: 0,
             delta: None,
             secs: 30,
             seed: 42,
@@ -69,6 +81,20 @@ impl Scenario {
     /// Sets the payload size.
     pub fn payload(mut self, bytes: u64) -> Self {
         self.payload = bytes;
+        self
+    }
+
+    /// Switches the scenario to an open-loop client workload of
+    /// `req_per_sec` requests per second (fed into per-replica mempools;
+    /// end-to-end submit→commit latency is then reported).
+    pub fn rate(mut self, req_per_sec: u64) -> Self {
+        self.rate = req_per_sec;
+        self
+    }
+
+    /// Sets the per-request size for the client workload.
+    pub fn request_size(mut self, bytes: u64) -> Self {
+        self.request_size = bytes;
         self
     }
 
@@ -125,6 +151,13 @@ pub struct Outcome {
     pub throughput_mbps: f64,
     /// Mean interval between commits at a non-faulty replica, ms.
     pub block_interval_ms: f64,
+    /// End-to-end client latency (submit→commit), present only when the
+    /// scenario ran an open-loop client workload (`rate > 0`).
+    pub client_latency: Option<LatencyStats>,
+    /// Client requests submitted / committed (0/0 without a workload).
+    pub requests_submitted: u64,
+    /// Client requests that reached a committed block.
+    pub requests_committed: u64,
     /// Share of explicit commits taken via the fast path at a non-faulty
     /// replica (0 for non-Banyan protocols).
     pub fast_share: f64,
@@ -150,20 +183,53 @@ pub fn build_simulation(scenario: &Scenario) -> Simulation {
     let delta = scenario
         .delta
         .unwrap_or_else(|| scenario.topology.max_one_way() + Duration::from_millis(10));
-    let builder = ClusterBuilder::new(n, scenario.f, scenario.p)
+    let mut builder = ClusterBuilder::new(n, scenario.f, scenario.p)
         .expect("valid (n, f, p)")
         .delta(delta)
-        .payload_size(scenario.payload)
         .forwarding(scenario.forwarding)
         .piggyback(scenario.piggyback)
         .baseline_timeout(scenario.timeout);
+    // Workload: either the paper's leader-minted synthetic payloads, or
+    // per-replica mempools fed by an open-loop client population.
+    let mempools: Option<Vec<SharedMempool>> = (scenario.rate > 0).then(|| {
+        (0..n)
+            .map(|_| Mempool::shared(DEFAULT_MEMPOOL_CAPACITY))
+            .collect()
+    });
+    builder = match &mempools {
+        Some(pools) => {
+            let pools = pools.clone();
+            builder.proposal_sources(move |i| {
+                Box::new(MempoolSource::new(
+                    pools[i as usize].clone(),
+                    DEFAULT_MAX_BATCH,
+                ))
+            })
+        }
+        None => builder.payload_size(scenario.payload),
+    };
     let engines = builder.build(&scenario.protocol);
-    Simulation::new(
+    let mut sim = Simulation::new(
         scenario.topology.clone(),
         engines,
         scenario.faults.clone(),
         SimConfig::with_seed(scenario.seed),
-    )
+    );
+    if let Some(pools) = mempools {
+        // Decorrelate the client stream from network jitter while keeping
+        // everything a function of the one scenario seed.
+        let client_seed = scenario
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(1);
+        sim.attach_workload(ClientWorkload::open_loop(
+            scenario.rate,
+            scenario.request_size,
+            client_seed,
+            pools,
+        ));
+    }
+    sim
 }
 
 /// Runs a scenario to completion, returning the raw measurement state:
@@ -213,10 +279,17 @@ fn summarize(scenario: &Scenario, m: &RunMetrics, auditor: &SafetyAuditor) -> Ou
 
     let intervals = m.block_intervals(observer);
     let interval_stats = LatencyStats::from_samples(&intervals);
+    // One decode pass over the commit log serves both the stats and the
+    // committed-request count.
+    let client_samples = (scenario.rate > 0).then(|| m.client_latencies());
+    let requests_committed = client_samples.as_ref().map_or(0, |s| s.len() as u64);
     Outcome {
         latency: m.proposer_latency_stats(),
         throughput_mbps: m.throughput_bps(observer) / 1e6,
         block_interval_ms: interval_stats.mean_ms,
+        client_latency: client_samples.as_deref().map(LatencyStats::from_samples),
+        requests_submitted: m.requests_submitted,
+        requests_committed,
         fast_share: m.fast_path_share(observer),
         committed_rounds: auditor.committed_rounds(),
         messages: m.messages_sent,
@@ -226,14 +299,24 @@ fn summarize(scenario: &Scenario, m: &RunMetrics, auditor: &SafetyAuditor) -> Ou
 }
 
 /// Formats a standard result row (used by all harnesses for consistency).
+/// The end-to-end columns show dashes for closed (leader-minted) runs.
 pub fn row(label: &str, payload: u64, out: &Outcome) -> String {
+    let (e2e_p50, e2e_p99) = match &out.client_latency {
+        Some(stats) => (
+            format!("{:.1}", stats.p50_ms),
+            format!("{:.1}", stats.p99_ms),
+        ),
+        None => ("-".to_string(), "-".to_string()),
+    };
     format!(
-        "{:<22} {:>9} {:>10.1} {:>9.1} {:>9.1} {:>10.2} {:>7.0}% {:>8} {:>6}",
+        "{:<22} {:>9} {:>10.1} {:>9.1} {:>9.1} {:>9} {:>9} {:>10.2} {:>7.0}% {:>8} {:>6}",
         label,
         human_bytes(payload),
         out.latency.mean_ms,
         out.latency.p50_ms,
         out.latency.p90_ms,
+        e2e_p50,
+        e2e_p99,
         out.throughput_mbps,
         out.fast_share * 100.0,
         out.committed_rounds,
@@ -244,8 +327,18 @@ pub fn row(label: &str, payload: u64, out: &Outcome) -> String {
 /// Header matching [`row`].
 pub fn header() -> String {
     format!(
-        "{:<22} {:>9} {:>10} {:>9} {:>9} {:>10} {:>8} {:>8} {:>6}",
-        "protocol", "payload", "lat.mean", "lat.p50", "lat.p90", "MB/s", "fast", "rounds", "safe"
+        "{:<22} {:>9} {:>10} {:>9} {:>9} {:>9} {:>9} {:>10} {:>8} {:>8} {:>6}",
+        "protocol",
+        "payload",
+        "lat.mean",
+        "lat.p50",
+        "lat.p90",
+        "e2e.p50",
+        "e2e.p99",
+        "MB/s",
+        "fast",
+        "rounds",
+        "safe"
     )
 }
 
@@ -296,6 +389,45 @@ mod tests {
         assert!(out.committed_rounds > 10);
         assert!(out.latency.count > 5);
         assert!(out.throughput_mbps > 0.0);
+    }
+
+    #[test]
+    fn open_loop_scenario_reports_end_to_end_latency() {
+        let s = Scenario::new(
+            "banyan",
+            Topology::uniform(4, Duration::from_millis(5)),
+            1,
+            1,
+        )
+        .rate(200)
+        .request_size(128)
+        .secs(3);
+        let out = run(&s);
+        assert!(out.safe);
+        assert!(out.requests_submitted > 300);
+        assert!(out.requests_committed > 0);
+        let e2e = out.client_latency.as_ref().expect("workload configured");
+        assert!(e2e.count > 0);
+        assert!(
+            e2e.p50_ms >= out.latency.p50_ms,
+            "e2e must dominate proposer latency"
+        );
+    }
+
+    #[test]
+    fn row_dashes_e2e_without_workload() {
+        let s = Scenario::new(
+            "banyan",
+            Topology::uniform(4, Duration::from_millis(5)),
+            1,
+            1,
+        )
+        .payload(100)
+        .secs(2);
+        let out = run(&s);
+        assert!(out.client_latency.is_none());
+        let line = row("banyan", 100, &out);
+        assert_eq!(line.matches(" -").count(), 2, "two dashed e2e columns");
     }
 
     #[test]

@@ -9,9 +9,14 @@ use banyan_crypto::beacon::{Beacon, BeaconMode};
 use banyan_crypto::hashsig::HashSig;
 use banyan_crypto::registry::KeyRegistry;
 use banyan_crypto::sig::SignatureScheme;
+use banyan_types::app::{FixedSizeSource, ProposalSource};
 use banyan_types::config::{ConfigError, ProtocolConfig};
 use banyan_types::engine::Engine;
 use banyan_types::time::Duration;
+
+/// Per-replica [`ProposalSource`] factory: called once per replica index
+/// when a cluster is built, so each engine gets its own boxed source.
+pub type SourceFactory = Arc<dyn Fn(u16) -> Box<dyn ProposalSource> + Send + Sync>;
 
 use crate::chained::{ByzantineMode, ChainedEngine, PathMode};
 use crate::hotstuff::HotStuffEngine;
@@ -38,7 +43,7 @@ pub struct ClusterBuilder {
     scheme: Arc<dyn SignatureScheme>,
     cluster_seed: u64,
     beacon_mode: BeaconMode,
-    payload_size: u64,
+    sources: SourceFactory,
     /// View/epoch timeout for the baseline protocols.
     baseline_timeout: Duration,
     /// Per-replica Byzantine behaviors (chained engines only).
@@ -68,7 +73,7 @@ impl ClusterBuilder {
             scheme: Arc::new(HashSig),
             cluster_seed: 42,
             beacon_mode: BeaconMode::RoundRobin,
-            payload_size: 0,
+            sources: Arc::new(|i| Box::new(FixedSizeSource::new(0, i))),
             baseline_timeout: Duration::from_secs(3),
             byzantine: Vec::new(),
         })
@@ -87,8 +92,28 @@ impl ClusterBuilder {
     }
 
     /// Sets the payload size each proposer attaches (bytes).
-    pub fn payload_size(mut self, bytes: u64) -> Self {
-        self.payload_size = bytes;
+    ///
+    /// **Migration shim.** Engines no longer mint payloads themselves —
+    /// they pull them from a [`ProposalSource`] (see
+    /// [`proposal_sources`](Self::proposal_sources)). This method installs
+    /// a [`FixedSizeSource`] per replica, which reproduces the historical
+    /// leader-minted synthetic workload (the paper's §9.2 setup)
+    /// bit-for-bit, so existing call sites keep working unchanged. New
+    /// code that wants a client workload should install mempool-backed
+    /// sources via `proposal_sources` instead.
+    pub fn payload_size(self, bytes: u64) -> Self {
+        self.proposal_sources(move |i| Box::new(FixedSizeSource::new(bytes, i)))
+    }
+
+    /// Installs a per-replica [`ProposalSource`] factory: `factory(i)` is
+    /// called once for replica `i` whenever a cluster is built. This is
+    /// how a mempool or client queue is threaded into the engines; the
+    /// default is `FixedSizeSource::new(0, i)` (empty synthetic payloads).
+    pub fn proposal_sources(
+        mut self,
+        factory: impl Fn(u16) -> Box<dyn ProposalSource> + Send + Sync + 'static,
+    ) -> Self {
+        self.sources = Arc::new(factory);
         self
     }
 
@@ -173,7 +198,7 @@ impl ClusterBuilder {
                     mode,
                     self.registry(i),
                     self.beacon(),
-                    self.payload_size,
+                    (self.sources)(i),
                 )
                 .with_byzantine(self.byz_mode(i));
                 Box::new(engine) as Box<dyn Engine>
@@ -199,7 +224,7 @@ impl ClusterBuilder {
                     self.cfg.clone(),
                     self.registry(i),
                     self.beacon(),
-                    self.payload_size,
+                    (self.sources)(i),
                     self.baseline_timeout,
                 )) as Box<dyn Engine>
             })
@@ -215,7 +240,7 @@ impl ClusterBuilder {
                     self.cfg.clone(),
                     self.registry(i),
                     self.beacon(),
-                    self.payload_size,
+                    (self.sources)(i),
                     epoch_len,
                 )) as Box<dyn Engine>
             })

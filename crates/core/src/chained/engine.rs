@@ -28,13 +28,13 @@ use std::collections::{BTreeMap, HashMap};
 use banyan_crypto::beacon::Beacon;
 use banyan_crypto::registry::KeyRegistry;
 use banyan_crypto::Signature;
+use banyan_types::app::ProposalSource;
 use banyan_types::block::Block;
 use banyan_types::certs::{FinalKind, Finalization, Notarization, UnlockProof};
 use banyan_types::config::ProtocolConfig;
 use banyan_types::engine::{Actions, CommitEntry, Engine, TimerKind};
 use banyan_types::ids::{BlockHash, Rank, ReplicaId, Round};
 use banyan_types::message::{ChainedMsg, Message, SyncMsg};
-use banyan_types::payload::Payload;
 use banyan_types::time::Time;
 use banyan_types::vote::{Vote, VoteKind};
 
@@ -93,10 +93,9 @@ pub struct ChainedEngine {
     pending_finalizations: Vec<Finalization>,
     /// Hashes we already requested via sync (dedup).
     sync_requested: std::collections::HashSet<BlockHash>,
-    /// Payload bytes per proposed block (the workload knob, §9.2).
-    payload_size: u64,
-    /// Counter making each proposed payload distinct.
-    payload_seed: u64,
+    /// Where block payloads come from (mempool, client queue, or the
+    /// paper's size-only synthetic workload).
+    source: Box<dyn ProposalSource>,
 }
 
 impl std::fmt::Debug for ChainedEngine {
@@ -122,7 +121,7 @@ impl ChainedEngine {
         mode: PathMode,
         registry: KeyRegistry,
         beacon: Beacon,
-        payload_size: u64,
+        source: Box<dyn ProposalSource>,
     ) -> Self {
         assert_eq!(beacon.n(), cfg.n(), "beacon sized for the cluster");
         assert_eq!(
@@ -145,8 +144,7 @@ impl ChainedEngine {
             finalizations: HashMap::new(),
             pending_finalizations: Vec::new(),
             sync_requested: std::collections::HashSet::new(),
-            payload_size,
-            payload_seed: 0,
+            source,
         }
     }
 
@@ -371,15 +369,13 @@ impl ChainedEngine {
         parent: BlockHash,
         now: Time,
     ) -> (BlockHash, Block, Option<Vote>) {
-        self.payload_seed += 1;
-        let seed = (self.id.0 as u64) << 48 | self.payload_seed;
         let mut block = Block {
             round,
             proposer: self.id,
             rank,
             parent,
             proposed_at: now,
-            payload: Payload::synthetic(self.payload_size, seed),
+            payload: self.source.next_payload(round, now),
             signature: Signature::zero(),
         };
         let hash = block.hash(self.cfg.payload_chunk);
@@ -449,7 +445,14 @@ impl ChainedEngine {
         let rank = self.my_rank(round);
         let (hash_a, block_a, fast_a) = self.build_block(round, rank, parent, now);
         let (hash_b, block_b, fast_b) = self.build_block(round, rank, parent, now);
-        debug_assert_ne!(hash_a, hash_b, "payload seeds differ");
+        if hash_a == hash_b {
+            // The source minted identical payloads (e.g. an empty mempool
+            // twice): no equivocation is possible, so propose honestly.
+            let msg = self.proposal_message(&block_a, &parent, fast_a.as_ref());
+            self.adopt_block(hash_a, block_a, fast_a, now, actions);
+            actions.broadcast(msg);
+            return;
+        }
         let msg_a = self.proposal_message(&block_a, &parent, fast_a.as_ref());
         let msg_b = self.proposal_message(&block_b, &parent, fast_b.as_ref());
         // Keep block A locally; also track B so we can serve sync requests.
@@ -643,7 +646,7 @@ impl ChainedEngine {
                         h,
                         b.round,
                         b.proposer,
-                        b.payload_len(),
+                        b.payload.clone(),
                         b.proposed_at,
                         b.rank,
                     )
@@ -663,15 +666,15 @@ impl ChainedEngine {
         // above kMax.
         debug_assert_eq!(chain.last().expect("non-empty").0, cert.block);
 
-        for (hash, round, proposer, payload_len, proposed_at, _rank) in &chain {
-            let explicit = *hash == cert.block;
-            self.store.mark_finalized(*round, *hash);
+        for (hash, round, proposer, payload, proposed_at, _rank) in chain {
+            let explicit = hash == cert.block;
+            self.store.mark_finalized(round, hash);
             actions.commit(CommitEntry {
-                round: *round,
-                block: *hash,
-                proposer: *proposer,
-                payload_len: *payload_len,
-                proposed_at: *proposed_at,
+                round,
+                block: hash,
+                proposer,
+                payload,
+                proposed_at,
                 committed_at: now,
                 fast: explicit && cert.kind == FinalKind::Fast,
                 explicit,

@@ -22,13 +22,13 @@ use std::collections::{BTreeMap, HashMap};
 use banyan_crypto::beacon::Beacon;
 use banyan_crypto::registry::KeyRegistry;
 use banyan_crypto::Signature;
+use banyan_types::app::ProposalSource;
 use banyan_types::block::Block;
 use banyan_types::certs::QuorumCert;
 use banyan_types::config::ProtocolConfig;
 use banyan_types::engine::{Actions, CommitEntry, Engine, TimerKind};
 use banyan_types::ids::{BlockHash, Rank, ReplicaId, Round};
 use banyan_types::message::{HotStuffMsg, Message};
-use banyan_types::payload::Payload;
 use banyan_types::time::{Duration, Time};
 
 /// Domain for HotStuff vote signatures.
@@ -69,8 +69,8 @@ pub struct HotStuffEngine {
     proposed: std::collections::HashSet<u64>,
     /// View timeout (pacemaker).
     view_timeout: Duration,
-    payload_size: u64,
-    payload_seed: u64,
+    /// Where block payloads come from.
+    source: Box<dyn ProposalSource>,
 }
 
 impl std::fmt::Debug for HotStuffEngine {
@@ -89,7 +89,7 @@ impl HotStuffEngine {
         cfg: ProtocolConfig,
         registry: KeyRegistry,
         beacon: Beacon,
-        payload_size: u64,
+        source: Box<dyn ProposalSource>,
         view_timeout: Duration,
     ) -> Self {
         assert_eq!(beacon.n(), cfg.n(), "beacon sized for the cluster");
@@ -110,8 +110,7 @@ impl HotStuffEngine {
             committed_round: Round::GENESIS,
             proposed: std::collections::HashSet::new(),
             view_timeout,
-            payload_size,
-            payload_seed: 0,
+            source,
         }
     }
 
@@ -152,8 +151,6 @@ impl HotStuffEngine {
             return;
         }
         self.proposed.insert(view);
-        self.payload_seed += 1;
-        let seed = (self.id.0 as u64) << 48 | self.payload_seed;
         let justify = self.high_qc.clone();
         let mut block = Block {
             round: Round(view),
@@ -161,7 +158,7 @@ impl HotStuffEngine {
             rank: Rank(0),
             parent: justify.block,
             proposed_at: now,
-            payload: Payload::synthetic(self.payload_size, seed),
+            payload: self.source.next_payload(Round(view), now),
             signature: Signature::zero(),
         };
         let hash = block.hash(self.cfg.payload_chunk);
@@ -333,22 +330,23 @@ impl HotStuffEngine {
                 cursor,
                 blk.round,
                 blk.proposer,
-                blk.payload_len(),
+                blk.payload.clone(),
                 blk.proposed_at,
             ));
             cursor = justify.block;
         }
         chain.reverse();
-        for (i, (hash, round, proposer, payload_len, proposed_at)) in chain.iter().enumerate() {
+        let chain_len = chain.len();
+        for (i, (hash, round, proposer, payload, proposed_at)) in chain.iter().enumerate() {
             actions.commit(CommitEntry {
                 round: *round,
                 block: *hash,
                 proposer: *proposer,
-                payload_len: *payload_len,
+                payload: payload.clone(),
                 proposed_at: *proposed_at,
                 committed_at: now,
                 fast: false,
-                explicit: i == chain.len() - 1,
+                explicit: i == chain_len - 1,
             });
         }
         self.committed_view = v0;

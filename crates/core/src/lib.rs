@@ -12,8 +12,14 @@
 //! * [`store`] — the block tree shared by the chained engines;
 //! * [`model`] — the analytic latency/requirement model behind the
 //!   paper's Table 1;
-//! * [`builder`] — convenience constructors wiring engines, PKI and
-//!   beacon together for clusters.
+//! * [`builder`] — convenience constructors wiring engines, PKI, beacon
+//!   and per-replica [`banyan_types::app::ProposalSource`]s together for
+//!   clusters.
+//!
+//! Engines never mint payloads themselves: each one pulls the next block
+//! payload from its `ProposalSource` (a mempool, a client queue, or the
+//! paper's size-only synthetic workload installed by
+//! [`builder::ClusterBuilder::payload_size`]).
 //!
 //! # Examples
 //!
@@ -24,7 +30,7 @@
 //!
 //! let engines = ClusterBuilder::new(4, 1, 1)   // n, f, p
 //!     .expect("valid parameters")
-//!     .payload_size(1024)
+//!     .payload_size(1024)  // shim: installs a FixedSizeSource per replica
 //!     .build_banyan();
 //! assert_eq!(engines.len(), 4);
 //! ```

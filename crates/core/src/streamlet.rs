@@ -20,12 +20,12 @@ use std::collections::{HashMap, HashSet};
 use banyan_crypto::beacon::Beacon;
 use banyan_crypto::registry::KeyRegistry;
 use banyan_crypto::Signature;
+use banyan_types::app::ProposalSource;
 use banyan_types::block::Block;
 use banyan_types::config::ProtocolConfig;
 use banyan_types::engine::{Actions, CommitEntry, Engine, TimerKind};
 use banyan_types::ids::{BlockHash, Rank, ReplicaId, Round};
 use banyan_types::message::{Message, StreamletMsg};
-use banyan_types::payload::Payload;
 use banyan_types::time::{Duration, Time};
 use banyan_types::vote::{Vote, VoteKind};
 
@@ -49,8 +49,8 @@ pub struct StreamletEngine {
     epoch_len: Duration,
     /// Highest committed round (epoch) so far.
     committed_round: Round,
-    payload_size: u64,
-    payload_seed: u64,
+    /// Where block payloads come from.
+    source: Box<dyn ProposalSource>,
 }
 
 impl std::fmt::Debug for StreamletEngine {
@@ -69,7 +69,7 @@ impl StreamletEngine {
         cfg: ProtocolConfig,
         registry: KeyRegistry,
         beacon: Beacon,
-        payload_size: u64,
+        source: Box<dyn ProposalSource>,
         epoch_len: Duration,
     ) -> Self {
         assert_eq!(beacon.n(), cfg.n(), "beacon sized for the cluster");
@@ -86,8 +86,7 @@ impl StreamletEngine {
             voted_epochs: HashSet::new(),
             epoch_len,
             committed_round: Round::GENESIS,
-            payload_size,
-            payload_seed: 0,
+            source,
         }
     }
 
@@ -137,15 +136,13 @@ impl StreamletEngine {
         );
         if self.leader(epoch) == self.id {
             let (parent, _) = self.longest_notarized_tip();
-            self.payload_seed += 1;
-            let seed = (self.id.0 as u64) << 48 | self.payload_seed;
             let mut block = Block {
                 round: Round(epoch),
                 proposer: self.id,
                 rank: Rank(0),
                 parent,
                 proposed_at: now,
-                payload: Payload::synthetic(self.payload_size, seed),
+                payload: self.source.next_payload(Round(epoch), now),
                 signature: Signature::zero(),
             };
             let hash = block.hash(self.cfg.payload_chunk);
@@ -272,22 +269,23 @@ impl StreamletEngine {
                 cursor,
                 blk.round,
                 blk.proposer,
-                blk.payload_len(),
+                blk.payload.clone(),
                 blk.proposed_at,
             ));
             cursor = blk.parent;
         }
         chain.reverse();
-        for (i, (hash, round, proposer, payload_len, proposed_at)) in chain.iter().enumerate() {
+        let chain_len = chain.len();
+        for (i, (hash, round, proposer, payload, proposed_at)) in chain.iter().enumerate() {
             actions.commit(CommitEntry {
                 round: *round,
                 block: *hash,
                 proposer: *proposer,
-                payload_len: *payload_len,
+                payload: payload.clone(),
                 proposed_at: *proposed_at,
                 committed_at: now,
                 fast: false,
-                explicit: i == chain.len() - 1,
+                explicit: i == chain_len - 1,
             });
         }
         if let Some((_, round, ..)) = chain.last() {

@@ -8,6 +8,7 @@ use banyan_core::streamlet::StreamletEngine;
 use banyan_crypto::beacon::{Beacon, BeaconMode};
 use banyan_crypto::hashsig::HashSig;
 use banyan_crypto::registry::KeyRegistry;
+use banyan_types::app::FixedSizeSource;
 use banyan_types::config::ProtocolConfig;
 use banyan_types::engine::{Actions, Engine, Outbound, TimerKind};
 use banyan_types::ids::{ReplicaId, Round};
@@ -26,7 +27,7 @@ fn hotstuff(i: u16) -> HotStuffEngine {
         ProtocolConfig::new(N, 1, 1).unwrap(),
         registry(i),
         Beacon::new(BeaconMode::RoundRobin, N),
-        100,
+        Box::new(FixedSizeSource::new(100, i)),
         Duration::from_secs(1),
     )
 }
@@ -36,7 +37,7 @@ fn streamlet(i: u16) -> StreamletEngine {
         ProtocolConfig::new(N, 1, 1).unwrap(),
         registry(i),
         Beacon::new(BeaconMode::RoundRobin, N),
-        100,
+        Box::new(FixedSizeSource::new(100, i)),
         Duration::from_millis(200),
     )
 }

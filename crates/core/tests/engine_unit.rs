@@ -9,6 +9,7 @@ use banyan_crypto::beacon::{Beacon, BeaconMode};
 use banyan_crypto::hashsig::HashSig;
 use banyan_crypto::registry::KeyRegistry;
 use banyan_crypto::Signature;
+use banyan_types::app::FixedSizeSource;
 use banyan_types::block::Block;
 use banyan_types::certs::{FinalKind, Finalization};
 use banyan_types::config::ProtocolConfig;
@@ -38,7 +39,7 @@ fn engine(i: u16, mode: PathMode) -> ChainedEngine {
         mode,
         registry(i),
         Beacon::new(BeaconMode::RoundRobin, N),
-        1_000,
+        Box::new(FixedSizeSource::new(1_000, i)),
     )
 }
 
@@ -335,7 +336,7 @@ fn quorum_notarizes_advances_and_sends_finalization_vote() {
         PathMode::Banyan,
         reg7(0),
         beacon7.clone(),
-        1_000,
+        Box::new(FixedSizeSource::new(1_000, 0)),
     );
     e.on_init(Time(0));
 

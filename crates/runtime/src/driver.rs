@@ -8,6 +8,7 @@
 //! (and its subtle ordering rules) independently; this module is now the
 //! only copy.
 
+use banyan_types::app::App;
 use banyan_types::engine::{Actions, CommitEntry, Engine, Outbound, TimerKind, TimerRequest};
 use banyan_types::ids::{ReplicaId, Round};
 use banyan_types::message::Message;
@@ -31,6 +32,23 @@ impl CommitSink for Vec<CommitEntry> {
 impl<S: CommitSink + ?Sized> CommitSink for &mut S {
     fn on_commit(&mut self, replica: ReplicaId, entry: CommitEntry) {
         (**self).on_commit(replica, entry);
+    }
+}
+
+/// [`CommitSink`] combinator that delivers every commit to an [`App`]
+/// before forwarding it to the inner sink — how a deployment (TCP runner,
+/// tests) bolts application delivery onto an existing metrics sink.
+pub struct AppSink<S: CommitSink, A: App> {
+    /// The sink commits are forwarded to after delivery.
+    pub inner: S,
+    /// The application receiving each finalized block.
+    pub app: A,
+}
+
+impl<S: CommitSink, A: App> CommitSink for AppSink<S, A> {
+    fn on_commit(&mut self, replica: ReplicaId, entry: CommitEntry) {
+        self.app.deliver(&entry);
+        self.inner.on_commit(replica, entry);
     }
 }
 
@@ -390,7 +408,7 @@ mod tests {
                 round: Round(round),
                 block: BlockHash([round as u8; 32]),
                 proposer: ReplicaId(0),
-                payload_len: 0,
+                payload: banyan_types::Payload::empty(),
                 proposed_at: Time::ZERO,
                 committed_at: Time(round),
                 fast: false,
@@ -400,6 +418,38 @@ mod tests {
         route_actions(ReplicaId(0), actions, &mut sink, &mut sink_only_dispatch());
         let rounds: Vec<u64> = sink.iter().map(|c| c.round.0).collect();
         assert_eq!(rounds, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn app_sink_delivers_then_forwards() {
+        use banyan_types::ids::BlockHash;
+
+        #[derive(Default)]
+        struct Tally(u64);
+        impl App for Tally {
+            fn deliver(&mut self, entry: &CommitEntry) {
+                self.0 += entry.payload_len();
+            }
+        }
+
+        let mut sink = AppSink {
+            inner: Vec::<CommitEntry>::new(),
+            app: Tally::default(),
+        };
+        let mut actions = Actions::none();
+        actions.commit(CommitEntry {
+            round: Round(1),
+            block: BlockHash([1; 32]),
+            proposer: ReplicaId(0),
+            payload: banyan_types::Payload::Inline(vec![7; 42]),
+            proposed_at: Time::ZERO,
+            committed_at: Time(9),
+            fast: false,
+            explicit: true,
+        });
+        route_actions(ReplicaId(0), actions, &mut sink, &mut sink_only_dispatch());
+        assert_eq!(sink.app.0, 42, "app saw the payload bytes");
+        assert_eq!(sink.inner.len(), 1, "inner sink still gets the commit");
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //! * [`topology`] — the three paper testbeds plus synthetic layouts;
 //! * [`sim`] — the event loop driving [`banyan_types::engine::Engine`]s;
 //! * [`faults`] — crash / partition / link-delay schedules;
-//! * [`metrics`] — the paper's latency & throughput metrics and the global
-//!   safety auditor.
+//! * [`metrics`] — the paper's latency & throughput metrics, end-to-end
+//!   client latency, and the global safety auditor;
+//! * [`workload`] — per-replica mempools and the seeded open-loop client
+//!   generator feeding them through the simulator's event queue.
 //!
 //! # Examples
 //!
@@ -31,8 +33,10 @@ pub mod faults;
 pub mod metrics;
 pub mod sim;
 pub mod topology;
+pub mod workload;
 
 pub use faults::{Fault, FaultPlan};
 pub use metrics::{LatencyStats, ObservedCommit, RunMetrics, SafetyAuditor};
 pub use sim::{SimConfig, Simulation};
 pub use topology::{Region, Topology, AWS_REGIONS};
+pub use workload::{ClientWorkload, Mempool, MempoolSource, Request, SharedMempool, WorkloadBatch};

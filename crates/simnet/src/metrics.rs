@@ -11,6 +11,12 @@
 //!
 //! Plus: block intervals (Fig. 6d's second panel), latency percentiles
 //! (Fig. 6c), fast-path share, and message/byte counters.
+//!
+//! Runs driven by a client workload (see [`crate::workload`]) additionally
+//! get **end-to-end client latency** — submit→commit, measured at the
+//! proposer that batched the request — which is what FnF-BFT/Moonshot-style
+//! evaluations report and is always ≥ the paper's proposer latency (the
+//! request waits in a mempool before it is even proposed).
 
 use std::collections::BTreeMap;
 
@@ -18,6 +24,8 @@ use banyan_runtime::driver::CommitSink;
 use banyan_types::engine::CommitEntry;
 use banyan_types::ids::{BlockHash, ReplicaId, Round};
 use banyan_types::time::{Duration, Time};
+
+use crate::workload::WorkloadBatch;
 
 /// An order-statistics summary over a set of duration samples.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -142,6 +150,8 @@ pub struct RunMetrics {
     pub bytes_sent: u64,
     /// Messages dropped because the receiver had crashed.
     pub messages_dropped: u64,
+    /// Client requests submitted by the attached workload (0 when none).
+    pub requests_submitted: u64,
     /// Virtual time at the end of the run.
     pub end_time: Time,
 }
@@ -169,6 +179,39 @@ impl RunMetrics {
         LatencyStats::from_samples(&self.proposer_latencies())
     }
 
+    /// End-to-end client latencies: for every request batched into a
+    /// committed block, `committed_at − submitted_at`, measured at the
+    /// replica that proposed the block (mirroring the paper's
+    /// proposer-side methodology — and, like it, yielding no sample for a
+    /// block whose proposer crashed before observing its own commit).
+    /// Empty for runs without a client workload — batches are recovered
+    /// from the committed payloads via [`WorkloadBatch::decode`].
+    pub fn client_latencies(&self) -> Vec<Duration> {
+        let mut samples = Vec::new();
+        for c in &self.commits {
+            if c.replica != c.entry.proposer {
+                continue;
+            }
+            if let Some(batch) = WorkloadBatch::decode(&c.entry.payload) {
+                for req in &batch.requests {
+                    samples.push(c.entry.committed_at.since(req.submitted_at));
+                }
+            }
+        }
+        samples
+    }
+
+    /// Latency summary over [`Self::client_latencies`].
+    pub fn client_latency_stats(&self) -> LatencyStats {
+        LatencyStats::from_samples(&self.client_latencies())
+    }
+
+    /// Requests committed (counted once, at the proposer of the block that
+    /// carried them — see [`Self::client_latencies`] for the crash caveat).
+    pub fn requests_committed(&self) -> u64 {
+        self.client_latencies().len() as u64
+    }
+
     /// Throughput in committed payload bytes per second at `replica`
     /// (the paper's throughput metric).
     pub fn throughput_bps(&self, replica: ReplicaId) -> f64 {
@@ -176,7 +219,7 @@ impl RunMetrics {
             .commits
             .iter()
             .filter(|c| c.replica == replica)
-            .map(|c| c.entry.payload_len)
+            .map(|c| c.entry.payload_len())
             .sum();
         let secs = self.end_time.as_secs_f64();
         if secs == 0.0 {
@@ -243,7 +286,7 @@ mod tests {
             round: Round(round),
             block: BlockHash([block; 32]),
             proposer: ReplicaId(proposer),
-            payload_len: 1000,
+            payload: banyan_types::Payload::synthetic(1000, u64::from(block)),
             proposed_at: Time(proposed),
             committed_at: Time(committed),
             fast: false,
@@ -360,6 +403,45 @@ mod tests {
             metrics.block_intervals(ReplicaId(0)),
             vec![Duration(200), Duration(300)]
         );
+    }
+
+    #[test]
+    fn client_latency_recovered_from_committed_batches() {
+        use crate::workload::{Request, WorkloadBatch};
+        let batch = WorkloadBatch {
+            requests: vec![Request {
+                id: 1,
+                client: 0,
+                size: 100,
+                submitted_at: Time(10),
+            }],
+        };
+        let mut e = entry(1, 1, 0, 100, 300);
+        e.payload = batch.into_payload();
+        let metrics = RunMetrics {
+            commits: vec![
+                // Proposer-side commit: one sample of 300 − 10 ns.
+                ObservedCommit {
+                    replica: ReplicaId(0),
+                    entry: e.clone(),
+                },
+                // The same block at another replica: not double-counted.
+                ObservedCommit {
+                    replica: ReplicaId(1),
+                    entry: e,
+                },
+                // A synthetic-payload commit contributes no client sample.
+                ObservedCommit {
+                    replica: ReplicaId(0),
+                    entry: entry(2, 2, 0, 0, 400),
+                },
+            ],
+            end_time: Time(1_000),
+            ..Default::default()
+        };
+        assert_eq!(metrics.client_latencies(), vec![Duration(290)]);
+        assert_eq!(metrics.requests_committed(), 1);
+        assert_eq!(metrics.client_latency_stats().count, 1);
     }
 
     #[test]

@@ -28,6 +28,7 @@ use rand::{Rng, SeedableRng};
 
 use banyan_runtime::driver::{is_stale, route_actions, ActionDispatch, CommitSink};
 use banyan_runtime::queue::EventQueue;
+use banyan_types::app::App;
 use banyan_types::engine::{Actions, CommitEntry, Engine, Outbound, TimerKind, TimerRequest};
 use banyan_types::ids::ReplicaId;
 use banyan_types::message::Message;
@@ -36,6 +37,7 @@ use banyan_types::time::{Duration, Time};
 use crate::faults::FaultPlan;
 use crate::metrics::{ObservedCommit, RunMetrics, SafetyAuditor};
 use crate::topology::Topology;
+use crate::workload::ClientWorkload;
 
 /// Tunables of the simulation itself (not of the protocol).
 #[derive(Clone, Debug)]
@@ -84,18 +86,24 @@ enum EventKind {
         replica: ReplicaId,
         kind: TimerKind,
     },
+    /// The open-loop client population submits its next request.
+    ClientTick,
 }
 
 /// Commit side of action routing: every finalization feeds the safety
-/// auditor and the metrics log.
+/// auditor, the replica's [`App`] (if attached) and the metrics log.
 struct SimCommitSink<'a> {
     commits: &'a mut Vec<ObservedCommit>,
     auditor: &'a mut SafetyAuditor,
+    apps: &'a mut [Option<Box<dyn App>>],
 }
 
 impl CommitSink for SimCommitSink<'_> {
     fn on_commit(&mut self, replica: ReplicaId, entry: CommitEntry) {
         self.auditor.observe(replica, &entry);
+        if let Some(app) = &mut self.apps[replica.as_usize()] {
+            app.deliver(&entry);
+        }
         self.commits.push(ObservedCommit { replica, entry });
     }
 }
@@ -213,6 +221,10 @@ pub struct Simulation {
     rng: SmallRng,
     metrics: RunMetrics,
     auditor: SafetyAuditor,
+    /// Per-replica commit delivery targets (None = metrics only).
+    apps: Vec<Option<Box<dyn App>>>,
+    /// Open-loop client population, if attached.
+    workload: Option<ClientWorkload>,
     initialized: bool,
 }
 
@@ -252,8 +264,36 @@ impl Simulation {
             rng,
             metrics: RunMetrics::default(),
             auditor: SafetyAuditor::new(),
+            apps: (0..n).map(|_| None).collect(),
+            workload: None,
             initialized: false,
         }
+    }
+
+    /// Attaches an open-loop client workload: its generator is driven from
+    /// the simulation's own event queue (one tick per request), so request
+    /// arrivals interleave deterministically with deliveries and timers.
+    /// The first request is submitted one inter-arrival interval in.
+    pub fn attach_workload(&mut self, workload: ClientWorkload) {
+        let first = self.now + workload.interval();
+        self.workload = Some(workload);
+        self.queue.push(first, EventKind::ClientTick);
+    }
+
+    /// Attaches `replica`'s [`App`]: every block that replica finalizes is
+    /// delivered to it (in chain order), alongside the metrics log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range.
+    pub fn attach_app(&mut self, replica: ReplicaId, app: Box<dyn App>) {
+        self.apps[replica.as_usize()] = Some(app);
+    }
+
+    /// Removes and returns `replica`'s attached [`App`] (for post-run
+    /// assertions in tests and examples).
+    pub fn take_app(&mut self, replica: ReplicaId) -> Option<Box<dyn App>> {
+        self.apps[replica.as_usize()].take()
     }
 
     /// Current virtual time.
@@ -321,6 +361,19 @@ impl Simulation {
                     let actions = self.engines[replica.as_usize()].on_timer(kind, self.now);
                     self.process_actions(replica, actions);
                 }
+                EventKind::ClientTick => {
+                    let workload = self
+                        .workload
+                        .as_mut()
+                        .expect("client tick without a workload");
+                    let target = workload.submit_next(self.now);
+                    self.metrics.requests_submitted += 1;
+                    if self.config.trace {
+                        eprintln!("[{}] client submit -> {}", self.now, target);
+                    }
+                    let next = self.now + workload.interval();
+                    self.queue.push(next, EventKind::ClientTick);
+                }
             }
         }
 
@@ -347,6 +400,7 @@ impl Simulation {
             rng,
             metrics,
             auditor,
+            apps,
             ..
         } = self;
         let RunMetrics {
@@ -356,7 +410,11 @@ impl Simulation {
             messages_dropped,
             ..
         } = metrics;
-        let mut sink = SimCommitSink { commits, auditor };
+        let mut sink = SimCommitSink {
+            commits,
+            auditor,
+            apps,
+        };
         let mut dispatch = NetDispatch {
             now: *now,
             queue,
@@ -433,7 +491,7 @@ mod tests {
                     round: Round(1),
                     block: BlockHash([1; 32]),
                     proposer: self.id,
-                    payload_len: 10,
+                    payload: banyan_types::Payload::synthetic(10, 0),
                     proposed_at: Time::ZERO,
                     committed_at: now,
                     fast: false,

@@ -1,0 +1,502 @@
+//! Client workload: mempools, request batching, and an open-loop
+//! generator.
+//!
+//! The paper's experiments use leader-minted synthetic payloads (§9.2);
+//! this module opens the closed-vs-open-loop scenario space by driving the
+//! same engines from a *client request stream* instead:
+//!
+//! * [`Mempool`] — a deterministic FIFO of pending [`Request`]s with
+//!   capacity eviction and duplicate-id rejection, shared (via
+//!   [`SharedMempool`]) between the replica's engine and the simulator;
+//! * [`MempoolSource`] — a [`ProposalSource`] that drains the mempool into
+//!   a [`WorkloadBatch`] payload whenever the engine proposes;
+//! * [`WorkloadBatch`] — the wire encoding of a batch: request records
+//!   followed by zero padding up to the batch's nominal byte size, so the
+//!   bandwidth model charges what a real deployment would ship. Batches
+//!   self-identify with a magic prefix, which is how the metrics pipeline
+//!   recovers submit timestamps from committed payloads;
+//! * [`ClientWorkload`] — a seeded open-loop generator (fixed
+//!   requests/sec, fixed request size, seeded replica targeting) the
+//!   simulator drives via its own event queue.
+//!
+//! Everything is a deterministic function of seeds and virtual time:
+//! replays of a seeded run reproduce the same requests, batches and
+//! latencies bit-for-bit (asserted in `crates/bench/tests/determinism.rs`).
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use banyan_types::app::ProposalSource;
+use banyan_types::ids::{ReplicaId, Round};
+use banyan_types::payload::Payload;
+use banyan_types::time::{Duration, Time};
+
+/// Magic prefix identifying a [`WorkloadBatch`] payload.
+const BATCH_MAGIC: &[u8; 8] = b"BanyanWB";
+
+/// Default mempool capacity (pending requests per replica).
+pub const DEFAULT_MEMPOOL_CAPACITY: usize = 65_536;
+
+/// Default maximum requests drained into one block.
+pub const DEFAULT_MAX_BATCH: usize = 4_096;
+
+/// One client request: an opaque `size`-byte blob identified by `id`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Globally unique request id (dedup key).
+    pub id: u64,
+    /// Submitting client (for future per-client fairness metrics).
+    pub client: u16,
+    /// Nominal request size in bytes (what the client would ship).
+    pub size: u64,
+    /// When the client submitted the request (virtual time).
+    pub submitted_at: Time,
+}
+
+/// Outcome of a [`Mempool::push`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Accepted; nothing evicted.
+    Accepted,
+    /// Accepted, and the oldest pending request was evicted to make room.
+    AcceptedEvicting(u64),
+    /// Rejected: a request with the same id is already pending.
+    Duplicate,
+}
+
+/// A deterministic FIFO mempool with bounded capacity.
+///
+/// Requests are served strictly in submission order. A request whose id is
+/// already pending is rejected ([`PushOutcome::Duplicate`]); once drained
+/// into a block the id may be resubmitted. When the pool is full, pushing
+/// a new request evicts the *oldest* pending one (open-loop clients keep
+/// the freshest work).
+#[derive(Debug)]
+pub struct Mempool {
+    capacity: usize,
+    queue: VecDeque<Request>,
+    pending_ids: HashSet<u64>,
+    accepted: u64,
+    evicted: u64,
+    duplicates: u64,
+}
+
+impl Mempool {
+    /// An empty mempool holding at most `capacity` pending requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "mempool capacity must be positive");
+        Mempool {
+            capacity,
+            queue: VecDeque::new(),
+            pending_ids: HashSet::new(),
+            accepted: 0,
+            evicted: 0,
+            duplicates: 0,
+        }
+    }
+
+    /// A new mempool behind the `Arc<Mutex<_>>` the simulator and the
+    /// engine's [`MempoolSource`] share.
+    pub fn shared(capacity: usize) -> SharedMempool {
+        Arc::new(Mutex::new(Mempool::new(capacity)))
+    }
+
+    /// Submits one request. FIFO position is acquisition order.
+    pub fn push(&mut self, req: Request) -> PushOutcome {
+        if !self.pending_ids.insert(req.id) {
+            self.duplicates += 1;
+            return PushOutcome::Duplicate;
+        }
+        self.accepted += 1;
+        self.queue.push_back(req);
+        if self.queue.len() > self.capacity {
+            let oldest = self.queue.pop_front().expect("over capacity");
+            self.pending_ids.remove(&oldest.id);
+            self.evicted += 1;
+            return PushOutcome::AcceptedEvicting(oldest.id);
+        }
+        PushOutcome::Accepted
+    }
+
+    /// Removes and returns up to `max` requests, oldest first.
+    pub fn drain(&mut self, max: usize) -> Vec<Request> {
+        let take = max.min(self.queue.len());
+        let drained: Vec<Request> = self.queue.drain(..take).collect();
+        for req in &drained {
+            self.pending_ids.remove(&req.id);
+        }
+        drained
+    }
+
+    /// Pending requests.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Requests accepted so far (including later-evicted ones).
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Requests evicted by capacity pressure so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Requests rejected as duplicates so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+}
+
+/// A mempool shared between the simulator (producer side) and an engine's
+/// [`MempoolSource`] (consumer side).
+pub type SharedMempool = Arc<Mutex<Mempool>>;
+
+/// The requests carried by one block payload, recoverable from the
+/// committed payload bytes.
+///
+/// Encoding: the [`BATCH_MAGIC`] prefix, a `u32` count, one fixed-width
+/// record per request (`id`, `client`, `size`, `submitted_at`, all
+/// little-endian), then zero padding up to the batch's nominal size
+/// (the sum of request sizes), so the simulator's bandwidth model charges
+/// what shipping the real request bytes would cost.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkloadBatch {
+    /// The batched requests, in mempool (FIFO) order.
+    pub requests: Vec<Request>,
+}
+
+impl WorkloadBatch {
+    /// Bytes of one encoded request record.
+    const RECORD: usize = 8 + 2 + 8 + 8;
+
+    /// Nominal batch size: the sum of request sizes.
+    pub fn nominal_size(&self) -> u64 {
+        self.requests.iter().map(|r| r.size).sum()
+    }
+
+    /// Encodes the batch as an inline payload (see the type docs).
+    pub fn into_payload(self) -> Payload {
+        let header = BATCH_MAGIC.len() + 4 + self.requests.len() * Self::RECORD;
+        let total = (self.nominal_size() as usize).max(header);
+        let mut bytes = Vec::with_capacity(total);
+        bytes.extend_from_slice(BATCH_MAGIC);
+        bytes.extend_from_slice(&(self.requests.len() as u32).to_le_bytes());
+        for req in &self.requests {
+            bytes.extend_from_slice(&req.id.to_le_bytes());
+            bytes.extend_from_slice(&req.client.to_le_bytes());
+            bytes.extend_from_slice(&req.size.to_le_bytes());
+            bytes.extend_from_slice(&req.submitted_at.as_nanos().to_le_bytes());
+        }
+        bytes.resize(total, 0);
+        Payload::Inline(bytes)
+    }
+
+    /// Decodes a batch from a committed payload. Returns `None` for
+    /// payloads that are not workload batches (synthetic payloads, empty
+    /// blocks, foreign inline content).
+    pub fn decode(payload: &Payload) -> Option<WorkloadBatch> {
+        let Payload::Inline(bytes) = payload else {
+            return None;
+        };
+        let rest = bytes.strip_prefix(BATCH_MAGIC.as_slice())?;
+        let count = u32::from_le_bytes(rest.get(..4)?.try_into().ok()?) as usize;
+        // A corrupt count must fail the length check below, not reserve
+        // gigabytes here: never trust it beyond what the bytes can hold.
+        if count > (rest.len() - 4) / Self::RECORD {
+            return None;
+        }
+        let mut requests = Vec::with_capacity(count);
+        let mut cursor = rest.get(4..)?;
+        for _ in 0..count {
+            let record = cursor.get(..Self::RECORD)?;
+            requests.push(Request {
+                id: u64::from_le_bytes(record[0..8].try_into().ok()?),
+                client: u16::from_le_bytes(record[8..10].try_into().ok()?),
+                size: u64::from_le_bytes(record[10..18].try_into().ok()?),
+                submitted_at: Time(u64::from_le_bytes(record[18..26].try_into().ok()?)),
+            });
+            cursor = &cursor[Self::RECORD..];
+        }
+        Some(WorkloadBatch { requests })
+    }
+}
+
+/// A [`ProposalSource`] that drains a [`SharedMempool`] into one
+/// [`WorkloadBatch`] payload per proposal. An empty mempool yields an
+/// empty payload (the chain keeps moving; blocks just carry no work).
+///
+/// **Known limitation:** draining is destructive. A request batched into
+/// a proposal that never finalizes (a backup proposal that loses to the
+/// leader's, or an equivocator's second block) is gone — there is no
+/// requeue path, because the engine cannot know at drain time whether its
+/// block will win. The gap shows up as `requests_submitted −
+/// requests_committed` in `RunMetrics`; request re-gossip / resubmission
+/// is a ROADMAP follow-up.
+#[derive(Debug)]
+pub struct MempoolSource {
+    mempool: SharedMempool,
+    max_batch: usize,
+}
+
+impl MempoolSource {
+    /// A source draining `mempool`, at most `max_batch` requests per
+    /// block.
+    pub fn new(mempool: SharedMempool, max_batch: usize) -> Self {
+        MempoolSource { mempool, max_batch }
+    }
+}
+
+impl ProposalSource for MempoolSource {
+    fn next_payload(&mut self, _round: Round, _now: Time) -> Payload {
+        let requests = self
+            .mempool
+            .lock()
+            .expect("mempool lock")
+            .drain(self.max_batch);
+        if requests.is_empty() {
+            Payload::empty()
+        } else {
+            WorkloadBatch { requests }.into_payload()
+        }
+    }
+}
+
+/// A seeded open-loop client population: `rate` requests per second of
+/// `request_size` bytes each, submitted to a seeded-random replica's
+/// mempool regardless of how fast the cluster commits (open loop — the
+/// defining contrast to a closed loop that waits for completions).
+pub struct ClientWorkload {
+    interval: Duration,
+    request_size: u64,
+    mempools: Vec<SharedMempool>,
+    rng: SmallRng,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for ClientWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientWorkload")
+            .field("interval", &self.interval)
+            .field("request_size", &self.request_size)
+            .field("replicas", &self.mempools.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClientWorkload {
+    /// An open-loop workload: `rate` requests/sec of `request_size` bytes,
+    /// target replica drawn per request from an RNG seeded with `seed`,
+    /// feeding `mempools[i]` for replica `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is zero, exceeds 10⁹/s (the inter-arrival interval
+    /// would truncate to zero virtual nanoseconds and the tick loop would
+    /// never advance time), or `mempools` is empty.
+    pub fn open_loop(
+        rate: u64,
+        request_size: u64,
+        seed: u64,
+        mempools: Vec<SharedMempool>,
+    ) -> Self {
+        assert!(rate > 0, "open-loop rate must be positive");
+        assert!(
+            rate <= 1_000_000_000,
+            "open-loop rate above 1e9/s truncates the tick interval to zero"
+        );
+        assert!(!mempools.is_empty(), "need at least one replica mempool");
+        ClientWorkload {
+            interval: Duration(1_000_000_000 / rate),
+            request_size,
+            mempools,
+            rng: SmallRng::seed_from_u64(seed),
+            next_id: 0,
+        }
+    }
+
+    /// Time between consecutive submissions.
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    /// Submits the next request at `now`, returning the target replica.
+    /// Called by the simulator on each client tick.
+    pub fn submit_next(&mut self, now: Time) -> ReplicaId {
+        let target = self.rng.gen_range(0..self.mempools.len());
+        self.next_id += 1;
+        let req = Request {
+            id: self.next_id,
+            client: (self.next_id % u16::MAX as u64) as u16,
+            size: self.request_size,
+            submitted_at: now,
+        };
+        self.mempools[target]
+            .lock()
+            .expect("mempool lock")
+            .push(req);
+        ReplicaId(target as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, at: u64) -> Request {
+        Request {
+            id,
+            client: (id % 7) as u16,
+            size: 100,
+            submitted_at: Time(at),
+        }
+    }
+
+    #[test]
+    fn mempool_serves_fifo_order() {
+        let mut mp = Mempool::new(10);
+        for id in 1..=5 {
+            assert_eq!(mp.push(req(id, id)), PushOutcome::Accepted);
+        }
+        let drained = mp.drain(3);
+        assert_eq!(drained.iter().map(|r| r.id).collect::<Vec<_>>(), [1, 2, 3]);
+        let rest = mp.drain(usize::MAX);
+        assert_eq!(rest.iter().map(|r| r.id).collect::<Vec<_>>(), [4, 5]);
+        assert!(mp.is_empty());
+    }
+
+    #[test]
+    fn mempool_rejects_pending_duplicates_only() {
+        let mut mp = Mempool::new(10);
+        assert_eq!(mp.push(req(1, 0)), PushOutcome::Accepted);
+        assert_eq!(mp.push(req(1, 1)), PushOutcome::Duplicate);
+        assert_eq!(mp.len(), 1);
+        assert_eq!(mp.duplicates(), 1);
+        // Once drained, the id may be resubmitted (e.g. a client retry).
+        mp.drain(1);
+        assert_eq!(mp.push(req(1, 2)), PushOutcome::Accepted);
+    }
+
+    #[test]
+    fn mempool_capacity_evicts_oldest() {
+        let mut mp = Mempool::new(3);
+        for id in 1..=3 {
+            mp.push(req(id, id));
+        }
+        assert_eq!(mp.push(req(4, 4)), PushOutcome::AcceptedEvicting(1));
+        assert_eq!(mp.len(), 3);
+        assert_eq!(mp.evicted(), 1);
+        let ids: Vec<u64> = mp.drain(usize::MAX).iter().map(|r| r.id).collect();
+        assert_eq!(ids, [2, 3, 4]);
+        // The evicted id is free again.
+        assert_eq!(mp.push(req(1, 9)), PushOutcome::Accepted);
+    }
+
+    #[test]
+    fn batch_roundtrips_and_pads_to_nominal_size() {
+        let batch = WorkloadBatch {
+            requests: vec![req(7, 100), req(8, 250)],
+        };
+        assert_eq!(batch.nominal_size(), 200);
+        let payload = batch.clone().into_payload();
+        // Padded to the nominal byte size: bandwidth is charged as if the
+        // real request bytes were on the wire.
+        assert_eq!(payload.len(), 200);
+        assert_eq!(WorkloadBatch::decode(&payload), Some(batch));
+    }
+
+    #[test]
+    fn tiny_batches_keep_their_header() {
+        // 2 one-byte requests: the header exceeds the nominal size, so the
+        // payload grows to fit the records.
+        let batch = WorkloadBatch {
+            requests: vec![
+                Request {
+                    id: 1,
+                    client: 0,
+                    size: 1,
+                    submitted_at: Time(5),
+                },
+                Request {
+                    id: 2,
+                    client: 1,
+                    size: 1,
+                    submitted_at: Time(6),
+                },
+            ],
+        };
+        let payload = batch.clone().into_payload();
+        assert!(payload.len() > 2);
+        assert_eq!(WorkloadBatch::decode(&payload), Some(batch));
+    }
+
+    #[test]
+    fn non_batch_payloads_decode_to_none() {
+        assert_eq!(WorkloadBatch::decode(&Payload::empty()), None);
+        assert_eq!(WorkloadBatch::decode(&Payload::synthetic(1_000, 3)), None);
+        assert_eq!(
+            WorkloadBatch::decode(&Payload::Inline(b"not a batch".to_vec())),
+            None
+        );
+        // Truncated batch (magic but no count) is rejected, not a panic.
+        assert_eq!(
+            WorkloadBatch::decode(&Payload::Inline(BATCH_MAGIC.to_vec())),
+            None
+        );
+    }
+
+    #[test]
+    fn mempool_source_drains_in_batches() {
+        use banyan_types::app::ProposalSource;
+        let shared = Mempool::shared(100);
+        {
+            let mut mp = shared.lock().unwrap();
+            for id in 1..=5 {
+                mp.push(req(id, id));
+            }
+        }
+        let mut src = MempoolSource::new(shared.clone(), 3);
+        let first = src.next_payload(Round(1), Time(10));
+        let batch = WorkloadBatch::decode(&first).expect("batch payload");
+        assert_eq!(
+            batch.requests.iter().map(|r| r.id).collect::<Vec<_>>(),
+            [1, 2, 3]
+        );
+        let second = src.next_payload(Round(2), Time(20));
+        let batch = WorkloadBatch::decode(&second).expect("batch payload");
+        assert_eq!(
+            batch.requests.iter().map(|r| r.id).collect::<Vec<_>>(),
+            [4, 5]
+        );
+        // Empty mempool → empty payload, not a stall.
+        assert!(src.next_payload(Round(3), Time(30)).is_empty());
+    }
+
+    #[test]
+    fn open_loop_generator_is_seed_deterministic() {
+        let run = |seed: u64| -> (Vec<u16>, Vec<usize>) {
+            let mempools: Vec<SharedMempool> = (0..4).map(|_| Mempool::shared(100)).collect();
+            let mut w = ClientWorkload::open_loop(1_000, 64, seed, mempools.clone());
+            let targets: Vec<u16> = (0..20)
+                .map(|k| w.submit_next(Time(k * w.interval().as_nanos())).0)
+                .collect();
+            let lens = mempools.iter().map(|m| m.lock().unwrap().len()).collect();
+            (targets, lens)
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10), "different seeds should retarget");
+    }
+}

@@ -14,6 +14,11 @@
 //! `banyan-simnet`, whose egress model charges the declared size. Use
 //! inline payloads here when real bytes must flow.
 //!
+//! Payloads come from each engine's [`banyan_types::app::ProposalSource`]
+//! (installed through the builder; `payload_size` below is the
+//! `FixedSizeSource` shim), and finalized blocks can be delivered to a
+//! [`banyan_types::app::App`] via [`runner::run_replica_with_app`].
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -32,4 +37,4 @@ pub mod framing;
 pub mod runner;
 
 pub use framing::{read_frame, write_hello, write_msg, Frame, MAX_FRAME};
-pub use runner::{run_local_cluster, run_replica, TcpRunReport};
+pub use runner::{run_local_cluster, run_replica, run_replica_with_app, TcpRunReport};

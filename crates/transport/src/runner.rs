@@ -28,7 +28,8 @@ use std::time::Instant;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 
-use banyan_runtime::driver::EngineDriver;
+use banyan_runtime::driver::{AppSink, EngineDriver};
+use banyan_types::app::{App, NullApp};
 use banyan_types::engine::{CommitEntry, Engine, Outbound};
 use banyan_types::ids::ReplicaId;
 use banyan_types::message::Message;
@@ -66,6 +67,23 @@ pub struct TcpRunReport {
 /// Returns an I/O error if binding or dialing fails permanently.
 pub fn run_replica(
     engine: Box<dyn Engine>,
+    listen: SocketAddr,
+    peers: Vec<SocketAddr>,
+    run_for: std::time::Duration,
+) -> std::io::Result<TcpRunReport> {
+    run_replica_with_app(engine, NullApp, listen, peers, run_for)
+}
+
+/// Like [`run_replica`], additionally delivering every finalized block to
+/// `app` (via the shared [`AppSink`] combinator) as it commits — the TCP
+/// deployment's half of the `ProposalSource`/`App` service interface.
+///
+/// # Errors
+///
+/// Returns an I/O error if binding or dialing fails permanently.
+pub fn run_replica_with_app(
+    engine: Box<dyn Engine>,
+    app: impl App + 'static,
     listen: SocketAddr,
     peers: Vec<SocketAddr>,
     run_for: std::time::Duration,
@@ -163,7 +181,11 @@ pub fn run_replica(
     // this closure is the only transport-specific piece of the loop.
     let mut messages_sent = 0u64;
     let mut messages_received = 0u64;
-    let mut driver: EngineDriver<Vec<CommitEntry>> = EngineDriver::new(engine, Vec::new());
+    let sink = AppSink {
+        inner: Vec::<CommitEntry>::new(),
+        app,
+    };
+    let mut driver = EngineDriver::new(engine, sink);
     let mut transmit = |out: Outbound| match out {
         Outbound::Broadcast(msg) => {
             for tx in peer_txs.iter().flatten() {
@@ -199,7 +221,7 @@ pub fn run_replica(
     stop.store(true, Ordering::Relaxed);
     let stale_timers_dropped = driver.stale_timers_dropped();
     Ok(TcpRunReport {
-        commits: driver.into_sink(),
+        commits: driver.into_sink().inner,
         messages_received,
         messages_sent,
         stale_timers_dropped,

@@ -10,6 +10,7 @@
 
 use crate::ids::{BlockHash, ReplicaId, Round};
 use crate::message::Message;
+use crate::payload::Payload;
 use crate::time::Time;
 
 /// Why a timer was armed. Engines receive the same value back when the
@@ -90,8 +91,10 @@ pub struct CommitEntry {
     pub block: BlockHash,
     /// Who proposed it.
     pub proposer: ReplicaId,
-    /// Logical payload size in bytes (drives throughput metrics).
-    pub payload_len: u64,
+    /// The committed payload: content for [`App`](crate::app::App)
+    /// delivery, logical length for throughput metrics. Synthetic payloads
+    /// keep this a 16-byte descriptor.
+    pub payload: Payload,
     /// When the proposer stamped the block (latency baseline; meaningful
     /// at the proposer itself, which is how the paper measures latency).
     pub proposed_at: Time,
@@ -104,6 +107,13 @@ pub struct CommitEntry {
     /// finalization for the block; false for ancestors finalized
     /// implicitly (§4 "Finalization").
     pub explicit: bool,
+}
+
+impl CommitEntry {
+    /// Logical payload size in bytes (what throughput counts).
+    pub fn payload_len(&self) -> u64 {
+        self.payload.len()
+    }
 }
 
 /// Everything an engine wants done after handling one event.

@@ -11,7 +11,9 @@
 //! * [`certs`] — notarizations, finalizations, unlock proofs, QCs;
 //! * [`message`] — the unified wire message enum;
 //! * [`codec`] — the hand-rolled binary wire format;
-//! * [`engine`] — the [`engine::Engine`] state-machine abstraction.
+//! * [`engine`] — the [`engine::Engine`] state-machine abstraction;
+//! * [`app`] — the service interface: [`app::ProposalSource`] feeds block
+//!   payloads to proposers, [`app::App`] receives finalized blocks.
 //!
 //! # Examples
 //!
@@ -25,6 +27,7 @@
 //! # Ok::<(), banyan_types::config::ConfigError>(())
 //! ```
 
+pub mod app;
 pub mod block;
 pub mod certs;
 pub mod codec;
@@ -36,6 +39,7 @@ pub mod payload;
 pub mod time;
 pub mod vote;
 
+pub use app::{App, FixedSizeSource, NullApp, ProposalSource};
 pub use block::Block;
 pub use certs::{FinalKind, Finalization, Notarization, QuorumCert, UnlockEntry, UnlockProof};
 pub use codec::{CodecError, Wire};
