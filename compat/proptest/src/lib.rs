@@ -334,7 +334,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<E> {
         element: E,
         size: SizeRange,

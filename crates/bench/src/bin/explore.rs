@@ -9,7 +9,7 @@
 //! Flags (all optional):
 //! * `--protocol`  banyan | icc | hotstuff | streamlet   (default banyan)
 //! * `--topology`  four_global_19 | four_global_4 | four_us_19 |
-//!   nineteen_global | uniform:<n>:<one-way-ms>          (default four_global_4)
+//!   nineteen_global | `uniform:<n>:<one-way-ms>`        (default four_global_4)
 //! * `--f`, `--p`  fault bound and fast-path parameter   (default 1, 1)
 //! * `--payload`   block size in bytes                   (default 100000)
 //! * `--secs`      simulated seconds                     (default 30)

@@ -1,0 +1,81 @@
+//! **Saturation sweep**: closed-loop clients vs goodput and end-to-end
+//! latency, for the chained (Banyan), HotStuff and Streamlet engines.
+//!
+//! FnF-BFT and Moonshot evaluate with a closed-loop client population —
+//! N clients, each keeping a bounded window of outstanding requests and
+//! resubmitting on commit — and sweep N to find the saturation knee: the
+//! point past which added clients buy queueing latency, not goodput.
+//! This harness reproduces that methodology on the simulated WAN. Every
+//! run is a deterministic function of the seed, so the whole table
+//! reproduces bit-for-bit.
+//!
+//! Run: `cargo run --release -p banyan-bench --bin saturation_sweep \
+//!       [--quick] [secs]`
+//!
+//! `--quick` shrinks the sweep to a CI-sized smoke test (fewer
+//! populations, short runs); `secs` overrides the per-point duration.
+
+use banyan_bench::runner::Scenario;
+use banyan_bench::sweep::{knee_index, measure, point_row, sweep_header};
+use banyan_simnet::topology::Topology;
+use banyan_types::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let secs: u64 = args
+        .iter()
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(if quick { 2 } else { 10 });
+    let populations: &[u16] = if quick {
+        &[1, 4, 16, 64]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64, 128, 256]
+    };
+    let window = 4;
+    let think = Duration::ZERO;
+    let request_size = 512;
+    let seed = 42;
+    // 100 Mbit/s egress: tight enough that block serialization — not the
+    // sweep's upper population bound — caps goodput, so the knee falls
+    // inside the swept range.
+    let topology = || Topology::uniform(4, Duration::from_millis(5)).with_egress_bps(100_000_000);
+
+    println!(
+        "# Saturation sweep — n=4 uniform 5 ms WAN at 100 Mbit/s egress, window={window}, \
+         {request_size} B requests, think=0, {secs}s per point, seed={seed}"
+    );
+    println!("# goodput = committed requests/s; knee = first point at 90% of plateau goodput");
+    println!(
+        "# note: past saturation, requests batched into never-finalized proposals are lost\n\
+         # (no client retry yet — see ROADMAP), which can shrink the effective population\n"
+    );
+
+    for (label, protocol) in [
+        ("chained (banyan)", "banyan"),
+        ("hotstuff", "hotstuff"),
+        ("streamlet", "streamlet"),
+    ] {
+        println!("## {label}");
+        println!("{}", sweep_header());
+        let base = Scenario::new(protocol, topology(), 1, 1)
+            .request_size(request_size)
+            .secs(secs)
+            .seed(seed);
+        let points: Vec<_> = populations
+            .iter()
+            .map(|&clients| measure(&base, clients, window, think))
+            .collect();
+        let knee = knee_index(&points);
+        for (i, p) in points.iter().enumerate() {
+            println!("{}", point_row(p, knee == Some(i)));
+        }
+        match knee {
+            Some(i) => println!(
+                "saturates at ~{} clients: {:.0} req/s goodput, p50 {:.1} ms / p99 {:.1} ms\n",
+                points[i].clients, points[i].goodput_rps, points[i].p50_ms, points[i].p99_ms
+            ),
+            None => println!("no goodput observed — sweep too short?\n"),
+        }
+    }
+}

@@ -2,13 +2,17 @@
 //!
 //! * [`runner`] — the shared scenario runner (all experiments use the same
 //!   measurement methodology, §9.2 of the paper);
+//! * [`sweep`] — closed-loop saturation sweeps and knee detection (the
+//!   `saturation_sweep` binary drives these);
 //! * one binary per paper table/figure under `src/bin/` (see `DESIGN.md`
 //!   for the experiment index);
 //! * Criterion benches under `benches/` exercising scaled-down versions of
 //!   each experiment plus microbenchmarks of the substrates.
 
 pub mod runner;
+pub mod sweep;
 
 pub use runner::{
     build_simulation, header, human_bytes, row, run, run_metrics, run_observed, Outcome, Scenario,
 };
+pub use sweep::{knee_index, measure, point_row, sweep_header, SweepPoint};

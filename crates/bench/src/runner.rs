@@ -12,7 +12,7 @@ use banyan_simnet::metrics::{LatencyStats, RunMetrics, SafetyAuditor};
 use banyan_simnet::sim::{SimConfig, Simulation};
 use banyan_simnet::topology::Topology;
 use banyan_simnet::workload::{
-    ClientWorkload, Mempool, MempoolSource, SharedMempool, DEFAULT_MAX_BATCH,
+    ClientWorkload, ClosedLoopWorkload, Mempool, MempoolSource, SharedMempool, DEFAULT_MAX_BATCH,
     DEFAULT_MEMPOOL_CAPACITY,
 };
 use banyan_types::ids::ReplicaId;
@@ -30,12 +30,20 @@ pub struct Scenario {
     /// Fast-path parameter `p`.
     pub p: usize,
     /// Payload bytes per block (the paper's block size knob). Ignored
-    /// when `rate > 0`: block content then comes from the mempools.
+    /// for client-driven scenarios: block content then comes from the
+    /// mempools.
     pub payload: u64,
     /// Open-loop client requests per second across the cluster; 0 (the
     /// default) keeps the paper's leader-minted synthetic workload.
     pub rate: u64,
-    /// Bytes per client request (only meaningful when `rate > 0`).
+    /// Closed-loop client population size; 0 (the default) means no
+    /// closed loop. Takes precedence over `rate`.
+    pub clients: u16,
+    /// Outstanding-request window per closed-loop client.
+    pub window: u32,
+    /// Pause between a closed-loop completion and the resubmission.
+    pub think_time: Duration,
+    /// Bytes per client request (only meaningful with a client workload).
     pub request_size: u64,
     /// Protocol `Δ`; `None` picks `max one-way delay + 10 ms` per §9.2
     /// ("larger than the message delay experienced without network
@@ -67,6 +75,9 @@ impl Scenario {
             p,
             payload: 0,
             rate: 0,
+            clients: 0,
+            window: 0,
+            think_time: Duration::ZERO,
             request_size: 0,
             delta: None,
             secs: 30,
@@ -92,10 +103,29 @@ impl Scenario {
         self
     }
 
+    /// Switches the scenario to a **closed-loop** client population:
+    /// `clients` clients × `window` outstanding requests each, pausing
+    /// `think_time` between a completion and the replacement submission.
+    /// The offered load self-regulates to what the cluster commits, so
+    /// sweeping `clients` traces a saturation (throughput-vs-latency)
+    /// curve. Takes precedence over [`rate`](Self::rate).
+    pub fn closed_loop(mut self, clients: u16, window: u32, think_time: Duration) -> Self {
+        self.clients = clients;
+        self.window = window;
+        self.think_time = think_time;
+        self
+    }
+
     /// Sets the per-request size for the client workload.
     pub fn request_size(mut self, bytes: u64) -> Self {
         self.request_size = bytes;
         self
+    }
+
+    /// True when the scenario runs any client workload (open or closed
+    /// loop) instead of leader-minted synthetic payloads.
+    pub fn client_driven(&self) -> bool {
+        self.clients > 0 || self.rate > 0
     }
 
     /// Sets the simulated duration in seconds.
@@ -152,12 +182,15 @@ pub struct Outcome {
     /// Mean interval between commits at a non-faulty replica, ms.
     pub block_interval_ms: f64,
     /// End-to-end client latency (submit→commit), present only when the
-    /// scenario ran an open-loop client workload (`rate > 0`).
+    /// scenario ran a client workload (open or closed loop).
     pub client_latency: Option<LatencyStats>,
     /// Client requests submitted / committed (0/0 without a workload).
     pub requests_submitted: u64,
     /// Client requests that reached a committed block.
     pub requests_committed: u64,
+    /// Goodput: committed client requests per second (0 without a
+    /// workload) — the saturation sweep's y-axis.
+    pub goodput_rps: f64,
     /// Share of explicit commits taken via the fast path at a non-faulty
     /// replica (0 for non-Banyan protocols).
     pub fast_share: f64,
@@ -190,8 +223,9 @@ pub fn build_simulation(scenario: &Scenario) -> Simulation {
         .piggyback(scenario.piggyback)
         .baseline_timeout(scenario.timeout);
     // Workload: either the paper's leader-minted synthetic payloads, or
-    // per-replica mempools fed by an open-loop client population.
-    let mempools: Option<Vec<SharedMempool>> = (scenario.rate > 0).then(|| {
+    // per-replica mempools fed by a client population (closed loop takes
+    // precedence over open loop).
+    let mempools: Option<Vec<SharedMempool>> = scenario.client_driven().then(|| {
         (0..n)
             .map(|_| Mempool::shared(DEFAULT_MEMPOOL_CAPACITY))
             .collect()
@@ -222,12 +256,23 @@ pub fn build_simulation(scenario: &Scenario) -> Simulation {
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(1);
-        sim.attach_workload(ClientWorkload::open_loop(
-            scenario.rate,
-            scenario.request_size,
-            client_seed,
-            pools,
-        ));
+        if scenario.clients > 0 {
+            sim.attach_closed_loop(ClosedLoopWorkload::new(
+                scenario.clients,
+                scenario.window,
+                scenario.think_time,
+                scenario.request_size,
+                client_seed,
+                pools,
+            ));
+        } else {
+            sim.attach_workload(ClientWorkload::open_loop(
+                scenario.rate,
+                scenario.request_size,
+                client_seed,
+                pools,
+            ));
+        }
     }
     sim
 }
@@ -281,7 +326,7 @@ fn summarize(scenario: &Scenario, m: &RunMetrics, auditor: &SafetyAuditor) -> Ou
     let interval_stats = LatencyStats::from_samples(&intervals);
     // One decode pass over the commit log serves both the stats and the
     // committed-request count.
-    let client_samples = (scenario.rate > 0).then(|| m.client_latencies());
+    let client_samples = scenario.client_driven().then(|| m.client_latencies());
     let requests_committed = client_samples.as_ref().map_or(0, |s| s.len() as u64);
     Outcome {
         latency: m.proposer_latency_stats(),
@@ -290,6 +335,10 @@ fn summarize(scenario: &Scenario, m: &RunMetrics, auditor: &SafetyAuditor) -> Ou
         client_latency: client_samples.as_deref().map(LatencyStats::from_samples),
         requests_submitted: m.requests_submitted,
         requests_committed,
+        goodput_rps: banyan_simnet::metrics::per_second(
+            requests_committed,
+            m.end_time.as_secs_f64(),
+        ),
         fast_share: m.fast_path_share(observer),
         committed_rounds: auditor.committed_rounds(),
         messages: m.messages_sent,
@@ -299,7 +348,7 @@ fn summarize(scenario: &Scenario, m: &RunMetrics, auditor: &SafetyAuditor) -> Ou
 }
 
 /// Formats a standard result row (used by all harnesses for consistency).
-/// The end-to-end columns show dashes for closed (leader-minted) runs.
+/// The end-to-end columns show dashes for leader-minted (non-client) runs.
 pub fn row(label: &str, payload: u64, out: &Outcome) -> String {
     let (e2e_p50, e2e_p99) = match &out.client_latency {
         Some(stats) => (

@@ -1,0 +1,154 @@
+//! Saturation sweeps: drive a protocol with a growing closed-loop client
+//! population and find the knee of its throughput/latency curve.
+//!
+//! A closed-loop population of `clients × window` outstanding requests
+//! offers load that self-regulates to what the cluster commits: at small
+//! populations goodput grows roughly linearly with clients (latency is
+//! flat at the consensus floor), and past the cluster's capacity goodput
+//! plateaus while latency grows with the queue. The **knee** is the
+//! smallest population that already achieves (nearly all of) the plateau
+//! goodput — the operating point every BFT evaluation wants to report.
+
+use banyan_types::time::Duration;
+
+use crate::runner::{run, Scenario};
+
+/// One measured point of a saturation sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// Closed-loop population size (number of clients).
+    pub clients: u16,
+    /// Outstanding-request window per client.
+    pub window: u32,
+    /// Committed requests per second.
+    pub goodput_rps: f64,
+    /// End-to-end (submit→commit) median latency, ms.
+    pub p50_ms: f64,
+    /// End-to-end (submit→commit) 99th-percentile latency, ms.
+    pub p99_ms: f64,
+    /// Committed payload bytes per second, MB/s.
+    pub throughput_mbps: f64,
+    /// Requests submitted over the run.
+    pub submitted: u64,
+    /// Requests committed over the run.
+    pub committed: u64,
+}
+
+/// The fraction of the plateau goodput a point must reach to qualify as
+/// the knee (90% — past it, added clients buy latency, not goodput).
+pub const KNEE_FRACTION: f64 = 0.9;
+
+/// Index of the saturation knee: the first point whose goodput reaches
+/// [`KNEE_FRACTION`] of the sweep's maximum goodput. `None` for an empty
+/// sweep or one that never commits anything.
+pub fn knee_index(points: &[SweepPoint]) -> Option<usize> {
+    let max = points.iter().map(|p| p.goodput_rps).fold(0.0, f64::max);
+    if max <= 0.0 {
+        return None;
+    }
+    points
+        .iter()
+        .position(|p| p.goodput_rps >= KNEE_FRACTION * max)
+}
+
+/// Runs one point of a sweep: `base` (protocol, topology, request size,
+/// duration, seed, …) switched to a closed loop of `clients × window`
+/// outstanding requests with `think_time` pauses, reduced to a
+/// [`SweepPoint`].
+///
+/// # Panics
+///
+/// Panics if the run observes a safety violation.
+pub fn measure(base: &Scenario, clients: u16, window: u32, think_time: Duration) -> SweepPoint {
+    let scenario = base.clone().closed_loop(clients, window, think_time);
+    let out = run(&scenario);
+    assert!(out.safe, "safety violation in {} sweep", scenario.protocol);
+    let e2e = out.client_latency.unwrap_or_default();
+    SweepPoint {
+        clients,
+        window,
+        goodput_rps: out.goodput_rps,
+        p50_ms: e2e.p50_ms,
+        p99_ms: e2e.p99_ms,
+        throughput_mbps: out.throughput_mbps,
+        submitted: out.requests_submitted,
+        committed: out.requests_committed,
+    }
+}
+
+/// Header matching [`point_row`].
+pub fn sweep_header() -> String {
+    format!(
+        "{:>8} {:>7} {:>12} {:>10} {:>10} {:>9} {:>10} {:>10}  {}",
+        "clients", "window", "goodput/s", "p50 ms", "p99 ms", "MB/s", "submitted", "committed", ""
+    )
+}
+
+/// Formats one sweep point; `knee` appends the saturation marker.
+pub fn point_row(p: &SweepPoint, knee: bool) -> String {
+    format!(
+        "{:>8} {:>7} {:>12.1} {:>10.2} {:>10.2} {:>9.3} {:>10} {:>10}  {}",
+        p.clients,
+        p.window,
+        p.goodput_rps,
+        p.p50_ms,
+        p.p99_ms,
+        p.throughput_mbps,
+        p.submitted,
+        p.committed,
+        if knee { "<- knee" } else { "" }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(clients: u16, goodput: f64) -> SweepPoint {
+        SweepPoint {
+            clients,
+            window: 1,
+            goodput_rps: goodput,
+            p50_ms: 10.0,
+            p99_ms: 20.0,
+            throughput_mbps: 1.0,
+            submitted: 100,
+            committed: 90,
+        }
+    }
+
+    #[test]
+    fn knee_is_first_point_near_plateau() {
+        // Linear ramp then plateau at 100: 90% of 100 is first reached at
+        // the 95-goodput point.
+        let sweep = vec![
+            pt(1, 25.0),
+            pt(2, 50.0),
+            pt(4, 95.0),
+            pt(8, 100.0),
+            pt(16, 99.0),
+        ];
+        assert_eq!(knee_index(&sweep), Some(2));
+    }
+
+    #[test]
+    fn knee_of_flat_sweep_is_first_point() {
+        let sweep = vec![pt(1, 50.0), pt(2, 50.0), pt(4, 50.0)];
+        assert_eq!(knee_index(&sweep), Some(0));
+    }
+
+    #[test]
+    fn knee_absent_without_goodput() {
+        assert_eq!(knee_index(&[]), None);
+        assert_eq!(knee_index(&[pt(1, 0.0), pt(2, 0.0)]), None);
+    }
+
+    #[test]
+    fn rows_align_with_header() {
+        let header = sweep_header();
+        let row = point_row(&pt(4, 123.4), true);
+        assert!(row.contains("<- knee"));
+        assert!(point_row(&pt(4, 123.4), false).trim_end().ends_with("90"));
+        assert!(header.contains("goodput/s"));
+    }
+}

@@ -4,12 +4,13 @@
 //! `RunMetrics` — the whole commit log, every counter — and a different
 //! seed must diverge.
 
-use banyan_bench::runner::{run_metrics, run_observed, Scenario};
+use banyan_bench::runner::{build_simulation, run_metrics, run_observed, Scenario};
+use banyan_bench::sweep::{knee_index, measure};
 use banyan_runtime::driver::CommitSink;
 use banyan_simnet::topology::Topology;
 use banyan_types::engine::CommitEntry;
 use banyan_types::ids::ReplicaId;
-use banyan_types::time::Duration;
+use banyan_types::time::{Duration, Time};
 
 fn scenario(seed: u64) -> Scenario {
     Scenario::new(
@@ -140,6 +141,104 @@ fn client_latency_dominates_proposer_latency() {
         client.p99_ms,
         proposer.p99_ms
     );
+}
+
+/// A closed-loop population: 12 clients × 4 outstanding requests of 300 B
+/// each, 2 ms think time.
+fn closed_scenario(seed: u64) -> Scenario {
+    Scenario::new(
+        "banyan",
+        Topology::uniform(4, Duration::from_millis(10)),
+        1,
+        1,
+    )
+    .closed_loop(12, 4, Duration::from_millis(2))
+    .request_size(300)
+    .secs(3)
+    .seed(seed)
+}
+
+#[test]
+fn closed_loop_reproduces_bit_identical_metrics() {
+    let (first, auditor_a) = run_metrics(&closed_scenario(42));
+    let (second, auditor_b) = run_metrics(&closed_scenario(42));
+    assert!(auditor_a.is_safe() && auditor_b.is_safe());
+    assert!(
+        first.requests_committed() > 100,
+        "closed loop committed only {}",
+        first.requests_committed()
+    );
+    // Bit-identical: completions, resubmissions and every batched
+    // submit timestamp must replay exactly.
+    assert_eq!(first, second, "same seed must reproduce the run exactly");
+    assert_eq!(first.client_latencies(), second.client_latencies());
+    let (other, _) = run_metrics(&closed_scenario(43));
+    assert_ne!(first, other, "different seeds should diverge");
+}
+
+/// The defining closed-loop invariant: the population never has more than
+/// `clients × window` uncommitted requests in flight, and the workload's
+/// own bookkeeping balances (submitted = completed + in flight).
+#[test]
+fn closed_loop_window_invariant_holds() {
+    let scenario = closed_scenario(42);
+    let mut sim = build_simulation(&scenario);
+    // Check the invariant at several points mid-run, not just at the end.
+    for step in 1..=6 {
+        sim.run_until(Time(Duration::from_millis(step * 500).as_nanos()));
+        let w = sim.closed_loop().expect("closed loop attached");
+        assert!(
+            w.in_flight() as u64 <= w.max_in_flight(),
+            "at {step}: {} in flight exceeds the {}-request cap",
+            w.in_flight(),
+            w.max_in_flight()
+        );
+        assert_eq!(
+            w.submitted(),
+            w.completed() + w.in_flight() as u64,
+            "workload bookkeeping must balance"
+        );
+    }
+    let w = sim.closed_loop().expect("closed loop attached");
+    assert_eq!(w.max_in_flight(), 48);
+    assert!(w.completed() > 0, "the loop must actually turn over");
+    assert_eq!(
+        sim.metrics().requests_submitted,
+        w.submitted(),
+        "simulator and workload must agree on submissions"
+    );
+}
+
+/// Goodput must grow with offered load up to the knee: more closed-loop
+/// clients commit more requests per second until the cluster saturates.
+/// Deterministic (seeded), so this is a stable regression guard.
+#[test]
+fn saturation_sweep_is_monotone_up_to_the_knee() {
+    let base = Scenario::new(
+        "banyan",
+        Topology::uniform(4, Duration::from_millis(5)),
+        1,
+        1,
+    )
+    .request_size(256)
+    .secs(3)
+    .seed(42);
+    let points: Vec<_> = [2u16, 8, 32]
+        .iter()
+        .map(|&clients| measure(&base, clients, 4, Duration::ZERO))
+        .collect();
+    let knee = knee_index(&points).expect("sweep commits requests");
+    for i in 1..=knee {
+        assert!(
+            points[i].goodput_rps > points[i - 1].goodput_rps,
+            "goodput must rise before the knee: {:?}",
+            points
+        );
+    }
+    // End-to-end latency stays sane (nonzero, bounded) at every point.
+    for p in &points {
+        assert!(p.p50_ms > 0.0 && p.p99_ms >= p.p50_ms);
+    }
 }
 
 /// A sink that tallies commits per replica — exercises the same

@@ -91,16 +91,14 @@ impl ClusterBuilder {
         self
     }
 
-    /// Sets the payload size each proposer attaches (bytes).
-    ///
-    /// **Migration shim.** Engines no longer mint payloads themselves —
-    /// they pull them from a [`ProposalSource`] (see
-    /// [`proposal_sources`](Self::proposal_sources)). This method installs
-    /// a [`FixedSizeSource`] per replica, which reproduces the historical
-    /// leader-minted synthetic workload (the paper's §9.2 setup)
-    /// bit-for-bit, so existing call sites keep working unchanged. New
-    /// code that wants a client workload should install mempool-backed
-    /// sources via `proposal_sources` instead.
+    /// **Migration shim** — equivalent to
+    /// [`proposal_sources`](Self::proposal_sources) with a per-replica
+    /// [`FixedSizeSource`] of `bytes`. Engines do not attach payloads
+    /// themselves; they pull every payload from their `ProposalSource`.
+    /// This shim reproduces the historical leader-minted synthetic
+    /// workload (the paper's §9.2 setup) bit-for-bit so old call sites
+    /// keep working; anything workload-driven — mempools, open- or
+    /// closed-loop clients — goes through `proposal_sources` instead.
     pub fn payload_size(self, bytes: u64) -> Self {
         self.proposal_sources(move |i| Box::new(FixedSizeSource::new(bytes, i)))
     }

@@ -11,9 +11,10 @@
 //! * [`sim`] — the event loop driving [`banyan_types::engine::Engine`]s;
 //! * [`faults`] — crash / partition / link-delay schedules;
 //! * [`metrics`] — the paper's latency & throughput metrics, end-to-end
-//!   client latency, and the global safety auditor;
-//! * [`workload`] — per-replica mempools and the seeded open-loop client
-//!   generator feeding them through the simulator's event queue.
+//!   client latency, goodput, and the global safety auditor;
+//! * [`workload`] — per-replica mempools and the seeded client
+//!   populations feeding them: an open-loop generator (fixed rate) and a
+//!   closed-loop population (fixed windows, resubmit-on-commit).
 //!
 //! # Examples
 //!
@@ -29,6 +30,8 @@
 //! assert!(delta.as_millis_f64() > 10.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod faults;
 pub mod metrics;
 pub mod sim;
@@ -36,7 +39,10 @@ pub mod topology;
 pub mod workload;
 
 pub use faults::{Fault, FaultPlan};
-pub use metrics::{LatencyStats, ObservedCommit, RunMetrics, SafetyAuditor};
+pub use metrics::{ClientLoadSummary, LatencyStats, ObservedCommit, RunMetrics, SafetyAuditor};
 pub use sim::{SimConfig, Simulation};
 pub use topology::{Region, Topology, AWS_REGIONS};
-pub use workload::{ClientWorkload, Mempool, MempoolSource, Request, SharedMempool, WorkloadBatch};
+pub use workload::{
+    ClientWorkload, ClosedLoopWorkload, Mempool, MempoolSource, Request, SharedMempool,
+    WorkloadBatch,
+};

@@ -27,6 +27,16 @@ use banyan_types::time::{Duration, Time};
 
 use crate::workload::WorkloadBatch;
 
+/// `count` events over `secs` seconds as a rate, 0 for an empty window.
+/// The one rate formula every goodput/throughput report shares.
+pub fn per_second(count: u64, secs: f64) -> f64 {
+    if secs == 0.0 {
+        0.0
+    } else {
+        count as f64 / secs
+    }
+}
+
 /// An order-statistics summary over a set of duration samples.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct LatencyStats {
@@ -136,6 +146,28 @@ impl SafetyAuditor {
     }
 }
 
+/// One run's client-workload numbers, reduced to what a saturation sweep
+/// plots: goodput (committed requests/sec), the end-to-end latency
+/// distribution, and the per-client fairness spread.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClientLoadSummary {
+    /// End-to-end (submit→commit) latency over all clients.
+    pub latency: LatencyStats,
+    /// Committed client requests per second over the run.
+    pub goodput_rps: f64,
+    /// Requests submitted by the workload.
+    pub requests_submitted: u64,
+    /// Requests that reached a committed block (counted at the proposer).
+    pub requests_committed: u64,
+    /// Distinct clients with at least one committed request.
+    pub clients_observed: usize,
+    /// Smallest per-client mean latency, ms (0 when no samples).
+    pub min_client_mean_ms: f64,
+    /// Largest per-client mean latency, ms (0 when no samples) — the gap
+    /// to `min_client_mean_ms` is the fairness spread.
+    pub max_client_mean_ms: f64,
+}
+
 /// Everything measured over one simulation run.
 ///
 /// `PartialEq` is derived so determinism tests can assert bit-identical
@@ -187,23 +219,75 @@ impl RunMetrics {
     /// Empty for runs without a client workload — batches are recovered
     /// from the committed payloads via [`WorkloadBatch::decode`].
     pub fn client_latencies(&self) -> Vec<Duration> {
-        let mut samples = Vec::new();
-        for c in &self.commits {
-            if c.replica != c.entry.proposer {
-                continue;
-            }
-            if let Some(batch) = WorkloadBatch::decode(&c.entry.payload) {
-                for req in &batch.requests {
-                    samples.push(c.entry.committed_at.since(req.submitted_at));
-                }
-            }
-        }
-        samples
+        self.client_samples().map(|(_, d)| d).collect()
+    }
+
+    /// The one decode pass every client metric is built on: walks the
+    /// commit log in order, keeps proposer-side commits only, and yields
+    /// `(client, submit→commit)` per batched request.
+    fn client_samples(&self) -> impl Iterator<Item = (u16, Duration)> + '_ {
+        self.commits
+            .iter()
+            .filter(|c| c.replica == c.entry.proposer)
+            .flat_map(|c| {
+                let committed_at = c.entry.committed_at;
+                WorkloadBatch::decode(&c.entry.payload)
+                    .map(|batch| {
+                        batch
+                            .requests
+                            .iter()
+                            .map(|req| (req.client, committed_at.since(req.submitted_at)))
+                            .collect::<Vec<_>>()
+                    })
+                    .unwrap_or_default()
+            })
     }
 
     /// Latency summary over [`Self::client_latencies`].
     pub fn client_latency_stats(&self) -> LatencyStats {
         LatencyStats::from_samples(&self.client_latencies())
+    }
+
+    /// Per-client submit→commit series: the end-to-end samples of
+    /// [`Self::client_latencies`], keyed by the submitting client (in
+    /// commit order per client). The basis for fairness reporting —
+    /// a starved or censored client shows up as a short, slow series.
+    pub fn per_client_latencies(&self) -> BTreeMap<u16, Vec<Duration>> {
+        let mut series: BTreeMap<u16, Vec<Duration>> = BTreeMap::new();
+        for (client, latency) in self.client_samples() {
+            series.entry(client).or_default().push(latency);
+        }
+        series
+    }
+
+    /// Goodput: committed client requests per second over the whole run
+    /// (0 for runs without a client workload). This is the y-axis of a
+    /// saturation sweep; under overload it plateaus while latency grows.
+    pub fn goodput_rps(&self) -> f64 {
+        per_second(self.requests_committed(), self.end_time.as_secs_f64())
+    }
+
+    /// One decode pass over the commit log reduced to the numbers a
+    /// saturation sweep plots; see [`ClientLoadSummary`].
+    pub fn client_load_summary(&self) -> ClientLoadSummary {
+        let per_client = self.per_client_latencies();
+        let all: Vec<Duration> = per_client.values().flatten().copied().collect();
+        let requests_committed = all.len() as u64;
+        let client_means: Vec<f64> = per_client
+            .values()
+            .map(|s| LatencyStats::from_samples(s).mean_ms)
+            .collect();
+        let min_mean = client_means.iter().copied().reduce(f64::min).unwrap_or(0.0);
+        let max_mean = client_means.iter().copied().reduce(f64::max).unwrap_or(0.0);
+        ClientLoadSummary {
+            latency: LatencyStats::from_samples(&all),
+            goodput_rps: per_second(requests_committed, self.end_time.as_secs_f64()),
+            requests_submitted: self.requests_submitted,
+            requests_committed,
+            clients_observed: per_client.len(),
+            min_client_mean_ms: min_mean,
+            max_client_mean_ms: max_mean,
+        }
     }
 
     /// Requests committed (counted once, at the proposer of the block that
@@ -221,12 +305,7 @@ impl RunMetrics {
             .filter(|c| c.replica == replica)
             .map(|c| c.entry.payload_len())
             .sum();
-        let secs = self.end_time.as_secs_f64();
-        if secs == 0.0 {
-            0.0
-        } else {
-            bytes as f64 / secs
-        }
+        per_second(bytes, self.end_time.as_secs_f64())
     }
 
     /// Maximum throughput across replicas (a non-faulty replica's view;
@@ -442,6 +521,67 @@ mod tests {
         assert_eq!(metrics.client_latencies(), vec![Duration(290)]);
         assert_eq!(metrics.requests_committed(), 1);
         assert_eq!(metrics.client_latency_stats().count, 1);
+    }
+
+    #[test]
+    fn per_client_series_and_load_summary() {
+        use crate::workload::{Request, WorkloadBatch};
+        let mk = |client: u16, id: u64, submitted: u64| Request {
+            id,
+            client,
+            size: 100,
+            submitted_at: Time(submitted),
+        };
+        // Client 0: two requests (latencies 100 and 200 ns); client 3: one
+        // request (latency 400 ns).
+        let mut e1 = entry(1, 1, 0, 0, 200);
+        e1.payload = WorkloadBatch {
+            requests: vec![mk(0, 1, 100), mk(0, 2, 0)],
+        }
+        .into_payload();
+        let mut e2 = entry(2, 2, 1, 0, 500);
+        e2.payload = WorkloadBatch {
+            requests: vec![mk(3, 3, 100)],
+        }
+        .into_payload();
+        let metrics = RunMetrics {
+            commits: vec![
+                ObservedCommit {
+                    replica: ReplicaId(0),
+                    entry: e1,
+                },
+                ObservedCommit {
+                    replica: ReplicaId(1),
+                    entry: e2,
+                },
+            ],
+            requests_submitted: 5,
+            end_time: Time(1_000_000_000), // 1 s
+            ..Default::default()
+        };
+        let series = metrics.per_client_latencies();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[&0], vec![Duration(100), Duration(200)]);
+        assert_eq!(series[&3], vec![Duration(400)]);
+        assert!((metrics.goodput_rps() - 3.0).abs() < 1e-9);
+        let summary = metrics.client_load_summary();
+        assert_eq!(summary.requests_committed, 3);
+        assert_eq!(summary.requests_submitted, 5);
+        assert_eq!(summary.clients_observed, 2);
+        assert!((summary.goodput_rps - 3.0).abs() < 1e-9);
+        // Fairness spread: client 0 mean 150 ns, client 3 mean 400 ns.
+        assert!((summary.min_client_mean_ms - 150e-6).abs() < 1e-12);
+        assert!((summary.max_client_mean_ms - 400e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_load_summary_is_zeroed() {
+        let summary = RunMetrics::default().client_load_summary();
+        assert_eq!(summary.requests_committed, 0);
+        assert_eq!(summary.clients_observed, 0);
+        assert_eq!(summary.min_client_mean_ms, 0.0);
+        assert_eq!(summary.max_client_mean_ms, 0.0);
+        assert_eq!(summary.goodput_rps, 0.0);
     }
 
     #[test]

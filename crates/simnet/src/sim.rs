@@ -37,7 +37,7 @@ use banyan_types::time::{Duration, Time};
 use crate::faults::FaultPlan;
 use crate::metrics::{ObservedCommit, RunMetrics, SafetyAuditor};
 use crate::topology::Topology;
-use crate::workload::ClientWorkload;
+use crate::workload::{ClientWorkload, ClosedLoopWorkload};
 
 /// Tunables of the simulation itself (not of the protocol).
 #[derive(Clone, Debug)]
@@ -86,16 +86,29 @@ enum EventKind {
         replica: ReplicaId,
         kind: TimerKind,
     },
-    /// The open-loop client population submits its next request.
+    /// The client population acts: an open-loop workload submits its next
+    /// request; a closed-loop workload resubmits after a think time.
     ClientTick,
 }
 
+/// The attached client population, if any. Open loop ticks itself on a
+/// fixed interval; closed loop only ticks when a completion (observed via
+/// the commit path) schedules a think-time resubmission.
+enum Workload {
+    Open(ClientWorkload),
+    Closed(ClosedLoopWorkload),
+}
+
 /// Commit side of action routing: every finalization feeds the safety
-/// auditor, the replica's [`App`] (if attached) and the metrics log.
+/// auditor, the replica's [`App`] (if attached), the closed-loop
+/// workload's completion hook (if attached) and the metrics log.
 struct SimCommitSink<'a> {
     commits: &'a mut Vec<ObservedCommit>,
     auditor: &'a mut SafetyAuditor,
     apps: &'a mut [Option<Box<dyn App>>],
+    /// The closed-loop population observes every replica's commits — the
+    /// first delivery of a batched request completes it.
+    completions: Option<&'a mut ClosedLoopWorkload>,
 }
 
 impl CommitSink for SimCommitSink<'_> {
@@ -103,6 +116,9 @@ impl CommitSink for SimCommitSink<'_> {
         self.auditor.observe(replica, &entry);
         if let Some(app) = &mut self.apps[replica.as_usize()] {
             app.deliver(&entry);
+        }
+        if let Some(closed) = self.completions.as_deref_mut() {
+            closed.deliver(&entry);
         }
         self.commits.push(ObservedCommit { replica, entry });
     }
@@ -223,8 +239,8 @@ pub struct Simulation {
     auditor: SafetyAuditor,
     /// Per-replica commit delivery targets (None = metrics only).
     apps: Vec<Option<Box<dyn App>>>,
-    /// Open-loop client population, if attached.
-    workload: Option<ClientWorkload>,
+    /// Client population (open- or closed-loop), if attached.
+    workload: Option<Workload>,
     initialized: bool,
 }
 
@@ -274,10 +290,38 @@ impl Simulation {
     /// the simulation's own event queue (one tick per request), so request
     /// arrivals interleave deterministically with deliveries and timers.
     /// The first request is submitted one inter-arrival interval in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a workload is already attached.
     pub fn attach_workload(&mut self, workload: ClientWorkload) {
+        assert!(self.workload.is_none(), "a workload is already attached");
         let first = self.now + workload.interval();
-        self.workload = Some(workload);
+        self.workload = Some(Workload::Open(workload));
         self.queue.push(first, EventKind::ClientTick);
+    }
+
+    /// Attaches a closed-loop client population: its full initial window
+    /// (`clients × window` requests) is submitted immediately, and from
+    /// then on completions — observed through the commit delivery path —
+    /// schedule think-time `ClientTick`s that resubmit one request each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a workload is already attached.
+    pub fn attach_closed_loop(&mut self, mut workload: ClosedLoopWorkload) {
+        assert!(self.workload.is_none(), "a workload is already attached");
+        self.metrics.requests_submitted += workload.prime(self.now);
+        self.workload = Some(Workload::Closed(workload));
+    }
+
+    /// The attached closed-loop population, if any (for post-run window
+    /// and completion assertions).
+    pub fn closed_loop(&self) -> Option<&ClosedLoopWorkload> {
+        match &self.workload {
+            Some(Workload::Closed(w)) => Some(w),
+            _ => None,
+        }
     }
 
     /// Attaches `replica`'s [`App`]: every block that replica finalizes is
@@ -361,19 +405,29 @@ impl Simulation {
                     let actions = self.engines[replica.as_usize()].on_timer(kind, self.now);
                     self.process_actions(replica, actions);
                 }
-                EventKind::ClientTick => {
-                    let workload = self
-                        .workload
-                        .as_mut()
-                        .expect("client tick without a workload");
-                    let target = workload.submit_next(self.now);
-                    self.metrics.requests_submitted += 1;
-                    if self.config.trace {
-                        eprintln!("[{}] client submit -> {}", self.now, target);
+                EventKind::ClientTick => match self
+                    .workload
+                    .as_mut()
+                    .expect("client tick without a workload")
+                {
+                    Workload::Open(workload) => {
+                        let target = workload.submit_next(self.now);
+                        self.metrics.requests_submitted += 1;
+                        if self.config.trace {
+                            eprintln!("[{}] client submit -> {}", self.now, target);
+                        }
+                        let next = self.now + workload.interval();
+                        self.queue.push(next, EventKind::ClientTick);
                     }
-                    let next = self.now + workload.interval();
-                    self.queue.push(next, EventKind::ClientTick);
-                }
+                    Workload::Closed(workload) => {
+                        if let Some(target) = workload.resubmit_next(self.now) {
+                            self.metrics.requests_submitted += 1;
+                            if self.config.trace {
+                                eprintln!("[{}] client resubmit -> {}", self.now, target);
+                            }
+                        }
+                    }
+                },
             }
         }
 
@@ -401,6 +455,7 @@ impl Simulation {
             metrics,
             auditor,
             apps,
+            workload,
             ..
         } = self;
         let RunMetrics {
@@ -414,6 +469,10 @@ impl Simulation {
             commits,
             auditor,
             apps,
+            completions: match workload {
+                Some(Workload::Closed(w)) => Some(w),
+                _ => None,
+            },
         };
         let mut dispatch = NetDispatch {
             now: *now,
@@ -429,6 +488,14 @@ impl Simulation {
             messages_dropped,
         };
         route_actions(replica, actions, &mut sink, &mut dispatch);
+        // Completions recorded during routing become think-time ticks:
+        // scheduled here (the queue was borrowed by the dispatcher above),
+        // in completion order, never before `now`.
+        if let Some(Workload::Closed(w)) = workload {
+            for at in w.take_pending_ticks() {
+                queue.push(at.max(*now), EventKind::ClientTick);
+            }
+        }
     }
 }
 

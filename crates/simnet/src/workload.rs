@@ -17,7 +17,14 @@
 //!   recovers submit timestamps from committed payloads;
 //! * [`ClientWorkload`] — a seeded open-loop generator (fixed
 //!   requests/sec, fixed request size, seeded replica targeting) the
-//!   simulator drives via its own event queue.
+//!   simulator drives via its own event queue;
+//! * [`ClosedLoopWorkload`] — a seeded closed-loop client population
+//!   (`clients × window` outstanding requests) that observes completions
+//!   through the [`App`] delivery path and resubmits after an optional
+//!   think time. Open loop fixes the *offered rate* and lets latency blow
+//!   up under overload; closed loop fixes the *population* and lets the
+//!   rate self-regulate, which is what saturation (throughput-vs-latency)
+//!   sweeps need.
 //!
 //! Everything is a deterministic function of seeds and virtual time:
 //! replays of a seeded run reproduce the same requests, batches and
@@ -29,7 +36,8 @@ use std::sync::{Arc, Mutex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use banyan_types::app::ProposalSource;
+use banyan_types::app::{App, ProposalSource};
+use banyan_types::engine::CommitEntry;
 use banyan_types::ids::{ReplicaId, Round};
 use banyan_types::payload::Payload;
 use banyan_types::time::{Duration, Time};
@@ -42,6 +50,11 @@ pub const DEFAULT_MEMPOOL_CAPACITY: usize = 65_536;
 
 /// Default maximum requests drained into one block.
 pub const DEFAULT_MAX_BATCH: usize = 4_096;
+
+/// Default maximum *nominal bytes* drained into one block (2 MB — twice
+/// the largest block size the paper evaluates), so large requests cannot
+/// inflate a single batch to gigabytes regardless of the record cap.
+pub const DEFAULT_MAX_BATCH_BYTES: u64 = 2_000_000;
 
 /// One client request: an opaque `size`-byte blob identified by `id`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -135,6 +148,27 @@ impl Mempool {
         drained
     }
 
+    /// Removes and returns requests, oldest first, stopping before
+    /// `max_records` is exceeded and before the *nominal* byte total
+    /// (the sum of [`Request::size`]) would exceed `max_bytes`. When
+    /// `max_records > 0`, at least one request is taken when any is
+    /// pending — a single oversized request still ships rather than
+    /// wedging the pool ([`MempoolSource`] rejects a zero record cap at
+    /// construction for the same reason).
+    pub fn drain_bounded(&mut self, max_records: usize, max_bytes: u64) -> Vec<Request> {
+        let mut take = 0;
+        let mut bytes = 0u64;
+        for req in self.queue.iter().take(max_records) {
+            let next = bytes.saturating_add(req.size);
+            if take > 0 && next > max_bytes {
+                break;
+            }
+            bytes = next;
+            take += 1;
+        }
+        self.drain(take)
+    }
+
     /// Pending requests.
     pub fn len(&self) -> usize {
         self.queue.len()
@@ -168,11 +202,21 @@ pub type SharedMempool = Arc<Mutex<Mempool>>;
 /// The requests carried by one block payload, recoverable from the
 /// committed payload bytes.
 ///
-/// Encoding: the [`BATCH_MAGIC`] prefix, a `u32` count, one fixed-width
-/// record per request (`id`, `client`, `size`, `submitted_at`, all
-/// little-endian), then zero padding up to the batch's nominal size
-/// (the sum of request sizes), so the simulator's bandwidth model charges
-/// what shipping the real request bytes would cost.
+/// # Wire encoding
+///
+/// ```text
+/// "BanyanWB"             8-byte magic prefix (self-identification)
+/// count: u32 LE          number of request records
+/// count × 26-byte record, each little-endian:
+///   id: u64  client: u16  size: u64  submitted_at: u64 (ns)
+/// zero padding           up to the batch's nominal size
+/// ```
+///
+/// The nominal size is the sum of request sizes, so the simulator's
+/// bandwidth model charges what shipping the real request bytes would
+/// cost. Payloads without the magic prefix (synthetic payloads, empty
+/// blocks, foreign inline content) [`decode`](Self::decode) to `None`;
+/// a truncated or corrupt batch is rejected, never a panic.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct WorkloadBatch {
     /// The batched requests, in mempool (FIFO) order.
@@ -239,6 +283,12 @@ impl WorkloadBatch {
 /// [`WorkloadBatch`] payload per proposal. An empty mempool yields an
 /// empty payload (the chain keeps moving; blocks just carry no work).
 ///
+/// Each batch is bounded two ways: at most `max_batch` request records
+/// *and* at most [`max_bytes`](Self::with_max_bytes) nominal bytes (the
+/// sum of request sizes — what the bandwidth model will charge for the
+/// block). Without the byte bound, large requests would let the record
+/// cap admit multi-gigabyte blocks.
+///
 /// **Known limitation:** draining is destructive. A request batched into
 /// a proposal that never finalizes (a backup proposal that loses to the
 /// leader's, or an equivocator's second block) is gone — there is no
@@ -250,13 +300,30 @@ impl WorkloadBatch {
 pub struct MempoolSource {
     mempool: SharedMempool,
     max_batch: usize,
+    max_bytes: u64,
 }
 
 impl MempoolSource {
-    /// A source draining `mempool`, at most `max_batch` requests per
-    /// block.
+    /// A source draining `mempool`, at most `max_batch` requests and
+    /// [`DEFAULT_MAX_BATCH_BYTES`] nominal bytes per block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero (every block would be empty forever
+    /// while requests pile up in the pool).
     pub fn new(mempool: SharedMempool, max_batch: usize) -> Self {
-        MempoolSource { mempool, max_batch }
+        assert!(max_batch > 0, "batch record cap must be positive");
+        MempoolSource {
+            mempool,
+            max_batch,
+            max_bytes: DEFAULT_MAX_BATCH_BYTES,
+        }
+    }
+
+    /// Overrides the nominal byte bound per batch.
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> Self {
+        self.max_bytes = max_bytes;
+        self
     }
 }
 
@@ -266,7 +333,7 @@ impl ProposalSource for MempoolSource {
             .mempool
             .lock()
             .expect("mempool lock")
-            .drain(self.max_batch);
+            .drain_bounded(self.max_batch, self.max_bytes);
         if requests.is_empty() {
             Payload::empty()
         } else {
@@ -349,6 +416,194 @@ impl ClientWorkload {
             .expect("mempool lock")
             .push(req);
         ReplicaId(target as u16)
+    }
+}
+
+/// A seeded closed-loop client population.
+///
+/// `clients` clients each keep a *window* of `window` outstanding
+/// requests: the population is primed with `clients × window` requests,
+/// and a client only submits a replacement once one of its requests is
+/// observed committed — so the offered rate self-regulates to what the
+/// cluster can absorb, which is the defining contrast to the open-loop
+/// [`ClientWorkload`]. Committed work is observed through the ordinary
+/// [`App`] delivery path: the workload *is* an `App`, and the simulator
+/// feeds it every finalized block. Records recovered from a delivered
+/// [`WorkloadBatch`] complete the matching in-flight requests (first
+/// delivery wins; later replicas' deliveries of the same block are
+/// ignored), and each completion schedules one resubmission `think_time`
+/// later — the simulator turns those into `ClientTick` events, which is
+/// the only thing ticks are used for in a closed loop.
+///
+/// Determinism: replica targeting comes from an RNG seeded with `seed`,
+/// completions arrive in the simulator's deterministic commit order, and
+/// resubmissions fire at exact virtual times, so a seeded run reproduces
+/// bit-for-bit.
+///
+/// Invariant: at most `clients × window` requests are ever uncommitted
+/// ("in flight"); a request lost to a never-finalized proposal permanently
+/// occupies its window slot (see [`MempoolSource`] on destructive drains),
+/// which mirrors a real closed-loop client that never gets its response.
+pub struct ClosedLoopWorkload {
+    window: u32,
+    think_time: Duration,
+    request_size: u64,
+    mempools: Vec<SharedMempool>,
+    rng: SmallRng,
+    next_id: u64,
+    clients: u16,
+    /// Request ids submitted and not yet observed committed.
+    in_flight: HashSet<u64>,
+    /// Clients whose freed slot is waiting for its think-time tick, in
+    /// completion order.
+    resume_queue: VecDeque<u16>,
+    /// Tick times produced by completions and not yet scheduled.
+    pending_ticks: Vec<Time>,
+    submitted: u64,
+    completed: u64,
+}
+
+impl std::fmt::Debug for ClosedLoopWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClosedLoopWorkload")
+            .field("clients", &self.clients)
+            .field("window", &self.window)
+            .field("think_time", &self.think_time)
+            .field("in_flight", &self.in_flight.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClosedLoopWorkload {
+    /// A population of `clients` clients, each with `window` outstanding
+    /// `request_size`-byte requests, pausing `think_time` between a
+    /// completion and the replacement submission. Targets are drawn per
+    /// request from an RNG seeded with `seed`; `mempools[i]` feeds
+    /// replica `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` or `window` is zero or `mempools` is empty.
+    pub fn new(
+        clients: u16,
+        window: u32,
+        think_time: Duration,
+        request_size: u64,
+        seed: u64,
+        mempools: Vec<SharedMempool>,
+    ) -> Self {
+        assert!(clients > 0, "need at least one client");
+        assert!(window > 0, "window must be positive");
+        assert!(!mempools.is_empty(), "need at least one replica mempool");
+        ClosedLoopWorkload {
+            window,
+            think_time,
+            request_size,
+            mempools,
+            rng: SmallRng::seed_from_u64(seed),
+            next_id: 0,
+            clients,
+            in_flight: HashSet::new(),
+            resume_queue: VecDeque::new(),
+            pending_ticks: Vec::new(),
+            submitted: 0,
+            completed: 0,
+        }
+    }
+
+    /// Number of clients in the population.
+    pub fn clients(&self) -> u16 {
+        self.clients
+    }
+
+    /// Outstanding-request window per client.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// The population's in-flight cap, `clients × window`.
+    pub fn max_in_flight(&self) -> u64 {
+        self.clients as u64 * self.window as u64
+    }
+
+    /// Requests currently uncommitted (includes any lost to
+    /// never-finalized proposals).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Requests submitted so far (initial windows + resubmissions).
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Requests observed committed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Submits the full initial window of every client at `now`,
+    /// returning how many requests were submitted. The simulator calls
+    /// this once when the workload is attached.
+    pub fn prime(&mut self, now: Time) -> u64 {
+        let before = self.submitted;
+        for client in 0..self.clients {
+            for _ in 0..self.window {
+                self.submit_for(client, now);
+            }
+        }
+        self.submitted - before
+    }
+
+    /// Drains the tick times produced by completions since the last call;
+    /// the simulator schedules one `ClientTick` per entry.
+    pub fn take_pending_ticks(&mut self) -> Vec<Time> {
+        std::mem::take(&mut self.pending_ticks)
+    }
+
+    /// Handles one think-time tick at `now`: the longest-waiting freed
+    /// slot's client submits its replacement request. Returns the target
+    /// replica, or `None` if no slot is waiting.
+    pub fn resubmit_next(&mut self, now: Time) -> Option<ReplicaId> {
+        let client = self.resume_queue.pop_front()?;
+        Some(self.submit_for(client, now))
+    }
+
+    fn submit_for(&mut self, client: u16, now: Time) -> ReplicaId {
+        let target = self.rng.gen_range(0..self.mempools.len());
+        self.next_id += 1;
+        self.submitted += 1;
+        self.in_flight.insert(self.next_id);
+        let req = Request {
+            id: self.next_id,
+            client,
+            size: self.request_size,
+            submitted_at: now,
+        };
+        self.mempools[target]
+            .lock()
+            .expect("mempool lock")
+            .push(req);
+        ReplicaId(target as u16)
+    }
+}
+
+impl App for ClosedLoopWorkload {
+    /// The completion hook: decodes the delivered block's batch (if any)
+    /// and completes every record still in flight, scheduling each
+    /// client's resubmission one think time after the commit.
+    fn deliver(&mut self, entry: &CommitEntry) {
+        let Some(batch) = WorkloadBatch::decode(&entry.payload) else {
+            return;
+        };
+        for req in &batch.requests {
+            if self.in_flight.remove(&req.id) {
+                self.completed += 1;
+                self.resume_queue.push_back(req.client);
+                self.pending_ticks
+                    .push(entry.committed_at + self.think_time);
+            }
+        }
     }
 }
 
@@ -483,6 +738,138 @@ mod tests {
         );
         // Empty mempool → empty payload, not a stall.
         assert!(src.next_payload(Round(3), Time(30)).is_empty());
+    }
+
+    #[test]
+    fn drain_bounded_enforces_nominal_byte_cap() {
+        // Regression: with large requests, the record cap alone admitted
+        // arbitrarily many bytes per batch.
+        let mut mp = Mempool::new(100);
+        for id in 1..=10 {
+            mp.push(Request {
+                id,
+                client: 0,
+                size: 1_000_000,
+                submitted_at: Time(id),
+            });
+        }
+        let batch = mp.drain_bounded(4_096, DEFAULT_MAX_BATCH_BYTES);
+        assert_eq!(
+            batch.len(),
+            2,
+            "2 MB cap must stop a 1 MB-request drain at two records"
+        );
+        // An oversized single request still ships (no wedge).
+        let mut mp = Mempool::new(10);
+        mp.push(Request {
+            id: 1,
+            client: 0,
+            size: 10_000_000,
+            submitted_at: Time(1),
+        });
+        assert_eq!(mp.drain_bounded(4_096, DEFAULT_MAX_BATCH_BYTES).len(), 1);
+        // The record cap still applies to small requests.
+        let mut mp = Mempool::new(10);
+        for id in 1..=5 {
+            mp.push(req(id, id));
+        }
+        assert_eq!(mp.drain_bounded(3, u64::MAX).len(), 3);
+    }
+
+    #[test]
+    fn mempool_source_honors_byte_cap() {
+        use banyan_types::app::ProposalSource;
+        let shared = Mempool::shared(100);
+        {
+            let mut mp = shared.lock().unwrap();
+            for id in 1..=6 {
+                mp.push(Request {
+                    id,
+                    client: 0,
+                    size: 400,
+                    submitted_at: Time(id),
+                });
+            }
+        }
+        let mut src = MempoolSource::new(shared, 4_096).with_max_bytes(1_000);
+        let batch = WorkloadBatch::decode(&src.next_payload(Round(1), Time(1))).unwrap();
+        assert_eq!(batch.requests.len(), 2, "400+400 fits, +400 would not");
+        assert!(batch.nominal_size() <= 1_000);
+    }
+
+    fn commit_of(batch: WorkloadBatch, at: u64) -> CommitEntry {
+        use banyan_types::ids::BlockHash;
+        CommitEntry {
+            round: Round(1),
+            block: BlockHash::ZERO,
+            proposer: ReplicaId(0),
+            payload: batch.into_payload(),
+            proposed_at: Time::ZERO,
+            committed_at: Time(at),
+            fast: false,
+            explicit: true,
+        }
+    }
+
+    #[test]
+    fn closed_loop_primes_full_windows_and_caps_in_flight() {
+        let mempools: Vec<SharedMempool> = (0..3).map(|_| Mempool::shared(1_000)).collect();
+        let mut w = ClosedLoopWorkload::new(5, 4, Duration::ZERO, 100, 1, mempools.clone());
+        assert_eq!(w.prime(Time::ZERO), 20);
+        assert_eq!(w.in_flight(), 20);
+        assert_eq!(w.max_in_flight(), 20);
+        let pending: usize = mempools.iter().map(|m| m.lock().unwrap().len()).sum();
+        assert_eq!(pending, 20, "every primed request lands in a mempool");
+        // No completions yet, so no ticks and nothing to resubmit.
+        assert!(w.take_pending_ticks().is_empty());
+        assert!(w.resubmit_next(Time(1)).is_none());
+    }
+
+    #[test]
+    fn closed_loop_completion_drives_resubmission() {
+        let mempools: Vec<SharedMempool> = vec![Mempool::shared(1_000)];
+        let think = Duration::from_millis(5);
+        let mut w = ClosedLoopWorkload::new(2, 1, think, 100, 1, mempools.clone());
+        w.prime(Time::ZERO);
+        let drained = mempools[0].lock().unwrap().drain(usize::MAX);
+        assert_eq!(drained.len(), 2);
+
+        // Deliver a batch committing the first request only.
+        let batch = WorkloadBatch {
+            requests: vec![drained[0]],
+        };
+        w.deliver(&commit_of(batch.clone(), 1_000));
+        assert_eq!(w.completed(), 1);
+        assert_eq!(w.in_flight(), 1);
+        let ticks = w.take_pending_ticks();
+        assert_eq!(ticks, vec![Time(1_000) + think], "one tick, think later");
+
+        // Re-delivery of the same batch (another replica committing the
+        // same block) completes nothing twice.
+        w.deliver(&commit_of(batch, 2_000));
+        assert_eq!(w.completed(), 1);
+        assert!(w.take_pending_ticks().is_empty());
+
+        // The tick resubmits for the completed request's client; the
+        // window cap is never exceeded.
+        let at = ticks[0];
+        assert!(w.resubmit_next(at).is_some());
+        assert_eq!(w.in_flight(), 2);
+        assert_eq!(w.submitted(), 3);
+        assert!(w.in_flight() as u64 <= w.max_in_flight());
+        assert!(w.resubmit_next(at).is_none(), "one tick, one resubmit");
+    }
+
+    #[test]
+    fn closed_loop_is_seed_deterministic() {
+        let run = |seed: u64| -> Vec<usize> {
+            let mempools: Vec<SharedMempool> = (0..4).map(|_| Mempool::shared(1_000)).collect();
+            let mut w = ClosedLoopWorkload::new(8, 2, Duration::ZERO, 64, seed, mempools.clone());
+            w.prime(Time::ZERO);
+            mempools.iter().map(|m| m.lock().unwrap().len()).collect()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4), "different seeds should retarget");
     }
 
     #[test]

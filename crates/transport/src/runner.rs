@@ -8,7 +8,7 @@
 //! * **writers** — one per peer, draining a per-peer outbound queue (a
 //!   slow peer never blocks the engine);
 //! * **engine loop** (the calling thread) — an
-//!   [`EngineDriver`](banyan_runtime::EngineDriver) from the shared
+//!   [`EngineDriver`] from the shared
 //!   driver layer: it owns the timer heap (same deterministic
 //!   `(time, seq)` ordering the simulator uses, same stale-timer
 //!   filtering) and routes engine actions; this module only supplies

@@ -27,6 +27,8 @@
 //! # Ok::<(), banyan_types::config::ConfigError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod app;
 pub mod block;
 pub mod certs;
@@ -39,7 +41,7 @@ pub mod payload;
 pub mod time;
 pub mod vote;
 
-pub use app::{App, FixedSizeSource, NullApp, ProposalSource};
+pub use app::{App, FixedSizeSource, NullApp, ProposalSource, SharedApp};
 pub use block::Block;
 pub use certs::{FinalKind, Finalization, Notarization, QuorumCert, UnlockEntry, UnlockProof};
 pub use codec::{CodecError, Wire};
