@@ -45,6 +45,10 @@ fn run_with_beacon(seeded: Option<u64>, topo: &Topology, payload: u64, secs: u64
         client_latency: None,
         requests_submitted: 0,
         requests_committed: 0,
+        requests_lost: 0,
+        requests_pending: 0,
+        requests_retried: 0,
+        duplicates_suppressed: 0,
         goodput_rps: 0.0,
         fast_share: m.fast_path_share(ReplicaId(0)),
         committed_rounds: sim.auditor().committed_rounds(),

@@ -9,25 +9,88 @@
 //! run is a deterministic function of the seed, so the whole table
 //! reproduces bit-for-bit.
 //!
-//! Run: `cargo run --release -p banyan-bench --bin saturation_sweep \
-//!       [--quick] [secs]`
+//! Run: `cargo run --release -p banyan-bench --bin saturation_sweep -- \
+//!       [--quick] [--json] [--gossip] [--retry-ms N] [--fanout K] \
+//!       [--assert-no-drop] [secs]`
 //!
-//! `--quick` shrinks the sweep to a CI-sized smoke test (fewer
-//! populations, short runs); `secs` overrides the per-point duration.
+//! * `--quick` shrinks the sweep to a CI-sized smoke test;
+//! * `--json` emits one machine-readable JSON object per protocol
+//!   (`banyan_bench::sweep::sweep_json`) instead of the table, for the
+//!   bench trajectory (`BENCH_*.json`) and CI;
+//! * `--gossip`, `--retry-ms N`, `--fanout K` enable the
+//!   request-dissemination layer (plus a drain phase sized to the retry
+//!   period, so loss accounting settles);
+//! * `--assert-no-drop` exits nonzero if any past-knee point falls below
+//!   90% of the plateau goodput or, with retry/gossip on, loses requests
+//!   — the CI regression gate for the dissemination layer;
+//! * `secs` overrides the per-point measured duration.
+//!
+//! Without dissemination flags the sweep reproduces the historical
+//! single-pool, no-retry figures bit-for-bit — past the knee, requests
+//! batched into never-finalized proposals are lost and goodput *drops* as
+//! the effective closed-loop population shrinks. With `--gossip` and
+//! `--retry-ms`, lost requests re-enter the system and goodput holds its
+//! plateau.
 
 use banyan_bench::runner::Scenario;
-use banyan_bench::sweep::{knee_index, measure, point_row, sweep_header};
+use banyan_bench::sweep::{knee_index, measure, point_row, sweep_header, sweep_json, SweepPoint};
 use banyan_simnet::topology::Topology;
 use banyan_types::time::Duration;
 
+struct Args {
+    quick: bool,
+    json: bool,
+    gossip: bool,
+    retry_ms: Option<u64>,
+    fanout: usize,
+    assert_no_drop: bool,
+    secs: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        json: false,
+        gossip: false,
+        retry_ms: None,
+        fanout: 1,
+        assert_no_drop: false,
+        secs: None,
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--json" => args.json = true,
+            "--gossip" => args.gossip = true,
+            "--assert-no-drop" => args.assert_no_drop = true,
+            "--retry-ms" => {
+                args.retry_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--retry-ms takes a millisecond count"),
+                )
+            }
+            "--fanout" => {
+                args.fanout = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--fanout takes a replica count")
+            }
+            other => match other.parse() {
+                Ok(v) => args.secs = Some(v),
+                Err(_) => panic!("unknown argument {other:?}"),
+            },
+        }
+    }
+    args
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let secs: u64 = args
-        .iter()
-        .find_map(|a| a.parse().ok())
-        .unwrap_or(if quick { 2 } else { 10 });
-    let populations: &[u16] = if quick {
+    let args = parse_args();
+    let secs: u64 = args.secs.unwrap_or(if args.quick { 2 } else { 10 });
+    let populations: &[u16] = if args.quick {
         &[1, 4, 16, 64]
     } else {
         &[1, 2, 4, 8, 16, 32, 64, 128, 256]
@@ -36,46 +99,119 @@ fn main() {
     let think = Duration::ZERO;
     let request_size = 512;
     let seed = 42;
+    let disseminating = args.gossip || args.retry_ms.is_some() || args.fanout > 1;
+    // Drain long enough for a few retry rounds (or a few consensus
+    // rounds, when only gossip/fanout is on) to settle loss accounting.
+    let drain_secs = if disseminating {
+        (3 * args.retry_ms.unwrap_or(500)).div_ceil(1_000).max(2)
+    } else {
+        0
+    };
     // 100 Mbit/s egress: tight enough that block serialization — not the
     // sweep's upper population bound — caps goodput, so the knee falls
     // inside the swept range.
     let topology = || Topology::uniform(4, Duration::from_millis(5)).with_egress_bps(100_000_000);
 
-    println!(
-        "# Saturation sweep — n=4 uniform 5 ms WAN at 100 Mbit/s egress, window={window}, \
-         {request_size} B requests, think=0, {secs}s per point, seed={seed}"
-    );
-    println!("# goodput = committed requests/s; knee = first point at 90% of plateau goodput");
-    println!(
-        "# note: past saturation, requests batched into never-finalized proposals are lost\n\
-         # (no client retry yet — see ROADMAP), which can shrink the effective population\n"
-    );
+    if !args.json {
+        println!(
+            "# Saturation sweep — n=4 uniform 5 ms WAN at 100 Mbit/s egress, window={window}, \
+             {request_size} B requests, think=0, {secs}s per point, seed={seed}"
+        );
+        println!("# goodput = committed requests/s; knee = first point at 90% of plateau goodput");
+        match (args.gossip, args.retry_ms) {
+            (false, None) if args.fanout == 1 => println!(
+                "# dissemination off: past saturation, requests batched into never-finalized\n\
+                 # proposals are lost (lost column) and the effective population shrinks\n"
+            ),
+            _ => println!(
+                "# dissemination on (gossip={}, retry={:?} ms, fanout={}), drain={drain_secs}s: \
+                 lost must be 0\n",
+                args.gossip, args.retry_ms, args.fanout
+            ),
+        }
+    }
 
+    let mut failures: Vec<String> = Vec::new();
     for (label, protocol) in [
         ("chained (banyan)", "banyan"),
         ("hotstuff", "hotstuff"),
         ("streamlet", "streamlet"),
     ] {
-        println!("## {label}");
-        println!("{}", sweep_header());
-        let base = Scenario::new(protocol, topology(), 1, 1)
+        let mut base = Scenario::new(protocol, topology(), 1, 1)
             .request_size(request_size)
             .secs(secs)
-            .seed(seed);
-        let points: Vec<_> = populations
+            .seed(seed)
+            .drain(drain_secs)
+            .fanout(args.fanout);
+        if args.gossip {
+            base = base.gossip();
+        }
+        if let Some(ms) = args.retry_ms {
+            base = base.retry_timeout(Duration::from_millis(ms));
+        }
+        let points: Vec<SweepPoint> = populations
             .iter()
             .map(|&clients| measure(&base, clients, window, think))
             .collect();
         let knee = knee_index(&points);
-        for (i, p) in points.iter().enumerate() {
-            println!("{}", point_row(p, knee == Some(i)));
+
+        if args.json {
+            println!("{}", sweep_json(protocol, &points));
+        } else {
+            println!("## {label}");
+            println!("{}", sweep_header());
+            for (i, p) in points.iter().enumerate() {
+                println!("{}", point_row(p, knee == Some(i)));
+            }
+            match knee {
+                Some(i) => println!(
+                    "saturates at ~{} clients: {:.0} req/s goodput, p50 {:.1} ms / p99 {:.1} ms\n",
+                    points[i].clients, points[i].goodput_rps, points[i].p50_ms, points[i].p99_ms
+                ),
+                None => println!("no goodput observed — sweep too short?\n"),
+            }
         }
-        match knee {
-            Some(i) => println!(
-                "saturates at ~{} clients: {:.0} req/s goodput, p50 {:.1} ms / p99 {:.1} ms\n",
-                points[i].clients, points[i].goodput_rps, points[i].p50_ms, points[i].p99_ms
-            ),
-            None => println!("no goodput observed — sweep too short?\n"),
+
+        if args.assert_no_drop {
+            check_no_drop(protocol, &points, knee, disseminating, &mut failures);
+        }
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// The dissemination regression gate: past the knee, goodput must hold
+/// (≥ 90% of the plateau — the same fraction that defines the knee), and
+/// with retry/gossip enabled no request may be lost after the drain.
+fn check_no_drop(
+    protocol: &str,
+    points: &[SweepPoint],
+    knee: Option<usize>,
+    disseminating: bool,
+    failures: &mut Vec<String>,
+) {
+    let Some(knee) = knee else {
+        failures.push(format!("{protocol}: sweep committed nothing"));
+        return;
+    };
+    let plateau = points.iter().map(|p| p.goodput_rps).fold(0.0, f64::max);
+    for p in &points[knee..] {
+        if p.goodput_rps < 0.9 * plateau {
+            failures.push(format!(
+                "{protocol}: goodput drops past the knee ({:.1} < 90% of {:.1} req/s at {} clients)",
+                p.goodput_rps, plateau, p.clients
+            ));
+        }
+        if disseminating && p.lost > 0 {
+            failures.push(format!(
+                "{protocol}: {} request(s) lost at {} clients despite retry/gossip",
+                p.lost, p.clients
+            ));
         }
     }
 }

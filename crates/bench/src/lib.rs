@@ -15,4 +15,4 @@ pub mod sweep;
 pub use runner::{
     build_simulation, header, human_bytes, row, run, run_metrics, run_observed, Outcome, Scenario,
 };
-pub use sweep::{knee_index, measure, point_row, sweep_header, SweepPoint};
+pub use sweep::{knee_index, measure, point_json, point_row, sweep_header, sweep_json, SweepPoint};

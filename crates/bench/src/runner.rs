@@ -6,6 +6,7 @@
 //! bytes per second at a non-faulty replica, per-replica block intervals.
 
 use banyan_core::builder::ClusterBuilder;
+use banyan_core::chained::ByzantineMode;
 use banyan_runtime::driver::CommitSink;
 use banyan_simnet::faults::FaultPlan;
 use banyan_simnet::metrics::{LatencyStats, RunMetrics, SafetyAuditor};
@@ -45,6 +46,21 @@ pub struct Scenario {
     pub think_time: Duration,
     /// Bytes per client request (only meaningful with a client workload).
     pub request_size: u64,
+    /// Gossip pending requests to every replica (dissemination layer).
+    /// Off by default — the historical single-pool behavior.
+    pub gossip: bool,
+    /// Per-request client retransmission timeout; `None` (the default)
+    /// means requests lost to never-finalized proposals stay lost.
+    pub retry: Option<Duration>,
+    /// Replicas each request is submitted to (1 = the historical single
+    /// target; `f + 1` is the classic censorship-resistant setting).
+    pub fanout: usize,
+    /// Extra seconds to run after freezing the workload, letting
+    /// in-flight requests drain to a commit. 0 (the default) skips the
+    /// drain phase entirely, preserving historical figures bit-for-bit.
+    pub drain_secs: u64,
+    /// Per-replica Byzantine behaviors (chained engines only).
+    pub byzantine: Vec<(u16, ByzantineMode)>,
     /// Protocol `Δ`; `None` picks `max one-way delay + 10 ms` per §9.2
     /// ("larger than the message delay experienced without network
     /// disruptions").
@@ -79,6 +95,11 @@ impl Scenario {
             window: 0,
             think_time: Duration::ZERO,
             request_size: 0,
+            gossip: false,
+            retry: None,
+            fanout: 1,
+            drain_secs: 0,
+            byzantine: Vec::new(),
             delta: None,
             secs: 30,
             seed: 42,
@@ -122,10 +143,57 @@ impl Scenario {
         self
     }
 
+    /// Enables pending-request gossip: a request submitted to any replica
+    /// is forwarded to every peer (through the modeled network) within
+    /// one gossip round, so every potential leader can batch it.
+    pub fn gossip(mut self) -> Self {
+        self.gossip = true;
+        self
+    }
+
+    /// Enables client-side retransmission: a request not observed
+    /// committed within `timeout` is resubmitted (same id, original
+    /// submit timestamp) and re-armed until it commits.
+    pub fn retry_timeout(mut self, timeout: Duration) -> Self {
+        self.retry = Some(timeout);
+        self
+    }
+
+    /// Submits every request to `fanout` replicas instead of one
+    /// (clamped to the cluster size; `f + 1` tolerates any `f` censoring
+    /// or crashed replicas).
+    pub fn fanout(mut self, fanout: usize) -> Self {
+        assert!(fanout > 0, "fanout must be positive");
+        self.fanout = fanout;
+        self
+    }
+
+    /// Adds a drain phase: after the measured `secs`, the workload is
+    /// frozen (no new submissions) and the run continues `secs_extra`
+    /// more seconds so in-flight requests finish. With retry and/or
+    /// gossip on, `Outcome::requests_lost` must end at zero.
+    pub fn drain(mut self, secs_extra: u64) -> Self {
+        self.drain_secs = secs_extra;
+        self
+    }
+
+    /// Marks `replica` as Byzantine with the given behavior (chained
+    /// engines only; baselines ignore it).
+    pub fn byzantine(mut self, replica: u16, mode: ByzantineMode) -> Self {
+        self.byzantine.push((replica, mode));
+        self
+    }
+
     /// True when the scenario runs any client workload (open or closed
     /// loop) instead of leader-minted synthetic payloads.
     pub fn client_driven(&self) -> bool {
         self.clients > 0 || self.rate > 0
+    }
+
+    /// True when any dissemination-layer feature (gossip, retry, submit
+    /// fan-out) is enabled.
+    pub fn disseminating(&self) -> bool {
+        self.gossip || self.retry.is_some() || self.fanout > 1
     }
 
     /// Sets the simulated duration in seconds.
@@ -186,10 +254,27 @@ pub struct Outcome {
     pub client_latency: Option<LatencyStats>,
     /// Client requests submitted / committed (0/0 without a workload).
     pub requests_submitted: u64,
-    /// Client requests that reached a committed block.
+    /// Client requests that reached a committed block (deduped by id —
+    /// a re-gossiped or retried request counts once).
     pub requests_committed: u64,
-    /// Goodput: committed client requests per second (0 without a
-    /// workload) — the saturation sweep's y-axis.
+    /// Requests lost to the request path: submitted but neither observed
+    /// committed nor pending in any pool at the end of the run (see
+    /// `RunMetrics::requests_lost`). With retry/gossip plus a drain
+    /// phase this must be 0.
+    pub requests_lost: u64,
+    /// Requests still pending in mempools at the end of the run.
+    pub requests_pending: u64,
+    /// Client retransmissions performed over the run.
+    pub requests_retried: u64,
+    /// Batched request occurrences suppressed by exactly-once dedup
+    /// (copies of an already-committed id in a later block).
+    pub duplicates_suppressed: u64,
+    /// Goodput: committed client requests per second of *measured* time
+    /// (0 without a workload) — the saturation sweep's y-axis. Commits
+    /// landing in a drain phase still count (they were submitted during
+    /// the measured window; draining just flushes the pipeline), but the
+    /// drain seconds do not: identical to committed/end-time for runs
+    /// without a drain phase.
     pub goodput_rps: f64,
     /// Share of explicit commits taken via the fast path at a non-faulty
     /// replica (0 for non-Banyan protocols).
@@ -222,12 +307,22 @@ pub fn build_simulation(scenario: &Scenario) -> Simulation {
         .forwarding(scenario.forwarding)
         .piggyback(scenario.piggyback)
         .baseline_timeout(scenario.timeout);
+    for (replica, mode) in &scenario.byzantine {
+        builder = builder.byzantine(*replica, mode.clone());
+    }
     // Workload: either the paper's leader-minted synthetic payloads, or
     // per-replica mempools fed by a client population (closed loop takes
-    // precedence over open loop).
+    // precedence over open loop). Gossiping pools queue local pushes for
+    // forwarding from the first (priming) submission on.
     let mempools: Option<Vec<SharedMempool>> = scenario.client_driven().then(|| {
         (0..n)
-            .map(|_| Mempool::shared(DEFAULT_MEMPOOL_CAPACITY))
+            .map(|_| {
+                if scenario.gossip {
+                    Mempool::shared_gossiping(DEFAULT_MEMPOOL_CAPACITY)
+                } else {
+                    Mempool::shared(DEFAULT_MEMPOOL_CAPACITY)
+                }
+            })
             .collect()
     });
     builder = match &mempools {
@@ -257,21 +352,34 @@ pub fn build_simulation(scenario: &Scenario) -> Simulation {
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(1);
         if scenario.clients > 0 {
-            sim.attach_closed_loop(ClosedLoopWorkload::new(
+            let mut workload = ClosedLoopWorkload::new(
                 scenario.clients,
                 scenario.window,
                 scenario.think_time,
                 scenario.request_size,
                 client_seed,
                 pools,
-            ));
+            );
+            if let Some(timeout) = scenario.retry {
+                workload = workload.with_retry(timeout);
+            }
+            if scenario.fanout > 1 {
+                workload = workload.with_fanout(scenario.fanout);
+            }
+            sim.attach_closed_loop(workload);
         } else {
-            sim.attach_workload(ClientWorkload::open_loop(
-                scenario.rate,
-                scenario.request_size,
-                client_seed,
-                pools,
-            ));
+            let mut workload =
+                ClientWorkload::open_loop(scenario.rate, scenario.request_size, client_seed, pools);
+            if let Some(timeout) = scenario.retry {
+                workload = workload.with_retry(timeout);
+            }
+            if scenario.fanout > 1 {
+                workload = workload.with_fanout(scenario.fanout);
+            }
+            sim.attach_workload(workload);
+        }
+        if scenario.disseminating() {
+            sim.enable_dissemination(scenario.gossip);
         }
     }
     sim
@@ -287,6 +395,16 @@ pub fn build_simulation(scenario: &Scenario) -> Simulation {
 pub fn run_metrics(scenario: &Scenario) -> (RunMetrics, SafetyAuditor) {
     let mut sim = build_simulation(scenario);
     sim.run_until(Time(Duration::from_secs(scenario.secs).as_nanos()));
+    if scenario.drain_secs > 0 {
+        // Drain phase: freeze the client population (retries of
+        // already-submitted requests keep firing) and let in-flight work
+        // finish, so loss accounting reflects requests that can *never*
+        // commit rather than ones still in the pipe.
+        sim.freeze_workload();
+        sim.run_until(Time(
+            Duration::from_secs(scenario.secs + scenario.drain_secs).as_nanos(),
+        ));
+    }
     sim.into_results()
 }
 
@@ -324,9 +442,14 @@ fn summarize(scenario: &Scenario, m: &RunMetrics, auditor: &SafetyAuditor) -> Ou
 
     let intervals = m.block_intervals(observer);
     let interval_stats = LatencyStats::from_samples(&intervals);
-    // One decode pass over the commit log serves both the stats and the
-    // committed-request count.
-    let client_samples = scenario.client_driven().then(|| m.client_latencies());
+    // One decode pass over the commit log serves the latency stats, the
+    // committed-request count and the duplicate counter.
+    let client_report = scenario
+        .client_driven()
+        .then(|| m.client_samples_with_duplicates());
+    let client_samples: Option<Vec<Duration>> = client_report
+        .as_ref()
+        .map(|(samples, _)| samples.iter().map(|&(_, d)| d).collect());
     let requests_committed = client_samples.as_ref().map_or(0, |s| s.len() as u64);
     Outcome {
         latency: m.proposer_latency_stats(),
@@ -335,10 +458,11 @@ fn summarize(scenario: &Scenario, m: &RunMetrics, auditor: &SafetyAuditor) -> Ou
         client_latency: client_samples.as_deref().map(LatencyStats::from_samples),
         requests_submitted: m.requests_submitted,
         requests_committed,
-        goodput_rps: banyan_simnet::metrics::per_second(
-            requests_committed,
-            m.end_time.as_secs_f64(),
-        ),
+        requests_lost: m.requests_lost(),
+        requests_pending: m.requests_pending,
+        requests_retried: m.requests_retried,
+        duplicates_suppressed: client_report.as_ref().map_or(0, |&(_, dups)| dups),
+        goodput_rps: banyan_simnet::metrics::per_second(requests_committed, scenario.secs as f64),
         fast_share: m.fast_path_share(observer),
         committed_rounds: auditor.committed_rounds(),
         messages: m.messages_sent,

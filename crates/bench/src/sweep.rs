@@ -30,8 +30,16 @@ pub struct SweepPoint {
     pub throughput_mbps: f64,
     /// Requests submitted over the run.
     pub submitted: u64,
-    /// Requests committed over the run.
+    /// Requests committed over the run (deduped by id).
     pub committed: u64,
+    /// Requests lost: `submitted − completed − pending` at the end of
+    /// the run (after the drain phase, when one is configured). Nonzero
+    /// means work vanished into never-finalized proposals.
+    pub lost: u64,
+    /// Client retransmissions performed.
+    pub retried: u64,
+    /// Duplicate committed occurrences suppressed by exactly-once dedup.
+    pub duplicates: u64,
 }
 
 /// The fraction of the plateau goodput a point must reach to qualify as
@@ -73,21 +81,35 @@ pub fn measure(base: &Scenario, clients: u16, window: u32, think_time: Duration)
         throughput_mbps: out.throughput_mbps,
         submitted: out.requests_submitted,
         committed: out.requests_committed,
+        lost: out.requests_lost,
+        retried: out.requests_retried,
+        duplicates: out.duplicates_suppressed,
     }
 }
 
 /// Header matching [`point_row`].
 pub fn sweep_header() -> String {
     format!(
-        "{:>8} {:>7} {:>12} {:>10} {:>10} {:>9} {:>10} {:>10}  {}",
-        "clients", "window", "goodput/s", "p50 ms", "p99 ms", "MB/s", "submitted", "committed", ""
+        "{:>8} {:>7} {:>12} {:>10} {:>10} {:>9} {:>10} {:>10} {:>6} {:>8} {:>6}  {}",
+        "clients",
+        "window",
+        "goodput/s",
+        "p50 ms",
+        "p99 ms",
+        "MB/s",
+        "submitted",
+        "committed",
+        "lost",
+        "retried",
+        "dups",
+        ""
     )
 }
 
 /// Formats one sweep point; `knee` appends the saturation marker.
 pub fn point_row(p: &SweepPoint, knee: bool) -> String {
     format!(
-        "{:>8} {:>7} {:>12.1} {:>10.2} {:>10.2} {:>9.3} {:>10} {:>10}  {}",
+        "{:>8} {:>7} {:>12.1} {:>10.2} {:>10.2} {:>9.3} {:>10} {:>10} {:>6} {:>8} {:>6}  {}",
         p.clients,
         p.window,
         p.goodput_rps,
@@ -96,7 +118,49 @@ pub fn point_row(p: &SweepPoint, knee: bool) -> String {
         p.throughput_mbps,
         p.submitted,
         p.committed,
+        p.lost,
+        p.retried,
+        p.duplicates,
         if knee { "<- knee" } else { "" }
+    )
+}
+
+/// One sweep point as a JSON object (hand-rolled — every field is a
+/// number, so no escaping is needed).
+pub fn point_json(p: &SweepPoint) -> String {
+    format!(
+        "{{\"clients\":{},\"window\":{},\"goodput_rps\":{:.3},\"p50_ms\":{:.4},\
+         \"p99_ms\":{:.4},\"throughput_mbps\":{:.5},\"submitted\":{},\"committed\":{},\
+         \"lost\":{},\"retried\":{},\"duplicates\":{}}}",
+        p.clients,
+        p.window,
+        p.goodput_rps,
+        p.p50_ms,
+        p.p99_ms,
+        p.throughput_mbps,
+        p.submitted,
+        p.committed,
+        p.lost,
+        p.retried,
+        p.duplicates
+    )
+}
+
+/// One protocol's whole sweep as a JSON object:
+/// `{"protocol":…,"knee":…,"points":[…]}` with `knee` the knee *index*
+/// (or `null`). Machine-readable output for trajectory tracking
+/// (`BENCH_*.json`) and CI assertions.
+pub fn sweep_json(protocol: &str, points: &[SweepPoint]) -> String {
+    let knee = match knee_index(points) {
+        Some(i) => i.to_string(),
+        None => "null".to_string(),
+    };
+    let body: Vec<String> = points.iter().map(point_json).collect();
+    format!(
+        "{{\"protocol\":\"{}\",\"knee\":{},\"points\":[{}]}}",
+        protocol,
+        knee,
+        body.join(",")
     )
 }
 
@@ -114,6 +178,9 @@ mod tests {
             throughput_mbps: 1.0,
             submitted: 100,
             committed: 90,
+            lost: 3,
+            retried: 7,
+            duplicates: 1,
         }
     }
 
@@ -148,7 +215,25 @@ mod tests {
         let header = sweep_header();
         let row = point_row(&pt(4, 123.4), true);
         assert!(row.contains("<- knee"));
-        assert!(point_row(&pt(4, 123.4), false).trim_end().ends_with("90"));
         assert!(header.contains("goodput/s"));
+        assert!(header.contains("lost"));
+        assert!(row.contains(" 3 "), "lost column present: {row}");
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let points = vec![pt(1, 50.0), pt(2, 100.0)];
+        let json = sweep_json("banyan", &points);
+        assert!(json.starts_with("{\"protocol\":\"banyan\",\"knee\":1,"));
+        assert_eq!(json.matches("\"clients\":").count(), 2);
+        assert!(json.contains("\"lost\":3"));
+        assert!(json.contains("\"retried\":7"));
+        assert!(json.contains("\"duplicates\":1"));
+        assert!(json.ends_with("]}"));
+        // An empty sweep has a null knee and an empty points array.
+        assert_eq!(
+            sweep_json("x", &[]),
+            "{\"protocol\":\"x\",\"knee\":null,\"points\":[]}"
+        );
     }
 }

@@ -1,0 +1,166 @@
+//! End-to-end tests of the request-dissemination layer: gossip, client
+//! retry and submit fan-out recover requests that the baseline loses to
+//! never-finalized proposals, commit every request exactly once, and stay
+//! bit-deterministic per seed.
+
+use banyan_bench::runner::{run_metrics, Scenario};
+use banyan_simnet::topology::Topology;
+use banyan_types::time::Duration;
+
+/// A closed-loop population big enough to push all three engines past
+/// their saturation knee on this topology (where the baseline provably
+/// loses requests — see the `saturation_sweep` harness).
+fn saturated(protocol: &str) -> Scenario {
+    Scenario::new(
+        protocol,
+        Topology::uniform(4, Duration::from_millis(5)).with_egress_bps(100_000_000),
+        1,
+        1,
+    )
+    .closed_loop(128, 4, Duration::ZERO)
+    .request_size(512)
+    .secs(2)
+    .seed(42)
+}
+
+/// The acceptance criterion: with gossip + retry enabled, a drained
+/// closed-loop run loses nothing — every submitted request is observed
+/// committed, for all three engines.
+#[test]
+fn gossip_and_retry_drain_to_zero_loss() {
+    for protocol in ["banyan", "hotstuff", "streamlet"] {
+        let scenario = saturated(protocol)
+            .gossip()
+            .retry_timeout(Duration::from_millis(200))
+            .drain(3);
+        let (m, auditor) = run_metrics(&scenario);
+        assert!(auditor.is_safe(), "{protocol}: unsafe run");
+        assert!(m.requests_submitted > 0, "{protocol}: nothing submitted");
+        assert_eq!(
+            m.requests_lost(),
+            0,
+            "{protocol}: lost {} of {} requests despite gossip+retry \
+             (completed {}, pending {})",
+            m.requests_lost(),
+            m.requests_submitted,
+            m.requests_completed,
+            m.requests_pending
+        );
+        assert_eq!(
+            m.requests_completed, m.requests_submitted,
+            "{protocol}: after the drain every submitted request must have committed"
+        );
+        assert_eq!(m.requests_pending, 0, "{protocol}: pools must drain");
+    }
+}
+
+/// The baseline control: the same saturated scenario without the
+/// dissemination layer strands requests even after a drain phase — the
+/// exact failure mode the layer exists to fix.
+#[test]
+fn baseline_without_dissemination_strands_requests() {
+    // drain_secs alone does not enable dissemination features, so this
+    // stays a pure control: frozen population, no retry, no gossip.
+    let (m, auditor) = run_metrics(&saturated("banyan").drain(3));
+    assert!(auditor.is_safe());
+    assert!(
+        m.requests_lost() > 0,
+        "expected the no-retry baseline to lose requests past the knee \
+         (submitted {}, completed {}, pending {})",
+        m.requests_submitted,
+        m.requests_completed,
+        m.requests_pending
+    );
+    assert_eq!(m.requests_retried, 0, "baseline must not retry");
+}
+
+/// Exactly-once: a request fanned out to every pool, gossiped, and
+/// aggressively retried still commits (and is measured) exactly once.
+#[test]
+fn fanned_out_gossiped_and_retried_requests_commit_exactly_once() {
+    let scenario = Scenario::new(
+        "banyan",
+        Topology::uniform(4, Duration::from_millis(5)),
+        1,
+        1,
+    )
+    .closed_loop(8, 2, Duration::ZERO)
+    .request_size(256)
+    .secs(2)
+    .seed(7)
+    .gossip()
+    .fanout(4)
+    .retry_timeout(Duration::from_millis(30))
+    .drain(1);
+    let (m, auditor) = run_metrics(&scenario);
+    assert!(auditor.is_safe());
+    // Every request committed, none lost, none double-counted: the
+    // deduped committed count equals the workload's first-delivery count
+    // equals the number of distinct submitted ids.
+    assert_eq!(m.requests_lost(), 0);
+    assert_eq!(m.requests_completed, m.requests_submitted);
+    assert_eq!(
+        m.requests_committed(),
+        m.requests_submitted,
+        "deduped commit count must equal distinct submitted requests"
+    );
+    assert_eq!(
+        m.client_latencies().len() as u64,
+        m.requests_submitted,
+        "one latency sample per request, never two"
+    );
+}
+
+/// Dissemination traffic rides the same deterministic event loop as
+/// consensus: same seed ⇒ bit-identical run, different seed ⇒ divergence.
+#[test]
+fn dissemination_runs_are_deterministic() {
+    let scenario = |seed: u64| {
+        saturated("banyan")
+            .seed(seed)
+            .gossip()
+            .fanout(2)
+            .retry_timeout(Duration::from_millis(100))
+            .drain(2)
+    };
+    let (a, auditor_a) = run_metrics(&scenario(42));
+    let (b, _) = run_metrics(&scenario(42));
+    assert!(auditor_a.is_safe());
+    assert_eq!(a, b, "same seed must reproduce the run exactly");
+    let (c, _) = run_metrics(&scenario(43));
+    assert_ne!(a, c, "different seeds must diverge");
+}
+
+/// Gossip's latency claim (ROADMAP "Request dissemination"): at low
+/// rates, a request no longer waits in one replica's pool until that
+/// replica happens to lead — it reaches every potential leader within
+/// one gossip round, cutting the end-to-end tail for every engine.
+#[test]
+fn gossip_cuts_tail_latency_at_low_rates() {
+    let low = |protocol: &str| {
+        Scenario::new(
+            protocol,
+            Topology::uniform(4, Duration::from_millis(5)).with_egress_bps(100_000_000),
+            1,
+            1,
+        )
+        .closed_loop(2, 1, Duration::from_millis(20))
+        .request_size(512)
+        .secs(3)
+        .seed(42)
+    };
+    for protocol in ["banyan", "hotstuff", "streamlet"] {
+        let baseline = banyan_bench::runner::run(&low(protocol));
+        let gossiped = banyan_bench::runner::run(&low(protocol).gossip());
+        let (b, g) = (
+            baseline.client_latency.expect("client-driven"),
+            gossiped.client_latency.expect("client-driven"),
+        );
+        assert!(
+            g.p99_ms < b.p99_ms,
+            "{protocol}: gossip must cut the e2e tail, got p99 {:.2} -> {:.2} ms",
+            b.p99_ms,
+            g.p99_ms
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Per-client fairness under a censoring Byzantine leader (ROADMAP
+//! "Per-client fairness" follow-up): a replica that silently drops the
+//! targeted clients' requests when batching hurts *only* those clients —
+//! and the dissemination layer (gossip + retry) restores their service.
+//!
+//! The mechanism: a targeted request that lands in the censor's pool is
+//! drained and discarded. With retry (but no gossip) the client must wait
+//! out a full retransmission period — and the retry may land in the
+//! censor's pool again — so the targeted clients' mean end-to-end latency
+//! blows up while everyone else's stays at the consensus floor. With
+//! gossip on top, every honest replica holds a copy, so the next honest
+//! leader commits it within a round or two and the spread collapses.
+
+use banyan_bench::runner::{run_metrics, Scenario};
+use banyan_core::chained::ByzantineMode;
+use banyan_simnet::topology::Topology;
+use banyan_types::time::Duration;
+
+/// Clients targeted by the censor (of 8 clients total).
+const TARGETED: [u16; 2] = [0, 1];
+const UNTARGETED: [u16; 6] = [2, 3, 4, 5, 6, 7];
+
+/// 8 closed-loop clients on a 4-replica cluster; replica 1 censors
+/// clients 0 and 1 whenever it proposes. Retry is always on (without it
+/// censored requests are simply lost and produce *no* latency samples at
+/// all — the slot leaks instead of the latency blowing up).
+fn censored(gossip: bool) -> Scenario {
+    let mut scenario = Scenario::new(
+        "banyan",
+        Topology::uniform(4, Duration::from_millis(5)),
+        1,
+        1,
+    )
+    .closed_loop(8, 2, Duration::ZERO)
+    .request_size(256)
+    .secs(4)
+    .seed(42)
+    .retry_timeout(Duration::from_millis(400))
+    .drain(2)
+    .byzantine(
+        1,
+        ByzantineMode::CensorClients {
+            clients: TARGETED.to_vec(),
+        },
+    );
+    if gossip {
+        scenario = scenario.gossip();
+    }
+    scenario
+}
+
+#[test]
+fn censorship_blows_up_only_the_targeted_clients_spread() {
+    let (m, auditor) = run_metrics(&censored(false));
+    assert!(auditor.is_safe(), "censorship is protocol-valid");
+
+    let targeted_max = m.max_client_mean_ms(&TARGETED);
+    let untargeted_max = m.max_client_mean_ms(&UNTARGETED);
+    assert!(untargeted_max > 0.0, "untargeted clients must commit");
+    assert!(
+        targeted_max > 3.0 * untargeted_max,
+        "targeted clients' mean latency must blow up: targeted max \
+         {targeted_max:.1} ms vs untargeted max {untargeted_max:.1} ms"
+    );
+
+    // The ClientLoadSummary spread tells the same story: its worst
+    // per-client mean IS a targeted client, its best is untouched.
+    let summary = m.client_load_summary();
+    assert_eq!(summary.clients_observed, 8, "nobody is starved outright");
+    assert!(
+        (summary.max_client_mean_ms - targeted_max).abs() < 1e-9,
+        "the summary's worst client must be a censored one"
+    );
+    assert!(
+        summary.min_client_mean_ms <= untargeted_max,
+        "the summary's best client must be an untouched one"
+    );
+}
+
+#[test]
+fn gossip_plus_retry_restore_fairness_under_censorship() {
+    let (m, auditor) = run_metrics(&censored(true));
+    assert!(auditor.is_safe());
+
+    let targeted_max = m.max_client_mean_ms(&TARGETED);
+    let untargeted_max = m.max_client_mean_ms(&UNTARGETED);
+    assert!(untargeted_max > 0.0, "untargeted clients must commit");
+    assert!(
+        targeted_max < 2.0 * untargeted_max,
+        "with gossip every honest replica holds a copy, so censored \
+         requests commit via the next honest leader: targeted max \
+         {targeted_max:.1} ms vs untargeted max {untargeted_max:.1} ms"
+    );
+    // And nothing is lost: the censor can delay the targeted clients'
+    // requests, not make them disappear.
+    assert_eq!(m.requests_lost(), 0);
+}

@@ -184,7 +184,7 @@ impl ClusterBuilder {
         self.byzantine
             .iter()
             .find(|(r, _)| *r == i)
-            .map(|(_, m)| *m)
+            .map(|(_, m)| m.clone())
             .unwrap_or(ByzantineMode::Honest)
     }
 

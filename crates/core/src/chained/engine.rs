@@ -51,9 +51,9 @@ pub enum PathMode {
     Banyan,
 }
 
-/// Adversarial behaviors for safety/liveness testing. Honest replicas use
-/// [`ByzantineMode::Honest`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Adversarial behaviors for safety/liveness/fairness testing. Honest
+/// replicas use [`ByzantineMode::Honest`].
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ByzantineMode {
     /// Follow the protocol.
     Honest,
@@ -67,6 +67,17 @@ pub enum ByzantineMode {
     /// Send fast votes for two different blocks when possible (violates
     /// the one-fast-vote-per-round rule honest replicas follow).
     DoubleFastVote,
+    /// Censorship: whenever this replica proposes, it silently drops the
+    /// targeted clients' requests from the batch it pulled from its
+    /// `ProposalSource` (the block ships without them — protocol-valid,
+    /// so no safety machinery triggers; only per-client fairness
+    /// degrades). Requests censored this way were already drained from
+    /// the local pool, so without client retry or gossip they are lost
+    /// outright.
+    CensorClients {
+        /// The client ids whose requests are dropped.
+        clients: Vec<u16>,
+    },
 }
 
 /// How many rounds of state to keep behind the finalized tip.
@@ -362,6 +373,25 @@ impl ChainedEngine {
         best.map(|(_, h)| h)
     }
 
+    /// The censoring adversary's hook: drops targeted clients' requests
+    /// from a freshly pulled batch, re-encoding the remainder. Non-batch
+    /// payloads (synthetic, empty) and honest modes pass through
+    /// untouched.
+    fn censor(&self, payload: banyan_types::Payload) -> banyan_types::Payload {
+        let ByzantineMode::CensorClients { clients } = &self.byz else {
+            return payload;
+        };
+        let Some(mut batch) = banyan_mempool::WorkloadBatch::decode(&payload) else {
+            return payload;
+        };
+        batch.requests.retain(|r| !clients.contains(&r.client));
+        if batch.requests.is_empty() {
+            banyan_types::Payload::empty()
+        } else {
+            batch.into_payload()
+        }
+    }
+
     fn build_block(
         &mut self,
         round: Round,
@@ -369,13 +399,14 @@ impl ChainedEngine {
         parent: BlockHash,
         now: Time,
     ) -> (BlockHash, Block, Option<Vote>) {
+        let payload = self.source.next_payload(round, now);
         let mut block = Block {
             round,
             proposer: self.id,
             rank,
             parent,
             proposed_at: now,
-            payload: self.source.next_payload(round, now),
+            payload: self.censor(payload),
             signature: Signature::zero(),
         };
         let hash = block.hash(self.cfg.payload_chunk);
@@ -1229,8 +1260,10 @@ impl Engine for ChainedEngine {
             Message::Sync(sync) => {
                 self.handle_sync(from, sync, now, &mut actions);
             }
-            // Foreign protocol families are ignored.
-            Message::HotStuff(_) | Message::Streamlet(_) => {}
+            // Foreign protocol families — and dissemination traffic,
+            // which belongs to the driver layer, not an engine — are
+            // ignored.
+            Message::HotStuff(_) | Message::Streamlet(_) | Message::Dissemination(_) => {}
         }
         actions
     }

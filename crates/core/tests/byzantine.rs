@@ -33,7 +33,7 @@ fn run_with_byz(
         .delta(Duration::from_millis(20))
         .payload_size(500);
     for (replica, mode) in byz {
-        builder = builder.byzantine(*replica, *mode);
+        builder = builder.byzantine(*replica, mode.clone());
     }
     let engines: Vec<Box<dyn Engine>> = builder.build(protocol);
     let mut sim = Simulation::new(topo, engines, FaultPlan::none(), SimConfig::with_seed(seed));

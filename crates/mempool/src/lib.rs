@@ -1,0 +1,760 @@
+//! The request-dissemination layer: shared mempools, batch encoding,
+//! pending-request gossip and exactly-once commit dedup.
+//!
+//! Banyan's latency claims assume client requests reach the *current*
+//! leader promptly, but a request submitted to one replica's FIFO would
+//! otherwise sit there until that replica happens to lead — and a request
+//! batched into a proposal that never finalizes would be silently lost.
+//! This crate owns everything between a client submission and an engine's
+//! `next_payload` pull:
+//!
+//! * [`Mempool`] — a deterministic FIFO of pending [`Request`]s with
+//!   capacity eviction, duplicate-id rejection, an optional **gossip
+//!   outbox** (locally submitted requests queued for forwarding to peers)
+//!   and **committed-id tracking** (the exactly-once dedup rule: a
+//!   request observed committed is purged from the pending queue and
+//!   every future push or forward of its id is rejected);
+//! * [`SharedMempool`] — the `Arc<Mutex<_>>` handle the driver (producer
+//!   side) and the engine's [`MempoolSource`] (consumer side) share;
+//! * [`MempoolSource`] — a [`ProposalSource`] that drains the pool into
+//!   one [`WorkloadBatch`] payload per proposal, bounded by a record cap
+//!   and a nominal-byte cap;
+//! * [`WorkloadBatch`] — the self-identifying wire encoding of a batch
+//!   (request records + zero padding to the nominal byte size, so the
+//!   bandwidth model charges what a real deployment would ship).
+//!
+//! The gossip traffic itself travels as
+//! [`banyan_types::message::DisseminationMsg`] frames: drivers (the
+//! simulator, the TCP runner) drain [`Mempool::take_outbox`] into
+//! `Forward` broadcasts and apply received forwards via
+//! [`Mempool::accept_forwarded`] — engines never see dissemination
+//! traffic, preserving the purity contract (engines just pull
+//! `next_payload`).
+//!
+//! # The exactly-once dedup rule
+//!
+//! A request id commits **exactly once** at the delivery layer even when
+//! gossip, submit fan-out or client retries put copies of it in several
+//! pools:
+//!
+//! 1. every driver, on observing a commit, calls
+//!    [`Mempool::mark_committed`] for each batched id on *its own*
+//!    replica's pool — purging still-pending copies cluster-wide within
+//!    one commit round and rejecting any later push/forward/retry of the
+//!    id;
+//! 2. copies already drained into in-flight proposals can still land in a
+//!    second committed block (the pool cannot recall them); the metrics
+//!    and `App`-delivery layers therefore dedup by id — the first
+//!    committed occurrence wins, later ones are counted as *suppressed
+//!    duplicates*, never delivered or measured twice.
+//!
+//! Everything is a deterministic function of inputs: replays of a seeded
+//! run reproduce the same pools, batches and forwards bit-for-bit.
+
+#![warn(missing_docs)]
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use banyan_types::app::ProposalSource;
+use banyan_types::codec::{Reader, Wire, Writer};
+use banyan_types::ids::Round;
+use banyan_types::payload::Payload;
+use banyan_types::time::Time;
+
+pub use banyan_types::message::PendingRequest as Request;
+
+/// Magic prefix identifying a [`WorkloadBatch`] payload.
+const BATCH_MAGIC: &[u8; 8] = b"BanyanWB";
+
+/// Default mempool capacity (pending requests per replica).
+pub const DEFAULT_MEMPOOL_CAPACITY: usize = 65_536;
+
+/// Default maximum requests drained into one block.
+pub const DEFAULT_MAX_BATCH: usize = 4_096;
+
+/// Default maximum *nominal bytes* drained into one block (2 MB — twice
+/// the largest block size the paper evaluates), so large requests cannot
+/// inflate a single batch to gigabytes regardless of the record cap.
+pub const DEFAULT_MAX_BATCH_BYTES: u64 = 2_000_000;
+
+/// Outcome of a [`Mempool::push`] (or [`Mempool::accept_forwarded`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Accepted; nothing evicted.
+    Accepted,
+    /// Accepted, and the oldest pending request was evicted to make room.
+    AcceptedEvicting(u64),
+    /// Rejected: a request with the same id is already pending.
+    Duplicate,
+    /// Rejected: a request with this id was already observed committed
+    /// (the exactly-once dedup rule; see the crate docs).
+    Committed,
+}
+
+/// A deterministic FIFO mempool with bounded capacity, an optional gossip
+/// outbox and committed-id tracking.
+///
+/// Requests are served strictly in submission order. A request whose id is
+/// already pending is rejected ([`PushOutcome::Duplicate`]); one whose id
+/// was already [marked committed](Self::mark_committed) is rejected
+/// forever ([`PushOutcome::Committed`]). When the pool is full, pushing a
+/// new request evicts the *oldest* pending one (clients keep the freshest
+/// work).
+///
+/// Committed-id purging is lazy: [`mark_committed`](Self::mark_committed)
+/// removes the id from the pending set in O(1) and leaves a tombstone in
+/// the FIFO, which drains skip — so commit-time dedup stays cheap even
+/// for large pools. [`len`](Self::len) counts live (non-tombstone)
+/// requests only.
+#[derive(Debug)]
+pub struct Mempool {
+    capacity: usize,
+    queue: VecDeque<Request>,
+    pending_ids: HashSet<u64>,
+    /// Ids observed committed; never accepted again.
+    committed_ids: HashSet<u64>,
+    /// When true, locally pushed requests are queued for gossip.
+    gossip: bool,
+    /// Locally submitted requests awaiting a driver's forward broadcast.
+    outbox: VecDeque<Request>,
+    accepted: u64,
+    evicted: u64,
+    duplicates: u64,
+    forwarded_in: u64,
+    rejected_committed: u64,
+}
+
+impl Mempool {
+    /// An empty mempool holding at most `capacity` pending requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "mempool capacity must be positive");
+        Mempool {
+            capacity,
+            queue: VecDeque::new(),
+            pending_ids: HashSet::new(),
+            committed_ids: HashSet::new(),
+            gossip: false,
+            outbox: VecDeque::new(),
+            accepted: 0,
+            evicted: 0,
+            duplicates: 0,
+            forwarded_in: 0,
+            rejected_committed: 0,
+        }
+    }
+
+    /// Builder-style: enables (or disables) the gossip outbox. When
+    /// enabled, every locally [`push`](Self::push)ed request is also
+    /// queued for the driver to forward to peers via
+    /// [`take_outbox`](Self::take_outbox).
+    pub fn with_gossip(mut self, on: bool) -> Self {
+        self.set_gossip(on);
+        self
+    }
+
+    /// Enables (or disables) the gossip outbox in place — the
+    /// shared-handle counterpart of [`with_gossip`](Self::with_gossip).
+    pub fn set_gossip(&mut self, on: bool) {
+        self.gossip = on;
+    }
+
+    /// A new mempool behind the `Arc<Mutex<_>>` the driver and the
+    /// engine's [`MempoolSource`] share.
+    pub fn shared(capacity: usize) -> SharedMempool {
+        Arc::new(Mutex::new(Mempool::new(capacity)))
+    }
+
+    /// Like [`shared`](Self::shared), with the gossip outbox enabled.
+    pub fn shared_gossiping(capacity: usize) -> SharedMempool {
+        Arc::new(Mutex::new(Mempool::new(capacity).with_gossip(true)))
+    }
+
+    /// True when the gossip outbox is enabled.
+    pub fn gossip_enabled(&self) -> bool {
+        self.gossip
+    }
+
+    /// Submits one locally received request. FIFO position is acquisition
+    /// order; with gossip enabled, an accepted request is also queued for
+    /// forwarding.
+    pub fn push(&mut self, req: Request) -> PushOutcome {
+        let outcome = self.insert(req);
+        if self.gossip
+            && matches!(
+                outcome,
+                PushOutcome::Accepted | PushOutcome::AcceptedEvicting(_)
+            )
+        {
+            self.outbox.push_back(req);
+        }
+        outcome
+    }
+
+    /// Accepts a request forwarded by a peer's gossip. Identical to
+    /// [`push`](Self::push) except the request is **not** re-queued for
+    /// gossip (dissemination is one round — forwards never cascade).
+    pub fn accept_forwarded(&mut self, req: Request) -> PushOutcome {
+        let outcome = self.insert(req);
+        if matches!(
+            outcome,
+            PushOutcome::Accepted | PushOutcome::AcceptedEvicting(_)
+        ) {
+            self.forwarded_in += 1;
+        }
+        outcome
+    }
+
+    fn insert(&mut self, req: Request) -> PushOutcome {
+        if self.committed_ids.contains(&req.id) {
+            self.rejected_committed += 1;
+            return PushOutcome::Committed;
+        }
+        if !self.pending_ids.insert(req.id) {
+            self.duplicates += 1;
+            return PushOutcome::Duplicate;
+        }
+        self.accepted += 1;
+        self.queue.push_back(req);
+        if self.pending_ids.len() > self.capacity {
+            let oldest = self.pop_live().expect("over capacity implies a live entry");
+            self.evicted += 1;
+            return PushOutcome::AcceptedEvicting(oldest.id);
+        }
+        PushOutcome::Accepted
+    }
+
+    /// Pops the oldest *live* (non-tombstone) request, discarding any
+    /// leading tombstones left by [`mark_committed`](Self::mark_committed).
+    fn pop_live(&mut self) -> Option<Request> {
+        while let Some(front) = self.queue.pop_front() {
+            if self.pending_ids.remove(&front.id) {
+                return Some(front);
+            }
+        }
+        None
+    }
+
+    /// Records that `id` was observed committed: any pending copy becomes
+    /// a tombstone (skipped by future drains) and every later push,
+    /// forward or retry of the id is rejected with
+    /// [`PushOutcome::Committed`]. Returns `true` the first time the id is
+    /// marked.
+    pub fn mark_committed(&mut self, id: u64) -> bool {
+        if !self.committed_ids.insert(id) {
+            return false;
+        }
+        self.pending_ids.remove(&id);
+        true
+    }
+
+    /// True if `id` was ever [marked committed](Self::mark_committed).
+    pub fn is_committed(&self, id: u64) -> bool {
+        self.committed_ids.contains(&id)
+    }
+
+    /// Drains the gossip outbox: the locally pushed requests a driver
+    /// should forward to peers, oldest first. Requests already observed
+    /// committed in the meantime are dropped rather than forwarded.
+    pub fn take_outbox(&mut self) -> Vec<Request> {
+        self.outbox
+            .drain(..)
+            .filter(|r| !self.committed_ids.contains(&r.id))
+            .collect()
+    }
+
+    /// Removes and returns up to `max` requests, oldest first.
+    pub fn drain(&mut self, max: usize) -> Vec<Request> {
+        self.drain_bounded(max, u64::MAX)
+    }
+
+    /// Removes and returns requests, oldest first, stopping before
+    /// `max_records` is exceeded and before the *nominal* byte total
+    /// (the sum of [`Request::size`]) would exceed `max_bytes`. When
+    /// `max_records > 0`, at least one request is taken when any is
+    /// pending — a single oversized request still ships rather than
+    /// wedging the pool ([`MempoolSource`] rejects a zero record cap at
+    /// construction for the same reason). Tombstones of committed ids are
+    /// discarded along the way, never returned.
+    pub fn drain_bounded(&mut self, max_records: usize, max_bytes: u64) -> Vec<Request> {
+        let mut out = Vec::new();
+        let mut bytes = 0u64;
+        while out.len() < max_records {
+            let Some(front) = self.queue.front() else {
+                break;
+            };
+            if !self.pending_ids.contains(&front.id) {
+                self.queue.pop_front();
+                continue;
+            }
+            let next = bytes.saturating_add(front.size);
+            if !out.is_empty() && next > max_bytes {
+                break;
+            }
+            bytes = next;
+            let req = self.queue.pop_front().expect("front just checked");
+            self.pending_ids.remove(&req.id);
+            out.push(req);
+        }
+        out
+    }
+
+    /// Pending (live) requests.
+    pub fn len(&self) -> usize {
+        self.pending_ids.len()
+    }
+
+    /// Ids of the pending (live) requests, in no particular order. Used
+    /// by loss accounting to count *unique* uncommitted requests across
+    /// pools — with gossip or fan-out, one request can have live copies
+    /// in several pools, and summing [`len`](Self::len)s would hide real
+    /// losses behind surviving copies of other requests.
+    pub fn pending_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.pending_ids.iter().copied()
+    }
+
+    /// True if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending_ids.is_empty()
+    }
+
+    /// Requests accepted so far (including later-evicted ones; local
+    /// pushes and peer forwards alike).
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Requests evicted by capacity pressure so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Requests rejected as pending duplicates so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Peer-forwarded requests accepted so far.
+    pub fn forwarded_in(&self) -> u64 {
+        self.forwarded_in
+    }
+
+    /// Pushes/forwards rejected because the id had already committed.
+    pub fn rejected_committed(&self) -> u64 {
+        self.rejected_committed
+    }
+}
+
+/// A mempool shared between a driver (producer side) and an engine's
+/// [`MempoolSource`] (consumer side).
+pub type SharedMempool = Arc<Mutex<Mempool>>;
+
+/// The requests carried by one block payload, recoverable from the
+/// committed payload bytes.
+///
+/// # Wire encoding
+///
+/// ```text
+/// "BanyanWB"             8-byte magic prefix (self-identification)
+/// count: u32 LE          number of request records
+/// count × 26-byte record, each little-endian:
+///   id: u64  client: u16  size: u64  submitted_at: u64 (ns)
+/// zero padding           up to the batch's nominal size
+/// ```
+///
+/// The record layout is [`banyan_types::message::PendingRequest`]'s —
+/// the same 26 bytes a `DisseminationMsg::Forward` ships per request.
+/// The nominal size is the sum of request sizes, so the simulator's
+/// bandwidth model charges what shipping the real request bytes would
+/// cost. Payloads without the magic prefix (synthetic payloads, empty
+/// blocks, foreign inline content) [`decode`](Self::decode) to `None`;
+/// a truncated or corrupt batch is rejected, never a panic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkloadBatch {
+    /// The batched requests, in mempool (FIFO) order.
+    pub requests: Vec<Request>,
+}
+
+impl WorkloadBatch {
+    /// Bytes of one encoded request record (the [`Request`] `Wire`
+    /// encoding — the same 26 bytes a `DisseminationMsg::Forward`
+    /// ships).
+    const RECORD: usize = 8 + 2 + 8 + 8;
+
+    /// Nominal batch size: the sum of request sizes.
+    pub fn nominal_size(&self) -> u64 {
+        self.requests.iter().map(|r| r.size).sum()
+    }
+
+    /// Encodes the batch as an inline payload (see the type docs).
+    /// Records are written through [`Request`]'s `Wire` impl, so the
+    /// batch layout can never drift from the dissemination layer's.
+    pub fn into_payload(self) -> Payload {
+        let header = BATCH_MAGIC.len() + 4 + self.requests.len() * Self::RECORD;
+        let total = (self.nominal_size() as usize).max(header);
+        let mut w = Writer::with_capacity(total);
+        w.raw(BATCH_MAGIC);
+        w.u32(self.requests.len() as u32);
+        for req in &self.requests {
+            req.encode(&mut w);
+        }
+        let mut bytes = w.into_bytes();
+        bytes.resize(total, 0);
+        Payload::Inline(bytes)
+    }
+
+    /// Decodes a batch from a committed payload. Returns `None` for
+    /// payloads that are not workload batches (synthetic payloads, empty
+    /// blocks, foreign inline content); a truncated or corrupt batch is
+    /// rejected, never a panic.
+    pub fn decode(payload: &Payload) -> Option<WorkloadBatch> {
+        let Payload::Inline(bytes) = payload else {
+            return None;
+        };
+        let rest = bytes.strip_prefix(BATCH_MAGIC.as_slice())?;
+        let mut reader = Reader::new(rest);
+        let count = reader.u32().ok()? as usize;
+        // A corrupt count must fail the length check here, not reserve
+        // gigabytes below: never trust it beyond what the bytes can hold.
+        if count > reader.remaining() / Self::RECORD {
+            return None;
+        }
+        let mut requests = Vec::with_capacity(count);
+        for _ in 0..count {
+            requests.push(Request::decode(&mut reader).ok()?);
+        }
+        Some(WorkloadBatch { requests })
+    }
+}
+
+/// A [`ProposalSource`] that drains a [`SharedMempool`] into one
+/// [`WorkloadBatch`] payload per proposal. An empty mempool yields an
+/// empty payload (the chain keeps moving; blocks just carry no work).
+///
+/// Each batch is bounded two ways: at most `max_batch` request records
+/// *and* at most [`max_bytes`](Self::with_max_bytes) nominal bytes (the
+/// sum of request sizes — what the bandwidth model will charge for the
+/// block). Without the byte bound, large requests would let the record
+/// cap admit multi-gigabyte blocks.
+///
+/// Draining is destructive: a request batched into a proposal that never
+/// finalizes (a backup proposal that loses to the leader's, or an
+/// equivocator's second block) is gone *from this pool* — the engine
+/// cannot know at drain time whether its block will win. With the
+/// dissemination layer off that means the request is lost outright
+/// (visible as `requests_lost` in the metrics); with gossip, fan-out or
+/// client retry enabled another copy survives elsewhere and commits
+/// exactly once (see the crate docs).
+#[derive(Debug)]
+pub struct MempoolSource {
+    mempool: SharedMempool,
+    max_batch: usize,
+    max_bytes: u64,
+}
+
+impl MempoolSource {
+    /// A source draining `mempool`, at most `max_batch` requests and
+    /// [`DEFAULT_MAX_BATCH_BYTES`] nominal bytes per block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero (every block would be empty forever
+    /// while requests pile up in the pool).
+    pub fn new(mempool: SharedMempool, max_batch: usize) -> Self {
+        assert!(max_batch > 0, "batch record cap must be positive");
+        MempoolSource {
+            mempool,
+            max_batch,
+            max_bytes: DEFAULT_MAX_BATCH_BYTES,
+        }
+    }
+
+    /// Overrides the nominal byte bound per batch.
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> Self {
+        self.max_bytes = max_bytes;
+        self
+    }
+}
+
+impl ProposalSource for MempoolSource {
+    fn next_payload(&mut self, _round: Round, _now: Time) -> Payload {
+        let requests = self
+            .mempool
+            .lock()
+            .expect("mempool lock")
+            .drain_bounded(self.max_batch, self.max_bytes);
+        if requests.is_empty() {
+            Payload::empty()
+        } else {
+            WorkloadBatch { requests }.into_payload()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, at: u64) -> Request {
+        Request {
+            id,
+            client: (id % 7) as u16,
+            size: 100,
+            submitted_at: Time(at),
+        }
+    }
+
+    #[test]
+    fn mempool_serves_fifo_order() {
+        let mut mp = Mempool::new(10);
+        for id in 1..=5 {
+            assert_eq!(mp.push(req(id, id)), PushOutcome::Accepted);
+        }
+        let drained = mp.drain(3);
+        assert_eq!(drained.iter().map(|r| r.id).collect::<Vec<_>>(), [1, 2, 3]);
+        let rest = mp.drain(usize::MAX);
+        assert_eq!(rest.iter().map(|r| r.id).collect::<Vec<_>>(), [4, 5]);
+        assert!(mp.is_empty());
+    }
+
+    #[test]
+    fn mempool_rejects_pending_duplicates_only() {
+        let mut mp = Mempool::new(10);
+        assert_eq!(mp.push(req(1, 0)), PushOutcome::Accepted);
+        assert_eq!(mp.push(req(1, 1)), PushOutcome::Duplicate);
+        assert_eq!(mp.len(), 1);
+        assert_eq!(mp.duplicates(), 1);
+        // Once drained, the id may be resubmitted (e.g. a client retry).
+        mp.drain(1);
+        assert_eq!(mp.push(req(1, 2)), PushOutcome::Accepted);
+    }
+
+    #[test]
+    fn mempool_capacity_evicts_oldest() {
+        let mut mp = Mempool::new(3);
+        for id in 1..=3 {
+            mp.push(req(id, id));
+        }
+        assert_eq!(mp.push(req(4, 4)), PushOutcome::AcceptedEvicting(1));
+        assert_eq!(mp.len(), 3);
+        assert_eq!(mp.evicted(), 1);
+        let ids: Vec<u64> = mp.drain(usize::MAX).iter().map(|r| r.id).collect();
+        assert_eq!(ids, [2, 3, 4]);
+        // The evicted id is free again.
+        assert_eq!(mp.push(req(1, 9)), PushOutcome::Accepted);
+    }
+
+    #[test]
+    fn committed_ids_are_rejected_forever() {
+        let mut mp = Mempool::new(10);
+        mp.push(req(1, 0));
+        mp.drain(1);
+        assert!(mp.mark_committed(1), "first mark reports newly committed");
+        assert!(!mp.mark_committed(1), "second mark is a no-op");
+        assert!(mp.is_committed(1));
+        // A retry (or re-gossip) of the committed id is rejected.
+        assert_eq!(mp.push(req(1, 5)), PushOutcome::Committed);
+        assert_eq!(mp.accept_forwarded(req(1, 6)), PushOutcome::Committed);
+        assert_eq!(mp.rejected_committed(), 2);
+    }
+
+    #[test]
+    fn mark_committed_tombstones_pending_copies() {
+        let mut mp = Mempool::new(10);
+        for id in 1..=4 {
+            mp.push(req(id, id));
+        }
+        // Another replica's block carrying 2 commits before we drain.
+        mp.mark_committed(2);
+        assert_eq!(mp.len(), 3, "tombstones do not count as pending");
+        let ids: Vec<u64> = mp.drain(usize::MAX).iter().map(|r| r.id).collect();
+        assert_eq!(ids, [1, 3, 4], "the committed copy is never drained");
+    }
+
+    #[test]
+    fn eviction_skips_tombstones() {
+        let mut mp = Mempool::new(2);
+        mp.push(req(1, 1));
+        mp.push(req(2, 2));
+        mp.mark_committed(1); // tombstone at the queue front
+        mp.push(req(3, 3));
+        // Live set {2, 3} is within capacity: nothing to evict.
+        assert_eq!(mp.len(), 2);
+        assert_eq!(mp.push(req(4, 4)), PushOutcome::AcceptedEvicting(2));
+        let ids: Vec<u64> = mp.drain(usize::MAX).iter().map(|r| r.id).collect();
+        assert_eq!(ids, [3, 4]);
+    }
+
+    #[test]
+    fn gossip_outbox_tracks_local_pushes_only() {
+        let mut mp = Mempool::new(10).with_gossip(true);
+        mp.push(req(1, 1));
+        mp.push(req(2, 2));
+        // A forwarded request never re-enters the outbox (one round).
+        assert_eq!(mp.accept_forwarded(req(3, 3)), PushOutcome::Accepted);
+        // A rejected push is not queued for forwarding either.
+        assert_eq!(mp.push(req(1, 4)), PushOutcome::Duplicate);
+        let out: Vec<u64> = mp.take_outbox().iter().map(|r| r.id).collect();
+        assert_eq!(out, [1, 2]);
+        assert!(mp.take_outbox().is_empty(), "outbox drains");
+        assert_eq!(mp.forwarded_in(), 1);
+        assert_eq!(mp.len(), 3, "all three requests are pending");
+    }
+
+    #[test]
+    fn outbox_drops_requests_committed_before_the_flush() {
+        let mut mp = Mempool::new(10).with_gossip(true);
+        mp.push(req(1, 1));
+        mp.push(req(2, 2));
+        mp.mark_committed(1);
+        let out: Vec<u64> = mp.take_outbox().iter().map(|r| r.id).collect();
+        assert_eq!(out, [2], "no bandwidth spent forwarding committed work");
+    }
+
+    #[test]
+    fn outbox_disabled_by_default() {
+        let mut mp = Mempool::new(10);
+        assert!(!mp.gossip_enabled());
+        mp.push(req(1, 1));
+        assert!(mp.take_outbox().is_empty());
+    }
+
+    #[test]
+    fn batch_roundtrips_and_pads_to_nominal_size() {
+        let batch = WorkloadBatch {
+            requests: vec![req(7, 100), req(8, 250)],
+        };
+        assert_eq!(batch.nominal_size(), 200);
+        let payload = batch.clone().into_payload();
+        // Padded to the nominal byte size: bandwidth is charged as if the
+        // real request bytes were on the wire.
+        assert_eq!(payload.len(), 200);
+        assert_eq!(WorkloadBatch::decode(&payload), Some(batch));
+    }
+
+    #[test]
+    fn tiny_batches_keep_their_header() {
+        // 2 one-byte requests: the header exceeds the nominal size, so the
+        // payload grows to fit the records.
+        let batch = WorkloadBatch {
+            requests: vec![
+                Request {
+                    id: 1,
+                    client: 0,
+                    size: 1,
+                    submitted_at: Time(5),
+                },
+                Request {
+                    id: 2,
+                    client: 1,
+                    size: 1,
+                    submitted_at: Time(6),
+                },
+            ],
+        };
+        let payload = batch.clone().into_payload();
+        assert!(payload.len() > 2);
+        assert_eq!(WorkloadBatch::decode(&payload), Some(batch));
+    }
+
+    #[test]
+    fn non_batch_payloads_decode_to_none() {
+        assert_eq!(WorkloadBatch::decode(&Payload::empty()), None);
+        assert_eq!(WorkloadBatch::decode(&Payload::synthetic(1_000, 3)), None);
+        assert_eq!(
+            WorkloadBatch::decode(&Payload::Inline(b"not a batch".to_vec())),
+            None
+        );
+        // Truncated batch (magic but no count) is rejected, not a panic.
+        assert_eq!(
+            WorkloadBatch::decode(&Payload::Inline(BATCH_MAGIC.to_vec())),
+            None
+        );
+    }
+
+    #[test]
+    fn mempool_source_drains_in_batches() {
+        let shared = Mempool::shared(100);
+        {
+            let mut mp = shared.lock().unwrap();
+            for id in 1..=5 {
+                mp.push(req(id, id));
+            }
+        }
+        let mut src = MempoolSource::new(shared.clone(), 3);
+        let first = src.next_payload(Round(1), Time(10));
+        let batch = WorkloadBatch::decode(&first).expect("batch payload");
+        assert_eq!(
+            batch.requests.iter().map(|r| r.id).collect::<Vec<_>>(),
+            [1, 2, 3]
+        );
+        let second = src.next_payload(Round(2), Time(20));
+        let batch = WorkloadBatch::decode(&second).expect("batch payload");
+        assert_eq!(
+            batch.requests.iter().map(|r| r.id).collect::<Vec<_>>(),
+            [4, 5]
+        );
+        // Empty mempool → empty payload, not a stall.
+        assert!(src.next_payload(Round(3), Time(30)).is_empty());
+    }
+
+    #[test]
+    fn drain_bounded_enforces_nominal_byte_cap() {
+        // Regression: with large requests, the record cap alone admitted
+        // arbitrarily many bytes per batch.
+        let mut mp = Mempool::new(100);
+        for id in 1..=10 {
+            mp.push(Request {
+                id,
+                client: 0,
+                size: 1_000_000,
+                submitted_at: Time(id),
+            });
+        }
+        let batch = mp.drain_bounded(4_096, DEFAULT_MAX_BATCH_BYTES);
+        assert_eq!(
+            batch.len(),
+            2,
+            "2 MB cap must stop a 1 MB-request drain at two records"
+        );
+        // An oversized single request still ships (no wedge).
+        let mut mp = Mempool::new(10);
+        mp.push(Request {
+            id: 1,
+            client: 0,
+            size: 10_000_000,
+            submitted_at: Time(1),
+        });
+        assert_eq!(mp.drain_bounded(4_096, DEFAULT_MAX_BATCH_BYTES).len(), 1);
+        // The record cap still applies to small requests.
+        let mut mp = Mempool::new(10);
+        for id in 1..=5 {
+            mp.push(req(id, id));
+        }
+        assert_eq!(mp.drain_bounded(3, u64::MAX).len(), 3);
+    }
+
+    #[test]
+    fn mempool_source_honors_byte_cap() {
+        let shared = Mempool::shared(100);
+        {
+            let mut mp = shared.lock().unwrap();
+            for id in 1..=6 {
+                mp.push(Request {
+                    id,
+                    client: 0,
+                    size: 400,
+                    submitted_at: Time(id),
+                });
+            }
+        }
+        let mut src = MempoolSource::new(shared, 4_096).with_max_bytes(1_000);
+        let batch = WorkloadBatch::decode(&src.next_payload(Round(1), Time(1))).unwrap();
+        assert_eq!(batch.requests.len(), 2, "400+400 fits, +400 would not");
+        assert!(batch.nominal_size() <= 1_000);
+    }
+}

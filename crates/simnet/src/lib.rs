@@ -11,10 +11,14 @@
 //! * [`sim`] — the event loop driving [`banyan_types::engine::Engine`]s;
 //! * [`faults`] — crash / partition / link-delay schedules;
 //! * [`metrics`] — the paper's latency & throughput metrics, end-to-end
-//!   client latency, goodput, and the global safety auditor;
-//! * [`workload`] — per-replica mempools and the seeded client
-//!   populations feeding them: an open-loop generator (fixed rate) and a
-//!   closed-loop population (fixed windows, resubmit-on-commit).
+//!   client latency, goodput, request-loss accounting, and the global
+//!   safety auditor;
+//! * [`workload`] — the seeded client populations feeding the
+//!   per-replica mempools (`banyan_mempool`, re-exported): an open-loop
+//!   generator (fixed rate) and a closed-loop population (fixed windows,
+//!   resubmit-on-commit), both with optional submit fan-out and
+//!   per-request retry. [`sim::Simulation::enable_dissemination`] adds
+//!   pending-request gossip and exactly-once commit dedup on top.
 //!
 //! # Examples
 //!
@@ -43,6 +47,6 @@ pub use metrics::{ClientLoadSummary, LatencyStats, ObservedCommit, RunMetrics, S
 pub use sim::{SimConfig, Simulation};
 pub use topology::{Region, Topology, AWS_REGIONS};
 pub use workload::{
-    ClientWorkload, ClosedLoopWorkload, Mempool, MempoolSource, Request, SharedMempool,
-    WorkloadBatch,
+    ClientWorkload, ClosedLoopWorkload, Mempool, MempoolSource, PushOutcome, Request,
+    SharedMempool, WorkloadBatch,
 };

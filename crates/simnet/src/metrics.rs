@@ -18,7 +18,7 @@
 //! evaluations report and is always ≥ the paper's proposer latency (the
 //! request waits in a mempool before it is even proposed).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 
 use banyan_runtime::driver::CommitSink;
 use banyan_types::engine::CommitEntry;
@@ -183,7 +183,17 @@ pub struct RunMetrics {
     /// Messages dropped because the receiver had crashed.
     pub messages_dropped: u64,
     /// Client requests submitted by the attached workload (0 when none).
+    /// Retransmissions of an already-submitted id are counted in
+    /// [`requests_retried`](Self::requests_retried), not here.
     pub requests_submitted: u64,
+    /// Requests the workload observed committed (first delivery per id,
+    /// from any replica). 0 for runs without a client workload.
+    pub requests_completed: u64,
+    /// Requests still pending (live) in the per-replica mempools at the
+    /// end of the run.
+    pub requests_pending: u64,
+    /// Client retransmissions performed by the workload.
+    pub requests_retried: u64,
     /// Virtual time at the end of the run.
     pub end_time: Time,
 }
@@ -219,28 +229,71 @@ impl RunMetrics {
     /// Empty for runs without a client workload — batches are recovered
     /// from the committed payloads via [`WorkloadBatch::decode`].
     pub fn client_latencies(&self) -> Vec<Duration> {
-        self.client_samples().map(|(_, d)| d).collect()
+        self.client_samples().into_iter().map(|(_, d)| d).collect()
     }
 
     /// The one decode pass every client metric is built on: walks the
-    /// commit log in order, keeps proposer-side commits only, and yields
-    /// `(client, submit→commit)` per batched request.
-    fn client_samples(&self) -> impl Iterator<Item = (u16, Duration)> + '_ {
-        self.commits
+    /// commit log in order, keeps proposer-side commits only, dedups by
+    /// request id — the first committed occurrence wins, which is the
+    /// metrics half of the dissemination layer's exactly-once rule (a
+    /// re-gossiped, retried or fanned-out request can land in more than
+    /// one committed block) — and yields `(client, submit→commit)` per
+    /// batched request.
+    fn client_samples(&self) -> Vec<(u16, Duration)> {
+        self.client_samples_with_duplicates().0
+    }
+
+    /// The deduped `(client, submit→commit)` samples plus the number of
+    /// suppressed duplicate occurrences, in one decode pass over the
+    /// commit log. Harnesses that need both (latency stats *and* the
+    /// duplicate counter) should call this once instead of
+    /// [`client_latencies`](Self::client_latencies) +
+    /// [`duplicate_requests_suppressed`](Self::duplicate_requests_suppressed),
+    /// which each repeat the pass.
+    pub fn client_samples_with_duplicates(&self) -> (Vec<(u16, Duration)>, u64) {
+        let mut seen = HashSet::new();
+        let mut samples = Vec::new();
+        let mut duplicates = 0;
+        for c in self
+            .commits
             .iter()
             .filter(|c| c.replica == c.entry.proposer)
-            .flat_map(|c| {
-                let committed_at = c.entry.committed_at;
-                WorkloadBatch::decode(&c.entry.payload)
-                    .map(|batch| {
-                        batch
-                            .requests
-                            .iter()
-                            .map(|req| (req.client, committed_at.since(req.submitted_at)))
-                            .collect::<Vec<_>>()
-                    })
-                    .unwrap_or_default()
-            })
+        {
+            let Some(batch) = WorkloadBatch::decode(&c.entry.payload) else {
+                continue;
+            };
+            for req in &batch.requests {
+                if seen.insert(req.id) {
+                    samples.push((req.client, c.entry.committed_at.since(req.submitted_at)));
+                } else {
+                    duplicates += 1;
+                }
+            }
+        }
+        (samples, duplicates)
+    }
+
+    /// Batched request occurrences suppressed by the exactly-once dedup:
+    /// copies of an already-counted id found in a later committed block
+    /// (possible only with gossip, fan-out or retry enabled — a plain
+    /// single-pool run never double-commits). Duplicate *bandwidth* is
+    /// still charged; duplicate goodput never is.
+    pub fn duplicate_requests_suppressed(&self) -> u64 {
+        self.client_samples_with_duplicates().1
+    }
+
+    /// Requests lost to the request path: submitted but neither observed
+    /// committed nor still pending in any pool — i.e. drained into a
+    /// proposal that never finalized, with no surviving copy.
+    /// `submitted − completed − pending`, saturating at zero.
+    ///
+    /// Mid-run this includes requests still in flight between a pool and
+    /// a commit; after a drain phase (see `Simulation::freeze_workload`)
+    /// it counts only genuinely stranded work, and with retry and/or
+    /// gossip on it must end at zero.
+    pub fn requests_lost(&self) -> u64 {
+        self.requests_submitted
+            .saturating_sub(self.requests_completed + self.requests_pending)
     }
 
     /// Latency summary over [`Self::client_latencies`].
@@ -258,6 +311,18 @@ impl RunMetrics {
             series.entry(client).or_default().push(latency);
         }
         series
+    }
+
+    /// Longest per-client mean end-to-end latency among `targets`, ms
+    /// (0 when none of them committed anything). The fairness probe for
+    /// censorship experiments: a censored client's surviving commits go
+    /// through retries and honest leaders, inflating exactly this number.
+    pub fn max_client_mean_ms(&self, targets: &[u16]) -> f64 {
+        self.per_client_latencies()
+            .iter()
+            .filter(|(client, _)| targets.contains(client))
+            .map(|(_, s)| LatencyStats::from_samples(s).mean_ms)
+            .fold(0.0, f64::max)
     }
 
     /// Goodput: committed client requests per second over the whole run
@@ -521,6 +586,71 @@ mod tests {
         assert_eq!(metrics.client_latencies(), vec![Duration(290)]);
         assert_eq!(metrics.requests_committed(), 1);
         assert_eq!(metrics.client_latency_stats().count, 1);
+    }
+
+    #[test]
+    fn duplicate_committed_requests_count_once() {
+        use crate::workload::{Request, WorkloadBatch};
+        // The same request (gossiped to every pool, then also retried)
+        // lands in two different committed blocks at two proposers. The
+        // metrics layer must count it exactly once — first commit wins —
+        // and report the later copy as a suppressed duplicate.
+        let request = Request {
+            id: 9,
+            client: 1,
+            size: 100,
+            submitted_at: Time(50),
+        };
+        let mut first = entry(1, 1, 0, 60, 100);
+        first.payload = WorkloadBatch {
+            requests: vec![request],
+        }
+        .into_payload();
+        let mut second = entry(2, 2, 1, 150, 300);
+        second.payload = WorkloadBatch {
+            requests: vec![request],
+        }
+        .into_payload();
+        let metrics = RunMetrics {
+            commits: vec![
+                ObservedCommit {
+                    replica: ReplicaId(0),
+                    entry: first,
+                },
+                ObservedCommit {
+                    replica: ReplicaId(1),
+                    entry: second,
+                },
+            ],
+            end_time: Time(1_000),
+            ..Default::default()
+        };
+        assert_eq!(metrics.requests_committed(), 1, "exactly once");
+        assert_eq!(
+            metrics.client_latencies(),
+            vec![Duration(50)],
+            "the first commit's latency is the request's latency"
+        );
+        assert_eq!(metrics.duplicate_requests_suppressed(), 1);
+    }
+
+    #[test]
+    fn requests_lost_balances_submitted_completed_and_pending() {
+        let metrics = RunMetrics {
+            requests_submitted: 100,
+            requests_completed: 90,
+            requests_pending: 4,
+            ..Default::default()
+        };
+        assert_eq!(metrics.requests_lost(), 6);
+        // Saturates rather than underflowing when bookkeeping is partial.
+        let odd = RunMetrics {
+            requests_submitted: 10,
+            requests_completed: 8,
+            requests_pending: 5,
+            ..Default::default()
+        };
+        assert_eq!(odd.requests_lost(), 0);
     }
 
     #[test]

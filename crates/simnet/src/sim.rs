@@ -22,16 +22,31 @@
 //!   block sizes exactly as in the paper's Fig. 6a/6b.
 //! * **Jitter**: uniform in `[0, jitter]`, seeded.
 //! * **FIFO**: arrivals on a link never overtake earlier arrivals.
+//!
+//! # Request dissemination
+//!
+//! With [`Simulation::enable_dissemination`], the simulator also routes
+//! the mempool layer's traffic: pending requests pushed at one replica
+//! are gossiped to every peer as
+//! [`banyan_types::message::DisseminationMsg::Forward`] broadcasts —
+//! through the *same* bandwidth/propagation/jitter/FIFO model as
+//! consensus traffic, so dissemination is charged against the links it
+//! would really occupy — and every commit marks its batched request ids
+//! committed in the committing replica's pool (the exactly-once dedup
+//! rule; see `banyan_mempool`). Engines never see dissemination frames:
+//! the simulator applies them to pools directly, preserving the purity
+//! contract.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use banyan_mempool::{SharedMempool, WorkloadBatch};
 use banyan_runtime::driver::{is_stale, route_actions, ActionDispatch, CommitSink};
 use banyan_runtime::queue::EventQueue;
 use banyan_types::app::App;
 use banyan_types::engine::{Actions, CommitEntry, Engine, Outbound, TimerKind, TimerRequest};
 use banyan_types::ids::ReplicaId;
-use banyan_types::message::Message;
+use banyan_types::message::{DisseminationMsg, Message};
 use banyan_types::time::{Duration, Time};
 
 use crate::faults::FaultPlan;
@@ -89,36 +104,121 @@ enum EventKind {
     /// The client population acts: an open-loop workload submits its next
     /// request; a closed-loop workload resubmits after a think time.
     ClientTick,
+    /// A per-request retransmission deadline fires: the workload retries
+    /// every due, still-uncommitted request.
+    RetryTick,
 }
 
 /// The attached client population, if any. Open loop ticks itself on a
 /// fixed interval; closed loop only ticks when a completion (observed via
-/// the commit path) schedules a think-time resubmission.
+/// the commit path) schedules a think-time resubmission. Retry ticks are
+/// armed by submissions in either mode.
 enum Workload {
     Open(ClientWorkload),
     Closed(ClosedLoopWorkload),
 }
 
+impl Workload {
+    /// Feeds one commit to the population's completion hook (both modes
+    /// track completions — the first delivery of an id settles it).
+    fn observe_commit(&mut self, entry: &CommitEntry) {
+        match self {
+            Workload::Open(w) => w.deliver(entry),
+            Workload::Closed(w) => w.deliver(entry),
+        }
+    }
+
+    fn take_pending_think_ticks(&mut self) -> Vec<Time> {
+        match self {
+            Workload::Open(_) => Vec::new(),
+            Workload::Closed(w) => w.take_pending_ticks(),
+        }
+    }
+
+    fn take_pending_retry_ticks(&mut self) -> Vec<Time> {
+        match self {
+            Workload::Open(w) => w.take_pending_retry_ticks(),
+            Workload::Closed(w) => w.take_pending_retry_ticks(),
+        }
+    }
+
+    fn handle_retry_tick(&mut self, now: Time) -> u64 {
+        match self {
+            Workload::Open(w) => w.handle_retry_tick(now),
+            Workload::Closed(w) => w.handle_retry_tick(now),
+        }
+    }
+
+    fn mempools(&self) -> &[SharedMempool] {
+        match self {
+            Workload::Open(w) => w.mempools(),
+            Workload::Closed(w) => w.mempools(),
+        }
+    }
+
+    fn completed(&self) -> u64 {
+        match self {
+            Workload::Open(w) => w.completed(),
+            Workload::Closed(w) => w.completed(),
+        }
+    }
+
+    fn pending_in_pools(&self) -> u64 {
+        match self {
+            Workload::Open(w) => w.pending_in_pools(),
+            Workload::Closed(w) => w.pending_in_pools(),
+        }
+    }
+
+    fn freeze(&mut self) {
+        match self {
+            Workload::Open(w) => w.freeze(),
+            Workload::Closed(w) => w.freeze(),
+        }
+    }
+}
+
+/// Dissemination-layer wiring: the per-replica pools the simulator routes
+/// gossip into and marks commits against.
+struct DisseminationState {
+    /// Forward pending requests to peers (one gossip round per push).
+    gossip: bool,
+    /// `pools[i]` is replica `i`'s mempool.
+    pools: Vec<SharedMempool>,
+}
+
 /// Commit side of action routing: every finalization feeds the safety
-/// auditor, the replica's [`App`] (if attached), the closed-loop
-/// workload's completion hook (if attached) and the metrics log.
+/// auditor, the replica's [`App`] (if attached), the workload's
+/// completion hook (if attached), the dissemination layer's committed-id
+/// dedup (if enabled) and the metrics log.
 struct SimCommitSink<'a> {
     commits: &'a mut Vec<ObservedCommit>,
     auditor: &'a mut SafetyAuditor,
     apps: &'a mut [Option<Box<dyn App>>],
-    /// The closed-loop population observes every replica's commits — the
+    /// The client population observes every replica's commits — the
     /// first delivery of a batched request completes it.
-    completions: Option<&'a mut ClosedLoopWorkload>,
+    workload: Option<&'a mut Workload>,
+    /// With dissemination enabled, each commit marks its batched ids
+    /// committed in the committing replica's pool (exactly-once dedup).
+    dedup_pools: Option<&'a [SharedMempool]>,
 }
 
 impl CommitSink for SimCommitSink<'_> {
     fn on_commit(&mut self, replica: ReplicaId, entry: CommitEntry) {
         self.auditor.observe(replica, &entry);
+        if let Some(pools) = self.dedup_pools {
+            if let Some(batch) = WorkloadBatch::decode(&entry.payload) {
+                let mut pool = pools[replica.as_usize()].lock().expect("mempool lock");
+                for req in &batch.requests {
+                    pool.mark_committed(req.id);
+                }
+            }
+        }
         if let Some(app) = &mut self.apps[replica.as_usize()] {
             app.deliver(&entry);
         }
-        if let Some(closed) = self.completions.as_deref_mut() {
-            closed.deliver(&entry);
+        if let Some(workload) = self.workload.as_deref_mut() {
+            workload.observe_commit(&entry);
         }
         self.commits.push(ObservedCommit { replica, entry });
     }
@@ -241,6 +341,9 @@ pub struct Simulation {
     apps: Vec<Option<Box<dyn App>>>,
     /// Client population (open- or closed-loop), if attached.
     workload: Option<Workload>,
+    /// Request-dissemination wiring (gossip routing + commit dedup), if
+    /// enabled.
+    dissemination: Option<DisseminationState>,
     initialized: bool,
 }
 
@@ -282,6 +385,7 @@ impl Simulation {
             auditor: SafetyAuditor::new(),
             apps: (0..n).map(|_| None).collect(),
             workload: None,
+            dissemination: None,
             initialized: false,
         }
     }
@@ -321,6 +425,49 @@ impl Simulation {
         match &self.workload {
             Some(Workload::Closed(w)) => Some(w),
             _ => None,
+        }
+    }
+
+    /// Enables the request-dissemination layer for the attached
+    /// workload's pools: commits mark their batched ids committed in the
+    /// committing replica's pool (exactly-once dedup), and — with
+    /// `gossip` — pending requests pushed at one replica are forwarded to
+    /// every peer through the network model, so a request reaches every
+    /// potential leader within one gossip round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no workload is attached or its pool count does not match
+    /// the topology.
+    pub fn enable_dissemination(&mut self, gossip: bool) {
+        let pools: Vec<SharedMempool> = self
+            .workload
+            .as_ref()
+            .expect("attach a workload before enabling dissemination")
+            .mempools()
+            .to_vec();
+        assert_eq!(
+            pools.len(),
+            self.topology.n(),
+            "dissemination needs one pool per replica"
+        );
+        if gossip {
+            for pool in &pools {
+                pool.lock().expect("mempool lock").set_gossip(true);
+            }
+        }
+        self.dissemination = Some(DisseminationState { gossip, pools });
+    }
+
+    /// Freezes the attached workload: no new submissions or replacement
+    /// resubmissions, while retransmissions of already-submitted requests
+    /// keep firing. Harnesses call this to *drain* the system after the
+    /// measured phase — with retry and/or gossip enabled, every
+    /// still-uncommitted request then works its way to a commit instead
+    /// of being stranded, and `RunMetrics::requests_lost` ends at zero.
+    pub fn freeze_workload(&mut self) {
+        if let Some(w) = &mut self.workload {
+            w.freeze();
         }
     }
 
@@ -374,6 +521,9 @@ impl Simulation {
                 self.process_actions(id, actions);
             }
         }
+        // Requests pushed before this call (priming, earlier segments)
+        // may have left gossip or retry work pending.
+        self.after_event();
 
         while self.queue.next_at().is_some_and(|at| at <= end) {
             let (at, event) = self.queue.pop().expect("peeked");
@@ -387,8 +537,14 @@ impl Simulation {
                     if self.config.trace {
                         eprintln!("[{}] {} -> {}: {}", self.now, from, to, msg.label());
                     }
-                    let actions = self.engines[to.as_usize()].on_message(from, msg, self.now);
-                    self.process_actions(to, actions);
+                    // Dissemination frames are driver-level traffic: they
+                    // feed the receiver's mempool, never an engine.
+                    if let Message::Dissemination(d) = msg {
+                        self.handle_dissemination(to, d);
+                    } else {
+                        let actions = self.engines[to.as_usize()].on_message(from, msg, self.now);
+                        self.process_actions(to, actions);
+                    }
                 }
                 EventKind::Timer { replica, kind } => {
                     if self.faults.is_crashed(replica, self.now) {
@@ -411,13 +567,15 @@ impl Simulation {
                     .expect("client tick without a workload")
                 {
                     Workload::Open(workload) => {
-                        let target = workload.submit_next(self.now);
-                        self.metrics.requests_submitted += 1;
-                        if self.config.trace {
-                            eprintln!("[{}] client submit -> {}", self.now, target);
+                        if !workload.frozen() {
+                            let target = workload.submit_next(self.now);
+                            self.metrics.requests_submitted += 1;
+                            if self.config.trace {
+                                eprintln!("[{}] client submit -> {}", self.now, target);
+                            }
+                            let next = self.now + workload.interval();
+                            self.queue.push(next, EventKind::ClientTick);
                         }
-                        let next = self.now + workload.interval();
-                        self.queue.push(next, EventKind::ClientTick);
                     }
                     Workload::Closed(workload) => {
                         if let Some(target) = workload.resubmit_next(self.now) {
@@ -428,17 +586,129 @@ impl Simulation {
                         }
                     }
                 },
+                EventKind::RetryTick => {
+                    let retried = self
+                        .workload
+                        .as_mut()
+                        .expect("retry tick without a workload")
+                        .handle_retry_tick(self.now);
+                    self.metrics.requests_retried += retried;
+                    if self.config.trace && retried > 0 {
+                        eprintln!("[{}] client retried {retried} request(s)", self.now);
+                    }
+                }
             }
+            self.after_event();
         }
 
         self.now = end;
         self.metrics.end_time = end;
+        if let Some(w) = &self.workload {
+            self.metrics.requests_completed = w.completed();
+            self.metrics.requests_pending = w.pending_in_pools();
+        }
         &self.metrics
     }
 
     /// Consumes the simulation, returning final metrics and auditor.
     pub fn into_results(self) -> (RunMetrics, SafetyAuditor) {
         (self.metrics, self.auditor)
+    }
+
+    /// Applies one dissemination frame to the receiving replica's pool.
+    /// Forwarded requests are accepted (subject to the duplicate and
+    /// committed-id rules) and never re-forwarded — gossip is one round.
+    fn handle_dissemination(&mut self, to: ReplicaId, msg: DisseminationMsg) {
+        let Some(d) = &self.dissemination else {
+            // No pools wired (e.g. a frame arriving after reconfiguration):
+            // dropped like any foreign traffic.
+            return;
+        };
+        match msg {
+            DisseminationMsg::Forward { requests } => {
+                let mut pool = d.pools[to.as_usize()].lock().expect("mempool lock");
+                for req in requests {
+                    pool.accept_forwarded(req);
+                }
+            }
+        }
+    }
+
+    /// Post-event bookkeeping: flush gossip outboxes into `Forward`
+    /// broadcasts and turn the workload's freshly armed think/retry
+    /// deadlines into queue events. Called once per processed event (and
+    /// at segment start), so pushes and completions from *this* event are
+    /// scheduled before the next event pops.
+    fn after_event(&mut self) {
+        // Gossip: collect each replica's newly pushed requests, then
+        // broadcast one Forward per replica through the network model.
+        let outboxes: Vec<(ReplicaId, Vec<banyan_mempool::Request>)> = match &self.dissemination {
+            Some(d) if d.gossip => d
+                .pools
+                .iter()
+                .enumerate()
+                .filter_map(|(i, pool)| {
+                    let requests = pool.lock().expect("mempool lock").take_outbox();
+                    (!requests.is_empty()).then_some((ReplicaId(i as u16), requests))
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        for (from, requests) in outboxes {
+            self.broadcast_forward(from, requests);
+        }
+        // Workload deadlines become queue events, never before `now`.
+        if let Some(w) = &mut self.workload {
+            for at in w.take_pending_think_ticks() {
+                self.queue.push(at.max(self.now), EventKind::ClientTick);
+            }
+            for at in w.take_pending_retry_ticks() {
+                self.queue.push(at.max(self.now), EventKind::RetryTick);
+            }
+        }
+    }
+
+    /// Broadcasts one `Forward` frame from `from` through the ordinary
+    /// egress/propagation/jitter/FIFO model (dissemination shares links
+    /// with consensus traffic and is charged the same way).
+    fn broadcast_forward(&mut self, from: ReplicaId, requests: Vec<banyan_mempool::Request>) {
+        let Simulation {
+            topology,
+            config,
+            faults,
+            now,
+            queue,
+            egress_free_at,
+            link_last_arrival,
+            rng,
+            metrics,
+            ..
+        } = self;
+        let RunMetrics {
+            messages_sent,
+            bytes_sent,
+            messages_dropped,
+            ..
+        } = metrics;
+        let mut dispatch = NetDispatch {
+            now: *now,
+            queue,
+            topology,
+            faults,
+            jitter: config.jitter,
+            rng,
+            egress_free_at,
+            link_last_arrival,
+            messages_sent,
+            bytes_sent,
+            messages_dropped,
+        };
+        dispatch.transmit(
+            from,
+            Outbound::Broadcast(Message::Dissemination(DisseminationMsg::Forward {
+                requests,
+            })),
+        );
     }
 
     /// Routes one engine's actions through the shared driver layer.
@@ -456,6 +726,7 @@ impl Simulation {
             auditor,
             apps,
             workload,
+            dissemination,
             ..
         } = self;
         let RunMetrics {
@@ -469,10 +740,8 @@ impl Simulation {
             commits,
             auditor,
             apps,
-            completions: match workload {
-                Some(Workload::Closed(w)) => Some(w),
-                _ => None,
-            },
+            workload: workload.as_mut(),
+            dedup_pools: dissemination.as_ref().map(|d| d.pools.as_slice()),
         };
         let mut dispatch = NetDispatch {
             now: *now,
@@ -488,14 +757,8 @@ impl Simulation {
             messages_dropped,
         };
         route_actions(replica, actions, &mut sink, &mut dispatch);
-        // Completions recorded during routing become think-time ticks:
-        // scheduled here (the queue was borrowed by the dispatcher above),
-        // in completion order, never before `now`.
-        if let Some(Workload::Closed(w)) = workload {
-            for at in w.take_pending_ticks() {
-                queue.push(at.max(*now), EventKind::ClientTick);
-            }
-        }
+        // Think/retry deadlines recorded during routing are turned into
+        // queue events by `after_event` (the queue is borrowed here).
     }
 }
 

@@ -18,6 +18,16 @@
 //! the same `Time` type as under simulation. The engines themselves are
 //! identical — that is the point: `banyan-simnet` results transfer to real
 //! sockets.
+//!
+//! # Request dissemination
+//!
+//! [`run_replica_full`] attaches a [`SharedMempool`] to the wire path:
+//! inbound `DisseminationMsg::Forward` frames feed the pool (they never
+//! reach the engine — same contract as the simulator), locally pushed
+//! requests found in the pool's gossip outbox are broadcast to every
+//! peer, and each finalized block marks its batched request ids committed
+//! in the pool before the block reaches the [`App`] (the exactly-once
+//! dedup rule; see `banyan_mempool`).
 
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -28,11 +38,12 @@ use std::time::Instant;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 
+use banyan_mempool::{SharedMempool, WorkloadBatch};
 use banyan_runtime::driver::{AppSink, EngineDriver};
 use banyan_types::app::{App, NullApp};
 use banyan_types::engine::{CommitEntry, Engine, Outbound};
 use banyan_types::ids::ReplicaId;
-use banyan_types::message::Message;
+use banyan_types::message::{DisseminationMsg, Message};
 use banyan_types::time::Time;
 
 use crate::framing::{read_frame, write_hello, write_msg, Frame};
@@ -84,6 +95,50 @@ pub fn run_replica(
 pub fn run_replica_with_app(
     engine: Box<dyn Engine>,
     app: impl App + 'static,
+    listen: SocketAddr,
+    peers: Vec<SocketAddr>,
+    run_for: std::time::Duration,
+) -> std::io::Result<TcpRunReport> {
+    run_replica_full(engine, app, None, listen, peers, run_for)
+}
+
+/// Marks every committed batch's request ids committed in the local pool
+/// before handing the block to the inner [`App`] — the TCP runner's half
+/// of the exactly-once dedup rule (the simulator's `SimCommitSink` does
+/// the same).
+struct PoolDedupApp<A: App> {
+    app: A,
+    pool: Option<SharedMempool>,
+}
+
+impl<A: App> App for PoolDedupApp<A> {
+    fn deliver(&mut self, entry: &CommitEntry) {
+        if let Some(pool) = &self.pool {
+            if let Some(batch) = WorkloadBatch::decode(&entry.payload) {
+                let mut pool = pool.lock().expect("mempool lock");
+                for req in &batch.requests {
+                    pool.mark_committed(req.id);
+                }
+            }
+        }
+        self.app.deliver(entry);
+    }
+}
+
+/// Like [`run_replica_with_app`], with the request-dissemination layer
+/// wired in when `pool` is provided: inbound `Forward` frames feed the
+/// pool, the pool's gossip outbox (requests pushed locally, e.g. by a
+/// client front-end thread) is broadcast to all peers, and commits mark
+/// their batched ids committed for exactly-once dedup. The engine's
+/// `MempoolSource` should share the same pool handle.
+///
+/// # Errors
+///
+/// Returns an I/O error if binding or dialing fails permanently.
+pub fn run_replica_full(
+    engine: Box<dyn Engine>,
+    app: impl App + 'static,
+    pool: Option<SharedMempool>,
     listen: SocketAddr,
     peers: Vec<SocketAddr>,
     run_for: std::time::Duration,
@@ -183,7 +238,10 @@ pub fn run_replica_with_app(
     let mut messages_received = 0u64;
     let sink = AppSink {
         inner: Vec::<CommitEntry>::new(),
-        app,
+        app: PoolDedupApp {
+            app,
+            pool: pool.clone(),
+        },
     };
     let mut driver = EngineDriver::new(engine, sink);
     let mut transmit = |out: Outbound| match out {
@@ -205,6 +263,16 @@ pub fn run_replica_with_app(
 
     while start.elapsed() < run_for {
         driver.fire_due(now(), &mut transmit);
+        // Gossip: forward requests pushed into the local pool since the
+        // last pass (one Forward frame per flush, never re-forwarded).
+        if let Some(pool) = &pool {
+            let requests = pool.lock().expect("mempool lock").take_outbox();
+            if !requests.is_empty() {
+                transmit(Outbound::Broadcast(Message::Dissemination(
+                    DisseminationMsg::Forward { requests },
+                )));
+            }
+        }
         // Wait for the next event or timer.
         let wait = driver
             .next_deadline()
@@ -214,7 +282,18 @@ pub fn run_replica_with_app(
         // On timeout the loop simply re-checks timers and the deadline.
         if let Ok((from, msg)) = event_rx.recv_timeout(wait) {
             messages_received += 1;
-            driver.handle_message(from, msg, now(), &mut transmit);
+            // Dissemination frames feed the pool, never the engine (the
+            // same contract the simulator enforces).
+            if let Message::Dissemination(DisseminationMsg::Forward { requests }) = msg {
+                if let Some(pool) = &pool {
+                    let mut pool = pool.lock().expect("mempool lock");
+                    for req in requests {
+                        pool.accept_forwarded(req);
+                    }
+                }
+            } else {
+                driver.handle_message(from, msg, now(), &mut transmit);
+            }
         }
     }
 
@@ -263,6 +342,45 @@ pub fn run_local_cluster(
         .collect()
 }
 
+/// Like [`run_local_cluster`], with `pools[i]` wired into replica `i`'s
+/// dissemination path (see [`run_replica_full`]). The engines should pull
+/// payloads from the same pool handles via `MempoolSource`.
+///
+/// # Panics
+///
+/// Panics if `pools.len() != engines.len()`, a replica thread panics or a
+/// socket operation fails.
+pub fn run_local_cluster_with_pools(
+    engines: Vec<Box<dyn Engine>>,
+    pools: Vec<SharedMempool>,
+    run_for: std::time::Duration,
+) -> Vec<TcpRunReport> {
+    let n = engines.len();
+    assert_eq!(pools.len(), n, "one pool per replica");
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    let addrs: Vec<SocketAddr> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr"))
+        .collect();
+    drop(listeners);
+
+    let mut handles = Vec::new();
+    for (i, (engine, pool)) in engines.into_iter().zip(pools).enumerate() {
+        let addrs = addrs.clone();
+        let listen = addrs[i];
+        handles.push(thread::spawn(move || {
+            run_replica_full(engine, NullApp, Some(pool), listen, addrs, run_for)
+                .expect("replica run")
+        }));
+    }
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("replica thread"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +412,64 @@ mod tests {
                     assert_eq!(prev, c.block, "disagreement at round {}", c.round);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn gossiped_requests_reach_every_pool_and_commit() {
+        use banyan_mempool::{Mempool, MempoolSource, Request};
+        use banyan_types::time::Time as BTime;
+
+        let n = 4;
+        let pools: Vec<SharedMempool> = (0..n).map(|_| Mempool::shared_gossiping(1_024)).collect();
+        let sources = pools.clone();
+        let engines = ClusterBuilder::new(n, 1, 1)
+            .unwrap()
+            .delta(BDuration::from_millis(50))
+            .proposal_sources(move |i| {
+                Box::new(MempoolSource::new(sources[i as usize].clone(), 64))
+            })
+            .build_banyan();
+
+        // All requests enter at replica 0 only; gossip must carry them to
+        // every other pool so any leader can batch them.
+        let ids: Vec<u64> = (1..=24).collect();
+        {
+            let mut pool = pools[0].lock().unwrap();
+            for &id in &ids {
+                pool.push(Request {
+                    id,
+                    client: (id % 4) as u16,
+                    size: 64,
+                    submitted_at: BTime::ZERO,
+                });
+            }
+        }
+
+        let reports =
+            run_local_cluster_with_pools(engines, pools.clone(), std::time::Duration::from_secs(3));
+
+        // Every peer pool accepted forwarded copies.
+        for (i, pool) in pools.iter().enumerate().skip(1) {
+            assert!(
+                pool.lock().unwrap().forwarded_in() > 0,
+                "replica {i} never received a forwarded request"
+            );
+        }
+        // Every request commits, and the dedup layer marked it committed
+        // in (at least) replica 0's pool.
+        let committed: std::collections::HashSet<u64> = reports[0]
+            .commits
+            .iter()
+            .filter_map(|c| WorkloadBatch::decode(&c.payload))
+            .flat_map(|b| b.requests.into_iter().map(|r| r.id))
+            .collect();
+        for &id in &ids {
+            assert!(committed.contains(&id), "request {id} never committed");
+            assert!(
+                pools[0].lock().unwrap().is_committed(id),
+                "request {id} not marked committed in the pool"
+            );
         }
     }
 

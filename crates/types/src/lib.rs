@@ -48,7 +48,9 @@ pub use codec::{CodecError, Wire};
 pub use config::{ConfigError, ProtocolConfig};
 pub use engine::{Actions, CommitEntry, Engine, Outbound, TimerKind, TimerRequest};
 pub use ids::{BlockHash, Rank, ReplicaId, Round};
-pub use message::{ChainedMsg, HotStuffMsg, Message, StreamletMsg, SyncMsg};
+pub use message::{
+    ChainedMsg, DisseminationMsg, HotStuffMsg, Message, PendingRequest, StreamletMsg, SyncMsg,
+};
 pub use payload::Payload;
 pub use time::{Duration, Time};
 pub use vote::{Vote, VoteKind};

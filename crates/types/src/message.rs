@@ -5,11 +5,18 @@
 //! consumes its own sub-enum; a message of the wrong family is ignored
 //! (and counted) rather than an error, mirroring how a real deployment
 //! drops foreign traffic.
+//!
+//! The [`DisseminationMsg`] family is not consensus traffic at all: it is
+//! the request-dissemination layer (pending-request gossip between
+//! replicas' mempools) sharing the consensus wire so the network model
+//! charges it against the same links. Engines never see it — the
+//! simulator and the TCP runner route it to the replica's mempool.
 
 use crate::block::Block;
 use crate::certs::{Finalization, Notarization, QuorumCert, UnlockProof};
 use crate::codec::{CodecError, Reader, Wire, Writer};
 use crate::ids::{BlockHash, ReplicaId};
+use crate::time::Time;
 use crate::vote::Vote;
 use banyan_crypto::Signature;
 
@@ -25,6 +32,9 @@ pub enum Message {
     Streamlet(StreamletMsg),
     /// Block synchronization, shared by all protocols.
     Sync(SyncMsg),
+    /// Request dissemination (mempool gossip), shared by all protocols and
+    /// handled by the driver layer, never by an engine.
+    Dissemination(DisseminationMsg),
 }
 
 impl Message {
@@ -43,6 +53,12 @@ impl Message {
                 block.payload.virtual_wire_extra()
             }
             Message::Sync(SyncMsg::Response { block }) => block.payload.virtual_wire_extra(),
+            // Forwarding a pending request ships the request *content*,
+            // not just the 26-byte record: charge the nominal size the
+            // same way synthetic payloads are charged.
+            Message::Dissemination(DisseminationMsg::Forward { requests }) => {
+                requests.iter().map(|r| r.size).sum()
+            }
             _ => 0,
         };
         self.encoded_len() as u64 + extra
@@ -56,8 +72,73 @@ impl Message {
             Message::Streamlet(m) => m.label(),
             Message::Sync(SyncMsg::Request { .. }) => "sync-req",
             Message::Sync(SyncMsg::Response { .. }) => "sync-resp",
+            Message::Dissemination(DisseminationMsg::Forward { .. }) => "req-forward",
         }
     }
+}
+
+/// One client request as it travels between mempools: the wire record of
+/// the dissemination layer (and of `WorkloadBatch` payload encodings in
+/// `banyan-mempool`, which reuse the same 26-byte layout).
+///
+/// The encoding is signing-agnostic: a record carries no signature of its
+/// own, so any [`banyan_crypto::sig::SignatureScheme`] (or none) can wrap
+/// the enclosing message without the record layout changing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PendingRequest {
+    /// Globally unique request id (the exactly-once dedup key).
+    pub id: u64,
+    /// Submitting client (for per-client fairness metrics and censorship
+    /// experiments).
+    pub client: u16,
+    /// Nominal request size in bytes (what the client would ship; the
+    /// bandwidth model charges this for every forward and every batch).
+    pub size: u64,
+    /// When the client first submitted the request (virtual time).
+    /// Retransmissions keep the original timestamp so end-to-end latency
+    /// is measured from the first submission.
+    pub submitted_at: Time,
+}
+
+impl Wire for PendingRequest {
+    fn encode(&self, out: &mut Writer) {
+        out.u64(self.id);
+        out.u16(self.client);
+        out.u64(self.size);
+        out.u64(self.submitted_at.as_nanos());
+    }
+
+    fn decode(input: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(PendingRequest {
+            id: input.u64()?,
+            client: input.u16()?,
+            size: input.u64()?,
+            submitted_at: Time(input.u64()?),
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + 2 + 8 + 8
+    }
+}
+
+/// Messages of the request-dissemination layer.
+///
+/// Dissemination is driver-level traffic: the simulator and the TCP
+/// runner apply it to the replica's mempool and never hand it to an
+/// engine, preserving the engine purity contract (engines only pull
+/// `next_payload`). Forwarded requests are *not* re-forwarded — a request
+/// submitted to any replica reaches every other replica in exactly one
+/// gossip round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DisseminationMsg {
+    /// One gossip round's worth of pending requests pushed at the sender
+    /// since its last flush, forwarded so every potential leader can batch
+    /// them.
+    Forward {
+        /// The forwarded requests, in the sender's FIFO (submission) order.
+        requests: Vec<PendingRequest>,
+    },
 }
 
 /// Messages of the ICC / Banyan family.
@@ -208,6 +289,10 @@ impl Wire for Message {
                 out.u8(3);
                 m.encode(out);
             }
+            Message::Dissemination(m) => {
+                out.u8(4);
+                m.encode(out);
+            }
         }
     }
 
@@ -217,6 +302,7 @@ impl Wire for Message {
             1 => Ok(Message::HotStuff(HotStuffMsg::decode(input)?)),
             2 => Ok(Message::Streamlet(StreamletMsg::decode(input)?)),
             3 => Ok(Message::Sync(SyncMsg::decode(input)?)),
+            4 => Ok(Message::Dissemination(DisseminationMsg::decode(input)?)),
             _ => Err(CodecError::Invalid("message family")),
         }
     }
@@ -227,6 +313,35 @@ impl Wire for Message {
             Message::HotStuff(m) => m.encoded_len(),
             Message::Streamlet(m) => m.encoded_len(),
             Message::Sync(m) => m.encoded_len(),
+            Message::Dissemination(m) => m.encoded_len(),
+        }
+    }
+}
+
+impl Wire for DisseminationMsg {
+    fn encode(&self, out: &mut Writer) {
+        match self {
+            DisseminationMsg::Forward { requests } => {
+                out.u8(0);
+                out.var_list(requests);
+            }
+        }
+    }
+
+    fn decode(input: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match input.u8()? {
+            0 => Ok(DisseminationMsg::Forward {
+                requests: input.var_list()?,
+            }),
+            _ => Err(CodecError::Invalid("dissemination message")),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            DisseminationMsg::Forward { requests } => {
+                4 + requests.iter().map(Wire::encoded_len).sum::<usize>()
+            }
         }
     }
 }
@@ -537,6 +652,23 @@ mod tests {
             Message::Sync(SyncMsg::Response {
                 block: block(Payload::synthetic(100, 2)),
             }),
+            Message::Dissemination(DisseminationMsg::Forward {
+                requests: vec![
+                    PendingRequest {
+                        id: 11,
+                        client: 2,
+                        size: 512,
+                        submitted_at: Time(77),
+                    },
+                    PendingRequest {
+                        id: 12,
+                        client: 3,
+                        size: 100,
+                        submitted_at: Time(78),
+                    },
+                ],
+            }),
+            Message::Dissemination(DisseminationMsg::Forward { requests: vec![] }),
         ]
     }
 
@@ -595,6 +727,22 @@ mod tests {
             Message::from_bytes(&[9]).unwrap_err(),
             CodecError::Invalid("message family")
         );
+    }
+
+    #[test]
+    fn forward_wire_len_charges_request_content() {
+        // The record is 26 bytes, but the wire must be charged for the
+        // nominal request bytes a real deployment would ship.
+        let msg = Message::Dissemination(DisseminationMsg::Forward {
+            requests: vec![PendingRequest {
+                id: 1,
+                client: 0,
+                size: 10_000,
+                submitted_at: Time(5),
+            }],
+        });
+        assert_eq!(msg.wire_len(), msg.encoded_len() as u64 + 10_000);
+        assert_eq!(msg.label(), "req-forward");
     }
 
     #[test]

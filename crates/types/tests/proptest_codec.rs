@@ -11,7 +11,9 @@ use banyan_types::certs::{
 };
 use banyan_types::codec::Wire;
 use banyan_types::ids::{BlockHash, Rank, ReplicaId, Round};
-use banyan_types::message::{ChainedMsg, HotStuffMsg, Message, StreamletMsg, SyncMsg};
+use banyan_types::message::{
+    ChainedMsg, DisseminationMsg, HotStuffMsg, Message, PendingRequest, StreamletMsg, SyncMsg,
+};
 use banyan_types::payload::Payload;
 use banyan_types::time::Time;
 use banyan_types::vote::{Vote, VoteKind};
@@ -131,6 +133,19 @@ fn arb_unlock_proof() -> impl Strategy<Value = UnlockProof> {
         })
 }
 
+fn arb_pending_request() -> impl Strategy<Value = PendingRequest> {
+    (any::<u64>(), any::<u16>(), any::<u64>(), any::<u64>()).prop_map(|(id, client, size, at)| {
+        PendingRequest {
+            id,
+            client,
+            // Bounded so wire_len sums cannot overflow in the property
+            // below (the simulator never ships > MAX_LEN-sized requests).
+            size: size % (1 << 32),
+            submitted_at: Time(at),
+        }
+    })
+}
+
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         (
@@ -195,6 +210,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
         arb_vote().prop_map(|v| Message::Streamlet(StreamletMsg::Vote(v))),
         arb_hash().prop_map(|hash| Message::Sync(SyncMsg::Request { hash })),
         arb_block().prop_map(|block| Message::Sync(SyncMsg::Response { block })),
+        proptest::collection::vec(arb_pending_request(), 0..8)
+            .prop_map(|requests| Message::Dissemination(DisseminationMsg::Forward { requests })),
     ]
 }
 
@@ -227,6 +244,21 @@ proptest! {
     #[test]
     fn vote_roundtrip(v in arb_vote()) {
         prop_assert_eq!(Vote::from_bytes(&v.to_bytes()).expect("decode"), v);
+    }
+
+    #[test]
+    fn dissemination_forward_roundtrip(
+        requests in proptest::collection::vec(arb_pending_request(), 0..32)
+    ) {
+        let msg = Message::Dissemination(DisseminationMsg::Forward { requests: requests.clone() });
+        let bytes = msg.to_bytes();
+        prop_assert_eq!(bytes.len(), msg.encoded_len(), "encoded_len mismatch");
+        let back = Message::from_bytes(&bytes).expect("decode");
+        prop_assert_eq!(&back, &msg);
+        // The bandwidth model charges record bytes plus the nominal
+        // content size of every forwarded request.
+        let content: u64 = requests.iter().map(|r| r.size).sum();
+        prop_assert_eq!(msg.wire_len(), msg.encoded_len() as u64 + content);
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! * [`banyan_runtime`] — the shared engine-driver layer (deterministic
 //!   event/timer queue, action routing, commit sinks) every deployment
 //!   drives engines through.
+//! * [`banyan_mempool`] — the request-dissemination layer: shared
+//!   mempools, batch encoding, pending-request gossip, exactly-once
+//!   commit dedup.
 //! * [`banyan_simnet`] — deterministic discrete-event WAN simulator.
 //! * [`banyan_types`] — blocks, votes, certificates, wire codec.
 //! * [`banyan_crypto`] — hashes, multi-signatures, PKI, beacon.
@@ -15,6 +18,7 @@
 
 pub use banyan_core as core;
 pub use banyan_crypto as crypto;
+pub use banyan_mempool as mempool;
 pub use banyan_runtime as runtime;
 pub use banyan_simnet as simnet;
 pub use banyan_transport as transport;
