@@ -11,7 +11,8 @@
 //!
 //! Run: `cargo run --release -p banyan-bench --bin saturation_sweep -- \
 //!       [--quick] [--json] [--gossip] [--retry-ms N] [--fanout K] \
-//!       [--assert-no-drop] [secs]`
+//!       [--speculative] [--batch-min-bytes N] [--batch-age-ms N] \
+//!       [--assert-no-drop] [--assert-max-dups] [secs]`
 //!
 //! * `--quick` shrinks the sweep to a CI-sized smoke test;
 //! * `--json` emits one machine-readable JSON object per protocol
@@ -20,9 +21,19 @@
 //! * `--gossip`, `--retry-ms N`, `--fanout K` enable the
 //!   request-dissemination layer (plus a drain phase sized to the retry
 //!   period, so loss accounting settles);
+//! * `--speculative` enables the ancestor-aware speculative drain
+//!   (leaders skip requests a live uncommitted ancestor already carries;
+//!   abandoned blocks release theirs back to the pool);
+//! * `--batch-min-bytes N` / `--batch-age-ms N` install a
+//!   latency-targeted batch policy (defer until N eligible bytes or an
+//!   N ms old request);
 //! * `--assert-no-drop` exits nonzero if any past-knee point falls below
 //!   90% of the plateau goodput or, with retry/gossip on, loses requests
 //!   — the CI regression gate for the dissemination layer;
+//! * `--assert-max-dups` exits nonzero if a protocol's duplicate
+//!   inclusions exceed 1% of its committed requests — the CI regression
+//!   gate for the speculative drain (run it with `--gossip`, where blind
+//!   drains duplicate most);
 //! * `secs` overrides the per-point measured duration.
 //!
 //! Without dissemination flags the sweep reproduces the historical
@@ -43,7 +54,11 @@ struct Args {
     gossip: bool,
     retry_ms: Option<u64>,
     fanout: usize,
+    speculative: bool,
+    batch_min_bytes: Option<u64>,
+    batch_age_ms: Option<u64>,
     assert_no_drop: bool,
+    assert_max_dups: bool,
     secs: Option<u64>,
 }
 
@@ -54,7 +69,11 @@ fn parse_args() -> Args {
         gossip: false,
         retry_ms: None,
         fanout: 1,
+        speculative: false,
+        batch_min_bytes: None,
+        batch_age_ms: None,
         assert_no_drop: false,
+        assert_max_dups: false,
         secs: None,
     };
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -64,7 +83,9 @@ fn parse_args() -> Args {
             "--quick" => args.quick = true,
             "--json" => args.json = true,
             "--gossip" => args.gossip = true,
+            "--speculative" => args.speculative = true,
             "--assert-no-drop" => args.assert_no_drop = true,
+            "--assert-max-dups" => args.assert_max_dups = true,
             "--retry-ms" => {
                 args.retry_ms = Some(
                     it.next()
@@ -78,6 +99,20 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .expect("--fanout takes a replica count")
             }
+            "--batch-min-bytes" => {
+                args.batch_min_bytes = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--batch-min-bytes takes a byte count"),
+                )
+            }
+            "--batch-age-ms" => {
+                args.batch_age_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--batch-age-ms takes a millisecond count"),
+                )
+            }
             other => match other.parse() {
                 Ok(v) => args.secs = Some(v),
                 Err(_) => panic!("unknown argument {other:?}"),
@@ -89,6 +124,15 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    // An age target without a byte target would be a silent no-op
+    // (min_bytes = 0 never defers): surface the mistake instead.
+    assert!(
+        args.batch_age_ms.is_none() || args.batch_min_bytes.is_some(),
+        "--batch-age-ms requires --batch-min-bytes (a zero byte target never defers)"
+    );
+    let batch_policy = args
+        .batch_min_bytes
+        .map(|min| (min, Duration::from_millis(args.batch_age_ms.unwrap_or(50))));
     let secs: u64 = args.secs.unwrap_or(if args.quick { 2 } else { 10 });
     let populations: &[u16] = if args.quick {
         &[1, 4, 16, 64]
@@ -124,9 +168,16 @@ fn main() {
                  # proposals are lost (lost column) and the effective population shrinks\n"
             ),
             _ => println!(
-                "# dissemination on (gossip={}, retry={:?} ms, fanout={}), drain={drain_secs}s: \
-                 lost must be 0\n",
-                args.gossip, args.retry_ms, args.fanout
+                "# dissemination on (gossip={}, retry={:?} ms, fanout={}, speculative={}, \
+                 batch_policy={}), drain={drain_secs}s: lost must be 0\n",
+                args.gossip,
+                args.retry_ms,
+                args.fanout,
+                args.speculative,
+                match batch_policy {
+                    Some((min, age)) => format!("{min}B/{}ms", age.as_millis_f64()),
+                    None => "eager".to_string(),
+                }
             ),
         }
     }
@@ -148,6 +199,12 @@ fn main() {
         }
         if let Some(ms) = args.retry_ms {
             base = base.retry_timeout(Duration::from_millis(ms));
+        }
+        if args.speculative {
+            base = base.speculative_drain();
+        }
+        if let Some((min_bytes, max_age)) = batch_policy {
+            base = base.batch_policy(min_bytes, max_age);
         }
         let points: Vec<SweepPoint> = populations
             .iter()
@@ -175,6 +232,9 @@ fn main() {
         if args.assert_no_drop {
             check_no_drop(protocol, &points, knee, disseminating, &mut failures);
         }
+        if args.assert_max_dups {
+            check_max_dups(protocol, &points, &mut failures);
+        }
     }
 
     if !failures.is_empty() {
@@ -182,6 +242,25 @@ fn main() {
             eprintln!("FAIL: {f}");
         }
         std::process::exit(1);
+    }
+}
+
+/// The speculative-drain regression gate: across the whole sweep, a
+/// protocol's duplicate inclusions must stay within 1% of its committed
+/// requests. Blind drains under gossip blow far past this for protocols
+/// with commit lag (HotStuff/Streamlet); the ancestor-aware drain holds
+/// it near zero.
+fn check_max_dups(protocol: &str, points: &[SweepPoint], failures: &mut Vec<String>) {
+    let committed: u64 = points.iter().map(|p| p.committed).sum();
+    let duplicates: u64 = points.iter().map(|p| p.duplicates).sum();
+    if committed == 0 {
+        failures.push(format!("{protocol}: sweep committed nothing"));
+        return;
+    }
+    if duplicates as f64 > 0.01 * committed as f64 {
+        failures.push(format!(
+            "{protocol}: {duplicates} duplicate inclusions exceed 1% of {committed} committed"
+        ));
     }
 }
 

@@ -9,6 +9,8 @@
 //! * Criterion benches under `benches/` exercising scaled-down versions of
 //!   each experiment plus microbenchmarks of the substrates.
 
+#![warn(missing_docs)]
+
 pub mod runner;
 pub mod sweep;
 

@@ -7,6 +7,7 @@
 
 use banyan_core::builder::ClusterBuilder;
 use banyan_core::chained::ByzantineMode;
+use banyan_mempool::BatchPolicy;
 use banyan_runtime::driver::CommitSink;
 use banyan_simnet::faults::FaultPlan;
 use banyan_simnet::metrics::{LatencyStats, RunMetrics, SafetyAuditor};
@@ -55,6 +56,17 @@ pub struct Scenario {
     /// Replicas each request is submitted to (1 = the historical single
     /// target; `f + 1` is the classic censorship-resistant setting).
     pub fanout: usize,
+    /// Ancestor-aware **speculative drain**: leaders skip requests a live
+    /// uncommitted ancestor already carries, and abandoned blocks release
+    /// their requests back into the pool. Off by default — the historical
+    /// blind FIFO drain.
+    pub speculative: bool,
+    /// Latency-targeted batching policy for the mempool sources; `None`
+    /// (the default) drains eagerly on every proposal.
+    pub batch_policy: Option<BatchPolicy>,
+    /// Per-client think-time multipliers for the closed loop (client `c`
+    /// pauses `think_time × multipliers[c % len]`); empty = uniform.
+    pub think_multipliers: Vec<u32>,
     /// Extra seconds to run after freezing the workload, letting
     /// in-flight requests drain to a commit. 0 (the default) skips the
     /// drain phase entirely, preserving historical figures bit-for-bit.
@@ -98,6 +110,9 @@ impl Scenario {
             gossip: false,
             retry: None,
             fanout: 1,
+            speculative: false,
+            batch_policy: None,
+            think_multipliers: Vec::new(),
             drain_secs: 0,
             byzantine: Vec::new(),
             delta: None,
@@ -165,6 +180,31 @@ impl Scenario {
     pub fn fanout(mut self, fanout: usize) -> Self {
         assert!(fanout > 0, "fanout must be positive");
         self.fanout = fanout;
+        self
+    }
+
+    /// Enables the ancestor-aware speculative drain: drivers feed every
+    /// observed block into per-replica lease tables, leaders skip
+    /// requests leased to a live ancestor of their proposal (collapsing
+    /// the `dups` column), and abandoned blocks release their requests
+    /// back into the pool. Requires a client workload.
+    pub fn speculative_drain(mut self) -> Self {
+        self.speculative = true;
+        self
+    }
+
+    /// Installs a latency-targeted batching policy: leaders defer (empty
+    /// payload) until the eligible backlog reaches `min_bytes` or its
+    /// oldest request has waited `max_age`.
+    pub fn batch_policy(mut self, min_bytes: u64, max_age: Duration) -> Self {
+        self.batch_policy = Some(BatchPolicy::target(min_bytes, max_age));
+        self
+    }
+
+    /// Skews per-client submit rates in the closed loop: client `c`
+    /// pauses `think_time × multipliers[c % len]` before resubmitting.
+    pub fn think_multipliers(mut self, multipliers: Vec<u32>) -> Self {
+        self.think_multipliers = multipliers;
         self
     }
 
@@ -328,15 +368,21 @@ pub fn build_simulation(scenario: &Scenario) -> Simulation {
     builder = match &mempools {
         Some(pools) => {
             let pools = pools.clone();
+            let policy = scenario.batch_policy.unwrap_or(BatchPolicy::EAGER);
             builder.proposal_sources(move |i| {
-                Box::new(MempoolSource::new(
-                    pools[i as usize].clone(),
-                    DEFAULT_MAX_BATCH,
-                ))
+                Box::new(
+                    MempoolSource::new(pools[i as usize].clone(), DEFAULT_MAX_BATCH)
+                        .with_batch_policy(policy),
+                )
             })
         }
         None => builder.payload_size(scenario.payload),
     };
+    assert!(
+        !scenario.speculative || mempools.is_some(),
+        "speculative drain needs a client workload"
+    );
+    let payload_chunk = builder.protocol_config().payload_chunk;
     let engines = builder.build(&scenario.protocol);
     let mut sim = Simulation::new(
         scenario.topology.clone(),
@@ -366,6 +412,9 @@ pub fn build_simulation(scenario: &Scenario) -> Simulation {
             if scenario.fanout > 1 {
                 workload = workload.with_fanout(scenario.fanout);
             }
+            if !scenario.think_multipliers.is_empty() {
+                workload = workload.with_think_multipliers(scenario.think_multipliers.clone());
+            }
             sim.attach_closed_loop(workload);
         } else {
             let mut workload =
@@ -378,8 +427,14 @@ pub fn build_simulation(scenario: &Scenario) -> Simulation {
             }
             sim.attach_workload(workload);
         }
-        if scenario.disseminating() {
+        if scenario.disseminating() || scenario.speculative {
+            // Speculation rides the dissemination wiring: commits must
+            // reach the pools to retire/release leases even when gossip,
+            // retry and fan-out are all off.
             sim.enable_dissemination(scenario.gossip);
+        }
+        if scenario.speculative {
+            sim.enable_speculation(payload_chunk);
         }
     }
     sim

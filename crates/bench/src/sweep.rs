@@ -40,6 +40,30 @@ pub struct SweepPoint {
     pub retried: u64,
     /// Duplicate committed occurrences suppressed by exactly-once dedup.
     pub duplicates: u64,
+    /// Duplicate inclusions as a share of committed requests
+    /// (`duplicates / committed`, 0 when nothing committed) — the
+    /// regression meter for the speculative drain: blind drains under
+    /// gossip push this far up for commit-lagged protocols; ancestor-aware
+    /// drains hold it near zero.
+    pub dup_share: f64,
+    /// Batch efficiency: the fraction of batched-and-committed request
+    /// occurrences that were useful, `committed / (committed +
+    /// duplicates)` (1.0 when nothing committed — an empty run wastes no
+    /// block space).
+    pub batch_efficiency: f64,
+}
+
+impl SweepPoint {
+    /// Derives the duplicate-share and batch-efficiency columns from raw
+    /// committed/duplicate counts.
+    pub fn efficiency(committed: u64, duplicates: u64) -> (f64, f64) {
+        if committed == 0 {
+            return (0.0, 1.0);
+        }
+        let dup_share = duplicates as f64 / committed as f64;
+        let batch_efficiency = committed as f64 / (committed + duplicates) as f64;
+        (dup_share, batch_efficiency)
+    }
 }
 
 /// The fraction of the plateau goodput a point must reach to qualify as
@@ -72,6 +96,8 @@ pub fn measure(base: &Scenario, clients: u16, window: u32, think_time: Duration)
     let out = run(&scenario);
     assert!(out.safe, "safety violation in {} sweep", scenario.protocol);
     let e2e = out.client_latency.unwrap_or_default();
+    let (dup_share, batch_efficiency) =
+        SweepPoint::efficiency(out.requests_committed, out.duplicates_suppressed);
     SweepPoint {
         clients,
         window,
@@ -84,13 +110,15 @@ pub fn measure(base: &Scenario, clients: u16, window: u32, think_time: Duration)
         lost: out.requests_lost,
         retried: out.requests_retried,
         duplicates: out.duplicates_suppressed,
+        dup_share,
+        batch_efficiency,
     }
 }
 
 /// Header matching [`point_row`].
 pub fn sweep_header() -> String {
     format!(
-        "{:>8} {:>7} {:>12} {:>10} {:>10} {:>9} {:>10} {:>10} {:>6} {:>8} {:>6}  {}",
+        "{:>8} {:>7} {:>12} {:>10} {:>10} {:>9} {:>10} {:>10} {:>6} {:>8} {:>6} {:>6} {:>6}  {}",
         "clients",
         "window",
         "goodput/s",
@@ -102,6 +130,8 @@ pub fn sweep_header() -> String {
         "lost",
         "retried",
         "dups",
+        "dup%",
+        "eff%",
         ""
     )
 }
@@ -109,7 +139,7 @@ pub fn sweep_header() -> String {
 /// Formats one sweep point; `knee` appends the saturation marker.
 pub fn point_row(p: &SweepPoint, knee: bool) -> String {
     format!(
-        "{:>8} {:>7} {:>12.1} {:>10.2} {:>10.2} {:>9.3} {:>10} {:>10} {:>6} {:>8} {:>6}  {}",
+        "{:>8} {:>7} {:>12.1} {:>10.2} {:>10.2} {:>9.3} {:>10} {:>10} {:>6} {:>8} {:>6} {:>6.2} {:>6.1}  {}",
         p.clients,
         p.window,
         p.goodput_rps,
@@ -121,6 +151,8 @@ pub fn point_row(p: &SweepPoint, knee: bool) -> String {
         p.lost,
         p.retried,
         p.duplicates,
+        p.dup_share * 100.0,
+        p.batch_efficiency * 100.0,
         if knee { "<- knee" } else { "" }
     )
 }
@@ -131,7 +163,8 @@ pub fn point_json(p: &SweepPoint) -> String {
     format!(
         "{{\"clients\":{},\"window\":{},\"goodput_rps\":{:.3},\"p50_ms\":{:.4},\
          \"p99_ms\":{:.4},\"throughput_mbps\":{:.5},\"submitted\":{},\"committed\":{},\
-         \"lost\":{},\"retried\":{},\"duplicates\":{}}}",
+         \"lost\":{},\"retried\":{},\"duplicates\":{},\"dup_share\":{:.5},\
+         \"batch_efficiency\":{:.5}}}",
         p.clients,
         p.window,
         p.goodput_rps,
@@ -142,7 +175,9 @@ pub fn point_json(p: &SweepPoint) -> String {
         p.committed,
         p.lost,
         p.retried,
-        p.duplicates
+        p.duplicates,
+        p.dup_share,
+        p.batch_efficiency
     )
 }
 
@@ -169,6 +204,7 @@ mod tests {
     use super::*;
 
     fn pt(clients: u16, goodput: f64) -> SweepPoint {
+        let (dup_share, batch_efficiency) = SweepPoint::efficiency(90, 1);
         SweepPoint {
             clients,
             window: 1,
@@ -181,7 +217,19 @@ mod tests {
             lost: 3,
             retried: 7,
             duplicates: 1,
+            dup_share,
+            batch_efficiency,
         }
+    }
+
+    #[test]
+    fn efficiency_columns_derive_from_counts() {
+        assert_eq!(SweepPoint::efficiency(0, 0), (0.0, 1.0));
+        let (dup, eff) = SweepPoint::efficiency(90, 10);
+        assert!((dup - 10.0 / 90.0).abs() < 1e-12);
+        assert!((eff - 0.9).abs() < 1e-12);
+        let (dup, eff) = SweepPoint::efficiency(100, 0);
+        assert_eq!((dup, eff), (0.0, 1.0));
     }
 
     #[test]
@@ -217,7 +265,9 @@ mod tests {
         assert!(row.contains("<- knee"));
         assert!(header.contains("goodput/s"));
         assert!(header.contains("lost"));
+        assert!(header.contains("dup%") && header.contains("eff%"));
         assert!(row.contains(" 3 "), "lost column present: {row}");
+        assert!(row.contains("98.9"), "efficiency column present: {row}");
     }
 
     #[test]
@@ -229,6 +279,8 @@ mod tests {
         assert!(json.contains("\"lost\":3"));
         assert!(json.contains("\"retried\":7"));
         assert!(json.contains("\"duplicates\":1"));
+        assert!(json.contains("\"dup_share\":0.01111"));
+        assert!(json.contains("\"batch_efficiency\":0.98901"));
         assert!(json.ends_with("]}"));
         // An empty sweep has a null knee and an empty points array.
         assert_eq!(

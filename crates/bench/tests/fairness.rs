@@ -77,6 +77,56 @@ fn censorship_blows_up_only_the_targeted_clients_spread() {
     );
 }
 
+/// Starvation under *skewed submit rates* (the last open fairness ROADMAP
+/// bullet): a client that submits 40× slower than its peers must neither
+/// vanish from service nor see its latency blow up — heavy clients'
+/// floods may not starve light ones out of the leaders' batches.
+#[test]
+fn skewed_submit_rates_do_not_starve_slow_clients() {
+    const SLOW: u16 = 7;
+    let scenario = Scenario::new(
+        "banyan",
+        Topology::uniform(4, Duration::from_millis(5)),
+        1,
+        1,
+    )
+    .closed_loop(8, 2, Duration::from_millis(2))
+    // Clients 0..=6 resubmit after 2 ms; client 7 after 80 ms.
+    .think_multipliers(vec![1, 1, 1, 1, 1, 1, 1, 40])
+    .request_size(256)
+    .secs(4)
+    .seed(42)
+    .gossip()
+    .retry_timeout(Duration::from_millis(400))
+    .drain(2);
+    let (m, auditor) = run_metrics(&scenario);
+    assert!(auditor.is_safe());
+
+    let series = m.per_client_latencies();
+    assert_eq!(
+        series.len(),
+        8,
+        "every client commits, including the slow one"
+    );
+    let fast_total: usize = (0..SLOW).map(|c| series[&c].len()).sum();
+    let slow_count = series[&SLOW].len();
+    assert!(
+        slow_count * 8 < fast_total,
+        "the x40 client must actually offer far less load: {slow_count} vs {fast_total}"
+    );
+    // The starvation check: a light client's *latency* stays at the
+    // consensus floor — its rare requests ride the next blocks like
+    // anyone else's instead of queueing behind the heavy clients.
+    let slow_mean = m.max_client_mean_ms(&[SLOW]);
+    let fast_max = m.max_client_mean_ms(&[0, 1, 2, 3, 4, 5, 6]);
+    assert!(slow_mean > 0.0 && fast_max > 0.0);
+    assert!(
+        slow_mean < 2.0 * fast_max,
+        "slow client starved: mean {slow_mean:.1} ms vs busiest fast client {fast_max:.1} ms"
+    );
+    assert_eq!(m.requests_lost(), 0, "skew must not strand requests");
+}
+
 #[test]
 fn gossip_plus_retry_restore_fairness_under_censorship() {
     let (m, auditor) = run_metrics(&censored(true));

@@ -28,7 +28,7 @@ use std::collections::{BTreeMap, HashMap};
 use banyan_crypto::beacon::Beacon;
 use banyan_crypto::registry::KeyRegistry;
 use banyan_crypto::Signature;
-use banyan_types::app::ProposalSource;
+use banyan_types::app::{ProposalContext, ProposalSource};
 use banyan_types::block::Block;
 use banyan_types::certs::{FinalKind, Finalization, Notarization, UnlockProof};
 use banyan_types::config::ProtocolConfig;
@@ -392,6 +392,39 @@ impl ChainedEngine {
         }
     }
 
+    /// The chain position handed to the `ProposalSource`: the parent plus
+    /// the uncommitted ancestor chain (parent first, down to — excluding —
+    /// the newest finalized block). An inclusion-aware source uses it to
+    /// skip requests a live ancestor already carries; the engine itself
+    /// never decodes a payload.
+    ///
+    /// Invariant: stopping at `k_max` satisfies the mempool's "ancestors
+    /// reach the newest *routed* commit" contract only because `propose`
+    /// runs before `progress` in its timer event — no finalization can
+    /// precede the drain within one event. A future propose-from-
+    /// `on_message` path must snapshot `k_max` at event entry instead
+    /// (see HotStuff's `routed_committed_round`).
+    fn proposal_context(&self, round: Round, parent: BlockHash, now: Time) -> ProposalContext {
+        let mut ancestors = Vec::new();
+        let mut cursor = parent;
+        while !BlockStore::is_genesis(&cursor) {
+            let Some(block) = self.store.get(&cursor) else {
+                break; // missing ancestor (sync in flight): report what we hold
+            };
+            if block.round <= self.k_max {
+                break; // the finalized chain starts here
+            }
+            ancestors.push(cursor);
+            cursor = block.parent;
+        }
+        ProposalContext {
+            round,
+            now,
+            parent,
+            ancestors,
+        }
+    }
+
     fn build_block(
         &mut self,
         round: Round,
@@ -399,7 +432,8 @@ impl ChainedEngine {
         parent: BlockHash,
         now: Time,
     ) -> (BlockHash, Block, Option<Vote>) {
-        let payload = self.source.next_payload(round, now);
+        let ctx = self.proposal_context(round, parent, now);
+        let payload = self.source.next_payload(&ctx);
         let mut block = Block {
             round,
             proposer: self.id,

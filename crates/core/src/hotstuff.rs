@@ -22,7 +22,7 @@ use std::collections::{BTreeMap, HashMap};
 use banyan_crypto::beacon::Beacon;
 use banyan_crypto::registry::KeyRegistry;
 use banyan_crypto::Signature;
-use banyan_types::app::ProposalSource;
+use banyan_types::app::{ProposalContext, ProposalSource};
 use banyan_types::block::Block;
 use banyan_types::certs::QuorumCert;
 use banyan_types::config::ProtocolConfig;
@@ -65,6 +65,15 @@ pub struct HotStuffEngine {
     committed_view: u64,
     /// Round of the last committed block (for the commit walk).
     committed_round: Round,
+    /// `committed_round` as of the start of the current engine event —
+    /// i.e. the newest commit whose `CommitEntry` the driver has already
+    /// routed. The `ProposalContext` ancestor walk stops here, NOT at
+    /// `committed_round`: a QC arrival can commit a block and trigger the
+    /// next proposal in one event, and the mempool's lease for that block
+    /// is still live until the commit is routed after the event — so the
+    /// block must still count as a live ancestor or its requests would be
+    /// re-batched (the commit-lag duplication race).
+    routed_committed_round: Round,
     /// Views in which we already proposed.
     proposed: std::collections::HashSet<u64>,
     /// View timeout (pacemaker).
@@ -108,6 +117,7 @@ impl HotStuffEngine {
             new_views: BTreeMap::new(),
             committed_view: 0,
             committed_round: Round::GENESIS,
+            routed_committed_round: Round::GENESIS,
             proposed: std::collections::HashSet::new(),
             view_timeout,
             source,
@@ -152,13 +162,14 @@ impl HotStuffEngine {
         }
         self.proposed.insert(view);
         let justify = self.high_qc.clone();
+        let ctx = self.proposal_context(Round(view), justify.block, now);
         let mut block = Block {
             round: Round(view),
             proposer: self.id,
             rank: Rank(0),
             parent: justify.block,
             proposed_at: now,
-            payload: self.source.next_payload(Round(view), now),
+            payload: self.source.next_payload(&ctx),
             signature: Signature::zero(),
         };
         let hash = block.hash(self.cfg.payload_chunk);
@@ -170,6 +181,34 @@ impl HotStuffEngine {
         }));
         // Process our own proposal (vote for it).
         self.handle_proposal(block, justify, now, actions);
+    }
+
+    /// The chain position for the `ProposalSource`: the justify block plus
+    /// every ancestor down to — excluding — the last commit the *driver
+    /// has routed* (`routed_committed_round`, snapshotted at event entry;
+    /// see its field docs for why `committed_round` would race). The
+    /// 3-chain rule keeps 2+ blocks in this window even on the happy
+    /// path, which is exactly the commit lag that made blind drains
+    /// re-batch ancestors' requests (the sweep's `dups` column).
+    fn proposal_context(&self, round: Round, parent: BlockHash, now: Time) -> ProposalContext {
+        let mut ancestors = Vec::new();
+        let mut cursor = parent;
+        while cursor != BlockHash::ZERO {
+            let Some((block, justify)) = self.blocks.get(&cursor) else {
+                break;
+            };
+            if block.round <= self.routed_committed_round {
+                break;
+            }
+            ancestors.push(cursor);
+            cursor = justify.block;
+        }
+        ProposalContext {
+            round,
+            now,
+            parent,
+            ancestors,
+        }
     }
 
     fn update_high_qc(&mut self, qc: &QuorumCert) {
@@ -388,12 +427,15 @@ impl Engine for HotStuffEngine {
     }
 
     fn on_init(&mut self, now: Time) -> Actions {
+        self.routed_committed_round = self.committed_round;
         let mut actions = Actions::none();
         self.enter_view(1, now, &mut actions);
         actions
     }
 
     fn on_message(&mut self, from: ReplicaId, msg: Message, now: Time) -> Actions {
+        // Everything committed before this event has been routed by now.
+        self.routed_committed_round = self.committed_round;
         let mut actions = Actions::none();
         match msg {
             Message::HotStuff(HotStuffMsg::Proposal { block, justify }) => {
@@ -416,6 +458,7 @@ impl Engine for HotStuffEngine {
     }
 
     fn on_timer(&mut self, kind: TimerKind, now: Time) -> Actions {
+        self.routed_committed_round = self.committed_round;
         let mut actions = Actions::none();
         if let TimerKind::ViewTimeout { view } = kind {
             if view == self.view {

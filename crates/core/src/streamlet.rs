@@ -20,7 +20,7 @@ use std::collections::{HashMap, HashSet};
 use banyan_crypto::beacon::Beacon;
 use banyan_crypto::registry::KeyRegistry;
 use banyan_crypto::Signature;
-use banyan_types::app::ProposalSource;
+use banyan_types::app::{ProposalContext, ProposalSource};
 use banyan_types::block::Block;
 use banyan_types::config::ProtocolConfig;
 use banyan_types::engine::{Actions, CommitEntry, Engine, TimerKind};
@@ -136,13 +136,14 @@ impl StreamletEngine {
         );
         if self.leader(epoch) == self.id {
             let (parent, _) = self.longest_notarized_tip();
+            let ctx = self.proposal_context(Round(epoch), parent, now);
             let mut block = Block {
                 round: Round(epoch),
                 proposer: self.id,
                 rank: Rank(0),
                 parent,
                 proposed_at: now,
-                payload: self.source.next_payload(Round(epoch), now),
+                payload: self.source.next_payload(&ctx),
                 signature: Signature::zero(),
             };
             let hash = block.hash(self.cfg.payload_chunk);
@@ -151,6 +152,39 @@ impl StreamletEngine {
                 block: block.clone(),
             }));
             self.handle_proposal(block, now, actions);
+        }
+    }
+
+    /// The chain position for the `ProposalSource`: the tip being extended
+    /// plus every uncommitted ancestor down to — excluding — the last
+    /// committed epoch. Streamlet's commit rule always leaves the newest
+    /// notarized block (and often more) uncommitted, the commit lag that
+    /// made blind drains re-batch ancestors' requests.
+    ///
+    /// Invariant: stopping at `committed_round` satisfies the mempool's
+    /// "ancestors reach the newest *routed* commit" contract only because
+    /// Streamlet proposes exclusively as the first action of an epoch
+    /// tick — no commit can precede the drain within one event. A future
+    /// propose-from-`on_message` path must snapshot the committed round
+    /// at event entry instead (see HotStuff's `routed_committed_round`).
+    fn proposal_context(&self, round: Round, parent: BlockHash, now: Time) -> ProposalContext {
+        let mut ancestors = Vec::new();
+        let mut cursor = parent;
+        while cursor != BlockHash::ZERO {
+            let Some((block, _)) = self.blocks.get(&cursor) else {
+                break;
+            };
+            if block.round <= self.committed_round {
+                break;
+            }
+            ancestors.push(cursor);
+            cursor = block.parent;
+        }
+        ProposalContext {
+            round,
+            now,
+            parent,
+            ancestors,
         }
     }
 

@@ -1,5 +1,7 @@
 //! The request-dissemination layer: shared mempools, batch encoding,
-//! pending-request gossip and exactly-once commit dedup.
+//! pending-request gossip, exactly-once commit dedup and the
+//! **speculative drain** (ancestor-aware leases + latency-targeted
+//! batching).
 //!
 //! Banyan's latency claims assume client requests reach the *current*
 //! leader promptly, but a request submitted to one replica's FIFO would
@@ -10,18 +12,54 @@
 //!
 //! * [`Mempool`] — a deterministic FIFO of pending [`Request`]s with
 //!   capacity eviction, duplicate-id rejection, an optional **gossip
-//!   outbox** (locally submitted requests queued for forwarding to peers)
-//!   and **committed-id tracking** (the exactly-once dedup rule: a
-//!   request observed committed is purged from the pending queue and
-//!   every future push or forward of its id is rejected);
+//!   outbox** (locally submitted requests queued for forwarding to peers,
+//!   bounded — see [`DEFAULT_OUTBOX_CAP`]) and **committed-id tracking**
+//!   (the exactly-once dedup rule: a request observed committed is purged
+//!   from the pending queue and every future push or forward of its id is
+//!   rejected);
 //! * [`SharedMempool`] — the `Arc<Mutex<_>>` handle the driver (producer
 //!   side) and the engine's [`MempoolSource`] (consumer side) share;
 //! * [`MempoolSource`] — a [`ProposalSource`] that drains the pool into
 //!   one [`WorkloadBatch`] payload per proposal, bounded by a record cap
-//!   and a nominal-byte cap;
+//!   and a nominal-byte cap, steered by a
+//!   [`ProposalContext`] and an
+//!   optional [`BatchPolicy`];
 //! * [`WorkloadBatch`] — the self-identifying wire encoding of a batch
 //!   (request records + zero padding to the nominal byte size, so the
 //!   bandwidth model charges what a real deployment would ship).
+//!
+//! # Speculative drain & leases
+//!
+//! With gossip, every replica's pool holds a copy of (nearly) every
+//! pending request, so a leader that drains its FIFO blind to the chain
+//! re-batches everything its *uncommitted ancestors* already carry — the
+//! commit-lag duplication the sweep's `dups` column measures (large for
+//! HotStuff/Streamlet's multi-block commit lag).
+//! [`Mempool::with_speculation`] turns the pool into a speculative one:
+//!
+//! * the driver layer calls [`Mempool::observe_proposal`] for every block
+//!   that crosses the wire (own proposals on the way out, peers' on the
+//!   way in); the pool decodes the block's [`WorkloadBatch`] and records a
+//!   **lease** — `block id → the requests it carries` — so inclusion
+//!   tracking never touches an engine;
+//! * [`Mempool::drain_speculative`] (what [`MempoolSource`] calls) skips
+//!   every request leased to a **live ancestor** of the block being
+//!   proposed (the `ProposalContext::ancestors` chain), leaving those
+//!   pending copies untouched for the fork they might still be needed on;
+//! * [`Mempool::mark_committed_block`] retires the committed block's
+//!   lease and **releases** every lease at or below the committed round
+//!   whose block lost (fork abandonment / round skip): its requests
+//!   re-enter the pending queue with their original id and submit
+//!   timestamp via [`Mempool::release`], so nothing is stranded.
+//!
+//! [`BatchPolicy`] adds latency-targeted batching on top of the same
+//! context: a leader may defer (return an empty payload) until the
+//! eligible backlog reaches a byte target or its oldest request reaches an
+//! age target — trading a bounded wait for fuller blocks.
+//!
+//! Everything defaults **off**: with speculation disabled and the
+//! [`BatchPolicy::EAGER`] policy, drains are bit-identical to the
+//! historical blind FIFO drain.
 //!
 //! The gossip traffic itself travels as
 //! [`banyan_types::message::DisseminationMsg`] frames: drivers (the
@@ -53,14 +91,15 @@
 
 #![warn(missing_docs)]
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
 
-use banyan_types::app::ProposalSource;
+use banyan_types::app::{ProposalContext, ProposalSource};
+use banyan_types::block::Block;
 use banyan_types::codec::{Reader, Wire, Writer};
-use banyan_types::ids::Round;
+use banyan_types::ids::{BlockHash, Round};
 use banyan_types::payload::Payload;
-use banyan_types::time::Time;
+use banyan_types::time::{Duration, Time};
 
 pub use banyan_types::message::PendingRequest as Request;
 
@@ -77,6 +116,58 @@ pub const DEFAULT_MAX_BATCH: usize = 4_096;
 /// the largest block size the paper evaluates), so large requests cannot
 /// inflate a single batch to gigabytes regardless of the record cap.
 pub const DEFAULT_MAX_BATCH_BYTES: u64 = 2_000_000;
+
+/// Default bound on the gossip outbox (requests queued for forwarding).
+/// A replica whose driver cannot flush (e.g. one side of a long
+/// partition) drops the *oldest* queued forwards past this cap instead of
+/// growing without limit; drops are counted in
+/// [`Mempool::forward_dropped`]. Clients retry, so a dropped forward is a
+/// delayed request, never a lost one.
+pub const DEFAULT_OUTBOX_CAP: usize = 16_384;
+
+/// Latency-targeted batching policy: when may a leader return an *empty*
+/// payload instead of draining the pool?
+///
+/// A leader holding only a trickle of requests wastes a block (and its
+/// fixed consensus cost) on a near-empty batch. Under this policy the
+/// [`MempoolSource`] defers — proposes an empty payload, leaving the
+/// requests pending for a later leader — until the **eligible** backlog
+/// (pending requests not leased to a live ancestor) reaches `min_bytes`
+/// of nominal size, *or* its oldest eligible request has waited
+/// `max_age` since first submission. The age escape hatch bounds the
+/// extra latency a deferral can ever add.
+///
+/// [`BatchPolicy::EAGER`] (the default, `min_bytes = 0`) never defers and
+/// reproduces the historical drain-every-proposal behavior bit-for-bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Build a batch once the eligible backlog reaches this many nominal
+    /// bytes (0 = always build).
+    pub min_bytes: u64,
+    /// …or once the oldest eligible request has waited this long since
+    /// its first submission, whichever comes first.
+    pub max_age: Duration,
+}
+
+impl BatchPolicy {
+    /// Drain on every proposal (the historical behavior).
+    pub const EAGER: BatchPolicy = BatchPolicy {
+        min_bytes: 0,
+        max_age: Duration::ZERO,
+    };
+
+    /// A policy targeting `min_bytes` per batch, deferring at most
+    /// `max_age` past a request's first submission.
+    pub fn target(min_bytes: u64, max_age: Duration) -> Self {
+        BatchPolicy { min_bytes, max_age }
+    }
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy::EAGER
+    }
+}
 
 /// Outcome of a [`Mempool::push`] (or [`Mempool::accept_forwarded`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -118,11 +209,25 @@ pub struct Mempool {
     gossip: bool,
     /// Locally submitted requests awaiting a driver's forward broadcast.
     outbox: VecDeque<Request>,
+    /// Outbox bound: past it the oldest queued forward is dropped.
+    outbox_cap: usize,
+    /// `Some(payload_chunk)` when the speculative lease machinery is on
+    /// (the chunk size parameterizes block hashing in
+    /// [`observe_proposal`](Self::observe_proposal)).
+    speculation: Option<usize>,
+    /// Live leases: `(round, block) → the requests the block carries`,
+    /// ordered so retirement sweeps are deterministic.
+    leases: BTreeMap<(u64, BlockHash), Vec<Request>>,
+    /// Block → round index into `leases`.
+    lease_rounds: HashMap<BlockHash, u64>,
     accepted: u64,
     evicted: u64,
     duplicates: u64,
     forwarded_in: u64,
     rejected_committed: u64,
+    forward_dropped: u64,
+    released: u64,
+    deferred: u64,
 }
 
 impl Mempool {
@@ -140,11 +245,18 @@ impl Mempool {
             committed_ids: HashSet::new(),
             gossip: false,
             outbox: VecDeque::new(),
+            outbox_cap: DEFAULT_OUTBOX_CAP,
+            speculation: None,
+            leases: BTreeMap::new(),
+            lease_rounds: HashMap::new(),
             accepted: 0,
             evicted: 0,
             duplicates: 0,
             forwarded_in: 0,
             rejected_committed: 0,
+            forward_dropped: 0,
+            released: 0,
+            deferred: 0,
         }
     }
 
@@ -161,6 +273,39 @@ impl Mempool {
     /// shared-handle counterpart of [`with_gossip`](Self::with_gossip).
     pub fn set_gossip(&mut self, on: bool) {
         self.gossip = on;
+    }
+
+    /// Builder-style: overrides the gossip outbox bound (default
+    /// [`DEFAULT_OUTBOX_CAP`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn with_outbox_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "outbox cap must be positive");
+        self.outbox_cap = cap;
+        self
+    }
+
+    /// Builder-style: enables the speculative lease machinery.
+    /// `payload_chunk` must match the cluster's
+    /// `ProtocolConfig::payload_chunk` so observed blocks hash to the same
+    /// ids the engines use.
+    pub fn with_speculation(mut self, payload_chunk: usize) -> Self {
+        self.set_speculation(Some(payload_chunk));
+        self
+    }
+
+    /// Enables (`Some(payload_chunk)`) or disables (`None`) the
+    /// speculative lease machinery in place — the shared-handle
+    /// counterpart of [`with_speculation`](Self::with_speculation).
+    pub fn set_speculation(&mut self, payload_chunk: Option<usize>) {
+        self.speculation = payload_chunk;
+    }
+
+    /// True when the speculative lease machinery is enabled.
+    pub fn speculation_enabled(&self) -> bool {
+        self.speculation.is_some()
     }
 
     /// A new mempool behind the `Arc<Mutex<_>>` the driver and the
@@ -191,6 +336,13 @@ impl Mempool {
             )
         {
             self.outbox.push_back(req);
+            // Bounded outbox: a replica whose driver cannot flush (e.g.
+            // one side of a partition) sheds the oldest queued forwards
+            // rather than growing without limit.
+            if self.outbox.len() > self.outbox_cap {
+                self.outbox.pop_front();
+                self.forward_dropped += 1;
+            }
         }
         outcome
     }
@@ -257,6 +409,132 @@ impl Mempool {
         self.committed_ids.contains(&id)
     }
 
+    // ------------------------------------------------------------------
+    // Speculative leases
+    // ------------------------------------------------------------------
+
+    /// Driver hook: observes one block crossing the wire (an own proposal
+    /// on the way out, a peer's on the way in). If speculation is enabled
+    /// and the block carries a [`WorkloadBatch`], its requests are
+    /// recorded as a **lease** keyed by the block's id, feeding the
+    /// exclusion set of [`drain_speculative`](Self::drain_speculative)
+    /// and the release machinery of
+    /// [`mark_committed_block`](Self::mark_committed_block). Idempotent
+    /// per block; returns `true` when a new lease was recorded.
+    ///
+    /// This is the layer that decodes ancestor payloads — engines only
+    /// ever hand block *ids* to the pool (via `ProposalContext`), so they
+    /// stay pure.
+    pub fn observe_proposal(&mut self, block: &Block) -> bool {
+        let Some(payload_chunk) = self.speculation else {
+            return false;
+        };
+        let Some(batch) = WorkloadBatch::decode(&block.payload) else {
+            return false;
+        };
+        let hash = block.hash(payload_chunk);
+        self.observe_block(hash, block.round, batch.requests)
+    }
+
+    /// Records a lease directly: `block` (of `round`) carries `requests`.
+    /// The decoded form of [`observe_proposal`](Self::observe_proposal),
+    /// exposed for drivers that already hold the batch and for tests.
+    /// Idempotent per block id; returns `true` when newly recorded.
+    pub fn observe_block(
+        &mut self,
+        block: BlockHash,
+        round: Round,
+        requests: Vec<Request>,
+    ) -> bool {
+        if requests.is_empty() || self.lease_rounds.contains_key(&block) {
+            return false;
+        }
+        self.lease_rounds.insert(block, round.0);
+        self.leases.insert((round.0, block), requests);
+        true
+    }
+
+    /// Commit-side lease retirement: marks every request of the committed
+    /// `block` [committed](Self::mark_committed), drops its lease, and
+    /// **releases** every remaining lease at or below `round` — those
+    /// blocks lost the fork (or their round was skipped past), so their
+    /// requests can never commit through them and re-enter the pending
+    /// queue with their original id and submit timestamp.
+    ///
+    /// With speculation off this reduces to per-id `mark_committed`
+    /// calls, preserving the historical commit path bit-for-bit.
+    pub fn mark_committed_block(&mut self, block: BlockHash, round: Round, requests: &[Request]) {
+        for req in requests {
+            self.mark_committed(req.id);
+        }
+        // The committed block's own lease is fulfilled, not released.
+        if let Some(r) = self.lease_rounds.remove(&block) {
+            self.leases.remove(&(r, block));
+        }
+        self.release_below(round);
+    }
+
+    /// Fork abandonment / round skip: drops `block`'s lease and returns
+    /// its not-yet-committed requests to the pending queue (original id
+    /// and timestamp; duplicates of still-pending copies are skipped, and
+    /// released requests are **not** re-gossiped — every peer that needed
+    /// a copy got one when the request first entered). Returns how many
+    /// requests re-entered the queue.
+    pub fn release(&mut self, block: BlockHash) -> usize {
+        let Some(round) = self.lease_rounds.remove(&block) else {
+            return 0;
+        };
+        let requests = self
+            .leases
+            .remove(&(round, block))
+            .expect("lease index and table agree");
+        self.reinsert_all(requests)
+    }
+
+    /// Releases every lease whose round is ≤ `round` (they can no longer
+    /// commit once a round-`round` block has), in deterministic
+    /// (round, block-id) order.
+    fn release_below(&mut self, round: Round) {
+        let doomed: Vec<(u64, BlockHash)> = self
+            .leases
+            .range(..=(round.0, BlockHash([0xFF; 32])))
+            .map(|(k, _)| *k)
+            .collect();
+        for (r, block) in doomed {
+            let requests = self.leases.remove(&(r, block)).expect("collected above");
+            self.lease_rounds.remove(&block);
+            self.reinsert_all(requests);
+        }
+    }
+
+    /// Re-pends released requests: committed ids and ids already pending
+    /// are skipped; the rest append in their original batch order.
+    fn reinsert_all(&mut self, requests: Vec<Request>) -> usize {
+        let mut reinserted = 0;
+        for req in requests {
+            if matches!(
+                self.insert(req),
+                PushOutcome::Accepted | PushOutcome::AcceptedEvicting(_)
+            ) {
+                reinserted += 1;
+                self.released += 1;
+            }
+        }
+        reinserted
+    }
+
+    /// Number of live (unretired) leases.
+    pub fn live_leases(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// The leased requests of `block`, if a live lease exists (tests,
+    /// diagnostics).
+    pub fn lease(&self, block: &BlockHash) -> Option<&[Request]> {
+        let round = self.lease_rounds.get(block)?;
+        self.leases.get(&(*round, *block)).map(Vec::as_slice)
+    }
+
     /// Drains the gossip outbox: the locally pushed requests a driver
     /// should forward to peers, oldest first. Requests already observed
     /// committed in the meantime are dropped rather than forwarded.
@@ -280,27 +558,130 @@ impl Mempool {
     /// wedging the pool ([`MempoolSource`] rejects a zero record cap at
     /// construction for the same reason). Tombstones of committed ids are
     /// discarded along the way, never returned.
+    ///
+    /// Equivalent to [`drain_speculative`](Self::drain_speculative) with
+    /// a genesis-rooted context and the [`BatchPolicy::EAGER`] policy.
     pub fn drain_bounded(&mut self, max_records: usize, max_bytes: u64) -> Vec<Request> {
+        self.drain_speculative(
+            max_records,
+            max_bytes,
+            &ProposalContext::root(Round(0), Time::ZERO),
+            &BatchPolicy::EAGER,
+        )
+    }
+
+    /// The ancestor-aware drain: like
+    /// [`drain_bounded`](Self::drain_bounded), but every pending request
+    /// whose id is
+    /// leased to a block of `ctx.ancestors` — the uncommitted chain the
+    /// proposal extends, per [`observe_proposal`](Self::observe_proposal)
+    /// — is *skipped, not consumed*: its pending copy keeps its FIFO
+    /// position, available to a competing fork's leader and recoverable
+    /// if the ancestor is abandoned. (Engines must report the ancestor
+    /// chain down to the newest commit the *driver has routed*, i.e. as
+    /// of the start of the current engine event — a block committed
+    /// mid-event still holds a live lease here, and dropping it from the
+    /// context would re-batch its requests.)
+    ///
+    /// `policy` may defer the whole batch: if the eligible backlog is
+    /// below `policy.min_bytes` and its oldest request is younger than
+    /// `policy.max_age` at `ctx.now`, nothing is drained and an empty vec
+    /// is returned (counted in [`deferred`](Self::deferred)).
+    pub fn drain_speculative(
+        &mut self,
+        max_records: usize,
+        max_bytes: u64,
+        ctx: &ProposalContext,
+        policy: &BatchPolicy,
+    ) -> Vec<Request> {
+        let excluded = self.leased_to_ancestry(ctx);
+        match self.batch_ready(&excluded, policy, ctx.now) {
+            BatchReady::Build => {}
+            BatchReady::Idle => return Vec::new(),
+            BatchReady::Defer => {
+                self.deferred += 1;
+                return Vec::new();
+            }
+        }
         let mut out = Vec::new();
+        let mut skipped: Vec<Request> = Vec::new();
         let mut bytes = 0u64;
         while out.len() < max_records {
-            let Some(front) = self.queue.front() else {
+            let Some(front) = self.queue.pop_front() else {
                 break;
             };
             if !self.pending_ids.contains(&front.id) {
-                self.queue.pop_front();
+                continue; // tombstone of a committed id
+            }
+            if excluded.contains(&front.id) {
+                skipped.push(front);
                 continue;
             }
             let next = bytes.saturating_add(front.size);
             if !out.is_empty() && next > max_bytes {
+                self.queue.push_front(front);
                 break;
             }
             bytes = next;
-            let req = self.queue.pop_front().expect("front just checked");
-            self.pending_ids.remove(&req.id);
-            out.push(req);
+            self.pending_ids.remove(&front.id);
+            out.push(front);
+        }
+        // Skipped (ancestor-leased) requests return to the front in their
+        // original relative order: FIFO fairness is preserved for them.
+        for req in skipped.into_iter().rev() {
+            self.queue.push_front(req);
         }
         out
+    }
+
+    /// The drain-exclusion set of `ctx`: ids leased to a `ctx.ancestors`
+    /// block. A lease on a *competing* fork is deliberately not excluded
+    /// — only one fork commits, so batching its requests on this fork is
+    /// no duplicate.
+    fn leased_to_ancestry(&self, ctx: &ProposalContext) -> HashSet<u64> {
+        let mut excluded = HashSet::new();
+        if self.leases.is_empty() {
+            return excluded;
+        }
+        for block in &ctx.ancestors {
+            if let Some(round) = self.lease_rounds.get(block) {
+                if let Some(requests) = self.leases.get(&(*round, *block)) {
+                    excluded.extend(requests.iter().map(|r| r.id));
+                }
+            }
+        }
+        excluded
+    }
+
+    /// The [`BatchPolicy`] gate: is the eligible backlog (live, not
+    /// ancestor-leased) big or old enough to build a batch?
+    fn batch_ready(&self, excluded: &HashSet<u64>, policy: &BatchPolicy, now: Time) -> BatchReady {
+        if policy.min_bytes == 0 {
+            return BatchReady::Build; // EAGER: never defer (the historical behavior)
+        }
+        let mut bytes = 0u64;
+        let mut eligible = false;
+        for req in &self.queue {
+            if !self.pending_ids.contains(&req.id) || excluded.contains(&req.id) {
+                continue;
+            }
+            eligible = true;
+            if now.since(req.submitted_at) >= policy.max_age {
+                return BatchReady::Build; // oldest eligible request hit the age escape
+            }
+            bytes = bytes.saturating_add(req.size);
+            if bytes >= policy.min_bytes {
+                return BatchReady::Build;
+            }
+        }
+        if eligible {
+            BatchReady::Defer
+        } else {
+            // An empty (or fully ancestor-leased) backlog is *idle*, not
+            // deferred: an eager drain would also ship nothing, so the
+            // deferral diagnostic must not count it.
+            BatchReady::Idle
+        }
     }
 
     /// Pending (live) requests.
@@ -347,6 +728,32 @@ impl Mempool {
     pub fn rejected_committed(&self) -> u64 {
         self.rejected_committed
     }
+
+    /// Queued forwards dropped by the outbox bound so far.
+    pub fn forward_dropped(&self) -> u64 {
+        self.forward_dropped
+    }
+
+    /// Requests returned to the pending queue by lease releases so far.
+    pub fn released(&self) -> u64 {
+        self.released
+    }
+
+    /// Drains deferred by the [`BatchPolicy`] so far.
+    pub fn deferred(&self) -> u64 {
+        self.deferred
+    }
+}
+
+/// Verdict of the [`BatchPolicy`] gate for one drain attempt.
+enum BatchReady {
+    /// Build the batch now (target reached, or the EAGER policy).
+    Build,
+    /// Eligible work exists but neither target is reached yet: hold the
+    /// block (counted in [`Mempool::deferred`]).
+    Defer,
+    /// Nothing eligible at all — an eager drain would also be empty.
+    Idle,
 }
 
 /// A mempool shared between a driver (producer side) and an engine's
@@ -448,12 +855,17 @@ impl WorkloadBatch {
 /// dissemination layer off that means the request is lost outright
 /// (visible as `requests_lost` in the metrics); with gossip, fan-out or
 /// client retry enabled another copy survives elsewhere and commits
-/// exactly once (see the crate docs).
+/// exactly once (see the crate docs). With **speculation** enabled on the
+/// pool, the driver-fed lease table additionally (a) excludes requests
+/// already carried by a live ancestor of the proposal (no duplicate
+/// inclusions) and (b) releases requests of abandoned blocks back into
+/// the queue (no local loss either).
 #[derive(Debug)]
 pub struct MempoolSource {
     mempool: SharedMempool,
     max_batch: usize,
     max_bytes: u64,
+    policy: BatchPolicy,
 }
 
 impl MempoolSource {
@@ -470,6 +882,7 @@ impl MempoolSource {
             mempool,
             max_batch,
             max_bytes: DEFAULT_MAX_BATCH_BYTES,
+            policy: BatchPolicy::EAGER,
         }
     }
 
@@ -478,15 +891,22 @@ impl MempoolSource {
         self.max_bytes = max_bytes;
         self
     }
+
+    /// Installs a latency-targeted [`BatchPolicy`] (default
+    /// [`BatchPolicy::EAGER`], which never defers).
+    pub fn with_batch_policy(mut self, policy: BatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
 }
 
 impl ProposalSource for MempoolSource {
-    fn next_payload(&mut self, _round: Round, _now: Time) -> Payload {
+    fn next_payload(&mut self, ctx: &ProposalContext) -> Payload {
         let requests = self
             .mempool
             .lock()
             .expect("mempool lock")
-            .drain_bounded(self.max_batch, self.max_bytes);
+            .drain_speculative(self.max_batch, self.max_bytes, ctx, &self.policy);
         if requests.is_empty() {
             Payload::empty()
         } else {
@@ -686,20 +1106,22 @@ mod tests {
             }
         }
         let mut src = MempoolSource::new(shared.clone(), 3);
-        let first = src.next_payload(Round(1), Time(10));
+        let first = src.next_payload(&ProposalContext::root(Round(1), Time(10)));
         let batch = WorkloadBatch::decode(&first).expect("batch payload");
         assert_eq!(
             batch.requests.iter().map(|r| r.id).collect::<Vec<_>>(),
             [1, 2, 3]
         );
-        let second = src.next_payload(Round(2), Time(20));
+        let second = src.next_payload(&ProposalContext::root(Round(2), Time(20)));
         let batch = WorkloadBatch::decode(&second).expect("batch payload");
         assert_eq!(
             batch.requests.iter().map(|r| r.id).collect::<Vec<_>>(),
             [4, 5]
         );
         // Empty mempool → empty payload, not a stall.
-        assert!(src.next_payload(Round(3), Time(30)).is_empty());
+        assert!(src
+            .next_payload(&ProposalContext::root(Round(3), Time(30)))
+            .is_empty());
     }
 
     #[test]
@@ -738,6 +1160,216 @@ mod tests {
         assert_eq!(mp.drain_bounded(3, u64::MAX).len(), 3);
     }
 
+    fn hash(tag: u8) -> BlockHash {
+        BlockHash([tag; 32])
+    }
+
+    /// A proposal context for round `round` extending `ancestors` (newest
+    /// first; parent = first entry or genesis).
+    fn ctx(round: u64, ancestors: &[BlockHash]) -> ProposalContext {
+        ProposalContext {
+            round: Round(round),
+            now: Time(round),
+            parent: ancestors.first().copied().unwrap_or(BlockHash::ZERO),
+            ancestors: ancestors.to_vec(),
+        }
+    }
+
+    /// A genesis-rooted context at virtual time `now` (policy tests).
+    fn ctx_at(now: u64) -> ProposalContext {
+        ProposalContext::root(Round(0), Time(now))
+    }
+
+    #[test]
+    fn speculative_drain_skips_ancestor_leases_without_consuming_them() {
+        let mut mp = Mempool::new(100).with_speculation(64 * 1024);
+        for id in 1..=6 {
+            mp.push(req(id, id));
+        }
+        // Two competing round-5 blocks: ancestor A carries 1..=3, fork
+        // parent B carries 6.
+        mp.observe_block(hash(0xA), Round(5), vec![req(1, 1), req(2, 2), req(3, 3)]);
+        mp.observe_block(hash(0xB), Round(5), vec![req(6, 6)]);
+        assert_eq!(mp.live_leases(), 2);
+
+        // Proposing on top of A: A's requests are skipped, B's are fair
+        // game (only one fork commits, so that is no duplicate).
+        let out = mp.drain_speculative(10, u64::MAX, &ctx(6, &[hash(0xA)]), &BatchPolicy::EAGER);
+        assert_eq!(out.iter().map(|r| r.id).collect::<Vec<_>>(), [4, 5, 6]);
+        // The leased copies kept their FIFO slots: a leader extending the
+        // B fork instead can still drain them, oldest first.
+        let fork = mp.drain_speculative(10, u64::MAX, &ctx(6, &[hash(0xB)]), &BatchPolicy::EAGER);
+        assert_eq!(fork.iter().map(|r| r.id).collect::<Vec<_>>(), [1, 2, 3]);
+    }
+
+    #[test]
+    fn speculative_drain_excludes_mid_event_committed_ancestors() {
+        // The commit-lag race: an engine can commit block E and propose
+        // in the SAME event — the drain runs before the commit is routed
+        // to the pool. The engine contract therefore keeps E in the
+        // context's ancestor chain (ancestors reach down to the newest
+        // *routed* commit), and E's still-live lease must exclude its
+        // requests from the drain.
+        let mut mp = Mempool::new(100).with_speculation(64 * 1024);
+        for id in 1..=3 {
+            mp.push(req(id, id));
+        }
+        mp.observe_block(hash(0xE), Round(2), vec![req(1, 1), req(2, 2)]);
+        mp.observe_block(hash(0xC), Round(4), vec![req(3, 3)]);
+        let chain = [hash(0xC), hash(0xE)];
+        let out = mp.drain_speculative(10, u64::MAX, &ctx(5, &chain), &BatchPolicy::EAGER);
+        assert!(
+            out.is_empty(),
+            "every pending copy is ancestor-leased: {out:?}"
+        );
+        // Once E's commit routes, its ids tombstone and its lease
+        // retires; request 3 stays excluded through C's live lease.
+        mp.mark_committed_block(hash(0xE), Round(2), &[req(1, 1), req(2, 2)]);
+        let out = mp.drain_speculative(10, u64::MAX, &ctx(5, &[hash(0xC)]), &BatchPolicy::EAGER);
+        assert!(out.is_empty(), "1,2 committed; 3 still leased to C");
+        mp.mark_committed_block(hash(0xC), Round(4), &[req(3, 3)]);
+        assert!(mp.is_empty());
+    }
+
+    #[test]
+    fn mark_committed_block_retires_the_winner_and_releases_the_losers() {
+        let mut mp = Mempool::new(100).with_speculation(64 * 1024);
+        for id in 1..=4 {
+            mp.push(req(id, id));
+        }
+        // Two competing round-7 forks: A carries {1,2} (drained locally),
+        // B carries {3} (observed from a peer; its copy 3 stays pending).
+        let drained = mp.drain_speculative(2, u64::MAX, &ctx(7, &[]), &BatchPolicy::EAGER);
+        assert_eq!(drained.iter().map(|r| r.id).collect::<Vec<_>>(), [1, 2]);
+        mp.observe_block(hash(0xA), Round(7), drained.clone());
+        mp.observe_block(hash(0xB), Round(7), vec![req(3, 3)]);
+
+        // B commits: its ids are retired, and A's lease — same round,
+        // losing fork — releases {1,2} back into the queue with their
+        // original identity.
+        mp.mark_committed_block(hash(0xB), Round(7), &[req(3, 3)]);
+        assert!(mp.is_committed(3));
+        assert_eq!(mp.live_leases(), 0);
+        assert_eq!(mp.released(), 2);
+        let back = mp.drain_speculative(10, u64::MAX, &ctx(8, &[]), &BatchPolicy::EAGER);
+        assert_eq!(
+            back.iter()
+                .map(|r| (r.id, r.submitted_at))
+                .collect::<Vec<_>>(),
+            [(4, Time(4)), (1, Time(1)), (2, Time(2))],
+            "released requests re-enter with original id+timestamp"
+        );
+    }
+
+    #[test]
+    fn release_skips_committed_and_still_pending_copies() {
+        let mut mp = Mempool::new(100).with_speculation(64 * 1024);
+        mp.push(req(1, 1));
+        mp.push(req(2, 2));
+        // Lease carries 1 (still pending here), 2 (pending) and 9 (never
+        // seen locally). 2 commits through another block first.
+        mp.observe_block(hash(0xC), Round(3), vec![req(1, 1), req(2, 2), req(9, 9)]);
+        mp.mark_committed(2);
+        assert_eq!(mp.release(hash(0xC)), 1, "only 9 actually re-enters");
+        assert_eq!(mp.len(), 2, "pending 1 + released 9");
+        assert_eq!(mp.release(hash(0xC)), 0, "release is idempotent");
+    }
+
+    #[test]
+    fn observe_proposal_decodes_batches_and_respects_the_gate() {
+        use banyan_crypto::Signature;
+        use banyan_types::ids::{Rank, ReplicaId};
+        let chunk = 64 * 1024;
+        let block = Block {
+            round: Round(2),
+            proposer: ReplicaId(0),
+            rank: Rank(0),
+            parent: BlockHash::ZERO,
+            proposed_at: Time(1),
+            payload: WorkloadBatch {
+                requests: vec![req(7, 7)],
+            }
+            .into_payload(),
+            signature: Signature::zero(),
+        };
+        // Speculation off: observation is a no-op.
+        let mut off = Mempool::new(10);
+        assert!(!off.observe_proposal(&block));
+        assert_eq!(off.live_leases(), 0);
+        // Speculation on: the batch is decoded and leased under the
+        // block's real hash; re-observation is idempotent.
+        let mut on = Mempool::new(10).with_speculation(chunk);
+        assert!(on.observe_proposal(&block));
+        assert!(!on.observe_proposal(&block));
+        let leased = on.lease(&block.hash(chunk)).expect("lease recorded");
+        assert_eq!(leased.iter().map(|r| r.id).collect::<Vec<_>>(), [7]);
+        // Non-batch payloads never lease.
+        let mut synth = block.clone();
+        synth.payload = Payload::synthetic(100, 1);
+        assert!(!on.observe_proposal(&synth));
+    }
+
+    #[test]
+    fn batch_policy_defers_until_size_or_age() {
+        let policy = BatchPolicy::target(1_000, Duration::from_millis(5));
+        let mut mp = Mempool::new(100);
+        // 300 nominal bytes pending, all younger than 5 ms: defer.
+        for id in 1..=3 {
+            mp.push(req(id, 1_000_000 * id)); // 100 B each, submitted ~id ms
+        }
+        assert!(mp
+            .drain_speculative(10, u64::MAX, &ctx_at(4_000_000), &policy)
+            .is_empty());
+        assert_eq!(mp.deferred(), 1);
+        assert_eq!(mp.len(), 3, "a deferral consumes nothing");
+        // Size trigger: backlog reaches the byte target.
+        for id in 4..=10 {
+            mp.push(req(id, 4_000_000));
+        }
+        let out = mp.drain_speculative(100, u64::MAX, &ctx_at(4_100_000), &policy);
+        assert_eq!(out.len(), 10, "size target reached: drain everything");
+        // Age trigger: a lone old request ships despite the byte target.
+        mp.push(req(50, 1_000_000));
+        assert!(mp
+            .drain_speculative(10, u64::MAX, &ctx_at(2_000_000), &policy)
+            .is_empty());
+        let out = mp.drain_speculative(10, u64::MAX, &ctx_at(7_000_000), &policy);
+        assert_eq!(out.len(), 1, "oldest eligible request hit max_age");
+        // Leased (excluded) requests count toward neither trigger.
+        let mut mp = Mempool::new(100).with_speculation(1024);
+        for id in 1..=20 {
+            mp.push(req(id, 1));
+        }
+        mp.observe_block(hash(0xD), Round(1), (1..=20).map(|id| req(id, 1)).collect());
+        assert!(
+            mp.drain_speculative(
+                100,
+                u64::MAX,
+                &ProposalContext {
+                    round: Round(2),
+                    now: Time(2),
+                    parent: hash(0xD),
+                    ancestors: vec![hash(0xD)],
+                },
+                &policy
+            )
+            .is_empty(),
+            "everything is leased to the ancestor: nothing eligible"
+        );
+    }
+
+    #[test]
+    fn outbox_cap_drops_oldest_forwards() {
+        let mut mp = Mempool::new(100).with_gossip(true).with_outbox_cap(3);
+        for id in 1..=5 {
+            mp.push(req(id, id));
+        }
+        assert_eq!(mp.forward_dropped(), 2);
+        let out: Vec<u64> = mp.take_outbox().iter().map(|r| r.id).collect();
+        assert_eq!(out, [3, 4, 5], "oldest queued forwards were shed");
+        assert_eq!(mp.len(), 5, "dropping a forward never drops the request");
+    }
+
     #[test]
     fn mempool_source_honors_byte_cap() {
         let shared = Mempool::shared(100);
@@ -753,7 +1385,9 @@ mod tests {
             }
         }
         let mut src = MempoolSource::new(shared, 4_096).with_max_bytes(1_000);
-        let batch = WorkloadBatch::decode(&src.next_payload(Round(1), Time(1))).unwrap();
+        let batch =
+            WorkloadBatch::decode(&src.next_payload(&ProposalContext::root(Round(1), Time(1))))
+                .unwrap();
         assert_eq!(batch.requests.len(), 2, "400+400 fits, +400 would not");
         assert!(batch.nominal_size() <= 1_000);
     }

@@ -1,0 +1,238 @@
+//! Property tests of the speculative lease lifecycle: under any
+//! interleaving of pushes, speculative drains, peer-block observations,
+//! commits and releases, the pool neither loses a request nor lets one
+//! commit twice.
+//!
+//! The model mirrors the pool's contract: every pushed id is always in
+//! exactly one reachable state — *pending* in the queue, *leased* to at
+//! least one live block, or *committed* — and transitions only along
+//! pending → leased (drain / peer inclusion) → committed (its block wins)
+//! or → pending again (its block is abandoned).
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use banyan_mempool::{BatchPolicy, Mempool, Request};
+use banyan_types::app::ProposalContext;
+use banyan_types::ids::{BlockHash, Round};
+use banyan_types::time::Time;
+
+/// One live lease in the model: a block (own proposal drained out of the
+/// queue, or a peer's block observed alongside its pending copies) and
+/// the request ids it carries.
+struct ModelLease {
+    round: u64,
+    block: BlockHash,
+    ids: Vec<u64>,
+}
+
+struct Model {
+    pending: HashSet<u64>,
+    committed: HashSet<u64>,
+    leases: Vec<ModelLease>,
+    pushed: u64,
+}
+
+impl Model {
+    /// The model's half of `mark_committed_block`: the winner's ids
+    /// commit, and every lease at or below its round releases.
+    fn commit(&mut self, idx: usize) {
+        let winner = self.leases.remove(idx);
+        for id in &winner.ids {
+            self.committed.insert(*id);
+            self.pending.remove(id);
+        }
+        let round = winner.round;
+        let (doomed, alive): (Vec<ModelLease>, Vec<ModelLease>) = std::mem::take(&mut self.leases)
+            .into_iter()
+            .partition(|l| l.round <= round);
+        self.leases = alive;
+        for lease in doomed {
+            self.release_ids(lease);
+        }
+    }
+
+    fn release_ids(&mut self, lease: ModelLease) {
+        for id in lease.ids {
+            if !self.committed.contains(&id) {
+                self.pending.insert(id);
+            }
+        }
+    }
+}
+
+fn req(id: u64) -> Request {
+    Request {
+        id,
+        client: (id % 5) as u16,
+        size: 100,
+        submitted_at: Time(id),
+    }
+}
+
+fn block_hash(counter: u64) -> BlockHash {
+    let mut h = [0u8; 32];
+    h[..8].copy_from_slice(&counter.to_le_bytes());
+    h[31] = 0xB1;
+    BlockHash(h)
+}
+
+fn check_invariants(pool: &Mempool, model: &Model) {
+    assert_eq!(pool.len(), model.pending.len(), "pending sets agree");
+    assert_eq!(pool.live_leases(), model.leases.len(), "lease counts agree");
+    for id in 1..=model.pushed {
+        assert_eq!(
+            pool.is_committed(id),
+            model.committed.contains(&id),
+            "committed state of {id} agrees"
+        );
+        let leased = model.leases.iter().any(|l| l.ids.contains(&id));
+        assert!(
+            model.pending.contains(&id) || leased || model.committed.contains(&id),
+            "request {id} was lost: neither pending, leased nor committed"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Interleaved push / speculative-drain / observe / commit / release
+    /// never loses a request and never commits one twice.
+    #[test]
+    fn lease_lifecycle_never_loses_or_double_commits(
+        ops in proptest::collection::vec((0u8..5, 0u8..8), 1..100)
+    ) {
+        let mut pool = Mempool::new(100_000).with_speculation(64 * 1024);
+        let mut model = Model {
+            pending: HashSet::new(),
+            committed: HashSet::new(),
+            leases: Vec::new(),
+            pushed: 0,
+        };
+        let mut round = 0u64;
+        let mut blocks = 0u64;
+
+        for (op, arg) in ops {
+            match op {
+                // Push a burst of fresh requests.
+                0 => {
+                    for _ in 0..=arg {
+                        model.pushed += 1;
+                        pool.push(req(model.pushed));
+                        model.pending.insert(model.pushed);
+                    }
+                }
+                // Speculative drain into a new own block, excluding every
+                // live lease (they are all "ancestors" of our proposal).
+                1 => {
+                    let ancestors: Vec<BlockHash> =
+                        model.leases.iter().map(|l| l.block).collect();
+                    let ctx = ProposalContext {
+                        round: Round(round + 1),
+                        now: Time(round),
+                        parent: ancestors.first().copied().unwrap_or(BlockHash::ZERO),
+                        ancestors,
+                    };
+                    let out = pool.drain_speculative(
+                        usize::from(arg) + 1,
+                        u64::MAX,
+                        &ctx,
+                        &BatchPolicy::EAGER,
+                    );
+                    for r in &out {
+                        prop_assert!(!model.committed.contains(&r.id),
+                            "drained a committed id");
+                        prop_assert!(
+                            !model.leases.iter().any(|l| l.ids.contains(&r.id)),
+                            "drained an ancestor-leased id"
+                        );
+                    }
+                    if !out.is_empty() {
+                        round += 1;
+                        blocks += 1;
+                        let hash = block_hash(blocks);
+                        let ids: Vec<u64> = out.iter().map(|r| r.id).collect();
+                        pool.observe_block(hash, Round(round), out);
+                        for id in &ids {
+                            model.pending.remove(id);
+                        }
+                        model.leases.push(ModelLease { round, block: hash, ids });
+                    }
+                }
+                // Observe a peer's block carrying some currently pending
+                // requests (their pending copies stay in the queue).
+                2 => {
+                    let mut ids: Vec<u64> = model.pending.iter().copied().collect();
+                    ids.sort_unstable();
+                    ids.truncate(usize::from(arg));
+                    if !ids.is_empty() {
+                        round += 1;
+                        blocks += 1;
+                        let hash = block_hash(blocks);
+                        pool.observe_block(
+                            hash,
+                            Round(round),
+                            ids.iter().map(|&id| req(id)).collect(),
+                        );
+                        model.leases.push(ModelLease { round, block: hash, ids });
+                    }
+                }
+                // Commit a live lease's block.
+                3 => {
+                    if !model.leases.is_empty() {
+                        let idx = usize::from(arg) % model.leases.len();
+                        let (block, r, ids) = {
+                            let l = &model.leases[idx];
+                            (l.block, l.round, l.ids.clone())
+                        };
+                        let requests: Vec<Request> =
+                            ids.iter().map(|&id| req(id)).collect();
+                        pool.mark_committed_block(block, Round(r), &requests);
+                        model.commit(idx);
+                    }
+                }
+                // Explicitly release (abandon) a live lease's block.
+                _ => {
+                    if !model.leases.is_empty() {
+                        let idx = usize::from(arg) % model.leases.len();
+                        let lease = model.leases.remove(idx);
+                        pool.release(lease.block);
+                        model.release_ids(lease);
+                    }
+                }
+            }
+            check_invariants(&pool, &model);
+        }
+
+        // Terminal drain: committing every remaining lease then draining
+        // the queue accounts for every id ever pushed, exactly once.
+        while !model.leases.is_empty() {
+            let (block, r, ids) = {
+                let l = &model.leases[0];
+                (l.block, l.round, l.ids.clone())
+            };
+            let requests: Vec<Request> = ids.iter().map(|&id| req(id)).collect();
+            pool.mark_committed_block(block, Round(r), &requests);
+            model.commit(0);
+            check_invariants(&pool, &model);
+        }
+        let rest = pool.drain_speculative(
+            usize::MAX,
+            u64::MAX,
+            &ProposalContext::root(Round(0), Time(round)),
+            &BatchPolicy::EAGER,
+        );
+        let drained: HashSet<u64> = rest.iter().map(|r| r.id).collect();
+        prop_assert_eq!(drained.len(), rest.len(), "no id drains twice");
+        for id in 1..=model.pushed {
+            let committed = model.committed.contains(&id);
+            prop_assert!(
+                committed ^ drained.contains(&id),
+                "id {} must end exactly once: committed {} drained {}",
+                id, committed, drained.contains(&id)
+            );
+        }
+    }
+}

@@ -183,6 +183,9 @@ impl Workload {
 struct DisseminationState {
     /// Forward pending requests to peers (one gossip round per push).
     gossip: bool,
+    /// Speculative drain: observe every block crossing the wire and feed
+    /// each pool's lease table (see `banyan_mempool`).
+    speculative: bool,
     /// `pools[i]` is replica `i`'s mempool.
     pools: Vec<SharedMempool>,
 }
@@ -199,7 +202,8 @@ struct SimCommitSink<'a> {
     /// first delivery of a batched request completes it.
     workload: Option<&'a mut Workload>,
     /// With dissemination enabled, each commit marks its batched ids
-    /// committed in the committing replica's pool (exactly-once dedup).
+    /// committed in the committing replica's pool (exactly-once dedup)
+    /// and — when the pool is speculative — retires/releases leases.
     dedup_pools: Option<&'a [SharedMempool]>,
 }
 
@@ -208,10 +212,10 @@ impl CommitSink for SimCommitSink<'_> {
         self.auditor.observe(replica, &entry);
         if let Some(pools) = self.dedup_pools {
             if let Some(batch) = WorkloadBatch::decode(&entry.payload) {
-                let mut pool = pools[replica.as_usize()].lock().expect("mempool lock");
-                for req in &batch.requests {
-                    pool.mark_committed(req.id);
-                }
+                pools[replica.as_usize()]
+                    .lock()
+                    .expect("mempool lock")
+                    .mark_committed_block(entry.block, entry.round, &batch.requests);
             }
         }
         if let Some(app) = &mut self.apps[replica.as_usize()] {
@@ -456,7 +460,37 @@ impl Simulation {
                 pool.lock().expect("mempool lock").set_gossip(true);
             }
         }
-        self.dissemination = Some(DisseminationState { gossip, pools });
+        self.dissemination = Some(DisseminationState {
+            gossip,
+            speculative: false,
+            pools,
+        });
+    }
+
+    /// Enables the **speculative drain** on every wired pool: the
+    /// simulator observes each block crossing the wire (own proposals on
+    /// the way out, peers' and sync responses on the way in) and feeds
+    /// the pool's lease table, so an inclusion-aware `MempoolSource`
+    /// skips requests a live ancestor already carries and abandoned
+    /// blocks release their requests back into the queue. `payload_chunk`
+    /// must match the cluster's `ProtocolConfig::payload_chunk` so
+    /// observed blocks hash to the engine's block ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`enable_dissemination`](Self::enable_dissemination) was
+    /// not called first (speculation needs the commit→pool feed).
+    pub fn enable_speculation(&mut self, payload_chunk: usize) {
+        let d = self
+            .dissemination
+            .as_mut()
+            .expect("enable dissemination before speculation");
+        d.speculative = true;
+        for pool in &d.pools {
+            pool.lock()
+                .expect("mempool lock")
+                .set_speculation(Some(payload_chunk));
+        }
     }
 
     /// Freezes the attached workload: no new submissions or replacement
@@ -542,6 +576,19 @@ impl Simulation {
                     if let Message::Dissemination(d) = msg {
                         self.handle_dissemination(to, d);
                     } else {
+                        // Speculative drain: the driver — not the engine —
+                        // observes every arriving block and feeds the
+                        // receiver's lease table.
+                        if let Some(d) = &self.dissemination {
+                            if d.speculative {
+                                if let Some(block) = msg.proposal_block() {
+                                    d.pools[to.as_usize()]
+                                        .lock()
+                                        .expect("mempool lock")
+                                        .observe_proposal(block);
+                                }
+                            }
+                        }
                         let actions = self.engines[to.as_usize()].on_message(from, msg, self.now);
                         self.process_actions(to, actions);
                     }
@@ -713,6 +760,24 @@ impl Simulation {
 
     /// Routes one engine's actions through the shared driver layer.
     fn process_actions(&mut self, replica: ReplicaId, actions: Actions) {
+        // Speculative drain: observe the replica's own outbound blocks
+        // (proposals, relays, sync responses) into its lease table before
+        // they hit the wire — this is what lets an abandoned own proposal
+        // release its drained requests back into the pool.
+        if let Some(d) = &self.dissemination {
+            if d.speculative {
+                let mut pool = d.pools[replica.as_usize()].lock().expect("mempool lock");
+                for out in &actions.outbound {
+                    let msg = match out {
+                        Outbound::Broadcast(msg) => msg,
+                        Outbound::Send(_, msg) => msg,
+                    };
+                    if let Some(block) = msg.proposal_block() {
+                        pool.observe_proposal(block);
+                    }
+                }
+            }
+        }
         let Simulation {
             topology,
             config,

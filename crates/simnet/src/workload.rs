@@ -314,6 +314,10 @@ impl App for ClientWorkload {
 pub struct ClosedLoopWorkload {
     window: u32,
     think_time: Duration,
+    /// Per-client think-time multipliers (empty = uniform ×1). Client `c`
+    /// pauses `think_time × multipliers[c % len]` between a completion
+    /// and its replacement submission, skewing per-client submit rates.
+    think_multipliers: Vec<u32>,
     request_size: u64,
     mempools: Vec<SharedMempool>,
     rng: SmallRng,
@@ -323,9 +327,15 @@ pub struct ClosedLoopWorkload {
     retry: RetryState,
     /// Requests submitted and not yet observed committed, by id.
     in_flight: HashMap<u64, Request>,
-    /// Clients whose freed slot is waiting for its think-time tick, in
-    /// completion order.
-    resume_queue: VecDeque<u16>,
+    /// Clients whose freed slot is waiting for its think-time tick, keyed
+    /// by `(due time, completion seq)` so resubmissions pair with their
+    /// own tick even when skewed think times reorder deadlines across
+    /// clients (with uniform think times this degenerates to completion
+    /// order, the historical behavior, bit-for-bit).
+    resume_queue: std::collections::BTreeMap<(Time, u64), u16>,
+    /// Completion counter: the deterministic tie-break for equal-time
+    /// resubmission deadlines.
+    resume_seq: u64,
     /// Tick times produced by completions and not yet scheduled.
     pending_ticks: Vec<Time>,
     submitted: u64,
@@ -370,6 +380,7 @@ impl ClosedLoopWorkload {
         ClosedLoopWorkload {
             window,
             think_time,
+            think_multipliers: Vec::new(),
             request_size,
             mempools,
             rng: SmallRng::seed_from_u64(seed),
@@ -378,7 +389,8 @@ impl ClosedLoopWorkload {
             fanout: 1,
             retry: RetryState::default(),
             in_flight: HashMap::new(),
-            resume_queue: VecDeque::new(),
+            resume_queue: std::collections::BTreeMap::new(),
+            resume_seq: 0,
             pending_ticks: Vec::new(),
             submitted: 0,
             completed: 0,
@@ -400,6 +412,26 @@ impl ClosedLoopWorkload {
         assert!(fanout > 0, "fanout must be positive");
         self.fanout = fanout;
         self
+    }
+
+    /// Builder-style: skews per-client submit rates. Client `c` pauses
+    /// `think_time × multipliers[c % multipliers.len()]` between a
+    /// completion and its replacement submission, so a ×50 client offers
+    /// 50× less load than a ×1 client. An empty vec (the default) keeps
+    /// the uniform rate bit-for-bit; multipliers of zero are allowed
+    /// (think-free resubmission for that client).
+    pub fn with_think_multipliers(mut self, multipliers: Vec<u32>) -> Self {
+        self.think_multipliers = multipliers;
+        self
+    }
+
+    /// The think time client `c` pauses before a replacement submission.
+    pub fn think_time_for(&self, client: u16) -> Duration {
+        if self.think_multipliers.is_empty() {
+            return self.think_time;
+        }
+        let k = self.think_multipliers[client as usize % self.think_multipliers.len()];
+        self.think_time.saturating_mul(k as u64)
     }
 
     /// Number of clients in the population.
@@ -492,15 +524,16 @@ impl ClosedLoopWorkload {
         self.retry.take_pending_ticks()
     }
 
-    /// Handles one think-time tick at `now`: the longest-waiting freed
-    /// slot's client submits its replacement request. Returns the target
-    /// replica, or `None` if no slot is waiting (or the population is
-    /// frozen for draining).
+    /// Handles one think-time tick at `now`: the freed slot with the
+    /// earliest resubmission deadline submits its replacement request.
+    /// Returns the target replica, or `None` if no slot is waiting (or
+    /// the population is frozen for draining).
     pub fn resubmit_next(&mut self, now: Time) -> Option<ReplicaId> {
         if self.frozen {
             return None;
         }
-        let client = self.resume_queue.pop_front()?;
+        let key = *self.resume_queue.keys().next()?;
+        let client = self.resume_queue.remove(&key).expect("key just read");
         Some(self.submit_for(client, now))
     }
 
@@ -557,9 +590,10 @@ impl App for ClosedLoopWorkload {
         for req in &batch.requests {
             if self.in_flight.remove(&req.id).is_some() {
                 self.completed += 1;
-                self.resume_queue.push_back(req.client);
-                self.pending_ticks
-                    .push(entry.committed_at + self.think_time);
+                let due = entry.committed_at + self.think_time_for(req.client);
+                self.resume_queue.insert((due, self.resume_seq), req.client);
+                self.resume_seq += 1;
+                self.pending_ticks.push(due);
             }
         }
     }
@@ -634,6 +668,33 @@ mod tests {
         assert_eq!(w.submitted(), 3);
         assert!(w.in_flight() as u64 <= w.max_in_flight());
         assert!(w.resubmit_next(at).is_none(), "one tick, one resubmit");
+    }
+
+    #[test]
+    fn think_multipliers_pair_each_tick_with_the_right_client() {
+        let mempools: Vec<SharedMempool> = vec![Mempool::shared(1_000)];
+        let think = Duration::from_millis(2);
+        let mut w = ClosedLoopWorkload::new(2, 1, think, 100, 1, mempools.clone())
+            .with_think_multipliers(vec![1, 10]);
+        assert_eq!(w.think_time_for(0), Duration::from_millis(2));
+        assert_eq!(w.think_time_for(1), Duration::from_millis(20));
+        w.prime(Time::ZERO);
+        let mut drained = mempools[0].lock().unwrap().drain(usize::MAX);
+        assert_eq!(drained.len(), 2);
+        // Deliver the SLOW client's completion first: its deadline
+        // (commit + 20 ms) must not hijack the fast client's earlier tick.
+        drained.sort_by_key(|r| std::cmp::Reverse(r.client));
+        w.deliver(&commit_of(WorkloadBatch { requests: drained }, 1_000_000));
+        let mut ticks = w.take_pending_ticks();
+        ticks.sort();
+        assert_eq!(ticks, vec![Time(3_000_000), Time(21_000_000)]);
+        // The early tick resubmits the ×1 client, the late one the ×10.
+        w.resubmit_next(ticks[0]);
+        let fast = mempools[0].lock().unwrap().drain(usize::MAX);
+        assert_eq!(fast.iter().map(|r| r.client).collect::<Vec<_>>(), [0]);
+        w.resubmit_next(ticks[1]);
+        let slow = mempools[0].lock().unwrap().drain(usize::MAX);
+        assert_eq!(slow.iter().map(|r| r.client).collect::<Vec<_>>(), [1]);
     }
 
     #[test]

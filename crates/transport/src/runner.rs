@@ -103,9 +103,10 @@ pub fn run_replica_with_app(
 }
 
 /// Marks every committed batch's request ids committed in the local pool
-/// before handing the block to the inner [`App`] — the TCP runner's half
-/// of the exactly-once dedup rule (the simulator's `SimCommitSink` does
-/// the same).
+/// — retiring and releasing speculative leases along the way — before
+/// handing the block to the inner [`App`]: the TCP runner's half of the
+/// exactly-once dedup rule (the simulator's `SimCommitSink` does the
+/// same).
 struct PoolDedupApp<A: App> {
     app: A,
     pool: Option<SharedMempool>,
@@ -115,10 +116,11 @@ impl<A: App> App for PoolDedupApp<A> {
     fn deliver(&mut self, entry: &CommitEntry) {
         if let Some(pool) = &self.pool {
             if let Some(batch) = WorkloadBatch::decode(&entry.payload) {
-                let mut pool = pool.lock().expect("mempool lock");
-                for req in &batch.requests {
-                    pool.mark_committed(req.id);
-                }
+                pool.lock().expect("mempool lock").mark_committed_block(
+                    entry.block,
+                    entry.round,
+                    &batch.requests,
+                );
             }
         }
         self.app.deliver(entry);
@@ -244,17 +246,32 @@ pub fn run_replica_full(
         },
     };
     let mut driver = EngineDriver::new(engine, sink);
-    let mut transmit = |out: Outbound| match out {
-        Outbound::Broadcast(msg) => {
-            for tx in peer_txs.iter().flatten() {
-                messages_sent += 1;
-                let _ = tx.try_send(msg.clone());
+    // Speculative drain: observe every block this replica puts on (or
+    // takes off) the wire into its pool's lease table. `observe_proposal`
+    // is a cheap no-op unless the pool was built `with_speculation`.
+    let observe_pool = pool.clone();
+    let mut transmit = |out: Outbound| {
+        if let Some(pool) = &observe_pool {
+            let msg = match &out {
+                Outbound::Broadcast(msg) => msg,
+                Outbound::Send(_, msg) => msg,
+            };
+            if let Some(block) = msg.proposal_block() {
+                pool.lock().expect("mempool lock").observe_proposal(block);
             }
         }
-        Outbound::Send(to, msg) => {
-            if let Some(Some(tx)) = peer_txs.get(to.as_usize()) {
-                messages_sent += 1;
-                let _ = tx.try_send(msg);
+        match out {
+            Outbound::Broadcast(msg) => {
+                for tx in peer_txs.iter().flatten() {
+                    messages_sent += 1;
+                    let _ = tx.try_send(msg.clone());
+                }
+            }
+            Outbound::Send(to, msg) => {
+                if let Some(Some(tx)) = peer_txs.get(to.as_usize()) {
+                    messages_sent += 1;
+                    let _ = tx.try_send(msg);
+                }
             }
         }
     };
@@ -292,6 +309,13 @@ pub fn run_replica_full(
                     }
                 }
             } else {
+                // Speculative drain: observe arriving blocks into the
+                // pool's lease table (no-op unless speculation is on).
+                if let Some(pool) = &pool {
+                    if let Some(block) = msg.proposal_block() {
+                        pool.lock().expect("mempool lock").observe_proposal(block);
+                    }
+                }
                 driver.handle_message(from, msg, now(), &mut transmit);
             }
         }

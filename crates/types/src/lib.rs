@@ -41,7 +41,7 @@ pub mod payload;
 pub mod time;
 pub mod vote;
 
-pub use app::{App, FixedSizeSource, NullApp, ProposalSource, SharedApp};
+pub use app::{App, FixedSizeSource, NullApp, ProposalContext, ProposalSource, SharedApp};
 pub use block::Block;
 pub use certs::{FinalKind, Finalization, Notarization, QuorumCert, UnlockEntry, UnlockProof};
 pub use codec::{CodecError, Wire};

@@ -64,6 +64,21 @@ impl Message {
         self.encoded_len() as u64 + extra
     }
 
+    /// The block this message carries, if it is a block-bearing frame
+    /// (a proposal of any protocol family, or a sync response). Drivers
+    /// running a speculative mempool use this to observe every block that
+    /// crosses the wire and feed the pool's inclusion/lease tracking —
+    /// engines themselves never decode payloads.
+    pub fn proposal_block(&self) -> Option<&crate::block::Block> {
+        match self {
+            Message::Chained(ChainedMsg::Proposal { block, .. }) => Some(block),
+            Message::HotStuff(HotStuffMsg::Proposal { block, .. }) => Some(block),
+            Message::Streamlet(StreamletMsg::Proposal { block }) => Some(block),
+            Message::Sync(SyncMsg::Response { block }) => Some(block),
+            _ => None,
+        }
+    }
+
     /// Short label for traces and drop counters.
     pub fn label(&self) -> &'static str {
         match self {
