@@ -1,67 +1,305 @@
 //! Offline stand-in for the crates.io `crossbeam` crate.
 //!
-//! Only [`channel`] is provided, implemented over `std::sync::mpsc`. The
-//! semantics the transport relies on hold: bounded capacity, cloneable
-//! senders, blocking `recv`, `recv_timeout` and non-blocking `try_send`.
+//! Only [`channel`] is provided. Unlike the earlier stand-in (which
+//! wrapped `std::sync::mpsc::SyncSender` and was therefore single-
+//! consumer), this is a real **MPMC** channel: both [`channel::Sender`]
+//! and [`channel::Receiver`] are cloneable, any number of threads may
+//! send and receive concurrently, and `try_send`/`try_recv` take a
+//! lock-free fast path for the full/empty cases (an atomic length check
+//! fails fast without touching the queue mutex — the property the
+//! mempool ingest hot path relies on under contention).
 
 pub mod channel {
-    //! Bounded MPSC channels (std-backed).
+    //! Bounded MPMC channels.
+    //!
+    //! Semantics match the `crossbeam-channel` subset the workspace uses:
+    //! bounded capacity, cloneable senders **and receivers**, blocking
+    //! `recv`/`recv_timeout`, non-blocking `try_send`/`try_recv`, and
+    //! `try_iter` for drain-style consumption. Disconnection is
+    //! bidirectional: a channel closes when every `Sender` is dropped
+    //! (receivers then drain the remainder and see `Disconnected`) or
+    //! when every `Receiver` is dropped (senders see `Disconnected`
+    //! immediately).
 
-    use std::sync::mpsc;
-    use std::time::Duration;
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
-    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TrySendError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
+
+    /// Shared channel state. The queue lives under one mutex; `len` is
+    /// mirrored in an atomic so full/empty checks on the hot paths can
+    /// fail fast without taking the lock.
+    struct Core<T> {
+        queue: Mutex<VecDeque<T>>,
+        /// Mirror of `queue.len()`, written under the queue lock but
+        /// readable without it (the lock-free fast path).
+        len: AtomicUsize,
+        cap: usize,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+        /// Signalled when a value arrives or all senders disconnect.
+        not_empty: Condvar,
+        /// Signalled when a value leaves or all receivers disconnect.
+        not_full: Condvar,
+    }
+
+    impl<T> Core<T> {
+        fn sender_connected(&self) -> bool {
+            self.senders.load(Ordering::Acquire) > 0
+        }
+
+        fn receiver_connected(&self) -> bool {
+            self.receivers.load(Ordering::Acquire) > 0
+        }
+    }
 
     /// Cloneable producer half.
-    pub struct Sender<T>(mpsc::SyncSender<T>);
+    pub struct Sender<T>(Arc<Core<T>>);
+
+    /// Cloneable consumer half (true MPMC: clones share one queue, each
+    /// value is received exactly once).
+    pub struct Receiver<T>(Arc<Core<T>>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
+            self.0.senders.fetch_add(1, Ordering::AcqRel);
             Sender(self.0.clone())
         }
     }
 
-    /// Consumer half (single consumer, as in the transport's event loop).
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver(self.0.clone())
+        }
+    }
 
-    /// Creates a bounded channel of capacity `cap`.
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.0.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: take the lock so the count change is
+                // ordered against any receiver mid-wait, then wake them
+                // all to observe the disconnect.
+                let _guard = self.0.queue.lock().expect("channel lock");
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.0.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let _guard = self.0.queue.lock().expect("channel lock");
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Creates a bounded channel of capacity `cap` (clamped to ≥ 1).
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender(tx), Receiver(rx))
+        let cap = cap.max(1);
+        let core = Arc::new(Core {
+            queue: Mutex::new(VecDeque::with_capacity(cap.min(4096))),
+            len: AtomicUsize::new(0),
+            cap,
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(core.clone()), Receiver(core))
     }
 
     impl<T> Sender<T> {
-        /// Blocks until there is queue room.
+        /// Blocks until there is queue room (or every receiver is gone).
+        ///
+        /// # Errors
+        ///
+        /// Returns the value back if all receivers disconnected.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value)
+            let core = &*self.0;
+            let mut queue = core.queue.lock().expect("channel lock");
+            loop {
+                if !core.receiver_connected() {
+                    return Err(SendError(value));
+                }
+                if queue.len() < core.cap {
+                    queue.push_back(value);
+                    core.len.store(queue.len(), Ordering::Release);
+                    core.not_empty.notify_one();
+                    return Ok(());
+                }
+                queue = core.not_full.wait(queue).expect("channel lock");
+            }
         }
 
-        /// Fails immediately if the queue is full or disconnected.
+        /// Fails immediately if the queue is full or disconnected. The
+        /// full check reads the atomic length mirror first, so a send
+        /// against a full queue returns without ever taking the lock —
+        /// the contended-ingest fast path. (The mirror can be momentarily
+        /// stale; a stale read only yields a spurious `Full` for a queue
+        /// that *was* full an instant ago, which a try-operation permits.)
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] when at capacity,
+        /// [`TrySendError::Disconnected`] when all receivers are gone.
         pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
-            self.0.try_send(value)
+            let core = &*self.0;
+            if core.len.load(Ordering::Acquire) >= core.cap {
+                return if core.receiver_connected() {
+                    Err(TrySendError::Full(value))
+                } else {
+                    Err(TrySendError::Disconnected(value))
+                };
+            }
+            let mut queue = core.queue.lock().expect("channel lock");
+            if !core.receiver_connected() {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if queue.len() >= core.cap {
+                return Err(TrySendError::Full(value));
+            }
+            queue.push_back(value);
+            core.len.store(queue.len(), Ordering::Release);
+            core.not_empty.notify_one();
+            Ok(())
         }
     }
 
     impl<T> Receiver<T> {
         /// Blocks until a value arrives or all senders are gone.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] once the queue is empty and every sender
+        /// disconnected.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv()
+            let core = &*self.0;
+            let mut queue = core.queue.lock().expect("channel lock");
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    core.len.store(queue.len(), Ordering::Release);
+                    core.not_full.notify_one();
+                    return Ok(value);
+                }
+                if !core.sender_connected() {
+                    return Err(RecvError);
+                }
+                queue = core.not_empty.wait(queue).expect("channel lock");
+            }
         }
 
         /// Blocks for at most `timeout`.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] when nothing arrived in time,
+        /// [`RecvTimeoutError::Disconnected`] when drained and all
+        /// senders are gone.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.0.recv_timeout(timeout)
+            let core = &*self.0;
+            let deadline = Instant::now() + timeout;
+            let mut queue = core.queue.lock().expect("channel lock");
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    core.len.store(queue.len(), Ordering::Release);
+                    core.not_full.notify_one();
+                    return Ok(value);
+                }
+                if !core.sender_connected() {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) = core
+                    .not_empty
+                    .wait_timeout(queue, deadline - now)
+                    .expect("channel lock");
+                queue = guard;
+            }
         }
 
-        /// Non-blocking receive.
-        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
-            self.0.try_recv()
+        /// Non-blocking receive. The empty check reads the atomic length
+        /// mirror first, so polling an empty channel never contends on
+        /// the lock.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when nothing is queued,
+        /// [`TryRecvError::Disconnected`] when drained and all senders
+        /// are gone.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let core = &*self.0;
+            if core.len.load(Ordering::Acquire) == 0 {
+                if core.sender_connected() {
+                    return Err(TryRecvError::Empty);
+                }
+                // Senders are gone, but a value may have landed before
+                // the last disconnect: confirm under the lock.
+                let mut queue = core.queue.lock().expect("channel lock");
+                return match queue.pop_front() {
+                    Some(value) => {
+                        core.len.store(queue.len(), Ordering::Release);
+                        Ok(value)
+                    }
+                    None => Err(TryRecvError::Disconnected),
+                };
+            }
+            let mut queue = core.queue.lock().expect("channel lock");
+            match queue.pop_front() {
+                Some(value) => {
+                    core.len.store(queue.len(), Ordering::Release);
+                    core.not_full.notify_one();
+                    Ok(value)
+                }
+                None if core.sender_connected() => Err(TryRecvError::Empty),
+                None => Err(TryRecvError::Disconnected),
+            }
+        }
+
+        /// A non-blocking draining iterator: yields queued values until
+        /// the channel is momentarily empty, then stops (it never blocks
+        /// waiting for new sends). This is the drain-at-observation-point
+        /// primitive the mempool ingest path uses.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { receiver: self }
+        }
+
+        /// Number of values currently queued (a snapshot; other
+        /// receivers may take them first).
+        pub fn len(&self) -> usize {
+            self.0.len.load(Ordering::Acquire)
+        }
+
+        /// True when nothing is queued right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    /// Iterator returned by [`Receiver::try_iter`].
+    pub struct TryIter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.try_recv().ok()
         }
     }
 
     #[cfg(test)]
     mod tests {
         use super::*;
+        use std::collections::HashSet;
+        use std::thread;
 
         #[test]
         fn bounded_roundtrip_and_backpressure() {
@@ -78,12 +316,129 @@ pub mod channel {
         fn senders_clone_across_threads() {
             let (tx, rx) = bounded::<u32>(16);
             let tx2 = tx.clone();
-            let h = std::thread::spawn(move || tx2.send(7).unwrap());
+            let h = thread::spawn(move || tx2.send(7).unwrap());
             tx.send(8).unwrap();
             h.join().unwrap();
             let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
             got.sort_unstable();
             assert_eq!(got, vec![7, 8]);
+        }
+
+        #[test]
+        fn receivers_clone_and_share_one_queue() {
+            let (tx, rx) = bounded::<u32>(64);
+            let rx2 = rx.clone();
+            for v in 0..10 {
+                tx.send(v).unwrap();
+            }
+            drop(tx);
+            let a: Vec<u32> = (0..5).map(|_| rx.recv().unwrap()).collect();
+            let b: Vec<u32> = (0..5).map(|_| rx2.recv().unwrap()).collect();
+            let all: HashSet<u32> = a.iter().chain(b.iter()).copied().collect();
+            assert_eq!(all.len(), 10, "exactly-once across both receivers");
+            assert!(matches!(rx.recv(), Err(RecvError)));
+        }
+
+        #[test]
+        fn contended_mpmc_delivers_each_value_exactly_once() {
+            const PRODUCERS: usize = 4;
+            const CONSUMERS: usize = 3;
+            const PER_PRODUCER: usize = 2_000;
+            let (tx, rx) = bounded::<u64>(8); // tiny cap: force contention
+            let producers: Vec<_> = (0..PRODUCERS)
+                .map(|p| {
+                    let tx = tx.clone();
+                    thread::spawn(move || {
+                        for i in 0..PER_PRODUCER {
+                            // Mix blocking and spinning sends.
+                            let v = (p * PER_PRODUCER + i) as u64;
+                            if i % 2 == 0 {
+                                tx.send(v).unwrap();
+                            } else {
+                                let mut v = v;
+                                loop {
+                                    match tx.try_send(v) {
+                                        Ok(()) => break,
+                                        Err(TrySendError::Full(back)) => {
+                                            v = back;
+                                            thread::yield_now();
+                                        }
+                                        Err(TrySendError::Disconnected(_)) => {
+                                            panic!("receivers vanished")
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            drop(tx); // consumers stop once producers finish and drain
+            let consumers: Vec<_> = (0..CONSUMERS)
+                .map(|_| {
+                    let rx = rx.clone();
+                    thread::spawn(move || {
+                        let mut got = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            got.push(v);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            drop(rx);
+            for p in producers {
+                p.join().unwrap();
+            }
+            let mut all = Vec::new();
+            for c in consumers {
+                all.extend(c.join().unwrap());
+            }
+            assert_eq!(all.len(), PRODUCERS * PER_PRODUCER, "no loss");
+            let unique: HashSet<u64> = all.iter().copied().collect();
+            assert_eq!(unique.len(), all.len(), "no duplication");
+        }
+
+        #[test]
+        fn try_iter_drains_without_blocking() {
+            let (tx, rx) = bounded::<u32>(16);
+            for v in 0..5 {
+                tx.send(v).unwrap();
+            }
+            let drained: Vec<u32> = rx.try_iter().collect();
+            assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+            // Channel still open: try_iter just stops on empty.
+            assert_eq!(rx.try_iter().count(), 0);
+            tx.send(9).unwrap();
+            assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![9]);
+        }
+
+        #[test]
+        fn send_to_dropped_receivers_disconnects() {
+            let (tx, rx) = bounded::<u32>(4);
+            drop(rx);
+            assert!(matches!(tx.send(1), Err(SendError(1))));
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Disconnected(2))));
+        }
+
+        #[test]
+        fn receivers_drain_after_all_senders_drop() {
+            let (tx, rx) = bounded::<u32>(4);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            drop(tx);
+            assert_eq!(rx.try_recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+        }
+
+        #[test]
+        fn blocked_receiver_wakes_on_last_sender_drop() {
+            let (tx, rx) = bounded::<u32>(4);
+            let h = thread::spawn(move || rx.recv());
+            thread::sleep(Duration::from_millis(20));
+            drop(tx);
+            assert!(h.join().unwrap().is_err());
         }
     }
 }

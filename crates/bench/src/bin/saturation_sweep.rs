@@ -12,7 +12,7 @@
 //! Run: `cargo run --release -p banyan-bench --bin saturation_sweep -- \
 //!       [--quick] [--json] [--gossip] [--retry-ms N] [--fanout K] \
 //!       [--speculative] [--batch-min-bytes N] [--batch-age-ms N] \
-//!       [--assert-no-drop] [--assert-max-dups] [secs]`
+//!       [--shards S] [--assert-no-drop] [--assert-max-dups] [secs]`
 //!
 //! * `--quick` shrinks the sweep to a CI-sized smoke test;
 //! * `--json` emits one machine-readable JSON object per protocol
@@ -27,6 +27,9 @@
 //! * `--batch-min-bytes N` / `--batch-age-ms N` install a
 //!   latency-targeted batch policy (defer until N eligible bytes or an
 //!   N ms old request);
+//! * `--shards S` shards each replica's pending queue S ways; the
+//!   arrival-stamp merge keeps every number bit-identical to `--shards 1`
+//!   (the determinism suite and the CI gate pin this);
 //! * `--assert-no-drop` exits nonzero if any past-knee point falls below
 //!   90% of the plateau goodput or, with retry/gossip on, loses requests
 //!   — the CI regression gate for the dissemination layer;
@@ -57,6 +60,7 @@ struct Args {
     speculative: bool,
     batch_min_bytes: Option<u64>,
     batch_age_ms: Option<u64>,
+    shards: usize,
     assert_no_drop: bool,
     assert_max_dups: bool,
     secs: Option<u64>,
@@ -72,6 +76,7 @@ fn parse_args() -> Args {
         speculative: false,
         batch_min_bytes: None,
         batch_age_ms: None,
+        shards: 1,
         assert_no_drop: false,
         assert_max_dups: false,
         secs: None,
@@ -112,6 +117,13 @@ fn parse_args() -> Args {
                         .and_then(|v| v.parse().ok())
                         .expect("--batch-age-ms takes a millisecond count"),
                 )
+            }
+            "--shards" => {
+                args.shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s: &usize| s > 0)
+                    .expect("--shards takes a positive shard count")
             }
             other => match other.parse() {
                 Ok(v) => args.secs = Some(v),
@@ -193,7 +205,8 @@ fn main() {
             .secs(secs)
             .seed(seed)
             .drain(drain_secs)
-            .fanout(args.fanout);
+            .fanout(args.fanout)
+            .shards(args.shards);
         if args.gossip {
             base = base.gossip();
         }

@@ -64,6 +64,11 @@ pub struct Scenario {
     /// Latency-targeted batching policy for the mempool sources; `None`
     /// (the default) drains eagerly on every proposal.
     pub batch_policy: Option<BatchPolicy>,
+    /// Pending-queue shards per mempool. The arrival-stamp merge makes
+    /// drain order independent of the shard count, so any value sweeps
+    /// bit-identically to 1 (the historical single FIFO) — the knob
+    /// exists so sweeps can exercise and regression-pin that invariance.
+    pub shards: usize,
     /// Per-client think-time multipliers for the closed loop (client `c`
     /// pauses `think_time × multipliers[c % len]`); empty = uniform.
     pub think_multipliers: Vec<u32>,
@@ -112,6 +117,7 @@ impl Scenario {
             fanout: 1,
             speculative: false,
             batch_policy: None,
+            shards: 1,
             think_multipliers: Vec::new(),
             drain_secs: 0,
             byzantine: Vec::new(),
@@ -198,6 +204,15 @@ impl Scenario {
     /// oldest request has waited `max_age`.
     pub fn batch_policy(mut self, min_bytes: u64, max_age: Duration) -> Self {
         self.batch_policy = Some(BatchPolicy::target(min_bytes, max_age));
+        self
+    }
+
+    /// Shards each replica's pending queue `shards` ways (1 = the
+    /// historical single FIFO). Results are bit-identical for any value —
+    /// the determinism suite pins this.
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be positive");
+        self.shards = shards;
         self
     }
 
@@ -357,11 +372,11 @@ pub fn build_simulation(scenario: &Scenario) -> Simulation {
     let mempools: Option<Vec<SharedMempool>> = scenario.client_driven().then(|| {
         (0..n)
             .map(|_| {
-                if scenario.gossip {
-                    Mempool::shared_gossiping(DEFAULT_MEMPOOL_CAPACITY)
-                } else {
-                    Mempool::shared(DEFAULT_MEMPOOL_CAPACITY)
-                }
+                std::sync::Arc::new(std::sync::Mutex::new(
+                    Mempool::new(DEFAULT_MEMPOOL_CAPACITY)
+                        .with_gossip(scenario.gossip)
+                        .with_shards(scenario.shards),
+                ))
             })
             .collect()
     });

@@ -241,6 +241,41 @@ fn saturation_sweep_is_monotone_up_to_the_knee() {
     }
 }
 
+/// Sharding the pending queue must be invisible to every observable
+/// number: the per-request arrival stamps give the merge a total order,
+/// so `shards(4)` replays the historical single-FIFO run bit-for-bit —
+/// commit log, counters, latency samples, everything. Exercised both on
+/// the open-loop stream and on a gossiping closed loop with the
+/// speculative drain, where drain order feeds back into proposals.
+#[test]
+fn shard_count_never_changes_the_run() {
+    let (single, auditor_a) = run_metrics(&client_scenario(42).shards(1));
+    let (sharded, auditor_b) = run_metrics(&client_scenario(42).shards(4));
+    assert!(auditor_a.is_safe() && auditor_b.is_safe());
+    assert!(single.requests_committed() > 0, "no progress");
+    assert_eq!(
+        single, sharded,
+        "shards(4) must replay the single-FIFO run bit-for-bit"
+    );
+    assert_eq!(single.client_latencies(), sharded.client_latencies());
+
+    let contended = |shards: usize| {
+        closed_scenario(42)
+            .gossip()
+            .speculative_drain()
+            .shards(shards)
+    };
+    let (single, _) = run_metrics(&contended(1));
+    for shards in [2, 4, 7] {
+        let (sharded, auditor) = run_metrics(&contended(shards));
+        assert!(auditor.is_safe());
+        assert_eq!(
+            single, sharded,
+            "shards({shards}) diverged under gossip + speculative drain"
+        );
+    }
+}
+
 /// A sink that tallies commits per replica — exercises the same
 /// `CommitSink` trait the simulator and TCP runner collect through.
 #[derive(Default)]

@@ -1,0 +1,184 @@
+//! The speculative lease table: `block → the requests it carries`.
+//!
+//! A **lease** records that an observed (not yet committed) block carries
+//! a set of requests. The table answers the two questions the speculative
+//! drain machinery asks:
+//!
+//! * *exclusion* — which request ids are leased to a live ancestor of the
+//!   block being proposed (those must not be re-batched);
+//! * *release* — which leases died when a round-`r` block committed
+//!   (every lease at or below `r` belongs to a losing fork or a skipped
+//!   round; its requests go back to the pending queue).
+//!
+//! [`Mempool`](crate::Mempool) embeds one table behind its single lock;
+//! the lock-split [`ConcurrentPool`](crate::ConcurrentPool) keeps one in
+//! a separately-guarded coordinator so commit retirement never blocks
+//! client ingest. Both paths share this implementation, so the
+//! deterministic (round, block-id) retirement order can't drift between
+//! them.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use banyan_types::ids::{BlockHash, Round};
+
+use crate::Request;
+
+/// Live leases, ordered by `(round, block id)` so retirement sweeps are
+/// deterministic.
+#[derive(Debug, Default)]
+pub struct LeaseTable {
+    /// `(round, block) → the requests the block carries`.
+    leases: BTreeMap<(u64, BlockHash), Vec<Request>>,
+    /// Block → round index into `leases`.
+    rounds: HashMap<BlockHash, u64>,
+}
+
+impl LeaseTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        LeaseTable::default()
+    }
+
+    /// Records that `block` (of `round`) carries `requests`. Idempotent
+    /// per block id; returns `true` when newly recorded. Empty request
+    /// lists are not recorded (nothing to exclude or release).
+    pub fn observe(&mut self, block: BlockHash, round: Round, requests: Vec<Request>) -> bool {
+        if requests.is_empty() || self.rounds.contains_key(&block) {
+            return false;
+        }
+        self.rounds.insert(block, round.0);
+        self.leases.insert((round.0, block), requests);
+        true
+    }
+
+    /// Drops `block`'s lease and returns its requests, if one is live.
+    pub fn remove(&mut self, block: &BlockHash) -> Option<Vec<Request>> {
+        let round = self.rounds.remove(block)?;
+        Some(
+            self.leases
+                .remove(&(round, *block))
+                .expect("lease index and table agree"),
+        )
+    }
+
+    /// Removes every lease whose round is ≤ `round` — those blocks lost
+    /// the fork (or their round was skipped past) once a round-`round`
+    /// block committed — returning their request lists in deterministic
+    /// (round, block-id) order.
+    pub fn take_at_or_below(&mut self, round: Round) -> Vec<Vec<Request>> {
+        let doomed: Vec<(u64, BlockHash)> = self
+            .leases
+            .range(..=(round.0, BlockHash([0xFF; 32])))
+            .map(|(k, _)| *k)
+            .collect();
+        doomed
+            .into_iter()
+            .map(|(r, block)| {
+                self.rounds.remove(&block);
+                self.leases.remove(&(r, block)).expect("collected above")
+            })
+            .collect()
+    }
+
+    /// The drain-exclusion set of an ancestor chain: every id leased to
+    /// one of `ancestors`. A lease on a *competing* fork is deliberately
+    /// not excluded — only one fork commits, so batching its requests on
+    /// this fork is no duplicate.
+    pub fn exclusions(&self, ancestors: &[BlockHash]) -> HashSet<u64> {
+        let mut excluded = HashSet::new();
+        if self.leases.is_empty() {
+            return excluded;
+        }
+        for block in ancestors {
+            if let Some(round) = self.rounds.get(block) {
+                if let Some(requests) = self.leases.get(&(*round, *block)) {
+                    excluded.extend(requests.iter().map(|r| r.id));
+                }
+            }
+        }
+        excluded
+    }
+
+    /// The leased requests of `block`, if a live lease exists.
+    pub fn get(&self, block: &BlockHash) -> Option<&[Request]> {
+        let round = self.rounds.get(block)?;
+        self.leases.get(&(*round, *block)).map(Vec::as_slice)
+    }
+
+    /// Number of live leases.
+    pub fn len(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// True when no lease is live.
+    pub fn is_empty(&self) -> bool {
+        self.leases.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banyan_types::time::Time;
+
+    fn req(id: u64) -> Request {
+        Request {
+            id,
+            client: 0,
+            size: 100,
+            submitted_at: Time(id),
+        }
+    }
+
+    fn hash(tag: u8) -> BlockHash {
+        BlockHash([tag; 32])
+    }
+
+    #[test]
+    fn observe_is_idempotent_and_skips_empty() {
+        let mut t = LeaseTable::new();
+        assert!(!t.observe(hash(1), Round(1), vec![]));
+        assert!(t.observe(hash(1), Round(1), vec![req(1)]));
+        assert!(!t.observe(hash(1), Round(2), vec![req(2)]));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&hash(1)).unwrap()[0].id, 1);
+    }
+
+    #[test]
+    fn take_at_or_below_sweeps_in_round_then_block_order() {
+        let mut t = LeaseTable::new();
+        t.observe(hash(3), Round(2), vec![req(3)]);
+        t.observe(hash(1), Round(1), vec![req(1)]);
+        t.observe(hash(2), Round(2), vec![req(2)]);
+        t.observe(hash(9), Round(9), vec![req(9)]);
+        let swept: Vec<u64> = t
+            .take_at_or_below(Round(2))
+            .into_iter()
+            .flatten()
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(swept, [1, 2, 3], "round-major, block-id-minor order");
+        assert_eq!(t.len(), 1, "the round-9 lease survives");
+        assert!(t.get(&hash(9)).is_some());
+    }
+
+    #[test]
+    fn exclusions_cover_ancestors_only() {
+        let mut t = LeaseTable::new();
+        t.observe(hash(1), Round(1), vec![req(1), req(2)]);
+        t.observe(hash(2), Round(1), vec![req(3)]);
+        let ex = t.exclusions(&[hash(1)]);
+        assert!(ex.contains(&1) && ex.contains(&2));
+        assert!(!ex.contains(&3), "competing fork is not excluded");
+        assert!(t.exclusions(&[]).is_empty());
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let mut t = LeaseTable::new();
+        t.observe(hash(1), Round(1), vec![req(1)]);
+        assert_eq!(t.remove(&hash(1)).unwrap().len(), 1);
+        assert!(t.remove(&hash(1)).is_none());
+        assert!(t.is_empty());
+    }
+}

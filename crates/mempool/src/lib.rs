@@ -86,12 +86,37 @@
 //!    committed occurrence wins, later ones are counted as *suppressed
 //!    duplicates*, never delivered or measured twice.
 //!
+//! # Sharding
+//!
+//! The pending queue is split into `S` independent **shards** by
+//! request-id hash ([`Mempool::with_shards`]; default 1). Each shard owns
+//! its FIFO, dedup set and byte accounting, so the lock-split
+//! [`ConcurrentPool`] and the staged replica pipeline can grow ingest
+//! parallelism without a single hot queue. Drains stay deterministic for
+//! *any* shard count: every accepted request is stamped with a global
+//! **arrival sequence number**, and the drain merges shard heads by
+//! minimum sequence — exactly the order a single FIFO would serve. (For
+//! the normal in-order client stream this equals `(timestamp, id)` order;
+//! the sequence stamp additionally keeps released and retried requests —
+//! which re-enter the queue *back* with their original older timestamps —
+//! in their re-arrival position, which is what the single-queue pool
+//! always did.) `shards(1)` is bit-identical to the historical pool, and
+//! any `S` produces the same drain order as `S = 1`.
+//!
 //! Everything is a deterministic function of inputs: replays of a seeded
 //! run reproduce the same pools, batches and forwards bit-for-bit.
 
 #![warn(missing_docs)]
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+mod concurrent;
+mod lease;
+
+pub use concurrent::{
+    ConcurrentMempoolSource, ConcurrentPool, PoolIngest, SharedConcurrentPool, DEFAULT_INGEST_CAP,
+};
+pub use lease::LeaseTable;
+
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
 
 use banyan_types::app::{ProposalContext, ProposalSource};
@@ -201,8 +226,13 @@ pub enum PushOutcome {
 #[derive(Debug)]
 pub struct Mempool {
     capacity: usize,
-    queue: VecDeque<Request>,
-    pending_ids: HashSet<u64>,
+    /// The pending queue, split by request-id hash (see the crate-level
+    /// *Sharding* section). One shard by default.
+    shards: Vec<Shard>,
+    /// Global arrival stamp: every accepted request gets the next value,
+    /// and drains merge shard heads by minimum stamp — the single-FIFO
+    /// service order, independent of the shard count.
+    next_seq: u64,
     /// Ids observed committed; never accepted again.
     committed_ids: HashSet<u64>,
     /// When true, locally pushed requests are queued for gossip.
@@ -215,11 +245,8 @@ pub struct Mempool {
     /// (the chunk size parameterizes block hashing in
     /// [`observe_proposal`](Self::observe_proposal)).
     speculation: Option<usize>,
-    /// Live leases: `(round, block) → the requests the block carries`,
-    /// ordered so retirement sweeps are deterministic.
-    leases: BTreeMap<(u64, BlockHash), Vec<Request>>,
-    /// Block → round index into `leases`.
-    lease_rounds: HashMap<BlockHash, u64>,
+    /// Live leases (see [`LeaseTable`]).
+    leases: LeaseTable,
     accepted: u64,
     evicted: u64,
     duplicates: u64,
@@ -228,6 +255,30 @@ pub struct Mempool {
     forward_dropped: u64,
     released: u64,
     deferred: u64,
+}
+
+/// One pending-queue shard: its own FIFO, dedup/live set and byte
+/// accounting. Queue entries carry the global arrival stamp the drain
+/// merge orders by; `pending` maps each live id to its nominal size so
+/// tombstoning ([`Mempool::mark_committed`]) can keep `pending_bytes`
+/// exact in O(1).
+#[derive(Debug, Default)]
+struct Shard {
+    queue: VecDeque<(u64, Request)>,
+    pending: HashMap<u64, u64>,
+    pending_bytes: u64,
+}
+
+/// The stable shard of `id` among `shards`: a Fibonacci-hash spread so
+/// adjacent client ids don't pile into one shard. Every copy of an id
+/// maps to the same shard, which is what keeps per-shard dedup
+/// equivalent to global dedup.
+fn shard_index(id: u64, shards: usize) -> usize {
+    if shards == 1 {
+        0
+    } else {
+        (id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % shards
+    }
 }
 
 impl Mempool {
@@ -240,15 +291,14 @@ impl Mempool {
         assert!(capacity > 0, "mempool capacity must be positive");
         Mempool {
             capacity,
-            queue: VecDeque::new(),
-            pending_ids: HashSet::new(),
+            shards: vec![Shard::default()],
+            next_seq: 0,
             committed_ids: HashSet::new(),
             gossip: false,
             outbox: VecDeque::new(),
             outbox_cap: DEFAULT_OUTBOX_CAP,
             speculation: None,
-            leases: BTreeMap::new(),
-            lease_rounds: HashMap::new(),
+            leases: LeaseTable::new(),
             accepted: 0,
             evicted: 0,
             duplicates: 0,
@@ -258,6 +308,61 @@ impl Mempool {
             released: 0,
             deferred: 0,
         }
+    }
+
+    /// Builder-style: splits the pending queue into `shards` independent
+    /// shards (default 1). Existing entries are redistributed, keeping
+    /// their arrival stamps, so the drain order is unchanged. Any shard
+    /// count drains in the same order as one shard — see the crate-level
+    /// *Sharding* section.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.set_shards(shards);
+        self
+    }
+
+    /// Re-shards the pending queue in place — the shared-handle
+    /// counterpart of [`with_shards`](Self::with_shards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn set_shards(&mut self, shards: usize) {
+        assert!(shards > 0, "shard count must be positive");
+        if shards == self.shards.len() {
+            return;
+        }
+        let live: HashMap<u64, u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.pending.iter().map(|(id, size)| (*id, *size)))
+            .collect();
+        let mut all: Vec<(u64, Request)> = self
+            .shards
+            .iter_mut()
+            .flat_map(|s| s.queue.drain(..))
+            .collect();
+        all.sort_unstable_by_key(|(seq, _)| *seq);
+        self.shards = (0..shards).map(|_| Shard::default()).collect();
+        for (seq, req) in all {
+            // Tombstones of committed ids are dropped by the re-shard —
+            // drains would have discarded them anyway.
+            if !live.contains_key(&req.id) {
+                continue;
+            }
+            let shard = &mut self.shards[shard_index(req.id, shards)];
+            shard.pending.insert(req.id, req.size);
+            shard.pending_bytes = shard.pending_bytes.saturating_add(req.size);
+            shard.queue.push_back((seq, req));
+        }
+    }
+
+    /// Number of pending-queue shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Builder-style: enables (or disables) the gossip outbox. When
@@ -306,6 +411,11 @@ impl Mempool {
     /// True when the speculative lease machinery is enabled.
     pub fn speculation_enabled(&self) -> bool {
         self.speculation.is_some()
+    }
+
+    /// The configured speculation payload-chunk size, when enabled.
+    pub fn speculation_chunk(&self) -> Option<usize> {
+        self.speculation
     }
 
     /// A new mempool behind the `Arc<Mutex<_>>` the driver and the
@@ -366,13 +476,19 @@ impl Mempool {
             self.rejected_committed += 1;
             return PushOutcome::Committed;
         }
-        if !self.pending_ids.insert(req.id) {
+        let s = shard_index(req.id, self.shards.len());
+        let shard = &mut self.shards[s];
+        if shard.pending.contains_key(&req.id) {
             self.duplicates += 1;
             return PushOutcome::Duplicate;
         }
+        shard.pending.insert(req.id, req.size);
+        shard.pending_bytes = shard.pending_bytes.saturating_add(req.size);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        shard.queue.push_back((seq, req));
         self.accepted += 1;
-        self.queue.push_back(req);
-        if self.pending_ids.len() > self.capacity {
+        if self.len() > self.capacity {
             let oldest = self.pop_live().expect("over capacity implies a live entry");
             self.evicted += 1;
             return PushOutcome::AcceptedEvicting(oldest.id);
@@ -380,15 +496,41 @@ impl Mempool {
         PushOutcome::Accepted
     }
 
-    /// Pops the oldest *live* (non-tombstone) request, discarding any
-    /// leading tombstones left by [`mark_committed`](Self::mark_committed).
+    /// Pops the oldest *live* (non-tombstone) request across all shards —
+    /// the one with the minimum arrival stamp — discarding any leading
+    /// tombstones left by [`mark_committed`](Self::mark_committed).
     fn pop_live(&mut self) -> Option<Request> {
-        while let Some(front) = self.queue.pop_front() {
-            if self.pending_ids.remove(&front.id) {
-                return Some(front);
+        let s = self.min_live_shard()?;
+        let (_, req) = self.shards[s]
+            .queue
+            .pop_front()
+            .expect("min_live_shard found a live head");
+        let shard = &mut self.shards[s];
+        let size = shard.pending.remove(&req.id).expect("head was live");
+        shard.pending_bytes = shard.pending_bytes.saturating_sub(size);
+        Some(req)
+    }
+
+    /// The shard whose live head has the minimum arrival stamp, after
+    /// discarding each shard's leading tombstones. `None` when nothing is
+    /// live anywhere.
+    fn min_live_shard(&mut self) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        for s in 0..self.shards.len() {
+            let shard = &mut self.shards[s];
+            while let Some((_, front)) = shard.queue.front() {
+                if shard.pending.contains_key(&front.id) {
+                    break;
+                }
+                shard.queue.pop_front();
+            }
+            if let Some((seq, _)) = shard.queue.front() {
+                if best.is_none_or(|(bseq, _)| *seq < bseq) {
+                    best = Some((*seq, s));
+                }
             }
         }
-        None
+        best.map(|(_, s)| s)
     }
 
     /// Records that `id` was observed committed: any pending copy becomes
@@ -400,7 +542,11 @@ impl Mempool {
         if !self.committed_ids.insert(id) {
             return false;
         }
-        self.pending_ids.remove(&id);
+        let s = shard_index(id, self.shards.len());
+        let shard = &mut self.shards[s];
+        if let Some(size) = shard.pending.remove(&id) {
+            shard.pending_bytes = shard.pending_bytes.saturating_sub(size);
+        }
         true
     }
 
@@ -446,12 +592,7 @@ impl Mempool {
         round: Round,
         requests: Vec<Request>,
     ) -> bool {
-        if requests.is_empty() || self.lease_rounds.contains_key(&block) {
-            return false;
-        }
-        self.lease_rounds.insert(block, round.0);
-        self.leases.insert((round.0, block), requests);
-        true
+        self.leases.observe(block, round, requests)
     }
 
     /// Commit-side lease retirement: marks every request of the committed
@@ -468,9 +609,7 @@ impl Mempool {
             self.mark_committed(req.id);
         }
         // The committed block's own lease is fulfilled, not released.
-        if let Some(r) = self.lease_rounds.remove(&block) {
-            self.leases.remove(&(r, block));
-        }
+        self.leases.remove(&block);
         self.release_below(round);
     }
 
@@ -481,35 +620,24 @@ impl Mempool {
     /// a copy got one when the request first entered). Returns how many
     /// requests re-entered the queue.
     pub fn release(&mut self, block: BlockHash) -> usize {
-        let Some(round) = self.lease_rounds.remove(&block) else {
-            return 0;
-        };
-        let requests = self
-            .leases
-            .remove(&(round, block))
-            .expect("lease index and table agree");
-        self.reinsert_all(requests)
+        match self.leases.remove(&block) {
+            Some(requests) => self.reinsert_all(requests),
+            None => 0,
+        }
     }
 
     /// Releases every lease whose round is ≤ `round` (they can no longer
     /// commit once a round-`round` block has), in deterministic
     /// (round, block-id) order.
     fn release_below(&mut self, round: Round) {
-        let doomed: Vec<(u64, BlockHash)> = self
-            .leases
-            .range(..=(round.0, BlockHash([0xFF; 32])))
-            .map(|(k, _)| *k)
-            .collect();
-        for (r, block) in doomed {
-            let requests = self.leases.remove(&(r, block)).expect("collected above");
-            self.lease_rounds.remove(&block);
+        for requests in self.leases.take_at_or_below(round) {
             self.reinsert_all(requests);
         }
     }
 
     /// Re-pends released requests: committed ids and ids already pending
     /// are skipped; the rest append in their original batch order.
-    fn reinsert_all(&mut self, requests: Vec<Request>) -> usize {
+    pub(crate) fn reinsert_all(&mut self, requests: Vec<Request>) -> usize {
         let mut reinserted = 0;
         for req in requests {
             if matches!(
@@ -531,8 +659,7 @@ impl Mempool {
     /// The leased requests of `block`, if a live lease exists (tests,
     /// diagnostics).
     pub fn lease(&self, block: &BlockHash) -> Option<&[Request]> {
-        let round = self.lease_rounds.get(block)?;
-        self.leases.get(&(*round, *block)).map(Vec::as_slice)
+        self.leases.get(block)
     }
 
     /// Drains the gossip outbox: the locally pushed requests a driver
@@ -594,8 +721,31 @@ impl Mempool {
         ctx: &ProposalContext,
         policy: &BatchPolicy,
     ) -> Vec<Request> {
-        let excluded = self.leased_to_ancestry(ctx);
-        match self.batch_ready(&excluded, policy, ctx.now) {
+        let excluded = self.leases.exclusions(&ctx.ancestors);
+        self.drain_core(max_records, max_bytes, &excluded, policy, ctx.now)
+    }
+
+    /// The single bounded-drain core every public drain routes through
+    /// ([`drain`](Self::drain) → [`drain_bounded`](Self::drain_bounded) →
+    /// [`drain_speculative`](Self::drain_speculative) → here), so the
+    /// record-cap, byte-cap and policy logic cannot drift between them.
+    /// The lock-split [`ConcurrentPool`] calls it directly with an
+    /// exclusion set computed by its separately-guarded coordinator.
+    ///
+    /// The merge rule: repeatedly take the live, non-excluded shard head
+    /// with the minimum arrival stamp — bit-identical to a single FIFO
+    /// for any shard count. Tombstones are discarded as encountered;
+    /// excluded (ancestor-leased) heads are set aside and restored to
+    /// their shard fronts in original order, keeping their FIFO slots.
+    pub(crate) fn drain_core(
+        &mut self,
+        max_records: usize,
+        max_bytes: u64,
+        excluded: &HashSet<u64>,
+        policy: &BatchPolicy,
+        now: Time,
+    ) -> Vec<Request> {
+        match self.batch_ready(excluded, policy, now) {
             BatchReady::Build => {}
             BatchReady::Idle => return Vec::new(),
             BatchReady::Defer => {
@@ -603,75 +753,83 @@ impl Mempool {
                 return Vec::new();
             }
         }
+        let nshards = self.shards.len();
         let mut out = Vec::new();
-        let mut skipped: Vec<Request> = Vec::new();
+        let mut skipped: Vec<Vec<(u64, Request)>> = (0..nshards).map(|_| Vec::new()).collect();
         let mut bytes = 0u64;
         while out.len() < max_records {
-            let Some(front) = self.queue.pop_front() else {
+            // Advance every shard head past tombstones (discarded) and
+            // excluded entries (set aside), then pick the minimum-stamp
+            // live candidate.
+            let mut best: Option<(u64, usize)> = None;
+            for (s, (shard, skipped)) in self.shards.iter_mut().zip(skipped.iter_mut()).enumerate()
+            {
+                while let Some((seq, front)) = shard.queue.front() {
+                    let seq = *seq;
+                    if !shard.pending.contains_key(&front.id) {
+                        shard.queue.pop_front(); // tombstone of a committed id
+                        continue;
+                    }
+                    if excluded.contains(&front.id) {
+                        let entry = shard.queue.pop_front().expect("front exists");
+                        skipped.push(entry);
+                        continue;
+                    }
+                    if best.is_none_or(|(bseq, _)| seq < bseq) {
+                        best = Some((seq, s));
+                    }
+                    break;
+                }
+            }
+            let Some((_, s)) = best else {
                 break;
             };
-            if !self.pending_ids.contains(&front.id) {
-                continue; // tombstone of a committed id
-            }
-            if excluded.contains(&front.id) {
-                skipped.push(front);
-                continue;
-            }
-            let next = bytes.saturating_add(front.size);
+            let (seq, req) = self.shards[s].queue.pop_front().expect("candidate head");
+            let next = bytes.saturating_add(req.size);
             if !out.is_empty() && next > max_bytes {
-                self.queue.push_front(front);
+                self.shards[s].queue.push_front((seq, req));
                 break;
             }
             bytes = next;
-            self.pending_ids.remove(&front.id);
-            out.push(front);
+            let shard = &mut self.shards[s];
+            let size = shard.pending.remove(&req.id).expect("candidate was live");
+            shard.pending_bytes = shard.pending_bytes.saturating_sub(size);
+            out.push(req);
         }
-        // Skipped (ancestor-leased) requests return to the front in their
-        // original relative order: FIFO fairness is preserved for them.
-        for req in skipped.into_iter().rev() {
-            self.queue.push_front(req);
+        // Skipped (ancestor-leased) requests return to their shard fronts
+        // in original relative order: FIFO fairness is preserved for them.
+        for (s, shard_skipped) in skipped.into_iter().enumerate() {
+            for entry in shard_skipped.into_iter().rev() {
+                self.shards[s].queue.push_front(entry);
+            }
         }
         out
     }
 
-    /// The drain-exclusion set of `ctx`: ids leased to a `ctx.ancestors`
-    /// block. A lease on a *competing* fork is deliberately not excluded
-    /// — only one fork commits, so batching its requests on this fork is
-    /// no duplicate.
-    fn leased_to_ancestry(&self, ctx: &ProposalContext) -> HashSet<u64> {
-        let mut excluded = HashSet::new();
-        if self.leases.is_empty() {
-            return excluded;
-        }
-        for block in &ctx.ancestors {
-            if let Some(round) = self.lease_rounds.get(block) {
-                if let Some(requests) = self.leases.get(&(*round, *block)) {
-                    excluded.extend(requests.iter().map(|r| r.id));
-                }
-            }
-        }
-        excluded
-    }
-
     /// The [`BatchPolicy`] gate: is the eligible backlog (live, not
-    /// ancestor-leased) big or old enough to build a batch?
+    /// ancestor-leased) big or old enough to build a batch? The checks
+    /// are order-independent — build iff any eligible request hit the age
+    /// escape or the eligible bytes reach the target — so shards can be
+    /// scanned without merging.
     fn batch_ready(&self, excluded: &HashSet<u64>, policy: &BatchPolicy, now: Time) -> BatchReady {
         if policy.min_bytes == 0 {
             return BatchReady::Build; // EAGER: never defer (the historical behavior)
         }
         let mut bytes = 0u64;
         let mut eligible = false;
-        for req in &self.queue {
-            if !self.pending_ids.contains(&req.id) || excluded.contains(&req.id) {
-                continue;
-            }
-            eligible = true;
-            if now.since(req.submitted_at) >= policy.max_age {
-                return BatchReady::Build; // oldest eligible request hit the age escape
-            }
-            bytes = bytes.saturating_add(req.size);
-            if bytes >= policy.min_bytes {
-                return BatchReady::Build;
+        for shard in &self.shards {
+            for (_, req) in &shard.queue {
+                if !shard.pending.contains_key(&req.id) || excluded.contains(&req.id) {
+                    continue;
+                }
+                eligible = true;
+                if now.since(req.submitted_at) >= policy.max_age {
+                    return BatchReady::Build; // an eligible request hit the age escape
+                }
+                bytes = bytes.saturating_add(req.size);
+                if bytes >= policy.min_bytes {
+                    return BatchReady::Build;
+                }
             }
         }
         if eligible {
@@ -684,9 +842,15 @@ impl Mempool {
         }
     }
 
-    /// Pending (live) requests.
+    /// Pending (live) requests across all shards.
     pub fn len(&self) -> usize {
-        self.pending_ids.len()
+        self.shards.iter().map(|s| s.pending.len()).sum()
+    }
+
+    /// Nominal bytes (sum of [`Request::size`]) pending across all
+    /// shards — the per-shard byte accounting, aggregated.
+    pub fn pending_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.pending_bytes).sum()
     }
 
     /// Ids of the pending (live) requests, in no particular order. Used
@@ -695,12 +859,12 @@ impl Mempool {
     /// in several pools, and summing [`len`](Self::len)s would hide real
     /// losses behind surviving copies of other requests.
     pub fn pending_ids(&self) -> impl Iterator<Item = u64> + '_ {
-        self.pending_ids.iter().copied()
+        self.shards.iter().flat_map(|s| s.pending.keys().copied())
     }
 
     /// True if nothing is pending.
     pub fn is_empty(&self) -> bool {
-        self.pending_ids.is_empty()
+        self.shards.iter().all(|s| s.pending.is_empty())
     }
 
     /// Requests accepted so far (including later-evicted ones; local

@@ -1,0 +1,167 @@
+//! Property test of the shard-merge rule: for the **same** operation
+//! sequence — pushes, forwards, bounded drains, commits, lease
+//! observations and releases — pools with 1, 2 and 8 shards drain the
+//! **identical** request order, step for step. The global arrival-stamp
+//! merge makes the shard count an implementation detail: `shards(1)` is
+//! the historical single-FIFO pool, so this also pins every other count
+//! to the historical behavior bit-for-bit.
+
+use proptest::prelude::*;
+
+use banyan_mempool::{BatchPolicy, Mempool, PushOutcome, Request};
+use banyan_types::app::ProposalContext;
+use banyan_types::ids::{BlockHash, Round};
+use banyan_types::time::Time;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn req(id: u64) -> Request {
+    Request {
+        id,
+        client: (id % 5) as u16,
+        // Mixed sizes so the byte cap bites at different records.
+        size: 50 + (id % 4) * 150,
+        submitted_at: Time(id),
+    }
+}
+
+fn block_hash(counter: u64) -> BlockHash {
+    let mut h = [0u8; 32];
+    h[..8].copy_from_slice(&counter.to_le_bytes());
+    h[31] = 0x5D;
+    BlockHash(h)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same ops, shard counts 1 / 2 / 8 → identical drain order (and
+    /// identical push outcomes, lengths and lease counts) at every step.
+    #[test]
+    fn shard_count_never_changes_the_drain_order(
+        ops in proptest::collection::vec((0u8..5, 0u8..10), 1..120)
+    ) {
+        // A small capacity so eviction paths get exercised too.
+        let mut pools: Vec<Mempool> = SHARD_COUNTS
+            .iter()
+            .map(|&s| Mempool::new(64).with_speculation(1024).with_shards(s))
+            .collect();
+        let mut next_id = 0u64;
+        let mut round = 0u64;
+        let mut blocks = 0u64;
+        // Blocks every pool has observed (all pools see the same events,
+        // so their lease tables stay in lockstep).
+        let mut live_blocks: Vec<(u64, BlockHash, Vec<u64>)> = Vec::new();
+
+        for (op, arg) in ops {
+            match op {
+                // Push a burst of fresh requests (same ids everywhere).
+                0 => {
+                    for _ in 0..=arg {
+                        next_id += 1;
+                        let outcomes: Vec<PushOutcome> =
+                            pools.iter_mut().map(|p| p.push(req(next_id))).collect();
+                        prop_assert!(
+                            outcomes.windows(2).all(|w| w[0] == w[1]),
+                            "push outcomes diverge: {outcomes:?}"
+                        );
+                    }
+                }
+                // Bounded drain with varying record and byte caps; the
+                // drained sequences must be identical.
+                1 => {
+                    let max_records = usize::from(arg) + 1;
+                    let max_bytes = 200u64 * (u64::from(arg) + 1);
+                    let drained: Vec<Vec<Request>> = pools
+                        .iter_mut()
+                        .map(|p| p.drain_bounded(max_records, max_bytes))
+                        .collect();
+                    prop_assert!(
+                        drained.windows(2).all(|w| w[0] == w[1]),
+                        "drain order diverges across shard counts: {drained:?}"
+                    );
+                    // Observed as a new own block: its lease steers later
+                    // speculative drains and its release path.
+                    let out = &drained[0];
+                    if !out.is_empty() {
+                        round += 1;
+                        blocks += 1;
+                        let hash = block_hash(blocks);
+                        for p in &mut pools {
+                            p.observe_block(hash, Round(round), out.clone());
+                        }
+                        live_blocks.push((round, hash, out.iter().map(|r| r.id).collect()));
+                    }
+                }
+                // Speculative drain excluding every live block as an
+                // ancestor.
+                2 => {
+                    let ancestors: Vec<BlockHash> =
+                        live_blocks.iter().map(|(_, h, _)| *h).collect();
+                    let ctx = ProposalContext {
+                        round: Round(round + 1),
+                        now: Time(next_id),
+                        parent: ancestors.first().copied().unwrap_or(BlockHash::ZERO),
+                        ancestors,
+                    };
+                    let drained: Vec<Vec<Request>> = pools
+                        .iter_mut()
+                        .map(|p| {
+                            p.drain_speculative(
+                                usize::from(arg) + 1,
+                                u64::MAX,
+                                &ctx,
+                                &BatchPolicy::EAGER,
+                            )
+                        })
+                        .collect();
+                    prop_assert!(
+                        drained.windows(2).all(|w| w[0] == w[1]),
+                        "speculative drain diverges: {drained:?}"
+                    );
+                }
+                // Commit a live block (retires its lease, releases every
+                // lease at or below its round — the release re-insertion
+                // order must also match).
+                3 => {
+                    if !live_blocks.is_empty() {
+                        let idx = usize::from(arg) % live_blocks.len();
+                        let (r, hash, ids) = live_blocks.remove(idx);
+                        let requests: Vec<Request> = ids.iter().map(|&id| req(id)).collect();
+                        for p in &mut pools {
+                            p.mark_committed_block(hash, Round(r), &requests);
+                        }
+                        live_blocks.retain(|(lr, _, _)| *lr > r);
+                    }
+                }
+                // Release (abandon) a live block.
+                _ => {
+                    if !live_blocks.is_empty() {
+                        let idx = usize::from(arg) % live_blocks.len();
+                        let (_, hash, _) = live_blocks.remove(idx);
+                        let released: Vec<usize> =
+                            pools.iter_mut().map(|p| p.release(hash)).collect();
+                        prop_assert!(
+                            released.windows(2).all(|w| w[0] == w[1]),
+                            "release counts diverge: {released:?}"
+                        );
+                    }
+                }
+            }
+            let lens: Vec<usize> = pools.iter().map(Mempool::len).collect();
+            prop_assert!(lens.windows(2).all(|w| w[0] == w[1]), "lens diverge: {lens:?}");
+            let bytes: Vec<u64> = pools.iter().map(Mempool::pending_bytes).collect();
+            prop_assert!(
+                bytes.windows(2).all(|w| w[0] == w[1]),
+                "byte accounting diverges: {bytes:?}"
+            );
+        }
+
+        // Final flush: everything left drains in the same order.
+        let rest: Vec<Vec<Request>> = pools
+            .iter_mut()
+            .map(|p| p.drain(usize::MAX))
+            .collect();
+        prop_assert!(rest.windows(2).all(|w| w[0] == w[1]), "final drain diverges");
+    }
+}

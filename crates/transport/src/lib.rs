@@ -34,7 +34,12 @@
 //! ```
 
 pub mod framing;
+pub mod pipeline;
 pub mod runner;
 
 pub use framing::{read_frame, write_hello, write_msg, Frame, MAX_FRAME};
+pub use pipeline::{
+    run_local_cluster_pipelined, run_replica_pipelined, PipelineConfig, PipelineRunReport,
+    PipelineStats, PipelineStatsSnapshot, VerifyStage,
+};
 pub use runner::{run_local_cluster, run_replica, run_replica_with_app, TcpRunReport};

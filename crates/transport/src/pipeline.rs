@@ -1,0 +1,832 @@
+//! The staged multi-core replica pipeline: decode → verify → engine →
+//! dispatch.
+//!
+//! [`run_replica_full`](crate::runner::run_replica_full) decodes,
+//! verifies and executes every frame on the one consensus thread. This
+//! module splits that work into stages connected by bounded MPMC
+//! channels (`crossbeam::channel`), so a replica scales across cores:
+//!
+//! ```text
+//!  sockets ──► readers (decode frames, one per peer)
+//!                 │  route by sender id: worker = from % W
+//!                 ▼
+//!          verify workers (× W, PipelineConfig::verify_workers)
+//!            · Forward frames → pool ingest (send-only, lock-free path;
+//!              they NEVER reach the consensus thread)
+//!            · proposal blocks → recompute block hash, WorkloadBatch
+//!              sanity, optional signature verifier, lease observation
+//!                 │  ordered engine events only
+//!                 ▼
+//!          consensus thread (EngineDriver: timers, votes, commits)
+//!                 │  outbound actions
+//!                 ▼
+//!          per-peer writer threads (dispatch)
+//! ```
+//!
+//! Routing a peer's frames to the worker `from % verify_workers` keeps
+//! per-peer FIFO order (a peer's proposal is never overtaken by its own
+//! later vote) while different peers verify in parallel. The pool side
+//! uses the lock-split [`ConcurrentPool`]: workers feed ingest through a
+//! bounded channel and record leases in the coordinator, so the consensus
+//! thread's drains contend with neither.
+//!
+//! Shutdown is staged and loss-free: readers stop, the verify channels
+//! disconnect, workers drain what was queued and exit, and the consensus
+//! thread absorbs the tail — [`PipelineStats`] counts every decoded frame
+//! into exactly one of `ingested` / `verified` / `rejected`, so a test
+//! can assert nothing fell on the floor at close.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use banyan_mempool::{ConcurrentPool, SharedConcurrentPool, WorkloadBatch};
+use banyan_runtime::driver::{AppSink, EngineDriver};
+use banyan_types::app::{App, NullApp};
+use banyan_types::block::Block;
+use banyan_types::engine::{CommitEntry, Engine, Outbound};
+use banyan_types::ids::ReplicaId;
+use banyan_types::message::{DisseminationMsg, Message};
+use banyan_types::payload::Payload;
+use banyan_types::time::Time;
+
+use crate::framing::{read_frame, write_hello, write_msg, Frame};
+use crate::runner::TcpRunReport;
+
+/// Event-channel capacity into the consensus thread.
+const EVENT_QUEUE: usize = 4096;
+/// Frame-channel capacity into each verify worker.
+const VERIFY_QUEUE: usize = 2048;
+/// Outbound-queue capacity per peer writer.
+const PEER_QUEUE: usize = 1024;
+
+/// An application-supplied block check run by the verify stage (e.g. a
+/// Schnorr signature verification). Returning `false` rejects the frame.
+pub type VerifyFn = Arc<dyn Fn(&Block) -> bool + Send + Sync>;
+
+/// Sizing and behavior of the staged pipeline.
+#[derive(Clone)]
+pub struct PipelineConfig {
+    /// Verify workers between the readers and the consensus thread.
+    /// 0 behaves like 1 (the stage always exists; the *unstaged* baseline
+    /// is [`run_replica_full`](crate::runner::run_replica_full)).
+    pub verify_workers: usize,
+    /// Bound of the pool-ingest channel (pass to
+    /// [`ConcurrentPool::new`] when building the replica's pool).
+    pub ingest_cap: usize,
+    /// Payload-chunk size for block-hash recomputation; must match the
+    /// cluster's `ProtocolConfig::payload_chunk`.
+    pub payload_chunk: usize,
+    /// Optional extra block check (signatures). `None` = structural
+    /// checks only.
+    pub verifier: Option<VerifyFn>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            verify_workers: 2,
+            ingest_cap: banyan_mempool::DEFAULT_INGEST_CAP,
+            payload_chunk: 64 << 10,
+            verifier: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for PipelineConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineConfig")
+            .field("verify_workers", &self.verify_workers)
+            .field("ingest_cap", &self.ingest_cap)
+            .field("payload_chunk", &self.payload_chunk)
+            .field("verifier", &self.verifier.as_ref().map(|_| "fn"))
+            .finish()
+    }
+}
+
+impl PipelineConfig {
+    /// Builder-style: sets the verify-worker count.
+    #[must_use]
+    pub fn with_verify_workers(mut self, workers: usize) -> Self {
+        self.verify_workers = workers;
+        self
+    }
+
+    /// Builder-style: sets the pool-ingest channel bound.
+    #[must_use]
+    pub fn with_ingest_cap(mut self, cap: usize) -> Self {
+        self.ingest_cap = cap;
+        self
+    }
+
+    /// Builder-style: sets the payload-chunk size for hash recomputation.
+    #[must_use]
+    pub fn with_payload_chunk(mut self, chunk: usize) -> Self {
+        self.payload_chunk = chunk;
+        self
+    }
+
+    /// Builder-style: installs an extra block verifier.
+    #[must_use]
+    pub fn with_verifier(mut self, verifier: VerifyFn) -> Self {
+        self.verifier = Some(verifier);
+        self
+    }
+}
+
+/// Frame accounting across the pipeline stages. Every frame decoded by a
+/// reader lands in exactly one of `ingested`, `verified` or `rejected` —
+/// the conservation law the shutdown test asserts.
+#[derive(Debug, Default)]
+pub struct PipelineStats {
+    /// Frames decoded by readers and handed to the verify stage.
+    pub decoded: AtomicU64,
+    /// Dissemination frames absorbed into pool ingest (never reach the
+    /// consensus thread).
+    pub ingested: AtomicU64,
+    /// Frames verified and forwarded to the consensus thread.
+    pub verified: AtomicU64,
+    /// Frames rejected by verification (corrupt batch, failed verifier).
+    pub rejected: AtomicU64,
+    /// Individual requests fed to pool ingest (diagnostic).
+    pub requests_ingested: AtomicU64,
+}
+
+/// A plain-value copy of [`PipelineStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStatsSnapshot {
+    /// Frames decoded by readers.
+    pub decoded: u64,
+    /// Frames absorbed into pool ingest.
+    pub ingested: u64,
+    /// Frames forwarded to the consensus thread.
+    pub verified: u64,
+    /// Frames rejected by verification.
+    pub rejected: u64,
+    /// Individual requests fed to pool ingest.
+    pub requests_ingested: u64,
+}
+
+impl PipelineStats {
+    /// Snapshots the counters.
+    pub fn snapshot(&self) -> PipelineStatsSnapshot {
+        PipelineStatsSnapshot {
+            decoded: self.decoded.load(Ordering::Relaxed),
+            ingested: self.ingested.load(Ordering::Relaxed),
+            verified: self.verified.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            requests_ingested: self.requests_ingested.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What the verify stage decided about one frame.
+// `Engine` carries the whole message inline: outcomes are consumed
+// immediately, never stored, so the size skew costs nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// Forward to the consensus thread.
+    Engine(ReplicaId, Message),
+    /// Absorbed into pool ingest (dissemination traffic).
+    Ingested,
+    /// Dropped: failed a structural or signature check.
+    Rejected,
+}
+
+/// The verify-stage work for one decoded frame — shared by the worker
+/// threads and by single-thread baselines (the throughput bench runs it
+/// inline to measure the unstaged path).
+///
+/// * `Forward` frames feed `pool` ingest and stop here.
+/// * Proposal-carrying messages pay the real CPU cost: the block hash is
+///   recomputed over the payload (the commitment walk), a
+///   [`WorkloadBatch`]-magic payload must decode cleanly, the optional
+///   `verifier` must accept, and the lease is recorded (when `pool`
+///   speculates) under the hash just computed — the consensus thread
+///   never re-hashes.
+/// * Everything else (votes, timeouts, sync) passes through.
+pub fn verify_frame(
+    from: ReplicaId,
+    msg: Message,
+    pool: Option<&ConcurrentPool>,
+    config: &PipelineConfig,
+    stats: &PipelineStats,
+) -> VerifyOutcome {
+    match msg {
+        Message::Dissemination(DisseminationMsg::Forward { requests }) => {
+            if let Some(pool) = pool {
+                let ingest = pool.ingest();
+                for req in requests {
+                    ingest.forward(req);
+                    stats.requests_ingested.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            stats.ingested.fetch_add(1, Ordering::Relaxed);
+            VerifyOutcome::Ingested
+        }
+        msg => {
+            if let Some(block) = msg.proposal_block() {
+                // Structural sanity: a payload that claims to be a
+                // workload batch must decode as one.
+                let batch = WorkloadBatch::decode(&block.payload);
+                if batch.is_none() && payload_claims_batch(block) {
+                    stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    return VerifyOutcome::Rejected;
+                }
+                // The CPU stage: recompute the block id over the payload
+                // commitment (SHA-256 over every chunk).
+                let hash = block.hash(config.payload_chunk);
+                if let Some(verifier) = &config.verifier {
+                    if !verifier(block) {
+                        stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        return VerifyOutcome::Rejected;
+                    }
+                }
+                if let (Some(pool), Some(batch)) = (pool, batch) {
+                    // Record the lease under the hash just computed; the
+                    // consensus thread skips its own observation pass.
+                    pool.observe_decoded(hash, block.round, batch.requests);
+                }
+            }
+            stats.verified.fetch_add(1, Ordering::Relaxed);
+            VerifyOutcome::Engine(from, msg)
+        }
+    }
+}
+
+/// True when the block's payload starts with the workload-batch magic
+/// (used to distinguish "corrupt batch" from "foreign payload").
+fn payload_claims_batch(block: &Block) -> bool {
+    match &block.payload {
+        Payload::Inline(bytes) => bytes.starts_with(b"BanyanWB"),
+        Payload::Synthetic { .. } => false,
+    }
+}
+
+/// The spawned verify stage: per-worker input channels (route with
+/// [`VerifyStage::sender_for`]) and the worker join handles.
+pub struct VerifyStage {
+    txs: Vec<Sender<(ReplicaId, Message)>>,
+    handles: Vec<JoinHandle<()>>,
+    /// Shared frame accounting.
+    pub stats: Arc<PipelineStats>,
+    /// Workers still running (0 once every worker drained and exited).
+    pub alive: Arc<AtomicUsize>,
+}
+
+impl VerifyStage {
+    /// Spawns `config.verify_workers.max(1)` workers feeding `event_tx`.
+    pub fn spawn(
+        config: &PipelineConfig,
+        pool: Option<SharedConcurrentPool>,
+        event_tx: Sender<(ReplicaId, Message)>,
+    ) -> VerifyStage {
+        let workers = config.verify_workers.max(1);
+        let stats = Arc::new(PipelineStats::default());
+        let alive = Arc::new(AtomicUsize::new(workers));
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = bounded::<(ReplicaId, Message)>(VERIFY_QUEUE);
+            txs.push(tx);
+            let pool = pool.clone();
+            let config = config.clone();
+            let stats = stats.clone();
+            let alive = alive.clone();
+            let event_tx = event_tx.clone();
+            handles.push(thread::spawn(move || {
+                // Drain until every producer (reader) hangs up, so no
+                // queued frame is lost at shutdown.
+                while let Ok((from, msg)) = rx.recv() {
+                    match verify_frame(from, msg, pool.as_deref(), &config, &stats) {
+                        VerifyOutcome::Engine(from, msg) => {
+                            if event_tx.send((from, msg)).is_err() {
+                                break; // consensus thread gone: stop cleanly
+                            }
+                        }
+                        VerifyOutcome::Ingested | VerifyOutcome::Rejected => {}
+                    }
+                }
+                alive.fetch_sub(1, Ordering::AcqRel);
+            }));
+        }
+        VerifyStage {
+            txs,
+            handles,
+            stats,
+            alive,
+        }
+    }
+
+    /// The input channel for frames from `from` — `from mod workers`, so
+    /// one peer's frames stay FIFO while different peers verify in
+    /// parallel.
+    pub fn sender_for(&self, from: ReplicaId) -> &Sender<(ReplicaId, Message)> {
+        &self.txs[from.as_usize() % self.txs.len()]
+    }
+
+    /// Clones of all worker input channels (for reader threads).
+    pub fn senders(&self) -> Vec<Sender<(ReplicaId, Message)>> {
+        self.txs.clone()
+    }
+
+    /// Drops the stage's own senders (workers then exit once every reader
+    /// clone is gone too) and joins the workers. Callers that must keep
+    /// draining the event channel while workers wind down should instead
+    /// destructure, as `run_replica_pipelined` does.
+    pub fn shutdown(self) {
+        drop(self.txs);
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A [`TcpRunReport`] plus the pipeline's frame accounting.
+#[derive(Debug, Default)]
+pub struct PipelineRunReport {
+    /// The usual run report (commits, message counts).
+    pub report: TcpRunReport,
+    /// Frame accounting across the stages.
+    pub stats: PipelineStatsSnapshot,
+    /// Ingest operations shed by the pool channel (0 in healthy runs).
+    pub ingest_dropped: u64,
+}
+
+/// Marks every committed batch's ids committed in the concurrent pool —
+/// the pipeline's half of the exactly-once dedup rule (the unstaged
+/// runner's `PoolDedupApp` does the same against a `SharedMempool`).
+struct ConcurrentDedupApp<A: App> {
+    app: A,
+    pool: Option<SharedConcurrentPool>,
+}
+
+impl<A: App> App for ConcurrentDedupApp<A> {
+    fn deliver(&mut self, entry: &CommitEntry) {
+        if let Some(pool) = &self.pool {
+            if let Some(batch) = WorkloadBatch::decode(&entry.payload) {
+                pool.mark_committed_block(entry.block, entry.round, &batch.requests);
+            }
+        }
+        self.app.deliver(entry);
+    }
+}
+
+/// The staged counterpart of
+/// [`run_replica_full`](crate::runner::run_replica_full): reader threads
+/// decode, a verify worker pool checks and feeds pool ingest, and only
+/// ordered engine events cross into this (the consensus) thread. Workers
+/// are joined before returning; the returned stats satisfy
+/// `decoded == ingested + verified + rejected`.
+///
+/// # Errors
+///
+/// Returns an I/O error if binding or dialing fails permanently.
+pub fn run_replica_pipelined(
+    engine: Box<dyn Engine>,
+    app: impl App + 'static,
+    pool: Option<SharedConcurrentPool>,
+    config: PipelineConfig,
+    listen: SocketAddr,
+    peers: Vec<SocketAddr>,
+    run_for: std::time::Duration,
+) -> std::io::Result<PipelineRunReport> {
+    let me = engine.id();
+    let n = peers.len();
+    let start = Instant::now();
+    let now = || Time(start.elapsed().as_nanos() as u64);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let (event_tx, event_rx) = bounded::<(ReplicaId, Message)>(EVENT_QUEUE);
+    let verify = VerifyStage::spawn(&config, pool.clone(), event_tx.clone());
+    let stats = verify.stats.clone();
+
+    // --- acceptor + readers (decode stage) ----------------------------
+    let listener = TcpListener::bind(listen)?;
+    listener.set_nonblocking(true)?;
+    {
+        let stop = stop.clone();
+        let verify_txs = verify.senders();
+        let stats = stats.clone();
+        thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(false).ok();
+                        stream.set_nodelay(true).ok();
+                        // A read timeout lets the reader notice `stop`
+                        // even when its peer stays silent — required so
+                        // the verify channels disconnect and the workers
+                        // can be joined.
+                        stream
+                            .set_read_timeout(Some(std::time::Duration::from_millis(50)))
+                            .ok();
+                        let verify_txs = verify_txs.clone();
+                        let stop = stop.clone();
+                        let stats = stats.clone();
+                        thread::spawn(move || {
+                            let mut reader = BufReader::new(stream);
+                            // First frame must be a hello.
+                            loop {
+                                match read_frame(&mut reader) {
+                                    Ok(Frame::Hello { from: _ }) => break,
+                                    Ok(Frame::Msg { .. }) => return,
+                                    Err(e) if would_retry(&e) => {
+                                        if stop.load(Ordering::Relaxed) {
+                                            return;
+                                        }
+                                    }
+                                    Err(_) => return,
+                                }
+                            }
+                            while !stop.load(Ordering::Relaxed) {
+                                match read_frame(&mut reader) {
+                                    Ok(Frame::Msg { from, msg }) => {
+                                        stats.decoded.fetch_add(1, Ordering::Relaxed);
+                                        let tx = &verify_txs[from.as_usize() % verify_txs.len()];
+                                        if tx.send((from, msg)).is_err() {
+                                            return;
+                                        }
+                                    }
+                                    Ok(Frame::Hello { .. }) => {}
+                                    Err(e) if would_retry(&e) => {}
+                                    Err(_) => return,
+                                }
+                            }
+                        });
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+    }
+
+    // --- writers (dispatch stage) --------------------------------------
+    let mut peer_txs: Vec<Option<Sender<Message>>> = Vec::with_capacity(n);
+    for (i, addr) in peers.iter().enumerate() {
+        if i == me.as_usize() {
+            peer_txs.push(None);
+            continue;
+        }
+        let (tx, rx): (Sender<Message>, Receiver<Message>) = bounded(PEER_QUEUE);
+        let addr = *addr;
+        let stop = stop.clone();
+        thread::spawn(move || {
+            // Dial with retries: peers start in arbitrary order.
+            let stream = loop {
+                match TcpStream::connect(addr) {
+                    Ok(s) => break s,
+                    Err(_) if !stop.load(Ordering::Relaxed) => {
+                        thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                    Err(_) => return,
+                }
+            };
+            stream.set_nodelay(true).ok();
+            let mut writer = BufWriter::new(stream);
+            if write_hello(&mut writer, me).is_err() {
+                return;
+            }
+            while let Ok(msg) = rx.recv() {
+                if write_msg(&mut writer, me, &msg).is_err() {
+                    return;
+                }
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+        });
+        peer_txs.push(Some(tx));
+    }
+
+    // --- consensus thread ----------------------------------------------
+    let mut messages_sent = 0u64;
+    let mut messages_received = 0u64;
+    let sink = AppSink {
+        inner: Vec::<CommitEntry>::new(),
+        app: ConcurrentDedupApp {
+            app,
+            pool: pool.clone(),
+        },
+    };
+    let mut driver = EngineDriver::new(engine, sink);
+    // Own outbound proposals are observed here (they never pass the
+    // verify stage); inbound blocks were already observed by the workers.
+    let observe_pool = pool.clone();
+    let mut transmit = |out: Outbound| {
+        if let Some(pool) = &observe_pool {
+            let msg = match &out {
+                Outbound::Broadcast(msg) => msg,
+                Outbound::Send(_, msg) => msg,
+            };
+            if let Some(block) = msg.proposal_block() {
+                pool.observe_proposal(block);
+            }
+        }
+        match out {
+            Outbound::Broadcast(msg) => {
+                for tx in peer_txs.iter().flatten() {
+                    messages_sent += 1;
+                    let _ = tx.try_send(msg.clone());
+                }
+            }
+            Outbound::Send(to, msg) => {
+                if let Some(Some(tx)) = peer_txs.get(to.as_usize()) {
+                    messages_sent += 1;
+                    let _ = tx.try_send(msg);
+                }
+            }
+        }
+    };
+
+    driver.init(now(), &mut transmit);
+
+    while start.elapsed() < run_for {
+        driver.fire_due(now(), &mut transmit);
+        // Gossip: forward requests pushed into the local pool since the
+        // last pass (one Forward frame per flush, never re-forwarded).
+        if let Some(pool) = &pool {
+            let requests = pool.take_outbox();
+            if !requests.is_empty() {
+                transmit(Outbound::Broadcast(Message::Dissemination(
+                    DisseminationMsg::Forward { requests },
+                )));
+            }
+        }
+        // Wait for the next verified event or timer.
+        let wait = driver
+            .next_deadline()
+            .map(|at| std::time::Duration::from_nanos(at.0.saturating_sub(now().0)))
+            .unwrap_or(std::time::Duration::from_millis(10))
+            .min(std::time::Duration::from_millis(10));
+        if let Ok((from, msg)) = event_rx.recv_timeout(wait) {
+            messages_received += 1;
+            driver.handle_message(from, msg, now(), &mut transmit);
+        }
+    }
+
+    // --- staged shutdown ------------------------------------------------
+    // Order matters: release the stage's own senders *first*, then keep
+    // absorbing the verify tail (so no worker blocks on a full event
+    // channel) until every worker has drained its queue and exited —
+    // readers notice `stop` within their read timeout and drop the last
+    // sender clones.
+    stop.store(true, Ordering::Relaxed);
+    drop(event_tx);
+    let VerifyStage {
+        txs,
+        handles,
+        stats: _,
+        alive,
+    } = verify;
+    drop(txs);
+    while alive.load(Ordering::Acquire) > 0 {
+        if event_rx
+            .recv_timeout(std::time::Duration::from_millis(5))
+            .is_ok()
+        {
+            messages_received += 1;
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    // Frames the workers forwarded in their last instants still count.
+    while event_rx.try_recv().is_ok() {
+        messages_received += 1;
+    }
+
+    let stale_timers_dropped = driver.stale_timers_dropped();
+    Ok(PipelineRunReport {
+        report: TcpRunReport {
+            commits: driver.into_sink().inner,
+            messages_received,
+            messages_sent,
+            stale_timers_dropped,
+        },
+        stats: stats.snapshot(),
+        ingest_dropped: pool.map(|p| p.ingest_dropped()).unwrap_or(0),
+    })
+}
+
+/// Retryable read errors: the reader's poll timeout, not a dead socket.
+fn would_retry(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Runs a whole pipelined cluster on localhost — the staged counterpart of
+/// [`run_local_cluster_with_pools`](crate::runner::run_local_cluster_with_pools).
+/// `pools[i]` is wired into replica `i`; engines should pull payloads from
+/// the same handles via
+/// [`ConcurrentMempoolSource`](banyan_mempool::ConcurrentMempoolSource).
+///
+/// # Panics
+///
+/// Panics if `pools.len() != engines.len()`, a replica thread panics or a
+/// socket operation fails.
+pub fn run_local_cluster_pipelined(
+    engines: Vec<Box<dyn Engine>>,
+    pools: Vec<SharedConcurrentPool>,
+    config: PipelineConfig,
+    run_for: std::time::Duration,
+) -> Vec<PipelineRunReport> {
+    let n = engines.len();
+    assert_eq!(pools.len(), n, "one pool per replica");
+    // Bind listeners first so every address is known before any dial.
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    let addrs: Vec<SocketAddr> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr"))
+        .collect();
+    drop(listeners);
+
+    let mut handles = Vec::new();
+    for (i, (engine, pool)) in engines.into_iter().zip(pools).enumerate() {
+        let addrs = addrs.clone();
+        let listen = addrs[i];
+        let config = config.clone();
+        handles.push(thread::spawn(move || {
+            run_replica_pipelined(engine, NullApp, Some(pool), config, listen, addrs, run_for)
+                .expect("replica run")
+        }));
+    }
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("replica thread"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banyan_core::builder::ClusterBuilder;
+    use banyan_mempool::{ConcurrentMempoolSource, Mempool, Request};
+    use banyan_types::time::Duration as BDuration;
+    use banyan_types::time::Time as BTime;
+
+    fn req(id: u64) -> Request {
+        Request {
+            id,
+            client: (id % 4) as u16,
+            size: 64,
+            submitted_at: BTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn pipelined_cluster_commits_agrees_and_drops_no_frame() {
+        let n = 4;
+        let pools: Vec<SharedConcurrentPool> = (0..n)
+            .map(|_| ConcurrentPool::new(Mempool::new(4_096).with_gossip(true), 4_096))
+            .collect();
+        let sources = pools.clone();
+        let engines = ClusterBuilder::new(n, 1, 1)
+            .unwrap()
+            .delta(BDuration::from_millis(50))
+            .proposal_sources(move |i| {
+                Box::new(ConcurrentMempoolSource::new(
+                    sources[i as usize].clone(),
+                    64,
+                ))
+            })
+            .build_banyan();
+
+        // Requests enter at replica 0 through the send-only ingest path.
+        let ingest = pools[0].ingest();
+        for id in 1..=32u64 {
+            assert!(ingest.push(req(id)));
+        }
+
+        let config = PipelineConfig::default().with_verify_workers(2);
+        let reports = run_local_cluster_pipelined(
+            engines,
+            pools.clone(),
+            config,
+            std::time::Duration::from_secs(3),
+        );
+
+        // Liveness + agreement, as in the unstaged runner.
+        let mut canonical = std::collections::HashMap::new();
+        for (i, r) in reports.iter().enumerate() {
+            assert!(
+                r.report.commits.len() > 3,
+                "replica {i} committed only {} blocks",
+                r.report.commits.len()
+            );
+            for c in &r.report.commits {
+                if let Some(prev) = canonical.insert(c.round, c.block) {
+                    assert_eq!(prev, c.block, "disagreement at round {}", c.round);
+                }
+            }
+        }
+        // Workers joined cleanly and no decoded frame fell on the floor:
+        // every frame is accounted ingested, verified or rejected.
+        for (i, r) in reports.iter().enumerate() {
+            let s = &r.stats;
+            assert_eq!(
+                s.decoded,
+                s.ingested + s.verified + s.rejected,
+                "replica {i} lost frames at close: {s:?}"
+            );
+            assert_eq!(s.rejected, 0, "replica {i} rejected honest frames");
+            // Only replica 0 pushes, and forwarded requests are never
+            // re-forwarded, so the *other* replicas must see gossip.
+            if i != 0 {
+                assert!(s.ingested > 0, "replica {i} saw no gossip");
+            }
+            assert_eq!(r.ingest_dropped, 0, "replica {i} shed ingest");
+        }
+        // The workload committed through the pipeline.
+        let committed: std::collections::HashSet<u64> = reports[0]
+            .report
+            .commits
+            .iter()
+            .filter_map(|c| WorkloadBatch::decode(&c.payload))
+            .flat_map(|b| b.requests.into_iter().map(|r| r.id))
+            .collect();
+        for id in 1..=32u64 {
+            assert!(committed.contains(&id), "request {id} never committed");
+        }
+    }
+
+    #[test]
+    fn verify_frame_accounts_every_frame_once() {
+        use banyan_crypto::Signature;
+        use banyan_types::ids::{BlockHash, Rank, Round};
+        use banyan_types::message::StreamletMsg;
+        let config = PipelineConfig::default();
+        let stats = PipelineStats::default();
+        let pool = ConcurrentPool::new(Mempool::new(64).with_speculation(config.payload_chunk), 64);
+
+        // A forward frame is ingested, never forwarded to the engine.
+        let fwd = Message::Dissemination(DisseminationMsg::Forward {
+            requests: vec![req(1), req(2)],
+        });
+        assert_eq!(
+            verify_frame(ReplicaId(1), fwd, Some(&*pool), &config, &stats),
+            VerifyOutcome::Ingested
+        );
+        assert_eq!(pool.len(), 2, "both requests reached the pool");
+
+        // A proposal with a valid batch passes and records its lease.
+        let block = Block {
+            round: Round(1),
+            proposer: ReplicaId(0),
+            rank: Rank(0),
+            parent: BlockHash::ZERO,
+            proposed_at: BTime::ZERO,
+            payload: WorkloadBatch {
+                requests: vec![req(7)],
+            }
+            .into_payload(),
+            signature: Signature::zero(),
+        };
+        let msg = Message::Streamlet(StreamletMsg::Proposal {
+            block: block.clone(),
+        });
+        match verify_frame(ReplicaId(0), msg, Some(&*pool), &config, &stats) {
+            VerifyOutcome::Engine(from, _) => assert_eq!(from, ReplicaId(0)),
+            other => panic!("expected Engine, got {other:?}"),
+        }
+        assert_eq!(pool.live_leases(), 1, "lease recorded by the verify stage");
+
+        // A corrupt batch (magic, garbage body) is rejected.
+        let mut corrupt = block.clone();
+        corrupt.payload = Payload::Inline(b"BanyanWB\xFF\xFF\xFF\xFF".to_vec());
+        let msg = Message::Streamlet(StreamletMsg::Proposal { block: corrupt });
+        assert_eq!(
+            verify_frame(ReplicaId(0), msg, Some(&*pool), &config, &stats),
+            VerifyOutcome::Rejected
+        );
+
+        // A failing verifier rejects too.
+        let strict = config
+            .clone()
+            .with_verifier(Arc::new(|_: &Block| false) as VerifyFn);
+        let msg = Message::Streamlet(StreamletMsg::Proposal { block });
+        assert_eq!(
+            verify_frame(ReplicaId(0), msg, Some(&*pool), &strict, &stats),
+            VerifyOutcome::Rejected
+        );
+
+        let s = stats.snapshot();
+        assert_eq!(s.ingested, 1);
+        assert_eq!(s.verified, 1);
+        assert_eq!(s.rejected, 2);
+        assert_eq!(s.requests_ingested, 2);
+    }
+}
