@@ -51,6 +51,10 @@ fn run_with_beacon(seeded: Option<u64>, topo: &Topology, payload: u64, secs: u64
         duplicates_suppressed: 0,
         goodput_rps: 0.0,
         fast_share: m.fast_path_share(ReplicaId(0)),
+        sync_requests: 0,
+        sync_blocks_served: 0,
+        restart_recovery_ms: 0,
+        wal_bytes: 0,
         committed_rounds: sim.auditor().committed_rounds(),
         messages: m.messages_sent,
         bytes: m.bytes_sent,

@@ -30,6 +30,12 @@
 //! * `--shards S` shards each replica's pending queue S ways; the
 //!   arrival-stamp merge keeps every number bit-identical to `--shards 1`
 //!   (the determinism suite and the CI gate pin this);
+//! * `--restart` schedules two staggered crash-and-rejoin restarts
+//!   (replicas 1 then 2) per point: each drops all volatile state,
+//!   rebuilds from its durable snapshot, and catches up over ranged
+//!   sync — the sync/served/rec.ms columns then go nonzero. Combine
+//!   with `--gossip --retry-ms N --assert-no-drop` for the rolling-
+//!   restart zero-loss gate;
 //! * `--assert-no-drop` exits nonzero if any past-knee point falls below
 //!   90% of the plateau goodput or, with retry/gossip on, loses requests
 //!   — the CI regression gate for the dissemination layer;
@@ -61,6 +67,7 @@ struct Args {
     batch_min_bytes: Option<u64>,
     batch_age_ms: Option<u64>,
     shards: usize,
+    restart: bool,
     assert_no_drop: bool,
     assert_max_dups: bool,
     secs: Option<u64>,
@@ -77,6 +84,7 @@ fn parse_args() -> Args {
         batch_min_bytes: None,
         batch_age_ms: None,
         shards: 1,
+        restart: false,
         assert_no_drop: false,
         assert_max_dups: false,
         secs: None,
@@ -89,6 +97,7 @@ fn parse_args() -> Args {
             "--json" => args.json = true,
             "--gossip" => args.gossip = true,
             "--speculative" => args.speculative = true,
+            "--restart" => args.restart = true,
             "--assert-no-drop" => args.assert_no_drop = true,
             "--assert-max-dups" => args.assert_max_dups = true,
             "--retry-ms" => {
@@ -218,6 +227,17 @@ fn main() {
         }
         if let Some((min_bytes, max_age)) = batch_policy {
             base = base.batch_policy(min_bytes, max_age);
+        }
+        if args.restart {
+            // Two staggered rolling restarts inside the measured window:
+            // replica 1 is down for the second quarter, replica 2 for the
+            // third, so the cluster always keeps n − f live replicas.
+            let q = Duration::from_millis(secs * 250);
+            base = base.restart(1, q, q.saturating_mul(2)).restart(
+                2,
+                q.saturating_mul(2),
+                q.saturating_mul(3),
+            );
         }
         let points: Vec<SweepPoint> = populations
             .iter()

@@ -269,6 +269,19 @@ impl Scenario {
         self
     }
 
+    /// Schedules a crash-and-rejoin for `replica`: it drops all volatile
+    /// state at `at`, rebuilds from its durable snapshot at `rejoin_at`,
+    /// and catches up over ranged sync. Composable — call once per
+    /// restart to stagger several.
+    pub fn restart(mut self, replica: u16, at: Duration, rejoin_at: Duration) -> Self {
+        self.faults = self.faults.restart(
+            ReplicaId(replica),
+            Time(at.as_nanos()),
+            Time(rejoin_at.as_nanos()),
+        );
+        self
+    }
+
     /// Overrides `Δ`.
     pub fn delta(mut self, delta: Duration) -> Self {
         self.delta = Some(delta);
@@ -334,6 +347,17 @@ pub struct Outcome {
     /// Share of explicit commits taken via the fast path at a non-faulty
     /// replica (0 for non-Banyan protocols).
     pub fast_share: f64,
+    /// Catch-up fetches issued by rejoining replicas (frontier probes plus
+    /// ranged block requests); 0 for runs without restarts.
+    pub sync_requests: u64,
+    /// Blocks served in `SyncMsg::ResponseBatch` replies over the run.
+    pub sync_blocks_served: u64,
+    /// Total milliseconds rejoining replicas spent catching up (rejoin →
+    /// caught-up), summed over all restarts.
+    pub restart_recovery_ms: u64,
+    /// Write-ahead-log bytes held across all replicas at the end of the
+    /// run (0 when engines run on in-memory stores).
+    pub wal_bytes: u64,
     /// Rounds with at least one committed block.
     pub committed_rounds: usize,
     /// Network messages sent.
@@ -452,6 +476,20 @@ pub fn build_simulation(scenario: &Scenario) -> Simulation {
             sim.enable_speculation(payload_chunk);
         }
     }
+    if !scenario.faults.restarts().is_empty() {
+        // Rejoining replicas are rebuilt from the same cluster wiring
+        // (registry, beacon, proposal sources — mempools are shared by
+        // Arc, so the rebuilt engine drains the surviving pool) and then
+        // restored from the snapshot captured at the crash, which stands
+        // in for the durable state a WAL-backed deployment reopens.
+        let rebuild = builder.clone();
+        let protocol = scenario.protocol.clone();
+        sim.set_restart_builder(Box::new(move |replica, snapshot| {
+            let mut engine = rebuild.build_replica(&protocol, replica.0);
+            engine.restore(snapshot);
+            engine
+        }));
+    }
     sim
 }
 
@@ -534,6 +572,10 @@ fn summarize(scenario: &Scenario, m: &RunMetrics, auditor: &SafetyAuditor) -> Ou
         duplicates_suppressed: client_report.as_ref().map_or(0, |&(_, dups)| dups),
         goodput_rps: banyan_simnet::metrics::per_second(requests_committed, scenario.secs as f64),
         fast_share: m.fast_path_share(observer),
+        sync_requests: m.sync_requests,
+        sync_blocks_served: m.sync_blocks_served,
+        restart_recovery_ms: m.restart_recovery_ms,
+        wal_bytes: m.wal_bytes,
         committed_rounds: auditor.committed_rounds(),
         messages: m.messages_sent,
         bytes: m.bytes_sent,

@@ -51,6 +51,14 @@ pub struct SweepPoint {
     /// duplicates)` (1.0 when nothing committed — an empty run wastes no
     /// block space).
     pub batch_efficiency: f64,
+    /// Catch-up fetches issued by rejoining replicas (0 without restarts).
+    pub sync_requests: u64,
+    /// Blocks served in ranged-sync response batches.
+    pub sync_blocks: u64,
+    /// Total milliseconds rejoining replicas spent catching up.
+    pub recovery_ms: u64,
+    /// Write-ahead-log bytes held across replicas at the end of the run.
+    pub wal_bytes: u64,
 }
 
 impl SweepPoint {
@@ -112,13 +120,17 @@ pub fn measure(base: &Scenario, clients: u16, window: u32, think_time: Duration)
         duplicates: out.duplicates_suppressed,
         dup_share,
         batch_efficiency,
+        sync_requests: out.sync_requests,
+        sync_blocks: out.sync_blocks_served,
+        recovery_ms: out.restart_recovery_ms,
+        wal_bytes: out.wal_bytes,
     }
 }
 
 /// Header matching [`point_row`].
 pub fn sweep_header() -> String {
     format!(
-        "{:>8} {:>7} {:>12} {:>10} {:>10} {:>9} {:>10} {:>10} {:>6} {:>8} {:>6} {:>6} {:>6}  {}",
+        "{:>8} {:>7} {:>12} {:>10} {:>10} {:>9} {:>10} {:>10} {:>6} {:>8} {:>6} {:>6} {:>6} {:>5} {:>7} {:>7} {:>9}  {}",
         "clients",
         "window",
         "goodput/s",
@@ -132,6 +144,10 @@ pub fn sweep_header() -> String {
         "dups",
         "dup%",
         "eff%",
+        "sync",
+        "served",
+        "rec.ms",
+        "wal.B",
         ""
     )
 }
@@ -139,7 +155,7 @@ pub fn sweep_header() -> String {
 /// Formats one sweep point; `knee` appends the saturation marker.
 pub fn point_row(p: &SweepPoint, knee: bool) -> String {
     format!(
-        "{:>8} {:>7} {:>12.1} {:>10.2} {:>10.2} {:>9.3} {:>10} {:>10} {:>6} {:>8} {:>6} {:>6.2} {:>6.1}  {}",
+        "{:>8} {:>7} {:>12.1} {:>10.2} {:>10.2} {:>9.3} {:>10} {:>10} {:>6} {:>8} {:>6} {:>6.2} {:>6.1} {:>5} {:>7} {:>7} {:>9}  {}",
         p.clients,
         p.window,
         p.goodput_rps,
@@ -153,6 +169,10 @@ pub fn point_row(p: &SweepPoint, knee: bool) -> String {
         p.duplicates,
         p.dup_share * 100.0,
         p.batch_efficiency * 100.0,
+        p.sync_requests,
+        p.sync_blocks,
+        p.recovery_ms,
+        p.wal_bytes,
         if knee { "<- knee" } else { "" }
     )
 }
@@ -164,7 +184,8 @@ pub fn point_json(p: &SweepPoint) -> String {
         "{{\"clients\":{},\"window\":{},\"goodput_rps\":{:.3},\"p50_ms\":{:.4},\
          \"p99_ms\":{:.4},\"throughput_mbps\":{:.5},\"submitted\":{},\"committed\":{},\
          \"lost\":{},\"retried\":{},\"duplicates\":{},\"dup_share\":{:.5},\
-         \"batch_efficiency\":{:.5}}}",
+         \"batch_efficiency\":{:.5},\"sync_requests\":{},\"sync_blocks\":{},\
+         \"recovery_ms\":{},\"wal_bytes\":{}}}",
         p.clients,
         p.window,
         p.goodput_rps,
@@ -177,7 +198,11 @@ pub fn point_json(p: &SweepPoint) -> String {
         p.retried,
         p.duplicates,
         p.dup_share,
-        p.batch_efficiency
+        p.batch_efficiency,
+        p.sync_requests,
+        p.sync_blocks,
+        p.recovery_ms,
+        p.wal_bytes
     )
 }
 
@@ -219,6 +244,10 @@ mod tests {
             duplicates: 1,
             dup_share,
             batch_efficiency,
+            sync_requests: 2,
+            sync_blocks: 12,
+            recovery_ms: 45,
+            wal_bytes: 2048,
         }
     }
 
@@ -266,8 +295,10 @@ mod tests {
         assert!(header.contains("goodput/s"));
         assert!(header.contains("lost"));
         assert!(header.contains("dup%") && header.contains("eff%"));
+        assert!(header.contains("sync") && header.contains("rec.ms"));
         assert!(row.contains(" 3 "), "lost column present: {row}");
         assert!(row.contains("98.9"), "efficiency column present: {row}");
+        assert!(row.contains("2048"), "wal column present: {row}");
     }
 
     #[test]
@@ -281,6 +312,10 @@ mod tests {
         assert!(json.contains("\"duplicates\":1"));
         assert!(json.contains("\"dup_share\":0.01111"));
         assert!(json.contains("\"batch_efficiency\":0.98901"));
+        assert!(json.contains("\"sync_requests\":2"));
+        assert!(json.contains("\"sync_blocks\":12"));
+        assert!(json.contains("\"recovery_ms\":45"));
+        assert!(json.contains("\"wal_bytes\":2048"));
         assert!(json.ends_with("]}"));
         // An empty sweep has a null knee and an empty points array.
         assert_eq!(

@@ -20,7 +20,13 @@ pub type SourceFactory = Arc<dyn Fn(u16) -> Box<dyn ProposalSource> + Send + Syn
 
 use crate::chained::{ByzantineMode, ChainedEngine, PathMode};
 use crate::hotstuff::HotStuffEngine;
+use crate::store::ChainStore;
 use crate::streamlet::StreamletEngine;
+
+/// Per-replica [`ChainStore`] factory (chained engines only): called once
+/// per replica index when a cluster is built, so each engine gets its own
+/// backing store — e.g. a `WalStore` opened on that replica's directory.
+pub type StoreFactory = Arc<dyn Fn(u16) -> Box<dyn ChainStore> + Send + Sync>;
 
 /// Fluent builder for homogeneous clusters.
 ///
@@ -48,6 +54,9 @@ pub struct ClusterBuilder {
     baseline_timeout: Duration,
     /// Per-replica Byzantine behaviors (chained engines only).
     byzantine: Vec<(u16, ByzantineMode)>,
+    /// Per-replica chain-store factory (chained engines only); `None`
+    /// keeps the default in-memory `BlockStore`.
+    stores: Option<StoreFactory>,
 }
 
 impl std::fmt::Debug for ClusterBuilder {
@@ -76,6 +85,7 @@ impl ClusterBuilder {
             sources: Arc::new(|i| Box::new(FixedSizeSource::new(0, i))),
             baseline_timeout: Duration::from_secs(3),
             byzantine: Vec::new(),
+            stores: None,
         })
     }
 
@@ -167,6 +177,19 @@ impl ClusterBuilder {
         self
     }
 
+    /// Installs a per-replica [`ChainStore`] factory for the chained
+    /// engines: `factory(i)` is called once for replica `i` whenever that
+    /// engine is built, replacing the default in-memory `BlockStore`. This
+    /// is how a `WalStore` (crash recovery) is threaded in; the engine
+    /// resumes from whatever finalized frontier the store recovered.
+    pub fn chain_stores(
+        mut self,
+        factory: impl Fn(u16) -> Box<dyn ChainStore> + Send + Sync + 'static,
+    ) -> Self {
+        self.stores = Some(Arc::new(factory));
+        self
+    }
+
     /// The validated configuration.
     pub fn protocol_config(&self) -> &ProtocolConfig {
         &self.cfg
@@ -188,19 +211,24 @@ impl ClusterBuilder {
             .unwrap_or(ByzantineMode::Honest)
     }
 
+    fn build_chained_replica(&self, mode: PathMode, i: u16) -> Box<dyn Engine> {
+        let mut engine = ChainedEngine::new(
+            self.cfg.clone(),
+            mode,
+            self.registry(i),
+            self.beacon(),
+            (self.sources)(i),
+        )
+        .with_byzantine(self.byz_mode(i));
+        if let Some(stores) = &self.stores {
+            engine = engine.with_store(stores(i));
+        }
+        Box::new(engine)
+    }
+
     fn build_chained(&self, mode: PathMode) -> Vec<Box<dyn Engine>> {
         (0..self.cfg.n() as u16)
-            .map(|i| {
-                let engine = ChainedEngine::new(
-                    self.cfg.clone(),
-                    mode,
-                    self.registry(i),
-                    self.beacon(),
-                    (self.sources)(i),
-                )
-                .with_byzantine(self.byz_mode(i));
-                Box::new(engine) as Box<dyn Engine>
-            })
+            .map(|i| self.build_chained_replica(mode, i))
             .collect()
     }
 
@@ -257,6 +285,40 @@ impl ClusterBuilder {
             "icc" => self.build_icc(),
             "hotstuff" => self.build_hotstuff(),
             "streamlet" => self.build_streamlet(),
+            other => panic!("unknown protocol {other:?}"),
+        }
+    }
+
+    /// Builds a single replica's engine — the crash-recovery path: a
+    /// restarting replica rebuilds exactly its own engine (same PKI,
+    /// beacon, sources, and — via [`Self::chain_stores`] — its reopened
+    /// store), then `Engine::restore`s a snapshot before `on_init`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown protocol name or out-of-range index.
+    pub fn build_replica(&self, protocol: &str, i: u16) -> Box<dyn Engine> {
+        assert!(
+            (i as usize) < self.cfg.n(),
+            "replica index {i} out of range"
+        );
+        match protocol {
+            "banyan" => self.build_chained_replica(PathMode::Banyan, i),
+            "icc" => self.build_chained_replica(PathMode::IccOnly, i),
+            "hotstuff" => Box::new(HotStuffEngine::new(
+                self.cfg.clone(),
+                self.registry(i),
+                self.beacon(),
+                (self.sources)(i),
+                self.baseline_timeout,
+            )),
+            "streamlet" => Box::new(StreamletEngine::new(
+                self.cfg.clone(),
+                self.registry(i),
+                self.beacon(),
+                (self.sources)(i),
+                self.cfg.delta.saturating_mul(2),
+            )),
             other => panic!("unknown protocol {other:?}"),
         }
     }

@@ -38,7 +38,9 @@ use banyan_types::message::{ChainedMsg, Message, SyncMsg};
 use banyan_types::time::Time;
 use banyan_types::vote::{Vote, VoteKind};
 
-use crate::store::BlockStore;
+use banyan_types::ChainSnapshot;
+
+use crate::store::{BlockStore, ChainStore};
 
 use super::round::RoundState;
 
@@ -91,7 +93,7 @@ pub struct ChainedEngine {
     id: ReplicaId,
     beacon: Beacon,
     registry: KeyRegistry,
-    store: BlockStore,
+    store: Box<dyn ChainStore>,
     rounds: BTreeMap<Round, RoundState>,
     /// Current round `k`.
     round: Round,
@@ -102,6 +104,11 @@ pub struct ChainedEngine {
     finalizations: HashMap<Round, Finalization>,
     /// Finalizations waiting for their block (or ancestors) to arrive.
     pending_finalizations: Vec<Finalization>,
+    /// `store.len()` at the last pending-finalization retry: a retry can
+    /// only succeed after a missing ancestor arrived, so we skip the walk
+    /// until the store grew (keeps the progress fixpoint loop from
+    /// re-walking unreachable chains every event during catch-up).
+    retry_store_len: usize,
     /// Hashes we already requested via sync (dedup).
     sync_requested: std::collections::HashSet<BlockHash>,
     /// Where block payloads come from (mempool, client queue, or the
@@ -148,12 +155,13 @@ impl ChainedEngine {
             id,
             beacon,
             registry,
-            store: BlockStore::new(),
+            store: Box::new(BlockStore::new()),
             rounds: BTreeMap::new(),
             round: Round(0),
             k_max: Round::GENESIS,
             finalizations: HashMap::new(),
             pending_finalizations: Vec::new(),
+            retry_store_len: 0,
             sync_requested: std::collections::HashSet::new(),
             source,
         }
@@ -162,6 +170,17 @@ impl ChainedEngine {
     /// Builder-style: sets an adversarial behavior.
     pub fn with_byzantine(mut self, byz: ByzantineMode) -> Self {
         self.byz = byz;
+        self
+    }
+
+    /// Builder-style: replaces the chain store (e.g. a recovered
+    /// `banyan_storage::WalStore`). The finalized frontier is taken from
+    /// the store, so a pre-loaded store makes this the crash-recovery
+    /// constructor: build, `with_store(recovered)`, then `on_init`
+    /// re-enters at the frontier.
+    pub fn with_store(mut self, store: Box<dyn ChainStore>) -> Self {
+        self.k_max = store.max_finalized_round();
+        self.store = store;
         self
     }
 
@@ -181,8 +200,8 @@ impl ChainedEngine {
     }
 
     /// Read access to the block store (tests, tools).
-    pub fn store(&self) -> &BlockStore {
-        &self.store
+    pub fn store(&self) -> &dyn ChainStore {
+        self.store.as_ref()
     }
 
     // ------------------------------------------------------------------
@@ -699,9 +718,14 @@ impl ChainedEngine {
 
     /// Finalizes `cert.block` and its ancestors; or defers if blocks are
     /// missing.
-    fn apply_finalization(&mut self, cert: Finalization, now: Time, actions: &mut Actions) {
+    /// Returns `true` iff the chain below `cert` was actually committed.
+    /// A deferred cert (missing ancestors, parked in
+    /// `pending_finalizations`) is *not* progress: reporting it as such
+    /// would let the finalize rules re-find the same quorum candidate and
+    /// spin the progress fixpoint loop forever during catch-up.
+    fn apply_finalization(&mut self, cert: Finalization, now: Time, actions: &mut Actions) -> bool {
         if cert.round <= self.k_max {
-            return;
+            return false;
         }
         let chain = match self.store.chain_to(&cert.block, self.k_max) {
             Some(chain) => chain
@@ -718,14 +742,21 @@ impl ChainedEngine {
                 })
                 .collect::<Vec<_>>(),
             None => {
-                // Missing ancestor(s): fetch and retry when they arrive.
+                // Missing ancestor(s): fetch and retry when they arrive
+                // (at most one parked cert per certified block).
                 self.request_sync(cert.block, actions);
-                self.pending_finalizations.push(cert);
-                return;
+                if !self
+                    .pending_finalizations
+                    .iter()
+                    .any(|c| c.round == cert.round && c.block == cert.block)
+                {
+                    self.pending_finalizations.push(cert);
+                }
+                return false;
             }
         };
         if chain.is_empty() {
-            return;
+            return false;
         }
         // Sanity: the chain must end at the certified block and start just
         // above kMax.
@@ -753,6 +784,7 @@ impl ChainedEngine {
             actions.broadcast(Message::Chained(ChainedMsg::Final(cert.clone())));
             slot.insert(cert);
         }
+        true
     }
 
     fn handle_sync(&mut self, from: ReplicaId, msg: SyncMsg, now: Time, actions: &mut Actions) {
@@ -772,6 +804,84 @@ impl ChainedEngine {
             SyncMsg::Response { block } => {
                 self.handle_proposal(block, None, None, None, now, actions);
             }
+            SyncMsg::RequestRange {
+                from_round,
+                to_round,
+            } => {
+                self.serve_range(from, from_round, to_round, actions);
+            }
+            SyncMsg::ResponseBatch {
+                blocks,
+                notarizations,
+            } => {
+                for block in blocks {
+                    self.handle_proposal(block, None, None, None, now, actions);
+                }
+                for cert in notarizations {
+                    self.handle_notarization(cert, actions);
+                }
+                self.progress(now, actions);
+            }
+            SyncMsg::FrontierProbe => {
+                // Drivers normally answer probes without engine delivery;
+                // answering here too keeps blindly-forwarding drivers
+                // correct (the reply is a pure function of state).
+                actions.send(
+                    from,
+                    Message::Sync(SyncMsg::FrontierInfo {
+                        finalized: self.k_max,
+                    }),
+                );
+            }
+            SyncMsg::FrontierInfo { .. } => {
+                // Consumed by the driver's CatchUpState; nothing for the
+                // engine to do.
+            }
+        }
+    }
+
+    /// Serves a ranged catch-up fetch: the finalized chain (blocks +
+    /// retained notarizations) for `from..=to`, capped, plus our newest
+    /// finalization certificate so the requester can actually finalize
+    /// what it fetched.
+    fn serve_range(
+        &mut self,
+        from: ReplicaId,
+        from_round: Round,
+        to_round: Round,
+        actions: &mut Actions,
+    ) {
+        /// Rounds served per request (bounds response size).
+        const MAX_RANGE: u64 = 64;
+        let lo = from_round.0.max(1);
+        let hi = to_round
+            .0
+            .min(self.k_max.0)
+            .min(lo.saturating_add(MAX_RANGE - 1));
+        let mut blocks = Vec::new();
+        let mut notarizations = Vec::new();
+        for r in lo..=hi {
+            let Some(h) = self.store.finalized(Round(r)) else {
+                continue;
+            };
+            if let Some(b) = self.store.get(&h) {
+                blocks.push(b.clone());
+            }
+            if let Some(cert) = self.store.notarization(&h) {
+                notarizations.push(cert.clone());
+            }
+        }
+        if !blocks.is_empty() || !notarizations.is_empty() {
+            actions.send(
+                from,
+                Message::Sync(SyncMsg::ResponseBatch {
+                    blocks,
+                    notarizations,
+                }),
+            );
+        }
+        if let Some(cert) = self.finalizations.get(&self.k_max) {
+            actions.send(from, Message::Chained(ChainedMsg::Final(cert.clone())));
         }
     }
 
@@ -780,10 +890,16 @@ impl ChainedEngine {
     // ------------------------------------------------------------------
 
     fn progress(&mut self, now: Time, actions: &mut Actions) {
-        for _ in 0..64 {
-            // Bounded fixpoint loop: each iteration that changes state can
-            // enable further rules; 64 is far beyond any legitimate chain
-            // of enablings per event.
+        // Bounded fixpoint loop: every iteration that reports `changed`
+        // strictly advances a monotone quantity (votes cast, notarizations
+        // assembled, kMax, the current round), so the loop terminates once
+        // buffered state is exhausted. A handful of iterations suffice in
+        // steady state, but a recovering replica draining a ranged-sync
+        // batch (or the buffered live traffic arriving right after it)
+        // legitimately chains one enabling per recovered round; the cap
+        // only guards against a genuine oscillation bug.
+        const PROGRESS_CAP: usize = 100_000;
+        for _ in 0..PROGRESS_CAP {
             let mut changed = false;
             changed |= self.try_assemble_notarizations(actions);
             changed |= self.try_fast_finalize(now, actions);
@@ -890,6 +1006,15 @@ impl ChainedEngine {
             if self.store.finalized(round).is_some() {
                 continue;
             }
+            // Already certified but waiting on missing ancestors: the
+            // retry path owns it from here.
+            if self
+                .pending_finalizations
+                .iter()
+                .any(|c| c.round == round && c.block == hash)
+            {
+                continue;
+            }
             // Build the certificate from individually held votes; if we
             // only know the support through certified aggregates we wait
             // for the explicit certificate instead.
@@ -905,8 +1030,7 @@ impl ChainedEngine {
                 kind: FinalKind::Fast,
                 agg,
             };
-            self.apply_finalization(cert, now, actions);
-            changed = true;
+            changed |= self.apply_finalization(cert, now, actions);
         }
         changed
     }
@@ -929,6 +1053,15 @@ impl ChainedEngine {
             if self.store.finalized(round).is_some() {
                 continue;
             }
+            // Already certified but waiting on missing ancestors: the
+            // retry path owns it from here.
+            if self
+                .pending_finalizations
+                .iter()
+                .any(|c| c.round == round && c.block == hash)
+            {
+                continue;
+            }
             let votes = self.rounds[&round].finalize_votes.votes_for(&hash);
             let agg = self.registry.table().aggregate(&votes);
             let cert = Finalization {
@@ -937,8 +1070,7 @@ impl ChainedEngine {
                 kind: FinalKind::Slow,
                 agg,
             };
-            self.apply_finalization(cert, now, actions);
-            changed = true;
+            changed |= self.apply_finalization(cert, now, actions);
         }
         changed
     }
@@ -947,14 +1079,22 @@ impl ChainedEngine {
         if self.pending_finalizations.is_empty() {
             return false;
         }
+        // A parked cert can only become applicable after a missing
+        // ancestor arrived in the store, so skip the chain walk entirely
+        // until the store has grown since the last retry.
+        let store_len = self.store.len();
+        if store_len == self.retry_store_len {
+            return false;
+        }
+        self.retry_store_len = store_len;
         let pending = std::mem::take(&mut self.pending_finalizations);
-        let before = pending.len();
+        let mut changed = false;
         for cert in pending {
             if cert.round > self.k_max {
-                self.apply_finalization(cert, now, actions);
+                changed |= self.apply_finalization(cert, now, actions);
             }
         }
-        self.pending_finalizations.len() != before
+        changed
     }
 
     /// Algorithm 1 lines 33–43: notarization-vote for the lowest-ranked
@@ -1252,7 +1392,9 @@ impl Engine for ChainedEngine {
 
     fn on_init(&mut self, now: Time) -> Actions {
         let mut actions = Actions::none();
-        self.enter_round(Round(1), now, &mut actions);
+        // Fresh replicas have `k_max = GENESIS`, so this is round 1; a
+        // recovered replica re-enters just above its restored frontier.
+        self.enter_round(self.k_max.next(), now, &mut actions);
         self.progress(now, &mut actions);
         actions
     }
@@ -1322,5 +1464,28 @@ impl Engine for ChainedEngine {
 
     fn current_round(&self) -> Round {
         self.round
+    }
+
+    fn finalized_round(&self) -> Round {
+        self.k_max
+    }
+
+    fn snapshot(&self) -> ChainSnapshot {
+        let mut snap = self.store.snapshot();
+        snap.committed_round = self.k_max;
+        snap.normalize();
+        snap
+    }
+
+    fn restore(&mut self, snapshot: &ChainSnapshot) {
+        self.store.restore(snapshot);
+        self.k_max = snapshot.max_finalized_round();
+        // Force the next pending-finalization retry to walk: the store
+        // contents just changed wholesale.
+        self.retry_store_len = usize::MAX;
+    }
+
+    fn wal_bytes(&self) -> u64 {
+        self.store.wal_bytes()
     }
 }

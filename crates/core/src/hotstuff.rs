@@ -30,6 +30,7 @@ use banyan_types::engine::{Actions, CommitEntry, Engine, TimerKind};
 use banyan_types::ids::{BlockHash, Rank, ReplicaId, Round};
 use banyan_types::message::{HotStuffMsg, Message};
 use banyan_types::time::{Duration, Time};
+use banyan_types::ChainSnapshot;
 
 /// Domain for HotStuff vote signatures.
 fn vote_message(view: u64, block: &BlockHash) -> Vec<u8> {
@@ -429,7 +430,10 @@ impl Engine for HotStuffEngine {
     fn on_init(&mut self, now: Time) -> Actions {
         self.routed_committed_round = self.committed_round;
         let mut actions = Actions::none();
-        self.enter_view(1, now, &mut actions);
+        // Fresh engines start at view 1; restored ones re-enter one view
+        // past their recovered `high_qc` (`restore` parks `view` there).
+        let next = (self.view + 1).max(1);
+        self.enter_view(next, now, &mut actions);
         actions
     }
 
@@ -482,5 +486,54 @@ impl Engine for HotStuffEngine {
 
     fn current_round(&self) -> Round {
         Round(self.view)
+    }
+
+    fn finalized_round(&self) -> Round {
+        self.committed_round
+    }
+
+    fn snapshot(&self) -> ChainSnapshot {
+        let mut snap = ChainSnapshot::default();
+        for (hash, (block, justify)) in &self.blocks {
+            snap.blocks.push((*hash, block.clone()));
+            snap.justifies.push((*hash, justify.clone()));
+        }
+        snap.committed_round = self.committed_round;
+        snap.committed_view = self.committed_view;
+        snap.normalize();
+        snap
+    }
+
+    fn restore(&mut self, snapshot: &ChainSnapshot) {
+        let justify_of: HashMap<BlockHash, QuorumCert> =
+            snapshot.justifies.iter().cloned().collect();
+        self.blocks.clear();
+        for (hash, block) in &snapshot.blocks {
+            let justify = justify_of
+                .get(hash)
+                .cloned()
+                .unwrap_or_else(QuorumCert::genesis);
+            self.blocks.insert(*hash, (block.clone(), justify));
+        }
+        self.high_qc = justify_of
+            .values()
+            .max_by_key(|qc| qc.view)
+            .cloned()
+            .unwrap_or_else(QuorumCert::genesis);
+        // 2-chain lock: locking at the high QC is conservative (it only
+        // refuses votes the pre-crash lock might have allowed), so a
+        // restarted replica can never vote for a conflicting branch.
+        self.locked_qc = self.high_qc.clone();
+        // Past votes are gone with the crash; refusing to vote below the
+        // recovered high QC prevents equivocation in replayed views.
+        self.last_vote_view = self.high_qc.view;
+        self.committed_round = snapshot.committed_round;
+        self.committed_view = snapshot.committed_view;
+        self.routed_committed_round = self.committed_round;
+        // Park one view short so `on_init` re-enters at `high_qc.view+1`.
+        self.view = self.high_qc.view;
+        self.votes.clear();
+        self.new_views.clear();
+        self.proposed.clear();
     }
 }

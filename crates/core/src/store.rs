@@ -1,289 +1,8 @@
-//! The block tree (§4: "as the protocol advances, a tree of blocks is
-//! constructed, starting from a genesis block that is at the root").
+//! The block tree, re-exported from `banyan-storage`.
 //!
-//! The store tracks every received block, which are notarized, and the
-//! finalized chain. The genesis block is virtual: hash
-//! [`BlockHash::ZERO`] at round 0, notarized and finalized by definition.
+//! The store moved into its own crate when it grew a WAL-backed sibling
+//! (`banyan_storage::WalStore`); this shim keeps every historical
+//! `banyan_core::store::BlockStore` import working. Engines hold a
+//! `Box<dyn ChainStore>`, so either backend drops in.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
-
-use banyan_types::certs::Notarization;
-use banyan_types::ids::{BlockHash, Round};
-use banyan_types::Block;
-
-/// The block tree plus notarization/finalization bookkeeping.
-#[derive(Clone, Debug, Default)]
-pub struct BlockStore {
-    /// Every block we hold, by hash.
-    blocks: HashMap<BlockHash, Block>,
-    /// Hashes per round, in arrival order.
-    by_round: BTreeMap<Round, Vec<BlockHash>>,
-    /// Blocks known to be notarized (own quorum or received certificate).
-    notarized: HashSet<BlockHash>,
-    /// Retained notarization certificates (needed for proposals and
-    /// round-advance broadcasts).
-    notarizations: HashMap<BlockHash, Notarization>,
-    /// The finalized block of each round (the canonical chain).
-    finalized: BTreeMap<Round, BlockHash>,
-}
-
-impl BlockStore {
-    /// An empty tree (genesis only).
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// True if `hash` identifies the virtual genesis block.
-    pub fn is_genesis(hash: &BlockHash) -> bool {
-        *hash == BlockHash::ZERO
-    }
-
-    /// Inserts a block, returning `false` if it was already present.
-    pub fn insert(&mut self, hash: BlockHash, block: Block) -> bool {
-        if self.blocks.contains_key(&hash) {
-            return false;
-        }
-        self.by_round.entry(block.round).or_default().push(hash);
-        self.blocks.insert(hash, block);
-        true
-    }
-
-    /// Fetches a block by hash.
-    pub fn get(&self, hash: &BlockHash) -> Option<&Block> {
-        self.blocks.get(hash)
-    }
-
-    /// True if we hold the block (or it is genesis).
-    pub fn contains(&self, hash: &BlockHash) -> bool {
-        Self::is_genesis(hash) || self.blocks.contains_key(hash)
-    }
-
-    /// Hashes of blocks received for `round`.
-    pub fn round_blocks(&self, round: Round) -> &[BlockHash] {
-        self.by_round.get(&round).map(Vec::as_slice).unwrap_or(&[])
-    }
-
-    /// Marks a block notarized, keeping the certificate if given.
-    pub fn mark_notarized(&mut self, hash: BlockHash, cert: Option<Notarization>) {
-        self.notarized.insert(hash);
-        if let Some(cert) = cert {
-            self.notarizations.entry(hash).or_insert(cert);
-        }
-    }
-
-    /// True if the block is notarized (genesis always is).
-    pub fn is_notarized(&self, hash: &BlockHash) -> bool {
-        Self::is_genesis(hash) || self.notarized.contains(hash)
-    }
-
-    /// The retained notarization certificate for a block, if any.
-    pub fn notarization(&self, hash: &BlockHash) -> Option<&Notarization> {
-        self.notarizations.get(hash)
-    }
-
-    /// Records the finalized block of a round.
-    pub fn mark_finalized(&mut self, round: Round, hash: BlockHash) {
-        self.finalized.insert(round, hash);
-        // A finalized block is necessarily notarized.
-        if !Self::is_genesis(&hash) {
-            self.notarized.insert(hash);
-        }
-    }
-
-    /// The finalized block of `round`, if decided (genesis for round 0).
-    pub fn finalized(&self, round: Round) -> Option<BlockHash> {
-        if round == Round::GENESIS {
-            return Some(BlockHash::ZERO);
-        }
-        self.finalized.get(&round).copied()
-    }
-
-    /// True if this specific block is final.
-    pub fn is_finalized(&self, round: Round, hash: &BlockHash) -> bool {
-        self.finalized(round) == Some(*hash)
-    }
-
-    /// Highest finalized round (0 if only genesis).
-    pub fn max_finalized_round(&self) -> Round {
-        self.finalized
-            .keys()
-            .next_back()
-            .copied()
-            .unwrap_or(Round::GENESIS)
-    }
-
-    /// Walks the parent chain from `tip` (exclusive of genesis) down to —
-    /// but not including — round `stop_after`. Returns blocks in
-    /// **ascending round order**, or `None` if an ancestor is missing from
-    /// the store.
-    ///
-    /// This is the §4 implicit-finalization walk: explicitly finalizing a
-    /// round-`k` block finalizes all its ancestors back to the previous
-    /// finalized round.
-    pub fn chain_to(&self, tip: &BlockHash, stop_after: Round) -> Option<Vec<(BlockHash, &Block)>> {
-        let mut out = Vec::new();
-        let mut cursor = *tip;
-        loop {
-            if Self::is_genesis(&cursor) {
-                break;
-            }
-            let block = self.blocks.get(&cursor)?;
-            if block.round <= stop_after {
-                break;
-            }
-            out.push((cursor, block));
-            cursor = block.parent;
-        }
-        out.reverse();
-        Some(out)
-    }
-
-    /// Number of blocks held.
-    pub fn len(&self) -> usize {
-        self.blocks.len()
-    }
-
-    /// True if no blocks are held.
-    pub fn is_empty(&self) -> bool {
-        self.blocks.is_empty()
-    }
-
-    /// Drops per-round indexes and blocks strictly below `round` that are
-    /// not on the finalized chain (bounded memory for long runs).
-    pub fn prune_below(&mut self, round: Round) {
-        let doomed_rounds: Vec<Round> = self.by_round.range(..round).map(|(r, _)| *r).collect();
-        for r in doomed_rounds {
-            if let Some(hashes) = self.by_round.remove(&r) {
-                for h in hashes {
-                    if self.finalized.get(&r) != Some(&h) {
-                        self.blocks.remove(&h);
-                        self.notarized.remove(&h);
-                        self.notarizations.remove(&h);
-                    }
-                }
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use banyan_crypto::Signature;
-    use banyan_types::ids::{Rank, ReplicaId};
-    use banyan_types::payload::Payload;
-    use banyan_types::time::Time;
-
-    fn block(round: u64, parent: BlockHash, tag: u8) -> (BlockHash, Block) {
-        let b = Block {
-            round: Round(round),
-            proposer: ReplicaId(tag as u16),
-            rank: Rank(0),
-            parent,
-            proposed_at: Time(round),
-            payload: Payload::synthetic(100, tag as u64),
-            signature: Signature::zero(),
-        };
-        (b.hash(1024), b)
-    }
-
-    #[test]
-    fn genesis_is_always_notarized_and_finalized() {
-        let store = BlockStore::new();
-        assert!(store.is_notarized(&BlockHash::ZERO));
-        assert_eq!(store.finalized(Round::GENESIS), Some(BlockHash::ZERO));
-        assert!(store.is_finalized(Round::GENESIS, &BlockHash::ZERO));
-        assert_eq!(store.max_finalized_round(), Round::GENESIS);
-    }
-
-    #[test]
-    fn insert_and_lookup() {
-        let mut store = BlockStore::new();
-        let (h, b) = block(1, BlockHash::ZERO, 1);
-        assert!(store.insert(h, b.clone()));
-        assert!(!store.insert(h, b), "duplicate insert returns false");
-        assert!(store.contains(&h));
-        assert_eq!(store.get(&h).unwrap().round, Round(1));
-        assert_eq!(store.round_blocks(Round(1)), &[h]);
-        assert_eq!(store.len(), 1);
-    }
-
-    #[test]
-    fn notarization_tracking() {
-        let mut store = BlockStore::new();
-        let (h, b) = block(1, BlockHash::ZERO, 1);
-        store.insert(h, b);
-        assert!(!store.is_notarized(&h));
-        store.mark_notarized(h, None);
-        assert!(store.is_notarized(&h));
-        assert!(store.notarization(&h).is_none(), "no cert retained");
-    }
-
-    #[test]
-    fn chain_walk_ascending() {
-        let mut store = BlockStore::new();
-        let (h1, b1) = block(1, BlockHash::ZERO, 1);
-        let (h2, b2) = block(2, h1, 2);
-        let (h3, b3) = block(3, h2, 3);
-        store.insert(h1, b1);
-        store.insert(h2, b2);
-        store.insert(h3, b3);
-
-        let chain = store.chain_to(&h3, Round::GENESIS).unwrap();
-        assert_eq!(
-            chain.iter().map(|(h, _)| *h).collect::<Vec<_>>(),
-            vec![h1, h2, h3]
-        );
-
-        // Stop after round 1: only rounds 2..=3.
-        let chain = store.chain_to(&h3, Round(1)).unwrap();
-        assert_eq!(
-            chain.iter().map(|(h, _)| *h).collect::<Vec<_>>(),
-            vec![h2, h3]
-        );
-    }
-
-    #[test]
-    fn chain_walk_detects_missing_ancestor() {
-        let mut store = BlockStore::new();
-        let (h1, b1) = block(1, BlockHash::ZERO, 1);
-        let (h2, b2) = block(2, h1, 2);
-        // h1 never inserted.
-        store.insert(h2, b2.clone());
-        assert!(store.chain_to(&h2, Round::GENESIS).is_none());
-        store.insert(h1, b1);
-        assert!(store.chain_to(&h2, Round::GENESIS).is_some());
-    }
-
-    #[test]
-    fn finalization_chain() {
-        let mut store = BlockStore::new();
-        let (h1, b1) = block(1, BlockHash::ZERO, 1);
-        store.insert(h1, b1);
-        store.mark_finalized(Round(1), h1);
-        assert!(store.is_finalized(Round(1), &h1));
-        assert!(store.is_notarized(&h1), "finalized implies notarized");
-        assert_eq!(store.max_finalized_round(), Round(1));
-    }
-
-    #[test]
-    fn prune_keeps_finalized_chain() {
-        let mut store = BlockStore::new();
-        let (h1, b1) = block(1, BlockHash::ZERO, 1);
-        let (h1b, b1b) = block(1, BlockHash::ZERO, 9); // fork at round 1
-        let (h2, b2) = block(2, h1, 2);
-        store.insert(h1, b1);
-        store.insert(h1b, b1b);
-        store.insert(h2, b2);
-        store.mark_finalized(Round(1), h1);
-
-        store.prune_below(Round(2));
-        assert!(store.contains(&h1), "finalized block survives pruning");
-        assert!(!store.contains(&h1b), "losing fork pruned");
-        assert!(store.contains(&h2), "rounds at/after cutoff survive");
-        assert!(
-            store.round_blocks(Round(1)).is_empty(),
-            "round index pruned"
-        );
-    }
-}
+pub use banyan_storage::{BlockStore, ChainStore};

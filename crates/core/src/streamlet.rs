@@ -22,12 +22,14 @@ use banyan_crypto::registry::KeyRegistry;
 use banyan_crypto::Signature;
 use banyan_types::app::{ProposalContext, ProposalSource};
 use banyan_types::block::Block;
+use banyan_types::certs::Notarization;
 use banyan_types::config::ProtocolConfig;
 use banyan_types::engine::{Actions, CommitEntry, Engine, TimerKind};
 use banyan_types::ids::{BlockHash, Rank, ReplicaId, Round};
-use banyan_types::message::{Message, StreamletMsg};
+use banyan_types::message::{Message, StreamletMsg, SyncMsg};
 use banyan_types::time::{Duration, Time};
 use banyan_types::vote::{Vote, VoteKind};
+use banyan_types::ChainSnapshot;
 
 /// The Streamlet replica engine.
 pub struct StreamletEngine {
@@ -41,6 +43,10 @@ pub struct StreamletEngine {
     votes: HashMap<BlockHash, HashMap<u16, Signature>>,
     /// Notarized blocks.
     notarized: HashSet<BlockHash>,
+    /// Assembled notarization certificates (quorums we observed, plus
+    /// certificates adopted from catch-up batches) — the proofs served to
+    /// rejoining replicas over ranged sync.
+    notarization_certs: HashMap<BlockHash, Notarization>,
     /// Epoch we are in.
     epoch: u64,
     /// Epochs we have voted in.
@@ -82,6 +88,7 @@ impl StreamletEngine {
             blocks: HashMap::new(),
             votes: HashMap::new(),
             notarized: HashSet::new(),
+            notarization_certs: HashMap::new(),
             epoch: 0,
             voted_epochs: HashSet::new(),
             epoch_len,
@@ -129,9 +136,12 @@ impl StreamletEngine {
 
     fn start_epoch(&mut self, epoch: u64, now: Time, actions: &mut Actions) {
         self.epoch = epoch;
-        // Arm the next epoch boundary.
+        // Arm the next epoch boundary. Epoch `e + 1` begins at `e·len` on
+        // the shared epoch clock; for an aligned replica this equals
+        // `now + epoch_len` exactly, while a replica re-initialized
+        // mid-epoch (restart) re-synchronizes its tick to the boundary.
         actions.arm(
-            now + self.epoch_len,
+            Time(epoch.saturating_mul(self.epoch_len.0)),
             TimerKind::EpochTick { epoch: epoch + 1 },
         );
         if self.leader(epoch) == self.id {
@@ -240,12 +250,142 @@ impl StreamletEngine {
         {
             return;
         }
+        let quorum = self.quorum();
         let entry = self.votes.entry(vote.block).or_default();
         entry.insert(vote.voter.0, vote.signature);
-        if entry.len() >= self.quorum() && !self.notarized.contains(&vote.block) {
-            self.notarized.insert(vote.block);
-            self.try_commit(&vote.block, now, actions);
+        if entry.len() < quorum {
+            return;
         }
+        // Assemble the certificate while the votes are at hand, so a
+        // ranged-sync serve later can prove the notarization. Sorted by
+        // voter for a deterministic aggregate.
+        let mut sigs: Vec<(u16, Signature)> = entry.iter().map(|(i, s)| (*i, *s)).collect();
+        if self.notarized.contains(&vote.block) {
+            return;
+        }
+        self.notarized.insert(vote.block);
+        sigs.sort_by_key(|(i, _)| *i);
+        let agg = self.registry.table().aggregate(&sigs);
+        self.notarization_certs.insert(
+            vote.block,
+            Notarization::from_votes(vote.round, vote.block, agg),
+        );
+        self.try_commit(&vote.block, now, actions);
+    }
+
+    /// Block-sync handling: serve single blocks, serve certified round
+    /// ranges to rejoining replicas, and adopt served batches. Adoption is
+    /// what reconnects a restarted replica's chain: its vote rule needs an
+    /// unbroken notarized path to the longest tip, so without the
+    /// downtime-gap blocks it could notarize and commit but never vote
+    /// again.
+    fn handle_sync(&mut self, from: ReplicaId, msg: SyncMsg, now: Time, actions: &mut Actions) {
+        match msg {
+            SyncMsg::Request { hash } => {
+                if let Some((block, _)) = self.blocks.get(&hash) {
+                    let block = block.clone();
+                    actions.send(from, Message::Sync(SyncMsg::Response { block }));
+                }
+            }
+            SyncMsg::Response { block } => {
+                let hash = block.hash(self.cfg.payload_chunk);
+                self.blocks.entry(hash).or_insert((block, 0));
+            }
+            SyncMsg::RequestRange {
+                from_round,
+                to_round,
+            } => {
+                self.serve_range(from, from_round, to_round, actions);
+            }
+            SyncMsg::ResponseBatch {
+                blocks,
+                notarizations,
+            } => {
+                for block in blocks {
+                    let hash = block.hash(self.cfg.payload_chunk);
+                    self.blocks.entry(hash).or_insert((block, 0));
+                }
+                for cert in notarizations {
+                    self.adopt_notarization(cert, now, actions);
+                }
+            }
+            SyncMsg::FrontierProbe => {
+                // Drivers normally answer probes without engine delivery;
+                // answering here too keeps blindly-forwarding drivers
+                // correct (the reply is a pure function of state).
+                actions.send(
+                    from,
+                    Message::Sync(SyncMsg::FrontierInfo {
+                        finalized: self.committed_round,
+                    }),
+                );
+            }
+            SyncMsg::FrontierInfo { .. } => {
+                // Consumed by the driver's CatchUpState.
+            }
+        }
+    }
+
+    /// Serves a ranged catch-up fetch: every notarized block we hold a
+    /// certificate for in `from..=to` (capped), ascending by epoch.
+    fn serve_range(
+        &self,
+        from: ReplicaId,
+        from_round: Round,
+        to_round: Round,
+        actions: &mut Actions,
+    ) {
+        /// Epochs served per request (bounds response size).
+        const MAX_RANGE: u64 = 64;
+        let lo = from_round.0.max(1);
+        let hi = to_round.0.min(lo.saturating_add(MAX_RANGE - 1));
+        let mut served: Vec<(u64, BlockHash)> = self
+            .notarization_certs
+            .values()
+            .filter(|cert| (lo..=hi).contains(&cert.round.0))
+            .map(|cert| (cert.round.0, cert.block))
+            .collect();
+        served.sort_unstable();
+        let mut blocks = Vec::new();
+        let mut notarizations = Vec::new();
+        for (_, hash) in served {
+            if let Some((block, _)) = self.blocks.get(&hash) {
+                blocks.push(block.clone());
+            }
+            notarizations.push(self.notarization_certs[&hash].clone());
+        }
+        if !blocks.is_empty() || !notarizations.is_empty() {
+            actions.send(
+                from,
+                Message::Sync(SyncMsg::ResponseBatch {
+                    blocks,
+                    notarizations,
+                }),
+            );
+        }
+    }
+
+    /// Adopts a served notarization certificate: verify, mark the block
+    /// notarized, and run the commit rule (a reconnected chain can commit
+    /// the whole downtime gap at once).
+    fn adopt_notarization(&mut self, cert: Notarization, now: Time, actions: &mut Actions) {
+        if self.notarized.contains(&cert.block) {
+            self.notarization_certs.entry(cert.block).or_insert(cert);
+            return;
+        }
+        if cert.vote_count() < self.quorum() {
+            return;
+        }
+        if self.cfg.verify_signatures {
+            let msg = Vote::signing_message(VoteKind::Notarize, cert.round, &cert.block);
+            if !self.registry.table().verify_aggregate(&msg, &cert.agg) {
+                return;
+            }
+        }
+        self.notarized.insert(cert.block);
+        let block = cert.block;
+        self.notarization_certs.insert(block, cert);
+        self.try_commit(&block, now, actions);
     }
 
     /// Commit rule: notarized blocks in three consecutive epochs on one
@@ -339,11 +479,22 @@ impl Engine for StreamletEngine {
 
     fn on_init(&mut self, now: Time) -> Actions {
         let mut actions = Actions::none();
-        self.start_epoch(1, now, &mut actions);
+        // Epochs are lock-step wall-clock intervals (the paper's `2Δ`):
+        // epoch `e` spans `[(e-1)·len, e·len)`, so a fresh engine at t=0
+        // starts at epoch 1 and a restored one jumps straight to the
+        // *current* epoch. Resuming the pre-crash counter instead would
+        // leave the replica a full downtime's worth of epochs behind —
+        // proposing into long-dead epochs nobody votes for, which starves
+        // the three-consecutive-epochs commit rule cluster-wide. The
+        // `self.epoch + 1` floor keeps any pre-crash vote unrepeatable
+        // (`restore` parks `epoch` at the highest round it had stored).
+        let wall = now.0 / self.epoch_len.0 + 1;
+        let next = wall.max(self.epoch + 1);
+        self.start_epoch(next, now, &mut actions);
         actions
     }
 
-    fn on_message(&mut self, _from: ReplicaId, msg: Message, now: Time) -> Actions {
+    fn on_message(&mut self, from: ReplicaId, msg: Message, now: Time) -> Actions {
         let mut actions = Actions::none();
         match msg {
             Message::Streamlet(StreamletMsg::Proposal { block }) => {
@@ -351,6 +502,9 @@ impl Engine for StreamletEngine {
             }
             Message::Streamlet(StreamletMsg::Vote(vote)) => {
                 self.handle_vote(vote, now, &mut actions);
+            }
+            Message::Sync(sync) => {
+                self.handle_sync(from, sync, now, &mut actions);
             }
             _ => {}
         }
@@ -369,5 +523,44 @@ impl Engine for StreamletEngine {
 
     fn current_round(&self) -> Round {
         Round(self.epoch)
+    }
+
+    fn finalized_round(&self) -> Round {
+        self.committed_round
+    }
+
+    fn snapshot(&self) -> ChainSnapshot {
+        let mut snap = ChainSnapshot::default();
+        for (hash, (block, _)) in &self.blocks {
+            snap.blocks.push((*hash, block.clone()));
+        }
+        snap.notarized = self.notarized.iter().copied().collect();
+        snap.notarizations = self.notarization_certs.values().cloned().collect();
+        snap.committed_round = self.committed_round;
+        snap.normalize();
+        snap
+    }
+
+    fn restore(&mut self, snapshot: &ChainSnapshot) {
+        self.blocks.clear();
+        self.votes.clear();
+        self.notarized.clear();
+        self.notarization_certs.clear();
+        self.voted_epochs.clear();
+        let mut max_seen = snapshot.committed_round.0;
+        for (hash, block) in &snapshot.blocks {
+            max_seen = max_seen.max(block.round.0);
+            self.blocks.insert(*hash, (block.clone(), 0));
+        }
+        self.notarized.extend(snapshot.notarized.iter().copied());
+        for cert in &snapshot.notarizations {
+            self.notarization_certs.insert(cert.block, cert.clone());
+        }
+        self.committed_round = snapshot.committed_round;
+        // Park one epoch short so `on_init` resumes at `max_seen + 1`.
+        // Pre-crash votes can only exist in epochs ≤ max_seen (voting
+        // requires the block to be stored first), so resuming beyond it
+        // cannot equivocate.
+        self.epoch = max_seen;
     }
 }

@@ -13,12 +13,26 @@ use banyan_types::time::{Duration, Time};
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Fault {
     /// `replica` stops sending, receiving and firing timers at `at`
-    /// (fail-stop; no recovery).
+    /// (fail-stop; no recovery). The simulator **drops the engine** at the
+    /// crash instant — heap state is really gone, exactly like a killed
+    /// process.
     Crash {
         /// The replica that crashes.
         replica: ReplicaId,
         /// Crash instant.
         at: Time,
+    },
+    /// `replica` crashes at `at` and rejoins at `rejoin_at`, rebuilt from
+    /// durable state (its WAL, or a snapshot captured at the crash
+    /// instant) via the simulation's restart builder, then catches up to
+    /// the live frontier through ranged sync.
+    Restart {
+        /// The replica that restarts.
+        replica: ReplicaId,
+        /// Crash instant.
+        at: Time,
+        /// Rejoin instant (must be after `at`).
+        rejoin_at: Time,
     },
     /// All links between `group_a` and `group_b` drop messages during
     /// `[from, until)`. Models a network partition / asynchrony period.
@@ -63,6 +77,21 @@ impl FaultPlan {
     /// Builder-style: adds a crash.
     pub fn crash(mut self, replica: ReplicaId, at: Time) -> Self {
         self.faults.push(Fault::Crash { replica, at });
+        self
+    }
+
+    /// Builder-style: adds a crash-then-rejoin.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rejoin_at > at`.
+    pub fn restart(mut self, replica: ReplicaId, at: Time, rejoin_at: Time) -> Self {
+        assert!(rejoin_at > at, "rejoin must come after the crash");
+        self.faults.push(Fault::Restart {
+            replica,
+            at,
+            rejoin_at,
+        });
         self
     }
 
@@ -140,10 +169,16 @@ impl FaultPlan {
         self
     }
 
-    /// True if `replica` has crashed by `now`.
+    /// True if `replica` is down at `now`: crashed for good, or inside a
+    /// [`Fault::Restart`]'s `[at, rejoin_at)` outage window.
     pub fn is_crashed(&self, replica: ReplicaId, now: Time) -> bool {
         self.faults.iter().any(|f| match f {
             Fault::Crash { replica: r, at } => *r == replica && now >= *at,
+            Fault::Restart {
+                replica: r,
+                at,
+                rejoin_at,
+            } => *r == replica && now >= *at && now < *rejoin_at,
             _ => false,
         })
     }
@@ -186,19 +221,37 @@ impl FaultPlan {
         total
     }
 
-    /// Ids of replicas that crash at any point in the plan.
+    /// Ids of replicas that crash at any point in the plan — including
+    /// ones that later rejoin. Harnesses exclude these from observer
+    /// selection (a restarted replica's commit timeline has a gap).
     pub fn crashed_replicas(&self) -> Vec<ReplicaId> {
         let mut out: Vec<ReplicaId> = self
             .faults
             .iter()
             .filter_map(|f| match f {
                 Fault::Crash { replica, .. } => Some(*replica),
+                Fault::Restart { replica, .. } => Some(*replica),
                 _ => None,
             })
             .collect();
         out.sort_unstable();
         out.dedup();
         out
+    }
+
+    /// All scheduled restarts as `(replica, crash_at, rejoin_at)`.
+    pub fn restarts(&self) -> Vec<(ReplicaId, Time, Time)> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::Restart {
+                    replica,
+                    at,
+                    rejoin_at,
+                } => Some((*replica, *at, *rejoin_at)),
+                _ => None,
+            })
+            .collect()
     }
 
     /// All scheduled faults.
@@ -218,6 +271,17 @@ mod tests {
         assert!(plan.is_crashed(ReplicaId(3), Time(100)));
         assert!(plan.is_crashed(ReplicaId(3), Time(1000)));
         assert!(!plan.is_crashed(ReplicaId(2), Time(1000)));
+    }
+
+    #[test]
+    fn restart_outage_is_an_interval() {
+        let plan = FaultPlan::none().restart(ReplicaId(2), Time(100), Time(300));
+        assert!(!plan.is_crashed(ReplicaId(2), Time(99)));
+        assert!(plan.is_crashed(ReplicaId(2), Time(100)));
+        assert!(plan.is_crashed(ReplicaId(2), Time(299)));
+        assert!(!plan.is_crashed(ReplicaId(2), Time(300)), "rejoined");
+        assert_eq!(plan.crashed_replicas(), vec![ReplicaId(2)]);
+        assert_eq!(plan.restarts(), vec![(ReplicaId(2), Time(100), Time(300))]);
     }
 
     #[test]

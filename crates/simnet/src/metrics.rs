@@ -194,6 +194,19 @@ pub struct RunMetrics {
     pub requests_pending: u64,
     /// Client retransmissions performed by the workload.
     pub requests_retried: u64,
+    /// Catch-up requests issued by recovering replicas (frontier probes
+    /// plus ranged fetches, counted at the requester).
+    pub sync_requests: u64,
+    /// Blocks served in catch-up `ResponseBatch` replies (counted at the
+    /// serving replica).
+    pub sync_blocks_served: u64,
+    /// Total crash-recovery latency, ms: for every restarted replica, the
+    /// span from its rejoin instant to its catch-up state machine
+    /// finishing, summed (integer ms so determinism stays `Eq`-checkable).
+    pub restart_recovery_ms: u64,
+    /// Gauge: bytes held in the replicas' write-ahead logs at run end
+    /// (0 for purely in-memory stores).
+    pub wal_bytes: u64,
     /// Virtual time at the end of the run.
     pub end_time: Time,
 }

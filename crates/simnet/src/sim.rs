@@ -43,11 +43,13 @@ use rand::{Rng, SeedableRng};
 use banyan_mempool::{SharedMempool, WorkloadBatch};
 use banyan_runtime::driver::{is_stale, route_actions, ActionDispatch, CommitSink};
 use banyan_runtime::queue::EventQueue;
+use banyan_storage::{CatchUpState, CatchUpStep};
 use banyan_types::app::App;
 use banyan_types::engine::{Actions, CommitEntry, Engine, Outbound, TimerKind, TimerRequest};
-use banyan_types::ids::ReplicaId;
-use banyan_types::message::{DisseminationMsg, Message};
+use banyan_types::ids::{ReplicaId, Round};
+use banyan_types::message::{DisseminationMsg, Message, SyncMsg};
 use banyan_types::time::{Duration, Time};
+use banyan_types::ChainSnapshot;
 
 use crate::faults::FaultPlan;
 use crate::metrics::{ObservedCommit, RunMetrics, SafetyAuditor};
@@ -100,6 +102,10 @@ enum EventKind {
     Timer {
         replica: ReplicaId,
         kind: TimerKind,
+        /// Incarnation of the replica that armed this timer; a restart
+        /// bumps the replica's generation, so timers armed by a previous
+        /// life never fire into the new engine.
+        generation: u32,
     },
     /// The client population acts: an open-loop workload submits its next
     /// request; a closed-loop workload resubmits after a think time.
@@ -107,6 +113,16 @@ enum EventKind {
     /// A per-request retransmission deadline fires: the workload retries
     /// every due, still-uncommitted request.
     RetryTick,
+    /// A scheduled `Fault::Crash`/`Fault::Restart` outage begins: the
+    /// engine is dropped (heap state really released; see ISSUE 7's crash
+    /// fidelity fix), capturing a snapshot first when a rejoin is planned.
+    CrashAt { replica: ReplicaId },
+    /// A `Fault::Restart` outage ends: the replica is rebuilt via the
+    /// restart builder and begins driver-level catch-up.
+    Rejoin { replica: ReplicaId },
+    /// A catch-up probe/fetch deadline: re-drive the replica's
+    /// `CatchUpState`.
+    CatchUpTick { replica: ReplicaId },
 }
 
 /// The attached client population, if any. Open loop ticks itself on a
@@ -243,6 +259,9 @@ struct NetDispatch<'a> {
     messages_sent: &'a mut u64,
     bytes_sent: &'a mut u64,
     messages_dropped: &'a mut u64,
+    /// The acting replica's current incarnation, stamped onto armed
+    /// timers (see `EventKind::Timer::generation`).
+    generation: u32,
 }
 
 impl ActionDispatch for NetDispatch<'_> {
@@ -254,6 +273,7 @@ impl ActionDispatch for NetDispatch<'_> {
             EventKind::Timer {
                 replica,
                 kind: request.kind,
+                generation: self.generation,
             },
         );
     }
@@ -326,6 +346,42 @@ impl NetDispatch<'_> {
     }
 }
 
+/// Rebuilds a restarted replica's engine from its durable state: the
+/// snapshot captured at the crash instant (pass it to `Engine::restore`),
+/// or — for WAL-backed replicas — ignore the snapshot and reopen the log.
+pub type RestartBuilder = Box<dyn Fn(ReplicaId, &ChainSnapshot) -> Box<dyn Engine>>;
+
+/// Per-step timeout for driver-level catch-up (probe and fetch windows).
+const CATCHUP_TIMEOUT: Duration = Duration(500_000_000); // 500 ms
+
+/// Tombstone standing in for a dropped engine during an outage: a crashed
+/// replica's heap state is really gone (`Fault::Crash` fidelity), so any
+/// event that slips through the fault checks hits a no-op.
+struct CrashedEngine {
+    id: ReplicaId,
+}
+
+impl Engine for CrashedEngine {
+    fn id(&self) -> ReplicaId {
+        self.id
+    }
+    fn protocol_name(&self) -> &'static str {
+        "crashed"
+    }
+    fn on_init(&mut self, _now: Time) -> Actions {
+        Actions::none()
+    }
+    fn on_message(&mut self, _from: ReplicaId, _msg: Message, _now: Time) -> Actions {
+        Actions::none()
+    }
+    fn on_timer(&mut self, _kind: TimerKind, _now: Time) -> Actions {
+        Actions::none()
+    }
+    fn current_round(&self) -> Round {
+        Round::GENESIS
+    }
+}
+
 /// The simulator. See the module docs.
 pub struct Simulation {
     topology: Topology,
@@ -348,6 +404,19 @@ pub struct Simulation {
     /// Request-dissemination wiring (gossip routing + commit dedup), if
     /// enabled.
     dissemination: Option<DisseminationState>,
+    /// Per-replica incarnation counter, bumped on crash and on rejoin so
+    /// stale-life timers are dropped.
+    generations: Vec<u32>,
+    /// Rebuilds engines for `Fault::Restart` rejoins; without one, a
+    /// restarted replica simply stays down.
+    restart_builder: Option<RestartBuilder>,
+    /// Snapshot captured at the crash instant of a restart-scheduled
+    /// replica (the durable state a non-WAL engine recovers from).
+    crash_snapshots: Vec<Option<ChainSnapshot>>,
+    /// Driver-level catch-up state per recovering replica.
+    catchup: Vec<Option<CatchUpState>>,
+    /// When each restarted replica rejoined (recovery-latency metric).
+    rejoined_at: Vec<Option<Time>>,
     initialized: bool,
 }
 
@@ -390,8 +459,22 @@ impl Simulation {
             apps: (0..n).map(|_| None).collect(),
             workload: None,
             dissemination: None,
+            generations: vec![0; n],
+            restart_builder: None,
+            crash_snapshots: (0..n).map(|_| None).collect(),
+            catchup: (0..n).map(|_| None).collect(),
+            rejoined_at: vec![None; n],
             initialized: false,
         }
+    }
+
+    /// Installs the engine rebuilder used when a [`crate::Fault::Restart`]
+    /// rejoins: called with the replica id and the snapshot captured at
+    /// its crash instant. A WAL-backed build ignores the snapshot and
+    /// reopens its log; an in-memory build calls `Engine::restore` with
+    /// it. Without a builder, restart-scheduled replicas stay down.
+    pub fn set_restart_builder(&mut self, builder: RestartBuilder) {
+        self.restart_builder = Some(builder);
     }
 
     /// Attaches an open-loop client workload: its generator is driven from
@@ -546,6 +629,25 @@ impl Simulation {
     pub fn run_until(&mut self, end: Time) -> &RunMetrics {
         if !self.initialized {
             self.initialized = true;
+            // Outage schedule: engine drops and rejoins are explicit
+            // events so heap state is released at the crash instant and
+            // recovery starts exactly at the rejoin instant.
+            for fault in self.faults.faults().to_vec() {
+                match fault {
+                    crate::Fault::Crash { replica, at } => {
+                        self.queue.push(at, EventKind::CrashAt { replica });
+                    }
+                    crate::Fault::Restart {
+                        replica,
+                        at,
+                        rejoin_at,
+                    } => {
+                        self.queue.push(at, EventKind::CrashAt { replica });
+                        self.queue.push(rejoin_at, EventKind::Rejoin { replica });
+                    }
+                    _ => {}
+                }
+            }
             for i in 0..self.engines.len() {
                 let id = ReplicaId(i as u16);
                 if self.faults.is_crashed(id, self.now) {
@@ -575,26 +677,63 @@ impl Simulation {
                     // feed the receiver's mempool, never an engine.
                     if let Message::Dissemination(d) = msg {
                         self.handle_dissemination(to, d);
+                    } else if matches!(msg, Message::Sync(SyncMsg::FrontierProbe)) {
+                        // Driver traffic: answer from the engine's commit
+                        // frontier without delivering (engines stay pure,
+                        // and the chained engine's own answer path would
+                        // double-reply).
+                        let finalized = self.engines[to.as_usize()].finalized_round();
+                        self.driver_send(
+                            to,
+                            Outbound::Send(
+                                from,
+                                Message::Sync(SyncMsg::FrontierInfo { finalized }),
+                            ),
+                        );
+                    } else if let Message::Sync(SyncMsg::FrontierInfo { finalized }) = msg {
+                        // Driver traffic: feed the recovering replica's
+                        // catch-up machine.
+                        if let Some(cu) = &mut self.catchup[to.as_usize()] {
+                            cu.on_frontier(finalized);
+                        }
+                        self.drive_catchup(to);
                     } else {
                         // Speculative drain: the driver — not the engine —
                         // observes every arriving block and feeds the
                         // receiver's lease table.
                         if let Some(d) = &self.dissemination {
                             if d.speculative {
+                                let mut pool = d.pools[to.as_usize()].lock().expect("mempool lock");
                                 if let Some(block) = msg.proposal_block() {
-                                    d.pools[to.as_usize()]
-                                        .lock()
-                                        .expect("mempool lock")
-                                        .observe_proposal(block);
+                                    pool.observe_proposal(block);
+                                }
+                                for block in msg.sync_batch_blocks() {
+                                    pool.observe_proposal(block);
                                 }
                             }
                         }
+                        let was_batch = matches!(msg, Message::Sync(SyncMsg::ResponseBatch { .. }));
                         let actions = self.engines[to.as_usize()].on_message(from, msg, self.now);
                         self.process_actions(to, actions);
+                        if was_batch && self.catchup[to.as_usize()].is_some() {
+                            let frontier = self.engines[to.as_usize()].finalized_round();
+                            if let Some(cu) = &mut self.catchup[to.as_usize()] {
+                                cu.on_progress(frontier);
+                            }
+                            self.drive_catchup(to);
+                        }
                     }
                 }
-                EventKind::Timer { replica, kind } => {
+                EventKind::Timer {
+                    replica,
+                    kind,
+                    generation,
+                } => {
                     if self.faults.is_crashed(replica, self.now) {
+                        continue;
+                    }
+                    // Timers armed by a previous incarnation die with it.
+                    if generation != self.generations[replica.as_usize()] {
                         continue;
                     }
                     // Shared stale-timer rule: rounds the engine has left
@@ -644,6 +783,9 @@ impl Simulation {
                         eprintln!("[{}] client retried {retried} request(s)", self.now);
                     }
                 }
+                EventKind::CrashAt { replica } => self.crash_replica(replica),
+                EventKind::Rejoin { replica } => self.rejoin_replica(replica),
+                EventKind::CatchUpTick { replica } => self.drive_catchup(replica),
             }
             self.after_event();
         }
@@ -654,6 +796,7 @@ impl Simulation {
             self.metrics.requests_completed = w.completed();
             self.metrics.requests_pending = w.pending_in_pools();
         }
+        self.metrics.wal_bytes = self.engines.iter().map(|e| e.wal_bytes()).sum();
         &self.metrics
     }
 
@@ -719,6 +862,18 @@ impl Simulation {
     /// egress/propagation/jitter/FIFO model (dissemination shares links
     /// with consensus traffic and is charged the same way).
     fn broadcast_forward(&mut self, from: ReplicaId, requests: Vec<banyan_mempool::Request>) {
+        self.driver_send(
+            from,
+            Outbound::Broadcast(Message::Dissemination(DisseminationMsg::Forward {
+                requests,
+            })),
+        );
+    }
+
+    /// Transmits driver-originated traffic (dissemination gossip,
+    /// catch-up sync) from `from` through the same network model engine
+    /// traffic uses — driver frames are charged against real links.
+    fn driver_send(&mut self, from: ReplicaId, out: Outbound) {
         let Simulation {
             topology,
             config,
@@ -729,6 +884,7 @@ impl Simulation {
             link_last_arrival,
             rng,
             metrics,
+            generations,
             ..
         } = self;
         let RunMetrics {
@@ -749,13 +905,137 @@ impl Simulation {
             messages_sent,
             bytes_sent,
             messages_dropped,
+            generation: generations[from.as_usize()],
         };
-        dispatch.transmit(
-            from,
-            Outbound::Broadcast(Message::Dissemination(DisseminationMsg::Forward {
-                requests,
-            })),
-        );
+        dispatch.transmit(from, out);
+    }
+
+    /// Begins a scheduled outage: captures a recovery snapshot when a
+    /// rejoin is planned, then **drops the engine** — crashed replicas
+    /// hold no heap state, exactly like a killed process (the only way
+    /// back is the restart builder's durable state).
+    fn crash_replica(&mut self, replica: ReplicaId) {
+        let i = replica.as_usize();
+        if self.engines[i].protocol_name() == "crashed" {
+            return; // already down (duplicate schedule entry)
+        }
+        let rejoins = self
+            .faults
+            .restarts()
+            .iter()
+            .any(|(r, at, _)| *r == replica && *at <= self.now);
+        if rejoins {
+            self.crash_snapshots[i] = Some(self.engines[i].snapshot());
+        }
+        if self.config.trace {
+            eprintln!("[{}] {} crashes (engine dropped)", self.now, replica);
+        }
+        self.engines[i] = Box::new(CrashedEngine { id: replica });
+        self.generations[i] = self.generations[i].wrapping_add(1);
+        self.catchup[i] = None;
+    }
+
+    /// Ends a scheduled outage: rebuilds the engine from durable state
+    /// via the restart builder, re-initializes it, and starts driver-level
+    /// catch-up toward the live commit frontier.
+    fn rejoin_replica(&mut self, replica: ReplicaId) {
+        let i = replica.as_usize();
+        let snapshot = self.crash_snapshots[i].take().unwrap_or_default();
+        let Some(builder) = &self.restart_builder else {
+            return; // no rebuild path: the replica stays down
+        };
+        let engine = builder(replica, &snapshot);
+        assert_eq!(engine.id(), replica, "restart builder rebuilt wrong id");
+        self.engines[i] = engine;
+        self.generations[i] = self.generations[i].wrapping_add(1);
+        self.rejoined_at[i] = Some(self.now);
+        if self.config.trace {
+            eprintln!(
+                "[{}] {} rejoins at frontier {}",
+                self.now,
+                replica,
+                self.engines[i].finalized_round()
+            );
+        }
+        let actions = self.engines[i].on_init(self.now);
+        self.process_actions(replica, actions);
+        self.catchup[i] = Some(CatchUpState::new(
+            self.engines[i].finalized_round(),
+            self.now,
+            CATCHUP_TIMEOUT,
+        ));
+        self.drive_catchup(replica);
+    }
+
+    /// Runs a recovering replica's catch-up machine until it waits or
+    /// finishes, turning its steps into driver-level sync traffic.
+    fn drive_catchup(&mut self, replica: ReplicaId) {
+        let i = replica.as_usize();
+        let Some(mut cu) = self.catchup[i].take() else {
+            return;
+        };
+        loop {
+            match cu.step(self.now) {
+                CatchUpStep::Probe => {
+                    self.metrics.sync_requests += 1;
+                    self.driver_send(
+                        replica,
+                        Outbound::Broadcast(Message::Sync(SyncMsg::FrontierProbe)),
+                    );
+                }
+                CatchUpStep::Fetch {
+                    from_round,
+                    to_round,
+                } => {
+                    self.metrics.sync_requests += 1;
+                    let Some(peer) = self.pick_sync_peer(replica) else {
+                        continue; // nobody alive to ask; window will lapse
+                    };
+                    self.driver_send(
+                        replica,
+                        Outbound::Send(
+                            peer,
+                            Message::Sync(SyncMsg::RequestRange {
+                                from_round,
+                                to_round,
+                            }),
+                        ),
+                    );
+                }
+                CatchUpStep::Wait => {
+                    self.queue.push(
+                        self.now + CATCHUP_TIMEOUT,
+                        EventKind::CatchUpTick { replica },
+                    );
+                    self.catchup[i] = Some(cu);
+                    return;
+                }
+                CatchUpStep::Done => {
+                    if let Some(rejoined) = self.rejoined_at[i] {
+                        self.metrics.restart_recovery_ms +=
+                            self.now.since(rejoined).as_nanos() / 1_000_000;
+                    }
+                    if self.config.trace {
+                        eprintln!(
+                            "[{}] {} catch-up done at frontier {}",
+                            self.now,
+                            replica,
+                            self.engines[i].finalized_round()
+                        );
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The peer a recovering replica fetches ranges from: the nearest
+    /// live replica by id order after itself (deterministic).
+    fn pick_sync_peer(&self, replica: ReplicaId) -> Option<ReplicaId> {
+        let n = self.topology.n();
+        (1..n)
+            .map(|off| ReplicaId(((replica.as_usize() + off) % n) as u16))
+            .find(|peer| !self.faults.is_crashed(*peer, self.now))
     }
 
     /// Routes one engine's actions through the shared driver layer.
@@ -778,6 +1058,15 @@ impl Simulation {
                 }
             }
         }
+        // Catch-up serving metric: blocks shipped in ResponseBatch
+        // replies, counted at the server.
+        for out in &actions.outbound {
+            let msg = match out {
+                Outbound::Broadcast(msg) => msg,
+                Outbound::Send(_, msg) => msg,
+            };
+            self.metrics.sync_blocks_served += msg.sync_batch_blocks().len() as u64;
+        }
         let Simulation {
             topology,
             config,
@@ -792,6 +1081,7 @@ impl Simulation {
             apps,
             workload,
             dissemination,
+            generations,
             ..
         } = self;
         let RunMetrics {
@@ -820,6 +1110,7 @@ impl Simulation {
             messages_sent,
             bytes_sent,
             messages_dropped,
+            generation: generations[replica.as_usize()],
         };
         route_actions(replica, actions, &mut sink, &mut dispatch);
         // Think/retry deadlines recorded during routing are turned into

@@ -1,0 +1,301 @@
+//! [`CatchUpState`]: the driver-level state machine that brings a
+//! recovered or lagging replica to the live commit frontier.
+//!
+//! Engines are pure state machines and never see catch-up traffic; the
+//! *driver* (simulator event loop or TCP replica loop) owns one
+//! `CatchUpState` per recovering replica and turns its [`CatchUpStep`]s
+//! into `SyncMsg` traffic:
+//!
+//! ```text
+//!           ┌────────┐  FrontierProbe (broadcast)
+//!   start ─▶│ Probe  │──────────────────────────────┐
+//!           └────────┘                              ▼
+//!           ┌────────┐  on_frontier(peer) sets target
+//!           │ Fetch  │◀─────────────────────────────┘
+//!           └────────┘  RequestRange { from, to } to one peer
+//!               │  ▲
+//!    ResponseBatch │ on_progress(local) advances the window
+//!               ▼  │
+//!           ┌────────┐  local ≥ target, or the probe/fetch deadline
+//!           │  Done  │  lapses too many times (peers that never serve
+//!           └────────┘  ranges — engines with native view sync)
+//! ```
+//!
+//! Every transition is driven by explicit `(event, now)` calls, so the
+//! machine is deterministic and simulation-friendly: no clocks, no I/O.
+
+use banyan_types::ids::Round;
+use banyan_types::time::{Duration, Time};
+
+/// How many rounds one `RequestRange` asks for.
+pub const DEFAULT_BATCH_ROUNDS: u64 = 32;
+
+/// Consecutive expired fetch windows before giving up (the peer set does
+/// not serve ranged fetches — rely on the engine's native sync).
+pub const MAX_STALLED_FETCHES: u32 = 3;
+
+/// What the driver should do next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CatchUpStep {
+    /// Broadcast a `SyncMsg::FrontierProbe` to learn the commit frontier.
+    Probe,
+    /// Send `SyncMsg::RequestRange { from_round, to_round }` to a peer.
+    Fetch {
+        /// First round wanted (inclusive).
+        from_round: Round,
+        /// Last round wanted (inclusive).
+        to_round: Round,
+    },
+    /// A probe or fetch is in flight and its deadline has not lapsed.
+    Wait,
+    /// Caught up (or gave up): stop driving sync traffic.
+    Done,
+}
+
+/// Catch-up progress for one recovering replica.
+#[derive(Clone, Debug)]
+pub struct CatchUpState {
+    /// Our finalized frontier (advances via [`CatchUpState::on_progress`]).
+    local: Round,
+    /// Highest peer frontier reported so far.
+    target: Option<Round>,
+    /// Whether the initial probe was issued.
+    probed: bool,
+    /// The in-flight fetch window, if any.
+    in_flight: Option<(Round, Round)>,
+    /// Deadline for the in-flight probe/fetch.
+    deadline: Time,
+    /// Per-step timeout.
+    timeout: Duration,
+    /// Rounds per fetch.
+    batch: u64,
+    /// Consecutive deadline expiries without progress.
+    stalled: u32,
+    /// Terminal flag.
+    done: bool,
+    /// Number of Probe/Fetch steps issued (metrics: `sync_requests`).
+    requests_issued: u64,
+    /// When catch-up started (metrics: recovery latency).
+    started_at: Time,
+}
+
+impl CatchUpState {
+    /// Starts catch-up for a replica whose finalized frontier is `local`.
+    pub fn new(local: Round, now: Time, timeout: Duration) -> Self {
+        CatchUpState {
+            local,
+            target: None,
+            probed: false,
+            in_flight: None,
+            deadline: now,
+            timeout,
+            batch: DEFAULT_BATCH_ROUNDS,
+            stalled: 0,
+            done: false,
+            requests_issued: 0,
+            started_at: now,
+        }
+    }
+
+    /// Overrides the fetch window size.
+    pub fn with_batch(mut self, rounds: u64) -> Self {
+        self.batch = rounds.max(1);
+        self
+    }
+
+    /// A peer reported its finalized frontier.
+    pub fn on_frontier(&mut self, peer_frontier: Round) {
+        if self.done {
+            return;
+        }
+        if self.target.is_none_or(|t| peer_frontier > t) {
+            self.target = Some(peer_frontier);
+        }
+    }
+
+    /// Our own finalized frontier advanced (batch adopted, or live
+    /// protocol progress).
+    pub fn on_progress(&mut self, local_frontier: Round) {
+        if local_frontier > self.local {
+            self.local = local_frontier;
+            self.stalled = 0;
+            if let Some((_, to)) = self.in_flight {
+                if self.local >= to {
+                    self.in_flight = None;
+                }
+            }
+        }
+    }
+
+    /// Decides the next action. Call after any event that may have
+    /// changed the picture (frontier report, batch adoption, timer).
+    pub fn step(&mut self, now: Time) -> CatchUpStep {
+        if self.done {
+            return CatchUpStep::Done;
+        }
+        if let Some(target) = self.target {
+            if self.local >= target {
+                self.done = true;
+                return CatchUpStep::Done;
+            }
+        }
+        if self.in_flight.is_some() || (self.probed && self.target.is_none()) {
+            if now < self.deadline {
+                return CatchUpStep::Wait;
+            }
+            // Deadline lapsed without the response we needed.
+            self.in_flight = None;
+            self.stalled += 1;
+            if self.stalled >= MAX_STALLED_FETCHES {
+                self.done = true;
+                return CatchUpStep::Done;
+            }
+        }
+        match self.target {
+            None => {
+                self.probed = true;
+                self.deadline = now + self.timeout;
+                self.requests_issued += 1;
+                CatchUpStep::Probe
+            }
+            Some(target) => {
+                let from = self.local.next();
+                let to = Round(target.0.min(self.local.0 + self.batch));
+                self.in_flight = Some((from, to));
+                self.deadline = now + self.timeout;
+                self.requests_issued += 1;
+                CatchUpStep::Fetch {
+                    from_round: from,
+                    to_round: to,
+                }
+            }
+        }
+    }
+
+    /// True once the machine reached its terminal state.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Our current view of the local frontier.
+    pub fn local(&self) -> Round {
+        self.local
+    }
+
+    /// The highest peer frontier learned, if any.
+    pub fn target(&self) -> Option<Round> {
+        self.target
+    }
+
+    /// Probe/fetch requests issued so far (metrics: `sync_requests`).
+    pub fn requests_issued(&self) -> u64 {
+        self.requests_issued
+    }
+
+    /// When this catch-up began (metrics: recovery latency).
+    pub fn started_at(&self) -> Time {
+        self.started_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: Duration = Duration(10);
+
+    #[test]
+    fn probes_then_fetches_then_finishes() {
+        let mut cu = CatchUpState::new(Round(5), Time(0), TICK);
+        assert_eq!(cu.step(Time(0)), CatchUpStep::Probe);
+        assert_eq!(cu.step(Time(1)), CatchUpStep::Wait, "probe in flight");
+
+        cu.on_frontier(Round(40));
+        cu.on_frontier(Round(60));
+        assert_eq!(
+            cu.step(Time(2)),
+            CatchUpStep::Fetch {
+                from_round: Round(6),
+                to_round: Round(37)
+            },
+            "window capped at batch size, target keeps the max report"
+        );
+        assert_eq!(cu.step(Time(3)), CatchUpStep::Wait);
+
+        cu.on_progress(Round(37));
+        assert_eq!(
+            cu.step(Time(4)),
+            CatchUpStep::Fetch {
+                from_round: Round(38),
+                to_round: Round(60)
+            }
+        );
+        cu.on_progress(Round(60));
+        assert_eq!(cu.step(Time(5)), CatchUpStep::Done);
+        assert!(cu.is_done());
+        assert_eq!(cu.requests_issued(), 3);
+    }
+
+    #[test]
+    fn already_caught_up_finishes_immediately() {
+        let mut cu = CatchUpState::new(Round(10), Time(0), TICK);
+        cu.on_frontier(Round(8));
+        assert_eq!(cu.step(Time(0)), CatchUpStep::Done);
+    }
+
+    #[test]
+    fn gives_up_after_repeated_silent_windows() {
+        let mut cu = CatchUpState::new(Round(0), Time(0), TICK);
+        assert_eq!(cu.step(Time(0)), CatchUpStep::Probe);
+        cu.on_frontier(Round(100));
+        let mut now = Time(0);
+        let mut fetches = 0;
+        loop {
+            now += TICK; // lapse every deadline, never deliver
+            match cu.step(now) {
+                CatchUpStep::Fetch { .. } => fetches += 1,
+                CatchUpStep::Done => break,
+                step => panic!("unexpected step {step:?}"),
+            }
+        }
+        assert_eq!(
+            fetches, MAX_STALLED_FETCHES as usize,
+            "stalled fetch windows bounded before giving up"
+        );
+        assert!(cu.is_done());
+    }
+
+    #[test]
+    fn probe_deadline_without_any_frontier_gives_up() {
+        let mut cu = CatchUpState::new(Round(0), Time(0), TICK);
+        assert_eq!(cu.step(Time(0)), CatchUpStep::Probe);
+        assert_eq!(cu.step(Time(5)), CatchUpStep::Wait);
+        // Silence: each lapsed window re-probes until the stall cap hits.
+        let mut now = Time(0);
+        let mut probes = 0;
+        loop {
+            now += TICK;
+            match cu.step(now) {
+                CatchUpStep::Probe => probes += 1,
+                CatchUpStep::Done => break,
+                step => panic!("unexpected step {step:?}"),
+            }
+        }
+        assert!(probes <= MAX_STALLED_FETCHES as usize);
+        assert!(cu.is_done());
+    }
+
+    #[test]
+    fn progress_resets_the_stall_counter() {
+        let mut cu = CatchUpState::new(Round(0), Time(0), TICK);
+        cu.on_frontier(Round(100));
+        assert!(matches!(cu.step(Time(0)), CatchUpStep::Fetch { .. }));
+        // One silent window...
+        assert!(matches!(cu.step(Time(10)), CatchUpStep::Fetch { .. }));
+        // ...then progress: the budget refills.
+        cu.on_progress(Round(32));
+        assert!(matches!(cu.step(Time(20)), CatchUpStep::Fetch { .. }));
+        assert!(matches!(cu.step(Time(30)), CatchUpStep::Fetch { .. }));
+        assert!(!cu.is_done());
+    }
+}

@@ -1,0 +1,648 @@
+//! [`WalStore`]: the write-ahead-logged chain store.
+//!
+//! Every mutation (block insert, notarization, finalization) is appended
+//! to a segmented log **before** it touches the in-memory cache, so the
+//! cache is always a pure function of the bytes on disk. Records are
+//! length-prefixed and CRC-checksummed:
+//!
+//! ```text
+//! ┌──────────┬──────────┬────────────────────────────┐
+//! │ len: u32 │ crc: u32 │ payload: tag u8 + body     │  (little-endian)
+//! └──────────┴──────────┴────────────────────────────┘
+//! tag 0 = Block { hash, block }         tag 2 = Finalize { round, hash }
+//! tag 1 = Notarize { hash, cert? }      tag 3 = Checkpoint(ChainSnapshot)
+//! ```
+//!
+//! [`WalStore::open`] replays every segment in ascending order and stops at
+//! the **first** record whose length, checksum, or decode fails — a torn
+//! tail from a crash mid-write. The torn tail is truncated and any later
+//! segments are deleted, so recovery always yields a consistent *prefix*
+//! of the mutation history (never a gap).
+//!
+//! When the live segment exceeds [`WalStore::segment_limit`], the store
+//! rotates: it opens a fresh segment whose first record is a
+//! `Checkpoint` of the current state and deletes all older segments —
+//! this is how log bytes "wholly below the commit frontier" are pruned
+//! while keeping recovery single-pass.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+use banyan_types::certs::Notarization;
+use banyan_types::codec::{CodecError, Reader, Wire, Writer, MAX_LEN};
+use banyan_types::ids::{BlockHash, Round};
+use banyan_types::{Block, ChainSnapshot};
+
+use crate::memory::BlockStore;
+use crate::ChainStore;
+
+/// Default segment rotation threshold: 4 MiB of log per segment.
+pub const DEFAULT_SEGMENT_LIMIT: u64 = 4 << 20;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Hand-rolled so the
+/// workspace stays dependency-free.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// One durable mutation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum WalRecord {
+    /// A block entered the store.
+    Block { hash: BlockHash, block: Block },
+    /// A block was marked notarized (certificate retained if present).
+    Notarize {
+        hash: BlockHash,
+        cert: Option<Notarization>,
+    },
+    /// A round's block was finalized.
+    Finalize { round: Round, hash: BlockHash },
+    /// Full-state checkpoint: replay restarts from here. Written as the
+    /// first record of each rotated segment.
+    Checkpoint(ChainSnapshot),
+}
+
+impl Wire for WalRecord {
+    fn encode(&self, out: &mut Writer) {
+        match self {
+            WalRecord::Block { hash, block } => {
+                out.u8(0);
+                out.raw(&hash.0);
+                block.encode(out);
+            }
+            WalRecord::Notarize { hash, cert } => {
+                out.u8(1);
+                out.raw(&hash.0);
+                out.option(cert);
+            }
+            WalRecord::Finalize { round, hash } => {
+                out.u8(2);
+                out.u64(round.0);
+                out.raw(&hash.0);
+            }
+            WalRecord::Checkpoint(snap) => {
+                out.u8(3);
+                snap.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match input.u8()? {
+            0 => Ok(WalRecord::Block {
+                hash: BlockHash(input.bytes32()?),
+                block: Block::decode(input)?,
+            }),
+            1 => Ok(WalRecord::Notarize {
+                hash: BlockHash(input.bytes32()?),
+                cert: input.option()?,
+            }),
+            2 => Ok(WalRecord::Finalize {
+                round: Round(input.u64()?),
+                hash: BlockHash(input.bytes32()?),
+            }),
+            3 => Ok(WalRecord::Checkpoint(ChainSnapshot::decode(input)?)),
+            _ => Err(CodecError::Invalid("wal record tag")),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            WalRecord::Block { block, .. } => 1 + 32 + block.encoded_len(),
+            WalRecord::Notarize { cert, .. } => {
+                1 + 32 + 1 + cert.as_ref().map_or(0, Wire::encoded_len)
+            }
+            WalRecord::Finalize { .. } => 1 + 8 + 32,
+            WalRecord::Checkpoint(snap) => 1 + snap.encoded_len(),
+        }
+    }
+}
+
+/// Errors from opening or appending to the log.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("wal-{index:06}.log"))
+}
+
+/// Splits a raw segment buffer into records, returning the decoded
+/// records and the byte offset of the first torn/corrupt record (equal to
+/// `buf.len()` when the whole segment is clean).
+fn scan_segment(buf: &[u8]) -> (Vec<WalRecord>, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while buf.len() - pos >= 8 {
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+        if len == 0 || len > MAX_LEN || buf.len() - pos - 8 < len {
+            break;
+        }
+        let payload = &buf[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            break;
+        }
+        let Ok(record) = WalRecord::from_bytes(payload) else {
+            break;
+        };
+        records.push(record);
+        pos += 8 + len;
+    }
+    (records, pos)
+}
+
+/// The write-ahead-logged chain store: a [`BlockStore`] cache kept as a
+/// pure function of an on-disk segmented log.
+#[derive(Debug)]
+pub struct WalStore {
+    mem: BlockStore,
+    dir: PathBuf,
+    file: File,
+    /// Index of the live (highest-numbered) segment.
+    segment: u64,
+    /// Index of the oldest live segment (older ones were pruned).
+    oldest_segment: u64,
+    /// Bytes in the live segment.
+    segment_bytes: u64,
+    /// Bytes across all live segments.
+    total_bytes: u64,
+    /// Rotation threshold for the live segment.
+    segment_limit: u64,
+    /// When true, fsync after every append (durability over throughput).
+    sync_on_append: bool,
+}
+
+impl WalStore {
+    /// Opens (or creates) the log directory and replays it into memory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, WalError> {
+        Self::open_with(dir, DEFAULT_SEGMENT_LIMIT, false)
+    }
+
+    /// [`WalStore::open`] with explicit rotation threshold and fsync
+    /// policy.
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        segment_limit: u64,
+        sync_on_append: bool,
+    ) -> Result<Self, WalError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+
+        let mut segments: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(idx) = name
+                .strip_prefix("wal-")
+                .and_then(|rest| rest.strip_suffix(".log"))
+                .and_then(|digits| digits.parse::<u64>().ok())
+            {
+                segments.push(idx);
+            }
+        }
+        segments.sort_unstable();
+
+        let mut mem = BlockStore::new();
+        let mut total_bytes = 0u64;
+        let mut live: Option<(u64, u64)> = None; // (segment, bytes)
+        let mut torn_at: Option<(usize, usize)> = None; // (position in `segments`, clean offset)
+        for (i, &idx) in segments.iter().enumerate() {
+            let path = segment_path(&dir, idx);
+            let mut buf = Vec::new();
+            File::open(&path)?.read_to_end(&mut buf)?;
+            let (records, clean) = scan_segment(&buf);
+            for record in records {
+                apply(&mut mem, record);
+            }
+            total_bytes += clean as u64;
+            live = Some((idx, clean as u64));
+            if clean < buf.len() {
+                torn_at = Some((i, clean));
+                break;
+            }
+        }
+
+        // Torn tail: truncate the damaged segment at its last clean record
+        // and delete every later segment — recovery is a consistent prefix.
+        if let Some((i, clean)) = torn_at {
+            let path = segment_path(&dir, segments[i]);
+            let f = OpenOptions::new().write(true).open(&path)?;
+            f.set_len(clean as u64)?;
+            f.sync_all()?;
+            for &idx in &segments[i + 1..] {
+                fs::remove_file(segment_path(&dir, idx))?;
+            }
+        }
+
+        let (segment, segment_bytes) = live.unwrap_or((0, 0));
+        let oldest_segment = segments.first().copied().unwrap_or(segment);
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&dir, segment))?;
+        Ok(WalStore {
+            mem,
+            dir,
+            file,
+            segment,
+            oldest_segment,
+            segment_bytes,
+            total_bytes,
+            segment_limit,
+            sync_on_append,
+        })
+    }
+
+    /// Sets (or clears) the in-memory retention window (see
+    /// [`BlockStore::set_retention`]). The log itself is pruned by
+    /// segment rotation, not by this knob.
+    pub fn set_retention(&mut self, keep_rounds: Option<u64>) {
+        self.mem.set_retention(keep_rounds);
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Read access to the in-memory cache.
+    pub fn cache(&self) -> &BlockStore {
+        &self.mem
+    }
+
+    fn append(&mut self, record: &WalRecord) {
+        let payload = record.to_bytes();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame).expect("wal append");
+        if self.sync_on_append {
+            self.file.sync_data().expect("wal fsync");
+        }
+        self.segment_bytes += frame.len() as u64;
+        self.total_bytes += frame.len() as u64;
+        self.maybe_rotate();
+    }
+
+    /// Rotates to a fresh segment once the live one exceeds the limit:
+    /// the new segment opens with a checkpoint of current state and all
+    /// older segments — wholly below that checkpoint — are deleted.
+    fn maybe_rotate(&mut self) {
+        if self.segment_bytes < self.segment_limit {
+            return;
+        }
+        let next = self.segment + 1;
+        let snap = self.mem.snapshot();
+        let record = WalRecord::Checkpoint(snap);
+        let payload = record.to_bytes();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&self.dir, next))
+            .expect("wal rotate");
+        file.write_all(&frame).expect("wal checkpoint");
+        file.sync_data().expect("wal checkpoint fsync");
+
+        for idx in self.oldest_segment..=self.segment {
+            let _ = fs::remove_file(segment_path(&self.dir, idx));
+        }
+        self.file = file;
+        self.oldest_segment = next;
+        self.segment = next;
+        self.segment_bytes = frame.len() as u64;
+        self.total_bytes = frame.len() as u64;
+    }
+}
+
+fn apply(mem: &mut BlockStore, record: WalRecord) {
+    match record {
+        WalRecord::Block { hash, block } => {
+            mem.insert(hash, block);
+        }
+        WalRecord::Notarize { hash, cert } => mem.mark_notarized(hash, cert),
+        WalRecord::Finalize { round, hash } => mem.mark_finalized(round, hash),
+        WalRecord::Checkpoint(snap) => mem.restore(&snap),
+    }
+}
+
+impl ChainStore for WalStore {
+    fn insert(&mut self, hash: BlockHash, block: Block) -> bool {
+        // Cache first, then log: `append` may rotate, and the rotation
+        // checkpoint must include this mutation (the old segment holding
+        // its record is deleted).
+        if !self.mem.insert(hash, block.clone()) {
+            return false;
+        }
+        self.append(&WalRecord::Block { hash, block });
+        true
+    }
+
+    fn get(&self, hash: &BlockHash) -> Option<&Block> {
+        self.mem.get(hash)
+    }
+
+    fn contains(&self, hash: &BlockHash) -> bool {
+        self.mem.contains(hash)
+    }
+
+    fn round_blocks(&self, round: Round) -> &[BlockHash] {
+        self.mem.round_blocks(round)
+    }
+
+    fn mark_notarized(&mut self, hash: BlockHash, cert: Option<Notarization>) {
+        // Skip the append when it would change nothing durable: already
+        // notarized and either no new certificate or one already retained.
+        let news = !self.mem.is_notarized(&hash)
+            || (cert.is_some() && self.mem.notarization(&hash).is_none());
+        self.mem.mark_notarized(hash, cert.clone());
+        if news {
+            self.append(&WalRecord::Notarize { hash, cert });
+        }
+    }
+
+    fn is_notarized(&self, hash: &BlockHash) -> bool {
+        self.mem.is_notarized(hash)
+    }
+
+    fn notarization(&self, hash: &BlockHash) -> Option<&Notarization> {
+        self.mem.notarization(hash)
+    }
+
+    fn mark_finalized(&mut self, round: Round, hash: BlockHash) {
+        let news = self.mem.finalized(round) != Some(hash);
+        self.mem.mark_finalized(round, hash);
+        if news {
+            self.append(&WalRecord::Finalize { round, hash });
+        }
+    }
+
+    fn finalized(&self, round: Round) -> Option<BlockHash> {
+        self.mem.finalized(round)
+    }
+
+    fn is_finalized(&self, round: Round, hash: &BlockHash) -> bool {
+        self.mem.is_finalized(round, hash)
+    }
+
+    fn max_finalized_round(&self) -> Round {
+        self.mem.max_finalized_round()
+    }
+
+    fn chain_to(&self, tip: &BlockHash, stop_after: Round) -> Option<Vec<(BlockHash, &Block)>> {
+        self.mem.chain_to(tip, stop_after)
+    }
+
+    fn len(&self) -> usize {
+        self.mem.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.mem.is_empty()
+    }
+
+    fn prune_below(&mut self, round: Round) {
+        // In-memory prune only; log bytes are reclaimed at segment
+        // rotation, which re-checkpoints the pruned state.
+        self.mem.prune_below(round);
+    }
+
+    fn snapshot(&self) -> ChainSnapshot {
+        self.mem.snapshot()
+    }
+
+    fn restore(&mut self, snapshot: &ChainSnapshot) {
+        self.mem.restore(snapshot);
+        self.append(&WalRecord::Checkpoint(snapshot.clone()));
+    }
+
+    fn wal_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    fn sync(&mut self) {
+        self.file.sync_data().expect("wal sync");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banyan_crypto::Signature;
+    use banyan_types::ids::{Rank, ReplicaId};
+    use banyan_types::payload::Payload;
+    use banyan_types::time::Time;
+
+    fn block(round: u64, parent: BlockHash, tag: u8) -> (BlockHash, Block) {
+        let b = Block {
+            round: Round(round),
+            proposer: ReplicaId(tag as u16),
+            rank: Rank(0),
+            parent,
+            proposed_at: Time(round),
+            payload: Payload::synthetic(100, tag as u64),
+            signature: Signature::zero(),
+        };
+        (b.hash(1024), b)
+    }
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        // Keep test artifacts inside the repo's target directory.
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/wal-tests")
+            .join(name);
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn reopen_recovers_all_mutations() {
+        let dir = scratch_dir("reopen");
+        let (h1, b1) = block(1, BlockHash::ZERO, 1);
+        let (h2, b2) = block(2, h1, 2);
+        let expected;
+        {
+            let mut wal = WalStore::open(&dir).unwrap();
+            assert!(wal.insert(h1, b1));
+            assert!(wal.insert(h2, b2));
+            wal.mark_notarized(h1, None);
+            wal.mark_finalized(Round(1), h1);
+            assert!(wal.wal_bytes() > 0);
+            expected = wal.snapshot();
+        }
+        let wal = WalStore::open(&dir).unwrap();
+        assert_eq!(wal.len(), 2);
+        assert!(wal.is_notarized(&h1));
+        assert!(wal.is_finalized(Round(1), &h1));
+        assert_eq!(wal.max_finalized_round(), Round(1));
+        assert_eq!(
+            wal.snapshot().to_bytes(),
+            expected.to_bytes(),
+            "replayed state is bit-identical"
+        );
+    }
+
+    #[test]
+    fn duplicate_marks_do_not_grow_the_log() {
+        let dir = scratch_dir("dedup");
+        let mut wal = WalStore::open(&dir).unwrap();
+        let (h1, b1) = block(1, BlockHash::ZERO, 1);
+        wal.insert(h1, b1.clone());
+        wal.mark_notarized(h1, None);
+        wal.mark_finalized(Round(1), h1);
+        let bytes = wal.wal_bytes();
+        assert!(!wal.insert(h1, b1), "duplicate insert rejected");
+        wal.mark_notarized(h1, None);
+        wal.mark_finalized(Round(1), h1);
+        assert_eq!(
+            wal.wal_bytes(),
+            bytes,
+            "idempotent mutations append nothing"
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_a_consistent_prefix() {
+        let dir = scratch_dir("torn");
+        let (h1, b1) = block(1, BlockHash::ZERO, 1);
+        let (h2, b2) = block(2, h1, 2);
+        {
+            let mut wal = WalStore::open(&dir).unwrap();
+            wal.insert(h1, b1);
+            wal.insert(h2, b2);
+        }
+        // Simulate a crash mid-append: chop bytes off the live segment.
+        let path = segment_path(&dir, 0);
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 7]).unwrap();
+
+        let wal = WalStore::open(&dir).unwrap();
+        assert!(wal.contains(&h1), "clean prefix survives");
+        assert!(!wal.contains(&h2), "torn record dropped");
+        let truncated = fs::metadata(&path).unwrap().len();
+        assert!(
+            truncated < full.len() as u64 - 7,
+            "torn tail physically truncated"
+        );
+        // A second reopen is stable: same prefix, no further truncation.
+        drop(wal);
+        let wal = WalStore::open(&dir).unwrap();
+        assert!(wal.contains(&h1));
+        assert_eq!(fs::metadata(&path).unwrap().len(), truncated);
+    }
+
+    #[test]
+    fn corrupt_middle_record_drops_the_suffix() {
+        let dir = scratch_dir("corrupt");
+        let (h1, b1) = block(1, BlockHash::ZERO, 1);
+        let (h2, b2) = block(2, h1, 2);
+        let first_len;
+        {
+            let mut wal = WalStore::open(&dir).unwrap();
+            wal.insert(h1, b1);
+            first_len = wal.wal_bytes();
+            wal.insert(h2, b2);
+        }
+        let path = segment_path(&dir, 0);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a payload byte of the second record.
+        let idx = first_len as usize + 12;
+        bytes[idx] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+
+        let wal = WalStore::open(&dir).unwrap();
+        assert!(wal.contains(&h1));
+        assert!(!wal.contains(&h2), "suffix after corruption dropped");
+        assert_eq!(
+            fs::metadata(&path).unwrap().len(),
+            first_len,
+            "segment truncated at last clean record"
+        );
+        // Appends continue cleanly after recovery.
+        drop(wal);
+        let mut wal = WalStore::open(&dir).unwrap();
+        let (h3, b3) = block(3, h1, 3);
+        wal.insert(h3, b3);
+        drop(wal);
+        let wal = WalStore::open(&dir).unwrap();
+        assert!(wal.contains(&h3));
+    }
+
+    #[test]
+    fn rotation_checkpoints_and_prunes_old_segments() {
+        let dir = scratch_dir("rotate");
+        // Tiny limit: rotate roughly every record.
+        let mut wal = WalStore::open_with(&dir, 256, false).unwrap();
+        let mut parent = BlockHash::ZERO;
+        for round in 1..=20u64 {
+            let (h, b) = block(round, parent, 1);
+            wal.insert(h, b);
+            wal.mark_finalized(Round(round), h);
+            parent = h;
+        }
+        let expected = wal.snapshot();
+        let live_segments = fs::read_dir(&dir).unwrap().count();
+        assert!(
+            live_segments <= 2,
+            "old segments pruned (found {live_segments})"
+        );
+        assert!(wal.wal_bytes() > 0);
+        drop(wal);
+        let wal = WalStore::open(&dir).unwrap();
+        assert_eq!(
+            wal.snapshot().to_bytes(),
+            expected.to_bytes(),
+            "checkpointed state replays bit-identically"
+        );
+        assert_eq!(wal.max_finalized_round(), Round(20));
+    }
+
+    #[test]
+    fn empty_directory_opens_as_fresh_store() {
+        let dir = scratch_dir("fresh");
+        let wal = WalStore::open(&dir).unwrap();
+        assert!(wal.is_empty());
+        assert_eq!(wal.max_finalized_round(), Round::GENESIS);
+        assert_eq!(wal.wal_bytes(), 0);
+    }
+}

@@ -43,3 +43,15 @@ pub use pipeline::{
     PipelineStats, PipelineStatsSnapshot, VerifyStage,
 };
 pub use runner::{run_local_cluster, run_replica, run_replica_with_app, TcpRunReport};
+
+/// Serializes the loopback cluster tests: each spins up 4 replicas ×
+/// several threads, and on small (single-core CI) machines letting them
+/// overlap starves whole replicas of CPU for seconds at a time, flaking
+/// liveness assertions. Poisoning is ignored — one failed test must not
+/// cascade.
+#[cfg(test)]
+pub(crate) fn loopback_serial_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -548,6 +548,17 @@ pub fn run_replica_pipelined(
         }
     };
 
+    // Disseminate before proposing (same ordering as the plain runner):
+    // pooled requests are forwarded ahead of the init proposal so peers
+    // ingest them before any block that could commit them.
+    if let Some(pool) = &pool {
+        let requests = pool.take_outbox();
+        if !requests.is_empty() {
+            transmit(Outbound::Broadcast(Message::Dissemination(
+                DisseminationMsg::Forward { requests },
+            )));
+        }
+    }
     driver.init(now(), &mut transmit);
 
     while start.elapsed() < run_for {
@@ -606,12 +617,19 @@ pub fn run_replica_pipelined(
     }
 
     let stale_timers_dropped = driver.stale_timers_dropped();
+    let wal_bytes = driver.engine().wal_bytes();
     Ok(PipelineRunReport {
         report: TcpRunReport {
             commits: driver.into_sink().inner,
             messages_received,
             messages_sent,
             stale_timers_dropped,
+            // The pipelined replica has no restart phase (see
+            // `run_replica_restarting` for the recovering path).
+            sync_requests: 0,
+            sync_blocks_served: 0,
+            restart_recovery_ms: 0,
+            wal_bytes,
         },
         stats: stats.snapshot(),
         ingest_dropped: pool.map(|p| p.ingest_dropped()).unwrap_or(0),
@@ -689,6 +707,7 @@ mod tests {
 
     #[test]
     fn pipelined_cluster_commits_agrees_and_drops_no_frame() {
+        let _serial = crate::loopback_serial_lock();
         let n = 4;
         let pools: Vec<SharedConcurrentPool> = (0..n)
             .map(|_| ConcurrentPool::new(Mempool::new(4_096).with_gossip(true), 4_096))

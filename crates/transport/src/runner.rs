@@ -28,6 +28,22 @@
 //! peer, and each finalized block marks its batched request ids committed
 //! in the pool before the block reaches the [`App`] (the exactly-once
 //! dedup rule; see `banyan_mempool`).
+//!
+//! # Crash recovery
+//!
+//! [`run_replica_restarting`] runs the same event loop through a
+//! mid-run crash/rejoin cycle described by a [`TcpRestart`] plan. At the
+//! crash point the engine and its timer heap are dropped — every byte of
+//! volatile state is gone, and inbound frames are discarded unread, as a
+//! dead process would. At the rejoin point the plan's `rebuild` closure
+//! constructs a fresh engine (for the chained engines: over a reopened
+//! `banyan_storage::WalStore`, whose replay restores the durable
+//! frontier), and the loop starts a driver-level
+//! [`CatchUpState`] that probes peers for the commit frontier and pulls
+//! the missing certified chain over `SyncMsg::RequestRange`. The same
+//! purity contract as the simulator holds: `FrontierProbe` is answered
+//! here, from [`Engine::finalized_round`], and `FrontierInfo` feeds the
+//! catch-up machine — neither ever reaches an engine.
 
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -40,10 +56,11 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 
 use banyan_mempool::{SharedMempool, WorkloadBatch};
 use banyan_runtime::driver::{AppSink, EngineDriver};
+use banyan_storage::{CatchUpState, CatchUpStep};
 use banyan_types::app::{App, NullApp};
 use banyan_types::engine::{CommitEntry, Engine, Outbound};
-use banyan_types::ids::ReplicaId;
-use banyan_types::message::{DisseminationMsg, Message};
+use banyan_types::ids::{ReplicaId, Round};
+use banyan_types::message::{DisseminationMsg, Message, SyncMsg};
 use banyan_types::time::Time;
 
 use crate::framing::{read_frame, write_hello, write_msg, Frame};
@@ -52,6 +69,9 @@ use crate::framing::{read_frame, write_hello, write_msg, Frame};
 const EVENT_QUEUE: usize = 4096;
 /// Outbound-queue capacity per peer.
 const PEER_QUEUE: usize = 1024;
+/// Per-step catch-up deadline (wall clock, 250 ms). Loopback round trips
+/// are far below this; a lapsed window re-probes or rotates peers.
+const CATCHUP_TIMEOUT: banyan_types::time::Duration = banyan_types::time::Duration(250_000_000);
 
 /// Everything a finished run reports.
 #[derive(Debug, Default)]
@@ -64,6 +84,27 @@ pub struct TcpRunReport {
     pub messages_sent: u64,
     /// Timers dropped by the shared driver as stale (diagnostic).
     pub stale_timers_dropped: u64,
+    /// Catch-up probes/fetches this replica issued after rejoining.
+    pub sync_requests: u64,
+    /// Blocks this replica served to others over `ResponseBatch`.
+    pub sync_blocks_served: u64,
+    /// Wall-clock milliseconds from rejoin until catch-up finished.
+    pub restart_recovery_ms: u64,
+    /// Bytes in the engine's write-ahead log at shutdown (0 for
+    /// in-memory stores and non-chained engines).
+    pub wal_bytes: u64,
+}
+
+/// A mid-run crash/rejoin cycle for [`run_replica_restarting`].
+pub struct TcpRestart {
+    /// Wall-clock offset from start at which the replica crashes.
+    pub crash_after: std::time::Duration,
+    /// Wall-clock offset at which it rejoins (must exceed `crash_after`).
+    pub rejoin_after: std::time::Duration,
+    /// Rebuilds the engine from durable state only — for the chained
+    /// engines, by reopening the same `WalStore` directory so replay
+    /// recovers the persisted frontier. Called exactly once, at rejoin.
+    pub rebuild: Box<dyn FnOnce() -> Box<dyn Engine> + Send>,
 }
 
 /// Runs `engine` over TCP until `deadline` (wall time from start).
@@ -145,6 +186,95 @@ pub fn run_replica_full(
     peers: Vec<SocketAddr>,
     run_for: std::time::Duration,
 ) -> std::io::Result<TcpRunReport> {
+    run_replica_restarting(engine, app, pool, listen, peers, run_for, None)
+}
+
+/// The peer a recovering replica fetches ranges from: rotate through the
+/// other replicas in id order so a stalled window retries elsewhere (the
+/// TCP driver cannot know which peers are up; the catch-up machine's
+/// stall budget bounds the rotation).
+fn pick_sync_peer(me: ReplicaId, n: usize, rotor: usize) -> Option<ReplicaId> {
+    if n < 2 {
+        return None;
+    }
+    let off = 1 + rotor % (n - 1);
+    Some(ReplicaId(((me.as_usize() + off) % n) as u16))
+}
+
+/// Runs a recovering replica's catch-up machine until it waits or
+/// finishes, turning its steps into driver-level sync traffic — the TCP
+/// counterpart of the simulator's `drive_catchup`.
+#[allow(clippy::too_many_arguments)]
+fn drive_catchup(
+    catchup: &mut Option<CatchUpState>,
+    frontier: Round,
+    now: Time,
+    me: ReplicaId,
+    n: usize,
+    rotor: &mut usize,
+    sync_requests: &mut u64,
+    recovery_ms: &mut u64,
+    rejoined_at: Time,
+    transmit: &mut impl FnMut(Outbound),
+) {
+    let Some(mut cu) = catchup.take() else {
+        return;
+    };
+    cu.on_progress(frontier);
+    loop {
+        match cu.step(now) {
+            CatchUpStep::Probe => {
+                *sync_requests += 1;
+                transmit(Outbound::Broadcast(Message::Sync(SyncMsg::FrontierProbe)));
+            }
+            CatchUpStep::Fetch {
+                from_round,
+                to_round,
+            } => {
+                *sync_requests += 1;
+                let Some(peer) = pick_sync_peer(me, n, *rotor) else {
+                    continue; // nobody to ask; window will lapse
+                };
+                *rotor += 1;
+                transmit(Outbound::Send(
+                    peer,
+                    Message::Sync(SyncMsg::RequestRange {
+                        from_round,
+                        to_round,
+                    }),
+                ));
+            }
+            CatchUpStep::Wait => {
+                // The event loop wakes at least every 10 ms and re-drives,
+                // so lapsed deadlines are picked up without a timer.
+                *catchup = Some(cu);
+                return;
+            }
+            CatchUpStep::Done => {
+                *recovery_ms += now.since(rejoined_at).as_nanos() / 1_000_000;
+                return;
+            }
+        }
+    }
+}
+
+/// Like [`run_replica_full`], optionally crashing and rejoining mid-run
+/// (see [`TcpRestart`] and the module docs' *Crash recovery* section).
+/// With `restart: None` the behavior is identical to `run_replica_full`.
+///
+/// # Errors
+///
+/// Returns an I/O error if binding or dialing fails permanently.
+#[allow(clippy::too_many_lines)]
+pub fn run_replica_restarting(
+    engine: Box<dyn Engine>,
+    app: impl App + 'static,
+    pool: Option<SharedMempool>,
+    listen: SocketAddr,
+    peers: Vec<SocketAddr>,
+    run_for: std::time::Duration,
+    restart: Option<TcpRestart>,
+) -> std::io::Result<TcpRunReport> {
     let me = engine.id();
     let n = peers.len();
     let start = Instant::now();
@@ -206,28 +336,34 @@ pub fn run_replica_full(
         let addr = *addr;
         let stop = stop.clone();
         thread::spawn(move || {
-            // Dial with retries: peers start in arbitrary order.
-            let stream = loop {
-                match TcpStream::connect(addr) {
-                    Ok(s) => break s,
-                    Err(_) if !stop.load(Ordering::Relaxed) => {
-                        thread::sleep(std::time::Duration::from_millis(20));
+            // Outer loop: redial whenever the connection drops, so a peer
+            // that crashes and resumes listening becomes reachable again
+            // (messages sent while it was down are lost, as on any wire).
+            'reconnect: while !stop.load(Ordering::Relaxed) {
+                // Dial with retries: peers start in arbitrary order.
+                let stream = loop {
+                    match TcpStream::connect(addr) {
+                        Ok(s) => break s,
+                        Err(_) if !stop.load(Ordering::Relaxed) => {
+                            thread::sleep(std::time::Duration::from_millis(20));
+                        }
+                        Err(_) => return,
                     }
-                    Err(_) => return,
+                };
+                stream.set_nodelay(true).ok();
+                let mut writer = BufWriter::new(stream);
+                if write_hello(&mut writer, me).is_err() {
+                    continue 'reconnect;
                 }
-            };
-            stream.set_nodelay(true).ok();
-            let mut writer = BufWriter::new(stream);
-            if write_hello(&mut writer, me).is_err() {
-                return;
-            }
-            while let Ok(msg) = rx.recv() {
-                if write_msg(&mut writer, me, &msg).is_err() {
-                    return;
+                while let Ok(msg) = rx.recv() {
+                    if write_msg(&mut writer, me, &msg).is_err() {
+                        continue 'reconnect;
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
                 }
-                if stop.load(Ordering::Relaxed) {
-                    return;
-                }
+                return; // outbound channel closed: the run is over
             }
         });
         peer_txs.push(Some(tx));
@@ -238,6 +374,10 @@ pub fn run_replica_full(
     // this closure is the only transport-specific piece of the loop.
     let mut messages_sent = 0u64;
     let mut messages_received = 0u64;
+    let mut sync_blocks_served = 0u64;
+    let mut sync_requests = 0u64;
+    let mut restart_recovery_ms = 0u64;
+    let mut rotor = 0usize;
     let sink = AppSink {
         inner: Vec::<CommitEntry>::new(),
         app: PoolDedupApp {
@@ -245,17 +385,27 @@ pub fn run_replica_full(
             pool: pool.clone(),
         },
     };
-    let mut driver = EngineDriver::new(engine, sink);
+    // `None` while the replica is down mid-restart; the sink (the commit
+    // log already delivered to the app) is parked in `down_sink` so the
+    // report spans both lives.
+    let mut driver = Some(EngineDriver::new(engine, sink));
+    let mut down_sink = None;
+    let mut catchup: Option<CatchUpState> = None;
+    let mut rejoined_at = Time::ZERO;
+    let mut stale_accum = 0u64;
+    let mut restart = restart;
     // Speculative drain: observe every block this replica puts on (or
     // takes off) the wire into its pool's lease table. `observe_proposal`
     // is a cheap no-op unless the pool was built `with_speculation`.
     let observe_pool = pool.clone();
     let mut transmit = |out: Outbound| {
+        let msg = match &out {
+            Outbound::Broadcast(msg) => msg,
+            Outbound::Send(_, msg) => msg,
+        };
+        // Served catch-up batches, counted at the server (as in the sim).
+        sync_blocks_served += msg.sync_batch_blocks().len() as u64;
         if let Some(pool) = &observe_pool {
-            let msg = match &out {
-                Outbound::Broadcast(msg) => msg,
-                Outbound::Send(_, msg) => msg,
-            };
             if let Some(block) = msg.proposal_block() {
                 pool.lock().expect("mempool lock").observe_proposal(block);
             }
@@ -276,10 +426,80 @@ pub fn run_replica_full(
         }
     };
 
-    driver.init(now(), &mut transmit);
+    // Disseminate before proposing: requests already pooled locally are
+    // forwarded ahead of the init proposal in every per-peer channel, so
+    // per-connection ordering lands them in peer pools before any block
+    // that could commit them (a quorum excluding this replica can commit
+    // its init proposal arbitrarily soon after it is sent).
+    if let Some(pool) = &pool {
+        let requests = pool.lock().expect("mempool lock").take_outbox();
+        if !requests.is_empty() {
+            transmit(Outbound::Broadcast(Message::Dissemination(
+                DisseminationMsg::Forward { requests },
+            )));
+        }
+    }
+    driver
+        .as_mut()
+        .expect("engine up at start")
+        .init(now(), &mut transmit);
 
     while start.elapsed() < run_for {
-        driver.fire_due(now(), &mut transmit);
+        // --- restart phase boundaries ---------------------------------
+        if let Some(plan) = &restart {
+            if driver.is_some() && start.elapsed() >= plan.crash_after {
+                // Crash: drop the engine and its timer heap. All volatile
+                // state is gone; only durable storage (the WAL) and the
+                // commits already delivered downstream survive.
+                let d = driver.take().expect("engine up");
+                stale_accum += d.stale_timers_dropped();
+                down_sink = Some(d.into_sink());
+            }
+            if driver.is_none() && start.elapsed() >= plan.rejoin_after {
+                let plan = restart.take().expect("restart plan");
+                // Rebuild from durable state only (reopens the WAL).
+                let engine = (plan.rebuild)();
+                assert_eq!(engine.id(), me, "restart rebuilt the wrong replica");
+                let frontier = engine.finalized_round();
+                let mut d = EngineDriver::new(engine, down_sink.take().expect("parked sink"));
+                // Same gossip-before-propose ordering as the first life:
+                // requests pooled while down go out ahead of the rejoin
+                // proposal.
+                if let Some(pool) = &pool {
+                    let requests = pool.lock().expect("mempool lock").take_outbox();
+                    if !requests.is_empty() {
+                        transmit(Outbound::Broadcast(Message::Dissemination(
+                            DisseminationMsg::Forward { requests },
+                        )));
+                    }
+                }
+                d.init(now(), &mut transmit);
+                driver = Some(d);
+                rejoined_at = now();
+                catchup = Some(CatchUpState::new(frontier, now(), CATCHUP_TIMEOUT));
+                drive_catchup(
+                    &mut catchup,
+                    frontier,
+                    now(),
+                    me,
+                    n,
+                    &mut rotor,
+                    &mut sync_requests,
+                    &mut restart_recovery_ms,
+                    rejoined_at,
+                    &mut transmit,
+                );
+            }
+        }
+        let Some(d) = driver.as_mut() else {
+            // Down: a dead process reads nothing. Drain and discard so
+            // the bounded channel never backpressures the readers.
+            while event_rx.try_recv().is_ok() {}
+            thread::sleep(std::time::Duration::from_millis(2));
+            continue;
+        };
+
+        d.fire_due(now(), &mut transmit);
         // Gossip: forward requests pushed into the local pool since the
         // last pass (one Forward frame per flush, never re-forwarded).
         if let Some(pool) = &pool {
@@ -290,8 +510,25 @@ pub fn run_replica_full(
                 )));
             }
         }
+        // Re-drive catch-up every pass: this is what notices lapsed
+        // probe/fetch deadlines (the loop wakes at least every 10 ms).
+        if catchup.is_some() {
+            let frontier = d.engine().finalized_round();
+            drive_catchup(
+                &mut catchup,
+                frontier,
+                now(),
+                me,
+                n,
+                &mut rotor,
+                &mut sync_requests,
+                &mut restart_recovery_ms,
+                rejoined_at,
+                &mut transmit,
+            );
+        }
         // Wait for the next event or timer.
-        let wait = driver
+        let wait = d
             .next_deadline()
             .map(|at| std::time::Duration::from_nanos(at.0.saturating_sub(now().0)))
             .unwrap_or(std::time::Duration::from_millis(10))
@@ -299,35 +536,100 @@ pub fn run_replica_full(
         // On timeout the loop simply re-checks timers and the deadline.
         if let Ok((from, msg)) = event_rx.recv_timeout(wait) {
             messages_received += 1;
-            // Dissemination frames feed the pool, never the engine (the
-            // same contract the simulator enforces).
-            if let Message::Dissemination(DisseminationMsg::Forward { requests }) = msg {
-                if let Some(pool) = &pool {
-                    let mut pool = pool.lock().expect("mempool lock");
-                    for req in requests {
-                        pool.accept_forwarded(req);
+            match msg {
+                // Dissemination frames feed the pool, never the engine
+                // (the same contract the simulator enforces).
+                Message::Dissemination(DisseminationMsg::Forward { requests }) => {
+                    if let Some(pool) = &pool {
+                        let mut pool = pool.lock().expect("mempool lock");
+                        for req in requests {
+                            pool.accept_forwarded(req);
+                        }
                     }
                 }
-            } else {
-                // Speculative drain: observe arriving blocks into the
-                // pool's lease table (no-op unless speculation is on).
-                if let Some(pool) = &pool {
-                    if let Some(block) = msg.proposal_block() {
-                        pool.lock().expect("mempool lock").observe_proposal(block);
+                // Driver traffic: answer from the engine's commit
+                // frontier without delivering (engines stay pure, and the
+                // chained engine's own answer path would double-reply).
+                Message::Sync(SyncMsg::FrontierProbe) => {
+                    let finalized = d.engine().finalized_round();
+                    transmit(Outbound::Send(
+                        from,
+                        Message::Sync(SyncMsg::FrontierInfo { finalized }),
+                    ));
+                }
+                // Driver traffic: feed the catch-up machine.
+                Message::Sync(SyncMsg::FrontierInfo { finalized }) => {
+                    if let Some(cu) = &mut catchup {
+                        cu.on_frontier(finalized);
+                        let frontier = d.engine().finalized_round();
+                        drive_catchup(
+                            &mut catchup,
+                            frontier,
+                            now(),
+                            me,
+                            n,
+                            &mut rotor,
+                            &mut sync_requests,
+                            &mut restart_recovery_ms,
+                            rejoined_at,
+                            &mut transmit,
+                        );
                     }
                 }
-                driver.handle_message(from, msg, now(), &mut transmit);
+                msg => {
+                    // Speculative drain: observe arriving blocks into the
+                    // pool's lease table (no-op unless speculation is on).
+                    if let Some(pool) = &pool {
+                        if let Some(block) = msg.proposal_block() {
+                            pool.lock().expect("mempool lock").observe_proposal(block);
+                        }
+                    }
+                    d.handle_message(from, msg, now(), &mut transmit);
+                    // Adopted batches may have advanced the frontier.
+                    if catchup.is_some() {
+                        let frontier = d.engine().finalized_round();
+                        drive_catchup(
+                            &mut catchup,
+                            frontier,
+                            now(),
+                            me,
+                            n,
+                            &mut rotor,
+                            &mut sync_requests,
+                            &mut restart_recovery_ms,
+                            rejoined_at,
+                            &mut transmit,
+                        );
+                    }
+                }
             }
         }
     }
 
     stop.store(true, Ordering::Relaxed);
-    let stale_timers_dropped = driver.stale_timers_dropped();
+    let (commits, stale_timers_dropped, wal_bytes) = match driver {
+        Some(d) => {
+            let stale = stale_accum + d.stale_timers_dropped();
+            let wal = d.engine().wal_bytes();
+            (d.into_sink().inner, stale, wal)
+        }
+        // Crashed and never rejoined before the deadline: report the
+        // first life's commits.
+        None => (
+            down_sink.map(|s| s.inner).unwrap_or_default(),
+            stale_accum,
+            0,
+        ),
+    };
     Ok(TcpRunReport {
-        commits: driver.into_sink().inner,
+        commits,
         messages_received,
         messages_sent,
         stale_timers_dropped,
+        sync_requests,
+        sync_blocks_served,
+        restart_recovery_ms,
+        wal_bytes,
     })
 }
 
@@ -413,6 +715,7 @@ mod tests {
 
     #[test]
     fn banyan_cluster_over_loopback_commits_and_agrees() {
+        let _serial = crate::loopback_serial_lock();
         let engines = ClusterBuilder::new(4, 1, 1)
             .unwrap()
             .delta(BDuration::from_millis(50))
@@ -441,6 +744,7 @@ mod tests {
 
     #[test]
     fn gossiped_requests_reach_every_pool_and_commit() {
+        let _serial = crate::loopback_serial_lock();
         use banyan_mempool::{Mempool, MempoolSource, Request};
         use banyan_types::time::Time as BTime;
 
@@ -473,10 +777,17 @@ mod tests {
         let reports =
             run_local_cluster_with_pools(engines, pools.clone(), std::time::Duration::from_secs(3));
 
-        // Every peer pool accepted forwarded copies.
+        // Every peer pool saw the forwarded copies arrive. On a real wire
+        // a quorum that excludes a slow-to-connect peer can commit the
+        // batch before the Forward frame lands there; the pool then
+        // refuses the copies as already-committed (`rejected_committed`)
+        // — still proof the gossip path delivered. With speculation off,
+        // nothing but `accept_forwarded` touches these counters on a
+        // peer pool.
         for (i, pool) in pools.iter().enumerate().skip(1) {
+            let p = pool.lock().unwrap();
             assert!(
-                pool.lock().unwrap().forwarded_in() > 0,
+                p.forwarded_in() + p.rejected_committed() + p.duplicates() > 0,
                 "replica {i} never received a forwarded request"
             );
         }
@@ -498,7 +809,114 @@ mod tests {
     }
 
     #[test]
+    fn wal_restart_catches_up_over_loopback() {
+        let _serial = crate::loopback_serial_lock();
+        use banyan_storage::{BlockStore, WalStore};
+        use std::path::PathBuf;
+
+        let wal_dir =
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/wal-tests/tcp-restart");
+        let _ = std::fs::remove_dir_all(&wal_dir);
+
+        // One builder recipe used for both lives of replica 2: replica 2
+        // persists its chain in a WAL, everyone else stays in memory.
+        let make_builder = {
+            let wal_dir = wal_dir.clone();
+            move || {
+                let wal_dir = wal_dir.clone();
+                ClusterBuilder::new(4, 1, 1)
+                    .unwrap()
+                    .delta(BDuration::from_millis(50))
+                    .payload_size(512)
+                    .chain_stores(move |i| {
+                        if i == 2 {
+                            Box::new(WalStore::open(&wal_dir).expect("open wal"))
+                        } else {
+                            Box::new(BlockStore::new())
+                        }
+                    })
+            }
+        };
+
+        let n = 4;
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+            .collect();
+        let addrs: Vec<SocketAddr> = listeners
+            .iter()
+            .map(|l| l.local_addr().expect("addr"))
+            .collect();
+        drop(listeners);
+
+        // Generous post-rejoin window: catch-up plus fresh commits must
+        // fit even on a single-core debug build.
+        let run_for = std::time::Duration::from_secs(8);
+        let engines = make_builder().build_banyan();
+        let mut handles = Vec::new();
+        for (i, engine) in engines.into_iter().enumerate() {
+            let addrs = addrs.clone();
+            let listen = addrs[i];
+            if i == 2 {
+                // Crash at 2 s, rejoin at 3 s by reopening the WAL: the
+                // rebuild closure recovers the durable frontier via
+                // replay, then the driver's catch-up machine refills the
+                // downtime gap over ranged sync.
+                let rebuild_builder = make_builder();
+                let restart = TcpRestart {
+                    crash_after: std::time::Duration::from_secs(2),
+                    rejoin_after: std::time::Duration::from_millis(3000),
+                    rebuild: Box::new(move || rebuild_builder.build_replica("banyan", 2)),
+                };
+                handles.push(thread::spawn(move || {
+                    run_replica_restarting(
+                        engine,
+                        banyan_types::app::NullApp,
+                        None,
+                        listen,
+                        addrs,
+                        run_for,
+                        Some(restart),
+                    )
+                    .expect("replica run")
+                }));
+            } else {
+                handles.push(thread::spawn(move || {
+                    run_replica(engine, listen, addrs, run_for).expect("replica run")
+                }));
+            }
+        }
+        let reports: Vec<TcpRunReport> = handles
+            .into_iter()
+            .map(|h| h.join().expect("replica thread"))
+            .collect();
+
+        // The rejoined replica probed the frontier and persisted a WAL.
+        assert!(reports[2].sync_requests > 0, "no catch-up traffic issued");
+        assert!(reports[2].wal_bytes > 0, "WAL empty at shutdown");
+        // Someone served it certified blocks over ranged sync.
+        let served: u64 = reports.iter().map(|r| r.sync_blocks_served).sum();
+        assert!(served > 0, "no blocks served over ranged sync");
+        // It committed new blocks after rejoining.
+        let rejoin = Time(3_000_000_000);
+        assert!(
+            reports[2].commits.iter().any(|c| c.committed_at > rejoin),
+            "replica 2 never committed after rejoining"
+        );
+        // Cross-replica agreement per round, spanning both lives.
+        let mut canonical = std::collections::HashMap::new();
+        for r in &reports {
+            for c in &r.commits {
+                let prev = canonical.insert(c.round, c.block);
+                if let Some(prev) = prev {
+                    assert_eq!(prev, c.block, "disagreement at round {}", c.round);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn icc_cluster_over_loopback_commits() {
+        let _serial = crate::loopback_serial_lock();
         let engines = ClusterBuilder::new(4, 1, 1)
             .unwrap()
             .delta(BDuration::from_millis(50))

@@ -11,6 +11,7 @@
 use crate::ids::{BlockHash, ReplicaId, Round};
 use crate::message::Message;
 use crate::payload::Payload;
+use crate::snapshot::ChainSnapshot;
 use crate::time::Time;
 
 /// Why a timer was armed. Engines receive the same value back when the
@@ -189,6 +190,37 @@ pub trait Engine: Send {
 
     /// The highest round this engine has entered (for progress probes).
     fn current_round(&self) -> Round;
+
+    /// The highest round this engine has committed — the frontier a
+    /// rejoining peer must catch up to. Drivers answer
+    /// [`crate::message::SyncMsg::FrontierProbe`]s from this, so engines
+    /// never see catch-up traffic.
+    fn finalized_round(&self) -> Round {
+        Round::GENESIS
+    }
+
+    /// The engine's durable chain state (blocks, certificates, finalized
+    /// frontier) as a normalized [`ChainSnapshot`]. The default — an empty
+    /// snapshot — means the engine persists nothing and a restart loses
+    /// its state.
+    fn snapshot(&self) -> ChainSnapshot {
+        ChainSnapshot::default()
+    }
+
+    /// Rebuilds durable state from a snapshot. Must be called **before**
+    /// [`Engine::on_init`]: recovery constructs the engine, restores, and
+    /// only then starts the event clock, so a restarted replica re-enters
+    /// at its recovered frontier. The default ignores the snapshot.
+    fn restore(&mut self, snapshot: &ChainSnapshot) {
+        let _ = snapshot;
+    }
+
+    /// Bytes the engine's backing store currently holds in its write-ahead
+    /// log (0 when the store is purely in-memory). A gauge for harness
+    /// metrics, not a protocol input.
+    fn wal_bytes(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@ pub mod engine;
 pub mod ids;
 pub mod message;
 pub mod payload;
+pub mod snapshot;
 pub mod time;
 pub mod vote;
 
@@ -52,5 +53,6 @@ pub use message::{
     ChainedMsg, DisseminationMsg, HotStuffMsg, Message, PendingRequest, StreamletMsg, SyncMsg,
 };
 pub use payload::Payload;
+pub use snapshot::ChainSnapshot;
 pub use time::{Duration, Time};
 pub use vote::{Vote, VoteKind};

@@ -15,7 +15,7 @@
 use crate::block::Block;
 use crate::certs::{Finalization, Notarization, QuorumCert, UnlockProof};
 use crate::codec::{CodecError, Reader, Wire, Writer};
-use crate::ids::{BlockHash, ReplicaId};
+use crate::ids::{BlockHash, ReplicaId, Round};
 use crate::time::Time;
 use crate::vote::Vote;
 use banyan_crypto::Signature;
@@ -53,6 +53,11 @@ impl Message {
                 block.payload.virtual_wire_extra()
             }
             Message::Sync(SyncMsg::Response { block }) => block.payload.virtual_wire_extra(),
+            // A catch-up batch ships every block's payload: charge each
+            // one's virtual size exactly as single responses are charged.
+            Message::Sync(SyncMsg::ResponseBatch { blocks, .. }) => {
+                blocks.iter().map(|b| b.payload.virtual_wire_extra()).sum()
+            }
             // Forwarding a pending request ships the request *content*,
             // not just the 26-byte record: charge the nominal size the
             // same way synthetic payloads are charged.
@@ -79,6 +84,16 @@ impl Message {
         }
     }
 
+    /// The blocks a catch-up batch carries (empty for every other
+    /// message). Drivers feed each one to speculative lease tracking, the
+    /// same way [`Message::proposal_block`] feeds single-block frames.
+    pub fn sync_batch_blocks(&self) -> &[Block] {
+        match self {
+            Message::Sync(SyncMsg::ResponseBatch { blocks, .. }) => blocks,
+            _ => &[],
+        }
+    }
+
     /// Short label for traces and drop counters.
     pub fn label(&self) -> &'static str {
         match self {
@@ -87,6 +102,10 @@ impl Message {
             Message::Streamlet(m) => m.label(),
             Message::Sync(SyncMsg::Request { .. }) => "sync-req",
             Message::Sync(SyncMsg::Response { .. }) => "sync-resp",
+            Message::Sync(SyncMsg::RequestRange { .. }) => "sync-range",
+            Message::Sync(SyncMsg::ResponseBatch { .. }) => "sync-batch",
+            Message::Sync(SyncMsg::FrontierProbe) => "sync-probe",
+            Message::Sync(SyncMsg::FrontierInfo { .. }) => "sync-frontier",
             Message::Dissemination(DisseminationMsg::Forward { .. }) => "req-forward",
         }
     }
@@ -270,7 +289,18 @@ impl StreamletMsg {
 }
 
 /// Block-fetch protocol shared by all engines: ask a peer for a block you
-/// hold a certificate for but never received.
+/// hold a certificate for but never received, probe a peer's commit
+/// frontier, or fetch a whole certified round range (catch-up sync for
+/// rejoining/lagging replicas).
+///
+/// `Request`/`Response` and `RequestRange`/`ResponseBatch` are engine
+/// traffic: the chained and Streamlet engines serve and adopt them
+/// (Streamlet's vote rule needs an unbroken notarized chain, so a
+/// rejoining replica must refill its downtime gap); HotStuff ignores
+/// them — its SafeNode rule votes without the parent chain, so it
+/// re-converges natively. `FrontierProbe`/`FrontierInfo` are **driver** traffic: the
+/// driver layer answers probes from [`crate::engine::Engine::finalized_round`]
+/// and feeds replies to its catch-up state machine, so engines stay pure.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SyncMsg {
     /// Request a block by hash.
@@ -282,6 +312,30 @@ pub enum SyncMsg {
     Response {
         /// The requested block.
         block: Block,
+    },
+    /// Request every certified block in `[from_round, to_round]`
+    /// (inclusive). Servers may answer with a shorter prefix; the
+    /// requester's catch-up state machine re-issues from its new frontier.
+    RequestRange {
+        /// First wanted round.
+        from_round: Round,
+        /// Last wanted round (inclusive).
+        to_round: Round,
+    },
+    /// A batch of certified blocks answering a [`SyncMsg::RequestRange`],
+    /// with the notarizations proving them.
+    ResponseBatch {
+        /// The served blocks, ascending by round.
+        blocks: Vec<Block>,
+        /// Notarization certificates for the served chain.
+        notarizations: Vec<Notarization>,
+    },
+    /// Ask a peer how far it has committed (driver-answered).
+    FrontierProbe,
+    /// The answer to a probe: the sender's highest committed round.
+    FrontierInfo {
+        /// The sender's finalized frontier.
+        finalized: Round,
     },
 }
 
@@ -539,6 +593,29 @@ impl Wire for SyncMsg {
                 out.u8(1);
                 block.encode(out);
             }
+            SyncMsg::RequestRange {
+                from_round,
+                to_round,
+            } => {
+                out.u8(2);
+                out.u64(from_round.0);
+                out.u64(to_round.0);
+            }
+            SyncMsg::ResponseBatch {
+                blocks,
+                notarizations,
+            } => {
+                out.u8(3);
+                out.var_list(blocks);
+                out.var_list(notarizations);
+            }
+            SyncMsg::FrontierProbe => {
+                out.u8(4);
+            }
+            SyncMsg::FrontierInfo { finalized } => {
+                out.u8(5);
+                out.u64(finalized.0);
+            }
         }
     }
 
@@ -550,6 +627,18 @@ impl Wire for SyncMsg {
             1 => Ok(SyncMsg::Response {
                 block: Block::decode(input)?,
             }),
+            2 => Ok(SyncMsg::RequestRange {
+                from_round: Round(input.u64()?),
+                to_round: Round(input.u64()?),
+            }),
+            3 => Ok(SyncMsg::ResponseBatch {
+                blocks: input.var_list()?,
+                notarizations: input.var_list()?,
+            }),
+            4 => Ok(SyncMsg::FrontierProbe),
+            5 => Ok(SyncMsg::FrontierInfo {
+                finalized: Round(input.u64()?),
+            }),
             _ => Err(CodecError::Invalid("sync message")),
         }
     }
@@ -558,6 +647,17 @@ impl Wire for SyncMsg {
         1 + match self {
             SyncMsg::Request { .. } => 32,
             SyncMsg::Response { block } => block.encoded_len(),
+            SyncMsg::RequestRange { .. } => 8 + 8,
+            SyncMsg::ResponseBatch {
+                blocks,
+                notarizations,
+            } => {
+                4 + blocks.iter().map(Wire::encoded_len).sum::<usize>()
+                    + 4
+                    + notarizations.iter().map(Wire::encoded_len).sum::<usize>()
+            }
+            SyncMsg::FrontierProbe => 0,
+            SyncMsg::FrontierInfo { .. } => 8,
         }
     }
 }
@@ -667,6 +767,26 @@ mod tests {
             Message::Sync(SyncMsg::Response {
                 block: block(Payload::synthetic(100, 2)),
             }),
+            Message::Sync(SyncMsg::RequestRange {
+                from_round: Round(3),
+                to_round: Round(12),
+            }),
+            Message::Sync(SyncMsg::ResponseBatch {
+                blocks: vec![block(Payload::synthetic(100, 2)), block(Payload::empty())],
+                notarizations: vec![Notarization::from_votes(
+                    Round(4),
+                    BlockHash([6; 32]),
+                    agg(),
+                )],
+            }),
+            Message::Sync(SyncMsg::ResponseBatch {
+                blocks: vec![],
+                notarizations: vec![],
+            }),
+            Message::Sync(SyncMsg::FrontierProbe),
+            Message::Sync(SyncMsg::FrontierInfo {
+                finalized: Round(41),
+            }),
             Message::Dissemination(DisseminationMsg::Forward {
                 requests: vec![
                     PendingRequest {
@@ -734,6 +854,26 @@ mod tests {
         assert!(labels.contains(&"hs-vote"));
         assert!(labels.contains(&"sl-proposal"));
         assert!(labels.contains(&"sync-req"));
+        assert!(labels.contains(&"sync-range"));
+        assert!(labels.contains(&"sync-batch"));
+        assert!(labels.contains(&"sync-probe"));
+        assert!(labels.contains(&"sync-frontier"));
+    }
+
+    #[test]
+    fn batch_wire_len_charges_every_block_payload() {
+        let msg = Message::Sync(SyncMsg::ResponseBatch {
+            blocks: vec![
+                block(Payload::synthetic(10_000, 1)),
+                block(Payload::synthetic(20_000, 2)),
+            ],
+            notarizations: vec![],
+        });
+        assert_eq!(msg.wire_len(), msg.encoded_len() as u64 + 30_000);
+        assert_eq!(msg.sync_batch_blocks().len(), 2);
+        let probe = Message::Sync(SyncMsg::FrontierProbe);
+        assert!(probe.sync_batch_blocks().is_empty());
+        assert_eq!(probe.wire_len(), probe.encoded_len() as u64);
     }
 
     #[test]

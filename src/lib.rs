@@ -21,5 +21,6 @@ pub use banyan_crypto as crypto;
 pub use banyan_mempool as mempool;
 pub use banyan_runtime as runtime;
 pub use banyan_simnet as simnet;
+pub use banyan_storage as storage;
 pub use banyan_transport as transport;
 pub use banyan_types as types;
