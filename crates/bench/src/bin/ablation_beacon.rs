@@ -42,6 +42,7 @@ fn run_with_beacon(seeded: Option<u64>, topo: &Topology, payload: u64, secs: u64
         latency: m.proposer_latency_stats(),
         throughput_mbps: m.throughput_bps(ReplicaId(0)) / 1e6,
         block_interval_ms: LatencyStats::from_samples(&intervals).mean_ms,
+        rounds_per_commit: m.mean_commit_interval_ms(ReplicaId(0)) / delta.as_millis_f64(),
         client_latency: None,
         requests_submitted: 0,
         requests_committed: 0,

@@ -36,6 +36,12 @@
 //!   sync — the sync/served/rec.ms columns then go nonzero. Combine
 //!   with `--gossip --retry-ms N --assert-no-drop` for the rolling-
 //!   restart zero-loss gate;
+//! * `--optimistic` enables Moonshot-style optimistic proposal
+//!   pipelining for the chained rows (the round-`r + 1` leader proposes
+//!   on the received-but-uncertified round-`r` block): the banyan row
+//!   switches it on, and an extra `chained (icc)` row — the slow-path
+//!   chained engine, where the overlap pays at every load — is swept
+//!   with and without the flag so the two columns sit side by side;
 //! * `--assert-no-drop` exits nonzero if any past-knee point falls below
 //!   90% of the plateau goodput or, with retry/gossip on, loses requests
 //!   — the CI regression gate for the dissemination layer;
@@ -43,6 +49,10 @@
 //!   inclusions exceed 1% of its committed requests — the CI regression
 //!   gate for the speculative drain (run it with `--gossip`, where blind
 //!   drains duplicate most);
+//! * `--assert-rpc` (requires `--optimistic`) exits nonzero unless the
+//!   icc row's rounds-per-commit with optimism on is strictly below its
+//!   flag-off baseline *and* its knee p50 latency does not regress — the
+//!   CI gate for the pipelining win itself;
 //! * `secs` overrides the per-point measured duration.
 //!
 //! Without dissemination flags the sweep reproduces the historical
@@ -53,7 +63,10 @@
 //! plateau.
 
 use banyan_bench::runner::Scenario;
-use banyan_bench::sweep::{knee_index, measure, point_row, sweep_header, sweep_json, SweepPoint};
+use banyan_bench::sweep::{
+    knee_index, knee_p50_ms, mean_rounds_per_commit, measure, point_row, sweep_header, sweep_json,
+    SweepPoint,
+};
 use banyan_simnet::topology::Topology;
 use banyan_types::time::Duration;
 
@@ -68,8 +81,10 @@ struct Args {
     batch_age_ms: Option<u64>,
     shards: usize,
     restart: bool,
+    optimistic: bool,
     assert_no_drop: bool,
     assert_max_dups: bool,
+    assert_rpc: bool,
     secs: Option<u64>,
 }
 
@@ -85,8 +100,10 @@ fn parse_args() -> Args {
         batch_age_ms: None,
         shards: 1,
         restart: false,
+        optimistic: false,
         assert_no_drop: false,
         assert_max_dups: false,
+        assert_rpc: false,
         secs: None,
     };
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -98,8 +115,10 @@ fn parse_args() -> Args {
             "--gossip" => args.gossip = true,
             "--speculative" => args.speculative = true,
             "--restart" => args.restart = true,
+            "--optimistic" => args.optimistic = true,
             "--assert-no-drop" => args.assert_no_drop = true,
             "--assert-max-dups" => args.assert_max_dups = true,
+            "--assert-rpc" => args.assert_rpc = true,
             "--retry-ms" => {
                 args.retry_ms = Some(
                     it.next()
@@ -150,6 +169,10 @@ fn main() {
     assert!(
         args.batch_age_ms.is_none() || args.batch_min_bytes.is_some(),
         "--batch-age-ms requires --batch-min-bytes (a zero byte target never defers)"
+    );
+    assert!(
+        !args.assert_rpc || args.optimistic,
+        "--assert-rpc compares against the optimistic rows; pass --optimistic too"
     );
     let batch_policy = args
         .batch_min_bytes
@@ -203,12 +226,28 @@ fn main() {
         }
     }
 
+    // (label, protocol, optimistic). With --optimistic the chained rows
+    // pipeline, and the icc engine — where the proposal/certification
+    // overlap pays at every load — is swept both ways so the comparison
+    // (and the --assert-rpc gate) reads straight off the table.
+    let rows: Vec<(&str, &str, bool)> = if args.optimistic {
+        vec![
+            ("chained (icc)", "icc", false),
+            ("chained (icc, optimistic)", "icc", true),
+            ("chained (banyan, optimistic)", "banyan", true),
+            ("hotstuff", "hotstuff", false),
+            ("streamlet", "streamlet", false),
+        ]
+    } else {
+        vec![
+            ("chained (banyan)", "banyan", false),
+            ("hotstuff", "hotstuff", false),
+            ("streamlet", "streamlet", false),
+        ]
+    };
     let mut failures: Vec<String> = Vec::new();
-    for (label, protocol) in [
-        ("chained (banyan)", "banyan"),
-        ("hotstuff", "hotstuff"),
-        ("streamlet", "streamlet"),
-    ] {
+    let mut icc_pair: [Option<Vec<SweepPoint>>; 2] = [None, None];
+    for (label, protocol, optimistic) in rows {
         let mut base = Scenario::new(protocol, topology(), 1, 1)
             .request_size(request_size)
             .secs(secs)
@@ -228,6 +267,9 @@ fn main() {
         if let Some((min_bytes, max_age)) = batch_policy {
             base = base.batch_policy(min_bytes, max_age);
         }
+        if optimistic {
+            base = base.optimistic();
+        }
         if args.restart {
             // Two staggered rolling restarts inside the measured window:
             // replica 1 is down for the second quarter, replica 2 for the
@@ -244,9 +286,17 @@ fn main() {
             .map(|&clients| measure(&base, clients, window, think))
             .collect();
         let knee = knee_index(&points);
+        if protocol == "icc" {
+            icc_pair[usize::from(optimistic)] = Some(points.clone());
+        }
 
         if args.json {
-            println!("{}", sweep_json(protocol, &points));
+            let tag = if optimistic {
+                format!("{protocol}+optimistic")
+            } else {
+                protocol.to_string()
+            };
+            println!("{}", sweep_json(&tag, &points));
         } else {
             println!("## {label}");
             println!("{}", sweep_header());
@@ -263,11 +313,15 @@ fn main() {
         }
 
         if args.assert_no_drop {
-            check_no_drop(protocol, &points, knee, disseminating, &mut failures);
+            check_no_drop(label, &points, knee, disseminating, &mut failures);
         }
         if args.assert_max_dups {
-            check_max_dups(protocol, &points, &mut failures);
+            check_max_dups(label, &points, &mut failures);
         }
+    }
+
+    if args.assert_rpc {
+        check_rpc(&icc_pair, &mut failures);
     }
 
     if !failures.is_empty() {
@@ -275,6 +329,28 @@ fn main() {
             eprintln!("FAIL: {f}");
         }
         std::process::exit(1);
+    }
+}
+
+/// The optimistic-pipelining gate: comparing the icc sweeps with and
+/// without the flag, pipelining must strictly shorten the mean
+/// rounds-per-commit and must not regress commit latency at the knee.
+fn check_rpc(icc_pair: &[Option<Vec<SweepPoint>>; 2], failures: &mut Vec<String>) {
+    let (Some(off), Some(on)) = (&icc_pair[0], &icc_pair[1]) else {
+        failures.push("--assert-rpc: missing an icc sweep to compare".to_string());
+        return;
+    };
+    match (mean_rounds_per_commit(off), mean_rounds_per_commit(on)) {
+        (Some(base), Some(opt)) if opt < base => {}
+        (base, opt) => failures.push(format!(
+            "icc: optimistic rounds-per-commit not strictly below baseline (on={opt:?} off={base:?})"
+        )),
+    }
+    match (knee_p50_ms(off), knee_p50_ms(on)) {
+        (Some(base), Some(opt)) if opt <= base => {}
+        (base, opt) => failures.push(format!(
+            "icc: optimistic knee p50 regressed (on={opt:?} off={base:?} ms)"
+        )),
     }
 }
 

@@ -28,6 +28,11 @@ pub struct SweepPoint {
     pub p99_ms: f64,
     /// Committed payload bytes per second, MB/s.
     pub throughput_mbps: f64,
+    /// Rounds per commit: mean explicit-commit interval at the observer
+    /// normalized by the protocol Δ (see `Outcome::rounds_per_commit`).
+    /// The meter optimistic pipelining moves — proposal/certification
+    /// overlap shortens the span between finalizations.
+    pub rounds_per_commit: f64,
     /// Requests submitted over the run.
     pub submitted: u64,
     /// Requests committed over the run (deduped by id).
@@ -91,6 +96,28 @@ pub fn knee_index(points: &[SweepPoint]) -> Option<usize> {
         .position(|p| p.goodput_rps >= KNEE_FRACTION * max)
 }
 
+/// The end-to-end median latency at the sweep's knee, ms — the headline
+/// "commit latency at the operating point" number. `None` when the sweep
+/// has no knee (nothing committed).
+pub fn knee_p50_ms(points: &[SweepPoint]) -> Option<f64> {
+    knee_index(points).map(|i| points[i].p50_ms)
+}
+
+/// Mean rounds-per-commit across a sweep's points (0-valued points —
+/// runs with fewer than two explicit commits — are excluded). `None`
+/// when no point produced the meter.
+pub fn mean_rounds_per_commit(points: &[SweepPoint]) -> Option<f64> {
+    let live: Vec<f64> = points
+        .iter()
+        .map(|p| p.rounds_per_commit)
+        .filter(|&r| r > 0.0)
+        .collect();
+    if live.is_empty() {
+        return None;
+    }
+    Some(live.iter().sum::<f64>() / live.len() as f64)
+}
+
 /// Runs one point of a sweep: `base` (protocol, topology, request size,
 /// duration, seed, …) switched to a closed loop of `clients × window`
 /// outstanding requests with `think_time` pauses, reduced to a
@@ -113,6 +140,7 @@ pub fn measure(base: &Scenario, clients: u16, window: u32, think_time: Duration)
         p50_ms: e2e.p50_ms,
         p99_ms: e2e.p99_ms,
         throughput_mbps: out.throughput_mbps,
+        rounds_per_commit: out.rounds_per_commit,
         submitted: out.requests_submitted,
         committed: out.requests_committed,
         lost: out.requests_lost,
@@ -130,13 +158,14 @@ pub fn measure(base: &Scenario, clients: u16, window: u32, think_time: Duration)
 /// Header matching [`point_row`].
 pub fn sweep_header() -> String {
     format!(
-        "{:>8} {:>7} {:>12} {:>10} {:>10} {:>9} {:>10} {:>10} {:>6} {:>8} {:>6} {:>6} {:>6} {:>5} {:>7} {:>7} {:>9}  {}",
+        "{:>8} {:>7} {:>12} {:>10} {:>10} {:>9} {:>6} {:>10} {:>10} {:>6} {:>8} {:>6} {:>6} {:>6} {:>5} {:>7} {:>7} {:>9}  {}",
         "clients",
         "window",
         "goodput/s",
         "p50 ms",
         "p99 ms",
         "MB/s",
+        "rpc",
         "submitted",
         "committed",
         "lost",
@@ -155,13 +184,14 @@ pub fn sweep_header() -> String {
 /// Formats one sweep point; `knee` appends the saturation marker.
 pub fn point_row(p: &SweepPoint, knee: bool) -> String {
     format!(
-        "{:>8} {:>7} {:>12.1} {:>10.2} {:>10.2} {:>9.3} {:>10} {:>10} {:>6} {:>8} {:>6} {:>6.2} {:>6.1} {:>5} {:>7} {:>7} {:>9}  {}",
+        "{:>8} {:>7} {:>12.1} {:>10.2} {:>10.2} {:>9.3} {:>6.2} {:>10} {:>10} {:>6} {:>8} {:>6} {:>6.2} {:>6.1} {:>5} {:>7} {:>7} {:>9}  {}",
         p.clients,
         p.window,
         p.goodput_rps,
         p.p50_ms,
         p.p99_ms,
         p.throughput_mbps,
+        p.rounds_per_commit,
         p.submitted,
         p.committed,
         p.lost,
@@ -182,7 +212,8 @@ pub fn point_row(p: &SweepPoint, knee: bool) -> String {
 pub fn point_json(p: &SweepPoint) -> String {
     format!(
         "{{\"clients\":{},\"window\":{},\"goodput_rps\":{:.3},\"p50_ms\":{:.4},\
-         \"p99_ms\":{:.4},\"throughput_mbps\":{:.5},\"submitted\":{},\"committed\":{},\
+         \"p99_ms\":{:.4},\"throughput_mbps\":{:.5},\"rounds_per_commit\":{:.4},\
+         \"submitted\":{},\"committed\":{},\
          \"lost\":{},\"retried\":{},\"duplicates\":{},\"dup_share\":{:.5},\
          \"batch_efficiency\":{:.5},\"sync_requests\":{},\"sync_blocks\":{},\
          \"recovery_ms\":{},\"wal_bytes\":{}}}",
@@ -192,6 +223,7 @@ pub fn point_json(p: &SweepPoint) -> String {
         p.p50_ms,
         p.p99_ms,
         p.throughput_mbps,
+        p.rounds_per_commit,
         p.submitted,
         p.committed,
         p.lost,
@@ -237,6 +269,7 @@ mod tests {
             p50_ms: 10.0,
             p99_ms: 20.0,
             throughput_mbps: 1.0,
+            rounds_per_commit: 3.5,
             submitted: 100,
             committed: 90,
             lost: 3,
@@ -285,6 +318,22 @@ mod tests {
     fn knee_absent_without_goodput() {
         assert_eq!(knee_index(&[]), None);
         assert_eq!(knee_index(&[pt(1, 0.0), pt(2, 0.0)]), None);
+        assert_eq!(knee_p50_ms(&[]), None);
+    }
+
+    #[test]
+    fn knee_latency_and_mean_rpc_reduce_the_sweep() {
+        let sweep = vec![pt(1, 25.0), pt(2, 95.0), pt(4, 100.0)];
+        assert_eq!(knee_p50_ms(&sweep), Some(10.0));
+        let mean = mean_rounds_per_commit(&sweep).expect("live points");
+        assert!((mean - 3.5).abs() < 1e-12);
+        // Zero-valued (too-few-commits) points are excluded, and an
+        // all-zero sweep yields no meter at all.
+        let mut short = pt(1, 25.0);
+        short.rounds_per_commit = 0.0;
+        assert_eq!(mean_rounds_per_commit(&[short.clone()]), None);
+        let mixed = vec![short, pt(2, 95.0)];
+        assert_eq!(mean_rounds_per_commit(&mixed), Some(3.5));
     }
 
     #[test]
@@ -296,6 +345,8 @@ mod tests {
         assert!(header.contains("lost"));
         assert!(header.contains("dup%") && header.contains("eff%"));
         assert!(header.contains("sync") && header.contains("rec.ms"));
+        assert!(header.contains("rpc"), "rounds-per-commit column: {header}");
+        assert!(row.contains("3.50"), "rpc column present: {row}");
         assert!(row.contains(" 3 "), "lost column present: {row}");
         assert!(row.contains("98.9"), "efficiency column present: {row}");
         assert!(row.contains("2048"), "wal column present: {row}");
@@ -307,6 +358,7 @@ mod tests {
         let json = sweep_json("banyan", &points);
         assert!(json.starts_with("{\"protocol\":\"banyan\",\"knee\":1,"));
         assert_eq!(json.matches("\"clients\":").count(), 2);
+        assert!(json.contains("\"rounds_per_commit\":3.5000"));
         assert!(json.contains("\"lost\":3"));
         assert!(json.contains("\"retried\":7"));
         assert!(json.contains("\"duplicates\":1"));

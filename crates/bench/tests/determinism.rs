@@ -276,6 +276,82 @@ fn shard_count_never_changes_the_run() {
     }
 }
 
+/// Flag-off bit-identity: with `Scenario::optimistic` left at its
+/// default, the run must reproduce the pre-pipelining (PR 7) numbers
+/// exactly — the goldens below were captured from a build of that
+/// revision and every engine must still hit them, down to the total
+/// byte count. Any drift means a "defaults-off" code path picked up
+/// optimistic behavior.
+#[test]
+fn optimistic_off_is_bit_identical_to_seed() {
+    // (protocol, commits, messages, bytes) on the `scenario(42)` shape.
+    let goldens = [
+        ("banyan", 584usize, 5_262u64, 4_778_241u64),
+        ("icc", 580, 8_724, 4_634_532),
+        ("hotstuff", 576, 882, 1_029_615),
+        ("streamlet", 296, 1_131, 585_207),
+    ];
+    for (protocol, commits, messages, bytes) in goldens {
+        let build = || {
+            Scenario::new(
+                protocol,
+                Topology::uniform(4, Duration::from_millis(10)),
+                1,
+                1,
+            )
+            .payload(2_000)
+            .secs(3)
+            .seed(42)
+        };
+        assert!(!build().optimistic, "flag must default off");
+        let (a, auditor) = run_metrics(&build());
+        assert!(auditor.is_safe());
+        assert_eq!(a.commits.len(), commits, "{protocol}: commit count drifted");
+        assert_eq!(
+            a.messages_sent, messages,
+            "{protocol}: message count drifted"
+        );
+        assert_eq!(a.bytes_sent, bytes, "{protocol}: byte count drifted");
+        // And the rerun reproduces every latency sample bit-for-bit.
+        let (b, _) = run_metrics(&build());
+        assert_eq!(a, b, "{protocol}: flag-off run must replay exactly");
+        assert_eq!(a.proposer_latencies(), b.proposer_latencies());
+    }
+}
+
+/// With optimism on, the run is still a pure function of the seed: same
+/// seed ⇒ identical `RunMetrics` (commit log, counters, every latency
+/// sample), different seed ⇒ divergence.
+#[test]
+fn optimistic_on_is_deterministic_per_seed() {
+    for protocol in ["banyan", "icc"] {
+        let build = |seed| {
+            Scenario::new(
+                protocol,
+                Topology::uniform(4, Duration::from_millis(10)),
+                1,
+                1,
+            )
+            .rate(400)
+            .request_size(300)
+            .secs(3)
+            .seed(seed)
+            .optimistic()
+        };
+        let (a, auditor_a) = run_metrics(&build(42));
+        let (b, auditor_b) = run_metrics(&build(42));
+        assert!(auditor_a.is_safe() && auditor_b.is_safe());
+        assert!(
+            !a.commits.is_empty(),
+            "{protocol}: no progress with optimism"
+        );
+        assert_eq!(a, b, "{protocol}: optimistic run must replay exactly");
+        assert_eq!(a.client_latencies(), b.client_latencies());
+        let (other, _) = run_metrics(&build(43));
+        assert_ne!(a, other, "{protocol}: different seeds should diverge");
+    }
+}
+
 /// A sink that tallies commits per replica — exercises the same
 /// `CommitSink` trait the simulator and TCP runner collect through.
 #[derive(Default)]

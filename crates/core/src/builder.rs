@@ -18,7 +18,7 @@ use banyan_types::time::Duration;
 /// when a cluster is built, so each engine gets its own boxed source.
 pub type SourceFactory = Arc<dyn Fn(u16) -> Box<dyn ProposalSource> + Send + Sync>;
 
-use crate::chained::{ByzantineMode, ChainedEngine, PathMode};
+use crate::chained::{ByzantineMode, ChainedEngine, OptimisticConfig, PathMode};
 use crate::hotstuff::HotStuffEngine;
 use crate::store::ChainStore;
 use crate::streamlet::StreamletEngine;
@@ -57,6 +57,9 @@ pub struct ClusterBuilder {
     /// Per-replica chain-store factory (chained engines only); `None`
     /// keeps the default in-memory `BlockStore`.
     stores: Option<StoreFactory>,
+    /// Optimistic proposal pipelining (chained engines only); `None`
+    /// keeps the feature off.
+    optimistic: Option<OptimisticConfig>,
 }
 
 impl std::fmt::Debug for ClusterBuilder {
@@ -86,6 +89,7 @@ impl ClusterBuilder {
             baseline_timeout: Duration::from_secs(3),
             byzantine: Vec::new(),
             stores: None,
+            optimistic: None,
         })
     }
 
@@ -190,6 +194,18 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enables Moonshot-style optimistic proposal pipelining for the
+    /// chained engines: the leader of round `r + 1` proposes on a
+    /// received-but-uncertified round-`r` block instead of waiting for
+    /// its certificate. Building a HotStuff or Streamlet cluster with
+    /// this set panics — HotStuff is already optimistically responsive
+    /// (a formed QC triggers the next proposal), and Streamlet's
+    /// epoch-clocked proposals leave nothing to overlap.
+    pub fn optimistic(mut self, cfg: OptimisticConfig) -> Self {
+        self.optimistic = Some(cfg);
+        self
+    }
+
     /// The validated configuration.
     pub fn protocol_config(&self) -> &ProtocolConfig {
         &self.cfg
@@ -223,7 +239,19 @@ impl ClusterBuilder {
         if let Some(stores) = &self.stores {
             engine = engine.with_store(stores(i));
         }
+        if let Some(ocfg) = self.optimistic {
+            engine = engine.with_optimistic(ocfg);
+        }
         Box::new(engine)
+    }
+
+    /// Guard: optimistic pipelining exists only for the chained engines.
+    fn assert_no_optimistic(&self, protocol: &str) {
+        assert!(
+            self.optimistic.is_none(),
+            "optimistic pipelining is not supported for {protocol}; \
+             it is a chained-engine (banyan/icc) feature"
+        );
     }
 
     fn build_chained(&self, mode: PathMode) -> Vec<Box<dyn Engine>> {
@@ -243,7 +271,15 @@ impl ClusterBuilder {
     }
 
     /// Builds an `n`-replica chained-HotStuff cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Self::optimistic`] was set: HotStuff is already
+    /// optimistically responsive (a formed QC immediately triggers the
+    /// next leader's proposal), so the chained engines' pipelining knob
+    /// does not apply.
     pub fn build_hotstuff(&self) -> Vec<Box<dyn Engine>> {
+        self.assert_no_optimistic("hotstuff");
         (0..self.cfg.n() as u16)
             .map(|i| {
                 Box::new(HotStuffEngine::new(
@@ -258,7 +294,14 @@ impl ClusterBuilder {
     }
 
     /// Builds an `n`-replica Streamlet cluster. The epoch length is `2Δ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Self::optimistic`] was set: Streamlet proposals are
+    /// clocked by the epoch timer, not by certificate arrival, so there
+    /// is no certification wait to overlap.
     pub fn build_streamlet(&self) -> Vec<Box<dyn Engine>> {
+        self.assert_no_optimistic("streamlet");
         let epoch_len = self.cfg.delta.saturating_mul(2);
         (0..self.cfg.n() as u16)
             .map(|i| {
@@ -305,20 +348,26 @@ impl ClusterBuilder {
         match protocol {
             "banyan" => self.build_chained_replica(PathMode::Banyan, i),
             "icc" => self.build_chained_replica(PathMode::IccOnly, i),
-            "hotstuff" => Box::new(HotStuffEngine::new(
-                self.cfg.clone(),
-                self.registry(i),
-                self.beacon(),
-                (self.sources)(i),
-                self.baseline_timeout,
-            )),
-            "streamlet" => Box::new(StreamletEngine::new(
-                self.cfg.clone(),
-                self.registry(i),
-                self.beacon(),
-                (self.sources)(i),
-                self.cfg.delta.saturating_mul(2),
-            )),
+            "hotstuff" => {
+                self.assert_no_optimistic("hotstuff");
+                Box::new(HotStuffEngine::new(
+                    self.cfg.clone(),
+                    self.registry(i),
+                    self.beacon(),
+                    (self.sources)(i),
+                    self.baseline_timeout,
+                ))
+            }
+            "streamlet" => {
+                self.assert_no_optimistic("streamlet");
+                Box::new(StreamletEngine::new(
+                    self.cfg.clone(),
+                    self.registry(i),
+                    self.beacon(),
+                    (self.sources)(i),
+                    self.cfg.delta.saturating_mul(2),
+                ))
+            }
             other => panic!("unknown protocol {other:?}"),
         }
     }
@@ -349,5 +398,34 @@ mod tests {
     #[should_panic(expected = "unknown protocol")]
     fn unknown_protocol_panics() {
         let _ = ClusterBuilder::new(4, 1, 1).unwrap().build("pbft");
+    }
+
+    #[test]
+    fn optimistic_builds_chained_engines() {
+        let b = ClusterBuilder::new(4, 1, 1)
+            .unwrap()
+            .payload_size(100)
+            .optimistic(OptimisticConfig::default());
+        for proto in ["banyan", "icc"] {
+            assert_eq!(b.build(proto).len(), 4, "{proto}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported for hotstuff")]
+    fn optimistic_hotstuff_is_rejected() {
+        let _ = ClusterBuilder::new(4, 1, 1)
+            .unwrap()
+            .optimistic(OptimisticConfig::default())
+            .build("hotstuff");
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported for streamlet")]
+    fn optimistic_streamlet_is_rejected() {
+        let _ = ClusterBuilder::new(4, 1, 1)
+            .unwrap()
+            .optimistic(OptimisticConfig::default())
+            .build_streamlet();
     }
 }

@@ -80,6 +80,43 @@ pub enum ByzantineMode {
         /// The client ids whose requests are dropped.
         clients: Vec<u16>,
     },
+    /// When optimistic pipelining is enabled and this replica leads the
+    /// next round, it pipelines *two* conflicting optimistic proposals on
+    /// the same uncertified parent, sending each to half of the peers.
+    /// Otherwise behave honestly.
+    EquivocateOptimistic,
+}
+
+/// Tuning for Moonshot-style optimistic proposal pipelining
+/// ([`ChainedEngine::with_optimistic`]). Pipelining is off unless a
+/// config is installed; every defaults-off code path is untouched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OptimisticConfig {
+    /// Pipeline only on rank-0 (presumptive-winner) parents. Higher-rank
+    /// round-`r` blocks rarely win their round, so optimistically
+    /// extending them mostly mints abandoned blocks.
+    pub leader_parents_only: bool,
+}
+
+impl Default for OptimisticConfig {
+    fn default() -> Self {
+        OptimisticConfig {
+            leader_parents_only: true,
+        }
+    }
+}
+
+/// The engine's one in-flight optimistic proposal: a round-`r + 1` block
+/// proposed on a received-but-uncertified round-`r` parent. Resolved on
+/// round entry by `reconcile_optimistic`.
+#[derive(Clone, Copy, Debug)]
+struct PendingOptimistic {
+    /// The optimistic block's round (`r + 1`).
+    round: Round,
+    /// The uncertified parent it extends.
+    parent: BlockHash,
+    /// The optimistic block itself.
+    block: BlockHash,
 }
 
 /// How many rounds of state to keep behind the finalized tip.
@@ -114,6 +151,17 @@ pub struct ChainedEngine {
     /// Where block payloads come from (mempool, client queue, or the
     /// paper's size-only synthetic workload).
     source: Box<dyn ProposalSource>,
+    /// Moonshot-style optimistic pipelining; `None` = disabled (default).
+    optimistic: Option<OptimisticConfig>,
+    /// The in-flight optimistic proposal, if any.
+    pending_optimistic: Option<PendingOptimistic>,
+    /// `k_max` as of the entry into the current engine event. The
+    /// optimistic path proposes from `on_message`, where `progress` may
+    /// advance `k_max` *within* the event after commits were routed; the
+    /// proposal-context ancestor walk must stop at the frontier the
+    /// driver has actually routed (see HotStuff's
+    /// `routed_committed_round` for the same idiom).
+    routed_k_max: Round,
 }
 
 impl std::fmt::Debug for ChainedEngine {
@@ -164,6 +212,9 @@ impl ChainedEngine {
             retry_store_len: 0,
             sync_requested: std::collections::HashSet::new(),
             source,
+            optimistic: None,
+            pending_optimistic: None,
+            routed_k_max: Round::GENESIS,
         }
     }
 
@@ -173,6 +224,20 @@ impl ChainedEngine {
         self
     }
 
+    /// Builder-style: enables Moonshot-style optimistic proposal
+    /// pipelining — when this replica leads round `r + 1` and receives
+    /// the round-`r` block before its certificate, it proposes on top of
+    /// it immediately instead of waiting for the notarization.
+    pub fn with_optimistic(mut self, cfg: OptimisticConfig) -> Self {
+        self.optimistic = Some(cfg);
+        self
+    }
+
+    /// Whether optimistic pipelining is enabled.
+    pub fn optimistic_enabled(&self) -> bool {
+        self.optimistic.is_some()
+    }
+
     /// Builder-style: replaces the chain store (e.g. a recovered
     /// `banyan_storage::WalStore`). The finalized frontier is taken from
     /// the store, so a pre-loaded store makes this the crash-recovery
@@ -180,6 +245,7 @@ impl ChainedEngine {
     /// re-enters at the frontier.
     pub fn with_store(mut self, store: Box<dyn ChainStore>) -> Self {
         self.k_max = store.max_finalized_round();
+        self.routed_k_max = self.k_max;
         self.store = store;
         self
     }
@@ -356,7 +422,7 @@ impl ChainedEngine {
                 self.propose_equivocating(round, parent, now, actions);
             }
             _ => {
-                let (hash, block, fast_vote) = self.build_block(round, rank, parent, now);
+                let (hash, block, fast_vote) = self.build_block(round, rank, parent, now, true);
                 let msg = self.proposal_message(&block, &parent, fast_vote.as_ref());
                 self.adopt_block(hash, block, fast_vote, now, actions);
                 actions.broadcast(msg);
@@ -417,12 +483,13 @@ impl ChainedEngine {
     /// skip requests a live ancestor already carries; the engine itself
     /// never decodes a payload.
     ///
-    /// Invariant: stopping at `k_max` satisfies the mempool's "ancestors
-    /// reach the newest *routed* commit" contract only because `propose`
-    /// runs before `progress` in its timer event — no finalization can
-    /// precede the drain within one event. A future propose-from-
-    /// `on_message` path must snapshot `k_max` at event entry instead
-    /// (see HotStuff's `routed_committed_round`).
+    /// Invariant: the walk stops at `routed_k_max` — the finalized
+    /// frontier as of event entry — not the live `k_max`, because the
+    /// mempool's contract is "ancestors reach the newest *routed*
+    /// commit". The timer-driven `propose` runs before `progress`, so
+    /// there the two are equal; the optimistic path proposes from
+    /// `on_message` after `handle_proposal` may have finalized, and only
+    /// the snapshot is safe (see HotStuff's `routed_committed_round`).
     fn proposal_context(&self, round: Round, parent: BlockHash, now: Time) -> ProposalContext {
         let mut ancestors = Vec::new();
         let mut cursor = parent;
@@ -430,7 +497,7 @@ impl ChainedEngine {
             let Some(block) = self.store.get(&cursor) else {
                 break; // missing ancestor (sync in flight): report what we hold
             };
-            if block.round <= self.k_max {
+            if block.round <= self.routed_k_max {
                 break; // the finalized chain starts here
             }
             ancestors.push(cursor);
@@ -450,6 +517,7 @@ impl ChainedEngine {
         rank: Rank,
         parent: BlockHash,
         now: Time,
+        attach_fast: bool,
     ) -> (BlockHash, Block, Option<Vote>) {
         let ctx = self.proposal_context(round, parent, now);
         let payload = self.source.next_payload(&ctx);
@@ -465,8 +533,11 @@ impl ChainedEngine {
         let hash = block.hash(self.cfg.payload_chunk);
         block.signature = self.registry.sign(&Block::signing_message(&hash));
         // Addition 2 / Algorithm 1 line 28: rank-0 proposals carry the
-        // proposer's fast vote.
-        let fast_vote = (self.fast_path() && rank.is_leader())
+        // proposer's fast vote. The optimistic path withholds it until
+        // the parent certifies (`attach_fast = false`), keeping the
+        // one-fast-vote-per-round budget unspent while the parent's fate
+        // is open.
+        let fast_vote = (attach_fast && self.fast_path() && rank.is_leader())
             .then(|| self.make_vote(VoteKind::Fast, round, hash));
         (hash, block, fast_vote)
     }
@@ -527,8 +598,8 @@ impl ChainedEngine {
         actions: &mut Actions,
     ) {
         let rank = self.my_rank(round);
-        let (hash_a, block_a, fast_a) = self.build_block(round, rank, parent, now);
-        let (hash_b, block_b, fast_b) = self.build_block(round, rank, parent, now);
+        let (hash_a, block_a, fast_a) = self.build_block(round, rank, parent, now, true);
+        let (hash_b, block_b, fast_b) = self.build_block(round, rank, parent, now, true);
         if hash_a == hash_b {
             // The source minted identical payloads (e.g. an empty mempool
             // twice): no equivocation is possible, so propose honestly.
@@ -553,6 +624,132 @@ impl ChainedEngine {
                 msg_b.clone()
             };
             actions.send(ReplicaId(peer), msg);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Optimistic pipelining (Moonshot-style)
+    // ------------------------------------------------------------------
+
+    /// If we lead round `r + 1` and just received this round's (rank-0)
+    /// block, propose on top of it immediately instead of waiting for
+    /// its certificate — the block payload's broadcast then overlaps
+    /// with the parent's certification.
+    ///
+    /// The proposal ships without a parent notarization (none exists
+    /// yet) and, in Banyan mode, without our fast vote: the fast vote is
+    /// withheld until the parent actually certifies (see
+    /// `reconcile_optimistic`), so an abandoned optimistic block never
+    /// spends our one-fast-vote-per-round budget and the fallback
+    /// re-proposal is a fully valid rank-0 block.
+    fn maybe_propose_optimistic(&mut self, received: BlockHash, now: Time, actions: &mut Actions) {
+        let Some(ocfg) = self.optimistic else {
+            return;
+        };
+        if self.pending_optimistic.is_some() {
+            return;
+        }
+        let Some(block) = self.store.get(&received) else {
+            return;
+        };
+        let (b_round, b_rank) = (block.round, block.rank);
+        if b_round != self.round {
+            return;
+        }
+        if ocfg.leader_parents_only && !b_rank.is_leader() {
+            return;
+        }
+        let next = b_round.next();
+        if !self.my_rank(next).is_leader() {
+            return;
+        }
+        if self.round_state(next).proposed {
+            return;
+        }
+        if self.store.is_notarized(&received) {
+            return; // already certified: the normal propose path handles it
+        }
+        if !self.is_valid(&received) {
+            return; // only extend a block we could ourselves vote for
+        }
+        self.round_state(next).proposed = true;
+        let rank = self.my_rank(next);
+        if self.byz == ByzantineMode::EquivocateOptimistic {
+            let (hash_a, block_a, _) = self.build_block(next, rank, received, now, false);
+            let (hash_b, block_b, _) = self.build_block(next, rank, received, now, false);
+            if hash_a != hash_b {
+                let msg_a = self.proposal_message(&block_a, &received, None);
+                let msg_b = self.proposal_message(&block_b, &received, None);
+                self.adopt_block(hash_a, block_a, None, now, actions);
+                self.adopt_block(hash_b, block_b, None, now, actions);
+                let n = self.cfg.n() as u16;
+                for peer in 0..n {
+                    if peer == self.id.0 {
+                        continue;
+                    }
+                    let msg = if peer % 2 == 0 {
+                        msg_a.clone()
+                    } else {
+                        msg_b.clone()
+                    };
+                    actions.send(ReplicaId(peer), msg);
+                }
+                self.pending_optimistic = Some(PendingOptimistic {
+                    round: next,
+                    parent: received,
+                    block: hash_a,
+                });
+                return;
+            }
+            // Identical payloads: no equivocation possible, pipeline
+            // honestly below.
+        }
+        let (hash, block, _) = self.build_block(next, rank, received, now, false);
+        let msg = self.proposal_message(&block, &received, None);
+        self.adopt_block(hash, block, None, now, actions);
+        actions.broadcast(msg);
+        self.pending_optimistic = Some(PendingOptimistic {
+            round: next,
+            parent: received,
+            block: hash,
+        });
+    }
+
+    /// Resolves the pending optimistic proposal when we are about to
+    /// enter round `next`.
+    ///
+    /// * Parent certified (notarized + unlocked): the pipeline won. In
+    ///   Banyan mode we now release the withheld fast vote for the
+    ///   optimistic block — peers already hold its body, so this small
+    ///   message is all that gates their votes.
+    /// * Parent never certified: abandon. Clearing the round's
+    ///   `proposed` flag re-arms the `Propose` timer on round entry, so
+    ///   the normal path re-proposes on the certified parent (the
+    ///   fallback). The abandoned block's drained requests come back via
+    ///   the mempool's certificate-conflict lease release.
+    fn reconcile_optimistic(&mut self, next: Round, actions: &mut Actions) {
+        let Some(po) = self.pending_optimistic else {
+            return;
+        };
+        if po.round > next {
+            return; // not due yet
+        }
+        self.pending_optimistic = None;
+        let parent_certified =
+            self.store.is_notarized(&po.parent) && self.is_unlocked(po.round.prev(), &po.parent);
+        if !parent_certified {
+            self.round_state(po.round).proposed = false;
+            return;
+        }
+        if po.round == next && self.fast_path() && !self.round_state(po.round).fast_vote_sent {
+            let fast = self.make_vote(VoteKind::Fast, po.round, po.block);
+            let me = self.id;
+            let rs = self.round_state(po.round);
+            rs.leader_fast_votes.insert(po.block, fast);
+            rs.unlock.add_fast_vote(po.block, me, fast.signature);
+            rs.fast_vote_sent = true;
+            rs.our_votes.push(fast);
+            actions.broadcast(Message::Chained(ChainedMsg::Votes(vec![fast])));
         }
     }
 
@@ -605,6 +802,7 @@ impl ChainedEngine {
         });
         self.adopt_block(hash, block, fast_vote, now, actions);
         self.sync_requested.remove(&hash);
+        self.maybe_propose_optimistic(hash, now, actions);
         self.progress(now, actions);
     }
 
@@ -613,6 +811,17 @@ impl ChainedEngine {
             if !self.verify_vote(&vote) {
                 continue;
             }
+            // Optimistic pipelining ships rank-0 proposals without the
+            // proposer's fast vote and releases it separately once the
+            // parent certifies. A proposer's fast vote for its own
+            // stored rank-0 block is the exact evidence Addition 2
+            // demands, so accept it for validity through this channel
+            // too (gated: defaults-off runs are bit-identical).
+            let proposer_fast = self.optimistic.is_some()
+                && vote.kind == VoteKind::Fast
+                && self.store.get(&vote.block).is_some_and(|b| {
+                    b.proposer == vote.voter && b.round == vote.round && b.rank.is_leader()
+                });
             let rs = self.round_state(vote.round);
             match vote.kind {
                 VoteKind::Notarize => {
@@ -626,6 +835,9 @@ impl ChainedEngine {
                 VoteKind::Fast => {
                     rs.unlock
                         .add_fast_vote(vote.block, vote.voter, vote.signature);
+                    if proposer_fast {
+                        rs.leader_fast_votes.entry(vote.block).or_insert(vote);
+                    }
                 }
             }
         }
@@ -1231,6 +1443,7 @@ impl ChainedEngine {
         // Finalization-driven catch-up: never linger at or below kMax.
         if self.round <= self.k_max {
             let next = self.k_max.next();
+            self.reconcile_optimistic(next, actions);
             self.enter_round(next, now, actions);
             return true;
         }
@@ -1312,6 +1525,7 @@ impl ChainedEngine {
         }
 
         self.round_state(round).advanced = true;
+        self.reconcile_optimistic(round.next(), actions);
         self.enter_round(round.next(), now, actions);
         true
     }
@@ -1347,6 +1561,17 @@ impl ChainedEngine {
                 .copied();
             let msg = self.proposal_message(&block, &parent, fast_vote.as_ref());
             actions.broadcast(msg);
+        }
+        // A pending optimistic proposal for the next round (its parent's
+        // certificate is what we are stuck waiting for): re-offer it.
+        if let Some(po) = self.pending_optimistic {
+            if po.round == round.next() {
+                if let Some(block) = self.store.get(&po.block).cloned() {
+                    let parent = block.parent;
+                    let msg = self.proposal_message(&block, &parent, None);
+                    actions.broadcast(msg);
+                }
+            }
         }
         // Previous round's certificate (catch-up aid for peers behind us).
         let prev = round.prev();
@@ -1391,6 +1616,7 @@ impl Engine for ChainedEngine {
     }
 
     fn on_init(&mut self, now: Time) -> Actions {
+        self.routed_k_max = self.k_max;
         let mut actions = Actions::none();
         // Fresh replicas have `k_max = GENESIS`, so this is round 1; a
         // recovered replica re-enters just above its restored frontier.
@@ -1400,6 +1626,7 @@ impl Engine for ChainedEngine {
     }
 
     fn on_message(&mut self, from: ReplicaId, msg: Message, now: Time) -> Actions {
+        self.routed_k_max = self.k_max;
         let mut actions = Actions::none();
         match msg {
             Message::Chained(ChainedMsg::Proposal {
@@ -1445,6 +1672,7 @@ impl Engine for ChainedEngine {
     }
 
     fn on_timer(&mut self, kind: TimerKind, now: Time) -> Actions {
+        self.routed_k_max = self.k_max;
         let mut actions = Actions::none();
         match kind {
             TimerKind::Propose { round } => {
@@ -1480,6 +1708,10 @@ impl Engine for ChainedEngine {
     fn restore(&mut self, snapshot: &ChainSnapshot) {
         self.store.restore(snapshot);
         self.k_max = snapshot.max_finalized_round();
+        self.routed_k_max = self.k_max;
+        // Optimistic state is volatile: a recovered replica starts from
+        // the certified frontier.
+        self.pending_optimistic = None;
         // Force the next pending-finalization retry to walk: the store
         // contents just changed wholesale.
         self.retry_store_len = usize::MAX;

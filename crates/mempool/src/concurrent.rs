@@ -214,9 +214,14 @@ impl ConcurrentPool {
         }
         let hash = block.hash(chunk);
         let mut coordinator = self.coordinator.lock().expect("coordinator lock");
-        coordinator
-            .leases
-            .observe(hash, block.round, batch.requests)
+        coordinator.leases.observe_with_provenance(
+            hash,
+            block.round,
+            batch.requests,
+            crate::LeaseProvenance::Optimistic {
+                parent: block.parent,
+            },
+        )
     }
 
     /// Records a lease for a block whose batch was already decoded and
@@ -225,8 +230,15 @@ impl ConcurrentPool {
     /// the commitment walk are never repeated under the coordinator.
     /// No-op (returns `false`) when speculation is off or the batch is
     /// empty; idempotent per block like
-    /// [`observe_proposal`](Self::observe_proposal).
-    pub fn observe_decoded(&self, block: BlockHash, round: Round, requests: Vec<Request>) -> bool {
+    /// [`observe_proposal`](Self::observe_proposal). `parent` links the
+    /// lease for the eager certificate-conflict release.
+    pub fn observe_decoded(
+        &self,
+        block: BlockHash,
+        round: Round,
+        parent: BlockHash,
+        requests: Vec<Request>,
+    ) -> bool {
         if requests.is_empty() {
             return false;
         }
@@ -234,7 +246,12 @@ impl ConcurrentPool {
         if coordinator.speculation.is_none() {
             return false;
         }
-        coordinator.leases.observe(block, round, requests)
+        coordinator.leases.observe_with_provenance(
+            block,
+            round,
+            requests,
+            crate::LeaseProvenance::Optimistic { parent },
+        )
     }
 
     /// Commit-side retirement (see [`Mempool::mark_committed_block`]):
@@ -246,7 +263,13 @@ impl ConcurrentPool {
             let mut coordinator = self.coordinator.lock().expect("coordinator lock");
             // The committed block's own lease is fulfilled, not released.
             coordinator.leases.remove(&block);
-            coordinator.leases.take_at_or_below(round)
+            // Dead-fork children first (their losing parents' live leases
+            // pin the parent rounds), then the round sweep; re-pend in
+            // ascending round order to match `Mempool`.
+            let conflicting = coordinator.leases.take_conflicting(round, &block);
+            let mut released = coordinator.leases.take_at_or_below(round);
+            released.extend(conflicting);
+            released
         };
         let mut pool = self.pending.lock().expect("pending lock");
         Self::apply_ingest(&self.ingest_rx, &mut pool);

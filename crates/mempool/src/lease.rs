@@ -23,6 +23,29 @@ use banyan_types::ids::{BlockHash, Round};
 
 use crate::Request;
 
+/// Where a leased block came from, relative to the chain it extends.
+///
+/// The distinction matters at commit time: an [`Optimistic`] lease names
+/// its parent, so the table can tell — the moment a *conflicting* block
+/// commits at the parent's round — that the leased block extends a dead
+/// fork and release its requests eagerly instead of stranding them until
+/// the next commit sweeps their round.
+///
+/// [`Optimistic`]: LeaseProvenance::Optimistic
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeaseProvenance {
+    /// Observed without parent linkage (raw [`LeaseTable::observe`]
+    /// callers); only the round-sweep release applies.
+    Unlinked,
+    /// An observed proposal linked to the parent block it extends —
+    /// every proposal observed off the wire is *optimistic* in the sense
+    /// that its block is uncertified at observe time.
+    Optimistic {
+        /// The parent block the leased block extends.
+        parent: BlockHash,
+    },
+}
+
 /// Live leases, ordered by `(round, block id)` so retirement sweeps are
 /// deterministic.
 #[derive(Debug, Default)]
@@ -31,6 +54,8 @@ pub struct LeaseTable {
     leases: BTreeMap<(u64, BlockHash), Vec<Request>>,
     /// Block → round index into `leases`.
     rounds: HashMap<BlockHash, u64>,
+    /// Block → provenance (absent entries are [`LeaseProvenance::Unlinked`]).
+    provenance: HashMap<BlockHash, LeaseProvenance>,
 }
 
 impl LeaseTable {
@@ -43,22 +68,82 @@ impl LeaseTable {
     /// per block id; returns `true` when newly recorded. Empty request
     /// lists are not recorded (nothing to exclude or release).
     pub fn observe(&mut self, block: BlockHash, round: Round, requests: Vec<Request>) -> bool {
+        self.observe_with_provenance(block, round, requests, LeaseProvenance::Unlinked)
+    }
+
+    /// [`observe`](Self::observe) with an explicit [`LeaseProvenance`].
+    pub fn observe_with_provenance(
+        &mut self,
+        block: BlockHash,
+        round: Round,
+        requests: Vec<Request>,
+        provenance: LeaseProvenance,
+    ) -> bool {
         if requests.is_empty() || self.rounds.contains_key(&block) {
             return false;
         }
         self.rounds.insert(block, round.0);
         self.leases.insert((round.0, block), requests);
+        if provenance != LeaseProvenance::Unlinked {
+            self.provenance.insert(block, provenance);
+        }
         true
+    }
+
+    /// The provenance of `block`'s live lease, if one exists.
+    pub fn provenance(&self, block: &BlockHash) -> Option<LeaseProvenance> {
+        if !self.rounds.contains_key(block) {
+            return None;
+        }
+        Some(
+            self.provenance
+                .get(block)
+                .copied()
+                .unwrap_or(LeaseProvenance::Unlinked),
+        )
     }
 
     /// Drops `block`'s lease and returns its requests, if one is live.
     pub fn remove(&mut self, block: &BlockHash) -> Option<Vec<Request>> {
         let round = self.rounds.remove(block)?;
+        self.provenance.remove(block);
         Some(
             self.leases
                 .remove(&(round, *block))
                 .expect("lease index and table agree"),
         )
+    }
+
+    /// Certificate-conflict sweep: a round-`round` block `committed`
+    /// just won its round, so every round-`round + 1` lease whose
+    /// [`Optimistic`](LeaseProvenance::Optimistic) parent is a *known
+    /// round-≤-`round` block other than `committed`* extends a dead fork
+    /// and can never commit. Removes those leases and returns their
+    /// request lists in block-id order.
+    ///
+    /// Must run **before** the round-sweep release for `round`: the
+    /// losing parent's own live lease is what pins its round here. A
+    /// parent whose round is unknown (no live lease — e.g. an empty
+    /// block, or a block that already committed at a skipped-past round)
+    /// is left alone; the next commit's round sweep still covers it, so
+    /// this is strictly an eagerness improvement, never a new loss.
+    pub fn take_conflicting(&mut self, round: Round, committed: &BlockHash) -> Vec<Vec<Request>> {
+        let next = round.0.saturating_add(1);
+        let doomed: Vec<BlockHash> = self
+            .leases
+            .range((next, BlockHash([0x00; 32]))..=(next, BlockHash([0xFF; 32])))
+            .filter(|((_, block), _)| match self.provenance.get(block) {
+                Some(LeaseProvenance::Optimistic { parent }) => {
+                    parent != committed && self.rounds.get(parent).is_some_and(|r| *r <= round.0)
+                }
+                _ => false,
+            })
+            .map(|((_, block), _)| *block)
+            .collect();
+        doomed
+            .into_iter()
+            .map(|block| self.remove(&block).expect("collected above"))
+            .collect()
     }
 
     /// Removes every lease whose round is ≤ `round` — those blocks lost
@@ -171,6 +256,75 @@ mod tests {
         assert!(ex.contains(&1) && ex.contains(&2));
         assert!(!ex.contains(&3), "competing fork is not excluded");
         assert!(t.exclusions(&[]).is_empty());
+    }
+
+    #[test]
+    fn provenance_is_recorded_and_cleared_with_the_lease() {
+        let mut t = LeaseTable::new();
+        t.observe(hash(1), Round(1), vec![req(1)]);
+        t.observe_with_provenance(
+            hash(2),
+            Round(2),
+            vec![req(2)],
+            LeaseProvenance::Optimistic { parent: hash(1) },
+        );
+        assert_eq!(t.provenance(&hash(1)), Some(LeaseProvenance::Unlinked));
+        assert_eq!(
+            t.provenance(&hash(2)),
+            Some(LeaseProvenance::Optimistic { parent: hash(1) })
+        );
+        t.remove(&hash(2));
+        assert_eq!(t.provenance(&hash(2)), None);
+    }
+
+    #[test]
+    fn take_conflicting_releases_only_dead_fork_children() {
+        let mut t = LeaseTable::new();
+        // Round 1: winner `hash(1)` (committed, so no live lease) and
+        // loser `hash(2)` (live lease pins its round).
+        t.observe(hash(2), Round(1), vec![req(2)]);
+        // Round 2: a child of each, plus an unlinked lease.
+        t.observe_with_provenance(
+            hash(3),
+            Round(2),
+            vec![req(3)],
+            LeaseProvenance::Optimistic { parent: hash(1) },
+        );
+        t.observe_with_provenance(
+            hash(4),
+            Round(2),
+            vec![req(4)],
+            LeaseProvenance::Optimistic { parent: hash(2) },
+        );
+        t.observe(hash(5), Round(2), vec![req(5)]);
+        let released: Vec<u64> = t
+            .take_conflicting(Round(1), &hash(1))
+            .into_iter()
+            .flatten()
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(released, [4], "only the dead-fork child is released");
+        assert!(t.get(&hash(3)).is_some(), "winner's child survives");
+        assert!(t.get(&hash(5)).is_some(), "unlinked lease survives");
+        assert!(
+            t.get(&hash(2)).is_some(),
+            "the loser itself awaits the round sweep"
+        );
+    }
+
+    #[test]
+    fn take_conflicting_leaves_unknown_round_parents_alone() {
+        let mut t = LeaseTable::new();
+        // Parent has no live lease, so its round can't be established:
+        // it might be a committed skipped-round ancestor. Keep the lease.
+        t.observe_with_provenance(
+            hash(4),
+            Round(2),
+            vec![req(4)],
+            LeaseProvenance::Optimistic { parent: hash(7) },
+        );
+        assert!(t.take_conflicting(Round(1), &hash(1)).is_empty());
+        assert!(t.get(&hash(4)).is_some());
     }
 
     #[test]

@@ -114,7 +114,7 @@ mod lease;
 pub use concurrent::{
     ConcurrentMempoolSource, ConcurrentPool, PoolIngest, SharedConcurrentPool, DEFAULT_INGEST_CAP,
 };
-pub use lease::LeaseTable;
+pub use lease::{LeaseProvenance, LeaseTable};
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
@@ -579,12 +579,21 @@ impl Mempool {
             return false;
         };
         let hash = block.hash(payload_chunk);
-        self.observe_block(hash, block.round, batch.requests)
+        self.leases.observe_with_provenance(
+            hash,
+            block.round,
+            batch.requests,
+            LeaseProvenance::Optimistic {
+                parent: block.parent,
+            },
+        )
     }
 
     /// Records a lease directly: `block` (of `round`) carries `requests`.
     /// The decoded form of [`observe_proposal`](Self::observe_proposal),
     /// exposed for drivers that already hold the batch and for tests.
+    /// Recorded [unlinked](LeaseProvenance::Unlinked) — use
+    /// [`observe_linked`](Self::observe_linked) when the parent is known.
     /// Idempotent per block id; returns `true` when newly recorded.
     pub fn observe_block(
         &mut self,
@@ -595,12 +604,38 @@ impl Mempool {
         self.leases.observe(block, round, requests)
     }
 
+    /// [`observe_block`](Self::observe_block) with
+    /// [`Optimistic`](LeaseProvenance::Optimistic) parent provenance,
+    /// enabling the eager certificate-conflict release of
+    /// [`mark_committed_block`](Self::mark_committed_block).
+    pub fn observe_linked(
+        &mut self,
+        block: BlockHash,
+        round: Round,
+        parent: BlockHash,
+        requests: Vec<Request>,
+    ) -> bool {
+        self.leases.observe_with_provenance(
+            block,
+            round,
+            requests,
+            LeaseProvenance::Optimistic { parent },
+        )
+    }
+
     /// Commit-side lease retirement: marks every request of the committed
     /// `block` [committed](Self::mark_committed), drops its lease, and
     /// **releases** every remaining lease at or below `round` — those
     /// blocks lost the fork (or their round was skipped past), so their
     /// requests can never commit through them and re-enter the pending
     /// queue with their original id and submit timestamp.
+    ///
+    /// It also releases **eagerly on certificate-conflict**: a round-
+    /// `round + 1` lease whose [`Optimistic`](LeaseProvenance::Optimistic)
+    /// parent is a round-≤-`round` block other than `block` extends a
+    /// fork this commit just killed, yet sits *above* the release
+    /// horizon — without the eager sweep its requests would strand until
+    /// the next commit (the fork-abandonment blind spot).
     ///
     /// With speculation off this reduces to per-id `mark_committed`
     /// calls, preserving the historical commit path bit-for-bit.
@@ -610,7 +645,14 @@ impl Mempool {
         }
         // The committed block's own lease is fulfilled, not released.
         self.leases.remove(&block);
+        // Collect dead-fork children *before* the round sweep releases
+        // the losing parents whose live leases pin their rounds, but
+        // reinsert after it so requests re-pend in ascending round order.
+        let conflicting = self.leases.take_conflicting(round, &block);
         self.release_below(round);
+        for requests in conflicting {
+            self.reinsert_all(requests);
+        }
     }
 
     /// Fork abandonment / round skip: drops `block`'s lease and returns
@@ -1422,6 +1464,36 @@ mod tests {
                 .collect::<Vec<_>>(),
             [(4, Time(4)), (1, Time(1)), (2, Time(2))],
             "released requests re-enter with original id+timestamp"
+        );
+    }
+
+    #[test]
+    fn certificate_conflict_releases_the_stranded_optimistic_lease() {
+        // The fork-abandonment blind spot: an optimistic round-8 block D
+        // extends the round-7 loser A. When B commits at round 7, the
+        // round sweep only reaches ≤ 7, so D's lease used to strand until
+        // the *next* commit — its requests invisible to both forks.
+        let mut mp = Mempool::new(100).with_speculation(64 * 1024);
+        // All four blocks were observed from peers; none of their
+        // requests is pending locally, so a release visibly re-enters.
+        mp.observe_block(hash(0xA), Round(7), vec![req(11, 11)]);
+        mp.observe_block(hash(0xB), Round(7), vec![req(12, 12)]);
+        mp.observe_linked(hash(0xD), Round(8), hash(0xA), vec![req(13, 13)]);
+        // A round-8 child of the *winner* must survive the sweep.
+        mp.observe_linked(hash(0xE), Round(8), hash(0xB), vec![req(14, 14)]);
+        assert_eq!(mp.live_leases(), 4);
+
+        mp.mark_committed_block(hash(0xB), Round(7), &[req(12, 12)]);
+        assert_eq!(mp.live_leases(), 1, "only E (winner's child) survives");
+        assert!(mp.lease(&hash(0xE)).is_some());
+        assert_eq!(mp.released(), 2, "A's {{11}} and D's {{13}} re-enter now");
+        let back = mp.drain_speculative(10, u64::MAX, &ctx(9, &[]), &BatchPolicy::EAGER);
+        assert_eq!(
+            back.iter()
+                .map(|r| (r.id, r.submitted_at))
+                .collect::<Vec<_>>(),
+            [(11, Time(11)), (13, Time(13))],
+            "eagerly released with original id+timestamp, round-major order"
         );
     }
 

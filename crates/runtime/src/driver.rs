@@ -398,6 +398,37 @@ mod tests {
         assert_eq!(t.stale_dropped(), 0);
     }
 
+    /// The optimistic-pipelining fallback contract: the round-r+1 leader
+    /// arms its fallback `Propose` timer while the engine is still in
+    /// round r. Drivers must hold that future-round timer (never drop it
+    /// as stale) and deliver it once the engine reaches round r+1 — if
+    /// the driver swallowed it, an uncertified optimistic parent would
+    /// leave the round leaderless instead of falling back.
+    #[test]
+    fn future_round_propose_timer_survives_until_its_round() {
+        let fallback = TimerKind::Propose { round: 8 };
+        // Still in round 7 when armed: not stale.
+        assert!(!is_stale(&fallback, Round(7)));
+        // Still in its own round when due: not stale.
+        assert!(!is_stale(&fallback, Round(8)));
+        // Only once the engine moves past round 8 is it abandoned.
+        assert!(is_stale(&fallback, Round(9)));
+
+        let mut t = TimerSet::new();
+        t.arm(
+            TimerRequest {
+                at: Time(30),
+                kind: fallback,
+            },
+            Time(0),
+        );
+        // Due while the engine is still in round 7 (the optimistic parent
+        // has not certified yet): the fallback must fire, not vanish.
+        let popped = t.pop_due(Time(30), Round(7)).expect("fallback delivered");
+        assert_eq!(popped, (Time(30), fallback));
+        assert_eq!(t.stale_dropped(), 0, "future-round timer counted stale");
+    }
+
     #[test]
     fn vec_commit_sink_collects_in_order() {
         use banyan_types::ids::BlockHash;

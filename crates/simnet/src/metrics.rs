@@ -407,6 +407,35 @@ impl RunMetrics {
         times.windows(2).map(|w| w[1].since(w[0])).collect()
     }
 
+    /// Intervals between consecutive **explicit** commits at `replica`.
+    /// Implicit (ancestor-flush) commits land at the same instant as the
+    /// explicit commit that finalized them and would zero the gaps, so
+    /// they are excluded — what remains is the cadence at which the chain
+    /// actually certifies-and-finalizes, the meter optimistic pipelining
+    /// is supposed to move.
+    pub fn explicit_commit_intervals(&self, replica: ReplicaId) -> Vec<Duration> {
+        let mut times: Vec<Time> = self
+            .commits
+            .iter()
+            .filter(|c| c.replica == replica && c.entry.explicit)
+            .map(|c| c.entry.committed_at)
+            .collect();
+        times.sort_unstable();
+        times.windows(2).map(|w| w[1].since(w[0])).collect()
+    }
+
+    /// Mean of [`Self::explicit_commit_intervals`] in milliseconds
+    /// (0 with fewer than two explicit commits). Divided by the network
+    /// delay bound Δ this is the sweep's *rounds-per-commit* meter: how
+    /// many Δ-spans pass between consecutive finalizations.
+    pub fn mean_commit_interval_ms(&self, replica: ReplicaId) -> f64 {
+        let intervals = self.explicit_commit_intervals(replica);
+        if intervals.is_empty() {
+            return 0.0;
+        }
+        intervals.iter().map(|d| d.as_millis_f64()).sum::<f64>() / intervals.len() as f64
+    }
+
     /// Fraction of explicit commits that used the fast path, at `replica`.
     pub fn fast_path_share(&self, replica: ReplicaId) -> f64 {
         let explicit: Vec<_> = self
@@ -725,6 +754,46 @@ mod tests {
         assert_eq!(summary.min_client_mean_ms, 0.0);
         assert_eq!(summary.max_client_mean_ms, 0.0);
         assert_eq!(summary.goodput_rps, 0.0);
+    }
+
+    #[test]
+    fn explicit_commit_intervals_skip_implicit_flushes() {
+        let mut implicit = entry(2, 2, 0, 0, 300);
+        implicit.explicit = false;
+        let metrics = RunMetrics {
+            commits: vec![
+                ObservedCommit {
+                    replica: ReplicaId(0),
+                    entry: entry(1, 1, 0, 0, 100),
+                },
+                // Ancestor flush at the same instant as the next explicit
+                // commit: must not contribute a zero-width interval.
+                ObservedCommit {
+                    replica: ReplicaId(0),
+                    entry: implicit,
+                },
+                ObservedCommit {
+                    replica: ReplicaId(0),
+                    entry: entry(3, 3, 0, 0, 300),
+                },
+                ObservedCommit {
+                    replica: ReplicaId(0),
+                    entry: entry(4, 4, 0, 0, 700),
+                },
+            ],
+            end_time: Time(1_000),
+            ..Default::default()
+        };
+        assert_eq!(
+            metrics.explicit_commit_intervals(ReplicaId(0)),
+            vec![Duration(200), Duration(400)]
+        );
+        let mean = metrics.mean_commit_interval_ms(ReplicaId(0));
+        assert!((mean - 300.0e-6).abs() < 1e-12, "mean of 200 ns and 400 ns");
+        assert_eq!(
+            RunMetrics::default().mean_commit_interval_ms(ReplicaId(0)),
+            0.0
+        );
     }
 
     #[test]

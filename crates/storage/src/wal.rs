@@ -19,7 +19,8 @@
 //! segments are deleted, so recovery always yields a consistent *prefix*
 //! of the mutation history (never a gap).
 //!
-//! When the live segment exceeds [`WalStore::segment_limit`], the store
+//! When the live segment exceeds the rotation threshold (see
+//! [`WalStore::open_with`]), the store
 //! rotates: it opens a fresh segment whose first record is a
 //! `Checkpoint` of the current state and deletes all older segments —
 //! this is how log bytes "wholly below the commit frontier" are pruned

@@ -251,7 +251,7 @@ pub fn verify_frame(
                 if let (Some(pool), Some(batch)) = (pool, batch) {
                     // Record the lease under the hash just computed; the
                     // consensus thread skips its own observation pass.
-                    pool.observe_decoded(hash, block.round, batch.requests);
+                    pool.observe_decoded(hash, block.round, block.parent, batch.requests);
                 }
             }
             stats.verified.fetch_add(1, Ordering::Relaxed);
@@ -847,5 +847,83 @@ mod tests {
         assert_eq!(s.verified, 1);
         assert_eq!(s.rejected, 2);
         assert_eq!(s.requests_ingested, 2);
+    }
+
+    /// An *optimistic* chained proposal — uncertified parent, so
+    /// `parent_notarization: None` and a withheld `fast_vote: None` — must
+    /// flow through the verify stage exactly like a certified one: hash
+    /// recomputed, lease recorded under the parent link, and the message
+    /// forwarded to the engine with every field untouched. The verify
+    /// pool is deliberately certification-blind; optimism needs no new
+    /// wire handling.
+    #[test]
+    fn optimistic_proposal_passes_the_verify_pool_unchanged() {
+        use banyan_crypto::Signature;
+        use banyan_types::ids::{BlockHash, Rank, Round};
+        use banyan_types::message::ChainedMsg;
+        let config = PipelineConfig::default();
+        let stats = PipelineStats::default();
+        let pool = ConcurrentPool::new(Mempool::new(64).with_speculation(config.payload_chunk), 64);
+
+        // The parent is a round-1 block the pool knows only as a lease —
+        // received, never certified. Its child is the optimistic proposal.
+        let parent = Block {
+            round: Round(1),
+            proposer: ReplicaId(0),
+            rank: Rank(0),
+            parent: BlockHash::ZERO,
+            proposed_at: BTime::ZERO,
+            payload: WorkloadBatch {
+                requests: vec![req(1)],
+            }
+            .into_payload(),
+            signature: Signature::zero(),
+        };
+        let parent_hash = parent.hash(config.payload_chunk);
+        let parent_msg = Message::Chained(ChainedMsg::Proposal {
+            block: parent,
+            parent_notarization: None,
+            parent_unlock: None,
+            fast_vote: None,
+        });
+        assert!(matches!(
+            verify_frame(ReplicaId(1), parent_msg, Some(&*pool), &config, &stats),
+            VerifyOutcome::Engine(..)
+        ));
+
+        let child = Block {
+            round: Round(2),
+            proposer: ReplicaId(2),
+            rank: Rank(0),
+            parent: parent_hash,
+            proposed_at: BTime::ZERO,
+            payload: WorkloadBatch {
+                requests: vec![req(2)],
+            }
+            .into_payload(),
+            signature: Signature::zero(),
+        };
+        let msg = Message::Chained(ChainedMsg::Proposal {
+            block: child.clone(),
+            parent_notarization: None,
+            parent_unlock: None,
+            fast_vote: None,
+        });
+        match verify_frame(ReplicaId(2), msg.clone(), Some(&*pool), &config, &stats) {
+            VerifyOutcome::Engine(from, forwarded) => {
+                assert_eq!(from, ReplicaId(2));
+                assert_eq!(
+                    forwarded, msg,
+                    "the verify stage must not rewrite an optimistic proposal"
+                );
+            }
+            other => panic!("expected Engine, got {other:?}"),
+        }
+        // Both proposals' leases live — parent first, then its optimistic
+        // child linked to the still-uncertified parent hash.
+        assert_eq!(pool.live_leases(), 2, "both leases recorded");
+        let s = stats.snapshot();
+        assert_eq!(s.verified, 2);
+        assert_eq!(s.rejected, 0, "optimistic shape must not be rejected");
     }
 }
