@@ -56,6 +56,10 @@ fn run_with_beacon(seeded: Option<u64>, topo: &Topology, payload: u64, secs: u64
         sync_blocks_served: 0,
         restart_recovery_ms: 0,
         wal_bytes: 0,
+        sigs_verified: 0,
+        verify_batches: 0,
+        cert_cache_hits: 0,
+        verify_cpu_ms: 0,
         committed_rounds: sim.auditor().committed_rounds(),
         messages: m.messages_sent,
         bytes: m.bytes_sent,

@@ -1,0 +1,170 @@
+//! **Crypto microbenchmark**: individual vs RLC-batched Schnorr
+//! verification, and naive vs compact aggregate-certificate checking.
+//!
+//! The verify plane's whole premise is that one random-linear-combination
+//! equation over k signatures beats k independent equations, and that a
+//! compact certificate (shared `s̃`, per-member `Rᵢ`) verifies in one
+//! combined check instead of one equation per member. This harness
+//! measures both claims directly on the toy scheme, wall-clock, outside
+//! any simulator — the number the CI gate pins.
+//!
+//! Run: `cargo run --release -p banyan-bench --bin crypto_microbench -- \
+//!       [--assert-speedup X] [--k K] [rounds]`
+//!
+//! * `--assert-speedup X` exits nonzero unless batched verification at
+//!   the configured batch size is at least `X`× faster than individual
+//!   verification (the CI regression gate; the PR that introduced the
+//!   batcher measured ≥ 1.5× at k=32);
+//! * `--k K` sets the batch/certificate size (default 32 — a quorum-ish
+//!   burst);
+//! * `rounds` sets how many timed repetitions to run (default 200; the
+//!   fastest round is reported, which is the standard way to strip
+//!   scheduler noise from a CPU-bound microbench).
+
+use std::time::{Duration, Instant};
+
+use banyan_crypto::sig::{BatchItem, SignatureScheme};
+use banyan_crypto::ToySchnorr;
+
+struct Args {
+    assert_speedup: Option<f64>,
+    k: usize,
+    rounds: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        assert_speedup: None,
+        k: 32,
+        rounds: 200,
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--assert-speedup" => {
+                args.assert_speedup = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--assert-speedup takes a ratio"),
+                )
+            }
+            "--k" => {
+                args.k = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&k: &usize| k >= 2)
+                    .expect("--k takes a batch size of at least 2")
+            }
+            other => match other.parse() {
+                Ok(v) => args.rounds = v,
+                Err(_) => panic!("unknown argument {other:?}"),
+            },
+        }
+    }
+    args
+}
+
+/// The fastest of `rounds` timed repetitions of `work` — the standard
+/// noise-stripping reduction for a CPU-bound microbench.
+fn best_of(rounds: usize, mut work: impl FnMut()) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        work();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+fn main() {
+    let args = parse_args();
+    let k = args.k;
+    let scheme = ToySchnorr::new();
+    let compact = ToySchnorr::compact();
+
+    // k distinct signers, each signing its own distinct message — the
+    // shape of a vote burst arriving at a replica.
+    let keys: Vec<_> = (0..k)
+        .map(|i| {
+            let mut seed = [0u8; 32];
+            seed[..8].copy_from_slice(&(i as u64).to_le_bytes());
+            scheme.keygen(&seed)
+        })
+        .collect();
+    let msgs: Vec<Vec<u8>> = (0..k).map(|i| format!("vote:{i}").into_bytes()).collect();
+    let sigs: Vec<_> = keys
+        .iter()
+        .zip(&msgs)
+        .map(|((sk, _), m)| scheme.sign(sk, m))
+        .collect();
+    let items: Vec<BatchItem<'_>> = keys
+        .iter()
+        .zip(&msgs)
+        .zip(&sigs)
+        .map(|(((_, pk), msg), sig)| BatchItem { pk, msg, sig })
+        .collect();
+
+    // --- individual vs batched verification --------------------------
+    let individual = best_of(args.rounds, || {
+        for it in &items {
+            assert!(scheme.verify(it.pk, it.msg, it.sig));
+        }
+    });
+    let batched = best_of(args.rounds, || {
+        assert!(scheme.batch_verify(&items).iter().all(|&ok| ok));
+    });
+    let speedup = individual.as_secs_f64() / batched.as_secs_f64();
+    let per_sig = |d: Duration| d.as_secs_f64() / k as f64;
+    println!(
+        "# ToySchnorr verification, k={k}, best of {} rounds",
+        args.rounds
+    );
+    println!(
+        "individual: {:>10.1} sigs/s  ({:.2} µs/sig)",
+        1.0 / per_sig(individual),
+        per_sig(individual) * 1e6
+    );
+    println!(
+        "batched:    {:>10.1} sigs/s  ({:.2} µs/sig)   speedup {speedup:.2}x",
+        1.0 / per_sig(batched),
+        per_sig(batched) * 1e6
+    );
+
+    // --- naive vs compact aggregate certificates ----------------------
+    // One quorum certificate: k signers over the *same* message.
+    let cert_msg = b"certify:round-7".to_vec();
+    let cert_sigs: Vec<_> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, (sk, _))| (i as u16, scheme.sign(sk, &cert_msg)))
+        .collect();
+    let pks: Vec<_> = keys.iter().map(|(_, pk)| *pk).collect();
+    let naive_agg = scheme.aggregate(k, &cert_sigs);
+    let compact_agg = compact.aggregate(k, &cert_sigs);
+    let naive = best_of(args.rounds, || {
+        assert!(scheme.verify_aggregate(&pks, &cert_msg, &naive_agg));
+    });
+    let compact_t = best_of(args.rounds, || {
+        assert!(compact.verify_aggregate(&pks, &cert_msg, &compact_agg));
+    });
+    let agg_speedup = naive.as_secs_f64() / compact_t.as_secs_f64();
+    println!("# aggregate certificate over {k} signers");
+    println!(
+        "naive:      {:>10.2} µs/cert  ({} bytes)",
+        naive.as_secs_f64() * 1e6,
+        naive_agg.data.len()
+    );
+    println!(
+        "compact:    {:>10.2} µs/cert  ({} bytes)   speedup {agg_speedup:.2}x",
+        compact_t.as_secs_f64() * 1e6,
+        compact_agg.data.len()
+    );
+
+    if let Some(min) = args.assert_speedup {
+        if speedup < min {
+            eprintln!("FAIL: batched speedup {speedup:.2}x below the {min:.2}x gate at k={k}");
+            std::process::exit(1);
+        }
+    }
+}

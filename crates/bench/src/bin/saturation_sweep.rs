@@ -53,6 +53,17 @@
 //!   icc row's rounds-per-commit with optimism on is strictly below its
 //!   flag-off baseline *and* its knee p50 latency does not regress — the
 //!   CI gate for the pipelining win itself;
+//! * `--crypto` switches the harness to the **measured-crypto sweep**:
+//!   the banyan engine is swept at n=4 in all three [`CryptoMode`]s
+//!   (off / unbatched / batched — the sigs/batches/cacheh/vcpu.ms
+//!   columns go live), then the batched configuration is scaled over a
+//!   geo-distributed cluster of n ∈ {4, 8, 16, 32, 64} replicas cycled
+//!   through the real AWS region catalog;
+//! * `--assert-crypto` (requires `--crypto`) exits nonzero unless the
+//!   batched knee goodput stays within 1.5× of crypto-off *and* strictly
+//!   beats unbatched, the batched run actually batched and hit its cert
+//!   cache, and (with retry/gossip on) no point lost a request — the CI
+//!   gate that keeps crypto-on the viable measured configuration;
 //! * `secs` overrides the per-point measured duration.
 //!
 //! Without dissemination flags the sweep reproduces the historical
@@ -62,12 +73,13 @@
 //! `--retry-ms`, lost requests re-enter the system and goodput holds its
 //! plateau.
 
-use banyan_bench::runner::Scenario;
+use banyan_bench::runner::{CryptoMode, Scenario};
 use banyan_bench::sweep::{
     knee_index, knee_p50_ms, mean_rounds_per_commit, measure, point_row, sweep_header, sweep_json,
     SweepPoint,
 };
 use banyan_simnet::topology::Topology;
+use banyan_simnet::AWS_REGIONS;
 use banyan_types::time::Duration;
 
 struct Args {
@@ -82,9 +94,11 @@ struct Args {
     shards: usize,
     restart: bool,
     optimistic: bool,
+    crypto: bool,
     assert_no_drop: bool,
     assert_max_dups: bool,
     assert_rpc: bool,
+    assert_crypto: bool,
     secs: Option<u64>,
 }
 
@@ -101,9 +115,11 @@ fn parse_args() -> Args {
         shards: 1,
         restart: false,
         optimistic: false,
+        crypto: false,
         assert_no_drop: false,
         assert_max_dups: false,
         assert_rpc: false,
+        assert_crypto: false,
         secs: None,
     };
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -116,9 +132,11 @@ fn parse_args() -> Args {
             "--speculative" => args.speculative = true,
             "--restart" => args.restart = true,
             "--optimistic" => args.optimistic = true,
+            "--crypto" => args.crypto = true,
             "--assert-no-drop" => args.assert_no_drop = true,
             "--assert-max-dups" => args.assert_max_dups = true,
             "--assert-rpc" => args.assert_rpc = true,
+            "--assert-crypto" => args.assert_crypto = true,
             "--retry-ms" => {
                 args.retry_ms = Some(
                     it.next()
@@ -174,6 +192,14 @@ fn main() {
         !args.assert_rpc || args.optimistic,
         "--assert-rpc compares against the optimistic rows; pass --optimistic too"
     );
+    assert!(
+        !args.assert_crypto || args.crypto,
+        "--assert-crypto gates the crypto sweep; pass --crypto too"
+    );
+    if args.crypto {
+        crypto_sweep(&args);
+        return;
+    }
     let batch_policy = args
         .batch_min_bytes
         .map(|min| (min, Duration::from_millis(args.batch_age_ms.unwrap_or(50))));
@@ -329,6 +355,225 @@ fn main() {
             eprintln!("FAIL: {f}");
         }
         std::process::exit(1);
+    }
+}
+
+/// The measured-crypto sweep (`--crypto`): banyan at n=4 in all three
+/// crypto modes, then the batched configuration scaled over
+/// geo-distributed clusters of 4…64 replicas cycled through the AWS
+/// region catalog. Every run charges the calibrated per-verify CPU cost
+/// in virtual time, so the goodput deltas between the modes *are* the
+/// crypto bill.
+fn crypto_sweep(args: &Args) {
+    let secs: u64 = args.secs.unwrap_or(if args.quick { 2 } else { 8 });
+    let populations: &[u16] = if args.quick {
+        &[4, 16, 64]
+    } else {
+        &[4, 8, 16, 32, 64, 128]
+    };
+    let window = 4;
+    let think = Duration::ZERO;
+    let request_size = 512;
+    let seed = 42;
+    let disseminating = args.gossip || args.retry_ms.is_some() || args.fanout > 1;
+    let drain_secs = if disseminating {
+        (3 * args.retry_ms.unwrap_or(500)).div_ceil(1_000).max(2)
+    } else {
+        0
+    };
+    let batch_policy = args
+        .batch_min_bytes
+        .map(|min| (min, Duration::from_millis(args.batch_age_ms.unwrap_or(50))));
+    // The default 1 Gbit/s egress: crypto CPU, not serialization, should
+    // be the contended resource this sweep measures.
+    let apply = |mut base: Scenario| {
+        base = base
+            .request_size(request_size)
+            .secs(secs)
+            .seed(seed)
+            .drain(drain_secs)
+            .fanout(args.fanout)
+            .shards(args.shards);
+        if args.gossip {
+            base = base.gossip();
+        }
+        if let Some(ms) = args.retry_ms {
+            base = base.retry_timeout(Duration::from_millis(ms));
+        }
+        if args.speculative {
+            base = base.speculative_drain();
+        }
+        if let Some((min_bytes, max_age)) = batch_policy {
+            base = base.batch_policy(min_bytes, max_age);
+        }
+        base
+    };
+
+    if !args.json {
+        println!(
+            "# Measured-crypto sweep — banyan, window={window}, {request_size} B requests, \
+             think=0, {secs}s per point, seed={seed}"
+        );
+        println!(
+            "# modes: off = placeholder hashes, free; unbatched = toy Schnorr, one equation per \
+             signature; batched = RLC vote batching + compact certs + verdict cache\n\
+             # vcpu.ms charges an Ed25519-class cost model (40 µs/sig, 15 µs + 20 µs/sig batched)\n"
+        );
+    }
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut knees: [Option<SweepPoint>; 3] = [None, None, None];
+    let mut all_points: Vec<Vec<SweepPoint>> = Vec::new();
+    let modes = [CryptoMode::Off, CryptoMode::Unbatched, CryptoMode::Batched];
+    for (i, &mode) in modes.iter().enumerate() {
+        let base = apply(
+            Scenario::new(
+                "banyan",
+                Topology::uniform(4, Duration::from_millis(5)),
+                1,
+                1,
+            )
+            .crypto(mode),
+        );
+        let points: Vec<SweepPoint> = populations
+            .iter()
+            .map(|&clients| measure(&base, clients, window, think))
+            .collect();
+        let knee = knee_index(&points);
+        knees[i] = knee.map(|k| points[k].clone());
+        if args.json {
+            println!(
+                "{}",
+                sweep_json(&format!("banyan+crypto-{}", mode.label()), &points)
+            );
+        } else {
+            println!("## banyan, crypto {} (n=4)", mode.label());
+            println!("{}", sweep_header());
+            for (j, p) in points.iter().enumerate() {
+                println!("{}", point_row(p, knee == Some(j)));
+            }
+            println!();
+        }
+        all_points.push(points);
+    }
+
+    // Geo scale: the batched (measured) configuration over clusters spread
+    // across the real AWS regions, one saturating population per size.
+    let sizes: &[usize] = if args.quick {
+        &[4, 8, 16]
+    } else {
+        &[4, 8, 16, 32, 64]
+    };
+    if !args.json {
+        println!("## banyan, crypto batched — geo scale (AWS regions, f = ⌊(n−1)/3⌋)");
+        println!("{:>4} {}", "n", sweep_header());
+    }
+    for &n in sizes {
+        let sites: Vec<_> = (0..n).map(|i| AWS_REGIONS[i % AWS_REGIONS.len()]).collect();
+        let f = (n - 1) / 3;
+        let base = apply(
+            Scenario::new("banyan", Topology::from_sites(&sites), f, 1).crypto(CryptoMode::Batched),
+        );
+        let p = measure(&base, 32, window, think);
+        if args.json {
+            println!(
+                "{}",
+                sweep_json(
+                    &format!("banyan+crypto-batched-n{n}"),
+                    std::slice::from_ref(&p)
+                )
+            );
+        } else {
+            println!("{:>4} {}", n, point_row(&p, false));
+        }
+        if p.committed == 0 {
+            failures.push(format!("geo n={n}: nothing committed"));
+        }
+        if disseminating && p.lost > 0 {
+            failures.push(format!(
+                "geo n={n}: {} request(s) lost despite retry/gossip",
+                p.lost
+            ));
+        }
+        if p.sigs == 0 || p.batches == 0 {
+            failures.push(format!(
+                "geo n={n}: crypto plane idle (sigs={} batches={})",
+                p.sigs, p.batches
+            ));
+        }
+    }
+    if !args.json {
+        println!();
+    }
+
+    if args.assert_crypto {
+        check_crypto(&knees, &all_points, disseminating, &mut failures);
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// The crypto-viability gate (`--assert-crypto`): at the n=4 knee,
+/// turning full crypto on may cost at most 1.5× in goodput against the
+/// free placeholder scheme, batching must strictly beat the unbatched
+/// configuration it optimizes, and the batched run must show real
+/// batches and cert-cache hits (otherwise the mode silently degraded to
+/// per-signature checking and the comparison is vacuous). With
+/// retry/gossip on, no point may lose a request.
+fn check_crypto(
+    knees: &[Option<SweepPoint>; 3],
+    all_points: &[Vec<SweepPoint>],
+    disseminating: bool,
+    failures: &mut Vec<String>,
+) {
+    let [off, unbatched, batched] = knees;
+    match (off, batched) {
+        (Some(o), Some(b)) if b.goodput_rps * 1.5 >= o.goodput_rps => {}
+        (o, b) => failures.push(format!(
+            "crypto-on knee goodput worse than 1.5x off (batched={:?} off={:?} req/s)",
+            b.as_ref().map(|p| p.goodput_rps),
+            o.as_ref().map(|p| p.goodput_rps),
+        )),
+    }
+    match (unbatched, batched) {
+        (Some(u), Some(b)) if b.goodput_rps > u.goodput_rps => {}
+        (u, b) => failures.push(format!(
+            "batched knee goodput not strictly above unbatched (batched={:?} unbatched={:?} req/s)",
+            b.as_ref().map(|p| p.goodput_rps),
+            u.as_ref().map(|p| p.goodput_rps),
+        )),
+    }
+    if let Some(b) = batched {
+        if b.sigs == 0 || b.batches == 0 || b.cache_hits == 0 {
+            failures.push(format!(
+                "batched knee shows an idle crypto plane (sigs={} batches={} cache_hits={})",
+                b.sigs, b.batches, b.cache_hits
+            ));
+        }
+    }
+    if let Some(u) = unbatched {
+        if u.batches != 0 || u.cache_hits != 0 {
+            failures.push(format!(
+                "unbatched mode batched or cached anyway (batches={} cache_hits={})",
+                u.batches, u.cache_hits
+            ));
+        }
+    }
+    if disseminating {
+        for (mode, points) in ["off", "unbatched", "batched"].iter().zip(all_points) {
+            for p in points {
+                if p.lost > 0 {
+                    failures.push(format!(
+                        "crypto {mode}: {} request(s) lost at {} clients despite retry/gossip",
+                        p.lost, p.clients
+                    ));
+                }
+            }
+        }
     }
 }
 

@@ -15,6 +15,7 @@ pub mod runner;
 pub mod sweep;
 
 pub use runner::{
-    build_simulation, header, human_bytes, row, run, run_metrics, run_observed, Outcome, Scenario,
+    build_simulation, header, human_bytes, row, run, run_metrics, run_observed, CryptoMode,
+    Outcome, Scenario,
 };
 pub use sweep::{knee_index, measure, point_json, point_row, sweep_header, sweep_json, SweepPoint};

@@ -5,13 +5,16 @@
 //! (§9.2 of the paper): proposer-measured finalization latency, committed
 //! bytes per second at a non-faulty replica, per-replica block intervals.
 
-use banyan_core::builder::ClusterBuilder;
+use std::sync::Arc;
+
+use banyan_core::builder::{ClusterBuilder, VerifyPlaneConfig};
 use banyan_core::chained::{ByzantineMode, OptimisticConfig};
+use banyan_crypto::ToySchnorr;
 use banyan_mempool::BatchPolicy;
 use banyan_runtime::driver::CommitSink;
 use banyan_simnet::faults::FaultPlan;
 use banyan_simnet::metrics::{LatencyStats, RunMetrics, SafetyAuditor};
-use banyan_simnet::sim::{SimConfig, Simulation};
+use banyan_simnet::sim::{CryptoCost, SimConfig, Simulation};
 use banyan_simnet::topology::Topology;
 use banyan_simnet::workload::{
     ClientWorkload, ClosedLoopWorkload, Mempool, MempoolSource, SharedMempool, DEFAULT_MAX_BATCH,
@@ -19,6 +22,50 @@ use banyan_simnet::workload::{
 };
 use banyan_types::ids::ReplicaId;
 use banyan_types::time::{Duration, Time};
+
+/// Which cryptographic configuration a scenario measures.
+///
+/// The paper's evaluation runs with signatures on; this knob makes that
+/// cost — and the two optimizations that pay for it (RLC vote batching
+/// and compact certificates with a verdict cache) — a first-class sweep
+/// axis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CryptoMode {
+    /// The historical configuration: the `HashSig` placeholder scheme,
+    /// no verify plane and no modeled CPU cost. Bit-identical to runs
+    /// built before the crypto plane existed.
+    #[default]
+    Off,
+    /// `ToySchnorr` with naive per-member aggregates, every signature
+    /// checked by its own equation (no batching, no cert cache), and the
+    /// simulator charging the full per-signature CPU cost.
+    Unbatched,
+    /// The measured configuration: `ToySchnorr` with compact
+    /// certificates, RLC-batched vote checks and a certificate-verdict
+    /// LRU cache; the simulator charges the batched CPU discount.
+    Batched,
+}
+
+impl CryptoMode {
+    /// Parses a `--crypto-mode` style argument.
+    pub fn parse(s: &str) -> Option<CryptoMode> {
+        match s {
+            "off" => Some(CryptoMode::Off),
+            "unbatched" => Some(CryptoMode::Unbatched),
+            "batched" => Some(CryptoMode::Batched),
+            _ => None,
+        }
+    }
+
+    /// The mode's sweep label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CryptoMode::Off => "off",
+            CryptoMode::Unbatched => "unbatched",
+            CryptoMode::Batched => "batched",
+        }
+    }
+}
 
 /// A fully specified experiment.
 #[derive(Clone, Debug)]
@@ -103,6 +150,9 @@ pub struct Scenario {
     pub piggyback: bool,
     /// View/epoch timeout for baselines and crash recovery.
     pub timeout: Duration,
+    /// Cryptographic configuration (see [`CryptoMode`]). `Off` by
+    /// default — the historical, cost-free placeholder scheme.
+    pub crypto: CryptoMode,
 }
 
 impl Scenario {
@@ -136,6 +186,7 @@ impl Scenario {
             forwarding: true,
             piggyback: false,
             timeout: Duration::from_secs(3),
+            crypto: CryptoMode::Off,
         }
     }
 
@@ -320,6 +371,12 @@ impl Scenario {
         self.timeout = timeout;
         self
     }
+
+    /// Sets the cryptographic configuration (see [`CryptoMode`]).
+    pub fn crypto(mut self, mode: CryptoMode) -> Self {
+        self.crypto = mode;
+        self
+    }
 }
 
 /// Aggregated results of one scenario run.
@@ -381,6 +438,15 @@ pub struct Outcome {
     /// Write-ahead-log bytes held across all replicas at the end of the
     /// run (0 when engines run on in-memory stores).
     pub wal_bytes: u64,
+    /// Signatures verified across all replicas (aggregate members count
+    /// individually; 0 with [`CryptoMode::Off`]).
+    pub sigs_verified: u64,
+    /// Combined (RLC or multi-signature) checks performed.
+    pub verify_batches: u64,
+    /// Certificate verifications answered from the verdict cache.
+    pub cert_cache_hits: u64,
+    /// Virtual CPU milliseconds charged for verification across the run.
+    pub verify_cpu_ms: u64,
     /// Rounds with at least one committed block.
     pub committed_rounds: usize,
     /// Network messages sent.
@@ -410,6 +476,22 @@ pub fn build_simulation(scenario: &Scenario) -> Simulation {
     if scenario.optimistic {
         builder = builder.optimistic(OptimisticConfig::default());
     }
+    // Crypto plane: `Off` must not touch the builder at all, so the
+    // historical configuration stays bit-identical to pre-crypto runs.
+    builder = match scenario.crypto {
+        CryptoMode::Off => builder,
+        CryptoMode::Unbatched => {
+            builder
+                .scheme(Arc::new(ToySchnorr::new()))
+                .verify_plane(VerifyPlaneConfig {
+                    batch_votes: false,
+                    cert_cache: 0,
+                })
+        }
+        CryptoMode::Batched => builder
+            .scheme(Arc::new(ToySchnorr::compact()))
+            .verify_plane(VerifyPlaneConfig::default()),
+    };
     for (replica, mode) in &scenario.byzantine {
         builder = builder.byzantine(*replica, mode.clone());
     }
@@ -447,11 +529,19 @@ pub fn build_simulation(scenario: &Scenario) -> Simulation {
     );
     let payload_chunk = builder.protocol_config().payload_chunk;
     let engines = builder.build(&scenario.protocol);
+    let mut sim_config = SimConfig::with_seed(scenario.seed);
+    if scenario.crypto != CryptoMode::Off {
+        // Charge the calibrated per-verify cost so the sweep measures
+        // crypto as CPU time, not just counters. Both crypto modes pay
+        // the same constants; batching earns its discount through the
+        // `sigs_batched` counter, not a different price list.
+        sim_config = sim_config.with_crypto_cost(CryptoCost::default());
+    }
     let mut sim = Simulation::new(
         scenario.topology.clone(),
         engines,
         scenario.faults.clone(),
-        SimConfig::with_seed(scenario.seed),
+        sim_config,
     );
     if let Some(pools) = mempools {
         // Decorrelate the client stream from network jitter while keeping
@@ -612,6 +702,10 @@ fn summarize(scenario: &Scenario, m: &RunMetrics, auditor: &SafetyAuditor) -> Ou
         sync_blocks_served: m.sync_blocks_served,
         restart_recovery_ms: m.restart_recovery_ms,
         wal_bytes: m.wal_bytes,
+        sigs_verified: m.sigs_verified,
+        verify_batches: m.verify_batches,
+        cert_cache_hits: m.cert_cache_hits,
+        verify_cpu_ms: m.verify_cpu_ms,
         committed_rounds: auditor.committed_rounds(),
         messages: m.messages_sent,
         bytes: m.bytes_sent,

@@ -64,6 +64,14 @@ pub struct SweepPoint {
     pub recovery_ms: u64,
     /// Write-ahead-log bytes held across replicas at the end of the run.
     pub wal_bytes: u64,
+    /// Signatures verified across all replicas (0 with crypto off).
+    pub sigs: u64,
+    /// Combined (batched) verification checks performed.
+    pub batches: u64,
+    /// Certificate verifications answered from the verdict cache.
+    pub cache_hits: u64,
+    /// Virtual CPU milliseconds charged for verification.
+    pub verify_cpu_ms: u64,
 }
 
 impl SweepPoint {
@@ -152,13 +160,17 @@ pub fn measure(base: &Scenario, clients: u16, window: u32, think_time: Duration)
         sync_blocks: out.sync_blocks_served,
         recovery_ms: out.restart_recovery_ms,
         wal_bytes: out.wal_bytes,
+        sigs: out.sigs_verified,
+        batches: out.verify_batches,
+        cache_hits: out.cert_cache_hits,
+        verify_cpu_ms: out.verify_cpu_ms,
     }
 }
 
 /// Header matching [`point_row`].
 pub fn sweep_header() -> String {
     format!(
-        "{:>8} {:>7} {:>12} {:>10} {:>10} {:>9} {:>6} {:>10} {:>10} {:>6} {:>8} {:>6} {:>6} {:>6} {:>5} {:>7} {:>7} {:>9}  {}",
+        "{:>8} {:>7} {:>12} {:>10} {:>10} {:>9} {:>6} {:>10} {:>10} {:>6} {:>8} {:>6} {:>6} {:>6} {:>5} {:>7} {:>7} {:>9} {:>9} {:>8} {:>7} {:>8}  {}",
         "clients",
         "window",
         "goodput/s",
@@ -177,6 +189,10 @@ pub fn sweep_header() -> String {
         "served",
         "rec.ms",
         "wal.B",
+        "sigs",
+        "batches",
+        "cacheh",
+        "vcpu.ms",
         ""
     )
 }
@@ -184,7 +200,7 @@ pub fn sweep_header() -> String {
 /// Formats one sweep point; `knee` appends the saturation marker.
 pub fn point_row(p: &SweepPoint, knee: bool) -> String {
     format!(
-        "{:>8} {:>7} {:>12.1} {:>10.2} {:>10.2} {:>9.3} {:>6.2} {:>10} {:>10} {:>6} {:>8} {:>6} {:>6.2} {:>6.1} {:>5} {:>7} {:>7} {:>9}  {}",
+        "{:>8} {:>7} {:>12.1} {:>10.2} {:>10.2} {:>9.3} {:>6.2} {:>10} {:>10} {:>6} {:>8} {:>6} {:>6.2} {:>6.1} {:>5} {:>7} {:>7} {:>9} {:>9} {:>8} {:>7} {:>8}  {}",
         p.clients,
         p.window,
         p.goodput_rps,
@@ -203,6 +219,10 @@ pub fn point_row(p: &SweepPoint, knee: bool) -> String {
         p.sync_blocks,
         p.recovery_ms,
         p.wal_bytes,
+        p.sigs,
+        p.batches,
+        p.cache_hits,
+        p.verify_cpu_ms,
         if knee { "<- knee" } else { "" }
     )
 }
@@ -216,7 +236,8 @@ pub fn point_json(p: &SweepPoint) -> String {
          \"submitted\":{},\"committed\":{},\
          \"lost\":{},\"retried\":{},\"duplicates\":{},\"dup_share\":{:.5},\
          \"batch_efficiency\":{:.5},\"sync_requests\":{},\"sync_blocks\":{},\
-         \"recovery_ms\":{},\"wal_bytes\":{}}}",
+         \"recovery_ms\":{},\"wal_bytes\":{},\"sigs\":{},\"batches\":{},\
+         \"cache_hits\":{},\"verify_cpu_ms\":{}}}",
         p.clients,
         p.window,
         p.goodput_rps,
@@ -234,7 +255,11 @@ pub fn point_json(p: &SweepPoint) -> String {
         p.sync_requests,
         p.sync_blocks,
         p.recovery_ms,
-        p.wal_bytes
+        p.wal_bytes,
+        p.sigs,
+        p.batches,
+        p.cache_hits,
+        p.verify_cpu_ms
     )
 }
 
@@ -281,6 +306,10 @@ mod tests {
             sync_blocks: 12,
             recovery_ms: 45,
             wal_bytes: 2048,
+            sigs: 640,
+            batches: 32,
+            cache_hits: 16,
+            verify_cpu_ms: 25,
         }
     }
 
@@ -350,6 +379,12 @@ mod tests {
         assert!(row.contains(" 3 "), "lost column present: {row}");
         assert!(row.contains("98.9"), "efficiency column present: {row}");
         assert!(row.contains("2048"), "wal column present: {row}");
+        assert!(
+            header.contains("sigs") && header.contains("cacheh") && header.contains("vcpu.ms"),
+            "crypto columns in header: {header}"
+        );
+        assert!(row.contains("640"), "sigs column present: {row}");
+        assert!(row.contains("25"), "vcpu column present: {row}");
     }
 
     #[test]
@@ -368,6 +403,10 @@ mod tests {
         assert!(json.contains("\"sync_blocks\":12"));
         assert!(json.contains("\"recovery_ms\":45"));
         assert!(json.contains("\"wal_bytes\":2048"));
+        assert!(json.contains("\"sigs\":640"));
+        assert!(json.contains("\"batches\":32"));
+        assert!(json.contains("\"cache_hits\":16"));
+        assert!(json.contains("\"verify_cpu_ms\":25"));
         assert!(json.ends_with("]}"));
         // An empty sweep has a null knee and an empty points array.
         assert_eq!(

@@ -352,6 +352,40 @@ fn optimistic_on_is_deterministic_per_seed() {
     }
 }
 
+/// The measured-crypto configurations are still pure functions of the
+/// seed: same seed ⇒ identical `RunMetrics` down to the new verify
+/// counters — and each mode's counters show the behavior that names it
+/// (unbatched never batches or caches; batched does both).
+#[test]
+fn crypto_modes_are_deterministic_and_charge_as_configured() {
+    use banyan_bench::runner::CryptoMode;
+    for mode in [CryptoMode::Unbatched, CryptoMode::Batched] {
+        let build = || scenario(42).crypto(mode);
+        let (a, auditor_a) = run_metrics(&build());
+        let (b, auditor_b) = run_metrics(&build());
+        assert!(auditor_a.is_safe() && auditor_b.is_safe());
+        assert!(!a.commits.is_empty(), "{mode:?}: no progress");
+        assert_eq!(a, b, "{mode:?}: same seed must replay exactly");
+        assert!(a.sigs_verified > 0, "{mode:?}: verified nothing");
+        assert!(a.verify_cpu_ms > 0, "{mode:?}: charged no CPU time");
+        match mode {
+            CryptoMode::Batched => {
+                assert!(a.verify_batches > 0, "batched mode never batched");
+                assert!(a.cert_cache_hits > 0, "cert cache never hit");
+            }
+            _ => {
+                assert_eq!(a.verify_batches, 0, "unbatched mode batched");
+                assert_eq!(a.cert_cache_hits, 0, "unbatched mode cached");
+            }
+        }
+    }
+    // Crypto off (the default) must charge and cache nothing — that run
+    // is the one the flag-off goldens above pin bit-for-bit.
+    let (off, _) = run_metrics(&scenario(42));
+    assert_eq!(off.verify_cpu_ms, 0, "crypto-off charged CPU time");
+    assert_eq!(off.cert_cache_hits, 0, "crypto-off hit a cache");
+}
+
 /// A sink that tallies commits per replica — exercises the same
 /// `CommitSink` trait the simulator and TCP runner collect through.
 #[derive(Default)]

@@ -7,8 +7,9 @@ use std::sync::Arc;
 
 use banyan_crypto::beacon::{Beacon, BeaconMode};
 use banyan_crypto::hashsig::HashSig;
-use banyan_crypto::registry::KeyRegistry;
+use banyan_crypto::registry::{KeyRegistry, PublicKeyTable};
 use banyan_crypto::sig::SignatureScheme;
+use banyan_crypto::{CachedVerify, DirectVerify, VerifyBackend};
 use banyan_types::app::{FixedSizeSource, ProposalSource};
 use banyan_types::config::{ConfigError, ProtocolConfig};
 use banyan_types::engine::Engine;
@@ -27,6 +28,34 @@ use crate::streamlet::StreamletEngine;
 /// per replica index when a cluster is built, so each engine gets its own
 /// backing store — e.g. a `WalStore` opened on that replica's directory.
 pub type StoreFactory = Arc<dyn Fn(u16) -> Box<dyn ChainStore> + Send + Sync>;
+
+/// Configuration of the engines' verify plane (the measured-crypto setup):
+/// how vote bursts and certificates are cryptographically checked.
+///
+/// Installed with [`ClusterBuilder::verify_plane`]; when absent, engines
+/// keep their built-in un-batched, un-cached backend — byte-identical
+/// behavior and counters to clusters built before the verify plane
+/// existed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VerifyPlaneConfig {
+    /// Batch vote bursts through the scheme's combined check (one
+    /// random-linear-combination equation per burst instead of one
+    /// exponentiation pair per vote, for schemes that support it).
+    pub batch_votes: bool,
+    /// Capacity of the certificate-verdict LRU cache; `0` disables
+    /// caching. A nonzero capacity implies batching (the cached backend
+    /// always batches).
+    pub cert_cache: usize,
+}
+
+impl Default for VerifyPlaneConfig {
+    fn default() -> Self {
+        VerifyPlaneConfig {
+            batch_votes: true,
+            cert_cache: 1024,
+        }
+    }
+}
 
 /// Fluent builder for homogeneous clusters.
 ///
@@ -60,6 +89,9 @@ pub struct ClusterBuilder {
     /// Optimistic proposal pipelining (chained engines only); `None`
     /// keeps the feature off.
     optimistic: Option<OptimisticConfig>,
+    /// Verify plane (batched/cached verification); `None` keeps each
+    /// engine's built-in direct backend.
+    verify_plane: Option<VerifyPlaneConfig>,
 }
 
 impl std::fmt::Debug for ClusterBuilder {
@@ -90,6 +122,7 @@ impl ClusterBuilder {
             byzantine: Vec::new(),
             stores: None,
             optimistic: None,
+            verify_plane: None,
         })
     }
 
@@ -206,6 +239,35 @@ impl ClusterBuilder {
         self
     }
 
+    /// Installs a verify plane: every engine built afterwards gets a
+    /// per-replica batched (and, with a nonzero `cert_cache`, cached)
+    /// verify backend instead of its built-in direct one.
+    pub fn verify_plane(mut self, cfg: VerifyPlaneConfig) -> Self {
+        self.verify_plane = Some(cfg);
+        self
+    }
+
+    /// Builds one verify backend matching the configured plane (direct
+    /// when no plane is installed). Drivers that run transport-level
+    /// verify workers construct the backend themselves with this, install
+    /// it via `Engine::set_verify_backend`, and hand clones of the `Arc`
+    /// to the workers — sharing the counters and certificate cache.
+    pub fn make_verify_backend(&self) -> Arc<dyn VerifyBackend> {
+        let table = PublicKeyTable::generate(self.scheme.clone(), self.cluster_seed, self.cfg.n());
+        match self.verify_plane {
+            Some(vp) if vp.cert_cache > 0 => Arc::new(CachedVerify::new(table, vp.cert_cache)),
+            Some(vp) => Arc::new(DirectVerify::new(table).with_batching(vp.batch_votes)),
+            None => Arc::new(DirectVerify::new(table)),
+        }
+    }
+
+    /// Installs the configured verify plane on a freshly built engine.
+    fn install_verify(&self, engine: &mut dyn Engine) {
+        if self.verify_plane.is_some() {
+            engine.set_verify_backend(self.make_verify_backend());
+        }
+    }
+
     /// The validated configuration.
     pub fn protocol_config(&self) -> &ProtocolConfig {
         &self.cfg
@@ -242,6 +304,7 @@ impl ClusterBuilder {
         if let Some(ocfg) = self.optimistic {
             engine = engine.with_optimistic(ocfg);
         }
+        self.install_verify(&mut engine);
         Box::new(engine)
     }
 
@@ -282,13 +345,15 @@ impl ClusterBuilder {
         self.assert_no_optimistic("hotstuff");
         (0..self.cfg.n() as u16)
             .map(|i| {
-                Box::new(HotStuffEngine::new(
+                let mut engine = HotStuffEngine::new(
                     self.cfg.clone(),
                     self.registry(i),
                     self.beacon(),
                     (self.sources)(i),
                     self.baseline_timeout,
-                )) as Box<dyn Engine>
+                );
+                self.install_verify(&mut engine);
+                Box::new(engine) as Box<dyn Engine>
             })
             .collect()
     }
@@ -305,13 +370,15 @@ impl ClusterBuilder {
         let epoch_len = self.cfg.delta.saturating_mul(2);
         (0..self.cfg.n() as u16)
             .map(|i| {
-                Box::new(StreamletEngine::new(
+                let mut engine = StreamletEngine::new(
                     self.cfg.clone(),
                     self.registry(i),
                     self.beacon(),
                     (self.sources)(i),
                     epoch_len,
-                )) as Box<dyn Engine>
+                );
+                self.install_verify(&mut engine);
+                Box::new(engine) as Box<dyn Engine>
             })
             .collect()
     }
@@ -350,23 +417,27 @@ impl ClusterBuilder {
             "icc" => self.build_chained_replica(PathMode::IccOnly, i),
             "hotstuff" => {
                 self.assert_no_optimistic("hotstuff");
-                Box::new(HotStuffEngine::new(
+                let mut engine = HotStuffEngine::new(
                     self.cfg.clone(),
                     self.registry(i),
                     self.beacon(),
                     (self.sources)(i),
                     self.baseline_timeout,
-                ))
+                );
+                self.install_verify(&mut engine);
+                Box::new(engine)
             }
             "streamlet" => {
                 self.assert_no_optimistic("streamlet");
-                Box::new(StreamletEngine::new(
+                let mut engine = StreamletEngine::new(
                     self.cfg.clone(),
                     self.registry(i),
                     self.beacon(),
                     (self.sources)(i),
                     self.cfg.delta.saturating_mul(2),
-                ))
+                );
+                self.install_verify(&mut engine);
+                Box::new(engine)
             }
             other => panic!("unknown protocol {other:?}"),
         }

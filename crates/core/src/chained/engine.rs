@@ -24,10 +24,11 @@
 //! double fast-voter).
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use banyan_crypto::beacon::Beacon;
 use banyan_crypto::registry::KeyRegistry;
-use banyan_crypto::Signature;
+use banyan_crypto::{DirectVerify, Signature, VerifyBackend, VerifyStats};
 use banyan_types::app::{ProposalContext, ProposalSource};
 use banyan_types::block::Block;
 use banyan_types::certs::{FinalKind, Finalization, Notarization, UnlockProof};
@@ -130,6 +131,10 @@ pub struct ChainedEngine {
     id: ReplicaId,
     beacon: Beacon,
     registry: KeyRegistry,
+    /// The verify plane: every signature and certificate check goes
+    /// through this backend, so drivers can swap in a batched/cached
+    /// (and shared, pre-warmed by transport workers) implementation.
+    verify: Arc<dyn VerifyBackend>,
     store: Box<dyn ChainStore>,
     rounds: BTreeMap<Round, RoundState>,
     /// Current round `k`.
@@ -196,6 +201,7 @@ impl ChainedEngine {
             "registry sized for the cluster"
         );
         let id = ReplicaId(registry.my_index());
+        let verify: Arc<dyn VerifyBackend> = Arc::new(DirectVerify::new(registry.table().clone()));
         ChainedEngine {
             cfg,
             mode,
@@ -203,6 +209,7 @@ impl ChainedEngine {
             id,
             beacon,
             registry,
+            verify,
             store: Box::new(BlockStore::new()),
             rounds: BTreeMap::new(),
             round: Round(0),
@@ -305,9 +312,24 @@ impl ChainedEngine {
         if !self.cfg.verify_signatures {
             return true;
         }
-        self.registry
-            .table()
+        self.verify
             .verify(vote.voter.0, &vote.message(), &vote.signature)
+    }
+
+    /// Per-vote verdicts for a burst of votes, batched through the verify
+    /// backend (one combined exponentiation check for the whole burst
+    /// under a batching scheme, with per-item fallback on failure).
+    fn verify_votes(&self, votes: &[Vote]) -> Vec<bool> {
+        if !self.cfg.verify_signatures {
+            return vec![true; votes.len()];
+        }
+        let msgs: Vec<Vec<u8>> = votes.iter().map(Vote::message).collect();
+        let items: Vec<_> = votes
+            .iter()
+            .zip(&msgs)
+            .map(|(v, m)| (v.voter.0, m.as_slice(), &v.signature))
+            .collect();
+        self.verify.verify_votes(&items)
     }
 
     /// Is `hash` (a round-`round` block) unlocked for this replica?
@@ -784,7 +806,7 @@ impl ChainedEngine {
             return;
         }
         if self.cfg.verify_signatures
-            && !self.registry.table().verify(
+            && !self.verify.verify(
                 block.proposer.0,
                 &Block::signing_message(&hash),
                 &block.signature,
@@ -807,8 +829,11 @@ impl ChainedEngine {
     }
 
     fn handle_votes(&mut self, votes: Vec<Vote>, now: Time, actions: &mut Actions) {
-        for vote in votes {
-            if !self.verify_vote(&vote) {
+        // One batched check for the whole burst instead of a verification
+        // per vote; verdicts come back per-item either way.
+        let verdicts = self.verify_votes(&votes);
+        for (vote, ok) in votes.into_iter().zip(verdicts) {
+            if !ok {
                 continue;
             }
             // Optimistic pipelining ships rank-0 proposals without the
@@ -848,18 +873,20 @@ impl ChainedEngine {
         if self.store.is_notarized(&cert.block) {
             return;
         }
-        if cert.vote_count() < self.cfg.notarization_quorum() {
+        // Gate on popcount before touching signatures: an empty or
+        // below-quorum aggregate verifies trivially under every scheme.
+        if !cert.meets_quorum(self.cfg.notarization_quorum()) {
             return;
         }
         if self.cfg.verify_signatures {
             let msg = Vote::signing_message(VoteKind::Notarize, cert.round, &cert.block);
-            if !self.registry.table().verify_aggregate(&msg, &cert.agg) {
+            if !self.verify.verify_aggregate(&msg, &cert.agg) {
                 return;
             }
             if let Some(fast_agg) = &cert.fast_agg {
                 // Remark 7.8: the second multi-signature covers fast votes.
                 let msg = Vote::signing_message(VoteKind::Fast, cert.round, &cert.block);
-                if !self.registry.table().verify_aggregate(&msg, fast_agg) {
+                if !self.verify.verify_aggregate(&msg, fast_agg) {
                     return;
                 }
             }
@@ -886,11 +913,15 @@ impl ChainedEngine {
         if !self.fast_path() {
             return;
         }
-        let table = self.registry.table().clone();
-        let verify = self.cfg.verify_signatures;
+        let backend = self.verify.clone();
+        let verifier = self.cfg.verify_signatures.then_some(
+            move |msg: &[u8], agg: &banyan_crypto::AggregateSignature| {
+                backend.verify_aggregate(msg, agg)
+            },
+        );
         self.round_state(proof.round)
             .unlock
-            .merge_proof(&proof, &table, verify);
+            .merge_proof_with(&proof, verifier);
     }
 
     fn handle_finalization(&mut self, cert: Finalization, now: Time, actions: &mut Actions) {
@@ -901,7 +932,8 @@ impl ChainedEngine {
             FinalKind::Slow => self.cfg.finalization_quorum(),
             FinalKind::Fast => self.cfg.fast_quorum(),
         };
-        if cert.vote_count() < quorum {
+        // Popcount gate first — see `handle_notarization`.
+        if !cert.meets_quorum(quorum) {
             return;
         }
         if cert.kind == FinalKind::Fast && !self.fast_path() {
@@ -913,7 +945,7 @@ impl ChainedEngine {
                 FinalKind::Fast => VoteKind::Fast,
             };
             let msg = Vote::signing_message(kind, cert.round, &cert.block);
-            if !self.registry.table().verify_aggregate(&msg, &cert.agg) {
+            if !self.verify.verify_aggregate(&msg, &cert.agg) {
                 return;
             }
         }
@@ -1719,5 +1751,13 @@ impl Engine for ChainedEngine {
 
     fn wal_bytes(&self) -> u64 {
         self.store.wal_bytes()
+    }
+
+    fn verify_stats(&self) -> VerifyStats {
+        self.verify.stats()
+    }
+
+    fn set_verify_backend(&mut self, backend: Arc<dyn VerifyBackend>) {
+        self.verify = backend;
     }
 }

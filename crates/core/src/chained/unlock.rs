@@ -257,13 +257,32 @@ impl UnlockState {
         table: &PublicKeyTable,
         verify: bool,
     ) -> bool {
+        self.merge_proof_with(
+            proof,
+            verify.then_some(|msg: &[u8], agg: &banyan_crypto::AggregateSignature| {
+                table.verify_aggregate(msg, agg)
+            }),
+        )
+    }
+
+    /// [`UnlockState::merge_proof`] with a caller-supplied aggregate
+    /// verifier, so engines can route the check through an instrumented
+    /// [`banyan_crypto::VerifyBackend`] (batched, cached, counted) instead
+    /// of the raw key table. `None` skips validation entirely (signature
+    /// checks *and* the rank cross-check), exactly like
+    /// `merge_proof(.., verify = false)`.
+    pub fn merge_proof_with(
+        &mut self,
+        proof: &UnlockProof,
+        verify_aggregate: Option<impl Fn(&[u8], &banyan_crypto::AggregateSignature) -> bool>,
+    ) -> bool {
         if proof.round != self.round {
             return false;
         }
-        if verify {
+        if let Some(verify_aggregate) = verify_aggregate {
             for entry in &proof.entries {
                 let msg = Vote::signing_message(VoteKind::Fast, proof.round, &entry.block);
-                if !table.verify_aggregate(&msg, &entry.agg) {
+                if !verify_aggregate(&msg, &entry.agg) {
                     return false;
                 }
                 if let Some(known) = self.ranks.get(&entry.block) {

@@ -18,10 +18,11 @@
 //! Fig. 6a/6e show it losing to ICC/Banyan by.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use banyan_crypto::beacon::Beacon;
 use banyan_crypto::registry::KeyRegistry;
-use banyan_crypto::Signature;
+use banyan_crypto::{DirectVerify, Signature, VerifyBackend, VerifyStats};
 use banyan_types::app::{ProposalContext, ProposalSource};
 use banyan_types::block::Block;
 use banyan_types::certs::QuorumCert;
@@ -32,13 +33,12 @@ use banyan_types::message::{HotStuffMsg, Message};
 use banyan_types::time::{Duration, Time};
 use banyan_types::ChainSnapshot;
 
-/// Domain for HotStuff vote signatures.
+/// Domain for HotStuff vote signatures. Delegates to the shared
+/// [`QuorumCert::signing_message`] so the transport verify plane (which
+/// pre-checks certificates by recomputing this string) can never drift
+/// from what the engine signs.
 fn vote_message(view: u64, block: &BlockHash) -> Vec<u8> {
-    let mut m = Vec::with_capacity(24 + 32);
-    m.extend_from_slice(b"banyan/hotstuff/vote");
-    m.extend_from_slice(&view.to_le_bytes());
-    m.extend_from_slice(&block.0);
-    m
+    QuorumCert::signing_message(view, block)
 }
 
 /// The chained-HotStuff replica engine.
@@ -47,6 +47,8 @@ pub struct HotStuffEngine {
     id: ReplicaId,
     beacon: Beacon,
     registry: KeyRegistry,
+    /// The verify plane (see `ChainedEngine::set_verify_backend`).
+    verify: Arc<dyn VerifyBackend>,
     /// Blocks plus the QC each one carries for its parent.
     blocks: HashMap<BlockHash, (Block, QuorumCert)>,
     /// Current view.
@@ -104,11 +106,13 @@ impl HotStuffEngine {
     ) -> Self {
         assert_eq!(beacon.n(), cfg.n(), "beacon sized for the cluster");
         let id = ReplicaId(registry.my_index());
+        let verify: Arc<dyn VerifyBackend> = Arc::new(DirectVerify::new(registry.table().clone()));
         HotStuffEngine {
             cfg,
             id,
             beacon,
             registry,
+            verify,
             blocks: HashMap::new(),
             view: 0,
             high_qc: QuorumCert::genesis(),
@@ -222,14 +226,16 @@ impl HotStuffEngine {
         if qc.is_genesis() {
             return true;
         }
-        if qc.agg.count() < self.quorum() {
+        // Popcount gate first: an empty or below-quorum aggregate verifies
+        // trivially under every scheme, so the cryptographic check alone
+        // proves nothing about quorum.
+        if !qc.meets_quorum(self.quorum()) {
             return false;
         }
         if !self.cfg.verify_signatures {
             return true;
         }
-        self.registry
-            .table()
+        self.verify
             .verify_aggregate(&vote_message(qc.view, &qc.block), &qc.agg)
     }
 
@@ -246,7 +252,7 @@ impl HotStuffEngine {
         }
         let hash = block.hash(self.cfg.payload_chunk);
         if self.cfg.verify_signatures
-            && !self.registry.table().verify(
+            && !self.verify.verify(
                 block.proposer.0,
                 &Block::signing_message(&hash),
                 &block.signature,
@@ -307,8 +313,7 @@ impl HotStuffEngine {
     ) {
         if self.cfg.verify_signatures
             && !self
-                .registry
-                .table()
+                .verify
                 .verify(voter.0, &vote_message(view, &block), &signature)
         {
             return;
@@ -490,6 +495,14 @@ impl Engine for HotStuffEngine {
 
     fn finalized_round(&self) -> Round {
         self.committed_round
+    }
+
+    fn verify_stats(&self) -> VerifyStats {
+        self.verify.stats()
+    }
+
+    fn set_verify_backend(&mut self, backend: Arc<dyn VerifyBackend>) {
+        self.verify = backend;
     }
 
     fn snapshot(&self) -> ChainSnapshot {

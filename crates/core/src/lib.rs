@@ -42,7 +42,7 @@ pub mod model;
 pub mod store;
 pub mod streamlet;
 
-pub use builder::ClusterBuilder;
+pub use builder::{ClusterBuilder, VerifyPlaneConfig};
 pub use chained::{ByzantineMode, ChainedEngine, PathMode};
 pub use hotstuff::HotStuffEngine;
 pub use store::BlockStore;

@@ -16,10 +16,11 @@
 //! trails ICC/Banyan in every figure.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use banyan_crypto::beacon::Beacon;
 use banyan_crypto::registry::KeyRegistry;
-use banyan_crypto::Signature;
+use banyan_crypto::{DirectVerify, Signature, VerifyBackend, VerifyStats};
 use banyan_types::app::{ProposalContext, ProposalSource};
 use banyan_types::block::Block;
 use banyan_types::certs::Notarization;
@@ -37,6 +38,8 @@ pub struct StreamletEngine {
     id: ReplicaId,
     beacon: Beacon,
     registry: KeyRegistry,
+    /// The verify plane (see `ChainedEngine::set_verify_backend`).
+    verify: Arc<dyn VerifyBackend>,
     /// All received blocks with their chain length (genesis = length 0).
     blocks: HashMap<BlockHash, (Block, u64)>,
     /// Votes per block.
@@ -80,11 +83,13 @@ impl StreamletEngine {
     ) -> Self {
         assert_eq!(beacon.n(), cfg.n(), "beacon sized for the cluster");
         let id = ReplicaId(registry.my_index());
+        let verify: Arc<dyn VerifyBackend> = Arc::new(DirectVerify::new(registry.table().clone()));
         StreamletEngine {
             cfg,
             id,
             beacon,
             registry,
+            verify,
             blocks: HashMap::new(),
             votes: HashMap::new(),
             notarized: HashSet::new(),
@@ -208,7 +213,7 @@ impl StreamletEngine {
             return;
         }
         if self.cfg.verify_signatures
-            && !self.registry.table().verify(
+            && !self.verify.verify(
                 block.proposer.0,
                 &Block::signing_message(&hash),
                 &block.signature,
@@ -244,8 +249,7 @@ impl StreamletEngine {
         }
         if self.cfg.verify_signatures
             && !self
-                .registry
-                .table()
+                .verify
                 .verify(vote.voter.0, &vote.message(), &vote.signature)
         {
             return;
@@ -373,12 +377,14 @@ impl StreamletEngine {
             self.notarization_certs.entry(cert.block).or_insert(cert);
             return;
         }
-        if cert.vote_count() < self.quorum() {
+        // Popcount gate before signature verification: empty aggregates
+        // verify trivially under every scheme.
+        if !cert.meets_quorum(self.quorum()) {
             return;
         }
         if self.cfg.verify_signatures {
             let msg = Vote::signing_message(VoteKind::Notarize, cert.round, &cert.block);
-            if !self.registry.table().verify_aggregate(&msg, &cert.agg) {
+            if !self.verify.verify_aggregate(&msg, &cert.agg) {
                 return;
             }
         }
@@ -527,6 +533,14 @@ impl Engine for StreamletEngine {
 
     fn finalized_round(&self) -> Round {
         self.committed_round
+    }
+
+    fn verify_stats(&self) -> VerifyStats {
+        self.verify.stats()
+    }
+
+    fn set_verify_backend(&mut self, backend: Arc<dyn VerifyBackend>) {
+        self.verify = backend;
     }
 
     fn snapshot(&self) -> ChainSnapshot {

@@ -140,6 +140,107 @@ fn hotstuff_view_timeout_advances_pacemaker() {
 }
 
 #[test]
+fn hotstuff_rejects_hollow_and_below_quorum_qcs() {
+    // A QC whose aggregate is empty verifies trivially under every
+    // signature scheme, so `verify_qc` must gate on popcount before the
+    // cryptographic check. Genesis is the only legitimate hollow QC.
+    let mut e = hotstuff(3);
+    e.on_init(Time(0));
+    let table = registry(0).table().clone();
+
+    // A view-1 block we never received; its hash anchors the forged QCs.
+    let reg0 = registry(0);
+    let mut parent = banyan_types::Block {
+        round: Round(1),
+        proposer: ReplicaId(0),
+        rank: banyan_types::Rank(0),
+        parent: banyan_types::ids::BlockHash::ZERO,
+        proposed_at: Time(0),
+        payload: banyan_types::Payload::synthetic(100, 1),
+        signature: banyan_crypto::Signature::zero(),
+    };
+    let parent_hash = parent.hash(64 * 1024);
+    parent.signature = reg0.sign(&banyan_types::Block::signing_message(&parent_hash));
+
+    // View-2 proposal from the legitimate leader (leader(2) = replica 1),
+    // justified by a QC over the parent.
+    let reg1 = registry(1);
+    let proposal = |justify: banyan_types::certs::QuorumCert| {
+        let mut block = banyan_types::Block {
+            round: Round(2),
+            proposer: ReplicaId(1),
+            rank: banyan_types::Rank(0),
+            parent: parent_hash,
+            proposed_at: Time(0),
+            payload: banyan_types::Payload::synthetic(100, 2),
+            signature: banyan_crypto::Signature::zero(),
+        };
+        let hash = block.hash(64 * 1024);
+        block.signature = reg1.sign(&banyan_types::Block::signing_message(&hash));
+        Message::HotStuff(HotStuffMsg::Proposal { block, justify })
+    };
+
+    // Hollow QC: non-genesis, zero signers.
+    let hollow = banyan_types::certs::QuorumCert {
+        view: 1,
+        block: parent_hash,
+        agg: table.aggregate(&[]),
+    };
+    let vote_msg = banyan_types::certs::QuorumCert::signing_message(1, &parent_hash);
+    assert!(
+        table.verify_aggregate(&vote_msg, &hollow.agg),
+        "footgun precondition: the empty aggregate verifies trivially"
+    );
+    let actions = e.on_message(ReplicaId(1), proposal(hollow), Time(1000));
+    assert!(
+        actions.outbound.is_empty(),
+        "hollow QC must not attract a vote"
+    );
+    assert_eq!(
+        e.current_round(),
+        Round(1),
+        "hollow QC must not advance the view"
+    );
+
+    // Below quorum (2 < n − f = 3) with genuine vote signatures.
+    let votes: Vec<(u16, banyan_crypto::Signature)> = [0u16, 1]
+        .iter()
+        .map(|&v| (v, registry(v).sign(&vote_msg)))
+        .collect();
+    let weak = banyan_types::certs::QuorumCert {
+        view: 1,
+        block: parent_hash,
+        agg: table.aggregate(&votes),
+    };
+    let actions = e.on_message(ReplicaId(1), proposal(weak), Time(1000));
+    assert!(actions.outbound.is_empty());
+    assert_eq!(e.current_round(), Round(1));
+
+    // Positive control: a full 3-vote QC is accepted and draws our vote.
+    let votes: Vec<(u16, banyan_crypto::Signature)> = [0u16, 1, 2]
+        .iter()
+        .map(|&v| (v, registry(v).sign(&vote_msg)))
+        .collect();
+    let full = banyan_types::certs::QuorumCert {
+        view: 1,
+        block: parent_hash,
+        agg: table.aggregate(&votes),
+    };
+    let actions = e.on_message(ReplicaId(1), proposal(full), Time(1000));
+    let voted = actions.outbound.iter().any(|o| {
+        matches!(
+            o,
+            Outbound::Send(
+                ReplicaId(2),
+                Message::HotStuff(HotStuffMsg::Vote { view: 2, .. })
+            )
+        )
+    });
+    assert!(voted, "quorum QC must be accepted (control)");
+    assert_eq!(e.current_round(), Round(2));
+}
+
+#[test]
 fn hotstuff_ignores_foreign_messages() {
     let mut e = hotstuff(0);
     e.on_init(Time(0));
@@ -194,6 +295,103 @@ fn streamlet_commits_middle_of_three_consecutive_epochs() {
         "epoch-2 block committed (middle of 1,2,3)"
     );
     assert!(!rounds.contains(&4), "epoch 4 cannot be final yet");
+}
+
+#[test]
+fn streamlet_rejects_below_quorum_notarizations() {
+    // Served certificates feed `adopt_notarization`, which must gate on
+    // popcount before verifying: an empty aggregate passes verification
+    // under every scheme.
+    let mut e = streamlet(3);
+    e.on_init(Time(0));
+    // Deliver the epoch-1 leader proposal so the replica holds the block.
+    let reg0 = registry(0);
+    let mut block = banyan_types::Block {
+        round: Round(1),
+        proposer: ReplicaId(0),
+        rank: banyan_types::Rank(0),
+        parent: banyan_types::ids::BlockHash::ZERO,
+        proposed_at: Time(0),
+        payload: banyan_types::Payload::synthetic(100, 1),
+        signature: banyan_crypto::Signature::zero(),
+    };
+    let hash = block.hash(64 * 1024);
+    block.signature = reg0.sign(&banyan_types::Block::signing_message(&hash));
+    e.on_message(
+        ReplicaId(0),
+        Message::Streamlet(StreamletMsg::Proposal { block }),
+        Time(0),
+    );
+
+    let table = registry(0).table().clone();
+    let serve = |e: &mut StreamletEngine| {
+        let a = e.on_message(
+            ReplicaId(1),
+            Message::Sync(banyan_types::message::SyncMsg::RequestRange {
+                from_round: Round(1),
+                to_round: Round(1),
+            }),
+            Time(2000),
+        );
+        a.outbound.iter().any(|o| {
+            matches!(
+                o,
+                Outbound::Send(
+                    _,
+                    Message::Sync(banyan_types::message::SyncMsg::ResponseBatch { .. })
+                )
+            )
+        })
+    };
+
+    // Hollow certificate: zero signers, trivially verifying aggregate.
+    let hollow = banyan_types::certs::Notarization {
+        round: Round(1),
+        block: hash,
+        agg: table.aggregate(&[]),
+        fast_agg: None,
+    };
+    e.on_message(
+        ReplicaId(1),
+        Message::Sync(banyan_types::message::SyncMsg::ResponseBatch {
+            blocks: Vec::new(),
+            notarizations: vec![hollow],
+        }),
+        Time(1000),
+    );
+    assert!(
+        !serve(&mut e),
+        "hollow notarization must not be adopted or re-served"
+    );
+
+    // Positive control: a genuine 3-vote certificate is adopted.
+    let vote_msg = banyan_types::vote::Vote::signing_message(
+        banyan_types::vote::VoteKind::Notarize,
+        Round(1),
+        &hash,
+    );
+    let votes: Vec<(u16, banyan_crypto::Signature)> = [0u16, 1, 2]
+        .iter()
+        .map(|&v| (v, registry(v).sign(&vote_msg)))
+        .collect();
+    let full = banyan_types::certs::Notarization {
+        round: Round(1),
+        block: hash,
+        agg: table.aggregate(&votes),
+        fast_agg: None,
+    };
+    e.on_message(
+        ReplicaId(1),
+        Message::Sync(banyan_types::message::SyncMsg::ResponseBatch {
+            blocks: Vec::new(),
+            notarizations: vec![full],
+        }),
+        Time(1000),
+    );
+    assert!(
+        serve(&mut e),
+        "quorum notarization must be adopted (control)"
+    );
 }
 
 #[test]

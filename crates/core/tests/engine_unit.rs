@@ -11,7 +11,7 @@ use banyan_crypto::registry::KeyRegistry;
 use banyan_crypto::Signature;
 use banyan_types::app::FixedSizeSource;
 use banyan_types::block::Block;
-use banyan_types::certs::{FinalKind, Finalization};
+use banyan_types::certs::{FinalKind, Finalization, Notarization};
 use banyan_types::config::ProtocolConfig;
 use banyan_types::engine::{Actions, Engine, Outbound, TimerKind};
 use banyan_types::ids::{BlockHash, Rank, ReplicaId, Round};
@@ -544,6 +544,96 @@ fn invalid_fast_finalization_certificates_rejected() {
         Time(2000),
     );
     assert!(actions.commits.is_empty());
+}
+
+#[test]
+fn below_quorum_notarization_certificates_rejected() {
+    // An aggregate over zero signers verifies trivially under every
+    // scheme (the combined proof of nothing is vacuously consistent), so
+    // the popcount gate must fire *before* `verify_aggregate` ever runs.
+    let mut e = engine(0, PathMode::Banyan);
+    e.on_init(Time(0));
+    let (hash, block) = make_block(1, 1, BlockHash::ZERO, 1);
+    e.on_message(ReplicaId(1), proposal_msg(block, None), Time(1000));
+
+    let table = registry(0).table().clone();
+    let empty = table.aggregate(&[]);
+    let msg = Vote::signing_message(VoteKind::Notarize, Round(1), &hash);
+    assert!(
+        table.verify_aggregate(&msg, &empty),
+        "footgun precondition: an empty aggregate verifies trivially"
+    );
+    e.on_message(
+        ReplicaId(2),
+        Message::Chained(ChainedMsg::Advance {
+            notarization: Notarization {
+                round: Round(1),
+                block: hash,
+                agg: empty,
+                fast_agg: None,
+            },
+            unlock: None,
+        }),
+        Time(2000),
+    );
+    assert!(
+        !e.store().is_notarized(&hash),
+        "empty-aggregate notarization must be ignored"
+    );
+
+    // Below quorum (2 < n − f = 3) with genuine signatures: still rejected.
+    let votes: Vec<(u16, Signature)> = [1u16, 2]
+        .iter()
+        .map(|&v| (v, make_vote(v, VoteKind::Notarize, 1, hash).signature))
+        .collect();
+    e.on_message(
+        ReplicaId(2),
+        Message::Chained(ChainedMsg::Advance {
+            notarization: Notarization {
+                round: Round(1),
+                block: hash,
+                agg: table.aggregate(&votes),
+                fast_agg: None,
+            },
+            unlock: None,
+        }),
+        Time(2000),
+    );
+    assert!(
+        !e.store().is_notarized(&hash),
+        "below-quorum notarization must be ignored"
+    );
+}
+
+#[test]
+fn empty_aggregate_finalization_rejected() {
+    // Same footgun at the finalization boundary: an empty certificate
+    // must never commit a block, on either the slow or the fast path.
+    let mut e = engine(0, PathMode::Banyan);
+    e.on_init(Time(0));
+    let (hash, block) = make_block(1, 1, BlockHash::ZERO, 1);
+    let fv = make_vote(1, VoteKind::Fast, 1, hash);
+    e.on_message(ReplicaId(1), proposal_msg(block, Some(fv)), Time(1000));
+
+    let table = registry(0).table().clone();
+    for kind in [FinalKind::Slow, FinalKind::Fast] {
+        let hollow = Finalization {
+            round: Round(1),
+            block: hash,
+            kind,
+            agg: table.aggregate(&[]),
+        };
+        let actions = e.on_message(
+            ReplicaId(2),
+            Message::Chained(ChainedMsg::Final(hollow)),
+            Time(2000),
+        );
+        assert!(
+            actions.commits.is_empty(),
+            "empty-aggregate {kind:?} finalization must be ignored"
+        );
+    }
+    assert_eq!(e.finalized_round(), Round::GENESIS);
 }
 
 #[test]

@@ -22,7 +22,8 @@
 use crate::hmac::{ct_eq, hmac_sha256};
 use crate::sha256::sha256_concat;
 use crate::sig::{
-    AggregateSignature, PublicKey, SecretKey, Signature, SignatureScheme, SignerBitmap, SignerIndex,
+    AggregateSignature, PublicKey, SecretKey, Signature, SignatureScheme, SignerBitmap,
+    SignerIndex, SCHEME_ID_HASHSIG,
 };
 
 /// Domain-separation prefix for key derivation.
@@ -59,6 +60,10 @@ impl HashSig {
 impl SignatureScheme for HashSig {
     fn name(&self) -> &'static str {
         "hashsig"
+    }
+
+    fn scheme_id(&self) -> u8 {
+        SCHEME_ID_HASHSIG
     }
 
     fn keygen(&self, seed: &[u8; 32]) -> (SecretKey, PublicKey) {
@@ -227,8 +232,11 @@ mod tests {
 
     #[test]
     fn empty_aggregate_verifies_trivially() {
-        // An empty aggregate attests nothing and XORs to zero; quorum checks
-        // happen at the protocol layer via `count()`.
+        // An empty aggregate attests nothing and XORs to zero. This is a
+        // footgun if callers treat `verify_aggregate` as a quorum check:
+        // every engine must gate on bitmap popcount ≥ quorum *before*
+        // verifying (the engine-boundary regression tests in banyan-core
+        // pin that).
         let scheme = HashSig;
         let (_, pks) = keys(4);
         let agg = scheme.aggregate(4, &[]);

@@ -15,6 +15,8 @@
 //!   (BLS stand-in for simulation; see module docs for the threat model).
 //! * [`schnorr`] — publicly verifiable Schnorr over a toy 62-bit group.
 //! * [`registry`] — per-replica key registry (the PKI).
+//! * [`verify`] — the verify plane: [`verify::VerifyBackend`] with batched
+//!   vote verification and an LRU certificate-verdict cache.
 //! * [`beacon`] — round-robin and seeded-permutation leader beacons.
 //!
 //! # Examples
@@ -38,6 +40,7 @@ pub mod registry;
 pub mod schnorr;
 pub mod sha256;
 pub mod sig;
+pub mod verify;
 
 pub use beacon::{Beacon, BeaconMode};
 pub use hashsig::HashSig;
@@ -45,5 +48,7 @@ pub use merkle::{MerkleProof, MerkleTree};
 pub use registry::{KeyRegistry, PublicKeyTable};
 pub use schnorr::ToySchnorr;
 pub use sig::{
-    AggregateSignature, PublicKey, SecretKey, Signature, SignatureScheme, SignerBitmap, SignerIndex,
+    AggregateSignature, BatchItem, PublicKey, SecretKey, Signature, SignatureScheme, SignerBitmap,
+    SignerIndex,
 };
+pub use verify::{CachedVerify, DirectVerify, VerifyBackend, VerifyStats};

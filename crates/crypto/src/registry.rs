@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use crate::sig::{
-    AggregateSignature, PublicKey, SecretKey, Signature, SignatureScheme, SignerIndex,
+    AggregateSignature, BatchItem, PublicKey, SecretKey, Signature, SignatureScheme, SignerIndex,
 };
 
 /// Deterministically derives the key seed for replica `index` from a cluster
@@ -66,6 +66,28 @@ impl PublicKeyTable {
     /// Verifies an aggregate certificate over `msg`.
     pub fn verify_aggregate(&self, msg: &[u8], agg: &AggregateSignature) -> bool {
         self.scheme.verify_aggregate(&self.pks, msg, agg)
+    }
+
+    /// Verifies a batch of `(signer, message, signature)` triples in one
+    /// combined check when the scheme supports it, returning per-item
+    /// verdicts. An out-of-range signer index yields `false` for that item
+    /// without poisoning the rest of the batch.
+    pub fn verify_batch(&self, items: &[(SignerIndex, &[u8], &Signature)]) -> Vec<bool> {
+        let mut batch = Vec::with_capacity(items.len());
+        let mut in_range = Vec::with_capacity(items.len());
+        for &(idx, msg, sig) in items {
+            if let Some(pk) = self.public_key(idx) {
+                in_range.push(batch.len());
+                batch.push(BatchItem { pk, msg, sig });
+            } else {
+                in_range.push(usize::MAX);
+            }
+        }
+        let verdicts = self.scheme.verify_batch(&batch);
+        in_range
+            .into_iter()
+            .map(|slot| slot != usize::MAX && verdicts[slot])
+            .collect()
     }
 
     /// Aggregates individual votes into a certificate.

@@ -26,6 +26,26 @@ use std::fmt;
 /// Index of a signer within the fixed replica set (the paper's replica id).
 pub type SignerIndex = u16;
 
+/// Registry-negotiated scheme id for [`crate::hashsig::HashSig`] aggregates.
+pub const SCHEME_ID_HASHSIG: u8 = 1;
+/// Registry-negotiated scheme id for naive (per-member) Schnorr aggregates.
+pub const SCHEME_ID_SCHNORR_NAIVE: u8 = 2;
+/// Registry-negotiated scheme id for compact (half-aggregated) Schnorr
+/// certificates.
+pub const SCHEME_ID_SCHNORR_COMPACT: u8 = 3;
+
+/// One `(public key, message, signature)` triple submitted to batch
+/// verification.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchItem<'a> {
+    /// The claimed signer's public key.
+    pub pk: &'a PublicKey,
+    /// The signed message.
+    pub msg: &'a [u8],
+    /// The signature to check.
+    pub sig: &'a Signature,
+}
+
 /// A secret signing key. Opaque 32 bytes; semantics are scheme-specific.
 #[derive(Clone)]
 pub struct SecretKey(pub(crate) [u8; 32]);
@@ -220,6 +240,27 @@ impl AggregateSignature {
 pub trait SignatureScheme: fmt::Debug + Send + Sync {
     /// Human-readable scheme name (appears in bench output).
     fn name(&self) -> &'static str;
+
+    /// Stable id of the aggregate format this scheme emits (see the
+    /// `SCHEME_ID_*` constants). All replicas of a cluster derive the same
+    /// scheme from the registry, so this is the negotiated certificate
+    /// format for the cluster. `0` means unspecified.
+    fn scheme_id(&self) -> u8 {
+        0
+    }
+
+    /// Verifies a batch of triples, returning each item's verdict — the
+    /// result must match calling [`Self::verify`] per item.
+    ///
+    /// The default is the individual loop; schemes with a cheaper combined
+    /// check (e.g. [`crate::schnorr::ToySchnorr`]'s random-linear-combination
+    /// equation) override this.
+    fn verify_batch(&self, items: &[BatchItem<'_>]) -> Vec<bool> {
+        items
+            .iter()
+            .map(|it| self.verify(it.pk, it.msg, it.sig))
+            .collect()
+    }
 
     /// Derives a keypair from a 32-byte seed.
     fn keygen(&self, seed: &[u8; 32]) -> (SecretKey, PublicKey);

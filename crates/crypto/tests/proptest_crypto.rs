@@ -95,6 +95,58 @@ proptest! {
         }
     }
 
+    /// RLC batch verification returns exactly the verdicts individual
+    /// verification would, under arbitrary tampering: signers swapped to
+    /// the wrong key, messages substituted, signatures bit-flipped. The
+    /// combined equation may only be an *optimization* — never a change
+    /// in what is accepted.
+    #[test]
+    fn schnorr_batch_matches_individual_under_tampering(
+        k in 2usize..24,
+        tampers in proptest::collection::vec((any::<u8>(), 0u8..3, any::<u8>()), 0..6),
+    ) {
+        use banyan_crypto::sig::BatchItem;
+        let scheme = ToySchnorr::new();
+        let keys: Vec<_> = (0..k)
+            .map(|i| {
+                let mut seed = [0u8; 32];
+                seed[0] = i as u8;
+                scheme.keygen(&seed)
+            })
+            .collect();
+        let mut pks: Vec<_> = keys.iter().map(|(_, pk)| *pk).collect();
+        let mut msgs: Vec<Vec<u8>> = (0..k).map(|i| vec![b'm', i as u8]).collect();
+        let mut sigs: Vec<_> = keys
+            .iter()
+            .zip(&msgs)
+            .map(|((sk, _), m)| scheme.sign(sk, m))
+            .collect();
+        for &(pos, kind, byte) in &tampers {
+            let i = pos as usize % k;
+            match kind {
+                // Wrong key: attribute the signature to another signer.
+                0 => pks[i] = keys[(i + 1) % k].1,
+                // Wrong message: first byte differs from every honest one.
+                1 => msgs[i] = vec![b'x', byte],
+                // Bit-flip somewhere in the signature bytes.
+                _ => {
+                    let len = sigs[i].0.len();
+                    sigs[i].0[byte as usize % len] ^= 0x20;
+                }
+            }
+        }
+        let items: Vec<BatchItem<'_>> = (0..k)
+            .map(|i| BatchItem { pk: &pks[i], msg: &msgs[i], sig: &sigs[i] })
+            .collect();
+        let individual: Vec<bool> = (0..k)
+            .map(|i| scheme.verify(&pks[i], &msgs[i], &sigs[i]))
+            .collect();
+        prop_assert_eq!(scheme.batch_verify(&items), individual.clone());
+        if tampers.is_empty() {
+            prop_assert!(individual.into_iter().all(|ok| ok));
+        }
+    }
+
     /// Modular arithmetic identities used by the Schnorr scheme.
     #[test]
     fn powmod_laws(base in 1u64..1_000_000, e1 in 0u64..64, e2 in 0u64..64) {

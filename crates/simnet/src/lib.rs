@@ -44,7 +44,7 @@ pub mod workload;
 
 pub use faults::{Fault, FaultPlan};
 pub use metrics::{ClientLoadSummary, LatencyStats, ObservedCommit, RunMetrics, SafetyAuditor};
-pub use sim::{SimConfig, Simulation};
+pub use sim::{CryptoCost, SimConfig, Simulation};
 pub use topology::{Region, Topology, AWS_REGIONS};
 pub use workload::{
     ClientWorkload, ClosedLoopWorkload, Mempool, MempoolSource, PushOutcome, Request,

@@ -207,6 +207,17 @@ pub struct RunMetrics {
     /// Gauge: bytes held in the replicas' write-ahead logs at run end
     /// (0 for purely in-memory stores).
     pub wal_bytes: u64,
+    /// Individual signature verifications performed by the replicas'
+    /// verify planes over the run (0 when verification is off).
+    pub sigs_verified: u64,
+    /// Batched verification calls issued (each covering ≥ 2 signatures).
+    pub verify_batches: u64,
+    /// Certificate verifications answered from the bounded LRU cache.
+    pub cert_cache_hits: u64,
+    /// Virtual CPU milliseconds charged for signature verification by the
+    /// simulator's crypto cost model (integer ms so determinism stays
+    /// `Eq`-checkable). On the TCP path this is measured wall CPU instead.
+    pub verify_cpu_ms: u64,
     /// Virtual time at the end of the run.
     pub end_time: Time,
 }

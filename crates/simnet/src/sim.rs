@@ -40,6 +40,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use banyan_crypto::VerifyStats;
 use banyan_mempool::{SharedMempool, WorkloadBatch};
 use banyan_runtime::driver::{is_stale, route_actions, ActionDispatch, CommitSink};
 use banyan_runtime::queue::EventQueue;
@@ -56,6 +57,52 @@ use crate::metrics::{ObservedCommit, RunMetrics, SafetyAuditor};
 use crate::topology::Topology;
 use crate::workload::{ClientWorkload, ClosedLoopWorkload};
 
+/// Virtual CPU cost charged per signature-verification operation.
+///
+/// The simulator cannot trust wall-clock verification time (it would break
+/// bit-reproducibility), so it meters the engines' [`VerifyStats`] counters
+/// after every delivery and advances virtual time by a calibrated cost per
+/// operation instead. The constants model a production-grade signature
+/// scheme (Ed25519-class, as on the paper's AWS testbed) rather than the
+/// repo's toy stand-in — the *counts* are exactly the toy scheme's, so the
+/// simulated and TCP crypto bills agree on how many checks happened even
+/// though they price them differently.
+///
+/// A batch of `k` signatures costs `per_batch + k × per_batched_sig`
+/// versus `k × per_sig` unbatched; with the defaults the asymptotic
+/// batching speedup is 2×.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CryptoCost {
+    /// Cost of one individually verified signature.
+    pub per_sig: Duration,
+    /// Fixed setup cost of one combined (batched) check.
+    pub per_batch: Duration,
+    /// Marginal cost of each signature inside a combined check.
+    pub per_batched_sig: Duration,
+}
+
+impl Default for CryptoCost {
+    fn default() -> Self {
+        CryptoCost {
+            per_sig: Duration::from_micros(40),
+            per_batch: Duration::from_micros(15),
+            per_batched_sig: Duration::from_micros(20),
+        }
+    }
+}
+
+impl CryptoCost {
+    /// The virtual CPU time for the operations in `delta`.
+    fn charge(&self, delta: &VerifyStats) -> Duration {
+        let unbatched = delta.sigs_verified - delta.sigs_batched;
+        Duration(
+            self.per_sig.as_nanos() * unbatched
+                + self.per_batch.as_nanos() * delta.verify_batches
+                + self.per_batched_sig.as_nanos() * delta.sigs_batched,
+        )
+    }
+}
+
 /// Tunables of the simulation itself (not of the protocol).
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -65,6 +112,10 @@ pub struct SimConfig {
     pub jitter: Duration,
     /// Print an event trace to stderr (debugging aid).
     pub trace: bool,
+    /// Charge virtual CPU time for signature verification (see
+    /// [`CryptoCost`]). `None` — the default — charges nothing and leaves
+    /// crypto-off runs bit-identical to earlier releases.
+    pub crypto_cost: Option<CryptoCost>,
 }
 
 impl Default for SimConfig {
@@ -73,6 +124,7 @@ impl Default for SimConfig {
             seed: 0,
             jitter: Duration::from_micros(500),
             trace: false,
+            crypto_cost: None,
         }
     }
 }
@@ -84,6 +136,12 @@ impl SimConfig {
             seed,
             ..Default::default()
         }
+    }
+
+    /// Enables the crypto cost model (builder style).
+    pub fn with_crypto_cost(mut self, cost: CryptoCost) -> Self {
+        self.crypto_cost = Some(cost);
+        self
     }
 }
 
@@ -417,6 +475,14 @@ pub struct Simulation {
     catchup: Vec<Option<CatchUpState>>,
     /// When each restarted replica rejoined (recovery-latency metric).
     rejoined_at: Vec<Option<Time>>,
+    /// Per-replica verify-counter snapshot at the last metering point
+    /// (reset when an engine is dropped or rebuilt).
+    last_verify: Vec<VerifyStats>,
+    /// Verify counters of engines that have since been dropped (crashes),
+    /// folded into the run totals.
+    retired_verify: VerifyStats,
+    /// Total virtual CPU time charged by the crypto cost model.
+    charged_crypto: Duration,
     initialized: bool,
 }
 
@@ -464,6 +530,9 @@ impl Simulation {
             crash_snapshots: (0..n).map(|_| None).collect(),
             catchup: (0..n).map(|_| None).collect(),
             rejoined_at: vec![None; n],
+            last_verify: vec![VerifyStats::default(); n],
+            retired_verify: VerifyStats::default(),
+            charged_crypto: Duration::ZERO,
             initialized: false,
         }
     }
@@ -714,6 +783,15 @@ impl Simulation {
                         }
                         let was_batch = matches!(msg, Message::Sync(SyncMsg::ResponseBatch { .. }));
                         let actions = self.engines[to.as_usize()].on_message(from, msg, self.now);
+                        // Crypto cost model: the verification work this
+                        // delivery triggered occupies the replica's CPU, so
+                        // everything it *produces* (outbound messages,
+                        // timers) departs later by the charged time. The
+                        // engine's own view of `now` stays the arrival
+                        // instant (virtual CPU time below the event
+                        // granularity is not observable to the protocol).
+                        let crypto_cost = self.meter_crypto(to);
+                        self.now += crypto_cost;
                         self.process_actions(to, actions);
                         if was_batch && self.catchup[to.as_usize()].is_some() {
                             let frontier = self.engines[to.as_usize()].finalized_round();
@@ -797,6 +875,18 @@ impl Simulation {
             self.metrics.requests_pending = w.pending_in_pools();
         }
         self.metrics.wal_bytes = self.engines.iter().map(|e| e.wal_bytes()).sum();
+        // Verify-plane totals: live engines plus engines retired by
+        // crashes. `verify_cpu_ms` is the *charged* virtual time — the
+        // wall-clock `verify_cpu_ns` the backends also track is
+        // non-deterministic and deliberately ignored here.
+        let mut verify = self.retired_verify;
+        for e in &self.engines {
+            verify.merge(&e.verify_stats());
+        }
+        self.metrics.sigs_verified = verify.sigs_verified;
+        self.metrics.verify_batches = verify.verify_batches;
+        self.metrics.cert_cache_hits = verify.cert_cache_hits;
+        self.metrics.verify_cpu_ms = self.charged_crypto.as_nanos() / 1_000_000;
         &self.metrics
     }
 
@@ -910,6 +1000,23 @@ impl Simulation {
         dispatch.transmit(from, out);
     }
 
+    /// Meters `replica`'s verify counters since the last metering point
+    /// and returns the virtual CPU time to charge (zero when the cost
+    /// model is off — the snapshot is still advanced so enabling the
+    /// model never double-charges old work).
+    fn meter_crypto(&mut self, replica: ReplicaId) -> Duration {
+        let i = replica.as_usize();
+        let cur = self.engines[i].verify_stats();
+        let delta = cur.delta_since(&self.last_verify[i]);
+        self.last_verify[i] = cur;
+        let Some(cost) = &self.config.crypto_cost else {
+            return Duration::ZERO;
+        };
+        let charge = cost.charge(&delta);
+        self.charged_crypto = self.charged_crypto + charge;
+        charge
+    }
+
     /// Begins a scheduled outage: captures a recovery snapshot when a
     /// rejoin is planned, then **drops the engine** — crashed replicas
     /// hold no heap state, exactly like a killed process (the only way
@@ -930,6 +1037,10 @@ impl Simulation {
         if self.config.trace {
             eprintln!("[{}] {} crashes (engine dropped)", self.now, replica);
         }
+        // Fold the dying engine's verify counters into the run totals and
+        // reset the metering snapshot for the (zeroed) replacement.
+        self.retired_verify.merge(&self.engines[i].verify_stats());
+        self.last_verify[i] = VerifyStats::default();
         self.engines[i] = Box::new(CrashedEngine { id: replica });
         self.generations[i] = self.generations[i].wrapping_add(1);
         self.catchup[i] = None;
@@ -947,6 +1058,7 @@ impl Simulation {
         let engine = builder(replica, &snapshot);
         assert_eq!(engine.id(), replica, "restart builder rebuilt wrong id");
         self.engines[i] = engine;
+        self.last_verify[i] = self.engines[i].verify_stats();
         self.generations[i] = self.generations[i].wrapping_add(1);
         self.rejoined_at[i] = Some(self.now);
         if self.config.trace {

@@ -85,6 +85,14 @@ pub struct PipelineConfig {
     /// Optional extra block check (signatures). `None` = structural
     /// checks only.
     pub verifier: Option<VerifyFn>,
+    /// Optional signature-verify plane: when set, the workers check every
+    /// vote signature and aggregate certificate a frame carries *before*
+    /// it reaches the consensus thread, rejecting forgeries off-thread.
+    /// Share the same `Arc` with the engine
+    /// (`Engine::set_verify_backend`) so its stats unify and the cert
+    /// cache deduplicates work across both planes. `None` = the engine
+    /// does all signature checking on the consensus thread.
+    pub verify_backend: Option<Arc<dyn banyan_crypto::VerifyBackend>>,
 }
 
 impl Default for PipelineConfig {
@@ -94,6 +102,7 @@ impl Default for PipelineConfig {
             ingest_cap: banyan_mempool::DEFAULT_INGEST_CAP,
             payload_chunk: 64 << 10,
             verifier: None,
+            verify_backend: None,
         }
     }
 }
@@ -105,6 +114,10 @@ impl std::fmt::Debug for PipelineConfig {
             .field("ingest_cap", &self.ingest_cap)
             .field("payload_chunk", &self.payload_chunk)
             .field("verifier", &self.verifier.as_ref().map(|_| "fn"))
+            .field(
+                "verify_backend",
+                &self.verify_backend.as_ref().map(|_| "backend"),
+            )
             .finish()
     }
 }
@@ -135,6 +148,15 @@ impl PipelineConfig {
     #[must_use]
     pub fn with_verifier(mut self, verifier: VerifyFn) -> Self {
         self.verifier = Some(verifier);
+        self
+    }
+
+    /// Builder-style: installs a signature-verify plane. Pass the same
+    /// `Arc` to the engine's `set_verify_backend` so stats and the cert
+    /// cache are shared.
+    #[must_use]
+    pub fn with_verify_backend(mut self, backend: Arc<dyn banyan_crypto::VerifyBackend>) -> Self {
+        self.verify_backend = Some(backend);
         self
     }
 }
@@ -252,6 +274,31 @@ pub fn verify_frame(
                     // Record the lease under the hash just computed; the
                     // consensus thread skips its own observation pass.
                     pool.observe_decoded(hash, block.round, block.parent, batch.requests);
+                }
+            }
+            // Signature plane: check every vote signature and aggregate
+            // certificate the frame carries before it can occupy the
+            // consensus thread. The engine remains the authority (it
+            // re-checks through the same shared backend, where the cert
+            // cache makes the second look a hit); rejection here is the
+            // off-thread fast path for forgeries.
+            if let Some(backend) = &config.verify_backend {
+                let checks = msg.vote_checks();
+                if !checks.is_empty() {
+                    let items: Vec<_> = checks
+                        .iter()
+                        .map(|(voter, m, sig)| (voter.0, m.as_slice(), *sig))
+                        .collect();
+                    if backend.verify_votes(&items).iter().any(|ok| !ok) {
+                        stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        return VerifyOutcome::Rejected;
+                    }
+                }
+                for (m, agg) in msg.certificates() {
+                    if !backend.verify_aggregate(&m, agg) {
+                        stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        return VerifyOutcome::Rejected;
+                    }
                 }
             }
             stats.verified.fetch_add(1, Ordering::Relaxed);
@@ -618,6 +665,14 @@ pub fn run_replica_pipelined(
 
     let stale_timers_dropped = driver.stale_timers_dropped();
     let wal_bytes = driver.engine().wal_bytes();
+    // When the pipeline and the engine share one backend these are the
+    // unified plane totals; otherwise fall back to what the engine alone
+    // verified on the consensus thread.
+    let verify = config
+        .verify_backend
+        .as_ref()
+        .map(|b| b.stats())
+        .unwrap_or_else(|| driver.engine().verify_stats());
     Ok(PipelineRunReport {
         report: TcpRunReport {
             commits: driver.into_sink().inner,
@@ -630,6 +685,10 @@ pub fn run_replica_pipelined(
             sync_blocks_served: 0,
             restart_recovery_ms: 0,
             wal_bytes,
+            sigs_verified: verify.sigs_verified,
+            verify_batches: verify.verify_batches,
+            cert_cache_hits: verify.cert_cache_hits,
+            verify_cpu_ms: verify.verify_cpu_ms(),
         },
         stats: stats.snapshot(),
         ingest_dropped: pool.map(|p| p.ingest_dropped()).unwrap_or(0),

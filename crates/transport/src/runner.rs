@@ -93,6 +93,15 @@ pub struct TcpRunReport {
     /// Bytes in the engine's write-ahead log at shutdown (0 for
     /// in-memory stores and non-chained engines).
     pub wal_bytes: u64,
+    /// Individual signatures the replica's verify plane checked (0 when
+    /// verification is off).
+    pub sigs_verified: u64,
+    /// Batched verification calls issued (each covering ≥ 2 signatures).
+    pub verify_batches: u64,
+    /// Certificate verifications answered from the bounded LRU cache.
+    pub cert_cache_hits: u64,
+    /// Wall-clock CPU milliseconds spent inside verification calls.
+    pub verify_cpu_ms: u64,
 }
 
 /// A mid-run crash/rejoin cycle for [`run_replica_restarting`].
@@ -607,11 +616,12 @@ pub fn run_replica_restarting(
     }
 
     stop.store(true, Ordering::Relaxed);
-    let (commits, stale_timers_dropped, wal_bytes) = match driver {
+    let (commits, stale_timers_dropped, wal_bytes, verify) = match driver {
         Some(d) => {
             let stale = stale_accum + d.stale_timers_dropped();
             let wal = d.engine().wal_bytes();
-            (d.into_sink().inner, stale, wal)
+            let verify = d.engine().verify_stats();
+            (d.into_sink().inner, stale, wal, verify)
         }
         // Crashed and never rejoined before the deadline: report the
         // first life's commits.
@@ -619,6 +629,7 @@ pub fn run_replica_restarting(
             down_sink.map(|s| s.inner).unwrap_or_default(),
             stale_accum,
             0,
+            Default::default(),
         ),
     };
     Ok(TcpRunReport {
@@ -630,6 +641,10 @@ pub fn run_replica_restarting(
         sync_blocks_served,
         restart_recovery_ms,
         wal_bytes,
+        sigs_verified: verify.sigs_verified,
+        verify_batches: verify.verify_batches,
+        cert_cache_hits: verify.cert_cache_hits,
+        verify_cpu_ms: verify.verify_cpu_ms(),
     })
 }
 

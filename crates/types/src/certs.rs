@@ -13,6 +13,27 @@
 //! Certificates carry [`AggregateSignature`]s; semantic validation (does
 //! this quorum actually satisfy Definition 7.6?) lives with the engines in
 //! `banyan-core`, which know the beacon and configuration.
+//!
+//! # Aggregate payload format and scheme negotiation
+//!
+//! The wire codec treats an aggregate's `data` as an opaque byte string:
+//! its internal format is determined by the signature scheme the cluster's
+//! key registry was built with (`PublicKeyTable::scheme().scheme_id()`),
+//! not by anything on the wire. A cluster running the compact Schnorr codec
+//! (`SCHEME_ID_SCHNORR_COMPACT`) ships `9 + 8k`-byte certificates where the
+//! naive encoding would ship `16k`; both round-trip through the same
+//! [`Wire`] impl unchanged. Mixing scheme ids across a cluster is a
+//! configuration error and surfaces as verification failure, never as a
+//! codec error.
+//!
+//! # Quorum gating
+//!
+//! `verify_aggregate` on every scheme deliberately accepts an *empty*
+//! aggregate — it attests nothing and vacuously verifies. Engines must
+//! therefore check the bitmap popcount against the quorum threshold
+//! **before** paying for (or trusting) cryptographic verification; the
+//! `meets_quorum` helpers on each certificate type exist so that check is
+//! one obvious call rather than re-derived arithmetic at every call site.
 
 use banyan_crypto::{AggregateSignature, SignerBitmap};
 
@@ -85,6 +106,14 @@ impl Notarization {
         }
     }
 
+    /// True iff the certificate's distinct-voter count reaches `quorum`.
+    ///
+    /// Must be checked *before* `verify_aggregate`: an empty (or
+    /// below-quorum) aggregate verifies trivially under every scheme.
+    pub fn meets_quorum(&self, quorum: usize) -> bool {
+        self.vote_count() >= quorum
+    }
+
     /// Number of distinct voters across both aggregates.
     pub fn vote_count(&self) -> usize {
         match &self.fast_agg {
@@ -153,6 +182,14 @@ impl Finalization {
     /// Number of distinct voters in the certificate.
     pub fn vote_count(&self) -> usize {
         self.agg.count()
+    }
+
+    /// True iff the certificate's voter count reaches `quorum` (the slow
+    /// and fast paths have different thresholds; the caller passes the one
+    /// matching [`Finalization::kind`]). Must be checked *before*
+    /// `verify_aggregate` — see the module docs on quorum gating.
+    pub fn meets_quorum(&self, quorum: usize) -> bool {
+        self.vote_count() >= quorum
     }
 }
 
@@ -288,6 +325,25 @@ impl QuorumCert {
     pub fn is_genesis(&self) -> bool {
         self.view == 0 && self.block == BlockHash::ZERO
     }
+
+    /// The byte string every vote aggregated into a QC for
+    /// `(view, block)` signs. Identical for all voters, which is what
+    /// makes HotStuff votes aggregatable.
+    pub fn signing_message(view: u64, block: &BlockHash) -> Vec<u8> {
+        let mut m = Vec::with_capacity(20 + 8 + 32);
+        m.extend_from_slice(b"banyan/hotstuff/vote");
+        m.extend_from_slice(&view.to_le_bytes());
+        m.extend_from_slice(&block.0);
+        m
+    }
+
+    /// True iff this QC carries at least `quorum` votes. The genesis
+    /// certificate is exempt by convention (it carries none). Must be
+    /// checked *before* `verify_aggregate` — see the module docs on
+    /// quorum gating.
+    pub fn meets_quorum(&self, quorum: usize) -> bool {
+        self.is_genesis() || self.agg.count() >= quorum
+    }
 }
 
 impl Wire for QuorumCert {
@@ -420,6 +476,70 @@ mod tests {
             agg: agg(4, &[0, 1, 2]),
         };
         assert!(!real.is_genesis());
+    }
+
+    #[test]
+    fn quorum_gates_reject_below_threshold_certificates() {
+        let n = Notarization::from_votes(Round(7), BlockHash([1; 32]), agg(4, &[0, 1]));
+        assert!(n.meets_quorum(2));
+        assert!(!n.meets_quorum(3));
+        // Remark 7.8 mode counts the distinct union across both aggregates.
+        let two_sig = Notarization {
+            fast_agg: Some(agg(4, &[1, 2])),
+            ..n.clone()
+        };
+        assert!(two_sig.meets_quorum(3));
+        assert!(!two_sig.meets_quorum(4));
+
+        let f = Finalization {
+            round: Round(2),
+            block: BlockHash([2; 32]),
+            kind: FinalKind::Slow,
+            agg: agg(4, &[0]),
+        };
+        assert!(f.meets_quorum(1));
+        assert!(!f.meets_quorum(2));
+
+        // The empty aggregate is the footgun: it verifies trivially under
+        // every scheme, so the gate is the only thing standing between a
+        // forged zero-vote certificate and acceptance.
+        let empty = Finalization {
+            agg: agg(4, &[]),
+            ..f
+        };
+        assert!(!empty.meets_quorum(1));
+    }
+
+    #[test]
+    fn quorum_cert_gate_exempts_genesis_only() {
+        assert!(QuorumCert::genesis().meets_quorum(3));
+        let real = QuorumCert {
+            view: 3,
+            block: BlockHash([1; 32]),
+            agg: agg(4, &[0, 1]),
+        };
+        assert!(real.meets_quorum(2));
+        assert!(!real.meets_quorum(3));
+        // A non-genesis QC with an empty aggregate gets no exemption.
+        let hollow = QuorumCert {
+            view: 3,
+            block: BlockHash([1; 32]),
+            agg: agg(4, &[]),
+        };
+        assert!(!hollow.meets_quorum(1));
+    }
+
+    #[test]
+    fn qc_signing_message_binds_view_and_block() {
+        let b = BlockHash([1; 32]);
+        assert_ne!(
+            QuorumCert::signing_message(1, &b),
+            QuorumCert::signing_message(2, &b)
+        );
+        assert_ne!(
+            QuorumCert::signing_message(1, &b),
+            QuorumCert::signing_message(1, &BlockHash([2; 32]))
+        );
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //! same engines, which is what makes simulation results transferable and
 //! every run reproducible from a seed.
 
+use std::sync::Arc;
+
+use banyan_crypto::{VerifyBackend, VerifyStats};
+
 use crate::ids::{BlockHash, ReplicaId, Round};
 use crate::message::Message;
 use crate::payload::Payload;
@@ -220,6 +224,25 @@ pub trait Engine: Send {
     /// metrics, not a protocol input.
     fn wal_bytes(&self) -> u64 {
         0
+    }
+
+    /// Cumulative signature-verification counters for this engine's verify
+    /// plane (signatures checked, batches formed, certificate-cache hits).
+    /// Like [`Engine::wal_bytes`] this is a gauge for harness metrics, not
+    /// a protocol input. The default — all zeros — means the engine does
+    /// not route verification through an instrumented backend.
+    fn verify_stats(&self) -> VerifyStats {
+        VerifyStats::default()
+    }
+
+    /// Installs a verify backend for this engine's signature checks.
+    /// Drivers call this to share one batched/cached backend between the
+    /// engine and transport-level verify workers, so a certificate
+    /// pre-verified off-thread is a cache hit on the consensus thread.
+    /// Engines that do not route verification through a backend ignore it
+    /// (the default).
+    fn set_verify_backend(&mut self, backend: Arc<dyn VerifyBackend>) {
+        let _ = backend;
     }
 }
 
