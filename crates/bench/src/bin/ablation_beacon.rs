@@ -63,6 +63,8 @@ fn run_with_beacon(seeded: Option<u64>, topo: &Topology, payload: u64, secs: u64
         committed_rounds: sim.auditor().committed_rounds(),
         messages: m.messages_sent,
         bytes: m.bytes_sent,
+        gossip_bytes: 0,
+        forwards_dropped: 0,
         safe: sim.auditor().is_safe(),
     }
 }

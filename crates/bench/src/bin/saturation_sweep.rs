@@ -12,7 +12,8 @@
 //! Run: `cargo run --release -p banyan-bench --bin saturation_sweep -- \
 //!       [--quick] [--json] [--gossip] [--retry-ms N] [--fanout K] \
 //!       [--speculative] [--batch-min-bytes N] [--batch-age-ms N] \
-//!       [--shards S] [--assert-no-drop] [--assert-max-dups] [secs]`
+//!       [--shards S] [--cohorts] [--fanout-tree F] \
+//!       [--assert-no-drop] [--assert-max-dups] [--assert-gossip-bytes] [secs]`
 //!
 //! * `--quick` shrinks the sweep to a CI-sized smoke test;
 //! * `--json` emits one machine-readable JSON object per protocol
@@ -64,6 +65,19 @@
 //!   beats unbatched, the batched run actually batched and hit its cert
 //!   cache, and (with retry/gossip on) no point lost a request — the CI
 //!   gate that keeps crypto-on the viable measured configuration;
+//! * `--cohorts` sweeps **cohort-aggregated modeled populations** (10³ up
+//!   to 10⁶ modeled clients folded into 64 cohorts, token-paced, with a
+//!   global admission cap) instead of real closed-loop clients — memory
+//!   stays `O(cohorts)` regardless of the modeled population;
+//! * `--fanout-tree F` switches gossip to **propagation-limited** mode:
+//!   pushes travel a degree-`F` tree (ring successor + lowest-delay
+//!   peers) through bounded per-peer queues with credit backpressure,
+//!   relays going out as compact announce records (implies `--gossip`);
+//! * `--assert-gossip-bytes` (requires `--fanout-tree`) exits nonzero
+//!   unless an n=8 comparison shows tree gossip bytes/request at most
+//!   50% of broadcast gossip with zero request loss, and — with
+//!   `--cohorts` — every protocol's saturation knee sits at ≥ 10⁵
+//!   modeled clients;
 //! * `secs` overrides the per-point measured duration.
 //!
 //! Without dissemination flags the sweep reproduces the historical
@@ -75,8 +89,8 @@
 
 use banyan_bench::runner::{CryptoMode, Scenario};
 use banyan_bench::sweep::{
-    knee_index, knee_p50_ms, mean_rounds_per_commit, measure, point_row, sweep_header, sweep_json,
-    SweepPoint,
+    knee_index, knee_p50_ms, mean_rounds_per_commit, measure, measure_cohorts, point_row,
+    sweep_header, sweep_json, SweepPoint,
 };
 use banyan_simnet::topology::Topology;
 use banyan_simnet::AWS_REGIONS;
@@ -95,10 +109,13 @@ struct Args {
     restart: bool,
     optimistic: bool,
     crypto: bool,
+    cohorts: bool,
+    fanout_tree: usize,
     assert_no_drop: bool,
     assert_max_dups: bool,
     assert_rpc: bool,
     assert_crypto: bool,
+    assert_gossip_bytes: bool,
     secs: Option<u64>,
 }
 
@@ -116,10 +133,13 @@ fn parse_args() -> Args {
         restart: false,
         optimistic: false,
         crypto: false,
+        cohorts: false,
+        fanout_tree: 0,
         assert_no_drop: false,
         assert_max_dups: false,
         assert_rpc: false,
         assert_crypto: false,
+        assert_gossip_bytes: false,
         secs: None,
     };
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -133,10 +153,19 @@ fn parse_args() -> Args {
             "--restart" => args.restart = true,
             "--optimistic" => args.optimistic = true,
             "--crypto" => args.crypto = true,
+            "--cohorts" => args.cohorts = true,
             "--assert-no-drop" => args.assert_no_drop = true,
             "--assert-max-dups" => args.assert_max_dups = true,
             "--assert-rpc" => args.assert_rpc = true,
             "--assert-crypto" => args.assert_crypto = true,
+            "--assert-gossip-bytes" => args.assert_gossip_bytes = true,
+            "--fanout-tree" => {
+                args.fanout_tree = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&f: &usize| f > 0)
+                    .expect("--fanout-tree takes a positive tree degree")
+            }
             "--retry-ms" => {
                 args.retry_ms = Some(
                     it.next()
@@ -196,6 +225,10 @@ fn main() {
         !args.assert_crypto || args.crypto,
         "--assert-crypto gates the crypto sweep; pass --crypto too"
     );
+    assert!(
+        !args.assert_gossip_bytes || args.fanout_tree > 0,
+        "--assert-gossip-bytes compares the fanout tree against broadcast; pass --fanout-tree too"
+    );
     if args.crypto {
         crypto_sweep(&args);
         return;
@@ -209,11 +242,31 @@ fn main() {
     } else {
         &[1, 2, 4, 8, 16, 32, 64, 128, 256]
     };
+    // Modeled populations for `--cohorts`: each point folds the whole
+    // population into COHORT_COUNT token-paced cohorts, so sweeping to a
+    // million clients costs the same workload memory as sweeping to one.
+    let cohort_populations: &[u64] = if args.quick {
+        &[1_000, 10_000, 100_000, 1_000_000]
+    } else {
+        &[1_000, 10_000, 100_000, 300_000, 1_000_000]
+    };
+    const COHORT_COUNT: u16 = 64;
+    // Well above the sweep's bandwidth-delay product (~130 requests at
+    // the plateau) but small enough that an overloaded point cannot
+    // drain huge batches into every proposal until serialization blows
+    // the protocol timeout. 256 = the closed-loop quick sweep's top
+    // point (64 clients × window 4), a known-sustainable pool depth.
+    const MAX_OUTSTANDING: u64 = 256;
+    // One request per modeled member per 25 s: 10⁵ clients offer ~4k req/s
+    // (around the n=4 plateau) and 10⁶ offer ~40k (far past it), so the
+    // knee lands inside the modeled range instead of at the first point.
+    const MEMBER_INTERVAL_SECS: u64 = 25;
     let window = 4;
     let think = Duration::ZERO;
     let request_size = 512;
     let seed = 42;
-    let disseminating = args.gossip || args.retry_ms.is_some() || args.fanout > 1;
+    let disseminating =
+        args.gossip || args.retry_ms.is_some() || args.fanout > 1 || args.fanout_tree > 0;
     // Drain long enough for a few retry rounds (or a few consensus
     // rounds, when only gossip/fanout is on) to settle loss accounting.
     let drain_secs = if disseminating {
@@ -233,22 +286,29 @@ fn main() {
         );
         println!("# goodput = committed requests/s; knee = first point at 90% of plateau goodput");
         match (args.gossip, args.retry_ms) {
-            (false, None) if args.fanout == 1 => println!(
+            (false, None) if args.fanout == 1 && args.fanout_tree == 0 => println!(
                 "# dissemination off: past saturation, requests batched into never-finalized\n\
                  # proposals are lost (lost column) and the effective population shrinks\n"
             ),
             _ => println!(
-                "# dissemination on (gossip={}, retry={:?} ms, fanout={}, speculative={}, \
-                 batch_policy={}), drain={drain_secs}s: lost must be 0\n",
+                "# dissemination on (gossip={}, retry={:?} ms, fanout={}, fanout_tree={}, \
+                 speculative={}, batch_policy={}), drain={drain_secs}s: lost must be 0\n",
                 args.gossip,
                 args.retry_ms,
                 args.fanout,
+                args.fanout_tree,
                 args.speculative,
                 match batch_policy {
                     Some((min, age)) => format!("{min}B/{}ms", age.as_millis_f64()),
                     None => "eager".to_string(),
                 }
             ),
+        }
+        if args.cohorts {
+            println!(
+                "# cohort workload: modeled clients folded into {COHORT_COUNT} cohorts, one \
+                 request per member per {MEMBER_INTERVAL_SECS}s, admission cap {MAX_OUTSTANDING}\n"
+            );
         }
     }
 
@@ -284,6 +344,9 @@ fn main() {
         if args.gossip {
             base = base.gossip();
         }
+        if args.fanout_tree > 0 {
+            base = base.fanout_tree(args.fanout_tree);
+        }
         if let Some(ms) = args.retry_ms {
             base = base.retry_timeout(Duration::from_millis(ms));
         }
@@ -307,10 +370,21 @@ fn main() {
                 q.saturating_mul(3),
             );
         }
-        let points: Vec<SweepPoint> = populations
-            .iter()
-            .map(|&clients| measure(&base, clients, window, think))
-            .collect();
+        let points: Vec<SweepPoint> = if args.cohorts {
+            let cohort_base = base
+                .clone()
+                .member_interval(Duration::from_secs(MEMBER_INTERVAL_SECS))
+                .max_outstanding(MAX_OUTSTANDING);
+            cohort_populations
+                .iter()
+                .map(|&modeled| measure_cohorts(&cohort_base, modeled, COHORT_COUNT, window, think))
+                .collect()
+        } else {
+            populations
+                .iter()
+                .map(|&clients| measure(&base, clients, window, think))
+                .collect()
+        };
         let knee = knee_index(&points);
         if protocol == "icc" {
             icc_pair[usize::from(optimistic)] = Some(points.clone());
@@ -344,10 +418,23 @@ fn main() {
         if args.assert_max_dups {
             check_max_dups(label, &points, &mut failures);
         }
+        if args.assert_gossip_bytes && args.cohorts {
+            match knee {
+                Some(i) if points[i].clients >= 100_000 => {}
+                Some(i) => failures.push(format!(
+                    "{label}: saturation knee at {} modeled clients — below the 1e5 floor",
+                    points[i].clients
+                )),
+                None => failures.push(format!("{label}: sweep committed nothing")),
+            }
+        }
     }
 
     if args.assert_rpc {
         check_rpc(&icc_pair, &mut failures);
+    }
+    if args.assert_gossip_bytes {
+        check_gossip_bytes(&args, secs, &mut failures);
     }
 
     if !failures.is_empty() {
@@ -396,6 +483,9 @@ fn crypto_sweep(args: &Args) {
             .shards(args.shards);
         if args.gossip {
             base = base.gossip();
+        }
+        if args.fanout_tree > 0 {
+            base = base.fanout_tree(args.fanout_tree);
         }
         if let Some(ms) = args.retry_ms {
             base = base.retry_timeout(Duration::from_millis(ms));
@@ -615,6 +705,62 @@ fn check_max_dups(protocol: &str, points: &[SweepPoint], failures: &mut Vec<Stri
         failures.push(format!(
             "{protocol}: {duplicates} duplicate inclusions exceed 1% of {committed} committed"
         ));
+    }
+}
+
+/// The propagation-limited gossip gate (`--assert-gossip-bytes`): on an
+/// n=8 cluster, routing pushes down a degree-F fanout tree (relays as
+/// compact announce records) must cost at most half the gossip bytes per
+/// request of full broadcast, and neither configuration may lose a
+/// request — bounded fanout trades bytes for hops, not for durability.
+fn check_gossip_bytes(args: &Args, secs: u64, failures: &mut Vec<String>) {
+    let mk = |tree: usize| {
+        let mut base = Scenario::new(
+            "banyan",
+            Topology::uniform(8, Duration::from_millis(5)).with_egress_bps(100_000_000),
+            2,
+            1,
+        )
+        .request_size(512)
+        .secs(secs)
+        .seed(42)
+        .drain(2)
+        .gossip()
+        .retry_timeout(Duration::from_millis(250));
+        if tree > 0 {
+            base = base.fanout_tree(tree);
+        }
+        base
+    };
+    let broadcast = measure(&mk(0), 32, 4, Duration::ZERO);
+    let tree = measure(&mk(args.fanout_tree), 32, 4, Duration::ZERO);
+    if !args.json {
+        println!(
+            "## gossip bytes gate — banyan n=8, 32 clients: broadcast {:.1} B/req vs \
+             fanout-tree({}) {:.1} B/req\n",
+            broadcast.gossip_bytes_per_req, args.fanout_tree, tree.gossip_bytes_per_req
+        );
+    }
+    if broadcast.gossip_bytes_per_req <= 0.0 || broadcast.committed == 0 || tree.committed == 0 {
+        failures.push(format!(
+            "gossip-bytes gate vacuous (broadcast {:.1} B/req, {} committed; tree {} committed)",
+            broadcast.gossip_bytes_per_req, broadcast.committed, tree.committed
+        ));
+        return;
+    }
+    if tree.gossip_bytes_per_req > 0.5 * broadcast.gossip_bytes_per_req {
+        failures.push(format!(
+            "fanout tree spends {:.1} gossip B/req — more than 50% of broadcast's {:.1}",
+            tree.gossip_bytes_per_req, broadcast.gossip_bytes_per_req
+        ));
+    }
+    for (label, p) in [("broadcast", &broadcast), ("fanout-tree", &tree)] {
+        if p.lost > 0 {
+            failures.push(format!(
+                "gossip-bytes gate: {} request(s) lost under {label}",
+                p.lost
+            ));
+        }
     }
 }
 

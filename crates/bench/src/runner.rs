@@ -12,6 +12,7 @@ use banyan_core::chained::{ByzantineMode, OptimisticConfig};
 use banyan_crypto::ToySchnorr;
 use banyan_mempool::BatchPolicy;
 use banyan_runtime::driver::CommitSink;
+use banyan_simnet::cohort::{CohortWorkload, LoadShape};
 use banyan_simnet::faults::FaultPlan;
 use banyan_simnet::metrics::{LatencyStats, RunMetrics, SafetyAuditor};
 use banyan_simnet::sim::{CryptoCost, SimConfig, Simulation};
@@ -88,6 +89,27 @@ pub struct Scenario {
     /// Closed-loop client population size; 0 (the default) means no
     /// closed loop. Takes precedence over `rate`.
     pub clients: u16,
+    /// Cohort-aggregated modeled client population (see
+    /// `banyan_simnet::cohort`); 0 (the default) means none. Takes
+    /// precedence over `clients` and `rate` — this is how sweeps model
+    /// 10⁵–10⁶ clients in `O(cohorts)` memory.
+    pub modeled_clients: u64,
+    /// Cohorts aggregating the modeled clients (only meaningful with
+    /// `modeled_clients > 0`).
+    pub cohorts: u16,
+    /// Global in-flight admission cap for the cohort population; 0 (the
+    /// default) means the full `modeled_clients × window`.
+    pub max_outstanding: u64,
+    /// Token-bucket pacing per *modeled* client (cohort population only);
+    /// `None` resubmits freed slots immediately, the pure closed loop.
+    pub member_interval: Option<Duration>,
+    /// Aggregate load shape for the cohort population.
+    pub shape: LoadShape,
+    /// Propagation-limited gossip: forward pushes down a bounded-fanout
+    /// tree of this degree with per-peer backpressure instead of
+    /// broadcasting to every peer. 0 (the default) keeps broadcast
+    /// gossip. Implies `gossip`.
+    pub fanout_tree: usize,
     /// Outstanding-request window per closed-loop client.
     pub window: u32,
     /// Pause between a closed-loop completion and the resubmission.
@@ -166,6 +188,12 @@ impl Scenario {
             payload: 0,
             rate: 0,
             clients: 0,
+            modeled_clients: 0,
+            cohorts: 0,
+            max_outstanding: 0,
+            member_interval: None,
+            shape: LoadShape::Steady,
+            fanout_tree: 0,
             window: 0,
             think_time: Duration::ZERO,
             request_size: 0,
@@ -214,6 +242,60 @@ impl Scenario {
         self.clients = clients;
         self.window = window;
         self.think_time = think_time;
+        self
+    }
+
+    /// Switches the scenario to a **cohort-aggregated** closed-loop
+    /// population: `modeled_clients` modeled clients folded into
+    /// `cohorts` cohorts, each client keeping `window` outstanding
+    /// requests with `think_time` between completion and resubmission.
+    /// Memory and per-event work are `O(cohorts)`, so sweeping to 10⁶
+    /// modeled clients costs the same as 64. Takes precedence over
+    /// [`closed_loop`](Self::closed_loop) and [`rate`](Self::rate).
+    pub fn cohort_load(
+        mut self,
+        modeled_clients: u64,
+        cohorts: u16,
+        window: u32,
+        think_time: Duration,
+    ) -> Self {
+        self.modeled_clients = modeled_clients;
+        self.cohorts = cohorts;
+        self.window = window;
+        self.think_time = think_time;
+        self
+    }
+
+    /// Paces each modeled client at one submission per `interval`
+    /// (cohort population only).
+    pub fn member_interval(mut self, interval: Duration) -> Self {
+        self.member_interval = Some(interval);
+        self
+    }
+
+    /// Caps the cohort population's total in-flight requests (admission
+    /// control; deferred demand is admitted as completions free slots).
+    pub fn max_outstanding(mut self, cap: u64) -> Self {
+        self.max_outstanding = cap;
+        self
+    }
+
+    /// Installs an aggregate [`LoadShape`] for the cohort population
+    /// (flash crowd, diurnal wave, regional outage with failover).
+    pub fn load_shape(mut self, shape: LoadShape) -> Self {
+        self.shape = shape;
+        self
+    }
+
+    /// Switches gossip to **propagation-limited** mode: each replica
+    /// forwards pushes only to `fanout` tree peers (ring successor +
+    /// lowest-delay picks) through bounded per-peer queues with
+    /// credit-based backpressure; first-time acceptors relay compact
+    /// announcements down their own edges. Implies [`gossip`](Self::gossip).
+    pub fn fanout_tree(mut self, fanout: usize) -> Self {
+        assert!(fanout > 0, "fanout-tree degree must be positive");
+        self.fanout_tree = fanout;
+        self.gossip = true;
         self
     }
 
@@ -305,10 +387,11 @@ impl Scenario {
         self
     }
 
-    /// True when the scenario runs any client workload (open or closed
-    /// loop) instead of leader-minted synthetic payloads.
+    /// True when the scenario runs any client workload (open loop,
+    /// closed loop, or cohort population) instead of leader-minted
+    /// synthetic payloads.
     pub fn client_driven(&self) -> bool {
-        self.clients > 0 || self.rate > 0
+        self.modeled_clients > 0 || self.clients > 0 || self.rate > 0
     }
 
     /// True when any dissemination-layer feature (gossip, retry, submit
@@ -453,6 +536,12 @@ pub struct Outcome {
     pub messages: u64,
     /// Network bytes sent.
     pub bytes: u64,
+    /// Dissemination-layer bytes sent (gossip `Forward` bodies plus
+    /// fanout-tree `Announce` records; subset of `bytes`).
+    pub gossip_bytes: u64,
+    /// Forward-path losses: shared-outbox drops plus per-peer
+    /// backpressure sheds across every pool.
+    pub forwards_dropped: u64,
     /// No safety violation observed (must always be true).
     pub safe: bool,
 }
@@ -550,7 +639,33 @@ pub fn build_simulation(scenario: &Scenario) -> Simulation {
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(1);
-        if scenario.clients > 0 {
+        if scenario.modeled_clients > 0 {
+            let mut workload = CohortWorkload::new(
+                scenario.modeled_clients,
+                scenario.cohorts.max(1),
+                scenario.window,
+                scenario.think_time,
+                scenario.request_size,
+                client_seed,
+                pools,
+            );
+            if scenario.max_outstanding > 0 {
+                workload = workload.with_max_outstanding(scenario.max_outstanding);
+            }
+            if let Some(interval) = scenario.member_interval {
+                workload = workload.with_member_interval(interval);
+            }
+            if scenario.shape != LoadShape::Steady {
+                workload = workload.with_shape(scenario.shape.clone());
+            }
+            if let Some(timeout) = scenario.retry {
+                workload = workload.with_retry(timeout);
+            }
+            if scenario.fanout > 1 {
+                workload = workload.with_fanout(scenario.fanout);
+            }
+            sim.attach_cohorts(workload);
+        } else if scenario.clients > 0 {
             let mut workload = ClosedLoopWorkload::new(
                 scenario.clients,
                 scenario.window,
@@ -585,6 +700,9 @@ pub fn build_simulation(scenario: &Scenario) -> Simulation {
             // reach the pools to retire/release leases even when gossip,
             // retry and fan-out are all off.
             sim.enable_dissemination(scenario.gossip);
+        }
+        if scenario.fanout_tree > 0 {
+            sim.enable_fanout_tree(scenario.fanout_tree);
         }
         if scenario.speculative {
             sim.enable_speculation(payload_chunk);
@@ -709,6 +827,8 @@ fn summarize(scenario: &Scenario, m: &RunMetrics, auditor: &SafetyAuditor) -> Ou
         committed_rounds: auditor.committed_rounds(),
         messages: m.messages_sent,
         bytes: m.bytes_sent,
+        gossip_bytes: m.gossip_bytes,
+        forwards_dropped: m.forwards_dropped,
         safe: auditor.is_safe(),
     }
 }

@@ -16,8 +16,10 @@ use crate::runner::{run, Scenario};
 /// One measured point of a saturation sweep.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SweepPoint {
-    /// Closed-loop population size (number of clients).
-    pub clients: u16,
+    /// Closed-loop population size: real clients for
+    /// [`measure`], *modeled* clients for [`measure_cohorts`] (which is
+    /// why this is wide enough for 10⁶).
+    pub clients: u64,
     /// Outstanding-request window per client.
     pub window: u32,
     /// Committed requests per second.
@@ -72,6 +74,14 @@ pub struct SweepPoint {
     pub cache_hits: u64,
     /// Virtual CPU milliseconds charged for verification.
     pub verify_cpu_ms: u64,
+    /// Dissemination bytes on the wire per submitted request (0 without
+    /// gossip) — the meter propagation-limited gossip exists to shrink:
+    /// broadcast pays ~`(n−1) × size` per request, the fanout tree pays
+    /// `fanout` full copies plus compact announce records.
+    pub gossip_bytes_per_req: f64,
+    /// Forward-path losses: shared-outbox drops plus per-peer
+    /// backpressure sheds across every pool.
+    pub forwards_dropped: u64,
 }
 
 impl SweepPoint {
@@ -136,11 +146,41 @@ pub fn mean_rounds_per_commit(points: &[SweepPoint]) -> Option<f64> {
 /// Panics if the run observes a safety violation.
 pub fn measure(base: &Scenario, clients: u16, window: u32, think_time: Duration) -> SweepPoint {
     let scenario = base.clone().closed_loop(clients, window, think_time);
-    let out = run(&scenario);
+    reduce(&scenario, clients as u64, window)
+}
+
+/// Runs one point of a **cohort** sweep: `base` switched to a
+/// cohort-aggregated population of `modeled` clients in `cohorts`
+/// cohorts. The same [`SweepPoint`] comes back, with `clients` carrying
+/// the *modeled* population (up to millions).
+///
+/// # Panics
+///
+/// Panics if the run observes a safety violation.
+pub fn measure_cohorts(
+    base: &Scenario,
+    modeled: u64,
+    cohorts: u16,
+    window: u32,
+    think_time: Duration,
+) -> SweepPoint {
+    let scenario = base
+        .clone()
+        .cohort_load(modeled, cohorts, window, think_time);
+    reduce(&scenario, modeled, window)
+}
+
+fn reduce(scenario: &Scenario, clients: u64, window: u32) -> SweepPoint {
+    let out = run(scenario);
     assert!(out.safe, "safety violation in {} sweep", scenario.protocol);
     let e2e = out.client_latency.unwrap_or_default();
     let (dup_share, batch_efficiency) =
         SweepPoint::efficiency(out.requests_committed, out.duplicates_suppressed);
+    let gossip_bytes_per_req = if out.requests_submitted > 0 {
+        out.gossip_bytes as f64 / out.requests_submitted as f64
+    } else {
+        0.0
+    };
     SweepPoint {
         clients,
         window,
@@ -164,13 +204,15 @@ pub fn measure(base: &Scenario, clients: u16, window: u32, think_time: Duration)
         batches: out.verify_batches,
         cache_hits: out.cert_cache_hits,
         verify_cpu_ms: out.verify_cpu_ms,
+        gossip_bytes_per_req,
+        forwards_dropped: out.forwards_dropped,
     }
 }
 
 /// Header matching [`point_row`].
 pub fn sweep_header() -> String {
     format!(
-        "{:>8} {:>7} {:>12} {:>10} {:>10} {:>9} {:>6} {:>10} {:>10} {:>6} {:>8} {:>6} {:>6} {:>6} {:>5} {:>7} {:>7} {:>9} {:>9} {:>8} {:>7} {:>8}  {}",
+        "{:>8} {:>7} {:>12} {:>10} {:>10} {:>9} {:>6} {:>10} {:>10} {:>6} {:>8} {:>6} {:>6} {:>6} {:>5} {:>7} {:>7} {:>9} {:>9} {:>8} {:>7} {:>8} {:>10} {:>8}  {}",
         "clients",
         "window",
         "goodput/s",
@@ -193,6 +235,8 @@ pub fn sweep_header() -> String {
         "batches",
         "cacheh",
         "vcpu.ms",
+        "gsp.B/req",
+        "fwd.drop",
         ""
     )
 }
@@ -200,7 +244,7 @@ pub fn sweep_header() -> String {
 /// Formats one sweep point; `knee` appends the saturation marker.
 pub fn point_row(p: &SweepPoint, knee: bool) -> String {
     format!(
-        "{:>8} {:>7} {:>12.1} {:>10.2} {:>10.2} {:>9.3} {:>6.2} {:>10} {:>10} {:>6} {:>8} {:>6} {:>6.2} {:>6.1} {:>5} {:>7} {:>7} {:>9} {:>9} {:>8} {:>7} {:>8}  {}",
+        "{:>8} {:>7} {:>12.1} {:>10.2} {:>10.2} {:>9.3} {:>6.2} {:>10} {:>10} {:>6} {:>8} {:>6} {:>6.2} {:>6.1} {:>5} {:>7} {:>7} {:>9} {:>9} {:>8} {:>7} {:>8} {:>10.1} {:>8}  {}",
         p.clients,
         p.window,
         p.goodput_rps,
@@ -223,6 +267,8 @@ pub fn point_row(p: &SweepPoint, knee: bool) -> String {
         p.batches,
         p.cache_hits,
         p.verify_cpu_ms,
+        p.gossip_bytes_per_req,
+        p.forwards_dropped,
         if knee { "<- knee" } else { "" }
     )
 }
@@ -237,7 +283,8 @@ pub fn point_json(p: &SweepPoint) -> String {
          \"lost\":{},\"retried\":{},\"duplicates\":{},\"dup_share\":{:.5},\
          \"batch_efficiency\":{:.5},\"sync_requests\":{},\"sync_blocks\":{},\
          \"recovery_ms\":{},\"wal_bytes\":{},\"sigs\":{},\"batches\":{},\
-         \"cache_hits\":{},\"verify_cpu_ms\":{}}}",
+         \"cache_hits\":{},\"verify_cpu_ms\":{},\
+         \"gossip_bytes_per_req\":{:.3},\"forwards_dropped\":{}}}",
         p.clients,
         p.window,
         p.goodput_rps,
@@ -259,7 +306,9 @@ pub fn point_json(p: &SweepPoint) -> String {
         p.sigs,
         p.batches,
         p.cache_hits,
-        p.verify_cpu_ms
+        p.verify_cpu_ms,
+        p.gossip_bytes_per_req,
+        p.forwards_dropped
     )
 }
 
@@ -285,7 +334,7 @@ pub fn sweep_json(protocol: &str, points: &[SweepPoint]) -> String {
 mod tests {
     use super::*;
 
-    fn pt(clients: u16, goodput: f64) -> SweepPoint {
+    fn pt(clients: u64, goodput: f64) -> SweepPoint {
         let (dup_share, batch_efficiency) = SweepPoint::efficiency(90, 1);
         SweepPoint {
             clients,
@@ -310,6 +359,8 @@ mod tests {
             batches: 32,
             cache_hits: 16,
             verify_cpu_ms: 25,
+            gossip_bytes_per_req: 1536.5,
+            forwards_dropped: 4,
         }
     }
 
@@ -385,6 +436,11 @@ mod tests {
         );
         assert!(row.contains("640"), "sigs column present: {row}");
         assert!(row.contains("25"), "vcpu column present: {row}");
+        assert!(
+            header.contains("gsp.B/req") && header.contains("fwd.drop"),
+            "gossip columns in header: {header}"
+        );
+        assert!(row.contains("1536.5"), "gossip-bytes column present: {row}");
     }
 
     #[test]
@@ -407,6 +463,8 @@ mod tests {
         assert!(json.contains("\"batches\":32"));
         assert!(json.contains("\"cache_hits\":16"));
         assert!(json.contains("\"verify_cpu_ms\":25"));
+        assert!(json.contains("\"gossip_bytes_per_req\":1536.500"));
+        assert!(json.contains("\"forwards_dropped\":4"));
         assert!(json.ends_with("]}"));
         // An empty sweep has a null knee and an empty points array.
         assert_eq!(

@@ -164,3 +164,81 @@ fn gossip_cuts_tail_latency_at_low_rates() {
         );
     }
 }
+
+/// The propagation-limited tree (ISSUE 10): pushing through a bounded
+/// degree-2 fanout tree with compact announce relays must still reach
+/// every potential leader — zero loss with *no* client retry to mask a
+/// hole in the tree — while spending at most half of broadcast gossip's
+/// bytes per request on an n=8 cluster.
+#[test]
+fn fanout_tree_reaches_every_replica_at_half_the_gossip_bytes() {
+    let n8 = |tree: bool| {
+        let mut s = Scenario::new(
+            "banyan",
+            Topology::uniform(8, Duration::from_millis(5)).with_egress_bps(100_000_000),
+            2,
+            1,
+        )
+        .closed_loop(16, 2, Duration::ZERO)
+        .request_size(512)
+        .secs(2)
+        .seed(42)
+        .gossip()
+        .drain(3);
+        if tree {
+            s = s.fanout_tree(2);
+        }
+        s
+    };
+    let (broadcast, _) = run_metrics(&n8(false));
+    let (tree, auditor) = run_metrics(&n8(true));
+    assert!(auditor.is_safe());
+    assert!(tree.requests_submitted > 0);
+    assert_eq!(
+        tree.requests_lost(),
+        0,
+        "a request pushed down the tree must reach a leader without retry \
+         (completed {} of {})",
+        tree.requests_completed,
+        tree.requests_submitted
+    );
+    assert_eq!(tree.requests_completed, tree.requests_submitted);
+    assert!(tree.gossip_bytes > 0, "tree gossip must be metered");
+    let tree_per_req = tree.gossip_bytes as f64 / tree.requests_submitted as f64;
+    let bcast_per_req = broadcast.gossip_bytes as f64 / broadcast.requests_submitted as f64;
+    assert!(
+        tree_per_req <= 0.5 * bcast_per_req,
+        "tree must spend at most half of broadcast's gossip bytes per \
+         request, got {tree_per_req:.1} vs {bcast_per_req:.1}"
+    );
+}
+
+/// A cohort-aggregated population riding the fanout tree is still
+/// bit-deterministic per seed — the tentpole pair composes without
+/// breaking the simulator's reproducibility contract.
+#[test]
+fn cohort_tree_runs_are_deterministic() {
+    let scenario = |seed: u64| {
+        Scenario::new(
+            "banyan",
+            Topology::uniform(4, Duration::from_millis(5)).with_egress_bps(100_000_000),
+            1,
+            1,
+        )
+        .cohort_load(100_000, 32, 4, Duration::ZERO)
+        .member_interval(Duration::from_secs(25))
+        .max_outstanding(256)
+        .fanout_tree(2)
+        .request_size(512)
+        .secs(2)
+        .seed(seed)
+        .drain(2)
+    };
+    let (a, auditor_a) = run_metrics(&scenario(42));
+    let (b, _) = run_metrics(&scenario(42));
+    assert!(auditor_a.is_safe());
+    assert!(a.requests_submitted > 1_000, "the modeled load must flow");
+    assert_eq!(a, b, "same seed must reproduce the run exactly");
+    let (c, _) = run_metrics(&scenario(43));
+    assert_ne!(a, c, "different seeds must diverge");
+}

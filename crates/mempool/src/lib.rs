@@ -150,6 +150,17 @@ pub const DEFAULT_MAX_BATCH_BYTES: u64 = 2_000_000;
 /// delayed request, never a lost one.
 pub const DEFAULT_OUTBOX_CAP: usize = 16_384;
 
+/// Default bound on each **per-peer** relay queue (propagation-limited
+/// gossip). Past it the oldest queued entry for that peer is shed and
+/// counted in [`Mempool::peer_sheds`] — a slow or partitioned peer sheds
+/// its own queue, never the pool's other queues.
+pub const DEFAULT_PEER_QUEUE_CAP: usize = 4_096;
+
+/// Default credit per peer queue: how many requests a driver may take for
+/// one peer before it must [`grant_peer_credit`](Mempool::grant_peer_credit)
+/// (i.e. confirm the previous flush was actually transmitted).
+pub const DEFAULT_PEER_CREDIT: u32 = 512;
+
 /// Latency-targeted batching policy: when may a leader return an *empty*
 /// payload instead of draining the pool?
 ///
@@ -241,6 +252,17 @@ pub struct Mempool {
     outbox: VecDeque<Request>,
     /// Outbox bound: past it the oldest queued forward is dropped.
     outbox_cap: usize,
+    /// Per-peer relay queues (propagation-limited gossip). Empty =
+    /// broadcast mode (the shared outbox above). Non-empty diverts every
+    /// gossiped request into one bounded, credit-gated queue per fanout
+    /// peer.
+    peer_queues: Vec<PeerQueue>,
+    /// Bound on each per-peer queue (drop-oldest past it).
+    peer_queue_cap: usize,
+    /// Credit ceiling per peer queue; see [`take_peer_outbox`](Self::take_peer_outbox).
+    peer_credit_max: u32,
+    /// Entries shed by per-peer queue bounds so far (all peers).
+    peer_sheds: u64,
     /// `Some(payload_chunk)` when the speculative lease machinery is on
     /// (the chunk size parameterizes block hashing in
     /// [`observe_proposal`](Self::observe_proposal)).
@@ -267,6 +289,38 @@ struct Shard {
     queue: VecDeque<(u64, Request)>,
     pending: HashMap<u64, u64>,
     pending_bytes: u64,
+}
+
+/// One peer's bounded outbound relay queue (propagation-limited gossip).
+/// Entries are `(request, relay)`: `relay = false` for locally pushed
+/// requests (first hop, shipped as `Forward` with bodies), `true` for
+/// requests accepted from a peer and relayed onward (shipped as the
+/// compact `Announce`).
+#[derive(Debug)]
+struct PeerQueue {
+    /// The peer's replica index.
+    peer: usize,
+    queue: VecDeque<(Request, bool)>,
+    /// Remaining take credit; consumed by
+    /// [`Mempool::take_peer_outbox`], restored by
+    /// [`Mempool::grant_peer_credit`] once the driver confirms delivery.
+    credit: u32,
+    /// Entries shed by this queue's bound so far.
+    sheds: u64,
+}
+
+impl PeerQueue {
+    /// Appends an entry, shedding the oldest past `cap`. Returns `true`
+    /// when an entry was shed.
+    fn enqueue(&mut self, entry: (Request, bool), cap: usize) -> bool {
+        self.queue.push_back(entry);
+        if self.queue.len() > cap {
+            self.queue.pop_front();
+            self.sheds += 1;
+            return true;
+        }
+        false
+    }
 }
 
 /// The stable shard of `id` among `shards`: a Fibonacci-hash spread so
@@ -297,6 +351,10 @@ impl Mempool {
             gossip: false,
             outbox: VecDeque::new(),
             outbox_cap: DEFAULT_OUTBOX_CAP,
+            peer_queues: Vec::new(),
+            peer_queue_cap: DEFAULT_PEER_QUEUE_CAP,
+            peer_credit_max: DEFAULT_PEER_CREDIT,
+            peer_sheds: 0,
             speculation: None,
             leases: LeaseTable::new(),
             accepted: 0,
@@ -392,6 +450,52 @@ impl Mempool {
         self
     }
 
+    /// Switches gossip into **propagation-limited** mode: one bounded,
+    /// credit-gated relay queue per fanout peer (`peers` are replica
+    /// indices — typically `Topology::fanout_peers`). Locally pushed
+    /// requests go to every peer queue instead of the shared outbox, and
+    /// the driver relays first-time peer acceptances onward via
+    /// [`queue_relay`](Self::queue_relay). Implies gossip. Any previously
+    /// queued per-peer entries are discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peers` is empty, or if `cap`/`credit` is zero.
+    pub fn set_peer_queues(&mut self, peers: &[usize], cap: usize, credit: u32) {
+        assert!(!peers.is_empty(), "at least one fanout peer");
+        assert!(cap > 0, "peer queue cap must be positive");
+        assert!(credit > 0, "peer credit must be positive");
+        self.gossip = true;
+        self.peer_queue_cap = cap;
+        self.peer_credit_max = credit;
+        self.peer_queues = peers
+            .iter()
+            .map(|&peer| PeerQueue {
+                peer,
+                queue: VecDeque::new(),
+                credit,
+                sheds: 0,
+            })
+            .collect();
+    }
+
+    /// Builder-style [`set_peer_queues`](Self::set_peer_queues) with the
+    /// default cap and credit.
+    pub fn with_peer_queues(mut self, peers: &[usize]) -> Self {
+        self.set_peer_queues(peers, DEFAULT_PEER_QUEUE_CAP, DEFAULT_PEER_CREDIT);
+        self
+    }
+
+    /// True when per-peer relay queues are configured.
+    pub fn peer_queues_enabled(&self) -> bool {
+        !self.peer_queues.is_empty()
+    }
+
+    /// The configured fanout peers, in configuration order.
+    pub fn peer_ids(&self) -> Vec<usize> {
+        self.peer_queues.iter().map(|q| q.peer).collect()
+    }
+
     /// Builder-style: enables the speculative lease machinery.
     /// `payload_chunk` must match the cluster's
     /// `ProtocolConfig::payload_chunk` so observed blocks hash to the same
@@ -445,13 +549,25 @@ impl Mempool {
                 PushOutcome::Accepted | PushOutcome::AcceptedEvicting(_)
             )
         {
-            self.outbox.push_back(req);
-            // Bounded outbox: a replica whose driver cannot flush (e.g.
-            // one side of a partition) sheds the oldest queued forwards
-            // rather than growing without limit.
-            if self.outbox.len() > self.outbox_cap {
-                self.outbox.pop_front();
-                self.forward_dropped += 1;
+            if self.peer_queues_enabled() {
+                // Propagation-limited mode: first hop goes to each fanout
+                // peer's own queue (bodies, shipped as `Forward`). A full
+                // queue sheds only itself.
+                let cap = self.peer_queue_cap;
+                for pq in &mut self.peer_queues {
+                    if pq.enqueue((req, false), cap) {
+                        self.peer_sheds += 1;
+                    }
+                }
+            } else {
+                self.outbox.push_back(req);
+                // Bounded outbox: a replica whose driver cannot flush
+                // (e.g. one side of a partition) sheds the oldest queued
+                // forwards rather than growing without limit.
+                if self.outbox.len() > self.outbox_cap {
+                    self.outbox.pop_front();
+                    self.forward_dropped += 1;
+                }
             }
         }
         outcome
@@ -714,6 +830,72 @@ impl Mempool {
             .collect()
     }
 
+    /// Queues `req` for relay to every configured fanout peer except
+    /// `exclude` (the peer it arrived from — relaying a forward straight
+    /// back wastes an edge). Drivers call this when
+    /// [`accept_forwarded`](Self::accept_forwarded) reports a *first*
+    /// acceptance; duplicate arrivals are never relayed, which is what
+    /// terminates the cascade. Entries ship as the compact `Announce`.
+    /// No-op in broadcast mode.
+    pub fn queue_relay(&mut self, req: Request, exclude: Option<usize>) {
+        let cap = self.peer_queue_cap;
+        let mut sheds = 0;
+        for pq in &mut self.peer_queues {
+            if Some(pq.peer) == exclude {
+                continue;
+            }
+            if pq.enqueue((req, true), cap) {
+                sheds += 1;
+            }
+        }
+        self.peer_sheds += sheds;
+    }
+
+    /// Drains up to `credit` entries of `peer`'s relay queue, oldest
+    /// first, consuming one credit per entry returned. Each entry is
+    /// `(request, relay)` — `relay = false` first-hop bodies (`Forward`),
+    /// `true` onward relays (`Announce`). Requests observed committed in
+    /// the meantime are discarded without consuming credit. Returns empty
+    /// for unknown peers, an empty queue, or exhausted credit — the
+    /// backpressure rule: no credit, no take, and the queue keeps filling
+    /// until it sheds its own oldest entries.
+    pub fn take_peer_outbox(&mut self, peer: usize) -> Vec<(Request, bool)> {
+        let Some(pq) = self.peer_queues.iter_mut().find(|q| q.peer == peer) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        while pq.credit > 0 {
+            let Some((req, relay)) = pq.queue.pop_front() else {
+                break;
+            };
+            if self.committed_ids.contains(&req.id) {
+                continue;
+            }
+            pq.credit -= 1;
+            out.push((req, relay));
+        }
+        out
+    }
+
+    /// Restores `n` credits to `peer`'s queue (capped at the configured
+    /// ceiling). Drivers call this once a previous take was actually
+    /// handed to the transport — a peer whose writer is wedged never gets
+    /// its credit back, so its queue fills and sheds alone.
+    pub fn grant_peer_credit(&mut self, peer: usize, n: u32) {
+        let max = self.peer_credit_max;
+        if let Some(pq) = self.peer_queues.iter_mut().find(|q| q.peer == peer) {
+            pq.credit = pq.credit.saturating_add(n).min(max);
+        }
+    }
+
+    /// Queued entries currently waiting for `peer` (tests, diagnostics).
+    pub fn peer_queue_len(&self, peer: usize) -> usize {
+        self.peer_queues
+            .iter()
+            .find(|q| q.peer == peer)
+            .map_or(0, |q| q.queue.len())
+    }
+
     /// Removes and returns up to `max` requests, oldest first.
     pub fn drain(&mut self, max: usize) -> Vec<Request> {
         self.drain_bounded(max, u64::MAX)
@@ -938,6 +1120,11 @@ impl Mempool {
     /// Queued forwards dropped by the outbox bound so far.
     pub fn forward_dropped(&self) -> u64 {
         self.forward_dropped
+    }
+
+    /// Entries shed by per-peer relay-queue bounds so far (all peers).
+    pub fn peer_sheds(&self) -> u64 {
+        self.peer_sheds
     }
 
     /// Requests returned to the pending queue by lease releases so far.
@@ -1604,6 +1791,99 @@ mod tests {
         let out: Vec<u64> = mp.take_outbox().iter().map(|r| r.id).collect();
         assert_eq!(out, [3, 4, 5], "oldest queued forwards were shed");
         assert_eq!(mp.len(), 5, "dropping a forward never drops the request");
+    }
+
+    #[test]
+    fn peer_queues_divert_pushes_from_shared_outbox() {
+        let mut mp = Mempool::new(100).with_peer_queues(&[1, 2]);
+        assert!(mp.gossip_enabled(), "peer queues imply gossip");
+        mp.push(req(1, 1));
+        mp.push(req(2, 2));
+        assert!(mp.take_outbox().is_empty(), "shared outbox is bypassed");
+        assert_eq!(mp.peer_queue_len(1), 2);
+        assert_eq!(mp.peer_queue_len(2), 2);
+        let took: Vec<(u64, bool)> = mp
+            .take_peer_outbox(1)
+            .into_iter()
+            .map(|(r, relay)| (r.id, relay))
+            .collect();
+        assert_eq!(took, [(1, false), (2, false)], "first hop ships bodies");
+        assert_eq!(mp.peer_queue_len(1), 0);
+        assert_eq!(mp.peer_queue_len(2), 2, "peer 2's queue is untouched");
+    }
+
+    #[test]
+    fn queue_relay_skips_the_sender_and_marks_announce() {
+        let mut mp = Mempool::new(100).with_peer_queues(&[1, 2]);
+        assert_eq!(mp.accept_forwarded(req(9, 1)), PushOutcome::Accepted);
+        mp.queue_relay(req(9, 1), Some(1));
+        assert_eq!(mp.peer_queue_len(1), 0, "never relayed back to sender");
+        let took = mp.take_peer_outbox(2);
+        assert_eq!(took.len(), 1);
+        assert!(took[0].1, "relays ship as Announce");
+    }
+
+    #[test]
+    fn peer_credit_gates_takes_until_granted() {
+        let mut mp = Mempool::new(100);
+        mp.set_peer_queues(&[7], 100, 2);
+        for id in 1..=5 {
+            mp.push(req(id, id));
+        }
+        assert_eq!(mp.take_peer_outbox(7).len(), 2, "credit-bounded take");
+        assert_eq!(mp.take_peer_outbox(7).len(), 0, "no credit, no take");
+        assert_eq!(mp.peer_queue_len(7), 3);
+        mp.grant_peer_credit(7, 1);
+        assert_eq!(mp.take_peer_outbox(7).len(), 1);
+        mp.grant_peer_credit(7, 100);
+        assert_eq!(mp.take_peer_outbox(7).len(), 2, "grant caps at the ceiling");
+    }
+
+    #[test]
+    fn slow_peer_sheds_its_own_queue_only() {
+        let mut mp = Mempool::new(100);
+        mp.set_peer_queues(&[1, 2], 3, 64);
+        for id in 1..=5 {
+            mp.push(req(id, id));
+        }
+        // Both queues got 5 entries against a cap of 3: each shed 2.
+        assert_eq!(mp.peer_sheds(), 4);
+        // Peer 1 drains; peer 2 stays wedged at its cap.
+        let ids: Vec<u64> = mp
+            .take_peer_outbox(1)
+            .into_iter()
+            .map(|(r, _)| r.id)
+            .collect();
+        assert_eq!(ids, [3, 4, 5], "oldest entries were shed first");
+        mp.push(req(6, 6));
+        assert_eq!(mp.peer_queue_len(1), 1, "drained queue accepts freely");
+        assert_eq!(mp.peer_queue_len(2), 3, "wedged queue sheds alone");
+        assert_eq!(mp.peer_sheds(), 5);
+        assert_eq!(mp.forward_dropped(), 0, "shared-outbox counter untouched");
+    }
+
+    #[test]
+    fn committed_requests_are_not_taken_and_cost_no_credit() {
+        let mut mp = Mempool::new(100);
+        mp.set_peer_queues(&[1], 100, 2);
+        mp.push(req(1, 1));
+        mp.push(req(2, 2));
+        mp.push(req(3, 3));
+        mp.mark_committed(1);
+        mp.mark_committed(2);
+        let ids: Vec<u64> = mp
+            .take_peer_outbox(1)
+            .into_iter()
+            .map(|(r, _)| r.id)
+            .collect();
+        assert_eq!(ids, [3], "committed entries are discarded, not shipped");
+        assert_eq!(mp.take_peer_outbox(1).len(), 0, "queue is empty");
+        mp.push(req(4, 4));
+        assert_eq!(
+            mp.take_peer_outbox(1).len(),
+            1,
+            "discarding committed entries consumed no credit"
+        );
     }
 
     #[test]

@@ -1,0 +1,938 @@
+//! Cohort-aggregated client populations: 10⁶ modeled clients in O(K)
+//! memory.
+//!
+//! [`ClosedLoopWorkload`](crate::ClosedLoopWorkload) keeps per-client
+//! state, so sweeps top out at thousands of clients. [`CohortWorkload`]
+//! models a population of `modeled_clients` clients as `K` **cohorts** —
+//! each cohort aggregates `members` statistically identical clients into
+//! four numbers (members, outstanding, deferred demand, token clock) plus
+//! a bounded latency reservoir. Aggregate submit statistics are *exact*:
+//!
+//! * **window accounting** — a cohort of `m` members with window `w`
+//!   never holds more than `m × w` outstanding requests, and the whole
+//!   population never exceeds `min(modeled × window, max_outstanding)`
+//!   in flight (the *admission cap* bounds driver memory independently
+//!   of the modeled population);
+//! * **token-bucket pacing** — an optional per-cohort submit interval
+//!   (derived from a per-client rate × members) spaces submissions out
+//!   instead of flooding the pools at t = 0; deferred slots are counted
+//!   as *demand* and pumped as tokens ripen;
+//! * **latency reservoirs** — per-cohort Algorithm-R samples of commit
+//!   latency, drawn from a *separate* seeded RNG stream so sampling never
+//!   perturbs replica targeting.
+//!
+//! **Equivalence:** with one member per cohort (`K = clients`), no rate
+//! limit and the default admission cap, the submission stream — every
+//! RNG draw, request id, retry deadline and resume tick — is
+//! bit-identical to `ClosedLoopWorkload` with the same seed (asserted by
+//! `crates/simnet/tests/proptest_cohort.rs`). The aggregate model is a
+//! strict generalization, not a parallel implementation that can drift.
+//!
+//! **Load shapes** ([`LoadShape`]) reshape the token rate over virtual
+//! time: a flash crowd multiplies it for a burst window, a diurnal curve
+//! walks it through an integer triangle wave, and a regional outage
+//! makes affected cohorts *fail over* — submissions that would target a
+//! partitioned replica redirect to its successor, the client-side
+//! complement of `ByzantineMode::CensorClients`.
+
+use std::collections::{BTreeMap, HashMap};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use banyan_types::app::App;
+use banyan_types::engine::CommitEntry;
+use banyan_types::ids::ReplicaId;
+use banyan_types::time::{Duration, Time};
+
+#[cfg(test)]
+use crate::workload::Mempool;
+use crate::workload::{Request, SharedMempool, WorkloadBatch};
+
+/// Bound on each cohort's latency reservoir (Algorithm R).
+const RESERVOIR_CAP: usize = 256;
+
+/// A programmable aggregate load shape (see the module docs). All shapes
+/// are exact functions of virtual time, so shaped runs stay
+/// deterministic per seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LoadShape {
+    /// Constant token rate (the default).
+    Steady,
+    /// The token rate multiplies by `factor` during
+    /// `[at, at + duration)` — a flash crowd arriving and leaving.
+    FlashCrowd {
+        /// Burst start (virtual time).
+        at: Time,
+        /// Rate multiplier during the burst (≥ 1).
+        factor: u32,
+        /// Burst length.
+        duration: Duration,
+    },
+    /// The token *interval* walks an integer triangle wave between ×1
+    /// (peak) and ×`trough` (quietest) over each `period` — a diurnal
+    /// curve without floating-point drift.
+    Diurnal {
+        /// Full wave period.
+        period: Duration,
+        /// Interval multiplier at the trough (≥ 1).
+        trough: u32,
+    },
+    /// Replica `replica` is unreachable from its region during
+    /// `[at, at + duration)`: submissions (initial, resumed or retried)
+    /// that drew it as primary fail over to its ring successor. Pairs
+    /// with `ByzantineMode::CensorClients` — censored clients keep their
+    /// aggregate rate but route around the censor.
+    RegionalOutage {
+        /// Outage start (virtual time).
+        at: Time,
+        /// Outage length.
+        duration: Duration,
+        /// The partitioned replica.
+        replica: usize,
+    },
+}
+
+/// One cohort's aggregate state: O(1) per cohort regardless of how many
+/// clients it models.
+#[derive(Debug)]
+struct Cohort {
+    /// Modeled clients aggregated into this cohort.
+    members: u64,
+    /// Outstanding-window cap: `members × window`.
+    cap: u64,
+    /// Requests submitted and not yet observed committed.
+    outstanding: u64,
+    /// Freed slots that want to submit but were deferred by the token
+    /// bucket or the global admission cap.
+    demand: u64,
+    /// Earliest time the next token is available (`None` interval =
+    /// unlimited; the field is then unused).
+    next_token_at: Time,
+    /// The token tick currently scheduled for this cohort, if any —
+    /// dedups pending ticks so a backlogged cohort arms one timer, not
+    /// one per deferred slot.
+    armed_token_tick: Option<Time>,
+    submitted: u64,
+    completed: u64,
+    /// Algorithm-R latency reservoir: a uniform sample of this cohort's
+    /// commit latencies.
+    reservoir: Vec<Duration>,
+    /// Latencies offered to the reservoir so far.
+    observed: u64,
+}
+
+/// Aggregate statistics for one cohort (reporting; see
+/// [`CohortWorkload::cohort_stats`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CohortStats {
+    /// Modeled clients in the cohort.
+    pub members: u64,
+    /// Requests submitted by the cohort so far.
+    pub submitted: u64,
+    /// Requests observed committed so far.
+    pub completed: u64,
+    /// Requests currently outstanding.
+    pub outstanding: u64,
+    /// Freed slots currently deferred by pacing or admission.
+    pub demand: u64,
+    /// Median of the latency reservoir (`None` until a commit lands).
+    pub latency_p50: Option<Duration>,
+}
+
+/// A seeded closed-loop population of up to millions of *modeled*
+/// clients, aggregated into `K` cohorts (see the module docs).
+pub struct CohortWorkload {
+    window: u32,
+    think_time: Duration,
+    request_size: u64,
+    mempools: Vec<SharedMempool>,
+    /// Replica-targeting RNG — the same draw stream as
+    /// `ClosedLoopWorkload` (one `gen_range` per submission or retry).
+    rng: SmallRng,
+    /// Reservoir-sampling RNG, deliberately separate so sampling never
+    /// perturbs targeting.
+    stats_rng: SmallRng,
+    next_id: u64,
+    modeled_clients: u64,
+    cohorts: Vec<Cohort>,
+    /// Per-submission token interval per *member* (None = unlimited). A
+    /// cohort of `m` members paces at `interval / m`.
+    interval: Option<Duration>,
+    shape: LoadShape,
+    fanout: usize,
+    retry: RetryState,
+    /// Global admission cap: in-flight requests never exceed it, so
+    /// driver memory is O(cap), not O(modeled clients × window).
+    max_outstanding: u64,
+    outstanding_total: u64,
+    /// Requests submitted and not yet observed committed, by id —
+    /// bounded by the admission cap.
+    in_flight: HashMap<u64, Request>,
+    /// Freed slots waiting for their think-time tick, keyed by
+    /// `(due, completion seq)` — the `ClosedLoopWorkload` resume rule.
+    resume_queue: BTreeMap<(Time, u64), u16>,
+    resume_seq: u64,
+    pending_ticks: Vec<Time>,
+    submitted: u64,
+    completed: u64,
+    frozen: bool,
+}
+
+/// Per-request retransmission state — the same FIFO discipline as the
+/// per-client workloads (constant timeout keeps the deque sorted).
+#[derive(Debug, Default)]
+struct RetryState {
+    timeout: Option<Duration>,
+    deadlines: std::collections::VecDeque<(Time, u64)>,
+    pending_ticks: Vec<Time>,
+    retries: u64,
+}
+
+impl RetryState {
+    fn arm(&mut self, id: u64, now: Time) {
+        if let Some(timeout) = self.timeout {
+            let at = now + timeout;
+            self.deadlines.push_back((at, id));
+            self.pending_ticks.push(at);
+        }
+    }
+}
+
+impl std::fmt::Debug for CohortWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CohortWorkload")
+            .field("modeled_clients", &self.modeled_clients)
+            .field("cohorts", &self.cohorts.len())
+            .field("window", &self.window)
+            .field("max_outstanding", &self.max_outstanding)
+            .field("interval", &self.interval)
+            .field("shape", &self.shape)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CohortWorkload {
+    /// A population of `modeled_clients` clients aggregated into
+    /// `cohorts` cohorts (members split as evenly as possible; the first
+    /// `modeled_clients % cohorts` cohorts hold one extra). Each modeled
+    /// client keeps a window of `window` outstanding `request_size`-byte
+    /// requests and pauses `think_time` between a completion and the
+    /// replacement submission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modeled_clients` or `window` is zero, `cohorts` is
+    /// zero, exceeds `u16::MAX` (cohort ids travel in the request's
+    /// `client` field) or exceeds `modeled_clients`, or `mempools` is
+    /// empty.
+    pub fn new(
+        modeled_clients: u64,
+        cohorts: u16,
+        window: u32,
+        think_time: Duration,
+        request_size: u64,
+        seed: u64,
+        mempools: Vec<SharedMempool>,
+    ) -> Self {
+        assert!(modeled_clients > 0, "need at least one modeled client");
+        assert!(window > 0, "window must be positive");
+        assert!(cohorts > 0, "need at least one cohort");
+        assert!(
+            cohorts as u64 <= modeled_clients,
+            "more cohorts than modeled clients"
+        );
+        assert!(!mempools.is_empty(), "need at least one replica mempool");
+        let k = cohorts as u64;
+        let base = modeled_clients / k;
+        let extra = modeled_clients % k;
+        let cohorts: Vec<Cohort> = (0..k)
+            .map(|i| {
+                let members = base + u64::from(i < extra);
+                Cohort {
+                    members,
+                    cap: members * window as u64,
+                    outstanding: 0,
+                    demand: 0,
+                    next_token_at: Time::ZERO,
+                    armed_token_tick: None,
+                    submitted: 0,
+                    completed: 0,
+                    reservoir: Vec::new(),
+                    observed: 0,
+                }
+            })
+            .collect();
+        CohortWorkload {
+            window,
+            think_time,
+            request_size,
+            mempools,
+            rng: SmallRng::seed_from_u64(seed),
+            stats_rng: SmallRng::seed_from_u64(seed ^ 0xBEEF_FACE_CAFE_F00D),
+            next_id: 0,
+            modeled_clients,
+            cohorts,
+            interval: None,
+            shape: LoadShape::Steady,
+            fanout: 1,
+            retry: RetryState::default(),
+            max_outstanding: modeled_clients.saturating_mul(window as u64),
+            outstanding_total: 0,
+            in_flight: HashMap::new(),
+            resume_queue: BTreeMap::new(),
+            resume_seq: 0,
+            pending_ticks: Vec::new(),
+            submitted: 0,
+            completed: 0,
+            frozen: false,
+        }
+    }
+
+    /// Builder-style: paces each *modeled client* at one submission per
+    /// `interval` (a cohort of `m` members gets an aggregate interval of
+    /// `interval / m`). Without it, freed slots resubmit immediately —
+    /// the pure closed loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn with_member_interval(mut self, interval: Duration) -> Self {
+        assert!(interval > Duration::ZERO, "token interval must be positive");
+        self.interval = Some(interval);
+        self
+    }
+
+    /// Builder-style: installs a [`LoadShape`] (default
+    /// [`LoadShape::Steady`]).
+    pub fn with_shape(mut self, shape: LoadShape) -> Self {
+        self.shape = shape;
+        self
+    }
+
+    /// Builder-style: caps the population's total in-flight requests
+    /// below `modeled × window`, bounding driver memory for huge modeled
+    /// populations. Deferred slots are counted as demand and admitted as
+    /// completions free capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn with_max_outstanding(mut self, cap: u64) -> Self {
+        assert!(cap > 0, "admission cap must be positive");
+        self.max_outstanding = cap.min(self.modeled_clients * self.window as u64);
+        self
+    }
+
+    /// Builder-style: enables per-request retransmission with the given
+    /// timeout (the `ClosedLoopWorkload` retry discipline).
+    pub fn with_retry(mut self, timeout: Duration) -> Self {
+        self.retry.timeout = Some(timeout);
+        self
+    }
+
+    /// Builder-style: submits every request to `fanout` replicas
+    /// (clamped to the cluster size) instead of one.
+    pub fn with_fanout(mut self, fanout: usize) -> Self {
+        assert!(fanout > 0, "fanout must be positive");
+        self.fanout = fanout;
+        self
+    }
+
+    /// Total modeled clients.
+    pub fn modeled_clients(&self) -> u64 {
+        self.modeled_clients
+    }
+
+    /// Number of cohorts.
+    pub fn cohorts(&self) -> u16 {
+        self.cohorts.len() as u16
+    }
+
+    /// The population's in-flight cap:
+    /// `min(modeled × window, admission cap)`.
+    pub fn max_in_flight(&self) -> u64 {
+        self.max_outstanding
+    }
+
+    /// Requests currently in flight (≤ [`max_in_flight`](Self::max_in_flight)).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Requests submitted so far (retransmissions not counted).
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Requests observed committed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Retransmissions performed so far.
+    pub fn retries(&self) -> u64 {
+        self.retry.retries
+    }
+
+    /// Freed slots currently deferred by pacing or admission, across all
+    /// cohorts.
+    pub fn deferred_demand(&self) -> u64 {
+        self.cohorts.iter().map(|c| c.demand).sum()
+    }
+
+    /// The per-replica pools this population feeds.
+    pub fn mempools(&self) -> &[SharedMempool] {
+        &self.mempools
+    }
+
+    /// *Unique* requests currently pending in at least one pool.
+    pub fn pending_in_pools(&self) -> u64 {
+        let mut ids = std::collections::HashSet::new();
+        for pool in &self.mempools {
+            ids.extend(pool.lock().expect("mempool lock").pending_ids());
+        }
+        ids.len() as u64
+    }
+
+    /// Aggregate statistics for cohort `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn cohort_stats(&self, c: u16) -> CohortStats {
+        let cohort = &self.cohorts[c as usize];
+        let latency_p50 = (!cohort.reservoir.is_empty()).then(|| {
+            let mut sorted = cohort.reservoir.clone();
+            sorted.sort_unstable();
+            sorted[sorted.len() / 2]
+        });
+        CohortStats {
+            members: cohort.members,
+            submitted: cohort.submitted,
+            completed: cohort.completed,
+            outstanding: cohort.outstanding,
+            demand: cohort.demand,
+            latency_p50,
+        }
+    }
+
+    /// True once [`freeze`](Self::freeze) was called.
+    pub fn frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Stops new submissions (retries of in-flight requests keep
+    /// firing) — the end-of-run drain hook.
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// The token interval cohort `c` is pacing at around `now`, shaped
+    /// by the configured [`LoadShape`]. `None` = unlimited.
+    fn effective_interval(&self, c: usize, now: Time) -> Option<Duration> {
+        let member = self.interval?;
+        let members = self.cohorts[c].members;
+        // Aggregate pacing: m members at one per `member` each.
+        let base = Duration((member.0 / members).max(1));
+        let shaped = match self.shape {
+            LoadShape::Steady | LoadShape::RegionalOutage { .. } => base,
+            LoadShape::FlashCrowd {
+                at,
+                factor,
+                duration,
+            } => {
+                if now >= at && now < at + duration {
+                    Duration((base.0 / u64::from(factor.max(1))).max(1))
+                } else {
+                    base
+                }
+            }
+            LoadShape::Diurnal { period, trough } => {
+                // Integer triangle wave: interval multiplier walks
+                // 1 → trough → 1 over each period.
+                let span = u64::from(trough.max(1)) - 1;
+                if span == 0 || period == Duration::ZERO {
+                    base
+                } else {
+                    let phase = now.0 % period.0;
+                    let half = period.0 / 2;
+                    let steps = if phase < half {
+                        phase * span / half.max(1)
+                    } else {
+                        (period.0 - phase) * span / half.max(1)
+                    };
+                    base.saturating_mul(1 + steps)
+                }
+            }
+        };
+        Some(shaped)
+    }
+
+    /// Applies the regional-outage failover rule to a drawn primary.
+    fn failover(&self, target: usize, now: Time) -> usize {
+        if let LoadShape::RegionalOutage {
+            at,
+            duration,
+            replica,
+        } = self.shape
+        {
+            if target == replica && now >= at && now < at + duration {
+                return (target + 1) % self.mempools.len();
+            }
+        }
+        target
+    }
+
+    /// Can the population admit one more in-flight request?
+    fn can_admit(&self) -> bool {
+        self.outstanding_total < self.max_outstanding
+    }
+
+    /// Submits one request for cohort `c` at `now`, drawing the target
+    /// from the shared RNG stream (exactly one draw, the
+    /// `ClosedLoopWorkload` discipline). Caller has already checked
+    /// window, admission and token constraints.
+    fn submit_for(&mut self, c: usize, now: Time) -> ReplicaId {
+        let target = self.rng.gen_range(0..self.mempools.len());
+        let target = self.failover(target, now);
+        self.next_id += 1;
+        self.submitted += 1;
+        let cohort = &mut self.cohorts[c];
+        cohort.submitted += 1;
+        cohort.outstanding += 1;
+        self.outstanding_total += 1;
+        let req = Request {
+            id: self.next_id,
+            client: c as u16,
+            size: self.request_size,
+            submitted_at: now,
+        };
+        self.in_flight.insert(req.id, req);
+        push_fanout(&self.mempools, self.fanout, target, req);
+        self.retry.arm(req.id, now);
+        ReplicaId(target as u16)
+    }
+
+    /// Tries to submit one request for cohort `c` at `now`: consumes a
+    /// token when pacing is on, defers to demand when the window, the
+    /// admission cap or the token bucket refuses. Returns `true` on
+    /// submission.
+    fn try_submit(&mut self, c: usize, now: Time) -> bool {
+        if self.cohorts[c].outstanding >= self.cohorts[c].cap || !self.can_admit() {
+            // Capacity misses defer *unarmed*: capacity frees on a
+            // completion, whose resume tick pumps the demand — arming a
+            // timer here would busy-spin the event queue.
+            self.cohorts[c].demand += 1;
+            return false;
+        }
+        match self.effective_interval(c, now) {
+            None => {
+                self.submit_for(c, now);
+                true
+            }
+            Some(interval) => {
+                if now >= self.cohorts[c].next_token_at {
+                    self.cohorts[c].next_token_at = now + interval;
+                    self.submit_for(c, now);
+                    true
+                } else {
+                    // Token miss: defer and arm (at most) one tick at
+                    // the token's ripe time, which is strictly ahead of
+                    // `now`.
+                    let cohort = &mut self.cohorts[c];
+                    cohort.demand += 1;
+                    let at = cohort.next_token_at;
+                    if cohort.armed_token_tick != Some(at) {
+                        cohort.armed_token_tick = Some(at);
+                        self.pending_ticks.push(at);
+                    }
+                    false
+                }
+            }
+        }
+    }
+
+    /// Pumps deferred demand at `now`: every cohort with demand submits
+    /// while its window, the admission cap and its token clock allow.
+    /// Returns how many requests were submitted. With no pacing
+    /// configured, demand only accrues at the admission cap, so the pump
+    /// makes no RNG draws in the equivalence configuration.
+    fn pump(&mut self, now: Time) -> u64 {
+        let mut submitted = 0;
+        for c in 0..self.cohorts.len() {
+            if self.cohorts[c].demand == 0 {
+                continue;
+            }
+            // Disarm only a timer that has fired: clearing a still-future
+            // arm would let every unrelated tick re-push the same token
+            // tick, multiplying ClientTick events into a storm.
+            if self.cohorts[c].armed_token_tick.is_some_and(|at| at <= now) {
+                self.cohorts[c].armed_token_tick = None;
+            }
+            while self.cohorts[c].demand > 0 {
+                // `try_submit` re-defers on a miss; balance the counter
+                // before the attempt so a deferral is not double-counted.
+                self.cohorts[c].demand -= 1;
+                if self.try_submit(c, now) {
+                    submitted += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        submitted
+    }
+
+    /// Handles one client tick at `now`: the earliest freed slot (if
+    /// any) submits its replacement, then deferred demand is pumped.
+    /// Returns how many requests were submitted.
+    pub fn handle_tick(&mut self, now: Time) -> u64 {
+        if self.frozen {
+            return 0;
+        }
+        let mut submitted = 0;
+        // Pop the earliest freed slot only once its think time is due —
+        // a token tick must not steal a future resume slot. (Resume
+        // ticks are scheduled at exactly the due time, so the slot's own
+        // tick always finds it due.)
+        if let Some(&key) = self.resume_queue.keys().next() {
+            if key.0 <= now {
+                let c = self.resume_queue.remove(&key).expect("key just read");
+                if self.try_submit(c as usize, now) {
+                    submitted += 1;
+                }
+            }
+        }
+        submitted + self.pump(now)
+    }
+
+    /// Submits the initial windows at `now`, pacing-aware: each cohort
+    /// primes `cap` slots, deferring what the token bucket or admission
+    /// cap rejects (so a paced million-client population ramps up instead
+    /// of flooding the pools at t = 0). Returns how many requests were
+    /// submitted. The simulator calls this once at attach.
+    pub fn prime(&mut self, now: Time) -> u64 {
+        let before = self.submitted;
+        for c in 0..self.cohorts.len() {
+            for _ in 0..self.cohorts[c].cap {
+                self.try_submit(c, now);
+            }
+        }
+        self.submitted - before
+    }
+
+    /// Drains the tick times produced since the last call; the simulator
+    /// schedules one `ClientTick` per entry.
+    pub fn take_pending_ticks(&mut self) -> Vec<Time> {
+        std::mem::take(&mut self.pending_ticks)
+    }
+
+    /// Allocation-free [`take_pending_ticks`](Self::take_pending_ticks):
+    /// clears `out` and swaps it with the pending buffer.
+    pub fn take_pending_ticks_into(&mut self, out: &mut Vec<Time>) {
+        out.clear();
+        std::mem::swap(&mut self.pending_ticks, out);
+    }
+
+    /// Drains the retry deadlines armed since the last call.
+    pub fn take_pending_retry_ticks(&mut self) -> Vec<Time> {
+        std::mem::take(&mut self.retry.pending_ticks)
+    }
+
+    /// Allocation-free
+    /// [`take_pending_retry_ticks`](Self::take_pending_retry_ticks).
+    pub fn take_pending_retry_ticks_into(&mut self, out: &mut Vec<Time>) {
+        out.clear();
+        std::mem::swap(&mut self.retry.pending_ticks, out);
+    }
+
+    /// Handles one retry tick at `now`: every due, still-in-flight
+    /// request is resubmitted (original id and timestamp, fresh seeded
+    /// target) and re-armed. Returns how many were retried.
+    pub fn handle_retry_tick(&mut self, now: Time) -> u64 {
+        let mut retried = 0;
+        while let Some(&(at, id)) = self.retry.deadlines.front() {
+            if at > now {
+                break;
+            }
+            self.retry.deadlines.pop_front();
+            if let Some(req) = self.in_flight.get(&id).copied() {
+                let target = self.rng.gen_range(0..self.mempools.len());
+                let target = self.failover(target, now);
+                push_fanout(&self.mempools, self.fanout, target, req);
+                self.retry.retries += 1;
+                self.retry.arm(id, now);
+                retried += 1;
+            }
+        }
+        retried
+    }
+}
+
+/// Pushes `req` into `fanout` pools (the shared dissemination client
+/// rule: sampled primary plus ring successors, no extra RNG draws).
+fn push_fanout(mempools: &[SharedMempool], fanout: usize, primary: usize, req: Request) {
+    let n = mempools.len();
+    for k in 0..fanout.clamp(1, n) {
+        mempools[(primary + k) % n]
+            .lock()
+            .expect("mempool lock")
+            .push(req);
+    }
+}
+
+impl App for CohortWorkload {
+    /// Completion hook: decodes the delivered batch and settles every
+    /// record still in flight (first delivery per id wins). Each
+    /// completion frees its cohort slot, feeds the cohort's latency
+    /// reservoir and schedules a replacement one think time later.
+    fn deliver(&mut self, entry: &CommitEntry) {
+        let Some(batch) = WorkloadBatch::decode(&entry.payload) else {
+            return;
+        };
+        for req in &batch.requests {
+            if self.in_flight.remove(&req.id).is_none() {
+                continue;
+            }
+            self.completed += 1;
+            self.outstanding_total = self.outstanding_total.saturating_sub(1);
+            let c = req.client as usize % self.cohorts.len();
+            let latency = entry.committed_at.since(req.submitted_at);
+            let cohort = &mut self.cohorts[c];
+            cohort.completed += 1;
+            cohort.outstanding = cohort.outstanding.saturating_sub(1);
+            // Algorithm R: keep each observed latency with probability
+            // reservoir_cap / observed, replacing a uniform victim.
+            cohort.observed += 1;
+            if cohort.reservoir.len() < RESERVOIR_CAP {
+                cohort.reservoir.push(latency);
+            } else {
+                let j = self.stats_rng.gen_range(0..cohort.observed);
+                if (j as usize) < RESERVOIR_CAP {
+                    cohort.reservoir[j as usize] = latency;
+                }
+            }
+            let due = entry.committed_at + self.think_time;
+            self.resume_queue.insert((due, self.resume_seq), c as u16);
+            self.resume_seq += 1;
+            self.pending_ticks.push(due);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pools(n: usize) -> Vec<SharedMempool> {
+        (0..n).map(|_| Mempool::shared(1 << 20)).collect()
+    }
+
+    fn commit_of(requests: Vec<Request>, at: u64) -> CommitEntry {
+        use banyan_types::ids::{BlockHash, Round};
+        CommitEntry {
+            round: Round(1),
+            block: BlockHash::ZERO,
+            proposer: ReplicaId(0),
+            payload: WorkloadBatch { requests }.into_payload(),
+            proposed_at: Time::ZERO,
+            committed_at: Time(at),
+            fast: false,
+            explicit: true,
+        }
+    }
+
+    #[test]
+    fn million_clients_prime_in_cohort_memory() {
+        let mempools = pools(4);
+        let mut w = CohortWorkload::new(1_000_000, 64, 4, Duration::ZERO, 64, 42, mempools.clone())
+            .with_max_outstanding(10_000);
+        assert_eq!(w.prime(Time::ZERO), 10_000, "admission cap bounds prime");
+        assert_eq!(w.in_flight(), 10_000);
+        assert_eq!(w.max_in_flight(), 10_000);
+        assert_eq!(
+            w.deferred_demand(),
+            4_000_000 - 10_000,
+            "the rest is aggregate demand, not per-request state"
+        );
+        assert_eq!(w.pending_in_pools(), 10_000);
+    }
+
+    #[test]
+    fn members_split_evenly_with_remainder_up_front() {
+        let w = CohortWorkload::new(10, 3, 1, Duration::ZERO, 64, 1, pools(1));
+        let members: Vec<u64> = (0..3).map(|c| w.cohort_stats(c).members).collect();
+        assert_eq!(members, [4, 3, 3]);
+        assert_eq!(members.iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn completion_frees_slot_and_resubmits_on_tick() {
+        let mempools = pools(1);
+        let mut w = CohortWorkload::new(4, 2, 1, Duration::from_millis(5), 64, 1, mempools.clone());
+        assert_eq!(w.prime(Time::ZERO), 4);
+        let drained = mempools[0].lock().unwrap().drain(usize::MAX);
+        w.deliver(&commit_of(vec![drained[0]], 1_000_000));
+        assert_eq!(w.completed(), 1);
+        assert_eq!(w.in_flight(), 3);
+        let ticks = w.take_pending_ticks();
+        assert_eq!(ticks, vec![Time(1_000_000) + Duration::from_millis(5)]);
+        assert_eq!(w.handle_tick(ticks[0]), 1, "the freed slot resubmits");
+        assert_eq!(w.in_flight(), 4);
+        assert!(w.in_flight() as u64 <= w.max_in_flight());
+    }
+
+    #[test]
+    fn token_bucket_paces_submissions() {
+        let mempools = pools(1);
+        // 2 modeled clients in one cohort, window 2, one submission per
+        // client per 10 ms → cohort interval 5 ms.
+        let mut w = CohortWorkload::new(2, 1, 2, Duration::ZERO, 64, 1, mempools.clone())
+            .with_member_interval(Duration::from_millis(10));
+        assert_eq!(w.prime(Time::ZERO), 1, "one token at t=0");
+        assert_eq!(w.deferred_demand(), 3);
+        let ticks = w.take_pending_ticks();
+        assert_eq!(ticks, vec![Time(5_000_000)], "one armed token tick");
+        assert_eq!(w.handle_tick(Time(5_000_000)), 1, "next token admits one");
+        assert_eq!(w.deferred_demand(), 2);
+        // The pump re-arms itself at the next token's ripe time.
+        assert_eq!(w.take_pending_ticks(), vec![Time(10_000_000)]);
+    }
+
+    #[test]
+    fn admission_cap_admits_as_completions_free_capacity() {
+        let mempools = pools(1);
+        let mut w = CohortWorkload::new(8, 2, 1, Duration::ZERO, 64, 1, mempools.clone())
+            .with_max_outstanding(2);
+        assert_eq!(w.prime(Time::ZERO), 2);
+        assert_eq!(w.deferred_demand(), 6);
+        let drained = mempools[0].lock().unwrap().drain(usize::MAX);
+        w.deliver(&commit_of(drained, 1_000));
+        assert_eq!(w.in_flight(), 0);
+        let ticks = w.take_pending_ticks();
+        assert!(!ticks.is_empty());
+        w.handle_tick(ticks[0]);
+        assert_eq!(w.in_flight(), 2, "freed capacity re-admits deferred demand");
+        assert!(w.in_flight() as u64 <= w.max_in_flight());
+    }
+
+    #[test]
+    fn flash_crowd_shrinks_the_interval_during_the_burst() {
+        let w = CohortWorkload::new(1, 1, 1, Duration::ZERO, 64, 1, pools(1))
+            .with_member_interval(Duration::from_millis(10))
+            .with_shape(LoadShape::FlashCrowd {
+                at: Time(1_000_000_000),
+                factor: 10,
+                duration: Duration::from_secs(1),
+            });
+        assert_eq!(
+            w.effective_interval(0, Time(0)),
+            Some(Duration::from_millis(10))
+        );
+        assert_eq!(
+            w.effective_interval(0, Time(1_500_000_000)),
+            Some(Duration::from_millis(1)),
+            "10× the rate during the burst"
+        );
+        assert_eq!(
+            w.effective_interval(0, Time(2_000_000_000)),
+            Some(Duration::from_millis(10)),
+            "burst over"
+        );
+    }
+
+    #[test]
+    fn diurnal_interval_walks_a_triangle_wave() {
+        let w = CohortWorkload::new(1, 1, 1, Duration::ZERO, 64, 1, pools(1))
+            .with_member_interval(Duration::from_millis(10))
+            .with_shape(LoadShape::Diurnal {
+                period: Duration::from_secs(10),
+                trough: 5,
+            });
+        let at = |t: u64| w.effective_interval(0, Time(t)).unwrap();
+        assert_eq!(at(0), Duration::from_millis(10), "peak at phase 0");
+        assert_eq!(at(5_000_000_000), Duration::from_millis(50), "trough");
+        assert_eq!(at(10_000_000_000), Duration::from_millis(10), "next peak");
+        assert!(at(2_500_000_000) > at(0));
+        assert!(at(2_500_000_000) < at(5_000_000_000));
+    }
+
+    #[test]
+    fn regional_outage_fails_over_to_the_ring_successor() {
+        let mempools = pools(2);
+        // Replica 0 partitioned for the whole run: every submission must
+        // land on replica 1, whatever the RNG draws.
+        let mut w = CohortWorkload::new(8, 2, 1, Duration::ZERO, 64, 42, mempools.clone())
+            .with_shape(LoadShape::RegionalOutage {
+                at: Time::ZERO,
+                duration: Duration::from_secs(3600),
+                replica: 0,
+            });
+        w.prime(Time::ZERO);
+        assert_eq!(mempools[0].lock().unwrap().len(), 0, "outage: no traffic");
+        assert_eq!(mempools[1].lock().unwrap().len(), 8, "failover target");
+    }
+
+    #[test]
+    fn retry_resubmits_with_original_timestamp() {
+        let mempools = pools(1);
+        let timeout = Duration::from_millis(10);
+        let mut w = CohortWorkload::new(1, 1, 1, Duration::ZERO, 64, 1, mempools.clone())
+            .with_retry(timeout);
+        w.prime(Time::ZERO);
+        let ticks = w.take_pending_retry_ticks();
+        assert_eq!(ticks, vec![Time::ZERO + timeout]);
+        let drained = mempools[0].lock().unwrap().drain(usize::MAX);
+        assert_eq!(w.handle_retry_tick(ticks[0]), 1);
+        let back = mempools[0].lock().unwrap().drain(usize::MAX);
+        assert_eq!(back, drained, "identical request re-enters the pool");
+    }
+
+    #[test]
+    fn reservoir_caps_per_cohort_memory() {
+        let mempools = pools(1);
+        let mut w = CohortWorkload::new(2_000, 2, 1, Duration::ZERO, 64, 7, mempools.clone());
+        w.prime(Time::ZERO);
+        let drained = mempools[0].lock().unwrap().drain(usize::MAX);
+        assert_eq!(drained.len(), 2_000);
+        for chunk in drained.chunks(100) {
+            w.deliver(&commit_of(chunk.to_vec(), 5_000_000));
+        }
+        assert_eq!(w.completed(), 2_000);
+        for c in 0..2 {
+            let stats = w.cohort_stats(c);
+            assert_eq!(stats.completed, 1_000);
+            assert!(stats.latency_p50.is_some());
+        }
+        assert!(w.cohorts.iter().all(|c| c.reservoir.len() <= RESERVOIR_CAP));
+    }
+
+    #[test]
+    fn frozen_population_stops_submitting() {
+        let mempools = pools(1);
+        let mut w = CohortWorkload::new(2, 1, 1, Duration::ZERO, 64, 1, mempools.clone());
+        w.prime(Time::ZERO);
+        let drained = mempools[0].lock().unwrap().drain(usize::MAX);
+        w.deliver(&commit_of(drained, 1_000));
+        w.freeze();
+        let ticks = w.take_pending_ticks();
+        assert_eq!(w.handle_tick(ticks[0]), 0, "frozen: no resubmission");
+        assert_eq!(w.submitted(), 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed: u64| -> (u64, Vec<usize>) {
+            let mempools = pools(4);
+            let mut w =
+                CohortWorkload::new(100_000, 32, 2, Duration::ZERO, 64, seed, mempools.clone())
+                    .with_max_outstanding(1_000);
+            w.prime(Time::ZERO);
+            let lens = mempools.iter().map(|m| m.lock().unwrap().len()).collect();
+            (w.submitted(), lens)
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3).1, run(4).1, "different seeds retarget");
+    }
+}

@@ -18,7 +18,14 @@
 //!   generator (fixed rate) and a closed-loop population (fixed windows,
 //!   resubmit-on-commit), both with optional submit fan-out and
 //!   per-request retry. [`sim::Simulation::enable_dissemination`] adds
-//!   pending-request gossip and exactly-once commit dedup on top.
+//!   pending-request gossip and exactly-once commit dedup on top;
+//!   [`sim::Simulation::enable_fanout_tree`] bounds that gossip to a
+//!   seeded degree-`F` propagation tree with per-peer backpressure;
+//! * [`cohort`] — the cohort-aggregated population: up to 10⁶ modeled
+//!   clients in `O(cohorts)` memory, token-bucket pacing, a global
+//!   admission cap, per-cohort latency reservoirs, and programmable
+//!   [`LoadShape`]s (flash crowd, diurnal curve, regional outage with
+//!   failover).
 //!
 //! # Examples
 //!
@@ -36,12 +43,14 @@
 
 #![warn(missing_docs)]
 
+pub mod cohort;
 pub mod faults;
 pub mod metrics;
 pub mod sim;
 pub mod topology;
 pub mod workload;
 
+pub use cohort::{CohortStats, CohortWorkload, LoadShape};
 pub use faults::{Fault, FaultPlan};
 pub use metrics::{ClientLoadSummary, LatencyStats, ObservedCommit, RunMetrics, SafetyAuditor};
 pub use sim::{CryptoCost, SimConfig, Simulation};

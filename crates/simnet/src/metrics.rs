@@ -218,6 +218,14 @@ pub struct RunMetrics {
     /// simulator's crypto cost model (integer ms so determinism stays
     /// `Eq`-checkable). On the TCP path this is measured wall CPU instead.
     pub verify_cpu_ms: u64,
+    /// Bytes of request-dissemination traffic (gossip `Forward` bodies
+    /// and fanout-tree `Announce` records) put on the wire, a subset of
+    /// `bytes_sent`. Propagation-limited gossip exists to shrink this.
+    pub gossip_bytes: u64,
+    /// Forward-path losses: shared-outbox overflow drops plus per-peer
+    /// backpressure sheds, summed over every pool at run end. Retry and
+    /// re-gossip recover the requests; the counter sizes the pressure.
+    pub forwards_dropped: u64,
     /// Virtual time at the end of the run.
     pub end_time: Time,
 }

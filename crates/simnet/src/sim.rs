@@ -41,7 +41,9 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use banyan_crypto::VerifyStats;
-use banyan_mempool::{SharedMempool, WorkloadBatch};
+use banyan_mempool::{
+    PushOutcome, SharedMempool, WorkloadBatch, DEFAULT_PEER_CREDIT, DEFAULT_PEER_QUEUE_CAP,
+};
 use banyan_runtime::driver::{is_stale, route_actions, ActionDispatch, CommitSink};
 use banyan_runtime::queue::EventQueue;
 use banyan_storage::{CatchUpState, CatchUpStep};
@@ -52,6 +54,7 @@ use banyan_types::message::{DisseminationMsg, Message, SyncMsg};
 use banyan_types::time::{Duration, Time};
 use banyan_types::ChainSnapshot;
 
+use crate::cohort::CohortWorkload;
 use crate::faults::FaultPlan;
 use crate::metrics::{ObservedCommit, RunMetrics, SafetyAuditor};
 use crate::topology::Topology;
@@ -190,29 +193,35 @@ enum EventKind {
 enum Workload {
     Open(ClientWorkload),
     Closed(ClosedLoopWorkload),
+    Cohort(CohortWorkload),
 }
 
 impl Workload {
-    /// Feeds one commit to the population's completion hook (both modes
+    /// Feeds one commit to the population's completion hook (all modes
     /// track completions — the first delivery of an id settles it).
     fn observe_commit(&mut self, entry: &CommitEntry) {
         match self {
             Workload::Open(w) => w.deliver(entry),
             Workload::Closed(w) => w.deliver(entry),
+            Workload::Cohort(w) => w.deliver(entry),
         }
     }
 
-    fn take_pending_think_ticks(&mut self) -> Vec<Time> {
+    /// Drains pending think-time deadlines into `out` (cleared first); the
+    /// populations recycle the buffer instead of allocating per event.
+    fn take_pending_think_ticks_into(&mut self, out: &mut Vec<Time>) {
         match self {
-            Workload::Open(_) => Vec::new(),
-            Workload::Closed(w) => w.take_pending_ticks(),
+            Workload::Open(_) => out.clear(),
+            Workload::Closed(w) => w.take_pending_ticks_into(out),
+            Workload::Cohort(w) => w.take_pending_ticks_into(out),
         }
     }
 
-    fn take_pending_retry_ticks(&mut self) -> Vec<Time> {
+    fn take_pending_retry_ticks_into(&mut self, out: &mut Vec<Time>) {
         match self {
-            Workload::Open(w) => w.take_pending_retry_ticks(),
-            Workload::Closed(w) => w.take_pending_retry_ticks(),
+            Workload::Open(w) => w.take_pending_retry_ticks_into(out),
+            Workload::Closed(w) => w.take_pending_retry_ticks_into(out),
+            Workload::Cohort(w) => w.take_pending_retry_ticks_into(out),
         }
     }
 
@@ -220,6 +229,7 @@ impl Workload {
         match self {
             Workload::Open(w) => w.handle_retry_tick(now),
             Workload::Closed(w) => w.handle_retry_tick(now),
+            Workload::Cohort(w) => w.handle_retry_tick(now),
         }
     }
 
@@ -227,6 +237,7 @@ impl Workload {
         match self {
             Workload::Open(w) => w.mempools(),
             Workload::Closed(w) => w.mempools(),
+            Workload::Cohort(w) => w.mempools(),
         }
     }
 
@@ -234,6 +245,7 @@ impl Workload {
         match self {
             Workload::Open(w) => w.completed(),
             Workload::Closed(w) => w.completed(),
+            Workload::Cohort(w) => w.completed(),
         }
     }
 
@@ -241,6 +253,7 @@ impl Workload {
         match self {
             Workload::Open(w) => w.pending_in_pools(),
             Workload::Closed(w) => w.pending_in_pools(),
+            Workload::Cohort(w) => w.pending_in_pools(),
         }
     }
 
@@ -248,6 +261,7 @@ impl Workload {
         match self {
             Workload::Open(w) => w.freeze(),
             Workload::Closed(w) => w.freeze(),
+            Workload::Cohort(w) => w.freeze(),
         }
     }
 }
@@ -260,6 +274,9 @@ struct DisseminationState {
     /// Speculative drain: observe every block crossing the wire and feed
     /// each pool's lease table (see `banyan_mempool`).
     speculative: bool,
+    /// Propagation-limited gossip: route pushes down a bounded-fanout
+    /// tree through per-peer queues instead of broadcasting every push.
+    fanout_tree: bool,
     /// `pools[i]` is replica `i`'s mempool.
     pools: Vec<SharedMempool>,
 }
@@ -317,6 +334,7 @@ struct NetDispatch<'a> {
     messages_sent: &'a mut u64,
     bytes_sent: &'a mut u64,
     messages_dropped: &'a mut u64,
+    gossip_bytes: &'a mut u64,
     /// The acting replica's current incarnation, stamped onto armed
     /// timers (see `EventKind::Timer::generation`).
     generation: u32,
@@ -377,6 +395,9 @@ impl NetDispatch<'_> {
         }
         *self.messages_sent += 1;
         *self.bytes_sent += msg.wire_len();
+        if matches!(msg, Message::Dissemination(_)) {
+            *self.gossip_bytes += msg.wire_len();
+        }
 
         if self.faults.is_cut(from, to, self.now) {
             *self.messages_dropped += 1;
@@ -483,6 +504,10 @@ pub struct Simulation {
     retired_verify: VerifyStats,
     /// Total virtual CPU time charged by the crypto cost model.
     charged_crypto: Duration,
+    /// Reusable drain buffers for workload think/retry deadlines (the
+    /// populations swap into these instead of allocating per event).
+    think_scratch: Vec<Time>,
+    retry_scratch: Vec<Time>,
     initialized: bool,
 }
 
@@ -533,6 +558,8 @@ impl Simulation {
             last_verify: vec![VerifyStats::default(); n],
             retired_verify: VerifyStats::default(),
             charged_crypto: Duration::ZERO,
+            think_scratch: Vec::new(),
+            retry_scratch: Vec::new(),
             initialized: false,
         }
     }
@@ -584,6 +611,31 @@ impl Simulation {
         }
     }
 
+    /// Attaches a cohort-aggregated client population (see
+    /// [`crate::cohort`]): up to the admission cap of its initial windows
+    /// is submitted immediately, and from then on completions and
+    /// token-bucket deadlines schedule `ClientTick`s that admit deferred
+    /// demand. Memory and per-event work stay `O(cohorts)`, so millions
+    /// of modeled clients cost the same as dozens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a workload is already attached.
+    pub fn attach_cohorts(&mut self, mut workload: CohortWorkload) {
+        assert!(self.workload.is_none(), "a workload is already attached");
+        self.metrics.requests_submitted += workload.prime(self.now);
+        self.workload = Some(Workload::Cohort(workload));
+    }
+
+    /// The attached cohort population, if any (for post-run per-cohort
+    /// latency/throughput assertions).
+    pub fn cohort_workload(&self) -> Option<&CohortWorkload> {
+        match &self.workload {
+            Some(Workload::Cohort(w)) => Some(w),
+            _ => None,
+        }
+    }
+
     /// Enables the request-dissemination layer for the attached
     /// workload's pools: commits mark their batched ids committed in the
     /// committing replica's pool (exactly-once dedup), and — with
@@ -615,8 +667,44 @@ impl Simulation {
         self.dissemination = Some(DisseminationState {
             gossip,
             speculative: false,
+            fanout_tree: false,
             pools,
         });
+    }
+
+    /// Switches gossip from all-peers broadcast to **propagation-limited
+    /// gossip**: each replica forwards pushes only to its `fanout` tree
+    /// peers (ring successor + lowest-delay picks, see
+    /// [`Topology::fanout_peers`]) through bounded per-peer queues with
+    /// credit-based backpressure — a slow peer sheds from its own queue
+    /// without stalling the others. First-time acceptors relay down their
+    /// own tree edges as compact announcements (id-only records), so every
+    /// request still reaches every replica while per-request gossip bytes
+    /// drop from `O(n · size)` to roughly `O(n)` announce records plus
+    /// `fanout` full copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`enable_dissemination`](Self::enable_dissemination) was
+    /// not called with `gossip = true` first.
+    pub fn enable_fanout_tree(&mut self, fanout: usize) {
+        let d = self
+            .dissemination
+            .as_mut()
+            .expect("enable dissemination before the fanout tree");
+        assert!(d.gossip, "the fanout tree replaces gossip broadcast");
+        d.fanout_tree = true;
+        for (i, pool) in d.pools.iter().enumerate() {
+            let peers = self.topology.fanout_peers(i, fanout, self.config.seed);
+            if peers.is_empty() {
+                continue;
+            }
+            pool.lock().expect("mempool lock").set_peer_queues(
+                &peers,
+                DEFAULT_PEER_QUEUE_CAP,
+                DEFAULT_PEER_CREDIT,
+            );
+        }
     }
 
     /// Enables the **speculative drain** on every wired pool: the
@@ -745,7 +833,7 @@ impl Simulation {
                     // Dissemination frames are driver-level traffic: they
                     // feed the receiver's mempool, never an engine.
                     if let Message::Dissemination(d) = msg {
-                        self.handle_dissemination(to, d);
+                        self.handle_dissemination(from, to, d);
                     } else if matches!(msg, Message::Sync(SyncMsg::FrontierProbe)) {
                         // Driver traffic: answer from the engine's commit
                         // frontier without delivering (engines stay pure,
@@ -849,6 +937,13 @@ impl Simulation {
                             }
                         }
                     }
+                    Workload::Cohort(workload) => {
+                        let admitted = workload.handle_tick(self.now);
+                        self.metrics.requests_submitted += admitted;
+                        if self.config.trace && admitted > 0 {
+                            eprintln!("[{}] cohorts admitted {admitted} request(s)", self.now);
+                        }
+                    }
                 },
                 EventKind::RetryTick => {
                     let retried = self
@@ -875,6 +970,18 @@ impl Simulation {
             self.metrics.requests_pending = w.pending_in_pools();
         }
         self.metrics.wal_bytes = self.engines.iter().map(|e| e.wal_bytes()).sum();
+        if let Some(d) = &self.dissemination {
+            // Forward loss accounting: shared-outbox drops plus per-peer
+            // backpressure sheds, across every pool.
+            self.metrics.forwards_dropped = d
+                .pools
+                .iter()
+                .map(|p| {
+                    let pool = p.lock().expect("mempool lock");
+                    pool.forward_dropped() + pool.peer_sheds()
+                })
+                .sum();
+        }
         // Verify-plane totals: live engines plus engines retired by
         // crashes. `verify_cpu_ms` is the *charged* virtual time — the
         // wall-clock `verify_cpu_ns` the backends also track is
@@ -897,54 +1004,141 @@ impl Simulation {
 
     /// Applies one dissemination frame to the receiving replica's pool.
     /// Forwarded requests are accepted (subject to the duplicate and
-    /// committed-id rules) and never re-forwarded — gossip is one round.
-    fn handle_dissemination(&mut self, to: ReplicaId, msg: DisseminationMsg) {
+    /// committed-id rules). In broadcast mode they are never re-forwarded
+    /// — gossip is one round. In fanout-tree mode, each *first-time*
+    /// accept is relayed down the receiver's own tree edges (minus the
+    /// sender) as a compact announcement; duplicates are never relayed,
+    /// so the cascade terminates once every replica has seen the request.
+    fn handle_dissemination(&mut self, from: ReplicaId, to: ReplicaId, msg: DisseminationMsg) {
         let Some(d) = &self.dissemination else {
             // No pools wired (e.g. a frame arriving after reconfiguration):
             // dropped like any foreign traffic.
             return;
         };
-        match msg {
-            DisseminationMsg::Forward { requests } => {
-                let mut pool = d.pools[to.as_usize()].lock().expect("mempool lock");
-                for req in requests {
-                    pool.accept_forwarded(req);
-                }
+        let relay = d.fanout_tree;
+        let mut pool = d.pools[to.as_usize()].lock().expect("mempool lock");
+        let (DisseminationMsg::Forward { requests } | DisseminationMsg::Announce { requests }) =
+            msg;
+        for req in requests {
+            let outcome = pool.accept_forwarded(req);
+            if relay
+                && matches!(
+                    outcome,
+                    PushOutcome::Accepted | PushOutcome::AcceptedEvicting(_)
+                )
+            {
+                pool.queue_relay(req, Some(from.as_usize()));
             }
         }
     }
 
-    /// Post-event bookkeeping: flush gossip outboxes into `Forward`
-    /// broadcasts and turn the workload's freshly armed think/retry
+    /// Post-event bookkeeping: flush gossip outboxes into the network
+    /// model (all-peers `Forward` broadcasts, or per-peer tree sends in
+    /// fanout mode) and turn the workload's freshly armed think/retry
     /// deadlines into queue events. Called once per processed event (and
     /// at segment start), so pushes and completions from *this* event are
     /// scheduled before the next event pops.
     fn after_event(&mut self) {
-        // Gossip: collect each replica's newly pushed requests, then
-        // broadcast one Forward per replica through the network model.
-        let outboxes: Vec<(ReplicaId, Vec<banyan_mempool::Request>)> = match &self.dissemination {
-            Some(d) if d.gossip => d
-                .pools
-                .iter()
-                .enumerate()
-                .filter_map(|(i, pool)| {
-                    let requests = pool.lock().expect("mempool lock").take_outbox();
-                    (!requests.is_empty()).then_some((ReplicaId(i as u16), requests))
-                })
-                .collect(),
-            _ => Vec::new(),
-        };
-        for (from, requests) in outboxes {
-            self.broadcast_forward(from, requests);
+        let tree = self
+            .dissemination
+            .as_ref()
+            .is_some_and(|d| d.gossip && d.fanout_tree);
+        if tree {
+            self.flush_fanout_queues();
+        } else {
+            // Gossip: collect each replica's newly pushed requests, then
+            // broadcast one Forward per replica through the network model.
+            let outboxes: Vec<(ReplicaId, Vec<banyan_mempool::Request>)> = match &self.dissemination
+            {
+                Some(d) if d.gossip => d
+                    .pools
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, pool)| {
+                        let requests = pool.lock().expect("mempool lock").take_outbox();
+                        (!requests.is_empty()).then_some((ReplicaId(i as u16), requests))
+                    })
+                    .collect(),
+                _ => Vec::new(),
+            };
+            for (from, requests) in outboxes {
+                self.broadcast_forward(from, requests);
+            }
         }
-        // Workload deadlines become queue events, never before `now`.
-        if let Some(w) = &mut self.workload {
-            for at in w.take_pending_think_ticks() {
-                self.queue.push(at.max(self.now), EventKind::ClientTick);
+        // Workload deadlines become queue events, never before `now`. The
+        // scratch buffers are recycled across events (no per-event Vec
+        // churn on the hot path).
+        let Simulation {
+            workload,
+            queue,
+            now,
+            think_scratch,
+            retry_scratch,
+            ..
+        } = self;
+        if let Some(w) = workload {
+            w.take_pending_think_ticks_into(think_scratch);
+            for &at in think_scratch.iter() {
+                queue.push(at.max(*now), EventKind::ClientTick);
             }
-            for at in w.take_pending_retry_ticks() {
-                self.queue.push(at.max(self.now), EventKind::RetryTick);
+            w.take_pending_retry_ticks_into(retry_scratch);
+            for &at in retry_scratch.iter() {
+                queue.push(at.max(*now), EventKind::RetryTick);
             }
+        }
+    }
+
+    /// Fanout-tree flush: drain every replica's per-peer queues (as far
+    /// as each peer's credit allows), sending first-hop entries as full
+    /// `Forward` bodies and relay entries as compact `Announce` records.
+    /// The simulated transport confirms synchronously, so consumed credit
+    /// is granted straight back; the credit machinery still bounds how
+    /// much any single flush may put in flight behind a shed-prone queue.
+    fn flush_fanout_queues(&mut self) {
+        let Some(d) = &self.dissemination else {
+            return;
+        };
+        let mut sends: Vec<(ReplicaId, ReplicaId, Message)> = Vec::new();
+        for (i, pool) in d.pools.iter().enumerate() {
+            let from = ReplicaId(i as u16);
+            let mut pool = pool.lock().expect("mempool lock");
+            for peer in pool.peer_ids() {
+                let entries = pool.take_peer_outbox(peer);
+                if entries.is_empty() {
+                    continue;
+                }
+                pool.grant_peer_credit(peer, entries.len() as u32);
+                let to = ReplicaId(peer as u16);
+                let forwards: Vec<banyan_mempool::Request> = entries
+                    .iter()
+                    .filter(|(_, relay)| !relay)
+                    .map(|(req, _)| *req)
+                    .collect();
+                let announces: Vec<banyan_mempool::Request> = entries
+                    .iter()
+                    .filter(|(_, relay)| *relay)
+                    .map(|(req, _)| *req)
+                    .collect();
+                if !forwards.is_empty() {
+                    sends.push((
+                        from,
+                        to,
+                        Message::Dissemination(DisseminationMsg::Forward { requests: forwards }),
+                    ));
+                }
+                if !announces.is_empty() {
+                    sends.push((
+                        from,
+                        to,
+                        Message::Dissemination(DisseminationMsg::Announce {
+                            requests: announces,
+                        }),
+                    ));
+                }
+            }
+        }
+        for (from, to, msg) in sends {
+            self.driver_send(from, Outbound::Send(to, msg));
         }
     }
 
@@ -981,6 +1175,7 @@ impl Simulation {
             messages_sent,
             bytes_sent,
             messages_dropped,
+            gossip_bytes,
             ..
         } = metrics;
         let mut dispatch = NetDispatch {
@@ -995,6 +1190,7 @@ impl Simulation {
             messages_sent,
             bytes_sent,
             messages_dropped,
+            gossip_bytes,
             generation: generations[from.as_usize()],
         };
         dispatch.transmit(from, out);
@@ -1201,6 +1397,7 @@ impl Simulation {
             messages_sent,
             bytes_sent,
             messages_dropped,
+            gossip_bytes,
             ..
         } = metrics;
         let mut sink = SimCommitSink {
@@ -1222,6 +1419,7 @@ impl Simulation {
             messages_sent,
             bytes_sent,
             messages_dropped,
+            gossip_bytes,
             generation: generations[replica.as_usize()],
         };
         route_actions(replica, actions, &mut sink, &mut dispatch);

@@ -311,6 +311,33 @@ impl Topology {
             .unwrap_or(Duration::ZERO)
     }
 
+    /// Gossip fanout set for `from`: the peers it relays pending requests
+    /// to when propagation-limited gossip is on.
+    ///
+    /// The ring successor `(from + 1) % n` is always included, so the
+    /// union of all fanout edges contains a Hamiltonian cycle and every
+    /// relay cascade reaches every replica regardless of fanout. The
+    /// remaining `fanout - 1` slots go to the lowest-delay peers, with a
+    /// seeded hash breaking delay ties (common in uniform and clustered
+    /// topologies) so different seeds explore different trees while a
+    /// fixed seed stays bit-stable.
+    pub fn fanout_peers(&self, from: usize, fanout: usize, seed: u64) -> Vec<usize> {
+        let n = self.n();
+        if n <= 1 {
+            return Vec::new();
+        }
+        let fanout = fanout.clamp(1, n - 1);
+        let successor = (from + 1) % n;
+        let mut peers = vec![successor];
+        if fanout == 1 {
+            return peers;
+        }
+        let mut rest: Vec<usize> = (0..n).filter(|&p| p != from && p != successor).collect();
+        rest.sort_by_key(|&p| (self.one_way[from][p], tie_break(seed, from, p)));
+        peers.extend(rest.into_iter().take(fanout - 1));
+        peers
+    }
+
     /// Median one-way delay across distinct pairs (reporting aid).
     pub fn median_one_way(&self) -> Duration {
         let mut delays: Vec<Duration> = Vec::new();
@@ -327,6 +354,17 @@ impl Topology {
         delays.sort_unstable();
         delays[delays.len() / 2]
     }
+}
+
+/// Deterministic tie-break hash for fanout peer selection (splitmix64 over
+/// the seed and the edge endpoints).
+fn tie_break(seed: u64, from: usize, peer: usize) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((from as u64) << 32 | peer as u64);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -431,6 +469,89 @@ mod tests {
     #[should_panic(expected = "bandwidth must be positive")]
     fn zero_bandwidth_rejected() {
         let _ = Topology::uniform(2, Duration::ZERO).with_egress_bps(0);
+    }
+
+    #[test]
+    fn fanout_peers_include_ring_successor_and_prefer_low_delay() {
+        let t = Topology::four_global_19();
+        for from in 0..t.n() {
+            for fanout in 1..=4 {
+                let peers = t.fanout_peers(from, fanout, 42);
+                assert_eq!(peers.len(), fanout);
+                assert!(peers.contains(&((from + 1) % t.n())));
+                assert!(!peers.contains(&from), "never self");
+                let mut sorted = peers.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), fanout, "no duplicate peers");
+            }
+        }
+        // Replica 0 sits in us-east-1 with replicas 1..5; its non-ring
+        // picks must be intra-DC peers, not cross-continent ones.
+        let peers = t.fanout_peers(0, 3, 42);
+        for &p in &peers[1..] {
+            assert!(p < 5, "low-delay pick {p} should be intra-DC");
+        }
+    }
+
+    #[test]
+    fn fanout_tree_reaches_all_replicas_from_any_origin() {
+        for topo in [
+            Topology::uniform(8, Duration::from_millis(5)),
+            Topology::four_global_19(),
+            Topology::nineteen_global(),
+        ] {
+            let n = topo.n();
+            for fanout in 1..=3 {
+                for seed in [1u64, 42, 7777] {
+                    for origin in 0..n {
+                        // BFS over fanout edges: origin forwards to its
+                        // fanout set, each first-time receiver relays to
+                        // its own fanout set (minus already-seen nodes,
+                        // mirroring dedup-based cascade termination).
+                        let mut seen = vec![false; n];
+                        seen[origin] = true;
+                        let mut frontier = vec![origin];
+                        while let Some(at) = frontier.pop() {
+                            for p in topo.fanout_peers(at, fanout, seed) {
+                                if !seen[p] {
+                                    seen[p] = true;
+                                    frontier.push(p);
+                                }
+                            }
+                        }
+                        assert!(
+                            seen.iter().all(|&s| s),
+                            "n={n} fanout={fanout} seed={seed} origin={origin}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_peers_are_deterministic_per_seed() {
+        let t = Topology::uniform(16, Duration::from_millis(5));
+        for from in 0..16 {
+            let a = t.fanout_peers(from, 3, 99);
+            let b = t.fanout_peers(from, 3, 99);
+            assert_eq!(a, b);
+        }
+        // On a uniform topology every non-successor delay ties, so the
+        // seeded tie-break decides the set; distinct seeds should differ
+        // for at least one origin.
+        let differs = (0..16).any(|from| t.fanout_peers(from, 3, 1) != t.fanout_peers(from, 3, 2));
+        assert!(differs, "seeds should explore different trees");
+    }
+
+    #[test]
+    fn fanout_clamps_to_cluster_size() {
+        let t = Topology::uniform(4, Duration::from_millis(5));
+        assert_eq!(t.fanout_peers(0, 100, 42).len(), 3);
+        assert_eq!(t.fanout_peers(0, 0, 42).len(), 1, "at least the ring");
+        let t1 = Topology::uniform(1, Duration::from_millis(5));
+        assert!(t1.fanout_peers(0, 2, 42).is_empty());
     }
 
     #[test]

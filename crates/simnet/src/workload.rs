@@ -82,6 +82,13 @@ impl RetryState {
     fn take_pending_ticks(&mut self) -> Vec<Time> {
         std::mem::take(&mut self.pending_ticks)
     }
+
+    /// Allocation-free drain: clears `out` and swaps it with the pending
+    /// buffer, so the two vectors recycle their capacity between calls.
+    fn take_pending_ticks_into(&mut self, out: &mut Vec<Time>) {
+        out.clear();
+        std::mem::swap(&mut self.pending_ticks, out);
+    }
 }
 
 /// Pushes `req` into `fanout` pools: the sampled `primary` plus its
@@ -245,6 +252,13 @@ impl ClientWorkload {
     /// simulator schedules one retry tick per entry.
     pub fn take_pending_retry_ticks(&mut self) -> Vec<Time> {
         self.retry.take_pending_ticks()
+    }
+
+    /// Allocation-free [`take_pending_retry_ticks`](Self::take_pending_retry_ticks):
+    /// clears `out` and swaps it with the pending buffer (capacity
+    /// recycles between calls — hot at large populations).
+    pub fn take_pending_retry_ticks_into(&mut self, out: &mut Vec<Time>) {
+        self.retry.take_pending_ticks_into(out);
     }
 
     /// Handles one retry tick at `now`: every due, still-uncommitted
@@ -518,10 +532,26 @@ impl ClosedLoopWorkload {
         std::mem::take(&mut self.pending_ticks)
     }
 
+    /// Allocation-free [`take_pending_ticks`](Self::take_pending_ticks):
+    /// clears `out` and swaps it with the pending buffer, so the two
+    /// vectors recycle their capacity between calls instead of allocating
+    /// a fresh `Vec` per event — hot at 10⁵+ modeled clients.
+    pub fn take_pending_ticks_into(&mut self, out: &mut Vec<Time>) {
+        out.clear();
+        std::mem::swap(&mut self.pending_ticks, out);
+    }
+
     /// Drains the retry deadlines armed since the last call; the
     /// simulator schedules one retry tick per entry.
     pub fn take_pending_retry_ticks(&mut self) -> Vec<Time> {
         self.retry.take_pending_ticks()
+    }
+
+    /// Allocation-free [`take_pending_retry_ticks`](Self::take_pending_retry_ticks):
+    /// the swap-buffer counterpart, like
+    /// [`take_pending_ticks_into`](Self::take_pending_ticks_into).
+    pub fn take_pending_retry_ticks_into(&mut self, out: &mut Vec<Time>) {
+        self.retry.take_pending_ticks_into(out);
     }
 
     /// Handles one think-time tick at `now`: the freed slot with the
@@ -822,6 +852,28 @@ mod tests {
         );
         let back = mempools[0].lock().unwrap().drain(usize::MAX);
         assert_eq!(back, vec![drained[1]]);
+    }
+
+    #[test]
+    fn take_into_matches_take_and_recycles_the_buffer() {
+        let mempools: Vec<SharedMempool> = vec![Mempool::shared(1_000)];
+        let timeout = Duration::from_millis(10);
+        let mut w =
+            ClosedLoopWorkload::new(2, 1, Duration::from_millis(1), 64, 1, mempools.clone())
+                .with_retry(timeout);
+        w.prime(Time::ZERO);
+        let mut buf = vec![Time(999)]; // stale content must be cleared
+        w.take_pending_retry_ticks_into(&mut buf);
+        assert_eq!(buf, vec![Time::ZERO + timeout, Time::ZERO + timeout]);
+        w.take_pending_retry_ticks_into(&mut buf);
+        assert!(buf.is_empty(), "second drain is empty, stale ticks cleared");
+
+        let drained = mempools[0].lock().unwrap().drain(usize::MAX);
+        w.deliver(&commit_of(WorkloadBatch { requests: drained }, 1_000_000));
+        w.take_pending_ticks_into(&mut buf);
+        let due = Time(1_000_000) + Duration::from_millis(1);
+        assert_eq!(buf, vec![due, due], "one think tick per completion");
+        assert!(w.take_pending_ticks().is_empty(), "drained by the swap");
     }
 
     #[test]

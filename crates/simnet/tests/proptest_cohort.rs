@@ -1,0 +1,201 @@
+//! Property tests for the cohort-aggregated workload: with one member
+//! per cohort (`K = clients`), no pacing and the default admission cap,
+//! [`CohortWorkload`] must replay [`ClosedLoopWorkload`]'s submission
+//! stream **bit-for-bit** — same RNG draws, same request ids, same pool
+//! contents, same resume ticks. The aggregate model is a strict
+//! generalization of the per-client one, not a lookalike that can drift.
+
+use proptest::prelude::*;
+
+use banyan_simnet::cohort::CohortWorkload;
+use banyan_simnet::workload::{ClosedLoopWorkload, Mempool, SharedMempool, WorkloadBatch};
+use banyan_types::app::App;
+use banyan_types::engine::CommitEntry;
+use banyan_types::ids::{BlockHash, ReplicaId, Round};
+use banyan_types::message::PendingRequest;
+use banyan_types::time::{Duration, Time};
+
+fn pools(n: usize) -> Vec<SharedMempool> {
+    (0..n).map(|_| Mempool::shared(1 << 20)).collect()
+}
+
+fn drain_all(mempools: &[SharedMempool]) -> Vec<Vec<PendingRequest>> {
+    mempools
+        .iter()
+        .map(|m| m.lock().expect("mempool lock").drain(usize::MAX))
+        .collect()
+}
+
+fn commit_of(requests: Vec<PendingRequest>, at: Time) -> CommitEntry {
+    CommitEntry {
+        round: Round(1),
+        block: BlockHash::ZERO,
+        proposer: ReplicaId(0),
+        payload: WorkloadBatch { requests }.into_payload(),
+        proposed_at: Time::ZERO,
+        committed_at: at,
+        fast: false,
+        explicit: true,
+    }
+}
+
+proptest! {
+    /// The equivalence property: prime both populations, then run a few
+    /// commit → tick rounds, delivering the same commits to both. At
+    /// every step the pool contents, the pending ticks and the submit
+    /// counters must be identical.
+    #[test]
+    fn cohort_at_one_member_each_matches_closed_loop(
+        clients in 1u16..12,
+        window in 1u32..4,
+        n_pools in 1usize..5,
+        seed in any::<u64>(),
+        think_ms in 0u64..8,
+        rounds in 1usize..6,
+    ) {
+        let think = Duration::from_millis(think_ms);
+        let size = 200;
+        let closed_pools = pools(n_pools);
+        let cohort_pools = pools(n_pools);
+        let mut closed =
+            ClosedLoopWorkload::new(clients, window, think, size, seed, closed_pools.clone());
+        let mut cohort = CohortWorkload::new(
+            clients as u64,
+            clients,
+            window,
+            think,
+            size,
+            seed,
+            cohort_pools.clone(),
+        );
+        prop_assert_eq!(closed.prime(Time::ZERO), cohort.prime(Time::ZERO));
+        prop_assert_eq!(cohort.max_in_flight(), closed.max_in_flight());
+
+        let mut now = Time::ZERO;
+        for round in 0..rounds {
+            // Both sides must have produced identical pool contents; the
+            // drain doubles as this round's "proposal".
+            let closed_drained = drain_all(&closed_pools);
+            let cohort_drained = drain_all(&cohort_pools);
+            prop_assert_eq!(&closed_drained, &cohort_drained, "round {} pools", round);
+
+            // Commit half of each replica's drained requests (integer
+            // truncation keeps some requests in flight across rounds).
+            now += Duration::from_millis(10);
+            for drained in closed_drained {
+                let keep = drained.len().div_ceil(2);
+                closed.deliver(&commit_of(drained[..keep].to_vec(), now));
+                cohort.deliver(&commit_of(drained[..keep].to_vec(), now));
+            }
+            let closed_ticks = closed.take_pending_ticks();
+            let cohort_ticks = cohort.take_pending_ticks();
+            prop_assert_eq!(&closed_ticks, &cohort_ticks, "round {} ticks", round);
+
+            // Fire every tick in schedule order: one resubmission each.
+            let mut ticks = closed_ticks;
+            ticks.sort_unstable();
+            for at in ticks {
+                let resubmitted = closed.resubmit_next(at).is_some();
+                prop_assert_eq!(cohort.handle_tick(at), u64::from(resubmitted));
+            }
+            prop_assert_eq!(closed.submitted(), cohort.submitted());
+            prop_assert_eq!(closed.completed(), cohort.completed());
+            prop_assert_eq!(closed.in_flight(), cohort.in_flight());
+            prop_assert_eq!(cohort.deferred_demand(), 0, "no pacing: no demand");
+        }
+    }
+
+    /// Retransmission equivalence: the retry stream (deadline order, RNG
+    /// draws, re-pushed requests) must also match.
+    #[test]
+    fn cohort_retry_stream_matches_closed_loop(
+        clients in 1u16..8,
+        n_pools in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let timeout = Duration::from_millis(50);
+        let closed_pools = pools(n_pools);
+        let cohort_pools = pools(n_pools);
+        let mut closed = ClosedLoopWorkload::new(
+            clients,
+            2,
+            Duration::ZERO,
+            100,
+            seed,
+            closed_pools.clone(),
+        )
+        .with_retry(timeout);
+        let mut cohort = CohortWorkload::new(
+            clients as u64,
+            clients,
+            2,
+            Duration::ZERO,
+            100,
+            seed,
+            cohort_pools.clone(),
+        )
+        .with_retry(timeout);
+        prop_assert_eq!(closed.prime(Time::ZERO), cohort.prime(Time::ZERO));
+        prop_assert_eq!(
+            closed.take_pending_retry_ticks(),
+            cohort.take_pending_retry_ticks()
+        );
+        // Nothing commits; every in-flight request retries.
+        drain_all(&closed_pools);
+        drain_all(&cohort_pools);
+        let at = Time::ZERO + timeout;
+        prop_assert_eq!(closed.handle_retry_tick(at), cohort.handle_retry_tick(at));
+        prop_assert_eq!(closed.retries(), cohort.retries());
+        prop_assert_eq!(drain_all(&closed_pools), drain_all(&cohort_pools));
+    }
+}
+
+/// Determinism per seed at an aggregate scale no per-client workload
+/// could hold: two runs with the same seed submit the same stream; a
+/// different seed retargets it.
+#[test]
+fn cohort_population_is_deterministic_per_seed() {
+    let run = |seed: u64| {
+        let mempools = pools(4);
+        let mut w = CohortWorkload::new(
+            1_000_000,
+            64,
+            4,
+            Duration::ZERO,
+            256,
+            seed,
+            mempools.clone(),
+        )
+        .with_max_outstanding(2_048)
+        .with_member_interval(Duration::from_secs(30));
+        let mut submitted = w.prime(Time::ZERO);
+        let mut now = Time::ZERO;
+        for _ in 0..50 {
+            let mut ticks = w.take_pending_ticks();
+            ticks.sort_unstable();
+            for at in ticks {
+                now = now.max(at);
+                submitted += w.handle_tick(at);
+            }
+            let drained = drain_all(&mempools);
+            now += Duration::from_millis(5);
+            for d in drained {
+                w.deliver(&commit_of(d, now));
+            }
+        }
+        // One more tick round *without* a drain, so the per-pool fill
+        // reflects the seed's targeting draws.
+        let mut ticks = w.take_pending_ticks();
+        ticks.sort_unstable();
+        for at in ticks {
+            submitted += w.handle_tick(at);
+        }
+        let lens: Vec<usize> = mempools
+            .iter()
+            .map(|m| m.lock().expect("mempool lock").len())
+            .collect();
+        (submitted, w.completed(), lens)
+    };
+    assert_eq!(run(7), run(7), "same seed, same stream");
+    assert_ne!(run(7).2, run(8).2, "different seeds retarget");
+}

@@ -241,7 +241,9 @@ pub fn verify_frame(
     stats: &PipelineStats,
 ) -> VerifyOutcome {
     match msg {
-        Message::Dissemination(DisseminationMsg::Forward { requests }) => {
+        Message::Dissemination(
+            DisseminationMsg::Forward { requests } | DisseminationMsg::Announce { requests },
+        ) => {
             if let Some(pool) = pool {
                 let ingest = pool.ingest();
                 for req in requests {

@@ -22,7 +22,7 @@
 //! # Request dissemination
 //!
 //! [`run_replica_full`] attaches a [`SharedMempool`] to the wire path:
-//! inbound `DisseminationMsg::Forward` frames feed the pool (they never
+//! inbound `DisseminationMsg::Forward`/`Announce` frames feed the pool (they never
 //! reach the engine — same contract as the simulator), locally pushed
 //! requests found in the pool's gossip outbox are broadcast to every
 //! peer, and each finalized block marks its batched request ids committed
@@ -548,7 +548,10 @@ pub fn run_replica_restarting(
             match msg {
                 // Dissemination frames feed the pool, never the engine
                 // (the same contract the simulator enforces).
-                Message::Dissemination(DisseminationMsg::Forward { requests }) => {
+                Message::Dissemination(
+                    DisseminationMsg::Forward { requests }
+                    | DisseminationMsg::Announce { requests },
+                ) => {
                     if let Some(pool) = &pool {
                         let mut pool = pool.lock().expect("mempool lock");
                         for req in requests {

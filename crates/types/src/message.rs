@@ -64,6 +64,9 @@ impl Message {
             Message::Dissemination(DisseminationMsg::Forward { requests }) => {
                 requests.iter().map(|r| r.size).sum()
             }
+            // A propagation-tree relay ships only the 26-byte records
+            // (already covered by `encoded_len`): no virtual body bytes.
+            Message::Dissemination(DisseminationMsg::Announce { .. }) => 0,
             _ => 0,
         };
         self.encoded_len() as u64 + extra
@@ -107,6 +110,7 @@ impl Message {
             Message::Sync(SyncMsg::FrontierProbe) => "sync-probe",
             Message::Sync(SyncMsg::FrontierInfo { .. }) => "sync-frontier",
             Message::Dissemination(DisseminationMsg::Forward { .. }) => "req-forward",
+            Message::Dissemination(DisseminationMsg::Announce { .. }) => "req-announce",
         }
     }
 
@@ -277,18 +281,49 @@ impl Wire for PendingRequest {
 /// Dissemination is driver-level traffic: the simulator and the TCP
 /// runner apply it to the replica's mempool and never hand it to an
 /// engine, preserving the engine purity contract (engines only pull
-/// `next_payload`). Forwarded requests are *not* re-forwarded — a request
-/// submitted to any replica reaches every other replica in exactly one
-/// gossip round.
+/// `next_payload`).
+///
+/// Two frames, two propagation disciplines. Under **broadcast gossip**
+/// every locally submitted request is [`Forward`](Self::Forward)ed to all
+/// peers in one round and never re-forwarded. Under the **bounded-fanout
+/// propagation tree** the origin [`Forward`](Self::Forward)s the request
+/// body to its few fanout peers, and first-time acceptors relay the
+/// compact [`Announce`](Self::Announce) record down their own fanout
+/// edges — duplicate arrivals are suppressed by the pool and never
+/// re-announced, so the cascade terminates once every replica holds the
+/// request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DisseminationMsg {
     /// One gossip round's worth of pending requests pushed at the sender
     /// since its last flush, forwarded so every potential leader can batch
-    /// them.
+    /// them. Charged at the requests' *nominal* size — this frame models
+    /// shipping the request bodies.
     Forward {
         /// The forwarded requests, in the sender's FIFO (submission) order.
         requests: Vec<PendingRequest>,
     },
+    /// A relay hop of the bounded-fanout propagation tree: the 26-byte
+    /// request records, re-forwarded by a replica that just accepted them.
+    /// Charged at the *record* size only — the body already shipped on the
+    /// tree's first hop, and a record fully identifies the request (pull
+    /// systems would fetch the body on demand; the synthetic workload's
+    /// record is self-contained).
+    Announce {
+        /// The relayed request records, in acceptance order.
+        requests: Vec<PendingRequest>,
+    },
+}
+
+impl DisseminationMsg {
+    /// The requests this dissemination frame carries, whichever discipline
+    /// produced it. Drivers apply them to the receiving replica's pool via
+    /// `accept_forwarded`.
+    pub fn requests(&self) -> &[PendingRequest] {
+        match self {
+            DisseminationMsg::Forward { requests } => requests,
+            DisseminationMsg::Announce { requests } => requests,
+        }
+    }
 }
 
 /// Messages of the ICC / Banyan family.
@@ -510,6 +545,10 @@ impl Wire for DisseminationMsg {
                 out.u8(0);
                 out.var_list(requests);
             }
+            DisseminationMsg::Announce { requests } => {
+                out.u8(1);
+                out.var_list(requests);
+            }
         }
     }
 
@@ -518,13 +557,16 @@ impl Wire for DisseminationMsg {
             0 => Ok(DisseminationMsg::Forward {
                 requests: input.var_list()?,
             }),
+            1 => Ok(DisseminationMsg::Announce {
+                requests: input.var_list()?,
+            }),
             _ => Err(CodecError::Invalid("dissemination message")),
         }
     }
 
     fn encoded_len(&self) -> usize {
         1 + match self {
-            DisseminationMsg::Forward { requests } => {
+            DisseminationMsg::Forward { requests } | DisseminationMsg::Announce { requests } => {
                 4 + requests.iter().map(Wire::encoded_len).sum::<usize>()
             }
         }

@@ -212,6 +212,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
         arb_block().prop_map(|block| Message::Sync(SyncMsg::Response { block })),
         proptest::collection::vec(arb_pending_request(), 0..8)
             .prop_map(|requests| Message::Dissemination(DisseminationMsg::Forward { requests })),
+        proptest::collection::vec(arb_pending_request(), 0..8)
+            .prop_map(|requests| Message::Dissemination(DisseminationMsg::Announce { requests })),
     ]
 }
 
@@ -259,6 +261,21 @@ proptest! {
         // content size of every forwarded request.
         let content: u64 = requests.iter().map(|r| r.size).sum();
         prop_assert_eq!(msg.wire_len(), msg.encoded_len() as u64 + content);
+    }
+
+    #[test]
+    fn dissemination_announce_roundtrip(
+        requests in proptest::collection::vec(arb_pending_request(), 0..32)
+    ) {
+        let msg = Message::Dissemination(DisseminationMsg::Announce { requests: requests.clone() });
+        let bytes = msg.to_bytes();
+        prop_assert_eq!(bytes.len(), msg.encoded_len(), "encoded_len mismatch");
+        let back = Message::from_bytes(&bytes).expect("decode");
+        prop_assert_eq!(&back, &msg);
+        // Announcements ship only the 26-byte records: no virtual body
+        // bytes — this asymmetry against `Forward` is the entire point
+        // of the propagation tree.
+        prop_assert_eq!(msg.wire_len(), msg.encoded_len() as u64);
     }
 
     #[test]
